@@ -1,0 +1,343 @@
+package coordattack_test
+
+// One benchmark per experiment id of DESIGN.md (each figure/table-like
+// result of the paper), plus the ablation benches for the design choices
+// the repository makes (big.Int vs int64 index arithmetic, sequential vs
+// goroutine round kernel, Edmonds–Karp vs Stoer–Wagner connectivity).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	coordattack "repro"
+	"repro/internal/chain"
+	"repro/internal/classify"
+	"repro/internal/consensus"
+	"repro/internal/graph"
+	"repro/internal/nchain"
+	"repro/internal/netconsensus"
+	"repro/internal/netsim"
+	"repro/internal/obstruction"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// FIG1 — the index function (streaming computation over long words).
+func BenchmarkFig1Index(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := make(omission.Word, 256)
+	for i := range w {
+		w[i] = omission.Gamma[rng.Intn(3)]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := omission.NewIndexTracker()
+		for _, a := range w {
+			t.Step(a)
+		}
+	}
+}
+
+// LEM-III2/III4 — bijection round trip at r = 12.
+func BenchmarkIndexBijection(b *testing.B) {
+	const r = 12
+	k := omission.Pow3Int64(r) / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := omission.UnIndexInt64(r, k)
+		got, err := omission.IndexInt64(w)
+		if err != nil || got != k {
+			b.Fatal("round trip failed")
+		}
+	}
+}
+
+// TAB-ENV — classifying the seven environments.
+func BenchmarkTabEnvClassify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range scheme.SevenEnvironments()[:6] { // S2 errors by design
+			if _, err := classify.Classify(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// THM-III8 — the classifier on random DBA schemes.
+func BenchmarkThm38Classifier(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	schemes := make([]*scheme.Scheme, 16)
+	for i := range schemes {
+		schemes[i] = scheme.Random(rng, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classify.Classify(schemes[i%len(schemes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// THM-III8 — the special-pair product automaton in isolation.
+func BenchmarkThm38SpecialPair(b *testing.B) {
+	l := scheme.Minus("pairless", scheme.R1(),
+		omission.MustScenario("w(b)"), omission.MustScenario(".(b)"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := classify.Classify(l)
+		if err != nil || !res.PairMissing {
+			b.Fatal("expected pair witness")
+		}
+	}
+}
+
+// PROP-III12 — a full A_w execution per iteration.
+func BenchmarkPropIII12AW(b *testing.B) {
+	witness := omission.MustScenario("(b)")
+	sc := omission.MustScenario("bbbbbbbbw(.)") // 9 tracked rounds, then decide
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := sim.RunScenario(consensus.NewAW(witness), consensus.NewAW(witness),
+			[2]sim.Value{0, 1}, sc, 100)
+		if tr.TimedOut {
+			b.Fatal("timed out")
+		}
+	}
+}
+
+// COR-III14 — the exhaustive round-optimality sweep on S1.
+func BenchmarkRoundOptimality(b *testing.B) {
+	s := scheme.S1()
+	res, err := classify.Classify(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	witness := consensus.BoundedWitness(res.MinRoundsWitness)
+	prefixes := s.AllPrefixes(res.MinRounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range prefixes {
+			sc, _ := s.ExtendToScenario(p)
+			w := consensus.NewBoundedAW(witness, res.MinRounds)
+			bl := consensus.NewBoundedAW(witness, res.MinRounds)
+			if tr := sim.RunScenario(w, bl, [2]sim.Value{0, 1}, sc, 5); tr.TimedOut {
+				b.Fatal("timeout")
+			}
+		}
+	}
+}
+
+// COR-IV1 — the intuitive algorithm against A_{b^ω}.
+func BenchmarkAlmostFair(b *testing.B) {
+	sc := omission.MustScenario("wwbwb(.)")
+	witness := omission.MustScenario("(b)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := sim.RunScenario(consensus.NewAW(witness), consensus.NewAW(witness), [2]sim.Value{0, 1}, sc, 50)
+		c := sim.RunScenario(&consensus.Intuitive{}, &consensus.Intuitive{}, [2]sim.Value{0, 1}, sc, 50)
+		if a.Decisions != c.Decisions {
+			b.Fatal("divergence")
+		}
+	}
+}
+
+// SEC-IVC — building the special-pair matching window.
+func BenchmarkSpecialPairGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		window := obstruction.UnfairWindow(4)
+		if len(obstruction.PairGraph(window)) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// Impossibility shape — full-information chain analysis, by horizon.
+func BenchmarkChains(b *testing.B) {
+	for _, r := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			s := scheme.R1()
+			for i := 0; i < b.N; i++ {
+				if chain.Analyze(s, r).Solvable {
+					b.Fatal("Γ^ω solvable?!")
+				}
+			}
+		})
+	}
+}
+
+// THM-V1 — flooding consensus, swept over network size.
+func BenchmarkNetworkFlood(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		g := graph.Cycle(n)
+		in := make([]netsim.Value, n)
+		in[n/2] = 1
+		b.Run(fmt.Sprintf("cycle-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := netsim.Run(g, netconsensus.NewFloodNodes(g), in,
+					netsim.TargetedCut{Cut: mustCut(g), F: 1}, n+2)
+				if !netsim.Check(tr).OK() {
+					b.Fatal("flood failed")
+				}
+			}
+		})
+	}
+}
+
+// THM-V1 — edge connectivity via max-flow.
+func BenchmarkConnectivity(b *testing.B) {
+	g := graph.Hypercube(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.EdgeConnectivity() != 5 {
+			b.Fatal("λ(Q5) = 5")
+		}
+	}
+}
+
+// PROP-V2 — the Algorithms 2/3 two-process lifting of flooding.
+func BenchmarkCutEmulation(b *testing.B) {
+	g := graph.Barbell(3, 1)
+	cut := mustCut(g)
+	mk := func() netsim.Node { return &netconsensus.FloodMin{} }
+	src := omission.MustScenario("w.b(.)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := sim.RunScenario(netconsensus.NewEmulation(g, cut, mk),
+			netconsensus.NewEmulation(g, cut, mk), [2]sim.Value{0, 1}, src, g.N()+2)
+		if tr.TimedOut {
+			b.Fatal("timeout")
+		}
+	}
+}
+
+// ABL — index arithmetic: exact big.Int vs bounded int64.
+func BenchmarkAblationIndexBigInt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := omission.NewIndexTracker()
+		for r := 0; r < omission.MaxInt64Rounds; r++ {
+			t.Step(omission.Gamma[r%3])
+		}
+	}
+}
+
+func BenchmarkAblationIndexInt64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var t omission.Int64Tracker
+		for r := 0; r < omission.MaxInt64Rounds; r++ {
+			t.Step(omission.Gamma[r%3])
+		}
+	}
+}
+
+// ABL — round kernel: sequential loop vs goroutine/CSP servers.
+func BenchmarkAblationRunnerSequential(b *testing.B) {
+	sc := omission.MustScenario("bbbbbbbbbbw(.)")
+	witness := omission.MustScenario("(b)")
+	for i := 0; i < b.N; i++ {
+		sim.RunScenario(consensus.NewAW(witness), consensus.NewAW(witness), [2]sim.Value{0, 1}, sc, 50)
+	}
+}
+
+func BenchmarkAblationRunnerGoroutine(b *testing.B) {
+	sc := omission.MustScenario("bbbbbbbbbbw(.)")
+	witness := omission.MustScenario("(b)")
+	for i := 0; i < b.N; i++ {
+		sim.RunGoroutinesScenario(consensus.NewAW(witness), consensus.NewAW(witness), [2]sim.Value{0, 1}, sc, 50)
+	}
+}
+
+// ABL — connectivity algorithms: Edmonds–Karp vs Stoer–Wagner.
+func BenchmarkAblationEdmondsKarp(b *testing.B) {
+	g := graph.Grid(5, 5)
+	for i := 0; i < b.N; i++ {
+		if g.EdgeConnectivity() != 2 {
+			b.Fatal("λ(grid) = 2")
+		}
+	}
+}
+
+func BenchmarkAblationStoerWagner(b *testing.B) {
+	g := graph.Grid(5, 5)
+	for i := 0; i < b.N; i++ {
+		if g.StoerWagner() != 2 {
+			b.Fatal("λ(grid) = 2")
+		}
+	}
+}
+
+// Facade sanity for the benches file.
+func BenchmarkClassifyFacade(b *testing.B) {
+	s := coordattack.AlmostFair()
+	for i := 0; i < b.N; i++ {
+		if v, err := coordattack.Classify(s); err != nil || !v.Solvable {
+			b.Fatal("classification failed")
+		}
+	}
+}
+
+func mustCut(g *graph.Graph) graph.Cut {
+	c, ok := g.MinCut()
+	if !ok {
+		panic("no cut")
+	}
+	return c
+}
+
+// EXT — DSL parsing throughput.
+func BenchmarkParseScheme(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Parse(`[.w]^w | [.b]^w & [.wb]^w \ {(b)}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EXT-NPROC — the n-process analysis.
+func BenchmarkNProcAnalyze(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if nchainAnalyze(3, 1, 2) != true {
+			b.Fatal("K3 f=1 solvable at 2")
+		}
+	}
+}
+
+func nchainAnalyze(n, f, r int) bool { return nchain.Analyze(n, f, r).Solvable }
+
+// EXT — synthesis compilation.
+func BenchmarkSynthesize(b *testing.B) {
+	s := scheme.S1()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := chain.Synthesize(s, 2); !ok {
+			b.Fatal("synthesis failed")
+		}
+	}
+}
+
+// ABL — network runners: sequential vs goroutine-per-node.
+func BenchmarkAblationNetSequential(b *testing.B) {
+	g := graph.Cycle(12)
+	in := make([]netsim.Value, g.N())
+	for i := 0; i < b.N; i++ {
+		netsim.Run(g, netconsensus.NewFloodNodes(g), in, netsim.NoDrops{}, g.N())
+	}
+}
+
+func BenchmarkAblationNetGoroutine(b *testing.B) {
+	g := graph.Cycle(12)
+	in := make([]netsim.Value, g.N())
+	for i := 0; i < b.N; i++ {
+		netsim.RunGoroutines(g, netconsensus.NewFloodNodes(g), in, netsim.NoDrops{}, g.N())
+	}
+}
+
+// EXT — vertex connectivity (node-splitting max-flow).
+func BenchmarkVertexConnectivity(b *testing.B) {
+	g := graph.Petersen()
+	for i := 0; i < b.N; i++ {
+		if g.VertexConnectivity() != 3 {
+			b.Fatal("κ(Petersen) = 3")
+		}
+	}
+}

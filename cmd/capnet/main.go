@@ -1,0 +1,19 @@
+// Command capnet runs network consensus experiments (Section V): flooding
+// under budgeted omissions, the Γ_C cut adversary, and Algorithm 4.
+//
+// Usage:
+//
+//	capnet -graph barbell -k 4 -bridges 2 -f 1
+//	capnet -graph cycle -n 6 -f 2
+//	capnet -graph custom -edges "0-1,1-2,2-0" -f 1 -adversary targeted
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Capnet(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,22 @@
+// Command capsim runs a two-process Coordinated Attack simulation: it
+// classifies the scheme, instantiates the algorithm A_w from the verdict,
+// and executes it under a chosen scenario (or sampled member scenarios),
+// printing the trace and the consensus-property check.
+//
+// Usage:
+//
+//	capsim -scheme AlmostFair -scenario "w.(.)" -inputs 0,1
+//	capsim -scheme C1 -sample 5 -seed 42
+//	capsim -scheme S1 -scenario "(.b)" -concurrent
+//	capsim -scheme AlmostFair -scenario "bbb.(.)" -verbose
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Capsim(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,22 @@
+// Command capsolve classifies an omission scheme for the Coordinated
+// Attack Problem (Theorem III.8): solvable or obstruction, with witnesses
+// and the exact round complexity.
+//
+// Usage:
+//
+//	capsolve -scheme S1
+//	capsolve -scheme R1 -minus "w(b)" -minus ".(b)"
+//	capsolve -expr "[.w]^w | [.b]^w" -json
+//	capsolve -scheme BX2 -horizon 5
+//	capsolve -list
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Capsolve(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,20 @@
+// Command experiments regenerates every figure- and table-like result of
+// the paper. Run with -run <name> for one experiment or -all for the full
+// report (the contents of EXPERIMENTS.md's measured sections).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig1
+//	experiments -all
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Experiments(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,38 @@
+// Quickstart: classify an omission scheme, build the consensus algorithm
+// A_w from the verdict, and run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coordattack "repro"
+)
+
+func main() {
+	// The almost-fair environment: any message may be lost at any round,
+	// except that Black's messages cannot be lost *forever*.
+	s := coordattack.AlmostFair()
+
+	verdict, err := coordattack.Classify(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheme %s: solvable=%v (condition %s, witness %s)\n",
+		s.Name(), verdict.Solvable, verdict.WitnessCondition, verdict.Witness)
+
+	white, black, err := coordattack.NewAlgorithm(verdict)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// General White proposes 0, General Black proposes 1. The enemy
+	// captures White's first messenger, then gives up.
+	scenario := coordattack.MustScenario("w(.)")
+	trace := coordattack.Run(white, black, [2]coordattack.Value{0, 1}, scenario, 100)
+
+	fmt.Printf("scenario %s:\n  %s\n", scenario, trace)
+	report := coordattack.Check(trace)
+	fmt.Printf("  termination=%v agreement=%v validity=%v\n",
+		report.Terminated, report.Agreement, report.Validity)
+}

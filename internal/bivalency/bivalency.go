@@ -1,0 +1,185 @@
+// Package bivalency operationalizes the impossibility proof technique of
+// Section III-C: valency analysis of a concrete algorithm against an
+// omission scheme.
+//
+// Given a deterministic algorithm (as a factory of sim.Process pairs), a
+// scheme L, and an initial input pair, a partial scenario v ∈ Pref(L) is
+// i-valent when every completing execution within the exploration depth
+// decides i, and bivalent when both outcomes are reachable (Definition
+// III.9). A decisive prefix (Definition III.10) is a bivalent prefix all
+// of whose extensions inside Pref(L) are univalent.
+//
+// For solvable schemes, walking maximal bivalent prefixes terminates in a
+// decisive prefix — the combinatorial pivot of the paper's proof. For
+// obstructions, the bivalent walk continues forever (certified here up to
+// a depth bound); running the same walk against an algorithm that claims
+// to solve the scheme would exhibit the contradiction.
+package bivalency
+
+import (
+	"fmt"
+
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Factory produces fresh process pairs of the algorithm under analysis.
+type Factory func() (white, black sim.Process)
+
+// Valency is the outcome classification of a partial scenario.
+type Valency int
+
+// Valency values.
+const (
+	// Valent0: every completion within the horizon decides 0.
+	Valent0 Valency = iota
+	// Valent1: every completion within the horizon decides 1.
+	Valent1
+	// Bivalent: completions deciding 0 and deciding 1 both exist.
+	Bivalent
+	// Unknown: no completion within the horizon decides at all (the
+	// algorithm stalls, or the horizon is too small).
+	Unknown
+)
+
+// String implements fmt.Stringer.
+func (v Valency) String() string {
+	switch v {
+	case Valent0:
+		return "0-valent"
+	case Valent1:
+		return "1-valent"
+	case Bivalent:
+		return "bivalent"
+	default:
+		return "unknown"
+	}
+}
+
+// Analyzer explores an algorithm's executions against a scheme.
+type Analyzer struct {
+	factory Factory
+	scheme  *scheme.Scheme
+	inputs  [2]sim.Value
+	// Horizon bounds the exploration depth beyond the analyzed prefix.
+	Horizon int
+}
+
+// New builds an analyzer with the given exploration horizon.
+func New(f Factory, s *scheme.Scheme, inputs [2]sim.Value, horizon int) *Analyzer {
+	return &Analyzer{factory: f, scheme: s, inputs: inputs, Horizon: horizon}
+}
+
+// decisionUnder replays the algorithm under the full word and reports the
+// (agreeing) decision, ok=false when any process is undecided by the end.
+func (a *Analyzer) decisionUnder(w omission.Word) (sim.Value, bool) {
+	white, black := a.factory()
+	tr := sim.RunScenario(white, black, a.inputs, omission.WordSource(w.Clone()), w.Len())
+	if tr.DecisionRound[0] < 0 || tr.DecisionRound[1] < 0 {
+		return sim.None, false
+	}
+	return tr.Decisions[0], true
+}
+
+// Valency classifies the partial scenario v (which must be in Pref(L)) by
+// exploring all scheme-consistent completions up to the horizon.
+func (a *Analyzer) Valency(v omission.Word) Valency {
+	alphabet := omission.Gamma
+	if !a.scheme.OverGamma() {
+		alphabet = omission.Sigma
+	}
+	saw0, saw1 := false, false
+	var explore func(w omission.Word, depth int) bool // true = stop early (bivalent)
+	explore = func(w omission.Word, depth int) bool {
+		if d, ok := a.decisionUnder(w); ok {
+			if d == 0 {
+				saw0 = true
+			} else {
+				saw1 = true
+			}
+			return saw0 && saw1
+		}
+		if depth == a.Horizon {
+			return false
+		}
+		for _, l := range alphabet {
+			next := w.Append(l)
+			if !a.scheme.AcceptsPrefix(next) {
+				continue
+			}
+			if explore(next, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	explore(v, 0)
+	switch {
+	case saw0 && saw1:
+		return Bivalent
+	case saw0:
+		return Valent0
+	case saw1:
+		return Valent1
+	default:
+		return Unknown
+	}
+}
+
+// Decisive reports whether the bivalent prefix v is decisive: every
+// one-letter extension inside Pref(L) is univalent (Definition III.10).
+func (a *Analyzer) Decisive(v omission.Word) bool {
+	if a.Valency(v) != Bivalent {
+		return false
+	}
+	alphabet := omission.Gamma
+	if !a.scheme.OverGamma() {
+		alphabet = omission.Sigma
+	}
+	for _, l := range alphabet {
+		next := v.Append(l)
+		if !a.scheme.AcceptsPrefix(next) {
+			continue
+		}
+		if a.Valency(next) == Bivalent {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk extends bivalent prefixes from ε, preferring bivalent successors,
+// until it reaches a decisive prefix or the depth bound. It returns the
+// final prefix and whether it is decisive. (For a correct algorithm on a
+// solvable scheme the walk must end decisively — that is Lemma III.11;
+// on an obstruction the walk can be extended forever.)
+func (a *Analyzer) Walk(maxDepth int) (omission.Word, bool, error) {
+	v := omission.Epsilon()
+	if a.Valency(v) != Bivalent {
+		return nil, false, fmt.Errorf("bivalency: ε is not bivalent for inputs %v (choose distinct inputs)", a.inputs)
+	}
+	alphabet := omission.Gamma
+	if !a.scheme.OverGamma() {
+		alphabet = omission.Sigma
+	}
+	for depth := 0; depth < maxDepth; depth++ {
+		extended := false
+		for _, l := range alphabet {
+			next := v.Append(l)
+			if !a.scheme.AcceptsPrefix(next) {
+				continue
+			}
+			if a.Valency(next) == Bivalent {
+				v = next
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			// All extensions univalent: v is decisive.
+			return v, true, nil
+		}
+	}
+	return v, false, nil
+}

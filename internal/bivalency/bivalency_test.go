@@ -1,0 +1,158 @@
+package bivalency
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/consensus"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// boundedS1 builds the round-optimal bounded A_w for S1 (p = 2).
+func boundedS1(t *testing.T) (Factory, omission.Scenario, int) {
+	t.Helper()
+	res, err := classify.Classify(scheme.S1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness := consensus.BoundedWitness(res.MinRoundsWitness)
+	f := func() (sim.Process, sim.Process) {
+		return consensus.NewBoundedAW(witness, res.MinRounds), consensus.NewBoundedAW(witness, res.MinRounds)
+	}
+	return f, witness, res.MinRounds
+}
+
+// TestS1ValencyStructure maps Definition III.9/III.10 onto the bounded
+// A_w for S1 with inputs (0, 1): ε is bivalent, the letter committing to
+// the "White loses" world is 1-valent, the other two letters are
+// 0-valent — so ε itself is decisive.
+func TestS1ValencyStructure(t *testing.T) {
+	f, _, _ := boundedS1(t)
+	a := New(f, scheme.S1(), [2]sim.Value{0, 1}, 4)
+	if v := a.Valency(omission.Epsilon()); v != Bivalent {
+		t.Fatalf("ε valency = %v, want bivalent", v)
+	}
+	if v := a.Valency(omission.MustWord("w")); v != Valent1 {
+		t.Fatalf("valency(w) = %v, want 1-valent", v)
+	}
+	if v := a.Valency(omission.MustWord("b")); v != Valent0 {
+		t.Fatalf("valency(b) = %v, want 0-valent", v)
+	}
+	if v := a.Valency(omission.MustWord(".")); v != Valent0 {
+		t.Fatalf("valency(.) = %v, want 0-valent", v)
+	}
+	if !a.Decisive(omission.Epsilon()) {
+		t.Fatal("ε should be decisive (all extensions univalent)")
+	}
+	v, decisive, err := a.Walk(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decisive || v.Len() != 0 {
+		t.Fatalf("walk should stop decisively at ε, got %v (decisive=%v)", v, decisive)
+	}
+}
+
+// TestValidityForcesUnanimity: unanimous inputs make ε univalent at the
+// matching value — the validity half of the proof setup.
+func TestValidityForcesUnanimity(t *testing.T) {
+	f, _, _ := boundedS1(t)
+	if v := New(f, scheme.S1(), [2]sim.Value{0, 0}, 4).Valency(omission.Epsilon()); v != Valent0 {
+		t.Fatalf("unanimous-0 ε = %v", v)
+	}
+	if v := New(f, scheme.S1(), [2]sim.Value{1, 1}, 4).Valency(omission.Epsilon()); v != Valent1 {
+		t.Fatalf("unanimous-1 ε = %v", v)
+	}
+	// And the walk refuses to start from a univalent ε.
+	if _, _, err := New(f, scheme.S1(), [2]sim.Value{1, 1}, 4).Walk(4); err == nil {
+		t.Fatal("expected an error for univalent ε")
+	}
+}
+
+// TestAWbOmegaIsUnivalent documents a subtlety: A_{b^ω} on the almost-fair
+// scheme always decides Black's initial value (it IS the intuitive
+// algorithm: White adopts Black's value). With inputs (0, 1) every prefix
+// is therefore 1-valent — bivalence is a property of an algorithm, not of
+// the scheme.
+func TestAWbOmegaIsUnivalent(t *testing.T) {
+	f := func() (sim.Process, sim.Process) {
+		w := omission.MustScenario("(b)")
+		return consensus.NewAW(w), consensus.NewAW(w)
+	}
+	a := New(f, scheme.AlmostFair(), [2]sim.Value{0, 1}, 6)
+	for _, p := range []string{"", "b", "bb", ".", "w"} {
+		if v := a.Valency(omission.MustWord(p)); v != Valent1 {
+			t.Fatalf("valency(%q) = %v, want 1-valent", p, v)
+		}
+	}
+}
+
+// TestTotalAlgorithmFailsOnObstruction closes the impossibility loop: the
+// bounded A_w for S1 is a *total* 2-round algorithm, so running it on the
+// larger scheme Γ^ω must break consensus on some scenario — and it does,
+// exactly on the excluded word w0 used to build it.
+func TestTotalAlgorithmFailsOnObstruction(t *testing.T) {
+	f, witness, p := boundedS1(t)
+	violated := false
+	var bad omission.Word
+	for _, w := range omission.AllWords(omission.Gamma, p) {
+		white, black := f()
+		tr := sim.RunScenario(white, black, [2]sim.Value{0, 1}, omission.WordSource(w), p+1)
+		if rep := sim.Check(tr); !rep.OK() {
+			violated = true
+			bad = w
+			break
+		}
+	}
+	if !violated {
+		t.Fatal("a total algorithm cannot solve Γ^ω — a violation must exist")
+	}
+	// The violating scenario prefix is exactly the excluded word w0.
+	w0 := make(omission.Word, p)
+	for i := range w0 {
+		w0[i] = witness.At(i)
+	}
+	if !bad.Equal(w0) {
+		t.Logf("violation at %v (excluded word %v)", bad, w0)
+	}
+	// On its own scheme the same runs are all fine.
+	for _, w := range scheme.S1().AllPrefixes(p) {
+		white, black := f()
+		sc, ok := scheme.S1().ExtendToScenario(w)
+		if !ok {
+			continue
+		}
+		tr := sim.RunScenario(white, black, [2]sim.Value{0, 1}, sc, p+2)
+		if !sim.Check(tr).OK() {
+			t.Fatalf("bounded A_w failed on its own scheme at %v", w)
+		}
+	}
+}
+
+// TestUnknownValency: a never-deciding algorithm yields Unknown.
+func TestUnknownValency(t *testing.T) {
+	stall := func() (sim.Process, sim.Process) {
+		return &stubborn{}, &stubborn{}
+	}
+	a := New(stall, scheme.AlmostFair(), [2]sim.Value{0, 1}, 3)
+	if v := a.Valency(omission.Epsilon()); v != Unknown {
+		t.Fatalf("stalling algorithm valency = %v", v)
+	}
+	if a.Decisive(omission.Epsilon()) {
+		t.Fatal("unknown prefixes are not decisive")
+	}
+	for _, v := range []Valency{Valent0, Valent1, Bivalent, Unknown} {
+		if v.String() == "" {
+			t.Error("empty valency string")
+		}
+	}
+}
+
+type stubborn struct{}
+
+func (stubborn) Init(sim.ID, sim.Value)       {}
+func (stubborn) Send(int) (sim.Message, bool) { return sim.Value(0), true }
+func (stubborn) Receive(int, sim.Message)     {}
+func (stubborn) Decision() (sim.Value, bool)  { return sim.None, false }

@@ -1,0 +1,457 @@
+package buchi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// infinitelyOften returns a DBA over the given alphabet accepting words
+// containing the symbol sym infinitely often.
+func infinitelyOften(alphabet int, sym Symbol) *DBA {
+	d := &DBA{Alphabet: alphabet, Start: 0, Delta: make([][]State, 2), Accepting: []bool{false, true}}
+	for q := 0; q < 2; q++ {
+		row := make([]State, alphabet)
+		for a := 0; a < alphabet; a++ {
+			if a == sym {
+				row[a] = 1
+			} else {
+				row[a] = 0
+			}
+		}
+		d.Delta[q] = row
+	}
+	return d
+}
+
+// onlySymbols returns a safety DBA accepting words using only the given
+// symbols.
+func onlySymbols(alphabet int, allowed ...Symbol) *DBA {
+	ok := make([]bool, alphabet)
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	d := &DBA{Alphabet: alphabet, Start: 0, Delta: make([][]State, 2), Accepting: []bool{true, false}}
+	for q := 0; q < 2; q++ {
+		row := make([]State, alphabet)
+		for a := 0; a < alphabet; a++ {
+			if q == 0 && ok[a] {
+				row[a] = 0
+			} else {
+				row[a] = 1
+			}
+		}
+		d.Delta[q] = row
+	}
+	return d
+}
+
+func randomDBA(rng *rand.Rand, states, alphabet int) *DBA {
+	d := &DBA{
+		Alphabet:  alphabet,
+		Start:     rng.Intn(states),
+		Delta:     make([][]State, states),
+		Accepting: make([]bool, states),
+	}
+	for q := 0; q < states; q++ {
+		row := make([]State, alphabet)
+		for a := 0; a < alphabet; a++ {
+			row[a] = rng.Intn(states)
+		}
+		d.Delta[q] = row
+		d.Accepting[q] = rng.Intn(2) == 0
+	}
+	return d
+}
+
+func randomUP(rng *rand.Rand, alphabet int) (u, v []Symbol) {
+	u = make([]Symbol, rng.Intn(4))
+	v = make([]Symbol, 1+rng.Intn(4))
+	for i := range u {
+		u[i] = rng.Intn(alphabet)
+	}
+	for i := range v {
+		v[i] = rng.Intn(alphabet)
+	}
+	return u, v
+}
+
+func TestValidate(t *testing.T) {
+	if err := Universal(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := EmptyDBA(2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &DBA{Alphabet: 2, Start: 5, Delta: [][]State{{0, 0}}, Accepting: []bool{true}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range start must fail validation")
+	}
+	bad2 := &DBA{Alphabet: 2, Start: 0, Delta: [][]State{{0}}, Accepting: []bool{true}}
+	if bad2.Validate() == nil {
+		t.Error("incomplete DBA must fail validation")
+	}
+	if err := Universal(3).NBA().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (&NBA{Alphabet: 0}).Validate() == nil {
+		t.Error("empty alphabet NBA must fail validation")
+	}
+}
+
+func TestUniversalAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		u, v := randomUP(rng, 3)
+		if !Universal(3).AcceptsUP(u, v) {
+			t.Fatalf("Universal rejects %v(%v)", u, v)
+		}
+		if EmptyDBA(3).AcceptsUP(u, v) {
+			t.Fatalf("EmptyDBA accepts %v(%v)", u, v)
+		}
+	}
+}
+
+func TestInfinitelyOften(t *testing.T) {
+	d := infinitelyOften(2, 0)
+	cases := []struct {
+		u, v []Symbol
+		want bool
+	}{
+		{nil, []Symbol{0}, true},
+		{nil, []Symbol{1}, false},
+		{nil, []Symbol{0, 1}, true},
+		{[]Symbol{0, 0, 0}, []Symbol{1}, false},
+		{[]Symbol{1, 1}, []Symbol{0}, true},
+	}
+	for _, c := range cases {
+		if got := d.AcceptsUP(c.u, c.v); got != c.want {
+			t.Errorf("infOften(0).AcceptsUP(%v,%v) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestWordDBA(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		u, v := randomUP(rng, 3)
+		d := WordDBA(3, u, v)
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !d.AcceptsUP(u, v) {
+			t.Fatalf("WordDBA(%v,%v) rejects its own word", u, v)
+		}
+		// Shifted representation of the same ω-word must be accepted too.
+		u2 := append(append([]Symbol{}, u...), v...)
+		if !d.AcceptsUP(u2, v) {
+			t.Fatalf("WordDBA(%v,%v) rejects shifted form", u, v)
+		}
+		// A word differing in the first letter must be rejected.
+		w := append([]Symbol{}, u...)
+		first := v[0]
+		if len(w) > 0 {
+			first = w[0]
+		}
+		diff := (first + 1) % 3
+		if len(w) > 0 {
+			w[0] = diff
+			if d.AcceptsUP(w, v) {
+				t.Fatalf("WordDBA(%v,%v) accepts modified %v", u, v, w)
+			}
+		} else {
+			v2 := append([]Symbol{}, v...)
+			v2[0] = diff
+			if d.AcceptsUP(v2, v2) {
+				t.Fatalf("WordDBA(%v,%v) accepts modified period", u, v)
+			}
+		}
+		// NotWordDBA is the pointwise complement on up-words.
+		nd := NotWordDBA(3, u, v)
+		if nd.AcceptsUP(u, v) {
+			t.Fatal("NotWordDBA accepts the excluded word")
+		}
+		u3, v3 := randomUP(rng, 3)
+		if d.AcceptsUP(u3, v3) == nd.AcceptsUP(u3, v3) {
+			t.Fatalf("Word/NotWord disagree on %v(%v)", u3, v3)
+		}
+	}
+}
+
+// TestBooleanOpsRandom cross-validates Intersect, Union and Complement
+// against direct membership of random ultimately periodic words in random
+// DBAs.
+func TestBooleanOpsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		d := randomDBA(rng, 1+rng.Intn(5), 3)
+		e := randomDBA(rng, 1+rng.Intn(5), 3)
+		inter := d.Intersect(e)
+		union := d.Union(e)
+		comp := d.Complement()
+		if err := comp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			u, v := randomUP(rng, 3)
+			ind, ine := d.AcceptsUP(u, v), e.AcceptsUP(u, v)
+			if got := inter.AcceptsUP(u, v); got != (ind && ine) {
+				t.Fatalf("Intersect wrong on %v(%v): got %v, want %v&&%v", u, v, got, ind, ine)
+			}
+			if got := union.AcceptsUP(u, v); got != (ind || ine) {
+				t.Fatalf("Union wrong on %v(%v): got %v, want %v||%v", u, v, got, ind, ine)
+			}
+			if got := comp.AcceptsUP(u, v); got == ind {
+				t.Fatalf("Complement wrong on %v(%v): both %v", u, v, got)
+			}
+		}
+	}
+}
+
+func TestEmptinessAndLasso(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nonEmpty, empty := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		d := randomDBA(rng, 1+rng.Intn(6), 3)
+		n := d.NBA()
+		isEmpty, w := n.IsEmpty()
+		if isEmpty {
+			empty++
+			// No up-word should be accepted (spot check).
+			for i := 0; i < 20; i++ {
+				u, v := randomUP(rng, 3)
+				if d.AcceptsUP(u, v) {
+					t.Fatalf("IsEmpty=true but DBA accepts %v(%v)", u, v)
+				}
+			}
+		} else {
+			nonEmpty++
+			if w == nil || len(w.Loop) == 0 {
+				t.Fatal("non-empty without a usable lasso")
+			}
+			if !d.AcceptsUP(w.Stem, w.Loop) {
+				t.Fatalf("lasso witness %v(%v) rejected by the automaton", w.Stem, w.Loop)
+			}
+		}
+	}
+	if nonEmpty == 0 || empty == 0 {
+		t.Logf("coverage note: nonEmpty=%d empty=%d", nonEmpty, empty)
+	}
+}
+
+func TestNBAIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		d := randomDBA(rng, 1+rng.Intn(4), 2)
+		e := randomDBA(rng, 1+rng.Intn(4), 2)
+		ni := d.NBA().Intersect(e.NBA())
+		for i := 0; i < 20; i++ {
+			u, v := randomUP(rng, 2)
+			want := d.AcceptsUP(u, v) && e.AcceptsUP(u, v)
+			if got := ni.AcceptsUP(u, v); got != want {
+				t.Fatalf("NBA Intersect wrong on %v(%v)", u, v)
+			}
+		}
+	}
+}
+
+func TestComplementEmptiness(t *testing.T) {
+	// comp(Universal) = ∅; comp(∅) = Universal.
+	empty, _ := Universal(2).Complement().IsEmpty()
+	if !empty {
+		t.Error("complement of universal must be empty")
+	}
+	empty, w := EmptyDBA(2).Complement().IsEmpty()
+	if empty {
+		t.Error("complement of empty must be non-empty")
+	}
+	if w == nil {
+		t.Error("expected a witness")
+	}
+}
+
+func TestPrefixOracle(t *testing.T) {
+	// Language: infinitely many 0s AND only symbols {0,1} (over alphabet 3).
+	d := infinitelyOften(3, 0).Intersect(onlySymbols(3, 0, 1))
+	n := d.NBA()
+	if !n.AcceptsPrefix([]Symbol{0, 1, 1, 0}) {
+		t.Error("prefix 0110 should be accepted")
+	}
+	if n.AcceptsPrefix([]Symbol{0, 2}) {
+		t.Error("prefix containing 2 must be rejected")
+	}
+	o := n.NewPrefixOracle()
+	if !o.Live() {
+		t.Fatal("oracle dead at ε")
+	}
+	if !o.CanStep(1) || o.CanStep(2) {
+		t.Error("CanStep wrong at ε")
+	}
+	if !o.Step(1) || !o.Step(0) {
+		t.Error("steps 1,0 should stay live")
+	}
+	c := o.Clone()
+	if o.Step(2) {
+		t.Error("stepping on 2 must kill the oracle")
+	}
+	if o.Step(0) {
+		t.Error("dead oracle must stay dead")
+	}
+	if !c.Live() {
+		t.Error("clone must be unaffected")
+	}
+}
+
+func TestSamplePrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := infinitelyOften(3, 0).Intersect(onlySymbols(3, 0, 1))
+	n := d.NBA()
+	for i := 0; i < 30; i++ {
+		w, ok := n.SamplePrefix(rng, 12)
+		if !ok {
+			t.Fatal("sampling failed on non-empty language")
+		}
+		if len(w) != 12 {
+			t.Fatalf("sample has length %d", len(w))
+		}
+		for _, a := range w {
+			if a == 2 {
+				t.Fatalf("sample %v contains forbidden symbol", w)
+			}
+		}
+		if !n.AcceptsPrefix(w) {
+			t.Fatalf("sampled prefix %v not in prefix language", w)
+		}
+	}
+	if _, ok := EmptyDBA(2).NBA().SamplePrefix(rng, 3); ok {
+		t.Error("sampling from empty language must fail")
+	}
+}
+
+func TestDegeneralizeMatchesIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		d := randomDBA(rng, 1+rng.Intn(4), 2)
+		e := randomDBA(rng, 1+rng.Intn(4), 2)
+		// Build the raw product skeleton with two acceptance sets.
+		nd, ne := d.NumStates(), e.NumStates()
+		id := func(q1, q2 State) State { return q1*ne + q2 }
+		delta := make([][][]State, nd*ne)
+		setsA := make([]bool, nd*ne)
+		setsB := make([]bool, nd*ne)
+		for q1 := 0; q1 < nd; q1++ {
+			for q2 := 0; q2 < ne; q2++ {
+				rows := make([][]State, 2)
+				for a := 0; a < 2; a++ {
+					rows[a] = []State{id(d.Delta[q1][a], e.Delta[q2][a])}
+				}
+				delta[id(q1, q2)] = rows
+				setsA[id(q1, q2)] = d.Accepting[q1]
+				setsB[id(q1, q2)] = e.Accepting[q2]
+			}
+		}
+		gen := Degeneralize(2, nd*ne, []State{id(d.Start, e.Start)}, delta, [][]bool{setsA, setsB})
+		inter := d.Intersect(e)
+		for i := 0; i < 20; i++ {
+			u, v := randomUP(rng, 2)
+			if gen.AcceptsUP(u, v) != inter.AcceptsUP(u, v) {
+				t.Fatalf("Degeneralize disagrees with Intersect on %v(%v)", u, v)
+			}
+		}
+	}
+}
+
+func TestStepWord(t *testing.T) {
+	d := infinitelyOften(2, 0)
+	if d.StepWord([]Symbol{1, 1, 0}) != 1 {
+		t.Error("StepWord should land in the accepting state after a 0")
+	}
+	if d.StepWord(nil) != 0 {
+		t.Error("StepWord(ε) should stay at start")
+	}
+}
+
+func TestAcceptsUPPanicsOnEmptyPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Universal(2).AcceptsUP(nil, nil)
+}
+
+func TestTrimPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		d := randomDBA(rng, 2+rng.Intn(6), 2)
+		trimmed := d.Trim()
+		if err := trimmed.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 15; i++ {
+			u, v := randomUP(rng, 2)
+			if d.AcceptsUP(u, v) != trimmed.AcceptsUP(u, v) {
+				t.Fatalf("Trim changed the language on %v(%v)", u, v)
+			}
+		}
+	}
+}
+
+func TestMismatchedAlphabetsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { Universal(2).Intersect(Universal(3)) },
+		func() { Universal(2).Union(Universal(3)) },
+		func() { Universal(2).NBA().Intersect(Universal(3).NBA()) },
+		func() { WordDBA(2, nil, nil) },
+		func() { Degeneralize(2, 1, []State{0}, [][][]State{{nil, nil}}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCondensePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDBA(rng, 2+rng.Intn(8), 3)
+		c := d.Condense()
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c.NumStates() > d.NumStates()+1 {
+			t.Fatalf("Condense grew the automaton: %d -> %d", d.NumStates(), c.NumStates())
+		}
+		for i := 0; i < 20; i++ {
+			u, v := randomUP(rng, 3)
+			if d.AcceptsUP(u, v) != c.AcceptsUP(u, v) {
+				t.Fatalf("Condense changed the language on %v(%v)", u, v)
+			}
+		}
+		// At most one dead state remains.
+		live := c.NBA().LiveStates()
+		dead := 0
+		for _, ok := range live {
+			if !ok {
+				dead++
+			}
+		}
+		if dead > 1 {
+			t.Fatalf("%d dead states after Condense", dead)
+		}
+	}
+	// A fully-live automaton is returned trimmed but unmerged.
+	u := Universal(2)
+	if got := u.Condense(); got.NumStates() != 1 {
+		t.Errorf("Condense(universal) has %d states", got.NumStates())
+	}
+	// A fully-dead automaton collapses to the sink.
+	e := EmptyDBA(2)
+	if got := e.Condense(); got.NumStates() != 1 || got.Accepting[got.Start] {
+		t.Errorf("Condense(empty): %d states", got.NumStates())
+	}
+}

@@ -1,0 +1,430 @@
+package buchi
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NBA is a nondeterministic Büchi automaton. Missing transitions (empty
+// successor sets) are allowed and kill the run.
+type NBA struct {
+	Alphabet  int
+	Start     []State
+	Delta     [][][]State // Delta[q][a] = successor set (may be empty)
+	Accepting []bool
+}
+
+// NumStates returns the number of states.
+func (n *NBA) NumStates() int { return len(n.Delta) }
+
+// Validate checks internal consistency.
+func (n *NBA) Validate() error {
+	ns := n.NumStates()
+	if n.Alphabet <= 0 {
+		return fmt.Errorf("buchi: NBA alphabet size %d", n.Alphabet)
+	}
+	if len(n.Accepting) != ns {
+		return fmt.Errorf("buchi: NBA accepting vector has %d entries, want %d", len(n.Accepting), ns)
+	}
+	for _, s := range n.Start {
+		if s < 0 || s >= ns {
+			return fmt.Errorf("buchi: NBA start %d out of range", s)
+		}
+	}
+	for q, rows := range n.Delta {
+		if len(rows) != n.Alphabet {
+			return fmt.Errorf("buchi: NBA state %d has %d symbol rows, want %d", q, len(rows), n.Alphabet)
+		}
+		for a, succ := range rows {
+			for _, t := range succ {
+				if t < 0 || t >= ns {
+					return fmt.Errorf("buchi: NBA transition %d --%d--> %d out of range", q, a, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Lasso is a witness for non-emptiness: the ultimately periodic word
+// Stem·Loop^ω is accepted.
+type Lasso struct {
+	Stem []Symbol
+	Loop []Symbol
+}
+
+// IsEmpty reports whether L(n) = ∅; when non-empty it also returns a
+// lasso witness: a path from a start state to an accepting state f plus a
+// non-trivial cycle from f back to itself.
+func (n *NBA) IsEmpty() (empty bool, witness *Lasso) {
+	reach, stems := n.reachableWithPaths()
+	for f := range n.Delta {
+		if !reach[f] || !n.Accepting[f] {
+			continue
+		}
+		if cyc, ok := n.cycleThrough(f); ok {
+			return false, &Lasso{Stem: stems[f], Loop: cyc}
+		}
+	}
+	return true, nil
+}
+
+// reachableWithPaths BFSes from the start states, recording for each
+// reachable state one shortest input word leading to it.
+func (n *NBA) reachableWithPaths() (reach []bool, paths [][]Symbol) {
+	ns := n.NumStates()
+	reach = make([]bool, ns)
+	paths = make([][]Symbol, ns)
+	var queue []State
+	for _, s := range n.Start {
+		if !reach[s] {
+			reach[s] = true
+			paths[s] = []Symbol{}
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for a := 0; a < n.Alphabet; a++ {
+			for _, t := range n.Delta[q][a] {
+				if !reach[t] {
+					reach[t] = true
+					paths[t] = append(append([]Symbol{}, paths[q]...), a)
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	return reach, paths
+}
+
+// cycleThrough finds a non-trivial cycle f → … → f, returning its input
+// word.
+func (n *NBA) cycleThrough(f State) ([]Symbol, bool) {
+	ns := n.NumStates()
+	visited := make([]bool, ns)
+	paths := make([][]Symbol, ns)
+	var queue []State
+	// Seed with successors of f (ensures ≥ 1 step).
+	for a := 0; a < n.Alphabet; a++ {
+		for _, t := range n.Delta[f][a] {
+			if t == f {
+				return []Symbol{a}, true
+			}
+			if !visited[t] {
+				visited[t] = true
+				paths[t] = []Symbol{a}
+				queue = append(queue, t)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for a := 0; a < n.Alphabet; a++ {
+			for _, t := range n.Delta[q][a] {
+				if t == f {
+					return append(append([]Symbol{}, paths[q]...), a), true
+				}
+				if !visited[t] {
+					visited[t] = true
+					paths[t] = append(append([]Symbol{}, paths[q]...), a)
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// Intersect returns an NBA for L(n) ∩ L(m), using the source-state
+// round-robin degeneralization (see DBA.Intersect).
+func (n *NBA) Intersect(m *NBA) *NBA {
+	if n.Alphabet != m.Alphabet {
+		panic("buchi: Intersect with mismatched alphabets")
+	}
+	nn, nm := n.NumStates(), m.NumStates()
+	id := func(q1, q2 State, flag int) State { return (q1*nm+q2)*2 + flag }
+	total := nn * nm * 2
+	out := &NBA{
+		Alphabet:  n.Alphabet,
+		Delta:     make([][][]State, total),
+		Accepting: make([]bool, total),
+	}
+	for _, s1 := range n.Start {
+		for _, s2 := range m.Start {
+			out.Start = append(out.Start, id(s1, s2, 0))
+		}
+	}
+	for q1 := 0; q1 < nn; q1++ {
+		for q2 := 0; q2 < nm; q2++ {
+			for flag := 0; flag < 2; flag++ {
+				q := id(q1, q2, flag)
+				nf := flag
+				if flag == 0 && n.Accepting[q1] {
+					nf = 1
+				} else if flag == 1 && m.Accepting[q2] {
+					nf = 0
+				}
+				rows := make([][]State, n.Alphabet)
+				for a := 0; a < n.Alphabet; a++ {
+					for _, t1 := range n.Delta[q1][a] {
+						for _, t2 := range m.Delta[q2][a] {
+							rows[a] = append(rows[a], id(t1, t2, nf))
+						}
+					}
+				}
+				out.Delta[q] = rows
+				out.Accepting[q] = flag == 0 && n.Accepting[q1]
+			}
+		}
+	}
+	return out.Trim()
+}
+
+// Trim removes states unreachable from the start set.
+func (n *NBA) Trim() *NBA {
+	reach, _ := n.reachableWithPaths()
+	idx := make([]int, n.NumStates())
+	var order []State
+	for q, ok := range reach {
+		if ok {
+			idx[q] = len(order)
+			order = append(order, q)
+		} else {
+			idx[q] = -1
+		}
+	}
+	out := &NBA{
+		Alphabet:  n.Alphabet,
+		Delta:     make([][][]State, len(order)),
+		Accepting: make([]bool, len(order)),
+	}
+	for _, s := range n.Start {
+		out.Start = append(out.Start, idx[s])
+	}
+	for i, q := range order {
+		rows := make([][]State, n.Alphabet)
+		for a := 0; a < n.Alphabet; a++ {
+			for _, t := range n.Delta[q][a] {
+				if idx[t] >= 0 {
+					rows[a] = append(rows[a], idx[t])
+				}
+			}
+		}
+		out.Delta[i] = rows
+		out.Accepting[i] = n.Accepting[q]
+	}
+	return out
+}
+
+// AcceptsUP reports whether the NBA accepts u·v^ω, by intersecting with
+// the single-word DBA and testing emptiness.
+func (n *NBA) AcceptsUP(u, v []Symbol) bool {
+	word := WordDBA(n.Alphabet, u, v).NBA()
+	empty, _ := n.Intersect(word).IsEmpty()
+	return !empty
+}
+
+// LiveStates returns the set of states from which some accepting run
+// exists (i.e. that can reach an accepting state lying on a cycle).
+func (n *NBA) LiveStates() []bool {
+	ns := n.NumStates()
+	// anchors: accepting states on a non-trivial cycle.
+	live := make([]bool, ns)
+	for f := 0; f < ns; f++ {
+		if !n.Accepting[f] {
+			continue
+		}
+		if _, ok := n.cycleThrough(f); ok {
+			live[f] = true
+		}
+	}
+	// Backward closure: predecessors of live states are live.
+	changed := true
+	for changed {
+		changed = false
+		for q := 0; q < ns; q++ {
+			if live[q] {
+				continue
+			}
+			for a := 0; a < n.Alphabet && !live[q]; a++ {
+				for _, t := range n.Delta[q][a] {
+					if live[t] {
+						live[q] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return live
+}
+
+// AcceptsPrefix reports whether some ω-word in L(n) begins with the given
+// finite word: the subset construction run on the prefix must reach a live
+// state.
+func (n *NBA) AcceptsPrefix(word []Symbol) bool {
+	live := n.LiveStates()
+	return n.acceptsPrefixWithLive(word, live)
+}
+
+func (n *NBA) acceptsPrefixWithLive(word []Symbol, live []bool) bool {
+	cur := map[State]bool{}
+	for _, s := range n.Start {
+		cur[s] = true
+	}
+	for _, a := range word {
+		next := map[State]bool{}
+		for q := range cur {
+			for _, t := range n.Delta[q][a] {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for q := range cur {
+		if live[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// PrefixOracle returns a stateful oracle for incremental prefix queries;
+// it precomputes live states once and then supports O(|Δ|) steps.
+type PrefixOracle struct {
+	n    *NBA
+	live []bool
+	cur  map[State]bool
+}
+
+// NewPrefixOracle builds an oracle positioned at ε.
+func (n *NBA) NewPrefixOracle() *PrefixOracle {
+	o := &PrefixOracle{n: n, live: n.LiveStates(), cur: map[State]bool{}}
+	for _, s := range n.Start {
+		o.cur[s] = true
+	}
+	return o
+}
+
+// Step extends the prefix by one symbol; it returns false when no ω-word
+// of the language has the extended prefix (the oracle is then dead and
+// further Steps keep returning false).
+func (o *PrefixOracle) Step(a Symbol) bool {
+	next := map[State]bool{}
+	for q := range o.cur {
+		for _, t := range o.n.Delta[q][a] {
+			next[t] = true
+		}
+	}
+	o.cur = next
+	return o.Live()
+}
+
+// Live reports whether the current prefix extends to a word of the
+// language.
+func (o *PrefixOracle) Live() bool {
+	for q := range o.cur {
+		if o.live[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// CanStep reports whether appending a would keep the oracle live, without
+// moving it.
+func (o *PrefixOracle) CanStep(a Symbol) bool {
+	next := map[State]bool{}
+	for q := range o.cur {
+		for _, t := range o.n.Delta[q][a] {
+			next[t] = true
+		}
+	}
+	for q := range next {
+		if o.live[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the oracle (sharing the immutable
+// automaton and live set).
+func (o *PrefixOracle) Clone() *PrefixOracle {
+	cur := make(map[State]bool, len(o.cur))
+	for q := range o.cur {
+		cur[q] = true
+	}
+	return &PrefixOracle{n: o.n, live: o.live, cur: cur}
+}
+
+// SamplePrefix draws a uniform-ish random prefix of the given length from
+// the language, or ok=false when the language is empty. At each step a
+// uniformly random live-extending symbol is chosen.
+func (n *NBA) SamplePrefix(rng *rand.Rand, length int) (word []Symbol, ok bool) {
+	o := n.NewPrefixOracle()
+	if !o.Live() {
+		return nil, false
+	}
+	word = make([]Symbol, 0, length)
+	for i := 0; i < length; i++ {
+		var choices []Symbol
+		for a := 0; a < n.Alphabet; a++ {
+			if o.CanStep(a) {
+				choices = append(choices, a)
+			}
+		}
+		if len(choices) == 0 {
+			return nil, false
+		}
+		a := choices[rng.Intn(len(choices))]
+		o.Step(a)
+		word = append(word, a)
+	}
+	return word, true
+}
+
+// Degeneralize builds an NBA from a generalized Büchi skeleton with k
+// acceptance sets: states Q×{0..k−1}; the copy index advances when the
+// source state belongs to the set it waits for; accepting states are index
+// 0 members of set 0. All sets are visited infinitely often iff the index
+// cycles forever.
+func Degeneralize(alphabet int, numStates int, start []State, delta [][][]State, sets [][]bool) *NBA {
+	k := len(sets)
+	if k == 0 {
+		panic("buchi: Degeneralize with no acceptance sets")
+	}
+	id := func(q State, i int) State { return q*k + i }
+	out := &NBA{
+		Alphabet:  alphabet,
+		Delta:     make([][][]State, numStates*k),
+		Accepting: make([]bool, numStates*k),
+	}
+	for _, s := range start {
+		out.Start = append(out.Start, id(s, 0))
+	}
+	for q := 0; q < numStates; q++ {
+		for i := 0; i < k; i++ {
+			ni := i
+			if sets[i][q] {
+				ni = (i + 1) % k
+			}
+			rows := make([][]State, alphabet)
+			for a := 0; a < alphabet; a++ {
+				for _, t := range delta[q][a] {
+					rows[a] = append(rows[a], id(t, ni))
+				}
+			}
+			out.Delta[id(q, i)] = rows
+			out.Accepting[id(q, i)] = i == 0 && sets[0][q]
+		}
+	}
+	return out.Trim()
+}

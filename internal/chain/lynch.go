@@ -1,0 +1,72 @@
+package chain
+
+import (
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// AnalyzeLynch decides r-round solvability for the *weak-validity*
+// variant of the Coordinated Attack Problem used in Lynch's textbook
+// treatment (the paper's Related Works notes that [Lyn96] proves the
+// impossibility for this weaker problem):
+//
+//	Agreement: both processes decide the same value.
+//	Validity:  (a) if both inputs are 0, the decision is 0;
+//	           (b) if both inputs are 1 AND no message is lost, the
+//	               decision is 1.
+//
+// Weakening validity does not help: the all-deliveries configuration with
+// inputs (1,1) is chained to a unanimous-0 configuration through the
+// indistinguishability path, so Γ^ω remains unsolvable at every horizon —
+// Lynch's impossibility, derived from the same analysis.
+func AnalyzeLynch(s *scheme.Scheme, r int) Analysis {
+	configs := enumerate(s, r)
+	uf := newUnionFind(len(configs))
+	byViewW := map[int]int{}
+	byViewB := map[int]int{}
+	for i, c := range configs {
+		if j, ok := byViewW[c.viewW]; ok {
+			uf.union(i, j)
+		} else {
+			byViewW[c.viewW] = i
+		}
+		if j, ok := byViewB[c.viewB]; ok {
+			uf.union(i, j)
+		} else {
+			byViewB[c.viewB] = i
+		}
+	}
+	noLoss := omission.Uniform(omission.None, r)
+	type compInfo struct {
+		mustZero bool // contains a unanimous-0 configuration
+		mustOne  bool // contains the (no losses, inputs (1,1)) configuration
+	}
+	comps := map[int]*compInfo{}
+	for i, c := range configs {
+		root := uf.find(i)
+		ci := comps[root]
+		if ci == nil {
+			ci = &compInfo{}
+			comps[root] = ci
+		}
+		if c.inputs == [2]sim.Value{0, 0} {
+			ci.mustZero = true
+		}
+		if c.inputs == [2]sim.Value{1, 1} && c.word.Equal(noLoss) {
+			ci.mustOne = true
+		}
+	}
+	an := Analysis{Rounds: r, Configs: len(configs), Components: len(comps)}
+	for _, ci := range comps {
+		if ci.mustZero && ci.mustOne {
+			an.MixedComponents++
+		}
+	}
+	an.Solvable = an.MixedComponents == 0
+	return an
+}
+
+// SolvableLynchInRounds reports r-round solvability of the weak-validity
+// problem.
+func SolvableLynchInRounds(s *scheme.Scheme, r int) bool { return AnalyzeLynch(s, r).Solvable }

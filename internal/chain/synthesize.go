@@ -1,0 +1,223 @@
+package chain
+
+import (
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Synthesize compiles an r-round consensus algorithm for the scheme
+// directly out of the full-information analysis, when one exists: each
+// connected component of the indistinguishability graph gets a decision
+// value (forced by validity on components containing unanimous inputs),
+// and each process decides at round r by looking up its own view's
+// component. The synthesized algorithm is round-optimal by construction
+// (Corollary III.14) and — unlike A_w — applies to schemes outside Γ^ω,
+// including the double-omission schemes the paper leaves open.
+//
+// ok is false when the scheme is not r-round solvable.
+func Synthesize(s *scheme.Scheme, r int) (white, black sim.Process, ok bool) {
+	prog, ok := compile(s, r)
+	if !ok {
+		return nil, nil, false
+	}
+	return &synthesized{prog: prog}, &synthesized{prog: prog}, true
+}
+
+// program is the compiled decision structure shared by both processes.
+type program struct {
+	rounds int
+	// step maps (view id, received view id or -1) to the next view id;
+	// it is the interner's transition table restricted to reachable
+	// configurations.
+	step map[viewKey]int
+	// decide maps a process's final view id to its decision, separately
+	// per process identity: a white view can be structurally identical to
+	// a black view (hence share an interner id) while lying in a
+	// different component.
+	decide [2]map[int]sim.Value
+	// initView maps an input value to its initial view id.
+	initView [2]int
+}
+
+// compile runs the enumeration once and extracts the program.
+func compile(s *scheme.Scheme, r int) (*program, bool) {
+	alphabet := alphabetOf(s)
+	in := newInterner()
+	init0 := in.id(-10, -10)
+	init1 := in.id(-11, -11)
+	initView := func(v sim.Value) int {
+		if v == 0 {
+			return init0
+		}
+		return init1
+	}
+
+	var configs []config
+	var walk func(o *scheme.PrefixOracle, depth, vw, vb int, inputs [2]sim.Value)
+	walk = func(o *scheme.PrefixOracle, depth, vw, vb int, inputs [2]sim.Value) {
+		if depth == r {
+			configs = append(configs, config{viewW: vw, viewB: vb, inputs: inputs})
+			return
+		}
+		for _, a := range alphabet {
+			if !o.CanStep(a) {
+				continue
+			}
+			o2 := o.Clone()
+			o2.Step(a)
+			rw, rb := vb, vw
+			if a.LostBlack() {
+				rw = -1
+			}
+			if a.LostWhite() {
+				rb = -1
+			}
+			walk(o2, depth+1, in.id(vw, rw), in.id(vb, rb), inputs)
+		}
+	}
+	oracle := s.NewPrefixOracle()
+	for _, inputs := range sim.AllInputs() {
+		if oracle.Live() {
+			walk(oracle.Clone(), 0, initView(inputs[0]), initView(inputs[1]), inputs)
+		}
+	}
+
+	// Components over shared views.
+	uf := newUnionFind(len(configs))
+	byViewW := map[int]int{}
+	byViewB := map[int]int{}
+	for i, c := range configs {
+		if j, seen := byViewW[c.viewW]; seen {
+			uf.union(i, j)
+		} else {
+			byViewW[c.viewW] = i
+		}
+		if j, seen := byViewB[c.viewB]; seen {
+			uf.union(i, j)
+		} else {
+			byViewB[c.viewB] = i
+		}
+	}
+	type compInfo struct{ has0, has1 bool }
+	comps := map[int]*compInfo{}
+	for i, c := range configs {
+		root := uf.find(i)
+		ci := comps[root]
+		if ci == nil {
+			ci = &compInfo{}
+			comps[root] = ci
+		}
+		if c.inputs == [2]sim.Value{0, 0} {
+			ci.has0 = true
+		}
+		if c.inputs == [2]sim.Value{1, 1} {
+			ci.has1 = true
+		}
+	}
+	decisionOf := func(root int) (sim.Value, bool) {
+		ci := comps[root]
+		if ci.has0 && ci.has1 {
+			return sim.None, false
+		}
+		if ci.has1 {
+			return 1, true
+		}
+		// Components without unanimous-1 decide 0: every member then has
+		// a 0 among its inputs (a component cannot mix (1,1) with others
+		// unless has1, and any non-(1,1) config contains a 0).
+		return 0, true
+	}
+
+	prog := &program{
+		rounds:   r,
+		step:     map[viewKey]int{},
+		decide:   [2]map[int]sim.Value{{}, {}},
+		initView: [2]int{init0, init1},
+	}
+	for k, v := range in.m {
+		prog.step[k] = v
+	}
+	for i, c := range configs {
+		d, ok := decisionOf(uf.find(i))
+		if !ok {
+			return nil, false
+		}
+		prog.decide[sim.White][c.viewW] = d
+		prog.decide[sim.Black][c.viewB] = d
+	}
+	return prog, true
+}
+
+// SynthesisStats reports the compiled program's size for an r-round
+// synthesis: the number of view-transition entries and of final decision
+// entries. Used by the message/state-size experiments to contrast the
+// uniform A_w (whose per-round state is one O(r·log 3)-bit integer) with
+// the table-driven synthesized algorithm (whose tables grow with the
+// configuration space).
+func SynthesisStats(s *scheme.Scheme, r int) (transitions, decisions int, ok bool) {
+	prog, ok := compile(s, r)
+	if !ok {
+		return 0, 0, false
+	}
+	return len(prog.step), len(prog.decide[sim.White]) + len(prog.decide[sim.Black]), true
+}
+
+// synthesized is the runtime process: it tracks its view id by exchanging
+// view ids, then decides via the compiled table. Off-scheme executions
+// (view transitions never enumerated) leave it undecided.
+type synthesized struct {
+	prog     *program
+	id       sim.ID
+	view     int
+	broken   bool
+	decision sim.Value
+}
+
+// Init implements sim.Process.
+func (p *synthesized) Init(id sim.ID, input sim.Value) {
+	p.id = id
+	p.view = p.prog.initView[input&1]
+	p.broken = false
+	p.decision = sim.None
+}
+
+// Send implements sim.Process.
+func (p *synthesized) Send(r int) (sim.Message, bool) {
+	if p.decision != sim.None || p.broken {
+		return nil, p.decision == sim.None && !p.broken
+	}
+	return p.view, true
+}
+
+// Receive implements sim.Process.
+func (p *synthesized) Receive(r int, msg sim.Message) {
+	if p.broken || p.decision != sim.None {
+		return
+	}
+	recv := -1
+	if msg != nil {
+		recv = msg.(int)
+	}
+	next, ok := p.prog.step[viewKey{p.view, recv}]
+	if !ok {
+		p.broken = true
+		return
+	}
+	p.view = next
+	if r >= p.prog.rounds {
+		d, ok := p.prog.decide[p.id][p.view]
+		if !ok {
+			p.broken = true
+			return
+		}
+		p.decision = d
+	}
+}
+
+// Decision implements sim.Process.
+func (p *synthesized) Decision() (sim.Value, bool) {
+	if p.decision == sim.None {
+		return sim.None, false
+	}
+	return p.decision, true
+}

@@ -1,0 +1,114 @@
+package chain
+
+import (
+	"testing"
+
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// TestSynthesizeOnBoundedSchemes compiles algorithms for every scheme
+// with a finite round bound and validates them exhaustively at that bound.
+func TestSynthesizeOnBoundedSchemes(t *testing.T) {
+	cases := []struct {
+		s *scheme.Scheme
+		p int
+	}{
+		{scheme.S0(), 1},
+		{scheme.TWhite(), 1},
+		{scheme.TBlack(), 1},
+		{scheme.C1(), 2},
+		{scheme.S1(), 2},
+		{scheme.AtMostKLosses(0), 1},
+		{scheme.AtMostKLosses(1), 2},
+		{scheme.AtMostKLosses(2), 3},
+		{scheme.BlackoutBudget(0), 1},
+		{scheme.BlackoutBudget(1), 2},
+		{scheme.BlackoutBudget(2), 3},
+		{scheme.SigmaAtMostKLostMessages(1), 2},
+	}
+	for _, c := range cases {
+		// Not solvable any earlier.
+		if _, _, ok := Synthesize(c.s, c.p-1); ok {
+			t.Fatalf("%s: synthesized below the bound p=%d", c.s.Name(), c.p)
+		}
+		white, black, ok := Synthesize(c.s, c.p)
+		if !ok {
+			t.Fatalf("%s: synthesis failed at p=%d", c.s.Name(), c.p)
+		}
+		for _, prefix := range c.s.AllPrefixes(c.p) {
+			sc, ok := c.s.ExtendToScenario(prefix)
+			if !ok {
+				continue
+			}
+			for _, inputs := range sim.AllInputs() {
+				// Fresh processes each run (Init resets, but be explicit
+				// about sharing the compiled program).
+				tr := sim.RunScenario(white, black, inputs, sc, c.p+2)
+				rep := sim.Check(tr)
+				if !rep.OK() {
+					t.Fatalf("%s under %s inputs %v: %v (%s)", c.s.Name(), sc, inputs, rep.Violations, tr)
+				}
+				if tr.Rounds != c.p {
+					t.Fatalf("%s: synthesized algorithm decided at %d, want exactly %d", c.s.Name(), tr.Rounds, c.p)
+				}
+			}
+		}
+	}
+}
+
+// TestSynthesizeRefusesObstructions: no program exists for Γ^ω or Σ^ω at
+// any horizon.
+func TestSynthesizeRefusesObstructions(t *testing.T) {
+	for r := 0; r <= 4; r++ {
+		if _, _, ok := Synthesize(scheme.R1(), r); ok {
+			t.Fatalf("synthesized an algorithm for Γ^ω at r=%d", r)
+		}
+		if _, _, ok := Synthesize(scheme.S2(), r); ok {
+			t.Fatalf("synthesized an algorithm for Σ^ω at r=%d", r)
+		}
+	}
+}
+
+// TestSynthesizedOffScheme: under a scenario outside the scheme the
+// synthesized process stays undecided rather than deciding wrongly.
+func TestSynthesizedOffScheme(t *testing.T) {
+	white, black, ok := Synthesize(scheme.S0(), 1)
+	if !ok {
+		t.Fatal("synthesis failed")
+	}
+	// S0 promises no losses; play a loss.
+	tr := sim.RunScenario(white, black, [2]sim.Value{0, 1}, omission.Constant(omission.LossWhite), 3)
+	if !tr.TimedOut {
+		t.Fatalf("off-scheme run must not decide: %s", tr)
+	}
+}
+
+// TestSynthesizedMatchesBoundedAWRounds: on the Γ-schemes both the
+// synthesized program and the bounded A_w decide by the same optimal
+// round p (decisions themselves may differ; both satisfy consensus).
+func TestSynthesizedMatchesBoundedAWRounds(t *testing.T) {
+	s := scheme.S1()
+	const p = 2
+	white, black, ok := Synthesize(s, p)
+	if !ok {
+		t.Fatal("synthesis failed")
+	}
+	worst := 0
+	for _, prefix := range s.AllPrefixes(p) {
+		sc, ok := s.ExtendToScenario(prefix)
+		if !ok {
+			continue
+		}
+		for _, inputs := range sim.AllInputs() {
+			tr := sim.RunScenario(white, black, inputs, sc, p+2)
+			if tr.Rounds > worst {
+				worst = tr.Rounds
+			}
+		}
+	}
+	if worst != p {
+		t.Fatalf("synthesized worst round %d, want %d", worst, p)
+	}
+}

@@ -1,0 +1,451 @@
+package classify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+)
+
+func sc(s string) omission.Scenario { return omission.MustScenario(s) }
+
+func classifyOK(t *testing.T, s *scheme.Scheme) *Result {
+	t.Helper()
+	res, err := Classify(s)
+	if err != nil {
+		t.Fatalf("Classify(%s): %v", s.Name(), err)
+	}
+	return res
+}
+
+// TestSevenEnvironments pins the Section IV-A application results: the
+// solvability verdict and exact round complexity of each environment of
+// Section II-A2.
+func TestSevenEnvironments(t *testing.T) {
+	cases := []struct {
+		s         *scheme.Scheme
+		solvable  bool
+		minRounds int
+	}{
+		{scheme.S0(), true, 1},
+		{scheme.TWhite(), true, 1},
+		{scheme.TBlack(), true, 1},
+		{scheme.C1(), true, 2},
+		{scheme.S1(), true, 2},
+		{scheme.R1(), false, Unbounded},
+	}
+	for _, c := range cases {
+		res := classifyOK(t, c.s)
+		if res.Solvable != c.solvable {
+			t.Errorf("%s: solvable = %v, want %v", c.s.Name(), res.Solvable, c.solvable)
+		}
+		if res.MinRounds != c.minRounds {
+			t.Errorf("%s: MinRounds = %d, want %d", c.s.Name(), res.MinRounds, c.minRounds)
+		}
+		if !res.Complete {
+			t.Errorf("%s: should be a complete (Γ) characterization", c.s.Name())
+		}
+		if c.minRounds > 0 {
+			if res.MinRoundsWitness.Len() != c.minRounds {
+				t.Errorf("%s: witness length %d, want %d", c.s.Name(), res.MinRoundsWitness.Len(), c.minRounds)
+			}
+			if c.s.AcceptsPrefix(res.MinRoundsWitness) {
+				t.Errorf("%s: MinRounds witness %v is a prefix of the scheme", c.s.Name(), res.MinRoundsWitness)
+			}
+		}
+	}
+	// S2 is over Σ: the theorem decides it only via monotonicity.
+	res, err := Classify(scheme.S2())
+	if err != nil {
+		t.Fatalf("S2: %v", err)
+	}
+	if res.Complete || res.Solvable {
+		t.Errorf("S2 must be an (incomplete-characterization) obstruction; got complete=%v solvable=%v", res.Complete, res.Solvable)
+	}
+}
+
+func TestConditionsDetail(t *testing.T) {
+	// S0 misses both constants and fair scenarios and pairs.
+	res := classifyOK(t, scheme.S0())
+	if !res.WOmegaMissing || !res.BOmegaMissing || !res.FairMissing || !res.PairMissing {
+		t.Errorf("S0 conditions: %+v", res)
+	}
+	if res.WitnessCondition != CondWOmegaMissing {
+		t.Errorf("S0 witness condition = %v", res.WitnessCondition)
+	}
+	// TW contains w^ω but misses b^ω.
+	res = classifyOK(t, scheme.TWhite())
+	if res.WOmegaMissing || !res.BOmegaMissing {
+		t.Error("TW: (w)^ω ∈ TW and (b)^ω ∉ TW")
+	}
+	// C1 and S1 contain both constants and all unfair pairs are broken,
+	// but miss fair scenarios.
+	for _, s := range []*scheme.Scheme{scheme.C1(), scheme.S1()} {
+		res = classifyOK(t, s)
+		if res.WOmegaMissing || res.BOmegaMissing {
+			t.Errorf("%s contains both constants", s.Name())
+		}
+		if !res.FairMissing {
+			t.Errorf("%s must miss a fair scenario", s.Name())
+		}
+		if !res.FairWitness.IsFair() || s.Contains(res.FairWitness) {
+			t.Errorf("%s: bad fair witness %s", s.Name(), res.FairWitness)
+		}
+		if res.WitnessCondition != CondFairMissing {
+			t.Errorf("%s: witness condition %v", s.Name(), res.WitnessCondition)
+		}
+	}
+	// R1: nothing missing.
+	res = classifyOK(t, scheme.R1())
+	if res.WOmegaMissing || res.BOmegaMissing || res.FairMissing || res.PairMissing || res.HasWitness {
+		t.Errorf("R1: %+v", res)
+	}
+	if res.WitnessCondition != CondNone {
+		t.Error("R1 witness condition should be none")
+	}
+	// AlmostFair misses exactly (b)^ω.
+	res = classifyOK(t, scheme.AlmostFair())
+	if res.WOmegaMissing || !res.BOmegaMissing || res.FairMissing {
+		t.Errorf("AlmostFair: %+v", res)
+	}
+	if res.MinRounds != Unbounded {
+		t.Errorf("AlmostFair MinRounds = %d, want unbounded", res.MinRounds)
+	}
+	// Fair itself: solvable because constants are unfair.
+	res = classifyOK(t, scheme.Fair())
+	if !res.Solvable || !res.WOmegaMissing || !res.BOmegaMissing {
+		t.Errorf("Fair: %+v", res)
+	}
+	if res.FairMissing {
+		t.Error("Fair contains every fair scenario")
+	}
+	if !res.PairMissing {
+		t.Error("special pairs are unfair, hence outside Fair")
+	}
+	if res.MinRounds != Unbounded {
+		t.Error("Pref(Fair) = Γ*, so MinRounds must be unbounded")
+	}
+}
+
+// TestMinimalObstructionBoundary exercises the heart of Section IV-C:
+// removing a single non-constant unfair scenario from Γ^ω leaves an
+// obstruction, but removing its whole special pair makes it solvable.
+func TestMinimalObstructionBoundary(t *testing.T) {
+	u := sc("w(b)")
+	partner, ok := SpecialPartner(u)
+	if !ok {
+		t.Fatalf("no special partner for %s", u)
+	}
+	if !partner.Equal(sc(".(b)")) {
+		t.Fatalf("partner of w(b) = %s, want .(b)", partner)
+	}
+
+	oneGone := scheme.Minus("R1-u", scheme.R1(), u)
+	res := classifyOK(t, oneGone)
+	if res.Solvable {
+		t.Error("Γ^ω minus one non-constant unfair scenario must remain an obstruction")
+	}
+
+	bothGone := scheme.Minus("R1-pair", scheme.R1(), u, partner)
+	res = classifyOK(t, bothGone)
+	if !res.Solvable {
+		t.Fatal("Γ^ω minus a full special pair must be solvable")
+	}
+	if res.WitnessCondition != CondPairMissing {
+		t.Errorf("witness condition = %v, want special pair", res.WitnessCondition)
+	}
+	if !res.PairMissing {
+		t.Error("PairMissing must be set")
+	}
+	if !IsSpecialPair(res.Pair[0], res.Pair[1]) {
+		t.Errorf("extracted pair (%s, %s) is not special", res.Pair[0], res.Pair[1])
+	}
+	for _, p := range res.Pair {
+		if bothGone.Contains(p) {
+			t.Errorf("pair element %s still in the scheme", p)
+		}
+	}
+}
+
+// TestFairScenarioRemovalSolvable: Γ^ω minus a fair scenario is solvable
+// via condition (i).
+func TestFairScenarioRemovalSolvable(t *testing.T) {
+	l := scheme.Minus("R1-dot", scheme.R1(), sc("(.)"))
+	res := classifyOK(t, l)
+	if !res.Solvable || !res.FairMissing {
+		t.Fatalf("R1 minus (.) must be solvable via fair witness: %+v", res)
+	}
+	if res.WOmegaMissing || res.BOmegaMissing {
+		t.Error("constants still present")
+	}
+	if !res.FairWitness.Equal(sc("(.)")) && l.Contains(res.FairWitness) {
+		t.Errorf("fair witness %s must be outside L", res.FairWitness)
+	}
+	if res.WitnessCondition != CondFairMissing {
+		t.Errorf("witness condition %v", res.WitnessCondition)
+	}
+}
+
+func TestIsSpecialPair(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"w(b)", ".(b)", true},
+		{".(b)", "w(b)", true}, // symmetric
+		{"(b)", "(b)", false},  // equal words are not a pair
+		{"(w)", "(b)", false},
+		{"(w)", ".(w)", false},
+		{"(.)", ".(.)", false}, // equal ω-words, different representation
+		{"(wb)", "(bw)", false},
+		// After divergence the common tail letter is fixed by the lower
+		// word's parity: 'w' when ind(lower) is even, 'b' when odd.
+		{"ww(b)", "w.(b)", true},  // ind 8 / 7, lower odd ⇒ tail b
+		{"ww(w)", "w.(w)", false}, // wrong tail letter
+		{"bb(w)", "b.(w)", true},  // ind 0 / 1, lower even ⇒ tail w
+		{"bb(b)", "b.(b)", false},
+		{".w(b)", "..(b)", true}, // ind 3 / 4 boundary, lower odd
+		{".w(w)", "..(w)", false},
+	}
+	for _, c := range cases {
+		if got := IsSpecialPair(sc(c.a), sc(c.b)); got != c.want {
+			t.Errorf("IsSpecialPair(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Scenarios outside Γ are never special.
+	if IsSpecialPair(sc("(x)"), sc("(x)")) {
+		t.Error("x-scenarios cannot form special pairs")
+	}
+}
+
+func TestSpecialPartnerProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	found := 0
+	for i := 0; i < 200; i++ {
+		// Random unfair scenario u·a^ω with a ∈ {w, b}.
+		n := rng.Intn(5)
+		u := make(omission.Word, n)
+		for j := range u {
+			u[j] = omission.Gamma[rng.Intn(3)]
+		}
+		tail := omission.LossWhite
+		if rng.Intn(2) == 0 {
+			tail = omission.LossBlack
+		}
+		s := omission.UPWord(u, omission.Word{tail})
+		p, ok := SpecialPartner(s)
+		if !ok {
+			continue
+		}
+		found++
+		if !IsSpecialPair(s, p) {
+			t.Fatalf("SpecialPartner(%s) = %s not special", s, p)
+		}
+		// The partner's partner is the original.
+		pp, ok := SpecialPartner(p)
+		if !ok || !pp.Equal(s.Canonical()) {
+			t.Fatalf("partner not involutive: %s -> %s -> %s", s, p, pp)
+		}
+	}
+	if found < 20 {
+		t.Fatalf("only %d partners found; generator too weak", found)
+	}
+	// Constants have no partner (that is why III.8.iii/iv are separate
+	// conditions).
+	for _, s := range []string{"(w)", "(b)", "(.)"} {
+		if _, ok := SpecialPartner(sc(s)); ok {
+			t.Errorf("%s must have no special partner", s)
+		}
+	}
+	// Fair scenarios have no partner.
+	if _, ok := SpecialPartner(sc("(wb)")); ok {
+		t.Error("fair scenario cannot have a partner")
+	}
+}
+
+// TestRandomSchemesInternalConsistency fuzzes the classifier and checks
+// the witnesses it returns.
+func TestRandomSchemesInternalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	solvable, obstructions := 0, 0
+	for i := 0; i < 60; i++ {
+		s := scheme.Random(rng, 1+rng.Intn(4))
+		res := classifyOK(t, s)
+		if res.Solvable {
+			solvable++
+			if !res.HasWitness {
+				t.Fatalf("%s solvable without witness", s.Name())
+			}
+			if s.Contains(res.Witness) {
+				t.Fatalf("%s: witness %s is inside the scheme", s.Name(), res.Witness)
+			}
+			switch res.WitnessCondition {
+			case CondFairMissing:
+				if !res.Witness.IsFair() {
+					t.Fatalf("%s: fair witness %s is unfair", s.Name(), res.Witness)
+				}
+			case CondPairMissing:
+				if !IsSpecialPair(res.Pair[0], res.Pair[1]) {
+					t.Fatalf("%s: pair (%s,%s) not special", s.Name(), res.Pair[0], res.Pair[1])
+				}
+				if s.Contains(res.Pair[0]) || s.Contains(res.Pair[1]) {
+					t.Fatalf("%s: pair not fully outside scheme", s.Name())
+				}
+			}
+		} else {
+			obstructions++
+			// An obstruction must contain both constants and all fair
+			// scenarios (spot check a few) and both halves of spot-check
+			// special pairs.
+			if !s.Contains(sc("(w)")) || !s.Contains(sc("(b)")) {
+				t.Fatalf("%s: obstruction missing a constant", s.Name())
+			}
+			for _, f := range []string{"(.)", "(wb)", "(.w)", "(.b)", "(w.b)"} {
+				if !s.Contains(sc(f)) {
+					t.Fatalf("%s: obstruction missing fair scenario %s", s.Name(), f)
+				}
+			}
+			if !s.Contains(sc("w(b)")) || !s.Contains(sc(".(b)")) {
+				// At least one of each special pair must be present.
+				t.Fatalf("%s: obstruction missing both halves of a pair", s.Name())
+			}
+		}
+	}
+	t.Logf("fuzz: %d solvable, %d obstructions", solvable, obstructions)
+	if solvable == 0 || obstructions == 0 {
+		t.Log("warning: fuzz corpus one-sided")
+	}
+}
+
+func TestEmptySchemeIsSolvable(t *testing.T) {
+	empty := scheme.MustNew("∅", "", buchi.EmptyDBA(3))
+	res := classifyOK(t, empty)
+	if !res.Solvable || !res.WOmegaMissing || !res.BOmegaMissing {
+		t.Error("the empty scheme is (vacuously) solvable")
+	}
+	if res.MinRounds != 0 {
+		t.Errorf("empty scheme MinRounds = %d, want 0", res.MinRounds)
+	}
+}
+
+func TestSigmaSchemeErrors(t *testing.T) {
+	// A Σ-scheme whose Γ-restriction is solvable cannot be decided.
+	xOnly := scheme.MustNew("onlyX-ish", "x allowed anywhere", buchi.Universal(4))
+	// S2 restriction is Γ^ω: obstruction, fine (tested above). Now build a
+	// Σ-scheme with solvable restriction: {.,x}^ω.
+	d := buchi.Universal(4)
+	// states: 0 ok; build only-{.,x} automaton manually.
+	d = &buchi.DBA{
+		Alphabet: 4,
+		Start:    0,
+		Delta: [][]buchi.State{
+			{0, 1, 1, 0},
+			{1, 1, 1, 1},
+		},
+		Accepting: []bool{true, false},
+	}
+	dotX := scheme.MustNew("dotX", "{., x}^ω", d)
+	if _, err := Classify(dotX); err == nil {
+		t.Error("Σ-scheme with solvable Γ-restriction must return an error")
+	}
+	_ = xOnly
+	// But a Σ-scheme that is semantically ⊆ Γ^ω is fine.
+	wid := scheme.Widen(scheme.C1())
+	res, err := Classify(wid)
+	if err != nil {
+		t.Fatalf("widened C1: %v", err)
+	}
+	if !res.Complete || !res.Solvable || res.MinRounds != 2 {
+		t.Errorf("widened C1: %+v", res)
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	for c := CondNone; c <= CondPairMissing; c++ {
+		if c.String() == "" {
+			t.Error("empty condition string")
+		}
+	}
+	if Condition(42).String() == "" {
+		t.Error("unknown condition string")
+	}
+}
+
+// TestSolvabilityMonotone: solvability is downward closed under scheme
+// inclusion (an algorithm for L works for any L' ⊆ L), so classifying a
+// random intersection must be solvable whenever either factor is.
+func TestSolvabilityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		a := scheme.Random(rng, 1+rng.Intn(3))
+		b := scheme.Random(rng, 1+rng.Intn(3))
+		ra := classifyOK(t, a)
+		rb := classifyOK(t, b)
+		inter := scheme.Intersect("a∩b", a, b)
+		ri := classifyOK(t, inter)
+		if (ra.Solvable || rb.Solvable) && !ri.Solvable {
+			t.Fatalf("intersection of a solvable scheme became an obstruction (a=%v b=%v)", ra.Solvable, rb.Solvable)
+		}
+		union := scheme.Union("a∪b", a, b)
+		ru := classifyOK(t, union)
+		if ru.Solvable && (!ra.Solvable || !rb.Solvable) {
+			t.Fatalf("solvable union with an obstruction factor (a=%v b=%v)", ra.Solvable, rb.Solvable)
+		}
+		// MinRounds is antitone-ish under inclusion: a subset cannot need
+		// more rounds... (it can only have fewer prefixes, so its first
+		// missing length is ≤). Check p(inter) ≤ min(p(a), p(b)) treating
+		// Unbounded as +∞.
+		pi, pa, pb := ri.MinRounds, ra.MinRounds, rb.MinRounds
+		bound := pa
+		if pb != Unbounded && (bound == Unbounded || pb < bound) {
+			bound = pb
+		}
+		if bound != Unbounded && (pi == Unbounded || pi > bound) {
+			t.Fatalf("MinRounds not monotone: inter=%d, factors %d/%d", pi, pa, pb)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	cases := []struct {
+		s       *scheme.Scheme
+		markers []string
+	}{
+		{scheme.R1(), []string{"OBSTRUCTION", "Theorem III.8"}},
+		{scheme.S0(), []string{"SOLVABLE", "(w)^ω", "exactly 1 round"}},
+		{scheme.C1(), []string{"SOLVABLE", "fair scenario", "exactly 2 round"}},
+		{scheme.AlmostFair(), []string{"SOLVABLE", "(b)^ω", "no fixed round bound"}},
+		{scheme.Minus("pairless", scheme.R1(), sc("w(b)"), sc(".(b)")), []string{"special pair"}},
+	}
+	for _, c := range cases {
+		res, err := Classify(c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := Explain(res)
+		for _, m := range c.markers {
+			if !strings.Contains(text, m) {
+				t.Errorf("%s: missing %q in explanation:\n%s", c.s.Name(), m, text)
+			}
+		}
+	}
+	// Σ-schemes get the incompleteness note.
+	res, _ := Classify(scheme.S2())
+	if !strings.Contains(Explain(res), "double omissions") {
+		t.Error("Σ-scheme explanation")
+	}
+	if Explain(nil) != "no verdict" {
+		t.Error("nil explanation")
+	}
+	// Incomplete-but-solvable restriction branch (error path).
+	resBX, errBX := Classify(scheme.BlackoutBudget(1))
+	if errBX == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(Explain(resBX), "bounded-horizon analysis") {
+		t.Error("incomplete-solvable explanation")
+	}
+}

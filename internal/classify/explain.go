@@ -1,0 +1,55 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a Result as a short human-readable narrative tying each
+// Theorem III.8 condition to its consequence — the text a reader of the
+// paper would write down after running the decision procedure.
+func Explain(res *Result) string {
+	if res == nil {
+		return "no verdict"
+	}
+	var b strings.Builder
+	name := "the scheme"
+	if res.Scheme != nil {
+		name = res.Scheme.Name()
+	}
+	if !res.Complete {
+		fmt.Fprintf(&b, "%s uses double omissions, so Theorem III.8 does not characterize it exactly; ", name)
+		if !res.Solvable {
+			b.WriteString("however its Γ-restriction is already an obstruction, and obstructions are upward closed: the scheme is unsolvable.\n")
+			return b.String()
+		}
+		b.WriteString("only bounded-horizon analysis applies (see the chain package).\n")
+		return b.String()
+	}
+	if !res.Solvable {
+		fmt.Fprintf(&b, "%s is an OBSTRUCTION: every fair scenario belongs to it, both constant scenarios (w)^ω and (b)^ω belong to it, and no special pair lies entirely outside it. ", name)
+		b.WriteString("By Theorem III.8 no algorithm solves the Coordinated Attack Problem against this environment; ")
+		b.WriteString("operationally, the configurations of every horizon form indistinguishability chains joining unanimous-0 to unanimous-1 executions.\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s is SOLVABLE. ", name)
+	switch res.WitnessCondition {
+	case CondWOmegaMissing:
+		b.WriteString("The constant scenario (w)^ω — White's messages always lost — cannot happen (condition III.8.iii). ")
+	case CondBOmegaMissing:
+		b.WriteString("The constant scenario (b)^ω — Black's messages always lost — cannot happen (condition III.8.iv). ")
+	case CondFairMissing:
+		fmt.Fprintf(&b, "The fair scenario %s cannot happen (condition III.8.i). ", res.Witness)
+	case CondPairMissing:
+		fmt.Fprintf(&b, "The special pair (%s, %s) lies entirely outside the scheme (condition III.8.ii). ", res.Pair[0], res.Pair[1])
+	}
+	fmt.Fprintf(&b, "The algorithm A_w with excluded scenario w = %s solves consensus: ", res.Witness)
+	b.WriteString("each process tracks an integer index and halts as soon as its index drifts two away from ind(w_r), deciding by which side of ind(w_r) it landed on. ")
+	if res.MinRounds == Unbounded {
+		b.WriteString("Every finite word is a possible prefix of the environment, so no fixed round bound exists (Corollary III.14); termination time depends on how long the adversary tracks w.\n")
+	} else {
+		fmt.Fprintf(&b, "The word %s is impossible as a prefix, so by Proposition III.15 the bounded variant decides in exactly %d round(s) — and by Corollary III.14 no algorithm can do better.\n",
+			res.MinRoundsWitness, res.MinRounds)
+	}
+	return b.String()
+}

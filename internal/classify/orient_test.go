@@ -1,0 +1,59 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/scheme"
+)
+
+func TestOrientPair(t *testing.T) {
+	lower, upper := OrientPair(sc(".(b)"), sc("w(b)"))
+	if !lower.Equal(sc(".(b)")) || !upper.Equal(sc("w(b)")) {
+		t.Errorf("OrientPair = (%s, %s)", lower, upper)
+	}
+	// Argument order must not matter.
+	lower2, upper2 := OrientPair(sc("w(b)"), sc(".(b)"))
+	if !lower2.Equal(lower) || !upper2.Equal(upper) {
+		t.Errorf("OrientPair not symmetric: (%s, %s)", lower2, upper2)
+	}
+	lower, upper = OrientPair(sc("bb(w)"), sc("b.(w)"))
+	if !lower.Equal(sc("bb(w)")) || !upper.Equal(sc("b.(w)")) {
+		t.Errorf("OrientPair = (%s, %s)", lower, upper)
+	}
+	assertPanics(t, func() { OrientPair(sc("(w)"), sc("(b)")) })
+	assertPanics(t, func() { OrientPair(sc("(.)"), sc("(.)")) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestPairWitnessIsUpper documents the termination-critical orientation:
+// the classifier must return the pair member with the larger index as the
+// excluded scenario for A_w. (With the lower member, a straggler process
+// left at index distance +1 after its partner halts is carried along
+// forever, because the lower member's index advances by the maximal step
+// e = 2 every tail round.)
+func TestPairWitnessIsUpper(t *testing.T) {
+	l := scheme.Minus("R1-pair", scheme.R1(), sc("w(b)"), sc(".(b)"))
+	res, err := Classify(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WitnessCondition != CondPairMissing {
+		t.Fatalf("expected pair witness, got %v", res.WitnessCondition)
+	}
+	_, upper := OrientPair(res.Pair[0], res.Pair[1])
+	if !res.Witness.Equal(upper) {
+		t.Errorf("witness %s is not the upper pair member %s", res.Witness, upper)
+	}
+	if !res.Witness.Equal(sc("w(b)")) {
+		t.Errorf("witness %s, want w(b)", res.Witness)
+	}
+}

@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+
+	coordattack "repro"
+)
+
+// Capnet runs network consensus experiments (Section V).
+func Capnet(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capnet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("graph", "cycle", "cycle|path|complete|grid|hypercube|barbell|theta|wheel|star|petersen|tree|random|custom")
+	edges := fs.String("edges", "", `custom edge list for -graph custom, e.g. "0-1,1-2,2-0"`)
+	n := fs.Int("n", 6, "vertices (cycle/path/complete/random/wheel/star/tree)")
+	w := fs.Int("w", 3, "grid width")
+	h := fs.Int("h", 3, "grid height")
+	d := fs.Int("d", 3, "hypercube dimension")
+	k := fs.Int("k", 4, "barbell clique size")
+	bridges := fs.Int("bridges", 1, "barbell bridges / theta paths")
+	f := fs.Int("f", 1, "losses per round budget")
+	adversary := fs.String("adversary", "random", "random|targeted|cut|none")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var g *coordattack.Graph
+	switch *kind {
+	case "cycle":
+		g = coordattack.Cycle(*n)
+	case "path":
+		g = coordattack.PathGraph(*n)
+	case "complete":
+		g = coordattack.Complete(*n)
+	case "grid":
+		g = coordattack.Grid(*w, *h)
+	case "hypercube":
+		g = coordattack.Hypercube(*d)
+	case "barbell":
+		g = coordattack.Barbell(*k, *bridges)
+	case "theta":
+		g = coordattack.Theta(*bridges, 3)
+	case "wheel":
+		g = coordattack.Wheel(*n)
+	case "star":
+		g = coordattack.Star(*n)
+	case "petersen":
+		g = coordattack.Petersen()
+	case "tree":
+		g = coordattack.BinaryTree(*n)
+	case "random":
+		g = coordattack.RandomGraph(rand.New(rand.NewSource(*seed)), *n, 0.4)
+	case "custom":
+		var err error
+		g, err = coordattack.ParseEdgeList("custom", *edges)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "unknown graph %q\n", *kind)
+		return 2
+	}
+	if !g.Connected() {
+		fmt.Fprintln(stderr, "graph is disconnected; consensus is trivially unsolvable")
+		return 1
+	}
+
+	c := coordattack.EdgeConnectivity(g)
+	fmt.Fprintf(stdout, "graph %s: n=%d m=%d deg=%d c(G)=%d κ(G)=%d\n",
+		g.Name(), g.N(), g.NumEdges(), g.MinDegree(), c, coordattack.VertexConnectivity(g))
+	fmt.Fprintf(stdout, "Theorem V.1: consensus with f=%d losses/round solvable: %v (f < c(G): %v)\n",
+		*f, coordattack.NetworkSolvable(g, *f), *f < c)
+
+	cut, _ := coordattack.MinCut(g)
+	fmt.Fprintf(stdout, "minimum cut: %v | sides %v / %v\n", cut.CutEdges, cut.SideA, cut.SideB)
+
+	rng := rand.New(rand.NewSource(*seed))
+	inputs := make([]coordattack.Value, g.N())
+	if *adversary == "cut" {
+		// The crispest demonstration: put the minimum on the side whose
+		// outgoing cut messages the adversary silences.
+		for _, v := range cut.SideB {
+			inputs[v] = 1
+		}
+	} else {
+		for i := range inputs {
+			inputs[i] = coordattack.Value(rng.Intn(2))
+		}
+	}
+
+	var adv coordattack.NetAdversary
+	switch *adversary {
+	case "random":
+		adv = coordattack.RandomLossAdversary(*f, rng)
+	case "targeted":
+		adv = coordattack.TargetedCutAdversary(cut, *f)
+	case "cut":
+		adv = coordattack.CutAdversary(cut, coordattack.ConstantScenario(coordattack.LossWhite))
+	case "none":
+		adv = coordattack.NoDrops()
+	default:
+		fmt.Fprintf(stderr, "unknown adversary %q\n", *adversary)
+		return 2
+	}
+
+	tr := coordattack.RunNetwork(g, coordattack.NewFloodNodes(g), inputs, adv, g.N()+2)
+	rep := coordattack.CheckNetwork(tr)
+	fmt.Fprintf(stdout, "\nflooding: %s\nconsensus: %v", tr, rep.OK())
+	if !rep.OK() {
+		fmt.Fprintf(stdout, " %v", rep.Violations)
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}

@@ -1,0 +1,125 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	coordattack "repro"
+	"repro/internal/consensus"
+	"repro/internal/sim"
+)
+
+// Capsim runs a two-process Coordinated Attack simulation.
+func Capsim(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("scheme", "AlmostFair", "named scheme")
+	scenarioStr := fs.String("scenario", "", "scenario 'u(v)' to run under (must belong to the scheme)")
+	inputsStr := fs.String("inputs", "0,1", "initial values 'w,b'")
+	sample := fs.Int("sample", 0, "instead of -scenario: run this many sampled member scenarios")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	maxRounds := fs.Int("max-rounds", 200, "round cap")
+	concurrent := fs.Bool("concurrent", false, "use the goroutine/CSP runner")
+	verbose := fs.Bool("verbose", false, "print per-round A_w internals (indices, witness index)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s, err := coordattack.SchemeByName(*name)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	v, err := coordattack.Classify(s)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "scheme %s: solvable=%v witness=%s rounds=%s\n",
+		s.Name(), v.Solvable, witnessStr(v), roundsStr(v))
+	if !v.Solvable {
+		fmt.Fprintln(stdout, "obstruction: no algorithm exists; nothing to run")
+		return 1
+	}
+
+	var inputs [2]coordattack.Value
+	if _, err := fmt.Sscanf(strings.ReplaceAll(*inputsStr, ",", " "), "%d %d", &inputs[0], &inputs[1]); err != nil {
+		fmt.Fprintf(stderr, "bad -inputs %q: %v\n", *inputsStr, err)
+		return 1
+	}
+
+	var scenarios []coordattack.Scenario
+	if *scenarioStr != "" {
+		sc, err := coordattack.ParseScenario(*scenarioStr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if !s.Contains(sc) {
+			fmt.Fprintf(stderr, "warning: %s is not a member of %s — the run may not terminate\n", sc, s.Name())
+		}
+		scenarios = append(scenarios, sc)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		n := *sample
+		if n <= 0 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			sc, ok := s.SampleScenario(rng, rng.Intn(8))
+			if !ok {
+				fmt.Fprintln(stderr, "sampling failed: empty scheme")
+				return 1
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+
+	for _, sc := range scenarios {
+		var tr coordattack.Trace
+		if *verbose && v.HasWitness {
+			var infos []consensus.RoundInfo
+			tr, infos = consensus.TraceAW(v.Witness, [2]sim.Value{inputs[0], inputs[1]}, sc, *maxRounds)
+			fmt.Fprintf(stdout, "\nscenario %s (witness %s)\n", sc, v.Witness)
+			for _, ri := range infos {
+				fmt.Fprintf(stdout, "  %s\n", ri)
+			}
+		} else {
+			white, black, err := coordattack.NewAlgorithm(v)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			run := coordattack.Run
+			if *concurrent {
+				run = coordattack.RunConcurrent
+			}
+			tr = run(white, black, inputs, sc, *maxRounds)
+			fmt.Fprintf(stdout, "\nscenario %s\n", sc)
+		}
+		rep := coordattack.Check(tr)
+		fmt.Fprintf(stdout, "  %s\n  consensus: %v", tr, rep.OK())
+		if !rep.OK() {
+			fmt.Fprintf(stdout, " %v", rep.Violations)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func witnessStr(v *coordattack.Verdict) string {
+	if !v.HasWitness {
+		return "-"
+	}
+	return v.Witness.String()
+}
+
+func roundsStr(v *coordattack.Verdict) string {
+	if v.MinRounds == coordattack.Unbounded {
+		return "unbounded"
+	}
+	return fmt.Sprint(v.MinRounds)
+}

@@ -1,0 +1,183 @@
+// Package cli implements the logic of the repository's command-line tools
+// (capsolve, capsim, capnet, experiments) as testable functions: each
+// takes an argument vector and output writers and returns a process exit
+// code. The cmd/ mains are one-line wrappers.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	coordattack "repro"
+)
+
+type sliceFlag []string
+
+func (m *sliceFlag) String() string { return strings.Join(*m, ",") }
+func (m *sliceFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+// Capsolve classifies an omission scheme (Theorem III.8) and prints the
+// verdict, optionally with the bounded-horizon chain analysis and JSON
+// output.
+func Capsolve(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("scheme", "", "named scheme (see -list)")
+	expr := fs.String("expr", "", `scheme expression, e.g. "[.w]^w | [.b]^w" or "R1 \ {w(b)} \ {.(b)}"`)
+	list := fs.Bool("list", false, "list named schemes")
+	jsonOut := fs.Bool("json", false, "emit the verdict as JSON")
+	explain := fs.Bool("explain", false, "append a prose explanation of the verdict")
+	dot := fs.Bool("dot", false, "print the scheme's Büchi automaton in Graphviz DOT format and exit")
+	horizon := fs.Int("horizon", 0, "also run the bounded-round (chain) analysis up to this horizon — works for double-omission schemes too")
+	var minus sliceFlag
+	fs.Var(&minus, "minus", "remove an ultimately periodic scenario 'u(v)' (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, n := range coordattack.SchemeNames() {
+			s, _ := coordattack.SchemeByName(n)
+			fmt.Fprintf(stdout, "%-11s %s\n", n, s.Description())
+		}
+		return 0
+	}
+	if *name == "" && *expr == "" {
+		fs.Usage()
+		return 2
+	}
+	var s *coordattack.Scheme
+	var err error
+	if *expr != "" {
+		s, err = coordattack.ParseScheme(*expr)
+	} else {
+		s, err = coordattack.SchemeByName(*name)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(minus) > 0 {
+		scs := make([]coordattack.Scenario, len(minus))
+		for i, m := range minus {
+			sc, err := coordattack.ParseScenario(m)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			scs[i] = sc
+		}
+		s = coordattack.MinusScenarios(s.Name()+"-custom", s, scs...)
+	}
+
+	if *dot {
+		fmt.Fprint(stdout, coordattack.SchemeDOT(s))
+		return 0
+	}
+
+	v, err := coordattack.Classify(s)
+	if *jsonOut {
+		return emitJSON(stdout, stderr, s, v, err, *horizon)
+	}
+	fmt.Fprintf(stdout, "scheme:      %s (%s)\n", s.Name(), s.Description())
+	if err != nil {
+		fmt.Fprintf(stdout, "note:        %v\n", err)
+	}
+	if *horizon > 0 {
+		if p, ok := coordattack.MinRoundsSearch(s, *horizon); ok {
+			fmt.Fprintf(stdout, "chain:       bounded-round solvable from horizon %d\n", p)
+		} else {
+			fmt.Fprintf(stdout, "chain:       not bounded-round solvable up to horizon %d\n", *horizon)
+		}
+	}
+	if v == nil {
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(stdout, "solvable:    undecided by Theorem III.8 (use -horizon for the bounded analysis)\n")
+		return 0
+	}
+	fmt.Fprintf(stdout, "solvable:    %v\n", v.Solvable)
+	fmt.Fprintf(stdout, "conditions:  (i) fair missing=%v  (ii) pair missing=%v  (iii) (w)^ω missing=%v  (iv) (b)^ω missing=%v\n",
+		v.FairMissing, v.PairMissing, v.WOmegaMissing, v.BOmegaMissing)
+	if v.HasWitness {
+		fmt.Fprintf(stdout, "witness:     %s   [%s]\n", v.Witness, v.WitnessCondition)
+	}
+	if v.PairMissing {
+		fmt.Fprintf(stdout, "pair:        (%s, %s)\n", v.Pair[0], v.Pair[1])
+	}
+	if v.MinRounds == coordattack.Unbounded {
+		fmt.Fprintf(stdout, "rounds:      unbounded (Pref(L) = Γ*)\n")
+	} else {
+		fmt.Fprintf(stdout, "rounds:      exactly %d (witness word %s)\n", v.MinRounds, v.MinRoundsWitness)
+	}
+	if *explain {
+		fmt.Fprintf(stdout, "\n%s", coordattack.ExplainVerdict(v))
+	}
+	return 0
+}
+
+// jsonVerdict is the serializable verdict shape.
+type jsonVerdict struct {
+	Scheme        string                 `json:"scheme"`
+	Description   string                 `json:"description"`
+	Complete      bool                   `json:"complete"`
+	Solvable      *bool                  `json:"solvable,omitempty"`
+	Conditions    map[string]bool        `json:"conditions,omitempty"`
+	Witness       *coordattack.Scenario  `json:"witness,omitempty"`
+	Pair          []coordattack.Scenario `json:"pair,omitempty"`
+	MinRounds     *int                   `json:"minRounds,omitempty"`
+	ChainHorizon  *int                   `json:"chainFirstSolvableHorizon,omitempty"`
+	ChainSearched int                    `json:"chainHorizonSearched,omitempty"`
+	Note          string                 `json:"note,omitempty"`
+}
+
+func emitJSON(stdout, stderr io.Writer, s *coordattack.Scheme, v *coordattack.Verdict, classifyErr error, horizon int) int {
+	out := jsonVerdict{Scheme: s.Name(), Description: s.Description()}
+	if classifyErr != nil {
+		out.Note = classifyErr.Error()
+	}
+	if v != nil {
+		out.Complete = v.Complete
+		if classifyErr == nil {
+			sv := v.Solvable
+			out.Solvable = &sv
+			out.Conditions = map[string]bool{
+				"fairMissing":   v.FairMissing,
+				"pairMissing":   v.PairMissing,
+				"wOmegaMissing": v.WOmegaMissing,
+				"bOmegaMissing": v.BOmegaMissing,
+			}
+			if v.HasWitness {
+				w := v.Witness
+				out.Witness = &w
+			}
+			if v.PairMissing {
+				out.Pair = []coordattack.Scenario{v.Pair[0], v.Pair[1]}
+			}
+			if v.MinRounds != coordattack.Unbounded {
+				mr := v.MinRounds
+				out.MinRounds = &mr
+			}
+		}
+	}
+	if horizon > 0 {
+		out.ChainSearched = horizon
+		if p, ok := coordattack.MinRoundsSearch(s, horizon); ok {
+			out.ChainHorizon = &p
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,207 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runCmd runs one CLI entry point and returns (exit, stdout, stderr).
+func runCmd(t *testing.T, f func([]string, *bytes.Buffer, *bytes.Buffer) int, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := f(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func capsolve(args []string, out, errb *bytes.Buffer) int { return Capsolve(args, out, errb) }
+func capsim(args []string, out, errb *bytes.Buffer) int   { return Capsim(args, out, errb) }
+func capnet(args []string, out, errb *bytes.Buffer) int   { return Capnet(args, out, errb) }
+func capexp(args []string, out, errb *bytes.Buffer) int   { return Experiments(args, out, errb) }
+
+func TestCapsolveNamed(t *testing.T) {
+	code, out, _ := runCmd(t, capsolve, "-scheme", "S1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"solvable:    true", "fair missing=true", "rounds:      exactly 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCapsolveExprAndMinus(t *testing.T) {
+	code, out, _ := runCmd(t, capsolve, "-expr", `[.wb]^w \ {(b)}`)
+	if code != 0 || !strings.Contains(out, "solvable:    true") {
+		t.Fatalf("expr run: %d\n%s", code, out)
+	}
+	code, out, _ = runCmd(t, capsolve, "-scheme", "R1", "-minus", "w(b)", "-minus", ".(b)")
+	if code != 0 || !strings.Contains(out, "special pair") {
+		t.Fatalf("minus run: %d\n%s", code, out)
+	}
+	// Obstruction verdict.
+	code, out, _ = runCmd(t, capsolve, "-scheme", "R1")
+	if code != 0 || !strings.Contains(out, "solvable:    false") {
+		t.Fatalf("R1: %d\n%s", code, out)
+	}
+}
+
+func TestCapsolveJSON(t *testing.T) {
+	code, out, _ := runCmd(t, capsolve, "-scheme", "C1", "-json", "-horizon", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var v jsonVerdict
+	if err := json.Unmarshal([]byte(out), &v); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if v.Scheme != "C1" || v.Solvable == nil || !*v.Solvable || v.MinRounds == nil || *v.MinRounds != 2 {
+		t.Errorf("verdict: %+v", v)
+	}
+	if v.ChainHorizon == nil || *v.ChainHorizon != 2 {
+		t.Errorf("chain horizon: %+v", v.ChainHorizon)
+	}
+	if v.Witness == nil {
+		t.Error("missing witness")
+	}
+}
+
+func TestCapsolveList(t *testing.T) {
+	code, out, _ := runCmd(t, capsolve, "-list")
+	if code != 0 || !strings.Contains(out, "AlmostFair") || !strings.Contains(out, "BX2") {
+		t.Fatalf("list output:\n%s", out)
+	}
+}
+
+func TestCapsolveErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, capsolve); code != 2 {
+		t.Error("no args should be usage error")
+	}
+	if code, _, _ := runCmd(t, capsolve, "-scheme", "nope"); code != 1 {
+		t.Error("unknown scheme")
+	}
+	if code, _, _ := runCmd(t, capsolve, "-expr", "[["); code != 1 {
+		t.Error("bad expression")
+	}
+	if code, _, _ := runCmd(t, capsolve, "-scheme", "R1", "-minus", "((("); code != 1 {
+		t.Error("bad minus literal")
+	}
+	if code, _, _ := runCmd(t, capsolve, "-bogusflag"); code != 2 {
+		t.Error("bad flag")
+	}
+	// Σ-scheme: Theorem III.8 undecided, chain answers.
+	code, out, _ := runCmd(t, capsolve, "-scheme", "BX1", "-horizon", "4")
+	if code != 0 || !strings.Contains(out, "undecided by Theorem III.8") ||
+		!strings.Contains(out, "bounded-round solvable from horizon 2") {
+		t.Fatalf("BX1: %d\n%s", code, out)
+	}
+}
+
+func TestCapsimScenario(t *testing.T) {
+	code, out, _ := runCmd(t, capsim, "-scheme", "AlmostFair", "-scenario", "w.(.)", "-inputs", "0,1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "consensus: true") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Concurrent runner and sampling paths.
+	code, out, _ = runCmd(t, capsim, "-scheme", "C1", "-sample", "2", "-seed", "3", "-concurrent")
+	if code != 0 || strings.Count(out, "consensus: true") != 2 {
+		t.Fatalf("sampled run:\n%s", out)
+	}
+	// Verbose tracing.
+	code, out, _ = runCmd(t, capsim, "-scheme", "AlmostFair", "-scenario", "bb.(.)", "-verbose")
+	if code != 0 || !strings.Contains(out, "ind(w)=") {
+		t.Fatalf("verbose run:\n%s", out)
+	}
+}
+
+func TestCapsimErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, capsim, "-scheme", "nope"); code != 1 {
+		t.Error("unknown scheme")
+	}
+	if code, _, _ := runCmd(t, capsim, "-scheme", "R1"); code != 1 {
+		t.Error("obstruction cannot run")
+	}
+	if code, _, _ := runCmd(t, capsim, "-inputs", "zz"); code != 1 {
+		t.Error("bad inputs")
+	}
+	if code, _, _ := runCmd(t, capsim, "-scenario", "((("); code != 1 {
+		t.Error("bad scenario")
+	}
+	// Off-scheme scenario warns but runs (may time out).
+	code, _, errb := runCmd(t, capsim, "-scheme", "AlmostFair", "-scenario", "(b)", "-max-rounds", "10")
+	if code != 0 || !strings.Contains(errb, "not a member") {
+		t.Error("off-scheme warning expected")
+	}
+}
+
+func TestCapnetRuns(t *testing.T) {
+	code, out, _ := runCmd(t, capnet, "-graph", "barbell", "-k", "3", "-bridges", "1", "-f", "0", "-adversary", "none")
+	if code != 0 || !strings.Contains(out, "consensus: true") {
+		t.Fatalf("barbell run: %d\n%s", code, out)
+	}
+	code, out, _ = runCmd(t, capnet, "-graph", "cycle", "-n", "5", "-f", "1", "-adversary", "targeted")
+	if code != 0 || !strings.Contains(out, "solvable: true") {
+		t.Fatalf("cycle run:\n%s", out)
+	}
+	// The cut adversary at f = c(G) breaks agreement.
+	code, out, _ = runCmd(t, capnet, "-graph", "barbell", "-k", "3", "-bridges", "1", "-f", "1", "-adversary", "cut")
+	if code != 0 || !strings.Contains(out, "consensus: false") {
+		t.Fatalf("cut run:\n%s", out)
+	}
+	// Every named graph constructs.
+	for _, kind := range []string{"path", "complete", "grid", "hypercube", "theta", "wheel", "star", "petersen", "tree", "random"} {
+		if code, _, _ := runCmd(t, capnet, "-graph", kind, "-adversary", "none"); code != 0 {
+			t.Errorf("graph %s failed", kind)
+		}
+	}
+	// Custom topology.
+	code, out, _ = runCmd(t, capnet, "-graph", "custom", "-edges", "0-1,1-2,2-0", "-f", "1")
+	if code != 0 || !strings.Contains(out, "c(G)=2") {
+		t.Fatalf("custom run:\n%s", out)
+	}
+}
+
+func TestCapnetErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, capnet, "-graph", "bogus"); code != 2 {
+		t.Error("unknown graph")
+	}
+	if code, _, _ := runCmd(t, capnet, "-graph", "custom", "-edges", "zz"); code != 2 {
+		t.Error("bad edges")
+	}
+	if code, _, _ := runCmd(t, capnet, "-graph", "cycle", "-adversary", "bogus"); code != 2 {
+		t.Error("unknown adversary")
+	}
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	code, out, _ := runCmd(t, capexp, "-list")
+	if code != 0 || !strings.Contains(out, "fig1") || !strings.Contains(out, "nproc") {
+		t.Fatalf("list:\n%s", out)
+	}
+	code, out, _ = runCmd(t, capexp, "-run", "fig1")
+	if code != 0 || !strings.Contains(out, "ww    8") {
+		t.Fatalf("fig1:\n%s", out)
+	}
+	if code, _, _ := runCmd(t, capexp, "-run", "zzz"); code != 1 {
+		t.Error("unknown experiment")
+	}
+	if code, _, _ := runCmd(t, capexp); code != 2 {
+		t.Error("no mode is usage error")
+	}
+}
+
+func TestCapsolveExplainAndDot(t *testing.T) {
+	code, out, _ := runCmd(t, capsolve, "-scheme", "C1", "-explain")
+	if code != 0 || !strings.Contains(out, "SOLVABLE") || !strings.Contains(out, "fair scenario") {
+		t.Fatalf("explain:\n%s", out)
+	}
+	code, out, _ = runCmd(t, capsolve, "-scheme", "S1", "-dot")
+	if code != 0 || !strings.Contains(out, "digraph") || !strings.Contains(out, "doublecircle") {
+		t.Fatalf("dot:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// Experiments regenerates the paper's figures and tables.
+func Experiments(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiment names")
+	run := fs.String("run", "", "run a single experiment by name")
+	all := fs.Bool("all", false, "run every experiment in paper order")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", e.Name, e.Paper)
+		}
+	case *run != "":
+		e, err := experiments.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, e.Run())
+	case *all:
+		for _, e := range experiments.All() {
+			fmt.Fprintln(stdout, e.Run())
+		}
+	default:
+		fs.Usage()
+		return 2
+	}
+	return 0
+}

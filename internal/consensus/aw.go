@@ -1,0 +1,142 @@
+// Package consensus implements the two-process consensus algorithms of
+// Fevat & Godard: the generic algorithm A_w of Section III-D parameterized
+// by an excluded scenario w ∉ L, its exact-round-optimal bounded variant
+// (Proposition III.15), the folklore "intuitive" algorithm for the
+// almost-fair scheme (Corollary IV.1), and simple one-round baselines for
+// the trivially solvable environments.
+//
+// A_w in this repository's convention (δ(b) = −1, δ(.) = 0, δ(w) = +1;
+// white starts with index 0, black with 1):
+//
+//	each round: send (init, ind); receive msg;
+//	  if msg = null: ind ← 3·ind
+//	  else:          ind ← 2·msg.ind + ind, initOther ← msg.init
+//	run while |ind − ind(w_r)| ≤ 1;
+//	on halt: white decides init if ind ≤ ind(w_r), else initOther;
+//	         black decides init if ind > ind(w_r), else initOther.
+//
+// The invariant of Proposition III.12 (checked by tests at every round):
+// |ind_white − ind_black| = 1, sign(ind_black − ind_white) = (−1)^ind(v),
+// and ind(v) = min(ind_white, ind_black) for the actually-played prefix v.
+package consensus
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/omission"
+	"repro/internal/sim"
+)
+
+// AWMessage is the message type of Algorithm 1: the sender's initial value
+// and current index.
+type AWMessage struct {
+	Init sim.Value
+	Ind  *big.Int
+}
+
+// AW is the generic consensus algorithm A_w. The zero value is unusable;
+// construct with NewAW or NewBoundedAW. AW implements sim.Process.
+type AW struct {
+	excluded omission.Source
+	// forcedRound, when positive, additionally halts the algorithm at that
+	// round (Proposition III.15; requires the excluded scenario's prefix
+	// of that length to be outside Pref(L)).
+	forcedRound int
+
+	id        sim.ID
+	init      sim.Value
+	initOther sim.Value
+	ind       *big.Int
+	w         *omission.IndexTracker
+	halted    bool
+	decision  sim.Value
+	two       *big.Int // scratch
+}
+
+// NewAW builds A_w for the excluded scenario w (which must lie outside the
+// scheme the algorithm will face, and be a valid witness per Theorem
+// III.8: fair, a constant w^ω/b^ω, or half of a fully-excluded special
+// pair).
+func NewAW(excluded omission.Source) *AW {
+	return &AW{excluded: excluded}
+}
+
+// NewBoundedAW builds the Proposition III.15 variant that always halts by
+// round p: valid when the length-p prefix w0 of the excluded scenario
+// satisfies w0 ∉ Pref(L).
+func NewBoundedAW(excluded omission.Source, p int) *AW {
+	if p < 1 {
+		panic("consensus: bounded A_w needs p ≥ 1")
+	}
+	return &AW{excluded: excluded, forcedRound: p}
+}
+
+// Init implements sim.Process.
+func (a *AW) Init(id sim.ID, input sim.Value) {
+	a.id = id
+	a.init = input
+	a.initOther = sim.None
+	a.ind = big.NewInt(int64(id)) // white: 0, black: 1
+	a.w = omission.NewIndexTracker()
+	a.halted = false
+	a.decision = sim.None
+	a.two = big.NewInt(2)
+}
+
+// Send implements sim.Process.
+func (a *AW) Send(r int) (sim.Message, bool) {
+	if a.halted {
+		return nil, false
+	}
+	return AWMessage{Init: a.init, Ind: new(big.Int).Set(a.ind)}, true
+}
+
+// Receive implements sim.Process.
+func (a *AW) Receive(r int, msg sim.Message) {
+	if a.halted {
+		return
+	}
+	// Advance the excluded scenario's index to ind(w_r).
+	a.w.Step(a.excluded.At(r - 1))
+
+	if msg == nil {
+		a.ind.Mul(a.ind, big.NewInt(3))
+	} else {
+		m, ok := msg.(AWMessage)
+		if !ok {
+			panic(fmt.Sprintf("consensus: A_w received foreign message %T", msg))
+		}
+		a.initOther = m.Init
+		// ind ← 2·m.Ind + ind
+		t := new(big.Int).Mul(a.two, m.Ind)
+		a.ind.Add(t, a.ind)
+	}
+
+	diff := new(big.Int).Sub(a.ind, a.w.Peek())
+	far := diff.CmpAbs(a.two) >= 0
+	if far || (a.forcedRound > 0 && r >= a.forcedRound) {
+		a.halted = true
+		below := a.ind.Cmp(a.w.Peek()) <= 0
+		if (a.id == sim.White) == below {
+			a.decision = a.init
+		} else {
+			a.decision = a.initOther
+		}
+	}
+}
+
+// Decision implements sim.Process.
+func (a *AW) Decision() (sim.Value, bool) {
+	if a.decision == sim.None {
+		return sim.None, false
+	}
+	return a.decision, true
+}
+
+// Index returns a copy of the process's current index (exposed for the
+// Proposition III.12 invariant checks).
+func (a *AW) Index() *big.Int { return new(big.Int).Set(a.ind) }
+
+// Halted reports whether the process has stopped.
+func (a *AW) Halted() bool { return a.halted }

@@ -1,0 +1,69 @@
+package consensus
+
+import (
+	"repro/internal/sim"
+)
+
+// FirstCleanExchange solves consensus on the all-or-nothing channel
+// (scheme BlackoutBudget(k): every round either delivers both messages or
+// drops both, with at most k blackout rounds). The key property of the
+// channel is that a reception is common knowledge: if I received in round
+// r, the round's letter was '.', so my partner received too. Both
+// processes therefore decide min(own, received) at the first successful
+// exchange — at latest round k+1.
+//
+// This algorithm lives outside the Γ^ω regime of Theorem III.8 (double
+// omissions occur); its optimality (k+1 rounds, matching the chain
+// analysis lower bound) is established experimentally in the "beyond"
+// experiment.
+type FirstCleanExchange struct {
+	// Deadline, when positive, makes the process decide its own value at
+	// that round even without a clean exchange — only sound when the
+	// scheme guarantees a clean round by the deadline (it does: k+1).
+	Deadline int
+
+	init     sim.Value
+	decision sim.Value
+}
+
+// Init implements sim.Process.
+func (p *FirstCleanExchange) Init(_ sim.ID, input sim.Value) {
+	p.init = input
+	p.decision = sim.None
+}
+
+// Send implements sim.Process.
+func (p *FirstCleanExchange) Send(r int) (sim.Message, bool) {
+	if p.decision != sim.None {
+		return nil, false
+	}
+	return p.init, true
+}
+
+// Receive implements sim.Process.
+func (p *FirstCleanExchange) Receive(r int, msg sim.Message) {
+	if msg != nil {
+		other := msg.(sim.Value)
+		if other < p.init {
+			p.decision = other
+		} else {
+			p.decision = p.init
+		}
+		return
+	}
+	if p.Deadline > 0 && r >= p.Deadline {
+		// No clean round within the promised budget: the scheme promise
+		// is broken; deciding own value here is only safe because the
+		// scheme forbids this case. (Tests exercise the broken-promise
+		// path explicitly.)
+		p.decision = p.init
+	}
+}
+
+// Decision implements sim.Process.
+func (p *FirstCleanExchange) Decision() (sim.Value, bool) {
+	if p.decision == sim.None {
+		return sim.None, false
+	}
+	return p.decision, true
+}

@@ -1,0 +1,163 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// TestAtMostKLossesRoundBound: the classic f+1 bound falls out of
+// Corollary III.14 — at most k total losses ⇒ consensus in exactly k+1
+// rounds, achieved by the bounded A_w.
+func TestAtMostKLossesRoundBound(t *testing.T) {
+	for k := 0; k <= 3; k++ {
+		s := scheme.AtMostKLosses(k)
+		res, err := classify.Classify(s)
+		if err != nil || !res.Solvable {
+			t.Fatalf("K%d: %+v %v", k, res, err)
+		}
+		if res.MinRounds != k+1 {
+			t.Fatalf("K%d: MinRounds = %d, want k+1 = %d", k, res.MinRounds, k+1)
+		}
+		witness := BoundedWitness(res.MinRoundsWitness)
+		worst := 0
+		for _, prefix := range s.AllPrefixes(res.MinRounds) {
+			sc, ok := s.ExtendToScenario(prefix)
+			if !ok {
+				continue
+			}
+			for _, inputs := range sim.AllInputs() {
+				w := NewBoundedAW(witness, res.MinRounds)
+				b := NewBoundedAW(witness, res.MinRounds)
+				tr := sim.RunScenario(w, b, inputs, sc, res.MinRounds+3)
+				if rep := sim.Check(tr); !rep.OK() {
+					t.Fatalf("K%d under %s inputs %v: %v", k, sc, inputs, rep.Violations)
+				}
+				for _, dr := range tr.DecisionRound {
+					if dr > res.MinRounds {
+						t.Fatalf("K%d: decided at %d > %d", k, dr, res.MinRounds)
+					}
+					if dr > worst {
+						worst = dr
+					}
+				}
+			}
+		}
+		if worst != k+1 {
+			t.Errorf("K%d: worst decision round %d, want exactly %d", k, worst, k+1)
+		}
+	}
+}
+
+// TestFirstCleanExchange validates the all-or-nothing-channel algorithm
+// exhaustively on BlackoutBudget(k): all prefixes of {., x} words with
+// ≤ k blackouts, decisions by round k+1, min decided.
+func TestFirstCleanExchange(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		s := scheme.BlackoutBudget(k)
+		for _, prefix := range s.AllPrefixes(k + 1) {
+			sc, ok := s.ExtendToScenario(prefix)
+			if !ok {
+				continue
+			}
+			for _, inputs := range sim.AllInputs() {
+				w := &FirstCleanExchange{Deadline: k + 1}
+				b := &FirstCleanExchange{Deadline: k + 1}
+				tr := sim.RunScenario(w, b, inputs, sc, k+3)
+				rep := sim.Check(tr)
+				if !rep.OK() {
+					t.Fatalf("BX%d under %s inputs %v: %v", k, sc, inputs, rep.Violations)
+				}
+				min := inputs[0]
+				if inputs[1] < min {
+					min = inputs[1]
+				}
+				if tr.Decisions[0] != min {
+					t.Fatalf("BX%d: decided %v, want min %d", k, tr.Decisions, min)
+				}
+				for _, dr := range tr.DecisionRound {
+					if dr > k+1 {
+						t.Fatalf("BX%d: decided at round %d > k+1", k, dr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFirstCleanExchangeWorstCase: the all-blackout prefix forces exactly
+// k+1 rounds.
+func TestFirstCleanExchangeWorstCase(t *testing.T) {
+	const k = 3
+	sc := omission.UPWord(omission.Uniform(omission.LossBoth, k), omission.MustWord("."))
+	w := &FirstCleanExchange{Deadline: k + 1}
+	b := &FirstCleanExchange{Deadline: k + 1}
+	tr := sim.RunScenario(w, b, [2]sim.Value{1, 0}, sc, k+3)
+	if tr.Rounds != k+1 || tr.Decisions[0] != 0 {
+		t.Fatalf("worst case: %s", tr)
+	}
+}
+
+// TestFirstCleanExchangeBrokenPromise documents the deadline fallback:
+// outside the scheme (more blackouts than promised) the processes fall
+// back to their own values — termination holds, agreement need not.
+func TestFirstCleanExchangeBrokenPromise(t *testing.T) {
+	sc := omission.Constant(omission.LossBoth)
+	w := &FirstCleanExchange{Deadline: 2}
+	b := &FirstCleanExchange{Deadline: 2}
+	tr := sim.RunScenario(w, b, [2]sim.Value{0, 1}, sc, 5)
+	if tr.TimedOut {
+		t.Fatal("deadline must force termination")
+	}
+	if sim.Check(tr).Agreement {
+		t.Log("agreement held by luck of equal fallback values")
+	}
+	if tr.Decisions[0] != 0 || tr.Decisions[1] != 1 {
+		t.Fatalf("fallback decisions: %v", tr.Decisions)
+	}
+	// Without a deadline the processes simply never decide.
+	w2, b2 := &FirstCleanExchange{}, &FirstCleanExchange{}
+	tr = sim.RunScenario(w2, b2, [2]sim.Value{0, 1}, sc, 5)
+	if !tr.TimedOut {
+		t.Fatal("no deadline, no decision under eternal blackout")
+	}
+}
+
+// TestFirstCleanExchangeUnboundedBlackouts: without a deadline, the
+// clean-exchange algorithm solves the *unbudgeted* all-or-nothing channel
+// restricted to eventually-good scenarios ({., x} letters with infinitely
+// many '.'): a reception stays common knowledge no matter how many
+// blackouts precede it.
+func TestFirstCleanExchangeUnboundedBlackouts(t *testing.T) {
+	for _, pre := range []string{"", "x", "xx", "xxxxx", "x.x"} {
+		prefix := omission.MustWord(pre)
+		sc := omission.UPWord(prefix, omission.MustWord("x."))
+		for _, inputs := range sim.AllInputs() {
+			w, b := &FirstCleanExchange{}, &FirstCleanExchange{}
+			tr := sim.RunScenario(w, b, inputs, sc, len(prefix)+6)
+			if rep := sim.Check(tr); !rep.OK() {
+				t.Fatalf("under %s inputs %v: %v", sc, inputs, rep.Violations)
+			}
+		}
+	}
+}
+
+// TestFirstCleanExchangeUnsoundOnSingleOmissions documents why the
+// algorithm is specific to the all-or-nothing channel: a 'w' round
+// delivers to one side only, the receiver halts believing the exchange
+// was mutual, and its partner starves (termination breaks; with a
+// deadline it would be agreement instead).
+func TestFirstCleanExchangeUnsoundOnSingleOmissions(t *testing.T) {
+	w, b := &FirstCleanExchange{}, &FirstCleanExchange{}
+	tr := sim.RunScenario(w, b, [2]sim.Value{0, 0}, omission.MustScenario("w(.)"), 8)
+	rep := sim.Check(tr)
+	if rep.OK() {
+		t.Fatal("expected a violation on a single-omission scheme")
+	}
+	if rep.Terminated {
+		t.Fatalf("expected the starved partner to miss termination: %s", tr)
+	}
+}

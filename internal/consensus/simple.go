@@ -1,0 +1,225 @@
+package consensus
+
+import (
+	"math/big"
+
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// absDiffClamped returns |a − b| clamped into an int64.
+func absDiffClamped(a, b *omission.IndexTracker) int64 {
+	d := new(big.Int).Sub(a.Peek(), b.Peek())
+	d.Abs(d)
+	if !d.IsInt64() {
+		return 1 << 62
+	}
+	return d.Int64()
+}
+
+// Intuitive is the folklore algorithm of Corollary IV.1 for the
+// almost-fair scheme F̃ = Γ^ω \ {(b)^ω}:
+//
+//	White sends its initial value until it receives a message from Black;
+//	then it halts, outputting Black's initial value.
+//	Black sends its initial value until it receives no message from White;
+//	then it halts, outputting its own initial value.
+//
+// The paper shows this is exactly A_{b^ω}; tests assert trace equality.
+type Intuitive struct {
+	id       sim.ID
+	init     sim.Value
+	decision sim.Value
+}
+
+// Init implements sim.Process.
+func (p *Intuitive) Init(id sim.ID, input sim.Value) {
+	p.id = id
+	p.init = input
+	p.decision = sim.None
+}
+
+// Send implements sim.Process.
+func (p *Intuitive) Send(r int) (sim.Message, bool) {
+	if p.decision != sim.None {
+		return nil, false
+	}
+	return p.init, true
+}
+
+// Receive implements sim.Process.
+func (p *Intuitive) Receive(r int, msg sim.Message) {
+	switch p.id {
+	case sim.White:
+		if msg != nil {
+			p.decision = msg.(sim.Value) // adopt Black's value
+		}
+	case sim.Black:
+		if msg == nil {
+			p.decision = p.init // keep own value
+		}
+	}
+}
+
+// Decision implements sim.Process.
+func (p *Intuitive) Decision() (sim.Value, bool) {
+	if p.decision == sim.None {
+		return sim.None, false
+	}
+	return p.decision, true
+}
+
+// AdoptFrom is the one-round algorithm for the environments where one
+// process's messages are never lost (TW: Black's always arrive at White...
+// more precisely, source's messages always arrive at the other process):
+// everyone decides source's initial value after round 1. It solves TWhite
+// with source=Black (letter 'w' only drops White's messages) and TBlack
+// with source=White.
+type AdoptFrom struct {
+	Source sim.ID
+
+	id       sim.ID
+	init     sim.Value
+	decision sim.Value
+}
+
+// Init implements sim.Process.
+func (p *AdoptFrom) Init(id sim.ID, input sim.Value) {
+	p.id = id
+	p.init = input
+	p.decision = sim.None
+}
+
+// Send implements sim.Process.
+func (p *AdoptFrom) Send(r int) (sim.Message, bool) {
+	if p.decision != sim.None {
+		return nil, false
+	}
+	return p.init, true
+}
+
+// Receive implements sim.Process.
+func (p *AdoptFrom) Receive(r int, msg sim.Message) {
+	if p.id == p.Source {
+		p.decision = p.init
+		return
+	}
+	if msg != nil {
+		p.decision = msg.(sim.Value)
+	}
+	// If the message was lost the scheme promise is broken; stay undecided
+	// so the property checker reports non-termination rather than a wrong
+	// value.
+}
+
+// Decision implements sim.Process.
+func (p *AdoptFrom) Decision() (sim.Value, bool) {
+	if p.decision == sim.None {
+		return sim.None, false
+	}
+	return p.decision, true
+}
+
+// MinOnce is the one-round algorithm for S0 (no losses): exchange values
+// and decide the minimum.
+type MinOnce struct {
+	init     sim.Value
+	decision sim.Value
+}
+
+// Init implements sim.Process.
+func (p *MinOnce) Init(_ sim.ID, input sim.Value) {
+	p.init = input
+	p.decision = sim.None
+}
+
+// Send implements sim.Process.
+func (p *MinOnce) Send(r int) (sim.Message, bool) {
+	if p.decision != sim.None {
+		return nil, false
+	}
+	return p.init, true
+}
+
+// Receive implements sim.Process.
+func (p *MinOnce) Receive(r int, msg sim.Message) {
+	if msg == nil {
+		return // scheme promise broken; remain undecided
+	}
+	other := msg.(sim.Value)
+	if other < p.init {
+		p.decision = other
+	} else {
+		p.decision = p.init
+	}
+}
+
+// Decision implements sim.Process.
+func (p *MinOnce) Decision() (sim.Value, bool) {
+	if p.decision == sim.None {
+		return sim.None, false
+	}
+	return p.decision, true
+}
+
+// ForScheme constructs the pair of A_w processes appropriate for a scheme,
+// from a Theorem III.8 witness scenario, using the bounded variant when
+// the scheme admits a finite round bound p (Proposition III.15: the bound
+// requires a length-p word outside Pref(L); the witness passed in must
+// then extend that word — see BoundedWitness).
+func ForScheme(witness omission.Source, minRounds int) (white, black sim.Process) {
+	if minRounds > 0 {
+		return NewBoundedAW(witness, minRounds), NewBoundedAW(witness, minRounds)
+	}
+	return NewAW(witness), NewAW(witness)
+}
+
+// BoundedWitness turns a Corollary III.14 witness word w0 ∈ Γ^p \ Pref(L)
+// into the excluded scenario w0·(.)^ω used by the Proposition III.15
+// algorithm.
+func BoundedWitness(w0 omission.Word) omission.Scenario {
+	return omission.UPWord(w0, omission.Word{omission.None})
+}
+
+// WorstCaseAdversary plays, at every round, a letter that keeps the run's
+// index as close as possible to the excluded scenario's index while
+// staying inside the scheme's prefix language — the strategy that
+// maximizes A_w's running time. Ties prefer following the excluded
+// scenario's own letter.
+func WorstCaseAdversary(l *scheme.Scheme, excluded omission.Source) sim.Adversary {
+	oracle := l.NewPrefixOracle()
+	vInd := omission.NewIndexTracker()
+	wInd := omission.NewIndexTracker()
+	return sim.FuncAdversary(func(r int, _ omission.Word) omission.Letter {
+		wLetter := excluded.At(r - 1)
+		wInd.Step(wLetter)
+		type cand struct {
+			letter omission.Letter
+			diff   int64 // |ind(v·a) − ind(w_r)| clamped
+		}
+		best := cand{letter: omission.None, diff: 1 << 62}
+		found := false
+		for _, a := range omission.Gamma {
+			if !oracle.CanStep(a) {
+				continue
+			}
+			t := vInd.Clone()
+			t.Step(a)
+			d := absDiffClamped(t, wInd)
+			better := !found || d < best.diff || (d == best.diff && a == wLetter)
+			if better {
+				best = cand{letter: a, diff: d}
+				found = true
+			}
+		}
+		if !found {
+			// Scheme prefix exhausted (finite schemes): play the excluded
+			// letter; the simulation will have decided already.
+			best.letter = wLetter
+		}
+		oracle.Step(best.letter)
+		vInd.Step(best.letter)
+		return best.letter
+	})
+}

@@ -1,0 +1,127 @@
+package consensus
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/omission"
+	"repro/internal/sim"
+)
+
+// RoundInfo captures the internal state of one A_w round for debugging
+// and for the message-size experiments.
+type RoundInfo struct {
+	Round  int
+	Letter omission.Letter
+	// WitnessInd is ind(w_r) of the excluded scenario.
+	WitnessInd *big.Int
+	// IndWhite/IndBlack are the processes' indices after the round (nil
+	// once the process halted before the round).
+	IndWhite, IndBlack *big.Int
+	// BitsWhite/BitsBlack are the bit lengths of the index fields the
+	// processes sent this round (0 when silent) — A_w's message size
+	// grows linearly: ≈ r·log₂3 bits.
+	BitsWhite, BitsBlack int
+	HaltedWhite          bool
+	HaltedBlack          bool
+}
+
+// String implements fmt.Stringer.
+func (ri RoundInfo) String() string {
+	fmtInd := func(i *big.Int, halted bool) string {
+		if halted || i == nil {
+			return "halted"
+		}
+		return i.String()
+	}
+	return fmt.Sprintf("round %2d  letter %s  ind(w)=%s  white=%s  black=%s",
+		ri.Round, ri.Letter, ri.WitnessInd, fmtInd(ri.IndWhite, ri.HaltedWhite), fmtInd(ri.IndBlack, ri.HaltedBlack))
+}
+
+// TraceAW runs A_w under a scenario, recording per-round internals.
+func TraceAW(witness omission.Source, inputs [2]sim.Value, sc omission.Source, maxRounds int) (sim.Trace, []RoundInfo) {
+	white, black := NewAW(witness), NewAW(witness)
+	white.Init(sim.White, inputs[0])
+	black.Init(sim.Black, inputs[1])
+	tr := sim.Trace{Inputs: inputs, DecisionRound: [2]int{-1, -1}, Decisions: [2]sim.Value{sim.None, sim.None}}
+	wInd := omission.NewIndexTracker()
+	var infos []RoundInfo
+	for r := 1; r <= maxRounds; r++ {
+		letter := sc.At(r - 1)
+		tr.Played = append(tr.Played, letter)
+		tr.Rounds = r
+
+		wMsg, wOK := white.Send(r)
+		bMsg, bOK := black.Send(r)
+		info := RoundInfo{Round: r, Letter: letter, HaltedWhite: !wOK, HaltedBlack: !bOK}
+		if wOK {
+			info.BitsWhite = wMsg.(AWMessage).Ind.BitLen()
+		}
+		if bOK {
+			info.BitsBlack = bMsg.(AWMessage).Ind.BitLen()
+		}
+
+		if wOK {
+			tr.MessagesSent++
+		}
+		if bOK {
+			tr.MessagesSent++
+		}
+		var toW, toB sim.Message
+		if bOK && !letter.LostBlack() {
+			toW = bMsg
+			if wOK {
+				tr.MessagesDelivered++
+			}
+		}
+		if wOK && !letter.LostWhite() {
+			toB = wMsg
+			if bOK {
+				tr.MessagesDelivered++
+			}
+		}
+		if wOK {
+			white.Receive(r, toW)
+		}
+		if bOK {
+			black.Receive(r, toB)
+		}
+		wInd.Step(letter)
+		_ = wInd // the witness tracker inside each AW is authoritative
+
+		info.WitnessInd = witnessIndexAt(witness, r)
+		if wOK {
+			info.IndWhite = white.Index()
+		}
+		if bOK {
+			info.IndBlack = black.Index()
+		}
+		infos = append(infos, info)
+
+		done := true
+		for i, p := range []*AW{white, black} {
+			if tr.DecisionRound[i] < 0 {
+				if v, ok := p.Decision(); ok {
+					tr.Decisions[i] = v
+					tr.DecisionRound[i] = r
+				} else {
+					done = false
+				}
+			}
+		}
+		if done {
+			return tr, infos
+		}
+	}
+	tr.TimedOut = true
+	return tr, infos
+}
+
+// witnessIndexAt recomputes ind(w_r) for display.
+func witnessIndexAt(w omission.Source, r int) *big.Int {
+	t := omission.NewIndexTracker()
+	for i := 0; i < r; i++ {
+		t.Step(w.At(i))
+	}
+	return t.Value()
+}

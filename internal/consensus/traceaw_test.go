@@ -1,0 +1,108 @@
+package consensus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// TestTraceAWMatchesKernel: the instrumented runner must produce exactly
+// the kernel's trace, with internally consistent round infos.
+func TestTraceAWMatchesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	af := scheme.AlmostFair()
+	witness := omission.MustScenario("(b)")
+	for trial := 0; trial < 40; trial++ {
+		sc, ok := af.SampleScenario(rng, rng.Intn(8))
+		if !ok {
+			t.Fatal("sample")
+		}
+		for _, inputs := range sim.AllInputs() {
+			plain := sim.RunScenario(NewAW(witness), NewAW(witness), inputs, sc, 200)
+			traced, infos := TraceAW(witness, inputs, sc, 200)
+			if !plain.Equal(traced) {
+				t.Fatalf("traced run diverged:\n plain: %s\ntraced: %s", plain, traced)
+			}
+			if len(infos) != traced.Rounds {
+				t.Fatalf("%d infos for %d rounds", len(infos), traced.Rounds)
+			}
+			for i, ri := range infos {
+				if ri.Round != i+1 {
+					t.Fatalf("round numbering: %v", ri)
+				}
+				if ri.Letter != sc.At(i) {
+					t.Fatalf("letter mismatch at %d", i)
+				}
+				if ri.String() == "" || !strings.Contains(ri.String(), "ind(w)=") {
+					t.Fatalf("bad info string %q", ri.String())
+				}
+				// Witness index must match an independent computation.
+				want := omission.Index(omissionPrefix(witness, ri.Round))
+				if ri.WitnessInd.Cmp(want) != 0 {
+					t.Fatalf("witness index at round %d: %v vs %v", ri.Round, ri.WitnessInd, want)
+				}
+				// A silent process has no index/bits recorded.
+				if ri.HaltedWhite && (ri.IndWhite != nil || ri.BitsWhite != 0) {
+					t.Fatalf("halted white has state: %v", ri)
+				}
+				if ri.HaltedBlack && (ri.IndBlack != nil || ri.BitsBlack != 0) {
+					t.Fatalf("halted black has state: %v", ri)
+				}
+			}
+		}
+	}
+}
+
+func omissionPrefix(src omission.Source, n int) omission.Word {
+	w := make(omission.Word, n)
+	for i := range w {
+		w[i] = src.At(i)
+	}
+	return w
+}
+
+// TestTraceAWTimeout covers the non-terminating path.
+func TestTraceAWTimeout(t *testing.T) {
+	witness := omission.MustScenario("(b)")
+	tr, infos := TraceAW(witness, [2]sim.Value{0, 1}, witness, 15)
+	if !tr.TimedOut || len(infos) != 15 {
+		t.Fatalf("timeout trace: %s (%d infos)", tr, len(infos))
+	}
+	// Under the excluded scenario neither process halts.
+	for _, ri := range infos {
+		if ri.HaltedWhite || ri.HaltedBlack {
+			t.Fatalf("halt under the excluded scenario: %v", ri)
+		}
+	}
+	// And the String of a halted line renders "halted".
+	last := infos[len(infos)-1]
+	last.HaltedWhite = true
+	last.IndWhite = nil
+	if !strings.Contains(last.String(), "halted") {
+		t.Error("halted rendering")
+	}
+}
+
+// TestAWMultivaluedInputs: nothing in A_w is binary-specific — with
+// arbitrary integer inputs it still satisfies termination, agreement and
+// (input-subset) validity.
+func TestAWMultivaluedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	af := scheme.AlmostFair()
+	witness := omission.MustScenario("(b)")
+	for trial := 0; trial < 60; trial++ {
+		sc, ok := af.SampleScenario(rng, rng.Intn(8))
+		if !ok {
+			t.Fatal("sample")
+		}
+		inputs := [2]sim.Value{sim.Value(rng.Intn(1000)), sim.Value(rng.Intn(1000))}
+		tr := sim.RunScenario(NewAW(witness), NewAW(witness), inputs, sc, 300)
+		if rep := sim.Check(tr); !rep.OK() {
+			t.Fatalf("multivalued run failed under %s: %v", sc, rep.Violations)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package experiments regenerates every figure- and table-like result of
+// Fevat & Godard (IPDPS 2011) as printable reports. Each experiment is a
+// named function returning a self-contained text block; cmd/experiments
+// prints them and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is a named, self-contained reproduction unit.
+type Experiment struct {
+	// Name is the registry key (e.g. "fig1").
+	Name string
+	// Paper points at the figure/table/theorem being reproduced.
+	Paper string
+	// Run produces the report; it must be deterministic.
+	Run func() string
+}
+
+var registry []Experiment
+
+func register(name, paper string, run func() string) {
+	registry = append(registry, Experiment{Name: name, Paper: paper, Run: run})
+}
+
+// paperOrder fixes the presentation order (init order across files is
+// alphabetical by file name, not paper order).
+var paperOrder = []string{
+	"fig1", "index", "envs", "thm38", "prop312", "rounds",
+	"almostfair", "minimal", "chains", "network", "gammac",
+	// Extensions beyond the paper's published results.
+	"budget", "beyond", "growth", "early", "nproc", "msgsize", "dist", "ho", "floodlat",
+}
+
+// All returns the experiments in paper order (any unlisted experiments
+// follow in registration order).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	used := map[string]bool{}
+	for _, name := range paperOrder {
+		for _, e := range registry {
+			if e.Name == name {
+				out = append(out, e)
+				used[name] = true
+			}
+		}
+	}
+	for _, e := range registry {
+		if !used[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Names lists the experiment names in paper order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// ByName looks up one experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	sorted := append([]string(nil), Names()...)
+	sort.Strings(sorted)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", name, strings.Join(sorted, ", "))
+}
+
+// header formats a report title.
+func header(e string) string {
+	line := strings.Repeat("=", len(e))
+	return fmt.Sprintf("%s\n%s\n", e, line)
+}
+
+// table renders rows with aligned columns.
+func table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i := range r {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+package graph
+
+import "sort"
+
+// Cut is a minimum edge cut with its two sides, as in the 3-partition
+// (A, B, C) of the Theorem V.1 impossibility proof: CutEdges is C, and
+// SideA/SideB are the vertex sets whose induced subgraphs are connected
+// (guaranteed for minimum cuts of connected graphs).
+type Cut struct {
+	SideA, SideB []int
+	CutEdges     []Edge
+}
+
+// Size returns |C|.
+func (c Cut) Size() int { return len(c.CutEdges) }
+
+// AEnd returns the endpoint of cut edge e lying in SideA.
+func (c Cut) AEnd(e Edge) int {
+	for _, v := range c.SideA {
+		if v == e.U || v == e.V {
+			return v
+		}
+	}
+	return -1
+}
+
+// BEnd returns the endpoint of cut edge e lying in SideB.
+func (c Cut) BEnd(e Edge) int {
+	a := c.AEnd(e)
+	if a == e.U {
+		return e.V
+	}
+	return e.U
+}
+
+// InA reports whether vertex v belongs to SideA.
+func (c Cut) InA(v int) bool {
+	for _, u := range c.SideA {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeConnectivity returns c(G), the minimum number of edges whose removal
+// disconnects G (0 when G is already disconnected or has < 2 vertices).
+func (g *Graph) EdgeConnectivity() int {
+	cut, ok := g.MinCut()
+	if !ok {
+		return 0
+	}
+	return cut.Size()
+}
+
+// MinCut computes a global minimum edge cut via max-flow/min-cut: c(G) =
+// min over t ≠ 0 of maxflow(0, t) with unit capacities in both directions.
+// ok is false for graphs with fewer than 2 vertices. For a disconnected
+// graph it returns the empty cut with SideA = component(0).
+func (g *Graph) MinCut() (Cut, bool) {
+	if g.n < 2 {
+		return Cut{}, false
+	}
+	comp0 := g.component(0, nil)
+	if len(comp0) < g.n {
+		inA := map[int]bool{}
+		for _, v := range comp0 {
+			inA[v] = true
+		}
+		var rest []int
+		for v := 0; v < g.n; v++ {
+			if !inA[v] {
+				rest = append(rest, v)
+			}
+		}
+		return Cut{SideA: comp0, SideB: rest}, true
+	}
+	best := -1
+	var bestSide []bool
+	for t := 1; t < g.n; t++ {
+		flow, side := g.maxFlow(0, t)
+		if best < 0 || flow < best {
+			best = flow
+			bestSide = side
+		}
+	}
+	cut := Cut{}
+	for v := 0; v < g.n; v++ {
+		if bestSide[v] {
+			cut.SideA = append(cut.SideA, v)
+		} else {
+			cut.SideB = append(cut.SideB, v)
+		}
+	}
+	for _, e := range g.Edges() {
+		if bestSide[e.U] != bestSide[e.V] {
+			cut.CutEdges = append(cut.CutEdges, e)
+		}
+	}
+	return cut, true
+}
+
+// maxFlow runs Edmonds–Karp with unit capacities on the bidirected version
+// of g, returning the flow value and the source side of the induced
+// minimum s-t cut (residual-reachable set).
+func (g *Graph) maxFlow(s, t int) (int, []bool) {
+	// cap[u][v]: residual capacity.
+	capacity := make([]map[int]int, g.n)
+	for u := 0; u < g.n; u++ {
+		capacity[u] = map[int]int{}
+		for _, v := range g.adj[u] {
+			capacity[u][v] = 1
+		}
+	}
+	flow := 0
+	parent := make([]int, g.n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v, c := range capacity[u] {
+				if c > 0 && parent[v] < 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] < 0 {
+			break
+		}
+		// Unit capacities: augment by 1 along the path.
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			capacity[u][v]--
+			capacity[v][u]++
+		}
+		flow++
+	}
+	side := make([]bool, g.n)
+	seen := []int{s}
+	side[s] = true
+	for len(seen) > 0 {
+		u := seen[0]
+		seen = seen[1:]
+		for v, c := range capacity[u] {
+			if c > 0 && !side[v] {
+				side[v] = true
+				seen = append(seen, v)
+			}
+		}
+	}
+	return flow, side
+}
+
+// StoerWagner computes the global minimum cut value with the Stoer–Wagner
+// algorithm (unit weights), as an independent cross-check of the max-flow
+// computation. It returns 0 for disconnected graphs and -1 for graphs with
+// fewer than 2 vertices.
+func (g *Graph) StoerWagner() int {
+	n := g.n
+	if n < 2 {
+		return -1
+	}
+	w := make([][]int, n)
+	for i := range w {
+		w[i] = make([]int, n)
+	}
+	for _, e := range g.Edges() {
+		w[e.U][e.V]++
+		w[e.V][e.U]++
+	}
+	vertices := make([]int, n)
+	for i := range vertices {
+		vertices[i] = i
+	}
+	best := -1
+	for len(vertices) > 1 {
+		// Maximum adjacency order.
+		inA := map[int]bool{}
+		weights := map[int]int{}
+		order := make([]int, 0, len(vertices))
+		for len(order) < len(vertices) {
+			sel, selW := -1, -1
+			for _, v := range vertices {
+				if inA[v] {
+					continue
+				}
+				if weights[v] > selW {
+					sel, selW = v, weights[v]
+				}
+			}
+			inA[sel] = true
+			order = append(order, sel)
+			for _, v := range vertices {
+				if !inA[v] {
+					weights[v] += w[sel][v]
+				}
+			}
+		}
+		last := order[len(order)-1]
+		prev := order[len(order)-2]
+		cutOfPhase := 0
+		for _, v := range vertices {
+			if v != last {
+				cutOfPhase += w[last][v]
+			}
+		}
+		if best < 0 || cutOfPhase < best {
+			best = cutOfPhase
+		}
+		// Merge last into prev.
+		for _, v := range vertices {
+			if v != last && v != prev {
+				w[prev][v] += w[last][v]
+				w[v][prev] = w[prev][v]
+			}
+		}
+		idx := sort.SearchInts(vertices, last)
+		// vertices is kept sorted by construction (0..n-1 initially).
+		vertices = append(vertices[:idx], vertices[idx+1:]...)
+	}
+	return best
+}

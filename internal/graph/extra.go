@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Additional generators and analyses beyond the Theorem V.1 core:
+// classical named graphs for the experiment zoo, vertex connectivity for
+// comparison with edge connectivity (κ ≤ λ ≤ δ, Whitney's inequalities),
+// and an edge-list parser for CLI-supplied topologies.
+
+// Wheel returns W_n: a cycle of n−1 vertices plus a hub (c = 3 for n ≥ 5).
+func Wheel(n int) *Graph {
+	g := New(fmt.Sprintf("wheel-%d", n), n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		g.AddEdge(i, next)
+	}
+	return g
+}
+
+// Star returns K_{1,n−1} (c = 1).
+func Star(n int) *Graph {
+	g := New(fmt.Sprintf("star-%d", n), n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph (n = 10, 3-regular, c = 3).
+func Petersen() *Graph {
+	g := New("petersen", 10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.AddEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+// BinaryTree returns the complete binary tree with n vertices (c = 1).
+func BinaryTree(n int) *Graph {
+	g := New(fmt.Sprintf("bintree-%d", n), n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, (i-1)/2)
+	}
+	return g
+}
+
+// ParseEdgeList builds a graph from a comma-separated list of "a-b"
+// edges, e.g. "0-1,1-2,2-0". The vertex count is 1 + the largest index.
+func ParseEdgeList(name, list string) (*Graph, error) {
+	type pair struct{ a, b int }
+	var pairs []pair
+	maxV := -1
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ab := strings.SplitN(part, "-", 2)
+		if len(ab) != 2 {
+			return nil, fmt.Errorf("graph: bad edge %q (want a-b)", part)
+		}
+		a, err := strconv.Atoi(strings.TrimSpace(ab[0]))
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex in %q: %v", part, err)
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(ab[1]))
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex in %q: %v", part, err)
+		}
+		if a < 0 || b < 0 || a == b {
+			return nil, fmt.Errorf("graph: invalid edge %q", part)
+		}
+		pairs = append(pairs, pair{a, b})
+		if a > maxV {
+			maxV = a
+		}
+		if b > maxV {
+			maxV = b
+		}
+	}
+	if maxV < 0 {
+		return nil, fmt.Errorf("graph: empty edge list")
+	}
+	g := New(name, maxV+1)
+	for _, p := range pairs {
+		g.AddEdge(p.a, p.b)
+	}
+	return g, nil
+}
+
+// VertexConnectivity returns κ(G), the minimum number of vertices whose
+// removal disconnects G (or leaves a single vertex); n−1 for complete
+// graphs. Computed by max-flow on the split-vertex digraph between
+// non-adjacent pairs (and a fixed source against enough targets).
+func (g *Graph) VertexConnectivity() int {
+	n := g.n
+	if n < 2 {
+		return 0
+	}
+	if !g.Connected() {
+		return 0
+	}
+	complete := true
+	for v := 0; v < n && complete; v++ {
+		if g.Degree(v) != n-1 {
+			complete = false
+		}
+	}
+	if complete {
+		return n - 1
+	}
+	best := n - 1
+	// κ(G) = min over s and all t non-adjacent to s of vertex-maxflow(s,t),
+	// where s ranges over a dominating set; using vertex 0 and all
+	// neighbors of 0 as sources is the standard Even–Tarjan scheme.
+	sources := append([]int{0}, g.adj[0]...)
+	for _, s := range sources {
+		for t := 0; t < n; t++ {
+			if t == s || g.HasEdge(s, t) {
+				continue
+			}
+			if f := g.vertexMaxFlow(s, t); f < best {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+// vertexMaxFlow computes the maximum number of internally vertex-disjoint
+// s–t paths via unit-capacity node splitting.
+func (g *Graph) vertexMaxFlow(s, t int) int {
+	// Node v splits into v_in (2v) and v_out (2v+1); cap(v_in→v_out) = 1
+	// (∞ for s and t); each edge {u,v} gives u_out→v_in and v_out→u_in
+	// with capacity ∞ (here: a large constant, flows are ≤ n).
+	const inf = 1 << 20
+	n := g.n
+	capacity := make([]map[int]int, 2*n)
+	for i := range capacity {
+		capacity[i] = map[int]int{}
+	}
+	for v := 0; v < n; v++ {
+		c := 1
+		if v == s || v == t {
+			c = inf
+		}
+		capacity[2*v][2*v+1] = c
+	}
+	for _, e := range g.Edges() {
+		capacity[2*e.U+1][2*e.V] = inf
+		capacity[2*e.V+1][2*e.U] = inf
+	}
+	src, dst := 2*s+1, 2*t
+	flow := 0
+	parent := make([]int, 2*n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && parent[dst] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v, c := range capacity[u] {
+				if c > 0 && parent[v] < 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[dst] < 0 {
+			return flow
+		}
+		// Bottleneck along the path.
+		bottleneck := inf
+		for v := dst; v != src; v = parent[v] {
+			if c := capacity[parent[v]][v]; c < bottleneck {
+				bottleneck = c
+			}
+		}
+		for v := dst; v != src; v = parent[v] {
+			capacity[parent[v]][v] -= bottleneck
+			capacity[v][parent[v]] += bottleneck
+		}
+		flow += bottleneck
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtraGenerators(t *testing.T) {
+	cases := []struct {
+		g            *Graph
+		n, m         int
+		connectivity int
+		vertexConn   int
+	}{
+		{Wheel(6), 6, 10, 3, 3},
+		{Star(5), 5, 4, 1, 1},
+		{Petersen(), 10, 15, 3, 3},
+		{BinaryTree(7), 7, 6, 1, 1},
+		{Cycle(6), 6, 6, 2, 2},
+		{Complete(5), 5, 10, 4, 4},
+		{CompleteBipartite(2, 4), 6, 8, 2, 2},
+		{Barbell(4, 2), 8, 14, 2, 2},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n || c.g.NumEdges() != c.m {
+			t.Errorf("%s: n=%d m=%d, want %d/%d", c.g.Name(), c.g.N(), c.g.NumEdges(), c.n, c.m)
+		}
+		if !c.g.Connected() {
+			t.Errorf("%s: disconnected", c.g.Name())
+		}
+		if got := c.g.EdgeConnectivity(); got != c.connectivity {
+			t.Errorf("%s: λ = %d, want %d", c.g.Name(), got, c.connectivity)
+		}
+		if got := c.g.VertexConnectivity(); got != c.vertexConn {
+			t.Errorf("%s: κ = %d, want %d", c.g.Name(), got, c.vertexConn)
+		}
+	}
+}
+
+// TestWhitneyInequalities: κ(G) ≤ λ(G) ≤ δ(G) on random connected graphs.
+func TestWhitneyInequalities(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		g := Random(rng, 4+rng.Intn(6), 0.3+rng.Float64()*0.4)
+		k := g.VertexConnectivity()
+		l := g.EdgeConnectivity()
+		d := g.MinDegree()
+		if !(k <= l && l <= d) {
+			t.Fatalf("%s: κ=%d λ=%d δ=%d violates Whitney", g.Name(), k, l, d)
+		}
+		if k < 1 {
+			t.Fatalf("%s: connected graph with κ=%d", g.Name(), k)
+		}
+	}
+	// Degenerate cases.
+	if New("one", 1).VertexConnectivity() != 0 {
+		t.Error("κ of trivial graph")
+	}
+	disc := New("disc", 4)
+	disc.AddEdge(0, 1)
+	if disc.VertexConnectivity() != 0 {
+		t.Error("κ of disconnected graph")
+	}
+}
+
+// TestVertexVsEdgeGap: a graph where κ < λ — two cliques sharing
+// a single vertex have κ = 1 but λ = k−1.
+func TestVertexVsEdgeGap(t *testing.T) {
+	// Two K4s glued at vertex 0.
+	g := New("glued", 7)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	glue := []int{0, 4, 5, 6}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(glue[i], glue[j])
+		}
+	}
+	if k := g.VertexConnectivity(); k != 1 {
+		t.Errorf("κ(glued K4s) = %d, want 1", k)
+	}
+	if l := g.EdgeConnectivity(); l != 3 {
+		t.Errorf("λ(glued K4s) = %d, want 3", l)
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	g, err := ParseEdgeList("tri", "0-1, 1-2 ,2-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.NumEdges() != 3 || g.EdgeConnectivity() != 2 {
+		t.Errorf("triangle: n=%d m=%d λ=%d", g.N(), g.NumEdges(), g.EdgeConnectivity())
+	}
+	// Trailing commas and whitespace tolerated.
+	if _, err := ParseEdgeList("x", "0-1,"); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []string{"", "0", "a-b", "0-0", "-1-2", "0-1-2x"} {
+		if _, err := ParseEdgeList("bad", bad); err == nil {
+			t.Errorf("ParseEdgeList(%q) should fail", bad)
+		}
+	}
+}

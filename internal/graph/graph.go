@@ -1,0 +1,347 @@
+// Package graph provides the undirected-graph substrate for Section V of
+// Fevat & Godard: synchronous communication networks of arbitrary
+// topology. It implements the quantities the theorem speaks about — edge
+// connectivity c(G), minimum degree deg(G) — and extracts the minimum-cut
+// 3-partition (A, B, C) used in the impossibility proof of Theorem V.1,
+// where C is a minimum set of cut edges and the two sides induce connected
+// subgraphs.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// NewEdge normalizes the endpoint order.
+func NewEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("%d–%d", e.U, e.V) }
+
+// DirEdge is a directed edge (an individual message channel).
+type DirEdge struct{ From, To int }
+
+// String implements fmt.Stringer.
+func (e DirEdge) String() string { return fmt.Sprintf("%d→%d", e.From, e.To) }
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	name string
+	n    int
+	adj  [][]int
+	set  []map[int]bool
+}
+
+// New creates an empty graph with n vertices.
+func New(name string, n int) *Graph {
+	g := &Graph{name: name, n: n, adj: make([][]int, n), set: make([]map[int]bool, n)}
+	for i := range g.set {
+		g.set[i] = map[int]bool{}
+	}
+	return g
+}
+
+// Name returns the graph's label.
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {a, b}; loops and duplicates are
+// ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n || g.set[a][b] {
+		return
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.set[a][b] = true
+	g.set[b][a] = true
+}
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a < 0 || a >= g.n {
+		return false
+	}
+	return g.set[a][b]
+}
+
+// Neighbors returns the adjacency list of v (shared; treat as read-only).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges lists all undirected edges in sorted order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// MinDegree returns deg(G) = min over vertices of the degree (0 for the
+// empty graph).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	m := g.Degree(0)
+	for v := 1; v < g.n; v++ {
+		if d := g.Degree(v); d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return len(g.component(0, nil)) == g.n
+}
+
+// component BFSes from v, restricted to the allowed vertex set when
+// non-nil.
+func (g *Graph) component(v int, allowed map[int]bool) []int {
+	seen := map[int]bool{v: true}
+	queue := []int{v}
+	var out []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		out = append(out, u)
+		for _, w := range g.adj[u] {
+			if seen[w] || (allowed != nil && !allowed[w]) {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BFSDistances returns the distance from src to every vertex (-1 when
+// unreachable).
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the eccentricity maximum over the (assumed connected)
+// graph; -1 for disconnected graphs.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		for _, x := range g.BFSDistances(v) {
+			if x < 0 {
+				return -1
+			}
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.name, g.n)
+	for _, e := range g.Edges() {
+		c.AddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// --- Named generators -------------------------------------------------
+
+// Cycle returns C_n (c = 2, deg = 2).
+func Cycle(n int) *Graph {
+	g := New(fmt.Sprintf("cycle-%d", n), n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns P_n (c = 1).
+func Path(n int) *Graph {
+	g := New(fmt.Sprintf("path-%d", n), n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Complete returns K_n (c = n−1).
+func Complete(n int) *Graph {
+	g := New(fmt.Sprintf("complete-%d", n), n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} (c = min(a, b)).
+func CompleteBipartite(a, b int) *Graph {
+	g := New(fmt.Sprintf("K%d,%d", a, b), a+b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// Grid returns the w×h grid graph (c = 2 for w,h ≥ 2).
+func Grid(w, h int) *Graph {
+	g := New(fmt.Sprintf("grid-%dx%d", w, h), w*h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns Q_d (c = d).
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	g := New(fmt.Sprintf("hypercube-%d", d), n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			g.AddEdge(v, v^(1<<b))
+		}
+	}
+	return g
+}
+
+// Barbell returns two K_k cliques joined by `bridges` parallel-ish edges
+// between distinct vertex pairs: the canonical family with
+// c(G) = bridges < deg(G) = k−1 — the open regime of Santoro & Widmayer
+// that Theorem V.1 settles.
+func Barbell(k, bridges int) *Graph {
+	if bridges > k {
+		bridges = k
+	}
+	g := New(fmt.Sprintf("barbell-%d-%d", k, bridges), 2*k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(i, j)
+			g.AddEdge(k+i, k+j)
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		g.AddEdge(i, k+i)
+	}
+	return g
+}
+
+// Theta returns the theta graph: two hub vertices joined by `paths`
+// internally disjoint paths of the given length (clamped to ≥ 2). Internal
+// path vertices have degree 2, so c(G) = min(2, paths) even though the
+// hub-separating cut needs `paths` edges.
+func Theta(paths, length int) *Graph {
+	if length < 2 {
+		length = 2
+	}
+	n := 2 + paths*(length-1)
+	g := New(fmt.Sprintf("theta-%d-%d", paths, length), n)
+	next := 2
+	for p := 0; p < paths; p++ {
+		prev := 0
+		for s := 0; s < length-1; s++ {
+			g.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		g.AddEdge(prev, 1)
+	}
+	return g
+}
+
+// Random returns a connected G(n, p) sample (rejection sampling; it falls
+// back to a path skeleton plus random edges if luck runs out).
+func Random(rng *rand.Rand, n int, p float64) *Graph {
+	for attempt := 0; attempt < 50; attempt++ {
+		g := New(fmt.Sprintf("gnp-%d-%.2f", n, p), n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		if g.Connected() {
+			return g
+		}
+	}
+	g := Path(n)
+	g.name = fmt.Sprintf("gnp-fallback-%d-%.2f", n, p)
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}

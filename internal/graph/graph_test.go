@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	g := New("g", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // loop
+	g.AddEdge(0, 9) // out of range
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) || g.HasEdge(-1, 0) {
+		t.Error("HasEdge")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Error("Degree")
+	}
+	if g.MinDegree() != 0 {
+		t.Error("MinDegree with isolated vertex")
+	}
+	if g.Connected() {
+		t.Error("vertex 3 is isolated")
+	}
+	if NewEdge(3, 1) != (Edge{1, 3}) {
+		t.Error("NewEdge normalization")
+	}
+	if (Edge{1, 3}).String() == "" || (DirEdge{1, 3}).String() == "" {
+		t.Error("stringers")
+	}
+	c := g.Clone()
+	c.AddEdge(2, 3)
+	if g.HasEdge(2, 3) {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestGeneratorsShape(t *testing.T) {
+	cases := []struct {
+		g            *Graph
+		n, m         int
+		minDeg       int
+		connectivity int
+	}{
+		{Cycle(5), 5, 5, 2, 2},
+		{Path(5), 5, 4, 1, 1},
+		{Complete(5), 5, 10, 4, 4},
+		{CompleteBipartite(2, 3), 5, 6, 2, 2},
+		{Grid(3, 3), 9, 12, 2, 2},
+		{Hypercube(3), 8, 12, 3, 3},
+		{Barbell(4, 2), 8, 14, 3, 2},
+		{Barbell(5, 3), 10, 23, 4, 3},
+		{Theta(3, 3), 8, 9, 2, 2},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n {
+			t.Errorf("%s: N = %d, want %d", c.g.Name(), c.g.N(), c.n)
+		}
+		if c.g.NumEdges() != c.m {
+			t.Errorf("%s: edges = %d, want %d", c.g.Name(), c.g.NumEdges(), c.m)
+		}
+		if !c.g.Connected() {
+			t.Errorf("%s: not connected", c.g.Name())
+		}
+		if d := c.g.MinDegree(); d != c.minDeg {
+			t.Errorf("%s: minDeg = %d, want %d", c.g.Name(), d, c.minDeg)
+		}
+		if k := c.g.EdgeConnectivity(); k != c.connectivity {
+			t.Errorf("%s: c(G) = %d, want %d", c.g.Name(), k, c.connectivity)
+		}
+	}
+}
+
+// TestBarbellOpenRegime: the barbell family realizes c(G) < deg(G), the
+// regime left open by Santoro–Widmayer that Theorem V.1 settles.
+func TestBarbellOpenRegime(t *testing.T) {
+	for k := 3; k <= 6; k++ {
+		for b := 1; b < k-1; b++ {
+			g := Barbell(k, b)
+			if c, d := g.EdgeConnectivity(), g.MinDegree(); !(c < d) {
+				t.Errorf("barbell(%d,%d): c=%d deg=%d, want c < deg", k, b, c, d)
+			}
+		}
+	}
+}
+
+func TestMinCutStructure(t *testing.T) {
+	for _, g := range []*Graph{Cycle(6), Path(4), Barbell(4, 2), Grid(3, 3), Theta(3, 4), Complete(5)} {
+		cut, ok := g.MinCut()
+		if !ok {
+			t.Fatalf("%s: MinCut failed", g.Name())
+		}
+		if cut.Size() != g.EdgeConnectivity() {
+			t.Fatalf("%s: inconsistent cut size", g.Name())
+		}
+		if len(cut.SideA)+len(cut.SideB) != g.N() || len(cut.SideA) == 0 || len(cut.SideB) == 0 {
+			t.Fatalf("%s: bad partition %v | %v", g.Name(), cut.SideA, cut.SideB)
+		}
+		// Both sides must induce connected subgraphs (used by the Theorem
+		// V.1 proof).
+		for _, side := range [][]int{cut.SideA, cut.SideB} {
+			allowed := map[int]bool{}
+			for _, v := range side {
+				allowed[v] = true
+			}
+			comp := g.component(side[0], allowed)
+			if len(comp) != len(side) {
+				t.Fatalf("%s: side %v induces a disconnected subgraph", g.Name(), side)
+			}
+		}
+		// Every cut edge crosses the partition; no non-cut edge does.
+		inA := map[int]bool{}
+		for _, v := range cut.SideA {
+			inA[v] = true
+		}
+		crossing := 0
+		for _, e := range g.Edges() {
+			if inA[e.U] != inA[e.V] {
+				crossing++
+			}
+		}
+		if crossing != cut.Size() {
+			t.Fatalf("%s: %d crossing edges, cut claims %d", g.Name(), crossing, cut.Size())
+		}
+		for _, e := range cut.CutEdges {
+			a, b := cut.AEnd(e), cut.BEnd(e)
+			if a < 0 || !inA[a] || inA[b] {
+				t.Fatalf("%s: AEnd/BEnd wrong for %v", g.Name(), e)
+			}
+		}
+		if cut.InA(cut.SideB[0]) || !cut.InA(cut.SideA[0]) {
+			t.Fatalf("%s: InA wrong", g.Name())
+		}
+	}
+}
+
+func TestMinCutEdgeCases(t *testing.T) {
+	if _, ok := New("single", 1).MinCut(); ok {
+		t.Error("single vertex has no cut")
+	}
+	if New("single", 1).EdgeConnectivity() != 0 {
+		t.Error("λ of trivial graph")
+	}
+	g := New("disc", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	cut, ok := g.MinCut()
+	if !ok || cut.Size() != 0 || len(cut.SideA) != 2 {
+		t.Errorf("disconnected cut: %+v ok=%v", cut, ok)
+	}
+	if g.EdgeConnectivity() != 0 {
+		t.Error("λ of disconnected graph is 0")
+	}
+	if g.Diameter() != -1 {
+		t.Error("diameter of disconnected graph")
+	}
+}
+
+// TestStoerWagnerCrossCheck validates the two independent min-cut
+// implementations against each other on random connected graphs.
+func TestStoerWagnerCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(7)
+		g := Random(rng, n, 0.25+rng.Float64()*0.5)
+		mf := g.EdgeConnectivity()
+		sw := g.StoerWagner()
+		if mf != sw {
+			t.Fatalf("%s: maxflow λ=%d, Stoer–Wagner λ=%d", g.Name(), mf, sw)
+		}
+		if mf > g.MinDegree() {
+			t.Fatalf("%s: λ=%d exceeds min degree %d", g.Name(), mf, g.MinDegree())
+		}
+	}
+	for _, g := range []*Graph{Cycle(7), Complete(6), Barbell(5, 2), Grid(4, 3), Hypercube(4)} {
+		if g.EdgeConnectivity() != g.StoerWagner() {
+			t.Fatalf("%s: implementations disagree", g.Name())
+		}
+	}
+	if New("single", 1).StoerWagner() != -1 {
+		t.Error("Stoer–Wagner on trivial graph")
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	g := Path(5)
+	d := g.BFSDistances(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("BFS distances %v", d)
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter of P5 = %d", g.Diameter())
+	}
+	if Complete(5).Diameter() != 1 {
+		t.Error("diameter of K5")
+	}
+	if Cycle(6).Diameter() != 3 {
+		t.Error("diameter of C6")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		g := Random(rng, 6, 0.3)
+		if !g.Connected() {
+			t.Fatal("Random must return connected graphs")
+		}
+	}
+	// Very low p exercises the fallback path.
+	g := Random(rng, 8, 0.01)
+	if !g.Connected() {
+		t.Fatal("fallback must be connected")
+	}
+}
+
+func TestThetaMinLength(t *testing.T) {
+	g := Theta(2, 1) // clamps to length 2
+	if g.N() != 4 || !g.Connected() {
+		t.Errorf("theta clamp: n=%d", g.N())
+	}
+}

@@ -1,0 +1,143 @@
+// Package heardof bridges the omission-scheme view of Fevat & Godard with
+// the Heard-Of model of Charron-Bost & Schiper ([CBS09], which the paper
+// follows for its "phenomenon, not cause" stance): for two processes, a
+// round's communication is the pair of heard-of sets
+// (HO(white), HO(black)), each containing the hearer itself, and the four
+// possibilities correspond exactly to the four omission letters.
+//
+// Communication predicates — constraints on the infinite sequence of HO
+// pairs — are therefore omission schemes, and Theorem III.8 classifies
+// them. The package provides the letter ↔ HO-pair bijection and the
+// classical predicates expressed as schemes:
+//
+//	NonemptyKernel  — every round someone is heard by all: exactly Γ^ω,
+//	                  i.e. the paper's central obstruction R1;
+//	EventuallyGood  — infinitely many all-hear-all rounds: solvable;
+//	NoSplit         — every round, the two HO sets intersect: for n = 2
+//	                  this is again Γ^ω (the kernel is the intersection).
+package heardof
+
+import (
+	"fmt"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// Set is a set of process identities, as a bitmask (bit 0 = White,
+// bit 1 = Black).
+type Set uint8
+
+// Sets.
+const (
+	// Nobody is the empty set.
+	Nobody Set = 0
+	// JustWhite contains only White.
+	JustWhite Set = 1 << sim.White
+	// JustBlack contains only Black.
+	JustBlack Set = 1 << sim.Black
+	// Both contains both processes.
+	Both Set = JustWhite | JustBlack
+)
+
+// Contains reports membership.
+func (s Set) Contains(id sim.ID) bool { return s&(1<<id) != 0 }
+
+// String implements fmt.Stringer.
+func (s Set) String() string {
+	switch s {
+	case Nobody:
+		return "{}"
+	case JustWhite:
+		return "{white}"
+	case JustBlack:
+		return "{black}"
+	default:
+		return "{white,black}"
+	}
+}
+
+// Pair is one round of heard-of sets. Valid pairs always include the
+// hearer itself.
+type Pair struct {
+	White Set // HO(white, r)
+	Black Set // HO(black, r)
+}
+
+// FromLetter converts an omission letter to the round's HO pair: a
+// process hears itself always and hears its partner unless the partner's
+// message is lost.
+func FromLetter(l omission.Letter) Pair {
+	p := Pair{White: JustWhite, Black: JustBlack}
+	if !l.LostBlack() {
+		p.White |= JustBlack
+	}
+	if !l.LostWhite() {
+		p.Black |= JustWhite
+	}
+	return p
+}
+
+// ToLetter converts an HO pair back to the omission letter; it reports an
+// error when a set omits the hearer itself.
+func (p Pair) ToLetter() (omission.Letter, error) {
+	if !p.White.Contains(sim.White) || !p.Black.Contains(sim.Black) {
+		return 0, fmt.Errorf("heardof: HO sets must contain the hearer (%v)", p)
+	}
+	switch {
+	case p.White.Contains(sim.Black) && p.Black.Contains(sim.White):
+		return omission.None, nil
+	case p.White.Contains(sim.Black):
+		return omission.LossWhite, nil
+	case p.Black.Contains(sim.White):
+		return omission.LossBlack, nil
+	default:
+		return omission.LossBoth, nil
+	}
+}
+
+// Kernel returns the round's kernel: the processes heard by everyone.
+func (p Pair) Kernel() Set { return p.White & p.Black }
+
+// NonemptyKernel is the communication predicate "every round's kernel is
+// nonempty". For two processes this is exactly the no-double-omission
+// scheme Γ^ω (R1) — hence, by Theorem III.8, an obstruction: the kernel
+// predicate alone does not make consensus solvable, matching the negative
+// results of the HO literature.
+func NonemptyKernel() *scheme.Scheme {
+	return scheme.MustNew("HO:kernel", "every round has a nonempty kernel (= Γ^ω)",
+		scheme.R1().Automaton())
+}
+
+// NoSplit is the predicate "every round the HO sets intersect"; with two
+// processes the intersection is the kernel, so NoSplit = NonemptyKernel.
+func NoSplit() *scheme.Scheme {
+	return scheme.MustNew("HO:nosplit", "HO sets intersect every round (= Γ^ω for n=2)",
+		scheme.R1().Automaton())
+}
+
+// EventuallyGood is the predicate "infinitely many uniform all-hear-all
+// rounds" (the space-time uniform rounds of the HO framework): infinitely
+// many '.' letters, over Σ. It is solvable — the constant unfair
+// scenarios lie outside it.
+func EventuallyGood() *scheme.Scheme {
+	d := &buchi.DBA{
+		Alphabet: len(omission.Sigma),
+		Start:    0,
+		Delta: [][]buchi.State{
+			{1, 0, 0, 0}, // on '.', visit the accepting state
+			{1, 0, 0, 0},
+		},
+		Accepting: []bool{false, true},
+	}
+	return scheme.MustNew("HO:evgood", "infinitely many all-hear-all rounds", d)
+}
+
+// PairSource adapts an omission scenario into the HO view, round by
+// round.
+type PairSource struct{ Src omission.Source }
+
+// At returns the HO pair of round r (0-based letter index).
+func (p PairSource) At(r int) Pair { return FromLetter(p.Src.At(r)) }

@@ -1,0 +1,164 @@
+package nchain
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// GraphAnalyze generalizes the full-information analysis from K_n to an
+// arbitrary connected topology: it decides whether r-round binary
+// consensus exists for n processes on g with at most f message losses per
+// round (the scheme O_f^ω of Section V-A). Combined over horizons this
+// gives an exhaustive validation of Theorem V.1 on small graphs: for
+// f < c(G) some horizon works (flooding shows r = n−1 suffices), while
+// for f ≥ c(G) *no* horizon does — an all-algorithms impossibility, much
+// stronger than exhibiting one failing algorithm.
+func GraphAnalyze(g *graph.Graph, f, r int) Analysis {
+	n := g.N()
+	patterns := graphPatterns(g, f)
+	in := newInterner()
+
+	type cfg struct {
+		views  []int
+		inputs int
+	}
+	var configs []cfg
+
+	dir := directedEdges(g)
+	var walk func(depth int, views []int, inputs int)
+	walk = func(depth int, views []int, inputs int) {
+		if depth == r {
+			configs = append(configs, cfg{append([]int(nil), views...), inputs})
+			return
+		}
+		for _, p := range patterns {
+			recv := make([]int, n)
+			for to := 0; to < n; to++ {
+				vals := make([]int, 0, g.Degree(to))
+				for _, from := range g.Neighbors(to) {
+					if p&(1<<dirIndex(dir, from, to)) != 0 {
+						vals = append(vals, -1)
+					} else {
+						vals = append(vals, views[from])
+					}
+				}
+				recv[to] = in.tuple(vals)
+			}
+			next := make([]int, n)
+			for i := 0; i < n; i++ {
+				next[i] = in.view(views[i], recv[i])
+			}
+			walk(depth+1, next, inputs)
+		}
+	}
+
+	for inputs := 0; inputs < 1<<n; inputs++ {
+		views := make([]int, n)
+		for i := 0; i < n; i++ {
+			views[i] = -2 - ((inputs >> i) & 1)
+		}
+		walk(0, views, inputs)
+	}
+
+	parent := make([]int, len(configs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	type pv struct{ proc, view int }
+	byView := map[pv]int{}
+	for idx, c := range configs {
+		for i, v := range c.views {
+			k := pv{i, v}
+			if j, ok := byView[k]; ok {
+				ra, rb := find(idx), find(j)
+				if ra != rb {
+					parent[rb] = ra
+				}
+			} else {
+				byView[k] = idx
+			}
+		}
+	}
+
+	all1 := 1<<n - 1
+	type compInfo struct{ has0, has1 bool }
+	comps := map[int]*compInfo{}
+	for idx, c := range configs {
+		root := find(idx)
+		ci := comps[root]
+		if ci == nil {
+			ci = &compInfo{}
+			comps[root] = ci
+		}
+		if c.inputs == 0 {
+			ci.has0 = true
+		}
+		if c.inputs == all1 {
+			ci.has1 = true
+		}
+	}
+	an := Analysis{N: n, F: f, Rounds: r, Configs: len(configs), Components: len(comps)}
+	for _, ci := range comps {
+		if ci.has0 && ci.has1 {
+			an.MixedComponents++
+		}
+	}
+	an.Solvable = an.MixedComponents == 0
+	return an
+}
+
+// GraphMinRounds finds the smallest horizon ≤ maxR at which (g, f)
+// consensus is solvable.
+func GraphMinRounds(g *graph.Graph, f, maxR int) (int, bool) {
+	for r := 0; r <= maxR; r++ {
+		if GraphAnalyze(g, f, r).Solvable {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// directedEdges enumerates the directed edges of g in a fixed order.
+func directedEdges(g *graph.Graph) []graph.DirEdge {
+	var out []graph.DirEdge
+	for _, e := range g.Edges() {
+		out = append(out, graph.DirEdge{From: e.U, To: e.V}, graph.DirEdge{From: e.V, To: e.U})
+	}
+	return out
+}
+
+// dirIndex locates a directed edge in the fixed order (linear scan; the
+// graphs here are tiny).
+func dirIndex(dir []graph.DirEdge, from, to int) int {
+	for i, d := range dir {
+		if d.From == from && d.To == to {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("nchain: directed edge %d→%d not in graph", from, to))
+}
+
+// graphPatterns enumerates the loss patterns of g with at most f drops,
+// as bitmasks over the directed-edge order.
+func graphPatterns(g *graph.Graph, f int) []LossPattern {
+	edges := 2 * g.NumEdges()
+	if edges > 20 {
+		panic("nchain: graph too large to enumerate loss patterns")
+	}
+	var out []LossPattern
+	for p := LossPattern(0); p < 1<<edges; p++ {
+		if p.Count() <= f {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package nchain extends the two-process full-information analysis to n
+// synchronous processes on a complete graph with at most f message losses
+// per round — the paper's closing future-work direction ("this work
+// should be fully extended for any given number of processes").
+//
+// A round's loss pattern is a set of at most f directed edges whose
+// messages are dropped (the scheme O_f of Section V-A restricted to K_n);
+// a configuration after r rounds is a loss-pattern sequence plus a binary
+// input vector. Any r-round algorithm is refined by the full-information
+// protocol, so r-round consensus exists iff no connected component of the
+// shares-a-view graph contains both the all-0 and the all-1 input vector.
+//
+// For the complete graph Theorem V.1 specializes to: solvable iff
+// f < c(K_n) = n−1, and flooding gives an (n−1)-round algorithm; this
+// package confirms both the threshold and the exact bounded horizons for
+// small n, r.
+package nchain
+
+import "fmt"
+
+// LossPattern is one round's set of dropped directed edges on K_n,
+// encoded as a bitmask over the n·(n−1) ordered pairs.
+type LossPattern uint64
+
+// edgeIndex numbers the directed edges of K_n: (from, to), from ≠ to.
+func edgeIndex(n, from, to int) int {
+	idx := from*(n-1) + to
+	if to > from {
+		idx--
+	}
+	return idx
+}
+
+// Dropped reports whether the pattern drops the message from → to.
+func (p LossPattern) Dropped(n, from, to int) bool {
+	return p&(1<<edgeIndex(n, from, to)) != 0
+}
+
+// Count returns the number of dropped messages.
+func (p LossPattern) Count() int {
+	c := 0
+	for ; p != 0; p &= p - 1 {
+		c++
+	}
+	return c
+}
+
+// PatternsUpTo enumerates every loss pattern of K_n with at most f drops.
+func PatternsUpTo(n, f int) []LossPattern {
+	edges := n * (n - 1)
+	if edges > 20 {
+		panic("nchain: K_n too large to enumerate loss patterns")
+	}
+	var out []LossPattern
+	for p := LossPattern(0); p < 1<<edges; p++ {
+		if p.Count() <= f {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Analysis is the result of the bounded-round computation.
+type Analysis struct {
+	N, F, Rounds    int
+	Configs         int
+	Components      int
+	MixedComponents int
+	Solvable        bool
+}
+
+// String implements fmt.Stringer.
+func (a Analysis) String() string {
+	return fmt.Sprintf("n=%d f=%d r=%d: configs=%d components=%d mixed=%d solvable=%v",
+		a.N, a.F, a.Rounds, a.Configs, a.Components, a.MixedComponents, a.Solvable)
+}
+
+type viewKey struct {
+	prev int
+	// recv packs the received views: an interned tuple id.
+	recv int
+}
+
+type interner struct {
+	views  map[viewKey]int
+	tuples map[string]int
+	next   int
+}
+
+func newInterner() *interner {
+	return &interner{views: map[viewKey]int{}, tuples: map[string]int{}}
+}
+
+func (in *interner) view(prev, recv int) int {
+	k := viewKey{prev, recv}
+	if id, ok := in.views[k]; ok {
+		return id
+	}
+	in.next++
+	in.views[k] = in.next
+	return in.next
+}
+
+// tuple interns a received-views vector (−1 for "nothing received").
+func (in *interner) tuple(vals []int) int {
+	key := fmt.Sprint(vals)
+	if id, ok := in.tuples[key]; ok {
+		return id
+	}
+	in.next++
+	in.tuples[key] = in.next
+	return in.next
+}
+
+// Analyze decides r-round binary consensus for n processes on K_n under
+// at most f losses per round. Input vectors range over {0,1}^n.
+func Analyze(n, f, r int) Analysis {
+	patterns := PatternsUpTo(n, f)
+	in := newInterner()
+
+	type cfg struct {
+		views  []int
+		inputs int // bitmask of the input vector
+	}
+	var configs []cfg
+
+	var walk func(depth int, views []int, inputs int)
+	walk = func(depth int, views []int, inputs int) {
+		if depth == r {
+			configs = append(configs, cfg{append([]int(nil), views...), inputs})
+			return
+		}
+		for _, p := range patterns {
+			next := make([]int, n)
+			recv := make([]int, n)
+			for to := 0; to < n; to++ {
+				vals := make([]int, 0, n-1)
+				for from := 0; from < n; from++ {
+					if from == to {
+						continue
+					}
+					if p.Dropped(n, from, to) {
+						vals = append(vals, -1)
+					} else {
+						vals = append(vals, views[from])
+					}
+				}
+				recv[to] = in.tuple(vals)
+			}
+			for i := 0; i < n; i++ {
+				next[i] = in.view(views[i], recv[i])
+			}
+			walk(depth+1, next, inputs)
+		}
+	}
+
+	initViewOf := func(inputs, i int) int {
+		// Initial views: distinct per input bit (identity is implicit in
+		// the per-process component grouping).
+		return -2 - ((inputs >> i) & 1)
+	}
+	for inputs := 0; inputs < 1<<n; inputs++ {
+		views := make([]int, n)
+		for i := 0; i < n; i++ {
+			views[i] = initViewOf(inputs, i)
+		}
+		walk(0, views, inputs)
+	}
+
+	// Union-find over configs: same view at the same process index ⇒ same
+	// component.
+	parent := make([]int, len(configs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	type pv struct{ proc, view int }
+	byView := map[pv]int{}
+	for idx, c := range configs {
+		for i, v := range c.views {
+			k := pv{i, v}
+			if j, ok := byView[k]; ok {
+				union(idx, j)
+			} else {
+				byView[k] = idx
+			}
+		}
+	}
+
+	all1 := 1<<n - 1
+	type compInfo struct{ has0, has1 bool }
+	comps := map[int]*compInfo{}
+	for idx, c := range configs {
+		root := find(idx)
+		ci := comps[root]
+		if ci == nil {
+			ci = &compInfo{}
+			comps[root] = ci
+		}
+		if c.inputs == 0 {
+			ci.has0 = true
+		}
+		if c.inputs == all1 {
+			ci.has1 = true
+		}
+	}
+	an := Analysis{N: n, F: f, Rounds: r, Configs: len(configs), Components: len(comps)}
+	for _, ci := range comps {
+		if ci.has0 && ci.has1 {
+			an.MixedComponents++
+		}
+	}
+	an.Solvable = an.MixedComponents == 0
+	return an
+}
+
+// MinRounds finds the smallest horizon ≤ maxR at which (n, f) consensus is
+// solvable on K_n.
+func MinRounds(n, f, maxR int) (int, bool) {
+	for r := 0; r <= maxR; r++ {
+		if Analyze(n, f, r).Solvable {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Threshold returns the Theorem V.1 prediction for K_n: solvable iff
+// f < n−1.
+func Threshold(n, f int) bool { return f < n-1 }

@@ -1,0 +1,123 @@
+package netconsensus
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/omission"
+	"repro/internal/sim"
+)
+
+// CutTwoPhase is Algorithm 4 (A_L) of the paper: consensus on a network
+// under a solvable sub-scheme L ⊊ Γ_C^ω. The designated endpoints a1
+// (in SideA) and b1 (in SideB) of one cut edge run the two-process
+// algorithm A_ρ(w) across that edge — the Γ_C letters restricted to the
+// (a1, b1) link are exactly ρ(L) ⊆ Γ^ω — and then broadcast the decided
+// value inside their sides, which are loss-free under Γ_C.
+//
+// Every non-designated node simply adopts and relays the first broadcast
+// value it hears.
+type CutTwoPhase struct {
+	cut graph.Cut
+	// witness is the two-process excluded scenario for A_ρ(w).
+	witness omission.Source
+
+	id       int
+	g        *graph.Graph
+	partner  int // the other cut endpoint when designated, else -1
+	aw       *consensus.AW
+	awRound  int
+	decision netsim.Value
+}
+
+// phase2 is the broadcast payload.
+type phase2 struct{ v netsim.Value }
+
+// phase1 wraps the embedded A_w message.
+type phase1 struct{ m sim.Message }
+
+// NewCutTwoPhaseNodes builds the node array for Algorithm 4 on g with the
+// given minimum cut and two-process witness scenario. The designated edge
+// is the first cut edge.
+func NewCutTwoPhaseNodes(g *graph.Graph, cut graph.Cut, witness omission.Source) []netsim.Node {
+	nodes := make([]netsim.Node, g.N())
+	for i := range nodes {
+		nodes[i] = &CutTwoPhase{cut: cut, witness: witness}
+	}
+	return nodes
+}
+
+// Init implements netsim.Node.
+func (c *CutTwoPhase) Init(id int, g *graph.Graph, input netsim.Value) {
+	c.id = id
+	c.g = g
+	c.partner = -1
+	c.aw = nil
+	c.awRound = 0
+	c.decision = sim.None
+	e := c.cut.CutEdges[0]
+	a1, b1 := c.cut.AEnd(e), c.cut.BEnd(e)
+	switch id {
+	case a1:
+		c.partner = b1
+		c.aw = consensus.NewAW(c.witness)
+		c.aw.Init(sim.White, input)
+	case b1:
+		c.partner = a1
+		c.aw = consensus.NewAW(c.witness)
+		c.aw.Init(sim.Black, input)
+	}
+}
+
+// Send implements netsim.Node.
+func (c *CutTwoPhase) Send(r int) map[int]netsim.Message {
+	if c.decision != sim.None {
+		// Phase 2: relay the decision everywhere.
+		out := map[int]netsim.Message{}
+		for _, nb := range c.g.Neighbors(c.id) {
+			out[nb] = phase2{c.decision}
+		}
+		return out
+	}
+	if c.aw != nil {
+		c.awRound++
+		if m, ok := c.aw.Send(c.awRound); ok {
+			return map[int]netsim.Message{c.partner: phase1{m}}
+		}
+	}
+	return nil
+}
+
+// Receive implements netsim.Node.
+func (c *CutTwoPhase) Receive(r int, msgs map[int]netsim.Message) {
+	// Adopt a broadcast decision if one arrives (also terminates a
+	// designated node whose own phase 1 is still running: agreement is
+	// preserved because the broadcast value originates from the same
+	// two-process execution).
+	for _, m := range msgs {
+		if p2, ok := m.(phase2); ok && c.decision == sim.None {
+			c.decision = p2.v
+		}
+	}
+	if c.decision != sim.None || c.aw == nil {
+		return
+	}
+	var embedded sim.Message
+	if m, ok := msgs[c.partner]; ok {
+		if p1, ok := m.(phase1); ok {
+			embedded = p1.m
+		}
+	}
+	c.aw.Receive(c.awRound, embedded)
+	if v, ok := c.aw.Decision(); ok {
+		c.decision = v
+	}
+}
+
+// Decision implements netsim.Node.
+func (c *CutTwoPhase) Decision() (netsim.Value, bool) {
+	if c.decision == sim.None {
+		return sim.None, false
+	}
+	return c.decision, true
+}

@@ -1,0 +1,130 @@
+package netconsensus
+
+import (
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Emulation is the two-process lifting of Algorithms 2 and 3: the process
+// hosts all nodes of one connected side of a minimum cut and emulates the
+// network algorithm on it round by round. Messages internal to the side
+// are delivered loss-free; messages on the cut edges are packaged into the
+// single two-process message, so that the two-process omission letters act
+// exactly like the Γ_C letters under the bijection ρ (the side hosted by
+// white is SideA: letter 'w' = all A→B cut messages lost = C_A→B).
+//
+// Every node of the hosted side is initialized with the two-process input;
+// the emulation decides when all hosted nodes have decided, outputting the
+// common value.
+type Emulation struct {
+	g        *graph.Graph
+	cut      graph.Cut
+	makeNode func() netsim.Node
+
+	id       sim.ID
+	side     []int // hosted vertices
+	isMine   map[int]bool
+	nodes    map[int]netsim.Node
+	decision sim.Value
+	// pending internal deliveries computed during Send, applied in Receive.
+	pendingInternal map[int]map[int]netsim.Message
+}
+
+// CutPackage is the two-process message: the hosted side's cut-edge
+// messages, keyed by the directed cut edge they ride.
+type CutPackage map[graph.DirEdge]netsim.Message
+
+// NewEmulation builds the lifting for one side. White must host SideA and
+// black SideB for the ρ mapping to line up with the letters.
+func NewEmulation(g *graph.Graph, cut graph.Cut, makeNode func() netsim.Node) *Emulation {
+	return &Emulation{g: g, cut: cut, makeNode: makeNode}
+}
+
+// Init implements sim.Process.
+func (e *Emulation) Init(id sim.ID, input sim.Value) {
+	e.id = id
+	if id == sim.White {
+		e.side = e.cut.SideA
+	} else {
+		e.side = e.cut.SideB
+	}
+	e.isMine = map[int]bool{}
+	for _, v := range e.side {
+		e.isMine[v] = true
+	}
+	e.nodes = map[int]netsim.Node{}
+	for _, v := range e.side {
+		n := e.makeNode()
+		n.Init(v, e.g, input)
+		e.nodes[v] = n
+	}
+	e.decision = sim.None
+	e.pendingInternal = nil
+}
+
+// Send implements sim.Process: it runs the network Send step of every
+// hosted node, keeps the intra-side deliveries pending, and packages the
+// cut-crossing messages.
+func (e *Emulation) Send(r int) (sim.Message, bool) {
+	if e.decision != sim.None {
+		return nil, false
+	}
+	pkg := CutPackage{}
+	e.pendingInternal = map[int]map[int]netsim.Message{}
+	for _, v := range e.side {
+		e.pendingInternal[v] = map[int]netsim.Message{}
+	}
+	for _, v := range e.side {
+		for to, m := range e.nodes[v].Send(r) {
+			if m == nil || !e.g.HasEdge(v, to) {
+				continue
+			}
+			if e.isMine[to] {
+				e.pendingInternal[to][v] = m
+			} else {
+				pkg[graph.DirEdge{From: v, To: to}] = m
+			}
+		}
+	}
+	return pkg, true
+}
+
+// Receive implements sim.Process: it merges the partner's cut package
+// (nil when the letter dropped it — exactly the Γ_C omission) with the
+// pending internal deliveries and runs every hosted node's Receive.
+func (e *Emulation) Receive(r int, msg sim.Message) {
+	if msg != nil {
+		for de, m := range msg.(CutPackage) {
+			if e.isMine[de.To] && e.g.HasEdge(de.From, de.To) {
+				e.pendingInternal[de.To][de.From] = m
+			}
+		}
+	}
+	for _, v := range e.side {
+		e.nodes[v].Receive(r, e.pendingInternal[v])
+	}
+	e.pendingInternal = nil
+
+	all := true
+	var val sim.Value = sim.None
+	for _, v := range e.side {
+		d, ok := e.nodes[v].Decision()
+		if !ok {
+			all = false
+			break
+		}
+		val = d
+	}
+	if all {
+		e.decision = val
+	}
+}
+
+// Decision implements sim.Process.
+func (e *Emulation) Decision() (sim.Value, bool) {
+	if e.decision == sim.None {
+		return sim.None, false
+	}
+	return e.decision, true
+}

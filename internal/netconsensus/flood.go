@@ -1,0 +1,107 @@
+// Package netconsensus implements the network-consensus algorithms of
+// Section V of Fevat & Godard:
+//
+//   - FloodMin, the broadcast-based algorithm matching the Santoro–Widmayer
+//     possibility side of Theorem V.1: with at most f < c(G) message losses
+//     per round, every initial value reaches every node within n−1 rounds
+//     (each round, every vertex cut carries ≥ c(G) > f messages, so at
+//     least one crosses), after which all nodes decide the minimum.
+//
+//   - Emulation (Algorithms 2 and 3): the lifting of any network algorithm
+//     to a two-process algorithm over Γ, used to prove the impossibility
+//     side by reduction to Theorem III.8 — white emulates the connected
+//     side A of a minimum cut, black the side B, with the bijection
+//     ρ(Γ_C) = Γ mapping cut-omission letters to two-process letters.
+//
+//   - CutTwoPhase (Algorithm 4): the consensus algorithm for solvable
+//     sub-schemes L ⊊ Γ_C^ω — the designated endpoints of one cut edge run
+//     the two-process algorithm A_ρ(w) across the cut and then broadcast
+//     the decision inside their loss-free sides.
+package netconsensus
+
+import (
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// FloodMin is the flooding consensus node: it rebroadcasts every known
+// (origin, value) pair for n−1 rounds and then decides the minimum known
+// value. It solves consensus whenever at most f < c(G) messages are lost
+// per round.
+type FloodMin struct {
+	id       int
+	n        int
+	g        *graph.Graph
+	known    map[int]netsim.Value
+	decision netsim.Value
+	horizon  int
+}
+
+// KnownMap is the flooding message payload: origin → value.
+type KnownMap map[int]netsim.Value
+
+// Init implements netsim.Node.
+func (f *FloodMin) Init(id int, g *graph.Graph, input netsim.Value) {
+	f.id = id
+	f.g = g
+	f.n = g.N()
+	f.known = map[int]netsim.Value{id: input}
+	f.decision = sim.None
+	f.horizon = f.n - 1
+}
+
+// Send implements netsim.Node.
+func (f *FloodMin) Send(r int) map[int]netsim.Message {
+	if f.decision != sim.None {
+		return nil
+	}
+	payload := make(KnownMap, len(f.known))
+	for k, v := range f.known {
+		payload[k] = v
+	}
+	out := map[int]netsim.Message{}
+	for _, nb := range f.g.Neighbors(f.id) {
+		out[nb] = payload
+	}
+	return out
+}
+
+// Receive implements netsim.Node.
+func (f *FloodMin) Receive(r int, msgs map[int]netsim.Message) {
+	for _, m := range msgs {
+		for origin, v := range m.(KnownMap) {
+			f.known[origin] = v
+		}
+	}
+	if r >= f.horizon {
+		min := netsim.Value(1 << 30)
+		for _, v := range f.known {
+			if v < min {
+				min = v
+			}
+		}
+		f.decision = min
+	}
+}
+
+// Decision implements netsim.Node.
+func (f *FloodMin) Decision() (netsim.Value, bool) {
+	if f.decision == sim.None {
+		return sim.None, false
+	}
+	return f.decision, true
+}
+
+// Known returns how many origins the node has heard from (for the
+// propagation-rate experiments).
+func (f *FloodMin) Known() int { return len(f.known) }
+
+// NewFloodNodes builds one FloodMin node per vertex.
+func NewFloodNodes(g *graph.Graph) []netsim.Node {
+	nodes := make([]netsim.Node, g.N())
+	for i := range nodes {
+		nodes[i] = &FloodMin{}
+	}
+	return nodes
+}

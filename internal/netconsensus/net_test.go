@@ -1,0 +1,337 @@
+package netconsensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/omission"
+	"repro/internal/sim"
+)
+
+func graphZoo() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Cycle(5),
+		graph.Path(4),
+		graph.Complete(5),
+		graph.Grid(3, 2),
+		graph.Barbell(3, 1),
+		graph.Barbell(4, 2),
+		graph.Hypercube(3),
+		graph.Theta(3, 3),
+	}
+}
+
+func mixedInputs(n int, rng *rand.Rand) []netsim.Value {
+	in := make([]netsim.Value, n)
+	for i := range in {
+		in[i] = netsim.Value(rng.Intn(2))
+	}
+	return in
+}
+
+func minValue(in []netsim.Value) netsim.Value {
+	m := in[0]
+	for _, v := range in {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TestFloodNoDrops: failure-free flooding decides the minimum input in
+// exactly n−1 rounds on every graph.
+func TestFloodNoDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range graphZoo() {
+		for trial := 0; trial < 5; trial++ {
+			in := mixedInputs(g.N(), rng)
+			tr := netsim.Run(g, NewFloodNodes(g), in, netsim.NoDrops{}, g.N()+2)
+			rep := netsim.Check(tr)
+			if !rep.OK() {
+				t.Fatalf("%s: %v (%s)", g.Name(), rep.Violations, tr)
+			}
+			if tr.Decisions[0] != minValue(in) {
+				t.Fatalf("%s: decided %d, want min %d", g.Name(), tr.Decisions[0], minValue(in))
+			}
+			if tr.Rounds != g.N()-1 {
+				t.Fatalf("%s: %d rounds, want n-1=%d", g.Name(), tr.Rounds, g.N()-1)
+			}
+		}
+	}
+}
+
+// TestFloodUnderBudget is the possibility half of Theorem V.1: flooding
+// succeeds under every adversary losing at most f < c(G) messages per
+// round — random budgets and cut-targeting budgets alike.
+func TestFloodUnderBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range graphZoo() {
+		c := g.EdgeConnectivity()
+		if c == 0 {
+			continue
+		}
+		f := c - 1
+		cut, _ := g.MinCut()
+		advs := []netsim.Adversary{
+			netsim.RandomF{F: f, Rng: rand.New(rand.NewSource(7))},
+			netsim.TargetedCut{Cut: cut, F: f},
+		}
+		for _, adv := range advs {
+			for trial := 0; trial < 6; trial++ {
+				in := mixedInputs(g.N(), rng)
+				tr := netsim.Run(g, NewFloodNodes(g), in, adv, g.N()+2)
+				if tr.MaxDropsPerRound > f {
+					t.Fatalf("%s: adversary exceeded budget (%d > %d)", g.Name(), tr.MaxDropsPerRound, f)
+				}
+				rep := netsim.Check(tr)
+				if !rep.OK() {
+					t.Fatalf("%s f=%d: %v (%s)", g.Name(), f, rep.Violations, tr)
+				}
+				if tr.Decisions[0] != minValue(in) {
+					t.Fatalf("%s: wrong min", g.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestFloodBreaksAtConnectivity is the impossibility half made concrete:
+// with f = c(G) losses per round the Γ_C adversary playing (w)^ω keeps
+// SideB ignorant of SideA's values forever; with the minimum on side A,
+// flooding violates agreement.
+func TestFloodBreaksAtConnectivity(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Barbell(3, 1), graph.Cycle(5), graph.Barbell(4, 2), graph.Grid(3, 2)} {
+		cut, _ := g.MinCut()
+		in := make([]netsim.Value, g.N())
+		for _, v := range cut.SideB {
+			in[v] = 1 // minimum 0 lives on side A
+		}
+		adv := netsim.CutScenario{Cut: cut, Src: omission.Constant(omission.LossWhite)}
+		tr := netsim.Run(g, NewFloodNodes(g), in, adv, g.N()+2)
+		if tr.MaxDropsPerRound != cut.Size() {
+			t.Fatalf("%s: Γ_C adversary drops %d, want c(G)=%d", g.Name(), tr.MaxDropsPerRound, cut.Size())
+		}
+		rep := netsim.Check(tr)
+		if rep.Agreement {
+			t.Fatalf("%s: expected agreement violation, got %s", g.Name(), tr)
+		}
+		// Side A learned everything (B→A is open), side B only its own.
+		for _, v := range cut.SideA {
+			if tr.Decisions[v] != 0 {
+				t.Fatalf("%s: side A node %d decided %d", g.Name(), v, tr.Decisions[v])
+			}
+		}
+		for _, v := range cut.SideB {
+			if tr.Decisions[v] != 1 {
+				t.Fatalf("%s: side B node %d decided %d", g.Name(), v, tr.Decisions[v])
+			}
+		}
+	}
+}
+
+// TestEmulationMatchesNetwork validates the Algorithms 2/3 reduction
+// mechanically: the two-process lifting of flooding under a scenario w
+// produces exactly the decisions of the real network under the Γ_C
+// adversary ρ⁻¹(w).
+func TestEmulationMatchesNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []*graph.Graph{graph.Barbell(3, 1), graph.Cycle(4), graph.Barbell(3, 2)} {
+		cut, _ := g.MinCut()
+		mk := func() netsim.Node { return &FloodMin{} }
+		for trial := 0; trial < 20; trial++ {
+			// Random two-process scenario prefix (padded fair tail).
+			prefix := make(omission.Word, g.N())
+			for i := range prefix {
+				prefix[i] = omission.Gamma[rng.Intn(3)]
+			}
+			src := omission.UPWord(prefix, omission.MustWord("."))
+			inputs := [2]sim.Value{sim.Value(rng.Intn(2)), sim.Value(rng.Intn(2))}
+
+			white := NewEmulation(g, cut, mk)
+			black := NewEmulation(g, cut, mk)
+			two := sim.RunScenario(white, black, inputs, src, g.N()+3)
+
+			netIn := make([]netsim.Value, g.N())
+			for _, v := range cut.SideA {
+				netIn[v] = inputs[0]
+			}
+			for _, v := range cut.SideB {
+				netIn[v] = inputs[1]
+			}
+			net := netsim.Run(g, NewFloodNodes(g), netIn, netsim.CutScenario{Cut: cut, Src: src}, g.N()+3)
+
+			if two.TimedOut || net.TimedOut {
+				t.Fatalf("%s: unexpected timeout (two=%v net=%v)", g.Name(), two.TimedOut, net.TimedOut)
+			}
+			for _, v := range cut.SideA {
+				if net.Decisions[v] != two.Decisions[0] {
+					t.Fatalf("%s %s: node %d decided %d, emulated white %d", g.Name(), src, v, net.Decisions[v], two.Decisions[0])
+				}
+			}
+			for _, v := range cut.SideB {
+				if net.Decisions[v] != two.Decisions[1] {
+					t.Fatalf("%s %s: node %d decided %d, emulated black %d", g.Name(), src, v, net.Decisions[v], two.Decisions[1])
+				}
+			}
+		}
+	}
+}
+
+// TestReductionFindsViolation is the end-to-end Theorem V.1 impossibility
+// run: exhaustively search two-process scenarios for one on which lifted
+// flooding violates consensus (it must exist since flooding always decides
+// by round n−1 while Γ^ω is an obstruction), then replay it on the real
+// network through ρ⁻¹ and observe the same violation.
+func TestReductionFindsViolation(t *testing.T) {
+	g := graph.Barbell(3, 1)
+	cut, _ := g.MinCut()
+	mk := func() netsim.Node { return &FloodMin{} }
+	horizon := g.N() - 1
+
+	var badScenario omission.Scenario
+	var badInputs [2]sim.Value
+	found := false
+search:
+	for _, w := range omission.AllWords(omission.Gamma, horizon) {
+		src := omission.UPWord(w, omission.MustWord("."))
+		for _, inputs := range sim.AllInputs() {
+			white := NewEmulation(g, cut, mk)
+			black := NewEmulation(g, cut, mk)
+			tr := sim.RunScenario(white, black, inputs, src, horizon+2)
+			if rep := sim.Check(tr); !rep.OK() {
+				badScenario, badInputs, found = src, inputs, true
+				break search
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no violating scenario found — flooding cannot solve Γ^ω, the search must succeed")
+	}
+
+	// Replay on the network.
+	netIn := make([]netsim.Value, g.N())
+	for _, v := range cut.SideA {
+		netIn[v] = badInputs[0]
+	}
+	for _, v := range cut.SideB {
+		netIn[v] = badInputs[1]
+	}
+	tr := netsim.Run(g, NewFloodNodes(g), netIn, netsim.CutScenario{Cut: cut, Src: badScenario}, horizon+2)
+	if rep := netsim.Check(tr); rep.OK() {
+		t.Fatalf("network replay of %s inputs %v did not violate consensus: %s", badScenario, badInputs, tr)
+	}
+	if tr.MaxDropsPerRound > cut.Size() {
+		t.Fatalf("Γ_C adversary used more than c(G) losses per round")
+	}
+	t.Logf("violating scenario %s inputs %v (network: %s)", badScenario, badInputs, tr)
+}
+
+// TestCutTwoPhase is Algorithm 4: under the scheme Γ_C^ω restricted to
+// scenarios whose ρ-image avoids (b)^ω, the two designated cut endpoints
+// solve consensus across the cut and broadcast it — all nodes decide.
+func TestCutTwoPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	witness := omission.Constant(omission.LossBlack)
+	for _, g := range []*graph.Graph{graph.Barbell(3, 1), graph.Barbell(4, 2), graph.Cycle(5), graph.Grid(3, 2)} {
+		cut, _ := g.MinCut()
+		for trial := 0; trial < 25; trial++ {
+			// A scenario of ρ(L) = Γ^ω \ {(b)^ω}: random prefix, fair tail.
+			prefix := make(omission.Word, rng.Intn(6))
+			for i := range prefix {
+				prefix[i] = omission.Gamma[rng.Intn(3)]
+			}
+			src := omission.UPWord(prefix, omission.MustWord("."))
+			in := mixedInputs(g.N(), rng)
+			nodes := NewCutTwoPhaseNodes(g, cut, witness)
+			tr := netsim.Run(g, nodes, in, netsim.CutScenario{Cut: cut, Src: src}, 60)
+			rep := netsim.Check(tr)
+			if !rep.OK() {
+				t.Fatalf("%s scenario %s inputs %v: %v (%s)", g.Name(), src, in, rep.Violations, tr)
+			}
+			// The decision is one of the designated endpoints' inputs.
+			e := cut.CutEdges[0]
+			a1, b1 := cut.AEnd(e), cut.BEnd(e)
+			d := tr.Decisions[0]
+			if d != in[a1] && d != in[b1] {
+				t.Fatalf("%s: decision %d not an input of the designated endpoints (%d, %d)", g.Name(), d, in[a1], in[b1])
+			}
+		}
+	}
+}
+
+// TestCutTwoPhaseNeverDecidesOnExcluded: under the excluded scenario
+// (b)^ω itself — not a member of the scheme — the designated pair runs
+// forever, as it must.
+func TestCutTwoPhaseNeverDecidesOnExcluded(t *testing.T) {
+	g := graph.Barbell(3, 1)
+	cut, _ := g.MinCut()
+	witness := omission.Constant(omission.LossBlack)
+	nodes := NewCutTwoPhaseNodes(g, cut, witness)
+	in := make([]netsim.Value, g.N())
+	in[0] = 1
+	tr := netsim.Run(g, nodes, in, netsim.CutScenario{Cut: cut, Src: witness}, 80)
+	if !tr.TimedOut {
+		t.Fatalf("decided under the excluded scenario: %s", tr)
+	}
+}
+
+func TestNetsimPanicsOnMismatch(t *testing.T) {
+	g := graph.Cycle(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	netsim.Run(g, NewFloodNodes(g), []netsim.Value{0}, netsim.NoDrops{}, 3)
+}
+
+func TestNetsimCheckViolations(t *testing.T) {
+	tr := netsim.Trace{
+		Inputs:        []netsim.Value{0, 0},
+		Decisions:     []netsim.Value{0, 1},
+		DecisionRound: []int{1, 1},
+	}
+	rep := netsim.Check(tr)
+	if rep.Agreement || rep.Validity || !rep.Terminated {
+		// decided 1 with unanimous 0: both agreement and validity fail.
+		if rep.OK() {
+			t.Error("violations must be caught")
+		}
+	}
+	tr.Decisions = []netsim.Value{sim.None, 0}
+	tr.DecisionRound = []int{-1, 1}
+	if netsim.Check(tr).Terminated {
+		t.Error("undecided node must fail termination")
+	}
+	tr.Decisions = []netsim.Value{7, 7}
+	tr.DecisionRound = []int{1, 1}
+	if netsim.Check(tr).Validity {
+		t.Error("non-input decision must fail validity")
+	}
+}
+
+func TestFloodKnownGrowth(t *testing.T) {
+	// Information propagation: under a budget f < c(G), the number of
+	// known origins at any node grows to n within n−1 rounds; check via
+	// the exported Known accessor after a run.
+	g := graph.Cycle(6)
+	nodes := NewFloodNodes(g)
+	in := mixedInputs(g.N(), rand.New(rand.NewSource(1)))
+	netsim.Run(g, nodes, in, netsim.TargetedCut{Cut: mustCut(g), F: 1}, g.N())
+	for i, n := range nodes {
+		if n.(*FloodMin).Known() != g.N() {
+			t.Fatalf("node %d knows only %d origins", i, n.(*FloodMin).Known())
+		}
+	}
+}
+
+func mustCut(g *graph.Graph) graph.Cut {
+	c, ok := g.MinCut()
+	if !ok {
+		panic("no cut")
+	}
+	return c
+}

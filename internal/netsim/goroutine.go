@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"repro/internal/graph"
+)
+
+// The goroutine runner hosts every node in its own server goroutine, with
+// the synchronous round structure enforced purely by channel
+// communication (the same CSP pattern as the two-process kernel). The
+// coordinator requests all sends, applies the adversary's drops, delivers,
+// and collects decision state. Traces are identical to Run's.
+
+type nodeSendResp struct {
+	msgs map[int]Message
+}
+
+type nodeRecvReq struct {
+	round int
+	msgs  map[int]Message
+}
+
+type nodeRecvResp struct {
+	decided bool
+	value   Value
+}
+
+type nodeServer struct {
+	sendReq  chan int
+	sendResp chan nodeSendResp
+	recvReq  chan nodeRecvReq
+	recvResp chan nodeRecvResp
+}
+
+func serveNode(n Node, s *nodeServer) {
+	for r := range s.sendReq {
+		s.sendResp <- nodeSendResp{n.Send(r)}
+		req := <-s.recvReq
+		n.Receive(req.round, req.msgs)
+		v, ok := n.Decision()
+		s.recvResp <- nodeRecvResp{ok, v}
+	}
+}
+
+// RunGoroutines executes the same semantics as Run with one goroutine per
+// node.
+func RunGoroutines(g *graph.Graph, nodes []Node, inputs []Value, adv Adversary, maxRounds int) Trace {
+	n := g.N()
+	if len(nodes) != n || len(inputs) != n {
+		panic("netsim: nodes/inputs length mismatch")
+	}
+	for i, node := range nodes {
+		node.Init(i, g, inputs[i])
+	}
+	servers := make([]*nodeServer, n)
+	for i, node := range nodes {
+		s := &nodeServer{
+			sendReq:  make(chan int),
+			sendResp: make(chan nodeSendResp),
+			recvReq:  make(chan nodeRecvReq),
+			recvResp: make(chan nodeRecvResp),
+		}
+		servers[i] = s
+		go serveNode(node, s)
+	}
+	defer func() {
+		for _, s := range servers {
+			close(s.sendReq)
+		}
+	}()
+
+	tr := Trace{
+		Inputs:        append([]Value(nil), inputs...),
+		Decisions:     make([]Value, n),
+		DecisionRound: make([]int, n),
+	}
+	for i := range tr.Decisions {
+		tr.Decisions[i] = -1
+		tr.DecisionRound[i] = -1
+	}
+
+	// Round-0 decisions are read directly (servers not yet driving).
+	all := true
+	for i, node := range nodes {
+		if v, ok := node.Decision(); ok {
+			tr.Decisions[i] = v
+			tr.DecisionRound[i] = 0
+		} else {
+			all = false
+		}
+	}
+	if all {
+		return tr
+	}
+
+	for r := 1; r <= maxRounds; r++ {
+		tr.Rounds = r
+		drops := adv.Drops(r, g)
+		if len(drops) > tr.MaxDropsPerRound {
+			tr.MaxDropsPerRound = len(drops)
+		}
+		tr.TotalDrops += len(drops)
+
+		for _, s := range servers {
+			s.sendReq <- r
+		}
+		outgoing := make([]map[int]Message, n)
+		for i, s := range servers {
+			outgoing[i] = (<-s.sendResp).msgs
+		}
+		incoming := make([]map[int]Message, n)
+		for i := range incoming {
+			incoming[i] = map[int]Message{}
+		}
+		for from, msgs := range outgoing {
+			for to, m := range msgs {
+				if m == nil || !g.HasEdge(from, to) || drops[graph.DirEdge{From: from, To: to}] {
+					continue
+				}
+				incoming[to][from] = m
+			}
+		}
+		for i, s := range servers {
+			s.recvReq <- nodeRecvReq{round: r, msgs: incoming[i]}
+		}
+		all = true
+		for i, s := range servers {
+			resp := <-s.recvResp
+			if tr.DecisionRound[i] < 0 {
+				if resp.decided {
+					tr.Decisions[i] = resp.value
+					tr.DecisionRound[i] = r
+				} else {
+					all = false
+				}
+			}
+		}
+		if all {
+			return tr
+		}
+	}
+	tr.TimedOut = true
+	return tr
+}

@@ -1,0 +1,274 @@
+// Package netsim is the synchronous message-passing simulator for
+// communication networks of arbitrary topology (Section V of Fevat &
+// Godard): n processes on the vertices of an undirected graph exchange
+// one message per incident directed edge per round, and an adversary
+// drops a set of directed messages each round.
+//
+// The omission schemes of Section V are expressed as adversaries: O_f^ω
+// ("at most f losses per round") as a budgeted adversary, and the
+// three-letter cut scheme Γ_C of the Theorem V.1 impossibility proof as an
+// adversary driven by a two-process scenario through the bijection ρ.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/omission"
+	"repro/internal/sim"
+)
+
+// Value is a consensus value (shared with the two-process kernel).
+type Value = sim.Value
+
+// Message is an algorithm-defined payload.
+type Message = sim.Message
+
+// Node is a deterministic synchronous process at a graph vertex.
+type Node interface {
+	// Init resets the node with its vertex id, the topology, and its
+	// input.
+	Init(id int, g *graph.Graph, input Value)
+	// Send returns the messages for round r keyed by neighbor id; absent
+	// keys (or a nil map) mean nothing is sent on that edge.
+	Send(r int) map[int]Message
+	// Receive delivers the round-r messages keyed by sender id (only the
+	// delivered ones appear).
+	Receive(r int, msgs map[int]Message)
+	// Decision returns the decided value once decided.
+	Decision() (Value, bool)
+}
+
+// Adversary selects the directed messages to drop each round.
+type Adversary interface {
+	// Drops returns the set of directed edges whose round-r messages are
+	// lost.
+	Drops(r int, g *graph.Graph) map[graph.DirEdge]bool
+}
+
+// NoDrops is the failure-free adversary.
+type NoDrops struct{}
+
+// Drops implements Adversary.
+func (NoDrops) Drops(int, *graph.Graph) map[graph.DirEdge]bool { return nil }
+
+// RandomF drops up to F uniformly random directed messages per round.
+type RandomF struct {
+	F   int
+	Rng *rand.Rand
+}
+
+// Drops implements Adversary.
+func (a RandomF) Drops(_ int, g *graph.Graph) map[graph.DirEdge]bool {
+	var all []graph.DirEdge
+	for _, e := range g.Edges() {
+		all = append(all, graph.DirEdge{From: e.U, To: e.V}, graph.DirEdge{From: e.V, To: e.U})
+	}
+	a.Rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	k := a.F
+	if k > len(all) {
+		k = len(all)
+	}
+	out := map[graph.DirEdge]bool{}
+	for _, e := range all[:k] {
+		out[e] = true
+	}
+	return out
+}
+
+// CutScenario drives the Γ_C scheme of the Theorem V.1 proof from a
+// two-process scenario through ρ⁻¹: letter '.' drops nothing, 'w' drops
+// every cut-edge message from SideA ("white's side") to SideB, and 'b'
+// drops every message from SideB to SideA.
+type CutScenario struct {
+	Cut graph.Cut
+	Src omission.Source
+}
+
+// Drops implements Adversary.
+func (a CutScenario) Drops(r int, _ *graph.Graph) map[graph.DirEdge]bool {
+	letter := a.Src.At(r - 1)
+	out := map[graph.DirEdge]bool{}
+	for _, e := range a.Cut.CutEdges {
+		aEnd, bEnd := a.Cut.AEnd(e), a.Cut.BEnd(e)
+		if letter.LostWhite() {
+			out[graph.DirEdge{From: aEnd, To: bEnd}] = true
+		}
+		if letter.LostBlack() {
+			out[graph.DirEdge{From: bEnd, To: aEnd}] = true
+		}
+	}
+	return out
+}
+
+// TargetedCut drops a fixed number of the cut's A→B messages per round —
+// the meanest adversary that still respects a budget below the cut size.
+type TargetedCut struct {
+	Cut graph.Cut
+	F   int
+}
+
+// Drops implements Adversary.
+func (a TargetedCut) Drops(_ int, _ *graph.Graph) map[graph.DirEdge]bool {
+	out := map[graph.DirEdge]bool{}
+	for i, e := range a.Cut.CutEdges {
+		if i >= a.F {
+			break
+		}
+		out[graph.DirEdge{From: a.Cut.AEnd(e), To: a.Cut.BEnd(e)}] = true
+	}
+	return out
+}
+
+// FuncAdversary adapts a function.
+type FuncAdversary func(r int, g *graph.Graph) map[graph.DirEdge]bool
+
+// Drops implements Adversary.
+func (f FuncAdversary) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool { return f(r, g) }
+
+// Trace records a network execution.
+type Trace struct {
+	Inputs        []Value
+	Rounds        int
+	Decisions     []Value
+	DecisionRound []int
+	TimedOut      bool
+	// MaxDropsPerRound is the largest number of messages lost in any
+	// single round (for checking the O_f budget).
+	MaxDropsPerRound int
+	TotalDrops       int
+}
+
+// String summarizes the trace.
+func (t Trace) String() string {
+	return fmt.Sprintf("inputs=%v rounds=%d decisions=%v rounds=%v timedOut=%v maxDrops=%d",
+		t.Inputs, t.Rounds, t.Decisions, t.DecisionRound, t.TimedOut, t.MaxDropsPerRound)
+}
+
+// Run executes the nodes on the graph under the adversary for at most
+// maxRounds rounds.
+func Run(g *graph.Graph, nodes []Node, inputs []Value, adv Adversary, maxRounds int) Trace {
+	n := g.N()
+	if len(nodes) != n || len(inputs) != n {
+		panic("netsim: nodes/inputs length mismatch")
+	}
+	for i, node := range nodes {
+		node.Init(i, g, inputs[i])
+	}
+	tr := Trace{
+		Inputs:        append([]Value(nil), inputs...),
+		Decisions:     make([]Value, n),
+		DecisionRound: make([]int, n),
+	}
+	for i := range tr.Decisions {
+		tr.Decisions[i] = sim.None
+		tr.DecisionRound[i] = -1
+	}
+	record := func(round int) bool {
+		all := true
+		for i, node := range nodes {
+			if tr.DecisionRound[i] < 0 {
+				if v, ok := node.Decision(); ok {
+					tr.Decisions[i] = v
+					tr.DecisionRound[i] = round
+				} else {
+					all = false
+				}
+			}
+		}
+		return all
+	}
+	if record(0) {
+		return tr
+	}
+	for r := 1; r <= maxRounds; r++ {
+		tr.Rounds = r
+		drops := adv.Drops(r, g)
+		if len(drops) > tr.MaxDropsPerRound {
+			tr.MaxDropsPerRound = len(drops)
+		}
+		tr.TotalDrops += len(drops)
+
+		outgoing := make([]map[int]Message, n)
+		for i, node := range nodes {
+			outgoing[i] = node.Send(r)
+		}
+		incoming := make([]map[int]Message, n)
+		for i := range incoming {
+			incoming[i] = map[int]Message{}
+		}
+		for from, msgs := range outgoing {
+			for to, m := range msgs {
+				if m == nil || !g.HasEdge(from, to) {
+					continue
+				}
+				if drops[graph.DirEdge{From: from, To: to}] {
+					continue
+				}
+				incoming[to][from] = m
+			}
+		}
+		for i, node := range nodes {
+			node.Receive(r, incoming[i])
+		}
+		if record(r) {
+			return tr
+		}
+	}
+	tr.TimedOut = true
+	return tr
+}
+
+// Report is the consensus-property check outcome for a network trace.
+type Report struct {
+	Terminated bool
+	Agreement  bool
+	Validity   bool
+	Violations []string
+}
+
+// OK reports whether all three properties hold.
+func (r Report) OK() bool { return r.Terminated && r.Agreement && r.Validity }
+
+// Check verifies uniform consensus on the trace.
+func Check(t Trace) Report {
+	rep := Report{Terminated: true, Agreement: true, Validity: true}
+	unanimous := true
+	for _, v := range t.Inputs {
+		if v != t.Inputs[0] {
+			unanimous = false
+		}
+	}
+	isInput := func(v Value) bool {
+		for _, in := range t.Inputs {
+			if in == v {
+				return true
+			}
+		}
+		return false
+	}
+	var first Value = sim.None
+	for i, d := range t.Decisions {
+		if d == sim.None {
+			rep.Terminated = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf("termination: node %d undecided", i))
+			continue
+		}
+		if first == sim.None {
+			first = d
+		} else if d != first {
+			rep.Agreement = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf("agreement: node %d decided %d, node others %d", i, d, first))
+		}
+		if !isInput(d) {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf("validity: node %d decided non-input %d", i, d))
+		}
+		if unanimous && d != t.Inputs[0] {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf("validity: unanimity %d broken by node %d (%d)", t.Inputs[0], i, d))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/omission"
+	"repro/internal/sim"
+)
+
+// countNode decides after `after` rounds on how many messages it received
+// in total.
+type countNode struct {
+	id       int
+	g        *graph.Graph
+	after    int
+	received int
+	decision Value
+}
+
+func (c *countNode) Init(id int, g *graph.Graph, _ Value) {
+	c.id, c.g, c.received, c.decision = id, g, 0, sim.None
+}
+
+func (c *countNode) Send(r int) map[int]Message {
+	out := map[int]Message{}
+	for _, nb := range c.g.Neighbors(c.id) {
+		out[nb] = r
+	}
+	return out
+}
+
+func (c *countNode) Receive(r int, msgs map[int]Message) {
+	c.received += len(msgs)
+	if r >= c.after {
+		c.decision = Value(c.received)
+	}
+}
+
+func (c *countNode) Decision() (Value, bool) { return c.decision, c.decision != sim.None }
+
+func nodes(n int, after int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = &countNode{after: after}
+	}
+	return out
+}
+
+func TestDeliveryAndDrops(t *testing.T) {
+	g := graph.Cycle(4)
+	// Drop one fixed directed edge every round.
+	adv := FuncAdversary(func(r int, _ *graph.Graph) map[graph.DirEdge]bool {
+		return map[graph.DirEdge]bool{{From: 0, To: 1}: true}
+	})
+	ns := nodes(4, 2)
+	tr := Run(g, ns, make([]Value, 4), adv, 5)
+	if tr.TimedOut {
+		t.Fatalf("timeout: %s", tr)
+	}
+	// Node 1 receives 1 message per round (its 0-side message is dropped);
+	// everyone else receives 2 per round over the 2 rounds.
+	if tr.Decisions[1] != 2 {
+		t.Errorf("node 1 received %d, want 2", tr.Decisions[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if tr.Decisions[i] != 4 {
+			t.Errorf("node %d received %d, want 4", i, tr.Decisions[i])
+		}
+	}
+	if tr.MaxDropsPerRound != 1 || tr.TotalDrops != 2 {
+		t.Errorf("drop accounting: %s", tr)
+	}
+}
+
+func TestMessagesToNonNeighborsIgnored(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; no 0-2 edge
+	bad := &rogueNode{}
+	ns := []Node{bad, &countNode{after: 1}, &countNode{after: 1}}
+	tr := Run(g, ns, make([]Value, 3), NoDrops{}, 2)
+	// Node 2 must not receive node 0's out-of-topology message: it hears
+	// only from node 1.
+	if tr.Decisions[2] != 1 {
+		t.Errorf("node 2 received %d messages, want 1", tr.Decisions[2])
+	}
+}
+
+// rogueNode sends to everyone including non-neighbors, and nil payloads.
+type rogueNode struct{ n int }
+
+func (r *rogueNode) Init(_ int, g *graph.Graph, _ Value) { r.n = g.N() }
+func (r *rogueNode) Send(int) map[int]Message {
+	out := map[int]Message{}
+	for i := 1; i < r.n; i++ {
+		out[i] = "rogue"
+	}
+	out[0] = nil // nil messages are dropped silently
+	return out
+}
+func (r *rogueNode) Receive(int, map[int]Message) {}
+func (r *rogueNode) Decision() (Value, bool)      { return 0, true }
+
+func TestRandomFBudget(t *testing.T) {
+	g := graph.Complete(5)
+	rng := rand.New(rand.NewSource(4))
+	for f := 0; f <= 5; f++ {
+		adv := RandomF{F: f, Rng: rng}
+		for r := 1; r <= 10; r++ {
+			drops := adv.Drops(r, g)
+			if len(drops) != f {
+				t.Fatalf("f=%d round %d: %d drops", f, r, len(drops))
+			}
+			for de := range drops {
+				if !g.HasEdge(de.From, de.To) {
+					t.Fatalf("dropped non-edge %v", de)
+				}
+			}
+		}
+	}
+	// Budget beyond 2|E| clamps.
+	adv := RandomF{F: 999, Rng: rng}
+	if len(adv.Drops(1, g)) != 2*g.NumEdges() {
+		t.Error("overlarge budget must clamp to all directed edges")
+	}
+}
+
+func TestCutScenarioLetters(t *testing.T) {
+	g := graph.Barbell(3, 2)
+	cut, _ := g.MinCut()
+	src := omission.MustScenario("wb(.)")
+	adv := CutScenario{Cut: cut, Src: src}
+	r1 := adv.Drops(1, g) // 'w': all A→B
+	if len(r1) != cut.Size() {
+		t.Fatalf("round 1: %d drops, want %d", len(r1), cut.Size())
+	}
+	for de := range r1 {
+		if !cut.InA(de.From) || cut.InA(de.To) {
+			t.Fatalf("round 1 drop %v is not A→B", de)
+		}
+	}
+	r2 := adv.Drops(2, g) // 'b': all B→A
+	for de := range r2 {
+		if cut.InA(de.From) || !cut.InA(de.To) {
+			t.Fatalf("round 2 drop %v is not B→A", de)
+		}
+	}
+	if len(adv.Drops(3, g)) != 0 {
+		t.Error("round 3 ('.') must drop nothing")
+	}
+}
+
+func TestTargetedCutRespectsF(t *testing.T) {
+	g := graph.Barbell(4, 3)
+	cut, _ := g.MinCut()
+	for f := 0; f <= cut.Size()+1; f++ {
+		adv := TargetedCut{Cut: cut, F: f}
+		want := f
+		if want > cut.Size() {
+			want = cut.Size()
+		}
+		if got := len(adv.Drops(1, g)); got != want {
+			t.Fatalf("f=%d: %d drops, want %d", f, got, want)
+		}
+	}
+}
+
+func TestRunRecordsRound0Decisions(t *testing.T) {
+	g := graph.Path(2)
+	ns := []Node{&rogueNode{}, &rogueNode{}} // decide immediately
+	tr := Run(g, ns, make([]Value, 2), NoDrops{}, 5)
+	if tr.Rounds != 0 || tr.DecisionRound[0] != 0 {
+		t.Errorf("round-0 decisions: %s", tr)
+	}
+	if !Check(tr).Terminated {
+		t.Error("terminated")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := Trace{Inputs: []Value{0, 1}, Decisions: []Value{1, 1}, DecisionRound: []int{1, 1}}
+	if tr.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+// TestGoroutineRunnerEquivalence: the CSP runner and the sequential
+// runner produce identical traces for deterministic nodes and adversaries.
+func TestGoroutineRunnerEquivalence(t *testing.T) {
+	g := graph.Cycle(5)
+	adv := FuncAdversary(func(r int, _ *graph.Graph) map[graph.DirEdge]bool {
+		if r%2 == 1 {
+			return map[graph.DirEdge]bool{{From: 0, To: 1}: true}
+		}
+		return map[graph.DirEdge]bool{{From: 2, To: 3}: true}
+	})
+	in := []Value{0, 1, 0, 1, 1}
+	seq := Run(g, nodes(5, 3), in, adv, 6)
+	conc := RunGoroutines(g, nodes(5, 3), in, adv, 6)
+	if seq.Rounds != conc.Rounds || seq.TimedOut != conc.TimedOut ||
+		seq.MaxDropsPerRound != conc.MaxDropsPerRound || seq.TotalDrops != conc.TotalDrops {
+		t.Fatalf("trace metadata differs:\n seq: %s\nconc: %s", seq, conc)
+	}
+	for i := range seq.Decisions {
+		if seq.Decisions[i] != conc.Decisions[i] || seq.DecisionRound[i] != conc.DecisionRound[i] {
+			t.Fatalf("node %d decisions differ: %s vs %s", i, seq, conc)
+		}
+	}
+	// Timeout path.
+	seq = Run(g, nodes(5, 100), in, adv, 4)
+	conc = RunGoroutines(g, nodes(5, 100), in, adv, 4)
+	if !seq.TimedOut || !conc.TimedOut || seq.Rounds != conc.Rounds {
+		t.Fatalf("timeout divergence: %s vs %s", seq, conc)
+	}
+	// Round-0 path.
+	instant := []Node{&rogueNode{}, &rogueNode{}}
+	g2 := graph.Path(2)
+	c0 := RunGoroutines(g2, instant, make([]Value, 2), NoDrops{}, 3)
+	if c0.Rounds != 0 || c0.DecisionRound[0] != 0 {
+		t.Fatalf("round-0: %s", c0)
+	}
+	// Mismatched lengths panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RunGoroutines(g2, instant, make([]Value, 5), NoDrops{}, 1)
+}

@@ -1,0 +1,194 @@
+// Package obstruction implements Section IV-C of Fevat & Godard: the
+// structure of minimal obstructions for the Coordinated Attack Problem.
+//
+// The special pairs form a perfect matching on the non-constant unfair
+// scenarios: every unfair scenario u·a^ω (a a loss letter) has exactly one
+// partner — the scenario with the adjacent prefix index and the same tail
+// — except the two constants (w)^ω and (b)^ω, whose would-be partners fall
+// outside the index range (which is exactly why conditions III.8.iii/iv
+// exist separately). Each pair has a "lower" and an "upper" member,
+// distinguished by the index order, equivalently by the parity/tail-letter
+// pattern.
+//
+// A set U of unfair scenarios hitting every pair exactly once (a minimum
+// vertex cover of the matching) yields the inclusion-minimal obstruction
+// Γ^ω \ U: removing anything more breaks a pair (or removes a fair
+// scenario or a constant) and turns the scheme solvable. The canonical
+// choice U = all lower members is implemented as a membership predicate —
+// the resulting scheme is not ω-regular (it is a co-Büchi-type condition),
+// so it lives outside the DBA Scheme type by necessity.
+//
+// Finite truncations are regular: L_k = Γ^ω minus the lower members with
+// prefix length ≤ k form the strictly decreasing sequence of obstructions
+// of the paper's Section IV-C, each checkable by the classifier.
+package obstruction
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/classify"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+)
+
+// Role classifies a scenario's position in the special-pair matching.
+type Role int
+
+const (
+	// RoleFair: the scenario is fair (not in the matching at all).
+	RoleFair Role = iota
+	// RoleLower: unfair, the smaller-index member of its special pair.
+	RoleLower
+	// RoleUpper: unfair, the larger-index member of its special pair.
+	RoleUpper
+	// RoleConstant: (w)^ω or (b)^ω — unfair but unpaired.
+	RoleConstant
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleFair:
+		return "fair"
+	case RoleLower:
+		return "lower"
+	case RoleUpper:
+		return "upper"
+	case RoleConstant:
+		return "constant"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// RoleOf computes the matching role of a Γ-scenario. It panics on
+// scenarios outside Γ^ω.
+func RoleOf(s omission.Scenario) Role {
+	if !s.InGamma() {
+		panic("obstruction: RoleOf outside Γ^ω")
+	}
+	if s.IsFair() {
+		return RoleFair
+	}
+	c := s.Canonical()
+	u, tail := c.Prefix(), c.Period()
+	// A canonical unfair scenario has a single-loss-letter period.
+	if len(tail) != 1 || tail[0] == omission.None {
+		panic(fmt.Sprintf("obstruction: unfair scenario %s not in canonical u·a^ω form", s))
+	}
+	a := tail[0]
+	ku := omission.Index(u)
+	even := ku.Bit(0) == 0
+	// Lower pattern: tail 'w' at even parity, or tail 'b' at odd parity.
+	lowerPattern := (a == omission.LossWhite && even) || (a == omission.LossBlack && !even)
+	if lowerPattern {
+		// Partner would be ind(u)+1; exists iff ind(u) < 3^|u| − 1.
+		limit := new(big.Int).Sub(omission.Pow3(len(u)), big.NewInt(1))
+		if ku.Cmp(limit) >= 0 {
+			return RoleConstant // (w)^ω and padded forms
+		}
+		return RoleLower
+	}
+	// Upper pattern: partner would be ind(u)−1; exists iff ind(u) > 0.
+	if ku.Sign() == 0 {
+		return RoleConstant // (b)^ω
+	}
+	return RoleUpper
+}
+
+// Partner returns the special-pair partner of an unfair non-constant
+// scenario (ok=false for fair scenarios and constants). It delegates to
+// classify.SpecialPartner and is re-exported here for discoverability.
+func Partner(s omission.Scenario) (omission.Scenario, bool) {
+	return classify.SpecialPartner(s)
+}
+
+// Pair is one edge of the special-pair matching.
+type Pair struct {
+	Lower, Upper omission.Scenario
+}
+
+// UnfairWindow enumerates the canonical unfair scenarios u·a^ω with
+// |u| ≤ maxPrefix (over both loss tails), deduplicated semantically.
+func UnfairWindow(maxPrefix int) []omission.Scenario {
+	seen := map[string]bool{}
+	var out []omission.Scenario
+	for r := 0; r <= maxPrefix; r++ {
+		for _, u := range omission.AllWords(omission.Gamma, r) {
+			for _, a := range []omission.Letter{omission.LossWhite, omission.LossBlack} {
+				c := omission.UPWord(u, omission.Word{a}).Canonical()
+				key := c.String()
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PairGraph returns the matching edges whose both endpoints lie in the
+// given scenario set.
+func PairGraph(window []omission.Scenario) []Pair {
+	index := map[string]bool{}
+	for _, s := range window {
+		index[s.Canonical().String()] = true
+	}
+	seen := map[string]bool{}
+	var out []Pair
+	for _, s := range window {
+		p, ok := Partner(s)
+		if !ok || !index[p.Canonical().String()] {
+			continue
+		}
+		lower, upper := classify.OrientPair(s, p)
+		key := lower.Canonical().String() + "|" + upper.Canonical().String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, Pair{Lower: lower.Canonical(), Upper: upper.Canonical()})
+		}
+	}
+	return out
+}
+
+// LowerMembers filters a window down to its RoleLower scenarios — the
+// canonical minimum vertex cover of the matching restricted to the window.
+func LowerMembers(window []omission.Scenario) []omission.Scenario {
+	var out []omission.Scenario
+	for _, s := range window {
+		if RoleOf(s) == RoleLower {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// InCanonicalMinimalObstruction reports membership of an ultimately
+// periodic Γ-scenario in the canonical minimal obstruction
+// Γ^ω \ {all lower members}: fair scenarios, the two constants, and all
+// upper members are in; lower members are out. This scheme is not
+// ω-regular, hence exposed only as a predicate.
+func InCanonicalMinimalObstruction(s omission.Scenario) bool {
+	return RoleOf(s) != RoleLower
+}
+
+// DecreasingObstructions builds the strictly decreasing sequence of
+// regular obstructions L_0 ⊋ L_1 ⊋ … ⊋ L_n of Section IV-C:
+// L_k = Γ^ω minus the lower members with canonical prefix length ≤ k.
+// Every L_k is an obstruction (each removed scenario's partner is still
+// present), verified by the classifier in tests.
+func DecreasingObstructions(n int) []*scheme.Scheme {
+	var out []*scheme.Scheme
+	var removed []omission.Scenario
+	for k := 0; k <= n; k++ {
+		for _, s := range UnfairWindow(k) {
+			if len(s.Prefix()) == k && RoleOf(s) == RoleLower {
+				removed = append(removed, s)
+			}
+		}
+		out = append(out, scheme.Minus(fmt.Sprintf("L_%d", k), scheme.R1(), removed...))
+	}
+	return out
+}

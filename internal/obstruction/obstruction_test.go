@@ -1,0 +1,210 @@
+package obstruction
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+)
+
+func sc(s string) omission.Scenario { return omission.MustScenario(s) }
+
+func TestRoleOf(t *testing.T) {
+	cases := []struct {
+		s    string
+		want Role
+	}{
+		{"(.)", RoleFair},
+		{"(wb)", RoleFair},
+		{"www(.b)", RoleFair},
+		{"(w)", RoleConstant},
+		{"(b)", RoleConstant},
+		{"ww(w)", RoleConstant}, // same ω-word as (w)
+		{"b(w)", RoleLower},     // ind(b)=0 even, tail w
+		{".(w)", RoleUpper},     // ind(.)=1 odd, tail w
+		{".(b)", RoleLower},     // odd parity, tail b
+		{"w(b)", RoleUpper},     // even parity, tail b
+		{"bb(w)", RoleLower},
+		{"b.(w)", RoleUpper},
+		{"ww(b)", RoleUpper},
+		{"w.(b)", RoleLower},
+	}
+	for _, c := range cases {
+		if got := RoleOf(sc(c.s)); got != c.want {
+			t.Errorf("RoleOf(%s) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if RoleFair.String() == "" || RoleLower.String() == "" || RoleUpper.String() == "" ||
+		RoleConstant.String() == "" || Role(9).String() == "" {
+		t.Error("Role strings")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RoleOf outside Γ must panic")
+		}
+	}()
+	RoleOf(sc("(x)"))
+}
+
+// TestMatchingStructure verifies the perfect-matching claims on a window:
+// every non-constant unfair scenario has exactly one partner, of the
+// opposite role, and the pairing is involutive.
+func TestMatchingStructure(t *testing.T) {
+	window := UnfairWindow(4)
+	lower, upper, constant := 0, 0, 0
+	for _, s := range window {
+		switch RoleOf(s) {
+		case RoleConstant:
+			constant++
+			if _, ok := Partner(s); ok {
+				t.Fatalf("constant %s has a partner", s)
+			}
+		case RoleLower:
+			lower++
+			p, ok := Partner(s)
+			if !ok {
+				t.Fatalf("lower %s has no partner", s)
+			}
+			if RoleOf(p) != RoleUpper {
+				t.Fatalf("partner of lower %s is %s (%v)", s, p, RoleOf(p))
+			}
+			if !classify.IsSpecialPair(s, p) {
+				t.Fatalf("(%s, %s) not special", s, p)
+			}
+			pp, ok := Partner(p)
+			if !ok || !pp.Equal(s) {
+				t.Fatalf("matching not involutive at %s", s)
+			}
+		case RoleUpper:
+			upper++
+		case RoleFair:
+			t.Fatalf("fair scenario %s in unfair window", s)
+		}
+	}
+	if constant != 2 {
+		t.Errorf("%d constants in window, want 2", constant)
+	}
+	if lower != upper {
+		t.Errorf("matching unbalanced: %d lowers, %d uppers", lower, upper)
+	}
+	if lower == 0 {
+		t.Error("empty matching window")
+	}
+}
+
+func TestPairGraph(t *testing.T) {
+	window := UnfairWindow(3)
+	pairs := PairGraph(window)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs in window")
+	}
+	seenLower := map[string]bool{}
+	for _, p := range pairs {
+		if RoleOf(p.Lower) != RoleLower || RoleOf(p.Upper) != RoleUpper {
+			t.Fatalf("pair (%s, %s) roles wrong", p.Lower, p.Upper)
+		}
+		if !classify.IsSpecialPair(p.Lower, p.Upper) {
+			t.Fatalf("pair (%s, %s) not special", p.Lower, p.Upper)
+		}
+		k := p.Lower.String()
+		if seenLower[k] {
+			t.Fatalf("lower %s matched twice", p.Lower)
+		}
+		seenLower[k] = true
+	}
+	// The lower members are exactly the pair lowers whose partner fits in
+	// the window (all of them here, since partners share prefix length).
+	lowers := LowerMembers(window)
+	if len(lowers) != len(pairs) {
+		t.Errorf("%d lowers vs %d pairs", len(lowers), len(pairs))
+	}
+}
+
+// TestDecreasingObstructions reproduces the Section IV-C construction:
+// a strictly decreasing infinite (here: truncated) sequence of
+// obstructions.
+func TestDecreasingObstructions(t *testing.T) {
+	seq := DecreasingObstructions(3)
+	if len(seq) != 4 {
+		t.Fatalf("%d schemes", len(seq))
+	}
+	for i, l := range seq {
+		res, err := classify.Classify(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solvable {
+			t.Fatalf("L_%d is not an obstruction", i)
+		}
+		if i > 0 {
+			// Strict inclusion L_i ⊊ L_{i-1}.
+			if ok, w := scheme.SubsetOf(l, seq[i-1]); !ok {
+				t.Fatalf("L_%d ⊄ L_%d (%s)", i, i-1, w)
+			}
+			if ok, _ := scheme.SubsetOf(seq[i-1], l); ok {
+				t.Fatalf("L_%d = L_%d, want strict decrease", i, i-1)
+			}
+		}
+	}
+	// Removing the partner of any removed lower from L_n yields a solvable
+	// scheme — the minimality mechanism.
+	last := seq[len(seq)-1]
+	lower := sc(".(b)")
+	if last.Contains(lower) {
+		t.Fatal(".(b) should already be removed")
+	}
+	partner, _ := Partner(lower)
+	broken := scheme.Minus("L+u", last, partner)
+	res, err := classify.Classify(broken)
+	if err != nil || !res.Solvable {
+		t.Fatalf("breaking a pair must give solvability: %+v %v", res, err)
+	}
+}
+
+// TestCanonicalMinimalObstruction checks the cover property of the
+// canonical (non-regular) minimal obstruction semantically: the scheme
+// contains all fair scenarios and constants, contains every upper member,
+// excludes every lower member — so each special pair has exactly one
+// member inside, and any scenario missing from a proper subset certifies
+// solvability.
+func TestCanonicalMinimalObstruction(t *testing.T) {
+	for _, s := range []string{"(.)", "(wb)", "(w)", "(b)", ".(w)", "w(b)", "b.(w)", "ww(b)"} {
+		if !InCanonicalMinimalObstruction(sc(s)) {
+			t.Errorf("%s should be in the canonical minimal obstruction", s)
+		}
+	}
+	for _, s := range []string{"b(w)", ".(b)", "bb(w)", "w.(b)"} {
+		if InCanonicalMinimalObstruction(sc(s)) {
+			t.Errorf("%s (lower) should be excluded", s)
+		}
+	}
+	// Cover property over a window: every pair has its lower out and its
+	// upper in.
+	for _, p := range PairGraph(UnfairWindow(4)) {
+		if InCanonicalMinimalObstruction(p.Lower) || !InCanonicalMinimalObstruction(p.Upper) {
+			t.Fatalf("cover property violated at pair (%s, %s)", p.Lower, p.Upper)
+		}
+	}
+}
+
+func TestUnfairWindowDedup(t *testing.T) {
+	window := UnfairWindow(2)
+	seen := map[string]bool{}
+	for _, s := range window {
+		k := s.String()
+		if seen[k] {
+			t.Fatalf("duplicate %s", k)
+		}
+		seen[k] = true
+		if s.IsFair() {
+			t.Fatalf("fair scenario %s in window", s)
+		}
+	}
+	// Counts: prefix ε: 2 constants. Canonical scenarios with prefix
+	// length exactly r ≥ 1 avoid the tail letter as last prefix letter:
+	// 2·3^(r-1)·2 per tail? Just sanity-check growth.
+	if len(window) <= len(UnfairWindow(1)) {
+		t.Error("window must grow with the prefix bound")
+	}
+}

@@ -1,0 +1,37 @@
+package omission
+
+import "fmt"
+
+// Words and Scenarios marshal as their canonical text forms (".wb" and
+// "u(v)"), making them directly usable in JSON payloads and flag values.
+
+// MarshalText implements encoding.TextMarshaler.
+func (w Word) MarshalText() ([]byte, error) { return []byte(w.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (w *Word) UnmarshalText(b []byte) error {
+	parsed, err := ParseWord(string(b))
+	if err != nil {
+		return err
+	}
+	*w = parsed
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Scenario) MarshalText() ([]byte, error) {
+	if len(s.period) == 0 {
+		return nil, fmt.Errorf("omission: cannot marshal the zero Scenario")
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Scenario) UnmarshalText(b []byte) error {
+	parsed, err := ParseScenario(string(b))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}

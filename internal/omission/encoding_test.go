@@ -1,0 +1,62 @@
+package omission
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestWordJSONRoundTrip(t *testing.T) {
+	type payload struct {
+		W Word `json:"w"`
+	}
+	in := payload{W: MustWord(".wbx")}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"w":".wbx"}` {
+		t.Errorf("marshaled %s", data)
+	}
+	var out payload
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.W.Equal(in.W) {
+		t.Errorf("round trip: %v", out.W)
+	}
+	// The empty word survives too.
+	data, _ = json.Marshal(payload{W: Epsilon()})
+	if err := json.Unmarshal(data, &out); err != nil || out.W.Len() != 0 {
+		t.Errorf("ε round trip: %v %v", out.W, err)
+	}
+	if err := json.Unmarshal([]byte(`{"w":"zz"}`), &out); err == nil {
+		t.Error("invalid word must fail")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	type payload struct {
+		S Scenario `json:"s"`
+	}
+	in := payload{S: MustScenario("w.(bx)")}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"s":"w.(bx)"}` {
+		t.Errorf("marshaled %s", data)
+	}
+	var out payload
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.S.Equal(in.S) {
+		t.Errorf("round trip: %v", out.S)
+	}
+	if err := json.Unmarshal([]byte(`{"s":"((("}`), &out); err == nil {
+		t.Error("invalid scenario must fail")
+	}
+	if _, err := (Scenario{}).MarshalText(); err == nil {
+		t.Error("zero scenario must refuse to marshal")
+	}
+}

@@ -1,0 +1,100 @@
+package omission
+
+import (
+	"math/big"
+	"testing"
+)
+
+// bytesToWord maps arbitrary fuzz bytes into a Γ-word.
+func bytesToWord(data []byte, alphabet []Letter) Word {
+	w := make(Word, 0, len(data))
+	for _, b := range data {
+		w = append(w, alphabet[int(b)%len(alphabet)])
+	}
+	return w
+}
+
+func FuzzIndexRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1})
+	f.Add([]byte{})
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 60 {
+			data = data[:60]
+		}
+		w := bytesToWord(data, Gamma)
+		k := Index(w)
+		if k.Sign() < 0 || k.Cmp(Pow3(len(w))) >= 0 {
+			t.Fatalf("ind(%v) = %v out of range", w, k)
+		}
+		if !UnIndex(len(w), k).Equal(w) {
+			t.Fatalf("UnIndex(Index(%v)) mismatch", w)
+		}
+		if len(w) <= MaxInt64Rounds {
+			k64, err := IndexInt64(w)
+			if err != nil || big.NewInt(k64).Cmp(k) != 0 {
+				t.Fatalf("int64 index mismatch on %v", w)
+			}
+		}
+	})
+}
+
+func FuzzParseScenario(f *testing.F) {
+	f.Add(".w(b)")
+	f.Add("(wb)")
+	f.Add("x(.x)")
+	f.Add("((")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseScenario(s)
+		if err != nil {
+			return
+		}
+		// Round trip through the string form.
+		again, err := ParseScenario(sc.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", sc.String(), err)
+		}
+		if !again.Equal(sc) {
+			t.Fatalf("round trip changed %q", s)
+		}
+		// Canonicalization preserves the ω-word and is idempotent.
+		c := sc.Canonical()
+		if !c.Equal(sc) {
+			t.Fatalf("Canonical changed the ω-word of %q", s)
+		}
+		if c.Canonical().String() != c.String() {
+			t.Fatalf("Canonical not idempotent on %q", s)
+		}
+	})
+}
+
+func FuzzScenarioEquality(f *testing.F) {
+	f.Add([]byte{0, 1}, []byte{2}, []byte{0, 1, 2}, []byte{2, 2})
+	f.Fuzz(func(t *testing.T, u1, v1, u2, v2 []byte) {
+		if len(v1) == 0 || len(v2) == 0 || len(u1)+len(v1)+len(u2)+len(v2) > 24 {
+			return
+		}
+		a := UPWord(bytesToWord(u1, Sigma), bytesToWord(v1, Sigma))
+		b := UPWord(bytesToWord(u2, Sigma), bytesToWord(v2, Sigma))
+		eq := a.Equal(b)
+		// Semantic equality must match letter-by-letter comparison over a
+		// long window.
+		window := 3 * (len(u1) + len(v1) + len(u2) + len(v2) + 1)
+		same := true
+		for i := 0; i < window; i++ {
+			if a.At(i) != b.At(i) {
+				same = false
+				break
+			}
+		}
+		// A long common window implies equality for ultimately periodic
+		// words of these sizes; conversely equality implies every position
+		// agrees.
+		if eq != same {
+			t.Fatalf("Equal(%s,%s)=%v but window compare %v", a, b, eq, same)
+		}
+		if eq != a.Canonical().Equal(b.Canonical()) {
+			t.Fatal("canonical equality mismatch")
+		}
+	})
+}

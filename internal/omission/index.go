@@ -1,0 +1,219 @@
+package omission
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// MaxInt64Rounds is the largest word length r for which every index value
+// (≤ 3^r − 1) fits in an int64. 3^39 ≈ 4.05e18 < 2^63−1 < 3^40.
+const MaxInt64Rounds = 39
+
+// Index computes ind(w) of Definition III.1 exactly, for arbitrary length,
+// as a big integer: ind(ε) = 0 and ind(ua) = 3·ind(u) + (−1)^ind(u)·δ(a) + 1.
+// It panics if w contains the double omission (ind is defined on Γ* only).
+func Index(w Word) *big.Int {
+	t := NewIndexTracker()
+	for _, a := range w {
+		t.Step(a)
+	}
+	return t.Value()
+}
+
+// IndexInt64 computes ind(w) as an int64. It returns an error if
+// |w| > MaxInt64Rounds (the value may overflow) or if w leaves Γ*.
+func IndexInt64(w Word) (int64, error) {
+	if len(w) > MaxInt64Rounds {
+		return 0, fmt.Errorf("omission: word length %d exceeds int64-safe bound %d", len(w), MaxInt64Rounds)
+	}
+	var ind int64
+	for _, a := range w {
+		if !a.InGamma() {
+			return 0, fmt.Errorf("omission: ind undefined on double omission (word %s)", w)
+		}
+		d := int64(a.Delta())
+		if ind&1 == 1 {
+			d = -d
+		}
+		ind = 3*ind + d + 1
+	}
+	return ind, nil
+}
+
+// IndexTracker computes ind(w) incrementally, one letter per Step, in
+// O(1) big-int operations per round. It is the streaming form used by the
+// consensus algorithm A_w to follow ind(w_r) of its excluded scenario.
+// The zero value is not ready; use NewIndexTracker.
+type IndexTracker struct {
+	ind   *big.Int
+	round int
+	tmp   *big.Int
+}
+
+// NewIndexTracker returns a tracker positioned at ε with ind = 0.
+func NewIndexTracker() *IndexTracker {
+	return &IndexTracker{ind: new(big.Int), tmp: new(big.Int)}
+}
+
+// Step extends the tracked word by one letter and returns the new index.
+// The returned value is owned by the tracker; callers must not modify it
+// and should copy it if they need to retain it across Steps. Step panics
+// on the double omission.
+func (t *IndexTracker) Step(a Letter) *big.Int {
+	if !a.InGamma() {
+		panic("omission: IndexTracker.Step on double omission")
+	}
+	d := int64(a.Delta())
+	if t.ind.Bit(0) == 1 {
+		d = -d
+	}
+	// ind = 3*ind + d + 1
+	t.tmp.SetInt64(3)
+	t.ind.Mul(t.ind, t.tmp)
+	t.tmp.SetInt64(d + 1)
+	t.ind.Add(t.ind, t.tmp)
+	t.round++
+	return t.ind
+}
+
+// Value returns a copy of the current index.
+func (t *IndexTracker) Value() *big.Int { return new(big.Int).Set(t.ind) }
+
+// Peek returns the tracker's internal index; callers must treat it as
+// read-only. It avoids the allocation of Value in hot comparison loops.
+func (t *IndexTracker) Peek() *big.Int { return t.ind }
+
+// Round returns the number of letters consumed so far.
+func (t *IndexTracker) Round() int { return t.round }
+
+// Parity returns ind mod 2 (0 or 1): the sign selector (−1)^ind of the
+// recurrence.
+func (t *IndexTracker) Parity() uint { return t.ind.Bit(0) }
+
+// Clone returns an independent copy of the tracker.
+func (t *IndexTracker) Clone() *IndexTracker {
+	return &IndexTracker{ind: new(big.Int).Set(t.ind), round: t.round, tmp: new(big.Int)}
+}
+
+// Int64Tracker is the overflow-checked int64 fast path of IndexTracker,
+// valid for up to MaxInt64Rounds steps. It exists for the ablation
+// benchmark big.Int-vs-int64 and for hot exhaustive-enumeration loops.
+type Int64Tracker struct {
+	ind   int64
+	round int
+}
+
+// Step extends by one letter; it panics beyond MaxInt64Rounds or on the
+// double omission.
+func (t *Int64Tracker) Step(a Letter) int64 {
+	if t.round >= MaxInt64Rounds {
+		panic("omission: Int64Tracker overflow")
+	}
+	if !a.InGamma() {
+		panic("omission: Int64Tracker.Step on double omission")
+	}
+	d := int64(a.Delta())
+	if t.ind&1 == 1 {
+		d = -d
+	}
+	t.ind = 3*t.ind + d + 1
+	t.round++
+	return t.ind
+}
+
+// Value returns the current index.
+func (t *Int64Tracker) Value() int64 { return t.ind }
+
+// Round returns the number of letters consumed.
+func (t *Int64Tracker) Round() int { return t.round }
+
+// Pow3 returns 3^r as a big integer.
+func Pow3(r int) *big.Int {
+	return new(big.Int).Exp(big.NewInt(3), big.NewInt(int64(r)), nil)
+}
+
+// Pow3Int64 returns 3^r as an int64; r must be ≤ MaxInt64Rounds.
+func Pow3Int64(r int) int64 {
+	if r > MaxInt64Rounds {
+		panic("omission: Pow3Int64 overflow")
+	}
+	v := int64(1)
+	for i := 0; i < r; i++ {
+		v *= 3
+	}
+	return v
+}
+
+// UnIndex inverts the index bijection (Lemma III.2): it returns the unique
+// word w ∈ Γ^r with ind(w) = k. It panics unless 0 ≤ k < 3^r.
+//
+// Derivation: write k = 3q + rem with rem ∈ {0,1,2}; then q = ind(u) for
+// the length r−1 prefix u and (−1)^q·δ(a) = rem − 1 determines the last
+// letter a.
+func UnIndex(r int, k *big.Int) Word {
+	if k.Sign() < 0 || k.Cmp(Pow3(r)) >= 0 {
+		panic(fmt.Sprintf("omission: UnIndex(%d, %v) out of range", r, k))
+	}
+	w := make(Word, r)
+	q := new(big.Int).Set(k)
+	rem := new(big.Int)
+	three := big.NewInt(3)
+	for i := r - 1; i >= 0; i-- {
+		q.QuoRem(q, three, rem)
+		w[i] = letterForRem(int(rem.Int64()), q.Bit(0) == 1)
+	}
+	return w
+}
+
+// UnIndexInt64 is UnIndex for indices fitting in an int64.
+func UnIndexInt64(r int, k int64) Word {
+	if r > MaxInt64Rounds || k < 0 || k >= Pow3Int64(r) {
+		panic(fmt.Sprintf("omission: UnIndexInt64(%d, %d) out of range", r, k))
+	}
+	w := make(Word, r)
+	for i := r - 1; i >= 0; i-- {
+		q, rem := k/3, int(k%3)
+		w[i] = letterForRem(rem, q&1 == 1)
+		k = q
+	}
+	return w
+}
+
+// letterForRem returns the letter a with (−1)^q·δ(a) = rem − 1, where odd
+// indicates q is odd.
+func letterForRem(rem int, odd bool) Letter {
+	// target = rem - 1 ∈ {-1, 0, +1}; δ(a) = target·(−1)^q.
+	target := rem - 1
+	if odd {
+		target = -target
+	}
+	switch target {
+	case -1:
+		return LossBlack
+	case 0:
+		return None
+	default:
+		return LossWhite
+	}
+}
+
+// AdjacentWord returns the unique word of the same length with index
+// ind(w)+1, or ok=false if ind(w) is already the maximum 3^r−1. Together
+// with Lemma III.4 this walks the indistinguishability chain.
+func AdjacentWord(w Word) (Word, bool) {
+	k := Index(w)
+	k.Add(k, big.NewInt(1))
+	if k.Cmp(Pow3(len(w))) >= 0 {
+		return nil, false
+	}
+	return UnIndex(len(w), k), true
+}
+
+// IndistinguishableTo reports which process cannot distinguish the
+// executions under v and its index-successor v′ (Corollary III.5): if
+// ind(v) is even the successor is black-indistinguishable (black has the
+// same state), if odd it is white-indistinguishable. The boolean returned
+// is true for "white is the blind process".
+func IndistinguishableTo(v Word) (whiteBlind bool) {
+	return Index(v).Bit(0) == 1
+}

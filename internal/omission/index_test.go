@@ -1,0 +1,273 @@
+package omission
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure1 pins the exact index table of the paper's Figure 1 (words of
+// length ≤ 2), under the repository's δ convention.
+func TestFigure1(t *testing.T) {
+	cases := []struct {
+		w    string
+		want int64
+	}{
+		{"", 0},
+		// length 1
+		{"b", 0}, {".", 1}, {"w", 2},
+		// length 2, the "snake" ordering
+		{"bb", 0}, {"b.", 1}, {"bw", 2},
+		{".w", 3}, {"..", 4}, {".b", 5},
+		{"wb", 6}, {"w.", 7}, {"ww", 8},
+	}
+	for _, c := range cases {
+		got, err := IndexInt64(MustWord(c.w))
+		if err != nil {
+			t.Fatalf("IndexInt64(%q): %v", c.w, err)
+		}
+		if got != c.want {
+			t.Errorf("ind(%q) = %d, want %d", c.w, got, c.want)
+		}
+		if big := Index(MustWord(c.w)); big.Int64() != c.want {
+			t.Errorf("big ind(%q) = %v, want %d", c.w, big, c.want)
+		}
+	}
+}
+
+// TestPropositionIII3 checks ind(b^r) = 0 and ind(w^r) = 3^r − 1.
+func TestPropositionIII3(t *testing.T) {
+	for r := 0; r <= 20; r++ {
+		if got, _ := IndexInt64(Uniform(LossBlack, r)); got != 0 {
+			t.Errorf("ind(b^%d) = %d, want 0", r, got)
+		}
+		want := Pow3Int64(r) - 1
+		if got, _ := IndexInt64(Uniform(LossWhite, r)); got != want {
+			t.Errorf("ind(w^%d) = %d, want %d", r, got, want)
+		}
+	}
+	// And beyond int64 range using big.Int.
+	r := 120
+	if Index(Uniform(LossBlack, r)).Sign() != 0 {
+		t.Error("big ind(b^120) != 0")
+	}
+	want := new(big.Int).Sub(Pow3(r), big.NewInt(1))
+	if Index(Uniform(LossWhite, r)).Cmp(want) != 0 {
+		t.Error("big ind(w^120) != 3^120-1")
+	}
+}
+
+// TestLemmaIII2 verifies exhaustively for r ≤ 8 that ind is a bijection
+// from Γ^r onto [0, 3^r − 1].
+func TestLemmaIII2(t *testing.T) {
+	for r := 0; r <= 8; r++ {
+		seen := make([]bool, Pow3Int64(r))
+		for _, w := range AllWords(Gamma, r) {
+			k, err := IndexInt64(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k < 0 || k >= int64(len(seen)) {
+				t.Fatalf("ind(%v) = %d out of range [0,%d)", w, k, len(seen))
+			}
+			if seen[k] {
+				t.Fatalf("ind not injective at %d (word %v)", k, w)
+			}
+			seen[k] = true
+		}
+		for k, ok := range seen {
+			if !ok {
+				t.Fatalf("r=%d: index %d not attained", r, k)
+			}
+		}
+	}
+}
+
+func TestUnIndexInverse(t *testing.T) {
+	for r := 0; r <= 7; r++ {
+		for _, w := range AllWords(Gamma, r) {
+			k, _ := IndexInt64(w)
+			if got := UnIndexInt64(r, k); !got.Equal(w) {
+				t.Fatalf("UnIndexInt64(%d,%d) = %v, want %v", r, k, got, w)
+			}
+			if got := UnIndex(r, big.NewInt(k)); !got.Equal(w) {
+				t.Fatalf("UnIndex(%d,%d) = %v, want %v", r, k, got, w)
+			}
+		}
+	}
+}
+
+func TestUnIndexQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := int(n % (MaxInt64Rounds + 1))
+		w := randomWord(rng, r, Gamma)
+		k, err := IndexInt64(w)
+		if err != nil {
+			return false
+		}
+		return UnIndexInt64(r, k).Equal(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigIndexMatchesInt64(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWord(rng, int(n%(MaxInt64Rounds+1)), Gamma)
+		k, err := IndexInt64(w)
+		if err != nil {
+			return false
+		}
+		return Index(w).Int64() == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexTrackerStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		w := randomWord(rng, rng.Intn(60), Gamma)
+		bt := NewIndexTracker()
+		var it Int64Tracker
+		for i, a := range w {
+			prefix := w[:i+1]
+			got := bt.Step(a)
+			if got.Cmp(Index(prefix)) != 0 {
+				t.Fatalf("tracker diverged at %v: %v vs %v", prefix, got, Index(prefix))
+			}
+			if bt.Round() != i+1 {
+				t.Fatalf("Round() = %d, want %d", bt.Round(), i+1)
+			}
+			if bt.Parity() != Index(prefix).Bit(0) {
+				t.Fatal("Parity mismatch")
+			}
+			if i < MaxInt64Rounds {
+				if got64 := it.Step(a); big.NewInt(got64).Cmp(got) != 0 {
+					t.Fatalf("int64 tracker diverged at %v", prefix)
+				}
+			}
+		}
+		// Clone must be independent.
+		c := bt.Clone()
+		c.Step(None)
+		if bt.Value().Cmp(Index(w)) != 0 {
+			t.Fatal("Clone not independent")
+		}
+	}
+}
+
+func TestIndexPanicsOnDoubleOmission(t *testing.T) {
+	assertPanics(t, func() { Index(MustWord("x")) })
+	assertPanics(t, func() { NewIndexTracker().Step(LossBoth) })
+	assertPanics(t, func() { new(Int64Tracker).Step(LossBoth) })
+	if _, err := IndexInt64(MustWord(".x")); err == nil {
+		t.Error("IndexInt64 should reject double omission")
+	}
+	if _, err := IndexInt64(Uniform(None, MaxInt64Rounds+1)); err == nil {
+		t.Error("IndexInt64 should reject overlong words")
+	}
+}
+
+func TestUnIndexPanicsOutOfRange(t *testing.T) {
+	assertPanics(t, func() { UnIndexInt64(2, 9) })
+	assertPanics(t, func() { UnIndexInt64(2, -1) })
+	assertPanics(t, func() { UnIndex(2, big.NewInt(9)) })
+	assertPanics(t, func() { Pow3Int64(MaxInt64Rounds + 1) })
+	assertPanics(t, func() {
+		var tr Int64Tracker
+		for i := 0; i <= MaxInt64Rounds; i++ {
+			tr.Step(None)
+		}
+	})
+}
+
+// TestAdjacentWord checks the chain-walk helper against the bijection.
+func TestAdjacentWord(t *testing.T) {
+	for r := 1; r <= 6; r++ {
+		w := Uniform(LossBlack, r) // index 0
+		count := int64(0)
+		for {
+			next, ok := AdjacentWord(w)
+			if !ok {
+				break
+			}
+			ki, _ := IndexInt64(w)
+			kn, _ := IndexInt64(next)
+			if kn != ki+1 {
+				t.Fatalf("AdjacentWord(%v) = %v: indices %d -> %d", w, next, ki, kn)
+			}
+			w = next
+			count++
+		}
+		if count != Pow3Int64(r)-1 {
+			t.Fatalf("chain at r=%d has %d steps, want %d", r, count, Pow3Int64(r)-1)
+		}
+		if !w.Equal(Uniform(LossWhite, r)) {
+			t.Fatalf("chain should end at w^%d, got %v", r, w)
+		}
+	}
+}
+
+// TestLemmaIII4Structure verifies the structural characterization of
+// index-adjacent words: consecutive words either share their length-(r−1)
+// prefix and differ in a prescribed last-letter pair determined by the
+// prefix parity, or have index-adjacent prefixes and share the same last
+// letter (the "boundary" letter, again determined by parity).
+func TestLemmaIII4Structure(t *testing.T) {
+	for r := 1; r <= 7; r++ {
+		for k := int64(0); k < Pow3Int64(r)-1; k++ {
+			v := UnIndexInt64(r, k)
+			v2 := UnIndexInt64(r, k+1)
+			u, a := v[:r-1], v[r-1]
+			u2, a2 := v2[:r-1], v2[r-1]
+			pu, _ := IndexInt64(Word(u).Clone())
+			pu2, _ := IndexInt64(Word(u2).Clone())
+			switch {
+			case Word(u).Equal(Word(u2)):
+				// Same prefix: last letters step through the snake order:
+				// even prefix: b -> . -> w ; odd prefix: w -> . -> b.
+				var ok bool
+				if pu%2 == 0 {
+					ok = (a == LossBlack && a2 == None) || (a == None && a2 == LossWhite)
+				} else {
+					ok = (a == LossWhite && a2 == None) || (a == None && a2 == LossBlack)
+				}
+				if !ok {
+					t.Fatalf("r=%d k=%d: same-prefix step %v -> %v violates Lemma III.4", r, k, v, v2)
+				}
+			case pu2 == pu+1:
+				// Boundary between prefixes: letters equal; the boundary
+				// letter is 'w' when the lower prefix index is even, 'b'
+				// when odd.
+				if a != a2 {
+					t.Fatalf("r=%d k=%d: boundary step %v -> %v with different letters", r, k, v, v2)
+				}
+				want := LossWhite
+				if pu%2 == 1 {
+					want = LossBlack
+				}
+				if a != want {
+					t.Fatalf("r=%d k=%d: boundary letter %v, want %v", r, k, a, want)
+				}
+			default:
+				t.Fatalf("r=%d k=%d: %v -> %v neither same-prefix nor adjacent-prefix", r, k, v, v2)
+			}
+		}
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,126 @@
+// Package omission implements the combinatorial core of Fevat & Godard's
+// omission-scheme framework for the Coordinated Attack Problem: the
+// four-letter alphabet Σ describing what an adversary may do to the two
+// messages exchanged in a synchronous round, finite words and ultimately
+// periodic infinite scenarios over that alphabet, and the integer index
+// function ind : Γ* → [0, 3^r−1] (Definition III.1 of the paper) whose
+// ±1-adjacency structure encodes one-process indistinguishability.
+//
+// Conventions (fixed throughout the repository):
+//
+//	'.'  None      — no message is lost this round
+//	'w'  LossWhite — white's message is lost (black receives nothing)
+//	'b'  LossBlack — black's message is lost (white receives nothing)
+//	'x'  LossBoth  — both messages are lost (excluded from Γ)
+//
+// δ('b') = −1, δ('.') = 0, δ('w') = +1, and
+// ind(ua) = 3·ind(u) + (−1)^ind(u)·δ(a) + 1, so that ind('b'^r) = 0 and
+// ind('w'^r) = 3^r − 1 (Proposition III.3).
+package omission
+
+import "fmt"
+
+// Letter is one symbol of the omission alphabet Σ: what the adversary does
+// to the (at most two) messages in flight during a synchronous round.
+type Letter uint8
+
+const (
+	// None delivers both messages.
+	None Letter = iota
+	// LossWhite drops the message sent by process white; black's receive
+	// returns null this round.
+	LossWhite
+	// LossBlack drops the message sent by process black; white's receive
+	// returns null this round.
+	LossBlack
+	// LossBoth drops both messages (the double omission, Σ \ Γ).
+	LossBoth
+
+	numLetters
+)
+
+// Sigma is the full alphabet Σ of Definition II.1.
+var Sigma = []Letter{None, LossWhite, LossBlack, LossBoth}
+
+// Gamma is the sub-alphabet Γ = Σ \ {LossBoth}: rounds without double
+// omission (Definition II.1). All of Section III of the paper works over Γ.
+var Gamma = []Letter{None, LossWhite, LossBlack}
+
+// Valid reports whether l is one of the four alphabet letters.
+func (l Letter) Valid() bool { return l < numLetters }
+
+// InGamma reports whether l belongs to Γ, i.e. is not the double omission.
+func (l Letter) InGamma() bool { return l < LossBoth }
+
+// Delta is the δ function of Definition III.1, extended with δ(LossBoth)=0
+// for convenience (the index function is only defined on Γ*).
+func (l Letter) Delta() int {
+	switch l {
+	case LossWhite:
+		return +1
+	case LossBlack:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Rune returns the canonical one-character representation of the letter.
+func (l Letter) Rune() rune {
+	switch l {
+	case None:
+		return '.'
+	case LossWhite:
+		return 'w'
+	case LossBlack:
+		return 'b'
+	case LossBoth:
+		return 'x'
+	default:
+		return '?'
+	}
+}
+
+// String implements fmt.Stringer.
+func (l Letter) String() string { return string(l.Rune()) }
+
+// Describe returns a human-readable explanation of the letter, in the
+// military metaphor of the paper.
+func (l Letter) Describe() string {
+	switch l {
+	case None:
+		return "both messengers get through"
+	case LossWhite:
+		return "White's messenger is captured"
+	case LossBlack:
+		return "Black's messenger is captured"
+	case LossBoth:
+		return "both messengers are captured"
+	default:
+		return "invalid letter"
+	}
+}
+
+// ParseLetter converts a rune into a Letter. It accepts the canonical runes
+// '.', 'w', 'b', 'x' (case-insensitive for the letters) plus the aliases
+// '-' and '0' for None.
+func ParseLetter(r rune) (Letter, error) {
+	switch r {
+	case '.', '-', '0':
+		return None, nil
+	case 'w', 'W':
+		return LossWhite, nil
+	case 'b', 'B':
+		return LossBlack, nil
+	case 'x', 'X':
+		return LossBoth, nil
+	default:
+		return 0, fmt.Errorf("omission: invalid letter %q", r)
+	}
+}
+
+// LostWhite reports whether white's message is lost under this letter.
+func (l Letter) LostWhite() bool { return l == LossWhite || l == LossBoth }
+
+// LostBlack reports whether black's message is lost under this letter.
+func (l Letter) LostBlack() bool { return l == LossBlack || l == LossBoth }

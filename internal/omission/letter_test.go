@@ -1,0 +1,102 @@
+package omission
+
+import "testing"
+
+func TestLetterDelta(t *testing.T) {
+	// δ('b') = −1, δ('.') = 0, δ('w') = +1 (design convention; gives
+	// ind(b^r)=0 and ind(w^r)=3^r−1 as in Proposition III.3).
+	cases := []struct {
+		l    Letter
+		want int
+	}{
+		{LossBlack, -1},
+		{None, 0},
+		{LossWhite, +1},
+		{LossBoth, 0},
+	}
+	for _, c := range cases {
+		if got := c.l.Delta(); got != c.want {
+			t.Errorf("Delta(%v) = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+func TestLetterRoundTrip(t *testing.T) {
+	for _, l := range Sigma {
+		got, err := ParseLetter(l.Rune())
+		if err != nil {
+			t.Fatalf("ParseLetter(%q): %v", l.Rune(), err)
+		}
+		if got != l {
+			t.Errorf("ParseLetter(Rune(%v)) = %v", l, got)
+		}
+	}
+}
+
+func TestParseLetterAliases(t *testing.T) {
+	for _, r := range []rune{'-', '0'} {
+		if l, err := ParseLetter(r); err != nil || l != None {
+			t.Errorf("ParseLetter(%q) = %v, %v; want None", r, l, err)
+		}
+	}
+	for _, r := range []rune{'W', 'B', 'X'} {
+		if _, err := ParseLetter(r); err != nil {
+			t.Errorf("ParseLetter(%q) unexpectedly failed: %v", r, err)
+		}
+	}
+	if _, err := ParseLetter('z'); err == nil {
+		t.Error("ParseLetter('z') should fail")
+	}
+}
+
+func TestLetterPredicates(t *testing.T) {
+	if !None.InGamma() || !LossWhite.InGamma() || !LossBlack.InGamma() {
+		t.Error("Γ must contain '.', 'w', 'b'")
+	}
+	if LossBoth.InGamma() {
+		t.Error("Γ must not contain 'x'")
+	}
+	if Letter(200).Valid() {
+		t.Error("Letter(200) should be invalid")
+	}
+	if !LossWhite.LostWhite() || LossWhite.LostBlack() {
+		t.Error("LossWhite loses exactly white's message")
+	}
+	if !LossBlack.LostBlack() || LossBlack.LostWhite() {
+		t.Error("LossBlack loses exactly black's message")
+	}
+	if !LossBoth.LostWhite() || !LossBoth.LostBlack() {
+		t.Error("LossBoth loses both messages")
+	}
+	if None.LostWhite() || None.LostBlack() {
+		t.Error("None loses nothing")
+	}
+}
+
+func TestAlphabets(t *testing.T) {
+	if len(Sigma) != 4 {
+		t.Fatalf("|Σ| = %d, want 4", len(Sigma))
+	}
+	if len(Gamma) != 3 {
+		t.Fatalf("|Γ| = %d, want 3", len(Gamma))
+	}
+	for _, l := range Gamma {
+		if !l.InGamma() {
+			t.Errorf("letter %v listed in Gamma but InGamma() is false", l)
+		}
+	}
+}
+
+func TestLetterDescribe(t *testing.T) {
+	seen := map[string]bool{}
+	for _, l := range Sigma {
+		d := l.Describe()
+		if d == "" || seen[d] {
+			t.Errorf("Describe(%v) = %q not unique/nonempty", l, d)
+		}
+		seen[d] = true
+	}
+	if Letter(99).Describe() != "invalid letter" {
+		t.Error("invalid letter description")
+	}
+}

@@ -1,0 +1,219 @@
+package omission
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source is an infinite word over Σ revealed one letter at a time: the
+// r-th letter (0-based) describes what happens to messages sent in round
+// r+1. Sources may be lazily generated (adaptive adversaries) or concrete
+// ultimately periodic Scenarios.
+type Source interface {
+	// At returns the letter at position r ≥ 0.
+	At(r int) Letter
+}
+
+// Scenario is an ultimately periodic infinite word u·v^ω: a communication
+// scenario in the sense of Definition II.3 with a finite representation.
+// The zero value is not valid; use NewScenario or MustScenario.
+type Scenario struct {
+	prefix Word
+	period Word
+}
+
+// NewScenario builds the scenario prefix·period^ω. The period must be
+// non-empty.
+func NewScenario(prefix, period Word) (Scenario, error) {
+	if len(period) == 0 {
+		return Scenario{}, fmt.Errorf("omission: scenario period must be non-empty")
+	}
+	return Scenario{prefix: prefix.Clone(), period: period.Clone()}, nil
+}
+
+// MustScenario parses a scenario from the textual form "u(v)" meaning
+// u·v^ω, e.g. ".w(b)" or "(.)", panicking on malformed input. A string
+// with no parentheses, e.g. "w", is interpreted as the constant tail
+// scenario w^ω when it has length 1, and is otherwise rejected.
+func MustScenario(s string) Scenario {
+	sc, err := ParseScenario(s)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// ParseScenario parses the "u(v)" form described at MustScenario.
+func ParseScenario(s string) (Scenario, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		w, err := ParseWord(s)
+		if err != nil {
+			return Scenario{}, err
+		}
+		if len(w) != 1 {
+			return Scenario{}, fmt.Errorf("omission: scenario %q needs an explicit (period)", s)
+		}
+		return NewScenario(nil, w)
+	}
+	if !strings.HasSuffix(s, ")") {
+		return Scenario{}, fmt.Errorf("omission: scenario %q: unterminated period", s)
+	}
+	u, err := ParseWord(s[:open])
+	if err != nil {
+		return Scenario{}, err
+	}
+	v, err := ParseWord(s[open+1 : len(s)-1])
+	if err != nil {
+		return Scenario{}, err
+	}
+	return NewScenario(u, v)
+}
+
+// Constant returns the scenario l^ω.
+func Constant(l Letter) Scenario {
+	return Scenario{period: Word{l}}
+}
+
+// UPWord builds u·v^ω from already-parsed words; it panics if v is empty.
+func UPWord(u, v Word) Scenario {
+	sc, err := NewScenario(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// At implements Source.
+func (s Scenario) At(r int) Letter {
+	if r < len(s.prefix) {
+		return s.prefix[r]
+	}
+	return s.period[(r-len(s.prefix))%len(s.period)]
+}
+
+// PrefixWord returns the length-n prefix of the infinite word.
+func (s Scenario) PrefixWord(n int) Word {
+	w := make(Word, n)
+	for i := 0; i < n; i++ {
+		w[i] = s.At(i)
+	}
+	return w
+}
+
+// Prefix returns the (finite) transient part u of the representation.
+func (s Scenario) Prefix() Word { return s.prefix.Clone() }
+
+// Period returns the periodic part v of the representation.
+func (s Scenario) Period() Word { return s.period.Clone() }
+
+// String prints the scenario in the "u(v)" form.
+func (s Scenario) String() string {
+	if len(s.period) == 0 {
+		return "<invalid scenario>"
+	}
+	if len(s.prefix) == 0 {
+		return "(" + s.period.String() + ")"
+	}
+	return s.prefix.String() + "(" + s.period.String() + ")"
+}
+
+// InGamma reports whether every letter of the scenario is in Γ.
+func (s Scenario) InGamma() bool { return s.prefix.InGamma() && s.period.InGamma() }
+
+// Equal reports semantic equality of s and t as infinite words, regardless
+// of representation: u1·v1^ω = u2·v2^ω iff they agree on a prefix of length
+// max(|u1|,|u2|) + lcm(|v1|,|v2|).
+func (s Scenario) Equal(t Scenario) bool {
+	if len(s.period) == 0 || len(t.period) == 0 {
+		return false
+	}
+	n := max(len(s.prefix), len(t.prefix)) + lcm(len(s.period), len(t.period))
+	for i := 0; i < n; i++ {
+		if s.At(i) != t.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns the representation with the shortest prefix and a
+// primitive (non-repeating) period: the unique minimal u·v^ω form.
+func (s Scenario) Canonical() Scenario {
+	if len(s.period) == 0 {
+		return s
+	}
+	// Primitive root of the period.
+	v := s.period
+	for d := 1; d <= len(v)/2; d++ {
+		if len(v)%d != 0 {
+			continue
+		}
+		if v.Equal(v[:d].Repeat(len(v) / d)) {
+			v = v[:d].Clone()
+			break
+		}
+	}
+	u := s.prefix.Clone()
+	// Pull trailing prefix letters into the period rotation while possible:
+	// u·a · (v)^ω with a == last letter of rotation ⇒ shorten.
+	for len(u) > 0 && u[len(u)-1] == v[len(v)-1] {
+		// u x (v1..vk)^ω with x == vk  ≡  u (vk v1..v(k-1))^ω
+		rot := make(Word, 0, len(v))
+		rot = append(rot, v[len(v)-1])
+		rot = append(rot, v[:len(v)-1]...)
+		v = rot
+		u = u[:len(u)-1]
+	}
+	return Scenario{prefix: u.Clone(), period: v}
+}
+
+// IsFair reports whether the scenario is fair in the sense of Definition
+// III.6 / Example II.8: each process's messages are delivered infinitely
+// often. For an ultimately periodic word this depends only on the period.
+func (s Scenario) IsFair() bool {
+	whiteDelivered, blackDelivered := false, false
+	for _, l := range s.period {
+		if !l.LostWhite() {
+			whiteDelivered = true
+		}
+		if !l.LostBlack() {
+			blackDelivered = true
+		}
+	}
+	return whiteDelivered && blackDelivered
+}
+
+// IsUnfair reports whether the scenario is unfair: from some point on,
+// white's messages are always lost or black's messages are always lost.
+// For words over Γ, IsUnfair is exactly !IsFair; over Σ a word can be
+// neither (e.g. alternating x-free losses) — per Definition III.6 the
+// dichotomy fair/unfair is total, so IsUnfair == !IsFair always.
+func (s Scenario) IsUnfair() bool { return !s.IsFair() }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// FuncSource adapts a function to the Source interface.
+type FuncSource func(r int) Letter
+
+// At implements Source.
+func (f FuncSource) At(r int) Letter { return f(r) }
+
+// WordSource is a finite word viewed as a Source whose tail is None^ω.
+// It is convenient for bounded-horizon simulations.
+type WordSource Word
+
+// At implements Source.
+func (w WordSource) At(r int) Letter {
+	if r < len(w) {
+		return w[r]
+	}
+	return None
+}

@@ -1,0 +1,176 @@
+package omission
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseScenario(t *testing.T) {
+	s := MustScenario(".w(b)")
+	if s.String() != ".w(b)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if got := s.PrefixWord(5); !got.Equal(MustWord(".wbbb")) {
+		t.Errorf("PrefixWord(5) = %v", got)
+	}
+	if s.At(0) != None || s.At(1) != LossWhite || s.At(100) != LossBlack {
+		t.Error("At values wrong")
+	}
+	// Single letter shorthand = constant scenario.
+	c := MustScenario("w")
+	if !c.Equal(Constant(LossWhite)) {
+		t.Error("shorthand constant")
+	}
+	if Constant(None).String() != "(.)" {
+		t.Errorf("Constant prints %q", Constant(None).String())
+	}
+	for _, bad := range []string{"", "wb", "w(", "w)", "(a)", "()", "a(b)"} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) should fail", bad)
+		}
+	}
+}
+
+func TestScenarioEqualSemantic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"(.)", "(..)", true},
+		{"(.)", ".(.)", true},
+		{"(wb)", "w(bw)", true},
+		{"(wb)", "(bw)", false},
+		{"(w)", "(b)", false},
+		{"w(b)", "(wb)", false},
+		{"..(w)", "(w)", false},
+		{"b(wbwb)", "bw(bw)", true},
+	}
+	for _, c := range cases {
+		a, b := MustScenario(c.a), MustScenario(c.b)
+		if got := a.Equal(b); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := b.Equal(a); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestScenarioCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(..)", "(.)"},
+		{".(.)", "(.)"},
+		{"w(bw)", "(wb)"},
+		{"(wbwb)", "(wb)"},
+		{"b(wbwb)", "(bw)"},
+		{".w(b)", ".w(b)"},
+		{"www(w)", "(w)"},
+	}
+	for _, c := range cases {
+		got := MustScenario(c.in).Canonical()
+		if got.String() != c.want {
+			t.Errorf("Canonical(%s) = %s, want %s", c.in, got, c.want)
+		}
+		if !got.Equal(MustScenario(c.in)) {
+			t.Errorf("Canonical(%s) changed the ω-word", c.in)
+		}
+	}
+}
+
+func TestScenarioCanonicalQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		u := randomWord(rng, rng.Intn(5), Gamma)
+		v := randomWord(rng, 1+rng.Intn(4), Gamma)
+		s := UPWord(u, v)
+		c := s.Canonical()
+		if !c.Equal(s) {
+			t.Fatalf("Canonical(%s) = %s not equal as ω-word", s, c)
+		}
+		// Canonical is idempotent.
+		if c.Canonical().String() != c.String() {
+			t.Fatalf("Canonical not idempotent on %s", s)
+		}
+		// Two equal scenarios canonicalize identically.
+		s2 := UPWord(u.Concat(v), v.Repeat(2))
+		if !s2.Equal(s) {
+			t.Fatalf("constructed equal scenario differs: %s vs %s", s, s2)
+		}
+		if s2.Canonical().String() != c.String() {
+			t.Fatalf("canonical forms differ: %s vs %s", s2.Canonical(), c)
+		}
+	}
+}
+
+func TestScenarioFairness(t *testing.T) {
+	cases := []struct {
+		s    string
+		fair bool
+	}{
+		{"(.)", true},
+		{"(w)", false},
+		{"(b)", false},
+		{"(wb)", true},
+		{"wwww(.)", true},
+		{"..(w)", false},
+		{"(x)", false},
+		{"(wx)", false}, // white never delivered
+		{"(.x)", true},
+	}
+	for _, c := range cases {
+		s := MustScenario(c.s)
+		if got := s.IsFair(); got != c.fair {
+			t.Errorf("IsFair(%s) = %v, want %v", c.s, got, c.fair)
+		}
+		if s.IsUnfair() == c.fair {
+			t.Errorf("IsUnfair(%s) inconsistent", c.s)
+		}
+	}
+}
+
+func TestScenarioInGamma(t *testing.T) {
+	if !MustScenario(".w(b)").InGamma() {
+		t.Error(".w(b) in Γ^ω")
+	}
+	if MustScenario("x(.)").InGamma() || MustScenario(".(x)").InGamma() {
+		t.Error("scenarios containing x are not in Γ^ω")
+	}
+}
+
+func TestSources(t *testing.T) {
+	f := FuncSource(func(r int) Letter {
+		if r%2 == 0 {
+			return LossWhite
+		}
+		return LossBlack
+	})
+	if f.At(0) != LossWhite || f.At(3) != LossBlack {
+		t.Error("FuncSource")
+	}
+	w := WordSource(MustWord("wb"))
+	if w.At(0) != LossWhite || w.At(1) != LossBlack || w.At(2) != None || w.At(1000) != None {
+		t.Error("WordSource should pad with None")
+	}
+}
+
+func TestScenarioAccessorsClone(t *testing.T) {
+	s := MustScenario("w(b)")
+	p := s.Prefix()
+	p[0] = None
+	if s.At(0) != LossWhite {
+		t.Error("Prefix() must return a copy")
+	}
+	q := s.Period()
+	q[0] = None
+	if s.At(5) != LossBlack {
+		t.Error("Period() must return a copy")
+	}
+}
+
+func TestNewScenarioRejectsEmptyPeriod(t *testing.T) {
+	if _, err := NewScenario(MustWord("w"), nil); err == nil {
+		t.Error("empty period must be rejected")
+	}
+	assertPanics(t, func() { UPWord(nil, nil) })
+	assertPanics(t, func() { MustScenario("(") })
+}

@@ -1,0 +1,193 @@
+package omission
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is a finite sequence of letters: a partial scenario in the sense of
+// Definition II.3. The zero value is the empty word ε.
+type Word []Letter
+
+// Epsilon is the empty word ε.
+func Epsilon() Word { return Word{} }
+
+// ParseWord parses a word from its string form, e.g. ".wb". The string
+// "ε" parses to the empty word, matching Word.String.
+func ParseWord(s string) (Word, error) {
+	if s == "ε" {
+		return Word{}, nil
+	}
+	w := make(Word, 0, len(s))
+	for _, r := range s {
+		l, err := ParseLetter(r)
+		if err != nil {
+			return nil, err
+		}
+		w = append(w, l)
+	}
+	return w, nil
+}
+
+// MustWord is ParseWord that panics on error; intended for constants in
+// tests and examples.
+func MustWord(s string) Word {
+	w, err := ParseWord(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// String implements fmt.Stringer; the empty word prints as "ε".
+func (w Word) String() string {
+	if len(w) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	b.Grow(len(w))
+	for _, l := range w {
+		b.WriteRune(l.Rune())
+	}
+	return b.String()
+}
+
+// Len returns |w|.
+func (w Word) Len() int { return len(w) }
+
+// InGamma reports whether every letter of w belongs to Γ.
+func (w Word) InGamma() bool {
+	for _, l := range w {
+		if !l.InGamma() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of w.
+func (w Word) Clone() Word {
+	c := make(Word, len(w))
+	copy(c, w)
+	return c
+}
+
+// Append returns a fresh word equal to w followed by the given letters.
+// The receiver is not modified.
+func (w Word) Append(ls ...Letter) Word {
+	c := make(Word, 0, len(w)+len(ls))
+	c = append(c, w...)
+	c = append(c, ls...)
+	return c
+}
+
+// Concat returns the concatenation w·v as a fresh word.
+func (w Word) Concat(v Word) Word { return w.Append(v...) }
+
+// Equal reports whether w and v are the same word.
+func (w Word) Equal(v Word) bool {
+	if len(w) != len(v) {
+		return false
+	}
+	for i := range w {
+		if w[i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports whether w is a prefix of v.
+func (w Word) IsPrefixOf(v Word) bool {
+	if len(w) > len(v) {
+		return false
+	}
+	for i := range w {
+		if w[i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Prefix returns the prefix of length n (w itself if n ≥ |w|; ε if n ≤ 0).
+func (w Word) Prefix(n int) Word {
+	if n <= 0 {
+		return Word{}
+	}
+	if n > len(w) {
+		n = len(w)
+	}
+	return w[:n].Clone()
+}
+
+// Repeat returns w concatenated n times.
+func (w Word) Repeat(n int) Word {
+	if n <= 0 {
+		return Word{}
+	}
+	c := make(Word, 0, n*len(w))
+	for i := 0; i < n; i++ {
+		c = append(c, w...)
+	}
+	return c
+}
+
+// Uniform returns the word l^n.
+func Uniform(l Letter, n int) Word {
+	w := make(Word, n)
+	for i := range w {
+		w[i] = l
+	}
+	return w
+}
+
+// AllWords enumerates every word of the given length over the given
+// alphabet, in lexicographic order of the alphabet slice. The number of
+// words is len(alphabet)^length, so callers should keep the length modest.
+func AllWords(alphabet []Letter, length int) []Word {
+	if length < 0 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < length; i++ {
+		total *= len(alphabet)
+	}
+	out := make([]Word, 0, total)
+	cur := make(Word, length)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == length {
+			out = append(out, cur.Clone())
+			return
+		}
+		for _, l := range alphabet {
+			cur[i] = l
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// CountLosses returns the number of rounds in which at least one message is
+// lost, and the total number of lost messages (LossBoth counts twice).
+func (w Word) CountLosses() (lossyRounds, lostMessages int) {
+	for _, l := range w {
+		n := 0
+		if l.LostWhite() {
+			n++
+		}
+		if l.LostBlack() {
+			n++
+		}
+		if n > 0 {
+			lossyRounds++
+		}
+		lostMessages += n
+	}
+	return lossyRounds, lostMessages
+}
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (w Word) GoString() string { return fmt.Sprintf("omission.MustWord(%q)", w.String()) }

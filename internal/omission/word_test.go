@@ -1,0 +1,149 @@
+package omission
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseWord(t *testing.T) {
+	w, err := ParseWord(".wbx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Word{None, LossWhite, LossBlack, LossBoth}
+	if !w.Equal(want) {
+		t.Errorf("ParseWord(.wbx) = %v, want %v", w, want)
+	}
+	if w.String() != ".wbx" {
+		t.Errorf("String() = %q", w.String())
+	}
+	if _, err := ParseWord("a"); err == nil {
+		t.Error("ParseWord(a) should fail")
+	}
+}
+
+func TestEmptyWord(t *testing.T) {
+	if Epsilon().String() != "ε" {
+		t.Errorf("ε prints as %q", Epsilon().String())
+	}
+	if Epsilon().Len() != 0 {
+		t.Error("|ε| != 0")
+	}
+	if !Epsilon().IsPrefixOf(MustWord("w")) {
+		t.Error("ε is a prefix of every word")
+	}
+}
+
+func TestWordOps(t *testing.T) {
+	w := MustWord(".w")
+	v := w.Append(LossBlack)
+	if !v.Equal(MustWord(".wb")) {
+		t.Errorf("Append = %v", v)
+	}
+	if !w.Equal(MustWord(".w")) {
+		t.Error("Append mutated the receiver")
+	}
+	if !w.IsPrefixOf(v) {
+		t.Error("w should be a prefix of w·b")
+	}
+	if v.IsPrefixOf(w) {
+		t.Error("longer word cannot be a prefix of shorter")
+	}
+	if !w.Concat(MustWord("bb")).Equal(MustWord(".wbb")) {
+		t.Error("Concat")
+	}
+	if !v.Prefix(2).Equal(w) {
+		t.Error("Prefix(2)")
+	}
+	if !v.Prefix(0).Equal(Epsilon()) || !v.Prefix(-1).Equal(Epsilon()) {
+		t.Error("Prefix(≤0) should be ε")
+	}
+	if !v.Prefix(99).Equal(v) {
+		t.Error("Prefix beyond length should be the word itself")
+	}
+	if !MustWord("wb").Repeat(3).Equal(MustWord("wbwbwb")) {
+		t.Error("Repeat")
+	}
+	if !MustWord("wb").Repeat(0).Equal(Epsilon()) {
+		t.Error("Repeat(0)")
+	}
+	if !Uniform(LossWhite, 4).Equal(MustWord("wwww")) {
+		t.Error("Uniform")
+	}
+	c := w.Clone()
+	c[0] = LossBoth
+	if w[0] == LossBoth {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestWordInGamma(t *testing.T) {
+	if !MustWord(".wb").InGamma() {
+		t.Error(".wb is in Γ*")
+	}
+	if MustWord(".x").InGamma() {
+		t.Error(".x is not in Γ*")
+	}
+	if !Epsilon().InGamma() {
+		t.Error("ε is in Γ*")
+	}
+}
+
+func TestAllWords(t *testing.T) {
+	for r := 0; r <= 6; r++ {
+		ws := AllWords(Gamma, r)
+		want := 1
+		for i := 0; i < r; i++ {
+			want *= 3
+		}
+		if len(ws) != want {
+			t.Fatalf("|Γ^%d| = %d, want %d", r, len(ws), want)
+		}
+		seen := map[string]bool{}
+		for _, w := range ws {
+			if w.Len() != r {
+				t.Fatalf("word %v has wrong length", w)
+			}
+			if seen[w.String()] {
+				t.Fatalf("duplicate word %v", w)
+			}
+			seen[w.String()] = true
+		}
+	}
+	if AllWords(Sigma, 2); len(AllWords(Sigma, 2)) != 16 {
+		t.Error("|Σ^2| = 16")
+	}
+	if AllWords(Gamma, -1) != nil {
+		t.Error("negative length should give nil")
+	}
+}
+
+func TestCountLosses(t *testing.T) {
+	w := MustWord(".wxb.")
+	rounds, msgs := w.CountLosses()
+	if rounds != 3 || msgs != 4 {
+		t.Errorf("CountLosses = (%d,%d), want (3,4)", rounds, msgs)
+	}
+}
+
+func TestWordStringRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWord(rng, int(n%32), Sigma)
+		got, err := ParseWord(w.String())
+		return err == nil && got.Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomWord draws a uniform word of the given length over the alphabet.
+func randomWord(rng *rand.Rand, n int, alphabet []Letter) Word {
+	w := make(Word, n)
+	for i := range w {
+		w[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return w
+}

@@ -1,0 +1,99 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+)
+
+// Budgeted schemes: classical failure metrics expressed in the omission
+// scheme framework. They connect the paper's arbitrary-pattern view back
+// to the f-failures literature: AtMostKLosses(k) is the two-process
+// instance of the "at most f omission faults in total" model, whose known
+// f+1-round bound ([AT99]'s f+1 lower bound for crash/omission consensus)
+// falls out of Corollary III.14 as MinRounds = k+1.
+
+// AtMostKLosses returns the Γ-scheme of scenarios losing at most k
+// messages in total. It is solvable (fair scenarios with more than k
+// losses are missing) with exact round complexity k+1.
+func AtMostKLosses(k int) *Scheme {
+	if k < 0 {
+		panic("scheme: AtMostKLosses needs k ≥ 0")
+	}
+	// States 0..k count losses; state k+1 is the rejecting sink.
+	total := k + 2
+	sink := k + 1
+	d := &buchi.DBA{
+		Alphabet:  len(omission.Gamma),
+		Start:     0,
+		Delta:     make([][]buchi.State, total),
+		Accepting: make([]bool, total),
+	}
+	for q := 0; q <= k; q++ {
+		next := q + 1                             // sink when q == k
+		d.Delta[q] = []buchi.State{q, next, next} // '.', 'w', 'b'
+		d.Accepting[q] = true
+	}
+	d.Delta[sink] = []buchi.State{sink, sink, sink}
+	return MustNew(fmt.Sprintf("K%d", k), fmt.Sprintf("at most %d messages lost in total", k), d)
+}
+
+// BlackoutBudget returns the Σ-scheme of the "all-or-nothing channel":
+// each round either delivers both messages or drops both (letters '.' and
+// 'x' only), with at most k blackout rounds in total. It lies outside
+// Γ^ω — the regime Theorem III.8 leaves open — but the chain package
+// decides its bounded-round solvability: exactly k+1 rounds, realized by
+// the FirstCleanExchange algorithm.
+func BlackoutBudget(k int) *Scheme {
+	if k < 0 {
+		panic("scheme: BlackoutBudget needs k ≥ 0")
+	}
+	total := k + 2
+	sink := k + 1
+	d := &buchi.DBA{
+		Alphabet:  len(omission.Sigma),
+		Start:     0,
+		Delta:     make([][]buchi.State, total),
+		Accepting: make([]bool, total),
+	}
+	for q := 0; q <= k; q++ {
+		next := q + 1
+		// '.', 'w', 'b', 'x'
+		d.Delta[q] = []buchi.State{q, sink, sink, next}
+		d.Accepting[q] = true
+	}
+	d.Delta[sink] = []buchi.State{sink, sink, sink, sink}
+	return MustNew(fmt.Sprintf("BX%d", k), fmt.Sprintf("all-or-nothing channel with at most %d blackout rounds", k), d)
+}
+
+// SigmaAtMostKLostMessages returns the Σ-scheme losing at most k messages
+// in total, where a double omission costs 2. Another double-omission
+// scheme outside the Theorem III.8 regime.
+func SigmaAtMostKLostMessages(k int) *Scheme {
+	if k < 0 {
+		panic("scheme: SigmaAtMostKLostMessages needs k ≥ 0")
+	}
+	total := k + 2
+	sink := k + 1
+	d := &buchi.DBA{
+		Alphabet:  len(omission.Sigma),
+		Start:     0,
+		Delta:     make([][]buchi.State, total),
+		Accepting: make([]bool, total),
+	}
+	for q := 0; q <= k; q++ {
+		one := q + 1
+		if one > k {
+			one = sink
+		}
+		two := q + 2
+		if two > k {
+			two = sink
+		}
+		d.Delta[q] = []buchi.State{q, one, one, two}
+		d.Accepting[q] = true
+	}
+	d.Delta[sink] = []buchi.State{sink, sink, sink, sink}
+	return MustNew(fmt.Sprintf("ΣK%d", k), fmt.Sprintf("at most %d lost messages in total (double omission costs 2)", k), d)
+}

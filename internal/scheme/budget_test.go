@@ -1,0 +1,92 @@
+package scheme
+
+import (
+	"testing"
+
+	"repro/internal/omission"
+)
+
+func TestAtMostKLosses(t *testing.T) {
+	k2 := AtMostKLosses(2)
+	in := []string{"(.)", "w(.)", "wb(.)", "w.b(.)", ".w.b.(.)"}
+	out := []string{"(w)", "(b)", "wbw(.)", "(.w)", "www(.)"}
+	for _, s := range in {
+		if !k2.Contains(sc(s)) {
+			t.Errorf("K2 should contain %s", s)
+		}
+	}
+	for _, s := range out {
+		if k2.Contains(sc(s)) {
+			t.Errorf("K2 should not contain %s", s)
+		}
+	}
+	// Monotone in k.
+	for k := 0; k < 4; k++ {
+		ok, w := SubsetOf(AtMostKLosses(k), AtMostKLosses(k+1))
+		if !ok {
+			t.Fatalf("K%d ⊄ K%d: %s", k, k+1, w)
+		}
+	}
+	// K0 = S0.
+	if eq, w := Equivalent(AtMostKLosses(0), S0()); !eq {
+		t.Errorf("K0 ≠ S0: %s", w)
+	}
+	assertBudgetPanics(t, func() { AtMostKLosses(-1) })
+}
+
+func TestBlackoutBudget(t *testing.T) {
+	b2 := BlackoutBudget(2)
+	for _, s := range []string{"(.)", "x(.)", "xx(.)", ".x.x(.)"} {
+		if !b2.Contains(sc(s)) {
+			t.Errorf("BX2 should contain %s", s)
+		}
+	}
+	for _, s := range []string{"xxx(.)", "(x)", "w(.)", "(b)", "x(w)"} {
+		if b2.Contains(sc(s)) {
+			t.Errorf("BX2 should not contain %s", s)
+		}
+	}
+	if b2.OverGamma() {
+		t.Error("BX schemes are over Σ")
+	}
+	assertBudgetPanics(t, func() { BlackoutBudget(-1) })
+}
+
+func TestSigmaAtMostKLostMessages(t *testing.T) {
+	k2 := SigmaAtMostKLostMessages(2)
+	for _, s := range []string{"(.)", "x(.)", "wb(.)", "ww(.)", "bb.(.)"} {
+		if !k2.Contains(sc(s)) {
+			t.Errorf("ΣK2 should contain %s", s)
+		}
+	}
+	for _, s := range []string{"xx(.)", "xw(.)", "www(.)", "(x)"} {
+		if k2.Contains(sc(s)) {
+			t.Errorf("ΣK2 should not contain %s", s)
+		}
+	}
+	// A single double omission costs two: ΣK1 excludes x entirely.
+	k1 := SigmaAtMostKLostMessages(1)
+	if k1.Contains(sc("x(.)")) {
+		t.Error("ΣK1 must exclude any double omission")
+	}
+	if !k1.Contains(sc("w(.)")) {
+		t.Error("ΣK1 allows one single loss")
+	}
+	// Restricted to Γ-letters, ΣKk equals Kk.
+	gammaOnly := MustNew("Γω", "", onlyLetters(4, omission.None, omission.LossWhite, omission.LossBlack))
+	restricted := Intersect("ΣK2∩Γω", k2, gammaOnly)
+	if eq, w := Equivalent(restricted, AtMostKLosses(2)); !eq {
+		t.Errorf("ΣK2 ∩ Γ^ω ≠ K2: %s", w)
+	}
+	assertBudgetPanics(t, func() { SigmaAtMostKLostMessages(-1) })
+}
+
+func assertBudgetPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

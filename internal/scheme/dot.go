@@ -1,0 +1,47 @@
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/omission"
+)
+
+// ToDOT renders the scheme's Büchi automaton in Graphviz DOT format:
+// accepting states are double circles, the start state gets an inbound
+// arrow, and parallel transitions are merged into one edge labelled with
+// all its letters. Useful for documentation and debugging.
+func (s *Scheme) ToDOT() string {
+	auto := s.auto
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	b.WriteString("  start [shape=point];\n")
+	fmt.Fprintf(&b, "  start -> q%d;\n", auto.Start)
+	for q := 0; q < auto.NumStates(); q++ {
+		shape := "circle"
+		if auto.Accepting[q] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [shape=%s];\n", q, shape)
+	}
+	for q := 0; q < auto.NumStates(); q++ {
+		// Merge letters per target.
+		byTarget := map[int][]string{}
+		for a := 0; a < auto.Alphabet; a++ {
+			to := auto.Delta[q][a]
+			byTarget[to] = append(byTarget[to], string(omission.Letter(a).Rune()))
+		}
+		targets := make([]int, 0, len(byTarget))
+		for to := range byTarget {
+			targets = append(targets, to)
+		}
+		sort.Ints(targets)
+		for _, to := range targets {
+			fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", q, to, strings.Join(byTarget[to], ","))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package scheme
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+)
+
+// Parse builds a scheme from a rational-expression-style DSL — the paper
+// notes that "the rational expressions prove to be very convenient", and
+// this parser makes them a runtime input language:
+//
+//	[.w]^w            safety closure: only the letters ., w ever occur
+//	inf[.b]           infinitely many letters from the set {., b}
+//	{u(v)}            the singleton scheme {u·v^ω}, e.g. {w.(b)}
+//	NAME              a named scheme from the registry (S0, R1, Fair, …)
+//	A | B             union
+//	A & B             intersection
+//	A \ {u(v)}        removal of one ultimately periodic scenario
+//	( A )             grouping
+//
+// Precedence: \ binds tightest, then &, then |. All results are expressed
+// over the full alphabet Σ (named Γ-schemes are widened), so expressions
+// can mix Γ- and Σ-level constructs; Classify restricts back to Γ when
+// the language allows.
+//
+// Examples:
+//
+//	[.w]^w | [.b]^w                    — the environment S1
+//	[.wb]^w \ {(b)}                    — the almost-fair scheme
+//	inf[.b] & inf[.w]                  — the fair scenarios of Γ^ω... over Σ
+//	R1 \ {w(b)} \ {.(b)}               — Γ^ω minus a special pair
+func Parse(input string) (*Scheme, error) {
+	p := &exprParser{src: input}
+	s, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("scheme: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return MustNew(input, "expression "+input, s.Automaton()), nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(input string) *Scheme {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) errf(format string, args ...any) error {
+	return fmt.Errorf("scheme: %s (at offset %d of %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *exprParser) parseUnion() (*Scheme, error) {
+	left, err := p.parseIntersection()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		right, err := p.parseIntersection()
+		if err != nil {
+			return nil, err
+		}
+		left = Union("", left, right)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseIntersection() (*Scheme, error) {
+	left, err := p.parseMinus()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		right, err := p.parseMinus()
+		if err != nil {
+			return nil, err
+		}
+		left = Intersect("", left, right)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseMinus() (*Scheme, error) {
+	left, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '\\' {
+		p.pos++
+		if p.peek() != '{' {
+			return nil, p.errf("'\\' must be followed by a scenario literal {u(v)}")
+		}
+		sc, err := p.parseScenarioLiteral()
+		if err != nil {
+			return nil, err
+		}
+		left = Minus("", left, sc)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseAtom() (*Scheme, error) {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		inner, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case c == '[':
+		set, err := p.parseLetterSet()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(p.src[p.pos:], "^w") {
+			return nil, p.errf("letter set must be followed by ^w")
+		}
+		p.pos += 2
+		return MustNew("", "", onlyLetters(len(omission.Sigma), set...)), nil
+	case c == '{':
+		sc, err := p.parseScenarioLiteral()
+		if err != nil {
+			return nil, err
+		}
+		u, v := symbolsOf(sc.Prefix()), symbolsOf(sc.Period())
+		return MustNew("", "", buchi.WordDBA(len(omission.Sigma), u, v)), nil
+	case strings.HasPrefix(p.src[p.pos:], "inf["):
+		p.pos += 3
+		set, err := p.parseLetterSet()
+		if err != nil {
+			return nil, err
+		}
+		return MustNew("", "", infOften(len(omission.Sigma), set...)), nil
+	case unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)):
+		start := p.pos
+		for p.pos < len(p.src) && (unicode.IsLetter(rune(p.src[p.pos])) || unicode.IsDigit(rune(p.src[p.pos]))) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		s, err := ByName(name)
+		if err != nil {
+			return nil, p.errf("unknown scheme name %q", name)
+		}
+		return Widen(s), nil
+	default:
+		return nil, p.errf("unexpected character %q", c)
+	}
+}
+
+// parseLetterSet consumes "[...]" and returns the letters.
+func (p *exprParser) parseLetterSet() ([]omission.Letter, error) {
+	if p.peek() != '[' {
+		return nil, p.errf("expected '['")
+	}
+	p.pos++
+	var set []omission.Letter
+	for p.pos < len(p.src) && p.src[p.pos] != ']' {
+		l, err := omission.ParseLetter(rune(p.src[p.pos]))
+		if err != nil {
+			return nil, p.errf("bad letter %q in set", p.src[p.pos])
+		}
+		set = append(set, l)
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unterminated letter set")
+	}
+	p.pos++ // ']'
+	if len(set) == 0 {
+		return nil, p.errf("empty letter set")
+	}
+	return set, nil
+}
+
+// parseScenarioLiteral consumes "{u(v)}".
+func (p *exprParser) parseScenarioLiteral() (omission.Scenario, error) {
+	if p.peek() != '{' {
+		return omission.Scenario{}, p.errf("expected '{'")
+	}
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], '}')
+	if end < 0 {
+		return omission.Scenario{}, p.errf("unterminated scenario literal")
+	}
+	lit := strings.TrimSpace(p.src[p.pos : p.pos+end])
+	p.pos += end + 1
+	sc, err := omission.ParseScenario(lit)
+	if err != nil {
+		return omission.Scenario{}, p.errf("bad scenario literal %q: %v", lit, err)
+	}
+	return sc, nil
+}
+
+func symbolsOf(w omission.Word) []buchi.Symbol {
+	out := make([]buchi.Symbol, len(w))
+	for i, l := range w {
+		out[i] = buchi.Symbol(l)
+	}
+	return out
+}

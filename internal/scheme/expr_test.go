@@ -1,0 +1,115 @@
+package scheme
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEquivalences(t *testing.T) {
+	cases := []struct {
+		expr string
+		want *Scheme
+	}{
+		{"[.w]^w | [.b]^w", S1()},
+		{"[.w]^w & [.b]^w", S0()},
+		{"[.]^w", S0()},
+		{"[.wb]^w \\ {(b)}", AlmostFair()},
+		{"[.wb]^w", R1()},
+		{"[.wbx]^w", S2()},
+		{"inf[.b] & inf[.w] & [.wb]^w", Fair()},
+		{"R1 \\ {w(b)} \\ {.(b)}", Minus("", R1(), sc("w(b)"), sc(".(b)"))},
+		{"S0 | {(w)} | {(b)}", Union("", Widen(S0()), Union("", MustParse("{(w)}"), MustParse("{(b)}")))},
+		{"(TW | TB)", S1()},
+		{"C1", C1()},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.expr, err)
+		}
+		eq, w := Equivalent(got, c.want)
+		if !eq {
+			t.Errorf("Parse(%q) ≠ %s: differs at %s", c.expr, c.want.Name(), w)
+		}
+	}
+}
+
+func TestParseSingletons(t *testing.T) {
+	s := MustParse("{w.(b)}")
+	if !s.Contains(sc("w.(b)")) {
+		t.Error("singleton must contain its scenario")
+	}
+	if s.Contains(sc("(.)")) || s.Contains(sc("w.(bb.)")) {
+		t.Error("singleton must contain nothing else")
+	}
+	// Same ω-word in a different representation is still a member.
+	if !s.Contains(sc("w.b(bb)")) {
+		t.Error("membership is semantic")
+	}
+	// Scenario literals with double omissions work.
+	if !MustParse("{(x.)}").Contains(sc("(x.)")) {
+		t.Error("Σ-literal")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// '\' binds tighter than '&' which binds tighter than '|':
+	// A | B & C \ {s}  =  A | (B & (C \ {s})).
+	left := MustParse("[.w]^w | [.b]^w & [.wb]^w \\ {(b)}")
+	right := Union("", TWhite(), Intersect("", TBlack(), AlmostFair()))
+	eq, w := Equivalent(left, right)
+	if !eq {
+		t.Errorf("precedence wrong: differs at %s", w)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"[",
+		"[]^w",
+		"[.w]",
+		"[zq]^w",
+		"{(b)",
+		"{zz}",
+		"unknownScheme",
+		"( [.w]^w",
+		"[.w]^w |",
+		"[.w]^w extra",
+		"\\ {(b)}",
+		"[.w]^w \\ [.b]^w",
+		"inf[",
+	}
+	for _, e := range bad {
+		if _, err := Parse(e); err == nil {
+			t.Errorf("Parse(%q) should fail", e)
+		}
+	}
+	// MustParse panics on bad input.
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic")
+		}
+	}()
+	MustParse("[")
+}
+
+func TestParseNamesCarryExpression(t *testing.T) {
+	s := MustParse("TW | TB")
+	if !strings.Contains(s.Description(), "TW | TB") {
+		t.Errorf("description %q", s.Description())
+	}
+}
+
+func TestToDOT(t *testing.T) {
+	dot := S1().ToDOT()
+	for _, m := range []string{"digraph", "doublecircle", "rankdir=LR", "start ->", `label="w"`} {
+		if !strings.Contains(dot, m) {
+			t.Errorf("missing %q in DOT:\n%s", m, dot)
+		}
+	}
+	// Letters merge onto one edge where targets coincide.
+	if !strings.Contains(R1().ToDOT(), `label=".,w,b"`) {
+		t.Errorf("merged labels missing:\n%s", R1().ToDOT())
+	}
+}

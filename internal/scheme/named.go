@@ -1,0 +1,219 @@
+package scheme
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+)
+
+// onlyLetters returns a safety DBA over the given alphabet size accepting
+// exactly the words whose letters all lie in allowed.
+func onlyLetters(alphabet int, allowed ...omission.Letter) *buchi.DBA {
+	ok := make([]bool, alphabet)
+	for _, l := range allowed {
+		ok[int(l)] = true
+	}
+	d := &buchi.DBA{
+		Alphabet:  alphabet,
+		Start:     0,
+		Delta:     make([][]buchi.State, 2),
+		Accepting: []bool{true, false},
+	}
+	for q := 0; q < 2; q++ {
+		row := make([]buchi.State, alphabet)
+		for a := 0; a < alphabet; a++ {
+			if q == 0 && ok[a] {
+				row[a] = 0
+			} else {
+				row[a] = 1
+			}
+		}
+		d.Delta[q] = row
+	}
+	return d
+}
+
+// infOften returns a DBA accepting words containing letters of the set
+// infinitely often.
+func infOften(alphabet int, set ...omission.Letter) *buchi.DBA {
+	in := make([]bool, alphabet)
+	for _, l := range set {
+		in[int(l)] = true
+	}
+	d := &buchi.DBA{
+		Alphabet:  alphabet,
+		Start:     0,
+		Delta:     make([][]buchi.State, 2),
+		Accepting: []bool{false, true},
+	}
+	for q := 0; q < 2; q++ {
+		row := make([]buchi.State, alphabet)
+		for a := 0; a < alphabet; a++ {
+			if in[a] {
+				row[a] = 1
+			} else {
+				row[a] = 0
+			}
+		}
+		d.Delta[q] = row
+	}
+	return d
+}
+
+// S0 is environment (1) of Section II-A2: no messenger is ever captured.
+// S0 = {(.)^ω}.
+func S0() *Scheme {
+	return MustNew("S0", "no messenger is captured: { .^ω }",
+		onlyLetters(3, omission.None))
+}
+
+// TWhite is environment (2): only White's messengers may be captured.
+// T_white = {., w}^ω.
+func TWhite() *Scheme {
+	return MustNew("TW", "only White's messengers may be captured: {., w}^ω",
+		onlyLetters(3, omission.None, omission.LossWhite))
+}
+
+// TBlack is environment (3): only Black's messengers may be captured.
+// T_black = {., b}^ω.
+func TBlack() *Scheme {
+	return MustNew("TB", "only Black's messengers may be captured: {., b}^ω",
+		onlyLetters(3, omission.None, omission.LossBlack))
+}
+
+// C1 is environment (4), equivalently the crash-prone model of Example
+// II.10: at some point, one (unknown) process's messages are lost forever;
+// before that point nothing is lost. C1 = .^ω ∪ .^*(w^ω ∪ b^ω).
+func C1() *Scheme {
+	const (
+		q0   = 0 // only '.' seen so far
+		qW   = 1 // inside the w^ω tail
+		qB   = 2 // inside the b^ω tail
+		sink = 3
+	)
+	d := &buchi.DBA{
+		Alphabet: 3,
+		Start:    q0,
+		Delta: [][]buchi.State{
+			q0:   {q0, qW, qB}, // ., w, b
+			qW:   {sink, qW, sink},
+			qB:   {sink, sink, qB},
+			sink: {sink, sink, sink},
+		},
+		Accepting: []bool{true, true, true, false},
+	}
+	return MustNew("C1", "crash-like: .^ω ∪ .^*(w^ω ∪ b^ω)", d)
+}
+
+// S1 is environment (5): at most one of the processes loses messages
+// (which one is not known in advance). S1 = {., w}^ω ∪ {., b}^ω = TW ∪ TB.
+func S1() *Scheme {
+	const (
+		q0   = 0 // only '.' seen so far
+		qW   = 1 // committed: White's messages at risk
+		qB   = 2
+		sink = 3
+	)
+	d := &buchi.DBA{
+		Alphabet: 3,
+		Start:    q0,
+		Delta: [][]buchi.State{
+			q0:   {q0, qW, qB},
+			qW:   {qW, qW, sink},
+			qB:   {qB, sink, qB},
+			sink: {sink, sink, sink},
+		},
+		Accepting: []bool{true, true, true, false},
+	}
+	return MustNew("S1", "at most one process loses messages: {.,w}^ω ∪ {.,b}^ω", d)
+}
+
+// R1 is environment (6), the classic scheme of [CHLT00], [GKP03]: at most
+// one message can be lost per round. R1 = Γ^ω.
+func R1() *Scheme {
+	return MustNew("R1", "at most one message lost per round: Γ^ω", buchi.Universal(3))
+}
+
+// S2 is environment (7): any messenger may be captured. S2 = Σ^ω.
+func S2() *Scheme {
+	return MustNew("S2", "any messenger may be captured: Σ^ω", buchi.Universal(4))
+}
+
+// Fair is the set of fair scenarios of Γ^ω (Definition III.6): each
+// process's messages are delivered infinitely often.
+func Fair() *Scheme {
+	whiteDelivered := infOften(3, omission.None, omission.LossBlack)
+	blackDelivered := infOften(3, omission.None, omission.LossWhite)
+	return MustNew("Fair", "fair scenarios of Γ^ω: both directions deliver infinitely often",
+		whiteDelivered.Intersect(blackDelivered))
+}
+
+// FairSigma is the fair communication scheme F of Example II.8, over the
+// full alphabet Σ.
+func FairSigma() *Scheme {
+	whiteDelivered := infOften(4, omission.None, omission.LossBlack)
+	blackDelivered := infOften(4, omission.None, omission.LossWhite)
+	return MustNew("FairΣ", "fair scenarios of Σ^ω (Example II.8)",
+		whiteDelivered.Intersect(blackDelivered))
+}
+
+// AlmostFair is the scheme F̃ = Γ^ω \ {b^ω} of Corollary IV.1: everything
+// except the single scenario in which Black's messages are always lost.
+// It is solvable, and A_{b^ω} is the folklore intuitive algorithm.
+func AlmostFair() *Scheme {
+	return MustNew("AlmostFair", "Γ^ω minus the single scenario (b)^ω",
+		buchi.NotWordDBA(3, nil, []buchi.Symbol{int(omission.LossBlack)}))
+}
+
+// Note there is deliberately no Unfair() scheme: the set of unfair
+// scenarios (eventually one direction is always lost) is not
+// DBA-recognizable — it is the complement of the DBA language Fair and
+// needs nondeterminism. Use Fair().Automaton().Complement() or
+// omission.Scenario.IsUnfair instead.
+
+// registry holds the named schemes used by the CLIs.
+var registry = map[string]func() *Scheme{
+	"S0":         S0,
+	"TW":         TWhite,
+	"TB":         TBlack,
+	"C1":         C1,
+	"S1":         S1,
+	"R1":         R1,
+	"S2":         S2,
+	"Fair":       Fair,
+	"FairSigma":  FairSigma,
+	"AlmostFair": AlmostFair,
+	"K1":         func() *Scheme { return AtMostKLosses(1) },
+	"K2":         func() *Scheme { return AtMostKLosses(2) },
+	"K3":         func() *Scheme { return AtMostKLosses(3) },
+	"BX1":        func() *Scheme { return BlackoutBudget(1) },
+	"BX2":        func() *Scheme { return BlackoutBudget(2) },
+}
+
+// ByName looks up a named scheme ("S0", "TW", "TB", "C1", "S1", "R1",
+// "S2", "Fair", "FairSigma", "AlmostFair").
+func ByName(name string) (*Scheme, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("scheme: unknown scheme %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registry names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SevenEnvironments returns the seven environments of Section II-A2 in
+// paper order.
+func SevenEnvironments() []*Scheme {
+	return []*Scheme{S0(), TWhite(), TBlack(), C1(), S1(), R1(), S2()}
+}

@@ -1,0 +1,107 @@
+package scheme
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+)
+
+// ExtendToScenario completes a word w ∈ Pref(L) into an ultimately
+// periodic scenario w·stem·(loop)^ω ∈ L, deterministically (the shortest
+// lasso from the automaton state reached on w). ok is false when w is not
+// in Pref(L).
+func (s *Scheme) ExtendToScenario(w omission.Word) (omission.Scenario, bool) {
+	sym, err := s.Symbols(w)
+	if err != nil {
+		return omission.Scenario{}, false
+	}
+	q := s.auto.StepWord(sym)
+	// Non-emptiness from q: reuse the NBA machinery with a shifted start.
+	n := s.auto.NBA()
+	n.Start = []buchi.State{q}
+	empty, lasso := n.IsEmpty()
+	if empty {
+		return omission.Scenario{}, false
+	}
+	prefix := w.Concat(Letters(lasso.Stem))
+	return omission.UPWord(prefix, Letters(lasso.Loop)), true
+}
+
+// SampleScenario draws a random member of L: a random prefix of the given
+// length (uniform over live extensions) completed into an ultimately
+// periodic scenario. ok is false when the scheme is empty.
+func (s *Scheme) SampleScenario(rng *rand.Rand, prefixLen int) (omission.Scenario, bool) {
+	w, ok := s.SamplePrefix(rng, prefixLen)
+	if !ok {
+		return omission.Scenario{}, false
+	}
+	return s.ExtendToScenario(w)
+}
+
+// CountPrefixes returns |Pref(L) ∩ Γ^r| (Σ^r for Σ-schemes): how many
+// partial scenarios of length r the environment allows. Computed by
+// dynamic programming over the automaton: dead states (empty language)
+// are absorbing, so a word lies in Pref(L) iff its run ends in a live
+// state.
+func (s *Scheme) CountPrefixes(r int) *big.Int {
+	live := s.auto.NBA().LiveStates()
+	n := s.auto.NumStates()
+	counts := make([]*big.Int, n)
+	for i := range counts {
+		counts[i] = new(big.Int)
+	}
+	counts[s.auto.Start].SetInt64(1)
+	for step := 0; step < r; step++ {
+		next := make([]*big.Int, n)
+		for i := range next {
+			next[i] = new(big.Int)
+		}
+		for q := 0; q < n; q++ {
+			if counts[q].Sign() == 0 {
+				continue
+			}
+			for a := 0; a < s.auto.Alphabet; a++ {
+				next[s.auto.Delta[q][a]].Add(next[s.auto.Delta[q][a]], counts[q])
+			}
+		}
+		counts = next
+	}
+	total := new(big.Int)
+	for q := 0; q < n; q++ {
+		if live[q] {
+			total.Add(total, counts[q])
+		}
+	}
+	return total
+}
+
+// AllPrefixes enumerates Pref(L) ∩ Γ^r (or Σ^r for Σ-schemes): every
+// length-r word that extends to a member of the scheme.
+func (s *Scheme) AllPrefixes(r int) []omission.Word {
+	alphabet := omission.Gamma
+	if !s.OverGamma() {
+		alphabet = omission.Sigma
+	}
+	live := s.auto.NBA().LiveStates()
+	var out []omission.Word
+	cur := make(omission.Word, 0, r)
+	var rec func(q buchi.State, depth int)
+	rec = func(q buchi.State, depth int) {
+		if !live[q] {
+			return
+		}
+		if depth == r {
+			out = append(out, cur.Clone())
+			return
+		}
+		for _, l := range alphabet {
+			cur = append(cur, l)
+			rec(s.auto.Delta[q][int(l)], depth+1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(s.auto.Start, 0)
+	return out
+}

@@ -1,0 +1,113 @@
+package scheme
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/omission"
+)
+
+func TestExtendToScenario(t *testing.T) {
+	c1 := C1()
+	sc, ok := c1.ExtendToScenario(wd("..w"))
+	if !ok {
+		t.Fatal("..w is a C1 prefix")
+	}
+	if !c1.Contains(sc) {
+		t.Fatalf("extension %s not in C1", sc)
+	}
+	if !wd("..w").IsPrefixOf(sc.PrefixWord(3)) {
+		t.Fatalf("extension %s does not extend ..w", sc)
+	}
+	if _, ok := c1.ExtendToScenario(wd("w.")); ok {
+		t.Error("w. is not a C1 prefix")
+	}
+	if _, ok := c1.ExtendToScenario(wd("x")); ok {
+		t.Error("Γ-scheme has no x-prefixes")
+	}
+}
+
+func TestSampleScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, s := range []*Scheme{S0(), C1(), S1(), Fair(), AlmostFair(), AtMostKLosses(2), BlackoutBudget(1)} {
+		for i := 0; i < 20; i++ {
+			sc, ok := s.SampleScenario(rng, rng.Intn(6))
+			if !ok {
+				t.Fatalf("%s: sampling failed", s.Name())
+			}
+			if !s.Contains(sc) {
+				t.Fatalf("%s: sampled %s not a member", s.Name(), sc)
+			}
+		}
+	}
+}
+
+func TestAllPrefixesMatchesOracle(t *testing.T) {
+	for _, s := range []*Scheme{S0(), C1(), S1(), Fair(), AtMostKLosses(1), BlackoutBudget(1)} {
+		for r := 0; r <= 4; r++ {
+			got := s.AllPrefixes(r)
+			seen := map[string]bool{}
+			for _, w := range got {
+				if !s.AcceptsPrefix(w) {
+					t.Fatalf("%s: AllPrefixes returned non-prefix %v", s.Name(), w)
+				}
+				if seen[w.String()] {
+					t.Fatalf("%s: duplicate %v", s.Name(), w)
+				}
+				seen[w.String()] = true
+			}
+			// Exhaustive cross-check against the oracle.
+			alphabet := omission.Gamma
+			if !s.OverGamma() {
+				alphabet = omission.Sigma
+			}
+			count := 0
+			for _, w := range omission.AllWords(alphabet, r) {
+				if s.AcceptsPrefix(w) {
+					count++
+					if !seen[w.String()] {
+						t.Fatalf("%s: missing prefix %v", s.Name(), w)
+					}
+				}
+			}
+			if count != len(got) {
+				t.Fatalf("%s r=%d: %d vs %d prefixes", s.Name(), r, len(got), count)
+			}
+		}
+	}
+}
+
+// TestCountPrefixes pins closed-form prefix counts and cross-checks the DP
+// against enumeration.
+func TestCountPrefixes(t *testing.T) {
+	for r := 0; r <= 6; r++ {
+		// Γ^ω: 3^r.
+		if got := R1().CountPrefixes(r); got.Int64() != omission.Pow3Int64(r) {
+			t.Errorf("R1 r=%d: %v", r, got)
+		}
+		// Fair has full prefix language too.
+		if got := Fair().CountPrefixes(r); got.Int64() != omission.Pow3Int64(r) {
+			t.Errorf("Fair r=%d: %v", r, got)
+		}
+		// S0: exactly one prefix per length.
+		if got := S0().CountPrefixes(r); got.Int64() != 1 {
+			t.Errorf("S0 r=%d: %v", r, got)
+		}
+		// C1: .^r plus .^j a^(r−j) for a ∈ {w,b}, j < r ⇒ 2r+1.
+		if got := C1().CountPrefixes(r); got.Int64() != int64(2*r+1) {
+			t.Errorf("C1 r=%d: %v, want %d", r, got, 2*r+1)
+		}
+		// S1: {.,w}^r ∪ {.,b}^r shares .^r ⇒ 2^(r+1) − 1.
+		if got := S1().CountPrefixes(r); got.Int64() != (1<<(r+1))-1 {
+			t.Errorf("S1 r=%d: %v, want %d", r, got, (1<<(r+1))-1)
+		}
+	}
+	// Cross-check against enumeration on assorted schemes.
+	for _, s := range []*Scheme{TWhite(), AtMostKLosses(2), BlackoutBudget(2), AlmostFair(), SigmaAtMostKLostMessages(2)} {
+		for r := 0; r <= 5; r++ {
+			if got, want := s.CountPrefixes(r).Int64(), int64(len(s.AllPrefixes(r))); got != want {
+				t.Errorf("%s r=%d: DP %d vs enumeration %d", s.Name(), r, got, want)
+			}
+		}
+	}
+}

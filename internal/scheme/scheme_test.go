@@ -1,0 +1,269 @@
+package scheme
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+)
+
+func sc(s string) omission.Scenario { return omission.MustScenario(s) }
+func wd(s string) omission.Word     { return omission.MustWord(s) }
+
+// TestNamedMembership pins membership of characteristic scenarios in each
+// named scheme, following the formulas of Example II.11.
+func TestNamedMembership(t *testing.T) {
+	cases := []struct {
+		scheme *Scheme
+		in     []string
+		out    []string
+	}{
+		{S0(), []string{"(.)"}, []string{"(w)", "(b)", "w(.)", "(.b)", "(x)"}},
+		{TWhite(), []string{"(.)", "(w)", "(.w)", "www(.)"}, []string{"(b)", "(.b)", "w(b)", "(x)"}},
+		{TBlack(), []string{"(.)", "(b)", "(.b)"}, []string{"(w)", "(.w)", "b(w)", "(x)"}},
+		{C1(), []string{"(.)", "(w)", "(b)", "...(w)", ".(b)"}, []string{"(.w)", "w.(w)", "(wb)", "b.(b)", "(x)", ".w(.)"}},
+		{S1(), []string{"(.)", "(w)", "(b)", "(.w)", "(.b)", "w.w(.)"}, []string{"(wb)", "w(b)", "b(w)", "(x)"}},
+		{R1(), []string{"(.)", "(w)", "(b)", "(wb)", ".w.b(.)"}, []string{"(x)", ".(x)", "(.x)"}},
+		{S2(), []string{"(.)", "(w)", "(b)", "(x)", "(wx)", ".wbx(.)"}, nil},
+		{Fair(), []string{"(.)", "(wb)", "(.w)", "(.b)", "wwww(.)"}, []string{"(w)", "(b)", "..(w)", "w(b)", "(x)"}},
+		{AlmostFair(), []string{"(.)", "(w)", "(wb)", "b(w)", "b(.)", "bbb(.b)"}, []string{"(b)", "b(b)", "(bb)", "(x)"}},
+	}
+	for _, c := range cases {
+		for _, s := range c.in {
+			if !c.scheme.Contains(sc(s)) {
+				t.Errorf("%s should contain %s", c.scheme.Name(), s)
+			}
+		}
+		for _, s := range c.out {
+			if c.scheme.Contains(sc(s)) {
+				t.Errorf("%s should not contain %s", c.scheme.Name(), s)
+			}
+		}
+	}
+}
+
+func TestS1IsUnionOfTs(t *testing.T) {
+	union := Union("TW∪TB", TWhite(), TBlack())
+	eq, witness := Equivalent(S1(), union)
+	if !eq {
+		t.Fatalf("S1 ≠ TW ∪ TB; distinguishing scenario %s", witness)
+	}
+}
+
+func TestFairSigmaRestrictsToFair(t *testing.T) {
+	// Fair over Γ = FairΣ ∩ Γ^ω.
+	gammaOnly := MustNew("Γω", "", onlyLetters(4, omission.None, omission.LossWhite, omission.LossBlack))
+	restricted := Intersect("FairΣ∩Γω", FairSigma(), gammaOnly)
+	eq, witness := Equivalent(Fair(), restricted)
+	if !eq {
+		t.Fatalf("Fair(Γ) ≠ FairΣ ∩ Γ^ω; distinguishing scenario %s", witness)
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	// S0 ⊆ TW ⊆ S1 ⊆ R1 ⊆ S2 (after widening) and C1 ⊆ S1.
+	chain := []*Scheme{S0(), TWhite(), S1(), R1(), S2()}
+	for i := 0; i+1 < len(chain); i++ {
+		ok, w := SubsetOf(chain[i], chain[i+1])
+		if !ok {
+			t.Errorf("%s ⊄ %s: counterexample %s", chain[i].Name(), chain[i+1].Name(), w)
+		}
+	}
+	if ok, _ := SubsetOf(S1(), C1()); ok {
+		t.Error("S1 should not be a subset of C1")
+	}
+	if ok, w := SubsetOf(C1(), S1()); !ok {
+		t.Errorf("C1 ⊆ S1 fails: %s", w)
+	}
+	if ok, _ := SubsetOf(R1(), Fair()); ok {
+		t.Error("R1 contains unfair scenarios")
+	}
+	if ok, w := SubsetOf(Fair(), R1()); !ok {
+		t.Errorf("Fair ⊆ Γ^ω fails: %s", w)
+	}
+}
+
+func TestMinusRemovesExactly(t *testing.T) {
+	l := Minus("R1-2", R1(), sc("(b)"), sc("w(.)"))
+	if l.Contains(sc("(b)")) || l.Contains(sc("w(.)")) {
+		t.Error("Minus failed to remove scenarios")
+	}
+	// Equal ω-words in other representations are removed too.
+	if l.Contains(sc("b(bb)")) || l.Contains(sc("w.(..)")) {
+		t.Error("Minus must remove by ω-word semantics, not representation")
+	}
+	for _, s := range []string{"(.)", "(w)", "b(b.)", "ww(.)"} {
+		if !l.Contains(sc(s)) {
+			t.Errorf("Minus removed too much: %s", s)
+		}
+	}
+	// AlmostFair = Minus(R1, (b)).
+	eq, w := Equivalent(AlmostFair(), Minus("", R1(), sc("(b)")))
+	if !eq {
+		t.Fatalf("AlmostFair ≠ R1 \\ {(b)}: %s", w)
+	}
+}
+
+func TestPrefixOracle(t *testing.T) {
+	c1 := C1()
+	if !c1.AcceptsPrefix(wd("...w")) {
+		t.Error("...w is a C1 prefix")
+	}
+	if c1.AcceptsPrefix(wd("w.")) {
+		t.Error("w. is not a C1 prefix (after a loss, losses continue)")
+	}
+	if !c1.AcceptsPrefix(wd("")) {
+		t.Error("ε is a prefix of any non-empty scheme")
+	}
+	o := c1.NewPrefixOracle()
+	if !o.Live() || !o.CanStep(omission.None) || !o.CanStep(omission.LossWhite) {
+		t.Error("oracle at ε should allow . and w")
+	}
+	if o.CanStep(omission.LossBoth) {
+		t.Error("Γ-scheme cannot step on x")
+	}
+	o.Step(omission.LossWhite)
+	if o.CanStep(omission.None) {
+		t.Error("after w, '.' must be unavailable in C1")
+	}
+	c := o.Clone()
+	if !o.Step(omission.LossWhite) {
+		t.Error("w after w should stay live")
+	}
+	if !c.Live() {
+		t.Error("clone independent")
+	}
+	if c.Step(omission.LossBlack) {
+		t.Error("b after w dies in C1")
+	}
+}
+
+func TestSamplePrefixStaysInScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range []*Scheme{S0(), TWhite(), C1(), S1(), Fair(), AlmostFair()} {
+		for i := 0; i < 20; i++ {
+			w, ok := s.SamplePrefix(rng, 10)
+			if !ok {
+				t.Fatalf("%s: sampling failed", s.Name())
+			}
+			if !s.AcceptsPrefix(w) {
+				t.Fatalf("%s: sampled %v not a prefix", s.Name(), w)
+			}
+		}
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	for _, s := range SevenEnvironments() {
+		empty, member := s.IsEmpty()
+		if empty {
+			t.Fatalf("%s should be non-empty", s.Name())
+		}
+		if !s.Contains(member) {
+			t.Fatalf("%s: returned member %s not contained", s.Name(), member)
+		}
+	}
+	emptyScheme := MustNew("none", "", buchi.EmptyDBA(3))
+	if empty, _ := emptyScheme.IsEmpty(); !empty {
+		t.Error("empty scheme must report empty")
+	}
+	if _, ok := emptyScheme.SamplePrefix(rand.New(rand.NewSource(1)), 3); ok {
+		t.Error("sampling empty scheme must fail")
+	}
+}
+
+func TestByNameRegistry(t *testing.T) {
+	for _, n := range Names() {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() == "" || s.Description() == "" {
+			t.Errorf("%s: empty name/description", n)
+		}
+	}
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Error("unknown scheme must error")
+	}
+	if len(SevenEnvironments()) != 7 {
+		t.Error("seven environments")
+	}
+}
+
+func TestWiden(t *testing.T) {
+	w := Widen(R1())
+	if w.OverGamma() {
+		t.Error("widened scheme should be over Σ")
+	}
+	if w.Contains(sc("(x)")) {
+		t.Error("widened Γ^ω must not contain x-scenarios")
+	}
+	if !w.Contains(sc("(wb)")) {
+		t.Error("widened Γ^ω keeps Γ-scenarios")
+	}
+	s2 := S2()
+	if Widen(s2) != s2 {
+		t.Error("Widen must be the identity on Σ-schemes")
+	}
+	// Widening preserves the language on Γ-scenarios.
+	eq, dw := Equivalent(R1(), w)
+	if !eq {
+		t.Errorf("Widen changed the language: %s", dw)
+	}
+}
+
+func TestRandomSchemeDeterministic(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(5)), 4)
+	b := Random(rand.New(rand.NewSource(5)), 4)
+	eq, w := Equivalent(a, b)
+	if !eq {
+		t.Fatalf("same seed produced different schemes: %s", w)
+	}
+	if !a.OverGamma() {
+		t.Error("random schemes are over Γ")
+	}
+	if Random(rand.New(rand.NewSource(5)), 0) == nil {
+		t.Error("states<1 should clamp")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", "", nil); err == nil {
+		t.Error("nil automaton must fail")
+	}
+	if _, err := New("x", "", buchi.Universal(5)); err == nil {
+		t.Error("alphabet 5 must fail")
+	}
+	bad := &buchi.DBA{Alphabet: 3, Start: 9, Delta: [][]buchi.State{{0, 0, 0}}, Accepting: []bool{true}}
+	if _, err := New("x", "", bad); err == nil {
+		t.Error("invalid automaton must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew must panic on invalid input")
+		}
+	}()
+	MustNew("x", "", nil)
+}
+
+func TestSymbolsErrors(t *testing.T) {
+	r1 := R1()
+	if _, err := r1.Symbols(wd(".x")); err == nil {
+		t.Error("x outside Γ alphabet")
+	}
+	if r1.Contains(sc("(x)")) {
+		t.Error("Γ-scheme cannot contain x-scenarios")
+	}
+	if r1.AcceptsPrefix(wd("x")) {
+		t.Error("Γ-scheme cannot have x-prefixes")
+	}
+	// Mismatched-alphabet combinators panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Intersect("bad", R1(), S2())
+}

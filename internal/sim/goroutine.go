@@ -1,0 +1,149 @@
+package sim
+
+import "repro/internal/omission"
+
+// The goroutine runner gives each process its own server goroutine and
+// drives the synchronous rounds purely by channel communication, in the
+// CSP style: the coordinator requests the round's message from both
+// servers, applies the adversary's omission letter, delivers, and collects
+// decision status. No shared memory is touched by more than one goroutine;
+// the round barrier is the communication itself.
+
+type sendResp struct {
+	msg Message
+	ok  bool
+}
+
+type recvReq struct {
+	round   int
+	msg     Message
+	deliver bool // false when the process has halted: skip Receive
+}
+
+type recvResp struct {
+	decided bool
+	value   Value
+}
+
+type procServer struct {
+	sendReq  chan int
+	sendResp chan sendResp
+	recvReq  chan recvReq
+	recvResp chan recvResp
+}
+
+// serve runs the process event loop until sendReq is closed.
+func serve(p Process, s *procServer) {
+	for r := range s.sendReq {
+		msg, ok := p.Send(r)
+		s.sendResp <- sendResp{msg, ok}
+		req := <-s.recvReq
+		if req.deliver {
+			p.Receive(req.round, req.msg)
+		}
+		v, decided := p.Decision()
+		s.recvResp <- recvResp{decided, v}
+	}
+}
+
+// RunGoroutines executes the same semantics as Run, with each process
+// hosted in its own goroutine. The resulting trace is identical to the
+// sequential runner's (asserted by tests): determinism comes from the
+// lock-step protocol, not from scheduling.
+func RunGoroutines(white, black Process, inputs [2]Value, adv Adversary, maxRounds int) Trace {
+	white.Init(White, inputs[0])
+	black.Init(Black, inputs[1])
+
+	servers := [2]*procServer{}
+	for i, p := range []Process{white, black} {
+		s := &procServer{
+			sendReq:  make(chan int),
+			sendResp: make(chan sendResp),
+			recvReq:  make(chan recvReq),
+			recvResp: make(chan recvResp),
+		}
+		servers[i] = s
+		go serve(p, s)
+	}
+	defer func() {
+		close(servers[0].sendReq)
+		close(servers[1].sendReq)
+	}()
+
+	tr := Trace{Inputs: inputs, DecisionRound: [2]int{-1, -1}, Decisions: [2]Value{None, None}}
+
+	// Initial decision check (round 0) happens outside the servers: the
+	// processes are not concurrently owned yet.
+	both := true
+	for i, p := range []Process{white, black} {
+		if v, ok := p.Decision(); ok {
+			tr.Decisions[i] = v
+			tr.DecisionRound[i] = 0
+		} else {
+			both = false
+		}
+	}
+	if both {
+		return tr
+	}
+
+	for r := 1; r <= maxRounds; r++ {
+		letter := adv.Next(r, tr.Played)
+		tr.Played = append(tr.Played, letter)
+		tr.Rounds = r
+
+		// Phase 1: collect sends from both servers concurrently.
+		servers[White].sendReq <- r
+		servers[Black].sendReq <- r
+		wSend := <-servers[White].sendResp
+		bSend := <-servers[Black].sendResp
+
+		if wSend.ok {
+			tr.MessagesSent++
+		}
+		if bSend.ok {
+			tr.MessagesSent++
+		}
+
+		// Phase 2: apply the omission letter and deliver.
+		var toWhite, toBlack Message
+		if bSend.ok && !letter.LostBlack() {
+			toWhite = bSend.msg
+			if wSend.ok {
+				tr.MessagesDelivered++
+			}
+		}
+		if wSend.ok && !letter.LostWhite() {
+			toBlack = wSend.msg
+			if bSend.ok {
+				tr.MessagesDelivered++
+			}
+		}
+		servers[White].recvReq <- recvReq{round: r, msg: toWhite, deliver: wSend.ok}
+		servers[Black].recvReq <- recvReq{round: r, msg: toBlack, deliver: bSend.ok}
+		wRecv := <-servers[White].recvResp
+		bRecv := <-servers[Black].recvResp
+
+		both = true
+		for i, resp := range []recvResp{wRecv, bRecv} {
+			if tr.DecisionRound[i] < 0 {
+				if resp.decided {
+					tr.Decisions[i] = resp.value
+					tr.DecisionRound[i] = r
+				} else {
+					both = false
+				}
+			}
+		}
+		if both {
+			return tr
+		}
+	}
+	tr.TimedOut = true
+	return tr
+}
+
+// RunGoroutinesScenario is RunGoroutines with a fixed scenario source.
+func RunGoroutinesScenario(white, black Process, inputs [2]Value, src omission.Source, maxRounds int) Trace {
+	return RunGoroutines(white, black, inputs, SourceAdversary{src}, maxRounds)
+}

@@ -1,0 +1,252 @@
+// Package sim is the synchronous two-process message-passing kernel of the
+// Coordinated Attack setting (Section II-C of Fevat & Godard): in each
+// round r every process sends a message, receives the other's message —
+// unless the round's omission letter drops it — and updates its state.
+//
+// Two runners execute the same semantics: a sequential one used by
+// exhaustive tests, and a channel/goroutine one in which each process is a
+// CSP-style server goroutine and the round structure is enforced purely by
+// communication. Tests assert trace equality between the two.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/omission"
+)
+
+// ID names the two processes.
+type ID int
+
+const (
+	// White is the process whose messages are dropped by letter 'w'.
+	White ID = iota
+	// Black is the process whose messages are dropped by letter 'b'.
+	Black
+)
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	if id == White {
+		return "white"
+	}
+	return "black"
+}
+
+// Other returns the opposite process.
+func (id ID) Other() ID { return 1 - id }
+
+// Value is a consensus value. Binary consensus uses 0 and 1; None marks
+// "not decided".
+type Value int
+
+// None is the absent value.
+const None Value = -1
+
+// Message is an algorithm-defined payload; nil means "nothing received".
+type Message any
+
+// Process is a deterministic synchronous process. The kernel drives it
+// with the round structure of Section II-C: Send, then Receive, then
+// (implicitly) the state update inside Receive.
+//
+// A process that has decided and halted must return ok=false from Send;
+// the kernel then stops delivering to and from it, which is how the
+// partner observes the halt (as missing messages), exactly as in the
+// paper's termination argument.
+type Process interface {
+	// Init resets the process with its identity and input value.
+	Init(id ID, input Value)
+	// Send produces the round-r message (r is 1-based); ok=false means the
+	// process has halted and sends nothing (now and forever).
+	Send(r int) (msg Message, ok bool)
+	// Receive delivers the message received in round r; nil when the
+	// message was lost or the partner is silent.
+	Receive(r int, msg Message)
+	// Decision returns the decided value, ok=false while undecided.
+	Decision() (Value, bool)
+}
+
+// Trace records one execution.
+type Trace struct {
+	// Inputs are the initial values.
+	Inputs [2]Value
+	// Played is the sequence of omission letters actually applied.
+	Played omission.Word
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Decisions holds each process's decided value (None if undecided).
+	Decisions [2]Value
+	// DecisionRound holds the round after which each process decided
+	// (0 means decided at initialization; -1 means never).
+	DecisionRound [2]int
+	// TimedOut is set when maxRounds elapsed before both processes
+	// decided.
+	TimedOut bool
+	// MessagesSent counts the messages handed to the kernel by both
+	// processes; MessagesDelivered those that actually arrived (lost
+	// messages and messages to/from halted processes account for the
+	// difference).
+	MessagesSent, MessagesDelivered int
+}
+
+// String summarizes the trace.
+func (t Trace) String() string {
+	return fmt.Sprintf("inputs=(%d,%d) scenario=%s rounds=%d decisions=(%d@%d, %d@%d) timedOut=%v",
+		t.Inputs[0], t.Inputs[1], t.Played, t.Rounds,
+		t.Decisions[0], t.DecisionRound[0], t.Decisions[1], t.DecisionRound[1], t.TimedOut)
+}
+
+// Equal reports whether two traces are identical.
+func (t Trace) Equal(u Trace) bool {
+	return t.Inputs == u.Inputs && t.Played.Equal(u.Played) && t.Rounds == u.Rounds &&
+		t.Decisions == u.Decisions && t.DecisionRound == u.DecisionRound && t.TimedOut == u.TimedOut &&
+		t.MessagesSent == u.MessagesSent && t.MessagesDelivered == u.MessagesDelivered
+}
+
+// Adversary chooses the omission letter for each round, possibly
+// adaptively based on the letters played so far. (The standard omission
+// adversary is oblivious to message contents; algorithms in this
+// repository are deterministic, so letter history determines everything
+// anyway.)
+type Adversary interface {
+	// Next returns the letter for round r (1-based) given the past
+	// letters.
+	Next(r int, past omission.Word) omission.Letter
+}
+
+// SourceAdversary plays a fixed scenario.
+type SourceAdversary struct{ Src omission.Source }
+
+// Next implements Adversary.
+func (s SourceAdversary) Next(r int, _ omission.Word) omission.Letter { return s.Src.At(r - 1) }
+
+// FuncAdversary adapts a function to the Adversary interface.
+type FuncAdversary func(r int, past omission.Word) omission.Letter
+
+// Next implements Adversary.
+func (f FuncAdversary) Next(r int, past omission.Word) omission.Letter { return f(r, past) }
+
+// Run executes the two processes under the adversary for at most
+// maxRounds rounds, sequentially. Processes are Init-ed with the given
+// inputs. The run stops as soon as both processes have decided (a decided
+// process may keep running until its partner decides — per the Process
+// contract it signals halt via Send).
+func Run(white, black Process, inputs [2]Value, adv Adversary, maxRounds int) Trace {
+	white.Init(White, inputs[0])
+	black.Init(Black, inputs[1])
+	tr := Trace{Inputs: inputs, DecisionRound: [2]int{-1, -1}}
+	tr.Decisions = [2]Value{None, None}
+	record := func(round int) bool {
+		both := true
+		for i, p := range []Process{white, black} {
+			if tr.DecisionRound[i] < 0 {
+				if v, ok := p.Decision(); ok {
+					tr.Decisions[i] = v
+					tr.DecisionRound[i] = round
+				} else {
+					both = false
+				}
+			}
+		}
+		return both
+	}
+	if record(0) {
+		return tr
+	}
+	for r := 1; r <= maxRounds; r++ {
+		letter := adv.Next(r, tr.Played)
+		tr.Played = append(tr.Played, letter)
+		tr.Rounds = r
+
+		wMsg, wOK := white.Send(r)
+		bMsg, bOK := black.Send(r)
+		if wOK {
+			tr.MessagesSent++
+		}
+		if bOK {
+			tr.MessagesSent++
+		}
+
+		var toWhite, toBlack Message
+		if bOK && !letter.LostBlack() {
+			toWhite = bMsg
+			if wOK {
+				tr.MessagesDelivered++
+			}
+		}
+		if wOK && !letter.LostWhite() {
+			toBlack = wMsg
+			if bOK {
+				tr.MessagesDelivered++
+			}
+		}
+		// A halted process no longer takes receive steps.
+		if wOK {
+			white.Receive(r, toWhite)
+		}
+		if bOK {
+			black.Receive(r, toBlack)
+		}
+		if record(r) {
+			return tr
+		}
+	}
+	tr.TimedOut = true
+	return tr
+}
+
+// RunScenario is Run with a fixed scenario source.
+func RunScenario(white, black Process, inputs [2]Value, src omission.Source, maxRounds int) Trace {
+	return Run(white, black, inputs, SourceAdversary{src}, maxRounds)
+}
+
+// Report is the outcome of checking the three consensus properties of
+// Section II-B on a trace.
+type Report struct {
+	// Terminated: every process decided (uniform termination).
+	Terminated bool
+	// Agreement: no two processes decided differently.
+	Agreement bool
+	// Validity: if all inputs equal v, every decided value is v; decided
+	// values are always some process's input.
+	Validity bool
+	// Violations lists human-readable property violations.
+	Violations []string
+}
+
+// OK reports whether all three properties hold.
+func (r Report) OK() bool { return r.Terminated && r.Agreement && r.Validity }
+
+// Check verifies the consensus properties on a trace.
+func Check(t Trace) Report {
+	rep := Report{Terminated: true, Agreement: true, Validity: true}
+	if t.TimedOut || t.DecisionRound[0] < 0 || t.DecisionRound[1] < 0 {
+		rep.Terminated = false
+		rep.Violations = append(rep.Violations, fmt.Sprintf("termination: decisions at rounds %v (timedOut=%v)", t.DecisionRound, t.TimedOut))
+	}
+	d0, d1 := t.Decisions[0], t.Decisions[1]
+	if d0 != None && d1 != None && d0 != d1 {
+		rep.Agreement = false
+		rep.Violations = append(rep.Violations, fmt.Sprintf("agreement: white decided %d, black decided %d", d0, d1))
+	}
+	for i, d := range t.Decisions {
+		if d == None {
+			continue
+		}
+		if d != t.Inputs[0] && d != t.Inputs[1] {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf("validity: %s decided %d, not an input of %v", ID(i), d, t.Inputs))
+		}
+		if t.Inputs[0] == t.Inputs[1] && d != t.Inputs[0] {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf("validity: unanimous input %d but %s decided %d", t.Inputs[0], ID(i), d))
+		}
+	}
+	return rep
+}
+
+// AllInputs enumerates the four binary input assignments.
+func AllInputs() [][2]Value {
+	return [][2]Value{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+}
