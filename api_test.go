@@ -320,3 +320,33 @@ func ExampleWorstCaseAdversary() {
 	fmt.Println(tr.TimedOut)
 	// Output: true
 }
+
+func TestAnalyzeRoundsFacade(t *testing.T) {
+	an := coordattack.AnalyzeRounds(coordattack.S1(), 2)
+	if !an.Solvable || an.MixedComponents != 0 || an.Components == 0 || an.Configs == 0 {
+		t.Errorf("AnalyzeRounds(S1, 2) = %+v", an)
+	}
+	if coordattack.AnalyzeRounds(coordattack.R1(), 2).Solvable {
+		t.Error("R1 must not be 2-round solvable")
+	}
+	if an.Solvable != coordattack.SolvableInRounds(coordattack.S1(), 2) {
+		t.Error("AnalyzeRounds and SolvableInRounds disagree")
+	}
+}
+
+func TestUnIndexCheckedFacade(t *testing.T) {
+	w, err := coordattack.UnIndexChecked(2, big.NewInt(4))
+	if err != nil || w.String() != ".." {
+		t.Errorf("UnIndexChecked(2, 4) = %v, %v", w, err)
+	}
+	if _, err := coordattack.UnIndexChecked(2, big.NewInt(9)); err == nil {
+		t.Error("out-of-range index should error")
+	}
+	w, err = coordattack.UnIndexInt64Checked(2, 4)
+	if err != nil || w.String() != ".." {
+		t.Errorf("UnIndexInt64Checked(2, 4) = %v, %v", w, err)
+	}
+	if _, err := coordattack.UnIndexInt64Checked(40, 0); err == nil {
+		t.Error("length past the int64-safe bound should error")
+	}
+}

@@ -8,12 +8,14 @@ package coordattack_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	coordattack "repro"
 	"repro/internal/chain"
 	"repro/internal/classify"
 	"repro/internal/consensus"
+	"repro/internal/fullinfo"
 	"repro/internal/graph"
 	"repro/internal/nchain"
 	"repro/internal/netconsensus"
@@ -153,13 +155,45 @@ func BenchmarkSpecialPairGraph(b *testing.B) {
 	}
 }
 
-// Impossibility shape — full-information chain analysis, by horizon.
+// Impossibility shape — full-information chain analysis, by horizon
+// (default engine configuration).
 func BenchmarkChains(b *testing.B) {
 	for _, r := range []int{4, 6, 8} {
 		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
 			s := scheme.R1()
 			for i := 0; i < b.N; i++ {
 				if chain.Analyze(s, r).Solvable {
+					b.Fatal("Γ^ω solvable?!")
+				}
+			}
+		})
+	}
+}
+
+// Engine ablation — the sequential reference vs the streaming engine
+// with a full worker pool, on the same horizons. Compare:
+//
+//	go test -bench 'BenchmarkChains(Sequential|Parallel)' -run '^$' .
+func BenchmarkChainsSequential(b *testing.B) {
+	for _, r := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			s := scheme.R1()
+			for i := 0; i < b.N; i++ {
+				if chain.AnalyzeSequential(s, r).Solvable {
+					b.Fatal("Γ^ω solvable?!")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChainsParallel(b *testing.B) {
+	for _, r := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			s := scheme.R1()
+			opt := fullinfo.Options{Parallel: true, Workers: runtime.GOMAXPROCS(0)}
+			for i := 0; i < b.N; i++ {
+				if chain.AnalyzeOpt(s, r, opt).Solvable {
 					b.Fatal("Γ^ω solvable?!")
 				}
 			}
@@ -305,11 +339,43 @@ func BenchmarkNProcAnalyze(b *testing.B) {
 
 func nchainAnalyze(n, f, r int) bool { return nchain.Analyze(n, f, r).Solvable }
 
-// EXT — synthesis compilation.
+// Engine ablation — n-process analysis, sequential vs full worker pool.
+func BenchmarkNProcAnalyzeSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !nchain.AnalyzeSequential(3, 1, 2).Solvable {
+			b.Fatal("K3 f=1 solvable at 2")
+		}
+	}
+}
+
+func BenchmarkNProcAnalyzeParallel(b *testing.B) {
+	opt := fullinfo.Options{Parallel: true, Workers: runtime.GOMAXPROCS(0)}
+	for i := 0; i < b.N; i++ {
+		if !nchain.AnalyzeOpt(3, 1, 2, opt).Solvable {
+			b.Fatal("K3 f=1 solvable at 2")
+		}
+	}
+}
+
+// EXT — synthesis compilation (runs on the engine's BuildGraph path).
 func BenchmarkSynthesize(b *testing.B) {
 	s := scheme.S1()
 	for i := 0; i < b.N; i++ {
 		if _, _, ok := chain.Synthesize(s, 2); !ok {
+			b.Fatal("synthesis failed")
+		}
+	}
+}
+
+// Engine ablation — synthesis at a deeper horizon where the graph-build
+// fan-out dominates; K3 is solvable exactly from horizon 4.
+func BenchmarkSynthesizeParallel(b *testing.B) {
+	s, err := scheme.ByName("K3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := chain.Synthesize(s, 4); !ok {
 			b.Fatal("synthesis failed")
 		}
 	}

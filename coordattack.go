@@ -148,8 +148,17 @@ func Index(w Word) *big.Int { return omission.Index(w) }
 // IndexInt64 computes ind(w) as an int64 for |w| ≤ 39.
 func IndexInt64(w Word) (int64, error) { return omission.IndexInt64(w) }
 
-// UnIndex inverts the index bijection on Γ^r.
+// UnIndex inverts the index bijection on Γ^r; it panics on out-of-range
+// input (use UnIndexChecked for untrusted arguments).
 func UnIndex(r int, k *big.Int) Word { return omission.UnIndex(r, k) }
+
+// UnIndexChecked is UnIndex returning an error instead of panicking on
+// out-of-range input.
+func UnIndexChecked(r int, k *big.Int) (Word, error) { return omission.UnIndexChecked(r, k) }
+
+// UnIndexInt64Checked is UnIndexChecked on the int64 fast path, valid
+// for r ≤ 39 (beyond that 3^r − 1 overflows an int64).
+func UnIndexInt64Checked(r int, k int64) (Word, error) { return omission.UnIndexInt64Checked(r, k) }
 
 // AdjacentWord returns the word of equal length with index ind(w)+1.
 func AdjacentWord(w Word) (Word, bool) { return omission.AdjacentWord(w) }
@@ -283,8 +292,20 @@ func Check(t Trace) Report { return sim.Check(t) }
 
 // SolvableInRounds reports whether an r-round consensus algorithm exists
 // for the scheme, by exhaustive full-information analysis. Unlike
-// Classify, it also applies to schemes with double omissions.
+// Classify, it also applies to schemes with double omissions. The
+// exploration runs on the parallel streaming engine and aborts on the
+// first mixed component.
 func SolvableInRounds(s *Scheme, r int) bool { return chain.SolvableInRounds(s, r) }
+
+// RoundsAnalysis is the full bounded-round solvability computation:
+// configuration count, indistinguishability components, and the
+// mixed-component count whose vanishing is equivalent to solvability.
+type RoundsAnalysis = chain.Analysis
+
+// AnalyzeRounds runs the exhaustive r-round analysis for the scheme on
+// the parallel streaming engine and returns the full component counts
+// (SolvableInRounds returns just the verdict, faster via early exit).
+func AnalyzeRounds(s *Scheme, r int) RoundsAnalysis { return chain.Analyze(s, r) }
 
 // MinRoundsSearch finds the smallest horizon ≤ maxR at which the scheme
 // is bounded-round solvable.
@@ -333,7 +354,7 @@ func NewValencyAnalyzer(factory func() (white, black Process), s *Scheme, inputs
 // AnalyzeComplete runs the n-process bounded-round analysis on the
 // complete graph K_n with at most f losses per round (the paper's
 // future-work direction): it reports whether r-round consensus exists.
-func AnalyzeComplete(n, f, r int) bool { return nchain.Analyze(n, f, r).Solvable }
+func AnalyzeComplete(n, f, r int) bool { return nchain.SolvableInRounds(n, f, r) }
 
 // MinRoundsComplete finds the smallest solvable horizon ≤ maxR for
 // (n, f) on K_n.
@@ -342,7 +363,7 @@ func MinRoundsComplete(n, f, maxR int) (int, bool) { return nchain.MinRounds(n, 
 // AnalyzeGraphConsensus decides whether r-round consensus exists on an
 // arbitrary small graph with at most f message losses per round,
 // quantifying over all algorithms — the exhaustive form of Theorem V.1.
-func AnalyzeGraphConsensus(g *Graph, f, r int) bool { return nchain.GraphAnalyze(g, f, r).Solvable }
+func AnalyzeGraphConsensus(g *Graph, f, r int) bool { return nchain.GraphSolvableInRounds(g, f, r) }
 
 // MinRoundsGraph finds the smallest solvable horizon ≤ maxR for (g, f).
 func MinRoundsGraph(g *Graph, f, maxR int) (int, bool) { return nchain.GraphMinRounds(g, f, maxR) }

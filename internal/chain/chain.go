@@ -19,6 +19,7 @@
 package chain
 
 import (
+	"repro/internal/fullinfo"
 	"repro/internal/omission"
 	"repro/internal/scheme"
 	"repro/internal/sim"
@@ -59,9 +60,10 @@ func (in *interner) id(prev, recv int) int {
 	if id, ok := in.m[k]; ok {
 		return id
 	}
-	in.m[k] = in.next
+	id := in.next
+	in.m[k] = id
 	in.next++
-	return in.m[k]
+	return id
 }
 
 // config is one leaf of the execution tree.
@@ -167,8 +169,12 @@ func (u *unionFind) union(a, b int) {
 	}
 }
 
-// Analyze computes the r-round solvability analysis for the scheme.
-func Analyze(s *scheme.Scheme, r int) Analysis {
+// AnalyzeSequential computes the r-round solvability analysis with the
+// original single-threaded materialize-then-union algorithm. It is the
+// reference implementation the parallel streaming engine (Analyze,
+// AnalyzeOpt in engine.go) is differentially tested against, and remains
+// available for callers that want a deterministic sequential walk.
+func AnalyzeSequential(s *scheme.Scheme, r int) Analysis {
 	configs := enumerate(s, r)
 	uf := newUnionFind(len(configs))
 	// Same white view (including same white input, which the view id
@@ -213,10 +219,6 @@ func Analyze(s *scheme.Scheme, r int) Analysis {
 	return an
 }
 
-// SolvableInRounds reports whether an r-round consensus algorithm exists
-// for the scheme.
-func SolvableInRounds(s *scheme.Scheme, r int) bool { return Analyze(s, r).Solvable }
-
 // MinRoundsSearch returns the smallest r ≤ maxR for which the scheme is
 // r-round solvable, or ok=false if none is.
 func MinRoundsSearch(s *scheme.Scheme, maxR int) (int, bool) {
@@ -246,39 +248,16 @@ type Complex struct {
 }
 
 // ProtocolComplex builds the complex over all four binary input pairs.
+// The engine's (process, view) vertices and components are exactly the
+// complex's, and each configuration contributes one edge.
 func ProtocolComplex(s *scheme.Scheme, r int) Complex {
-	configs := enumerate(s, r)
-	type vtx struct {
-		proc sim.ID
-		view int
-	}
-	index := map[vtx]int{}
-	idOf := func(v vtx) int {
-		if id, ok := index[v]; ok {
-			return id
-		}
-		id := len(index)
-		index[v] = id
-		return id
-	}
-	var edges [][2]int
-	for _, c := range configs {
-		edges = append(edges, [2]int{idOf(vtx{sim.White, c.viewW}), idOf(vtx{sim.Black, c.viewB})})
-	}
-	uf := newUnionFind(len(index))
-	for _, e := range edges {
-		uf.union(e[0], e[1])
-	}
-	comps := map[int]bool{}
-	for i := 0; i < len(index); i++ {
-		comps[uf.find(i)] = true
-	}
+	res, _ := fullinfo.Run(newChainStepper(s), r, fullinfo.Defaults())
 	return Complex{
 		Rounds:     r,
-		Vertices:   len(index),
-		Edges:      len(edges),
-		Components: len(comps),
-		Connected:  len(comps) <= 1,
+		Vertices:   res.Vertices,
+		Edges:      int(res.Configs),
+		Components: res.Components,
+		Connected:  res.Components <= 1,
 	}
 }
 

@@ -1,0 +1,114 @@
+package chain
+
+import (
+	"testing"
+
+	"repro/internal/fullinfo"
+	"repro/internal/scheme"
+)
+
+// TestEngineMatchesSequential pins the tentpole guarantee: the parallel
+// streaming engine returns an Analysis identical — field for field — to
+// the sequential materialize-then-union reference, for every named
+// scheme at horizons 1..5, both single-worker and with a real pool
+// (which also drives the worker/merge code under -race).
+func TestEngineMatchesSequential(t *testing.T) {
+	for _, name := range scheme.Names() {
+		s, err := scheme.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r <= 5; r++ {
+			want := AnalyzeSequential(s, r)
+			for _, workers := range []int{1, 4} {
+				got := AnalyzeOpt(s, r, fullinfo.Options{Parallel: true, Workers: workers})
+				if got != want {
+					t.Errorf("%s r=%d workers=%d: engine %+v != sequential %+v",
+						name, r, workers, got, want)
+				}
+			}
+			if got := SolvableInRounds(s, r); got != want.Solvable {
+				t.Errorf("%s r=%d: SolvableInRounds=%v, sequential Solvable=%v",
+					name, r, got, want.Solvable)
+			}
+		}
+	}
+}
+
+// TestEngineForcedSplitDepth exercises frontier splitting at every depth
+// of a small instance, including splits past the point where subtrees
+// become single leaves.
+func TestEngineForcedSplitDepth(t *testing.T) {
+	s, err := scheme.ByName("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 4
+	want := AnalyzeSequential(s, r)
+	for depth := 1; depth <= r; depth++ {
+		got := AnalyzeOpt(s, r, fullinfo.Options{Parallel: true, Workers: 4, SplitDepth: depth})
+		if got != want {
+			t.Errorf("split depth %d: engine %+v != sequential %+v", depth, got, want)
+		}
+	}
+}
+
+// TestEngineEarlyExitVerdicts: with early exit the counts may be
+// partial, but the verdict must still match the reference on both
+// solvable and unsolvable instances.
+func TestEngineEarlyExitVerdicts(t *testing.T) {
+	for _, name := range scheme.Names() {
+		s, err := scheme.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r <= 4; r++ {
+			want := AnalyzeSequential(s, r).Solvable
+			opt := fullinfo.Options{Parallel: true, Workers: 4, EarlyExit: true}
+			if got := AnalyzeOpt(s, r, opt).Solvable; got != want {
+				t.Errorf("%s r=%d: early-exit Solvable=%v want %v", name, r, got, want)
+			}
+		}
+	}
+}
+
+// TestProtocolComplexMatchesEnumeration cross-checks the engine-backed
+// ProtocolComplex against a direct recount over the legacy enumeration.
+func TestProtocolComplexMatchesEnumeration(t *testing.T) {
+	for _, name := range []string{"S0", "S1", "R1", "K2"} {
+		s, err := scheme.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r <= 4; r++ {
+			configs := enumerate(s, r)
+			type vtx struct{ proc, view int }
+			index := map[vtx]int{}
+			idOf := func(v vtx) int {
+				if id, ok := index[v]; ok {
+					return id
+				}
+				id := len(index)
+				index[v] = id
+				return id
+			}
+			var edges [][2]int
+			for _, c := range configs {
+				edges = append(edges, [2]int{idOf(vtx{0, c.viewW}), idOf(vtx{1, c.viewB})})
+			}
+			uf := newUnionFind(len(index))
+			for _, e := range edges {
+				uf.union(e[0], e[1])
+			}
+			comps := map[int]bool{}
+			for i := 0; i < len(index); i++ {
+				comps[uf.find(i)] = true
+			}
+			got := ProtocolComplex(s, r)
+			if got.Vertices != len(index) || got.Edges != len(edges) || got.Components != len(comps) {
+				t.Errorf("%s r=%d: ProtocolComplex %+v, want V=%d E=%d C=%d",
+					name, r, got, len(index), len(edges), len(comps))
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package chain
+
+import (
+	"repro/internal/fullinfo"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+)
+
+// chainStepper adapts the two-process analysis to the fullinfo engine:
+// actions are the scheme's alphabet letters, admissibility is the
+// compiled prefix DFA, and a step updates white's and black's
+// full-information views. Process 0 is white, process 1 is black.
+type chainStepper struct {
+	dfa *scheme.PrefixDFA
+}
+
+func newChainStepper(s *scheme.Scheme) chainStepper {
+	return chainStepper{dfa: s.PrefixDFA()}
+}
+
+func (st chainStepper) NumProcs() int   { return 2 }
+func (st chainStepper) NumActions() int { return st.dfa.Alphabet() }
+
+func (st chainStepper) Root() (int, bool) {
+	start := st.dfa.Start()
+	return start, start >= 0
+}
+
+func (st chainStepper) Step(ctx *fullinfo.Ctx, state, a int, views, next []int) (int, bool) {
+	ns := st.dfa.Step(state, a)
+	if ns < 0 {
+		return 0, false
+	}
+	// White receives black's view unless black's message is lost; black
+	// receives white's unless white's is lost.
+	l := omission.Letter(a)
+	rw, rb := views[1], views[0]
+	if l.LostBlack() {
+		rw = -1
+	}
+	if l.LostWhite() {
+		rb = -1
+	}
+	next[0] = ctx.In.View(views[0], rw)
+	next[1] = ctx.In.View(views[1], rb)
+	return ns, true
+}
+
+// AnalyzeOpt computes the r-round solvability analysis with explicit
+// engine options. It returns results identical to AnalyzeSequential
+// (the differential tests pin this) while streaming configurations
+// through per-worker union-finds instead of materializing them.
+func AnalyzeOpt(s *scheme.Scheme, r int, opt fullinfo.Options) Analysis {
+	res, _ := fullinfo.Run(newChainStepper(s), r, opt)
+	return Analysis{
+		Rounds:          r,
+		Configs:         int(res.Configs),
+		Components:      res.Components,
+		Solvable:        res.Solvable,
+		MixedComponents: res.MixedComponents,
+	}
+}
+
+// Analyze computes the r-round solvability analysis for the scheme using
+// the parallel streaming engine.
+func Analyze(s *scheme.Scheme, r int) Analysis {
+	return AnalyzeOpt(s, r, fullinfo.Defaults())
+}
+
+// SolvableInRounds reports whether an r-round consensus algorithm exists
+// for the scheme. It aborts the exploration on the first mixed
+// component, so unsolvable horizons usually return long before the
+// configuration space is exhausted.
+func SolvableInRounds(s *scheme.Scheme, r int) bool {
+	opt := fullinfo.Defaults()
+	opt.EarlyExit = true
+	res, _ := fullinfo.Run(newChainStepper(s), r, opt)
+	return res.Solvable
+}

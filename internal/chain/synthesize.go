@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"repro/internal/fullinfo"
 	"repro/internal/scheme"
 	"repro/internal/sim"
 )
@@ -39,112 +40,37 @@ type program struct {
 	initView [2]int
 }
 
-// compile runs the enumeration once and extracts the program.
+// compile runs the streaming engine once with graph retention and
+// extracts the program: the canonical interner's transition table
+// becomes step, and each final (process, view) vertex decides by its
+// component's unanimity flags — 1 when the component contains an
+// all-1-input configuration, else 0 (every such component then has a 0
+// among its members' inputs: a component cannot mix (1,1) with others
+// without carrying the unanimous-1 flag, and any other config contains
+// a 0).
 func compile(s *scheme.Scheme, r int) (*program, bool) {
-	alphabet := alphabetOf(s)
-	in := newInterner()
-	init0 := in.id(-10, -10)
-	init1 := in.id(-11, -11)
-	initView := func(v sim.Value) int {
-		if v == 0 {
-			return init0
-		}
-		return init1
+	opt := fullinfo.Defaults()
+	opt.BuildGraph = true
+	res, g := fullinfo.Run(newChainStepper(s), r, opt)
+	if !res.Solvable {
+		return nil, false
 	}
-
-	var configs []config
-	var walk func(o *scheme.PrefixOracle, depth, vw, vb int, inputs [2]sim.Value)
-	walk = func(o *scheme.PrefixOracle, depth, vw, vb int, inputs [2]sim.Value) {
-		if depth == r {
-			configs = append(configs, config{viewW: vw, viewB: vb, inputs: inputs})
-			return
-		}
-		for _, a := range alphabet {
-			if !o.CanStep(a) {
-				continue
-			}
-			o2 := o.Clone()
-			o2.Step(a)
-			rw, rb := vb, vw
-			if a.LostBlack() {
-				rw = -1
-			}
-			if a.LostWhite() {
-				rb = -1
-			}
-			walk(o2, depth+1, in.id(vw, rw), in.id(vb, rb), inputs)
-		}
-	}
-	oracle := s.NewPrefixOracle()
-	for _, inputs := range sim.AllInputs() {
-		if oracle.Live() {
-			walk(oracle.Clone(), 0, initView(inputs[0]), initView(inputs[1]), inputs)
-		}
-	}
-
-	// Components over shared views.
-	uf := newUnionFind(len(configs))
-	byViewW := map[int]int{}
-	byViewB := map[int]int{}
-	for i, c := range configs {
-		if j, seen := byViewW[c.viewW]; seen {
-			uf.union(i, j)
-		} else {
-			byViewW[c.viewW] = i
-		}
-		if j, seen := byViewB[c.viewB]; seen {
-			uf.union(i, j)
-		} else {
-			byViewB[c.viewB] = i
-		}
-	}
-	type compInfo struct{ has0, has1 bool }
-	comps := map[int]*compInfo{}
-	for i, c := range configs {
-		root := uf.find(i)
-		ci := comps[root]
-		if ci == nil {
-			ci = &compInfo{}
-			comps[root] = ci
-		}
-		if c.inputs == [2]sim.Value{0, 0} {
-			ci.has0 = true
-		}
-		if c.inputs == [2]sim.Value{1, 1} {
-			ci.has1 = true
-		}
-	}
-	decisionOf := func(root int) (sim.Value, bool) {
-		ci := comps[root]
-		if ci.has0 && ci.has1 {
-			return sim.None, false
-		}
-		if ci.has1 {
-			return 1, true
-		}
-		// Components without unanimous-1 decide 0: every member then has
-		// a 0 among its inputs (a component cannot mix (1,1) with others
-		// unless has1, and any non-(1,1) config contains a 0).
-		return 0, true
-	}
-
 	prog := &program{
 		rounds:   r,
 		step:     map[viewKey]int{},
 		decide:   [2]map[int]sim.Value{{}, {}},
-		initView: [2]int{init0, init1},
+		initView: [2]int{fullinfo.InitView(0), fullinfo.InitView(1)},
 	}
-	for k, v := range in.m {
-		prog.step[k] = v
-	}
-	for i, c := range configs {
-		d, ok := decisionOf(uf.find(i))
-		if !ok {
-			return nil, false
+	g.EachView(func(prev, recv, id int) {
+		prog.step[viewKey{prev, recv}] = id
+	})
+	g.EachVertex(func(proc, view int, has0, has1 bool) {
+		var d sim.Value
+		if has1 {
+			d = 1
 		}
-		prog.decide[sim.White][c.viewW] = d
-		prog.decide[sim.Black][c.viewB] = d
-	}
+		prog.decide[proc][view] = d
+	})
 	return prog, true
 }
 

@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/big"
+	"strconv"
 	"strings"
 
 	coordattack "repro"
@@ -35,12 +37,22 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 	explain := fs.Bool("explain", false, "append a prose explanation of the verdict")
 	dot := fs.Bool("dot", false, "print the scheme's Büchi automaton in Graphviz DOT format and exit")
 	horizon := fs.Int("horizon", 0, "also run the bounded-round (chain) analysis up to this horizon — works for double-omission schemes too")
+	unindex := fs.String("unindex", "", `invert the index bijection: "r:k" prints the unique word of Γ^r with ind = k`)
 	var minus sliceFlag
 	fs.Var(&minus, "minus", "remove an ultimately periodic scenario 'u(v)' (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *unindex != "" {
+		w, err := parseUnIndex(*unindex)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, w)
+		return 0
+	}
 	if *list {
 		for _, n := range coordattack.SchemeNames() {
 			s, _ := coordattack.SchemeByName(n)
@@ -121,6 +133,25 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\n%s", coordattack.ExplainVerdict(v))
 	}
 	return 0
+}
+
+// parseUnIndex parses the -unindex argument "r:k" (k may exceed int64;
+// the big-integer inverse is used) and inverts the index bijection.
+// Out-of-range input surfaces as an error, never a panic.
+func parseUnIndex(arg string) (coordattack.Word, error) {
+	rStr, kStr, ok := strings.Cut(arg, ":")
+	if !ok {
+		return nil, fmt.Errorf("capsolve: -unindex wants \"r:k\", got %q", arg)
+	}
+	r, err := strconv.Atoi(strings.TrimSpace(rStr))
+	if err != nil {
+		return nil, fmt.Errorf("capsolve: -unindex length %q: %v", rStr, err)
+	}
+	k, ok := new(big.Int).SetString(strings.TrimSpace(kStr), 10)
+	if !ok {
+		return nil, fmt.Errorf("capsolve: -unindex index %q is not an integer", kStr)
+	}
+	return coordattack.UnIndexChecked(r, k)
 }
 
 // jsonVerdict is the serializable verdict shape.

@@ -205,3 +205,29 @@ func TestCapsolveExplainAndDot(t *testing.T) {
 		t.Fatalf("dot:\n%s", out)
 	}
 }
+
+// TestCapsolveUnIndex covers the -unindex flag: valid inversions
+// (including indices past int64 at r = 41), and out-of-range or
+// malformed arguments erroring cleanly instead of panicking.
+func TestCapsolveUnIndex(t *testing.T) {
+	// ind("..") = 4 per Figure 1: k=4 at r=2 must invert to "..".
+	code, out, _ := runCmd(t, capsolve, "-unindex", "2:4")
+	if code != 0 || strings.TrimSpace(out) != ".." {
+		t.Fatalf("2:4 → %d %q", code, out)
+	}
+	code, out, _ = runCmd(t, capsolve, "-unindex", "1:0")
+	if code != 0 || strings.TrimSpace(out) != "b" {
+		t.Fatalf("1:0 → %d %q", code, out)
+	}
+	// Beyond the int64-safe bound the big-integer inverse must kick in:
+	// 3^41 - 1 is the maximal index at r = 41.
+	code, out, _ = runCmd(t, capsolve, "-unindex", "41:36472996377170786402")
+	if code != 0 || len(strings.TrimSpace(out)) != 41 {
+		t.Fatalf("r=41 max: %d %q", code, out)
+	}
+	for _, bad := range []string{"2:9", "2:-1", "-1:0", "2", "x:1", "2:y"} {
+		if code, _, errOut := runCmd(t, capsolve, "-unindex", bad); code != 1 || errOut == "" {
+			t.Errorf("-unindex %q: exit %d, stderr %q; want clean error", bad, code, errOut)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package fullinfo is the shared parallel, streaming engine behind every
+// bounded-round full-information solvability analysis in this repository
+// (internal/chain for two processes, internal/nchain for n processes on
+// K_n or an arbitrary graph).
+//
+// The analyses all have the same shape: walk the tree of admissible
+// r-round failure histories for every input assignment, intern each
+// process's full-information view at every node, and decide whether some
+// connected component of the "shares a view" relation contains both an
+// all-0-input and an all-1-input leaf configuration. The engine factors
+// that shape out behind the Stepper interface and makes it fast:
+//
+//   - Callers compile their admissibility oracle into integer state
+//     (scheme.PrefixDFA) so a tree edge is a slice lookup, not an oracle
+//     clone.
+//
+//   - The walk is an iterative DFS over reusable scratch buffers — no
+//     per-node allocation — and fans out at a configurable split depth:
+//     the tree is expanded breadth-first to the split depth, then the
+//     frontier subtrees are distributed over a worker pool.
+//
+//   - Each worker interns views in a worker-local Interner forked from
+//     the shared prefix interner, and streams every leaf straight into a
+//     worker-local union-find keyed by (process, view) — leaf
+//     configurations are never materialized. Worker ids are
+//     canonicalized into the shared id space when the pools merge.
+//
+//   - Components carry unanimous-0/1 flags, so a mixed component is
+//     detected the moment it forms; with Options.EarlyExit the whole
+//     pool aborts on the first one (the scheme is then provably not
+//     r-round solvable, and callers asking only for the boolean need
+//     nothing more).
+//
+// Correctness note: the engine counts components of the (process, view)
+// vertex graph in which every leaf configuration links all of its
+// vertices. Each configuration's vertices form one clique, and every
+// vertex belongs to some configuration, so these components are in
+// bijection with the components of the configuration
+// indistinguishability graph that the materializing reference
+// implementations (chain.AnalyzeSequential, nchain.AnalyzeSequential)
+// compute — the differential tests in those packages pin this.
+package fullinfo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stepper defines one full-information analysis problem: a process
+// count, a finite action alphabet (letters, loss patterns, …), an
+// admissibility automaton over integer states, and the per-round view
+// update. Implementations must be safe for concurrent use by multiple
+// workers; per-call scratch comes from the Ctx.
+type Stepper interface {
+	// NumProcs returns the number of processes n (views per node).
+	NumProcs() int
+	// NumActions returns the size of the action alphabet.
+	NumActions() int
+	// Root returns the initial automaton state, or ok=false when no
+	// history at all is admissible (empty scheme).
+	Root() (state int, ok bool)
+	// Step applies action a in automaton state state: it writes the n
+	// next views into next (interning through ctx) and returns the
+	// successor state, or ok=false when the action is inadmissible.
+	// views holds the n current views and must not be modified.
+	Step(ctx *Ctx, state, a int, views, next []int) (nextState int, ok bool)
+}
+
+// Ctx carries a worker's interner and reusable scratch space into
+// Stepper.Step.
+type Ctx struct {
+	In  *Interner
+	buf []int
+}
+
+// Buf returns a length-n scratch slice reused across calls.
+func (c *Ctx) Buf(n int) []int {
+	if cap(c.buf) < n {
+		c.buf = make([]int, n)
+	}
+	return c.buf[:n]
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Parallel fans the walk out over a worker pool. When false the
+	// whole tree is walked by a single worker (still streaming, still
+	// early-exiting).
+	Parallel bool
+	// Workers is the pool size; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// SplitDepth is the tree depth at which subtrees are handed to
+	// workers; ≤ 0 picks the smallest depth whose frontier is at least
+	// subtreesPerWorker times the pool size.
+	SplitDepth int
+	// EarlyExit aborts the run on the first mixed component. The
+	// returned counts are then partial (Exhaustive=false), but
+	// Solvable=false is exact.
+	EarlyExit bool
+	// BuildGraph retains the merged interner and component structure so
+	// callers (algorithm synthesis, protocol-complex reports) can read
+	// the canonical view table and per-vertex decisions.
+	BuildGraph bool
+}
+
+// Defaults returns the standard engine configuration: parallel across
+// all CPUs, exhaustive, no graph retention.
+func Defaults() Options { return Options{Parallel: true} }
+
+// subtreesPerWorker is the auto split-depth fan-out target: enough
+// subtrees per worker that uneven subtree sizes still balance.
+const subtreesPerWorker = 8
+
+// Result is the outcome of an engine run.
+type Result struct {
+	// Configs is the number of leaf configurations explored.
+	Configs int64
+	// Vertices is the number of distinct (process, view) pairs.
+	Vertices int
+	// Components is the number of connected components.
+	Components int
+	// MixedComponents counts components holding both an all-0 and an
+	// all-1 leaf; the problem is r-round solvable iff it is zero.
+	MixedComponents int
+	// Solvable is MixedComponents == 0.
+	Solvable bool
+	// Exhaustive is false when EarlyExit aborted the walk; counts are
+	// then lower bounds (Solvable remains exact).
+	Exhaustive bool
+}
+
+// Graph is the merged analysis structure retained by BuildGraph.
+type Graph struct {
+	in   *Interner
+	uf   *compUF
+	keys []int64
+}
+
+// EachView calls f for every canonical view transition
+// (prev, recv) → id. For two-process problems recv is the peer's view id
+// or -1; for n-process problems it is a received-views tuple id.
+func (g *Graph) EachView(f func(prev, recv, id int)) { g.in.EachView(f) }
+
+// EachVertex calls f for every (process, view) vertex with its
+// component's unanimity flags.
+func (g *Graph) EachVertex(f func(proc, view int, has0, has1 bool)) {
+	for i, k := range g.keys {
+		fl := g.uf.flag[g.uf.find(int32(i))]
+		f(int(k&vertProcMask), int(k>>vertProcBits), fl&flagHas0 != 0, fl&flagHas1 != 0)
+	}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.keys) }
+
+// Vertex keys pack (process, view) into an int64: low bits process,
+// high bits (arithmetically shifted, so sentinel views stay distinct)
+// the view id.
+const (
+	vertProcBits = 6
+	vertProcMask = 1<<vertProcBits - 1
+)
+
+func vertexKey(proc, view int) int64 {
+	return int64(view)<<vertProcBits | int64(proc)
+}
+
+// node is one frontier entry: an automaton state, the n current views,
+// and the input assignment bitmask the subtree belongs to.
+type node struct {
+	state  int
+	inputs int
+	views  []int
+}
+
+// worker holds one pool member's private state: a forked interner, the
+// streaming union-find, and the DFS scratch buffers.
+type worker struct {
+	st     Stepper
+	ctx    *Ctx
+	n, na  int
+	all1   int
+	height int
+
+	uf      compUF
+	verts   map[int64]int32
+	keys    []int64
+	configs int64
+
+	views  []int // (height+1) rows of n views
+	states []int
+	acts   []int
+}
+
+func newWorker(st Stepper, shared *Interner, height int) *worker {
+	n := st.NumProcs()
+	return &worker{
+		st:     st,
+		ctx:    &Ctx{In: NewInterner(shared)},
+		n:      n,
+		na:     st.NumActions(),
+		all1:   1<<n - 1,
+		height: height,
+		verts:  map[int64]int32{},
+		views:  make([]int, (height+1)*n),
+		states: make([]int, height+1),
+		acts:   make([]int, height+1),
+	}
+}
+
+// vertex interns a (process, view) pair as a union-find index.
+func (w *worker) vertex(proc, view int) int32 {
+	k := vertexKey(proc, view)
+	if id, ok := w.verts[k]; ok {
+		return id
+	}
+	id := w.uf.add()
+	w.verts[k] = id
+	w.keys = append(w.keys, k)
+	return id
+}
+
+// leaf streams one leaf configuration into the union-find: all its
+// vertices join one component, which inherits the unanimity flags.
+func (w *worker) leaf(views []int, has0, has1 bool) {
+	w.configs++
+	root := w.uf.find(w.vertex(0, views[0]))
+	for i := 1; i < len(views); i++ {
+		root = w.uf.union(root, w.vertex(i, views[i]))
+	}
+	if has0 {
+		w.uf.mark(root, flagHas0)
+	}
+	if has1 {
+		w.uf.mark(root, flagHas1)
+	}
+}
+
+// walk runs the iterative DFS over one frontier subtree.
+func (w *worker) walk(nd node, earlyExit bool, abort *atomic.Bool) {
+	n := w.n
+	copy(w.views[:n], nd.views)
+	w.states[0] = nd.state
+	w.acts[0] = 0
+	has0 := nd.inputs == 0
+	has1 := nd.inputs == w.all1
+	depth := 0
+	for depth >= 0 {
+		if depth == w.height {
+			w.leaf(w.views[depth*n:(depth+1)*n], has0, has1)
+			if earlyExit && (w.uf.mixed > 0 || abort.Load()) {
+				abort.Store(true)
+				return
+			}
+			depth--
+			continue
+		}
+		a := w.acts[depth]
+		if a == w.na {
+			depth--
+			continue
+		}
+		w.acts[depth] = a + 1
+		ns, ok := w.st.Step(w.ctx, w.states[depth], a,
+			w.views[depth*n:(depth+1)*n], w.views[(depth+1)*n:(depth+2)*n])
+		if !ok {
+			continue
+		}
+		depth++
+		w.states[depth] = ns
+		w.acts[depth] = 0
+	}
+}
+
+// Run executes the full-information analysis at horizon r. The returned
+// Graph is nil unless opt.BuildGraph is set.
+func Run(st Stepper, r int, opt Options) (Result, *Graph) {
+	if r < 0 {
+		r = 0
+	}
+	n := st.NumProcs()
+	na := st.NumActions()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !opt.Parallel {
+		workers = 1
+	}
+
+	shared := NewInterner(nil)
+	sctx := &Ctx{In: shared}
+
+	// Roots: one subtree per input assignment.
+	var frontier []node
+	if start, ok := st.Root(); ok {
+		for inputs := 0; inputs < 1<<n; inputs++ {
+			views := make([]int, n)
+			for i := 0; i < n; i++ {
+				views[i] = InitView((inputs >> i) & 1)
+			}
+			frontier = append(frontier, node{state: start, inputs: inputs, views: views})
+		}
+	}
+
+	// Phase 1: expand breadth-first to the split depth on the shared
+	// interner.
+	depth := 0
+	for depth < r && len(frontier) > 0 {
+		if opt.SplitDepth > 0 {
+			if depth >= opt.SplitDepth {
+				break
+			}
+		} else if workers == 1 || len(frontier) >= workers*subtreesPerWorker {
+			break
+		}
+		next := make([]node, 0, len(frontier)*na)
+		for _, nd := range frontier {
+			for a := 0; a < na; a++ {
+				nv := make([]int, n)
+				ns, ok := st.Step(sctx, nd.state, a, nd.views, nv)
+				if !ok {
+					continue
+				}
+				next = append(next, node{state: ns, inputs: nd.inputs, views: nv})
+			}
+		}
+		frontier = next
+		depth++
+	}
+
+	if len(frontier) == 0 {
+		res := Result{Solvable: true, Exhaustive: true}
+		var g *Graph
+		if opt.BuildGraph {
+			g = &Graph{in: shared, uf: &compUF{}}
+		}
+		return res, g
+	}
+
+	// Phase 2: the pool walks frontier subtrees, streaming leaves into
+	// worker-local union-finds.
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	pool := make([]*worker, workers)
+	for i := range pool {
+		pool[i] = newWorker(st, shared, r-depth)
+	}
+	var abort atomic.Bool
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for _, w := range pool {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for !abort.Load() {
+				i := cursor.Add(1) - 1
+				if i >= int64(len(frontier)) {
+					return
+				}
+				w.walk(frontier[i], opt.EarlyExit, &abort)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 3: merge. Worker ids are canonicalized into the shared
+	// interner; worker components are replayed into a global union-find.
+	guf := &compUF{}
+	gverts := map[int64]int32{}
+	var gkeys []int64
+	var configs int64
+	for _, w := range pool {
+		configs += w.configs
+		trans := shared.absorb(w.ctx.In)
+		base := w.ctx.In.base
+		gid := make([]int32, len(w.keys))
+		for i, k := range w.keys {
+			view := int(k >> vertProcBits)
+			if view >= base {
+				view = trans[view-base]
+			}
+			gk := vertexKey(int(k&vertProcMask), view)
+			id, ok := gverts[gk]
+			if !ok {
+				id = guf.add()
+				gverts[gk] = id
+				gkeys = append(gkeys, gk)
+			}
+			gid[i] = id
+		}
+		for i := range w.keys {
+			guf.union(gid[i], gid[w.uf.find(int32(i))])
+		}
+		for i := range w.keys {
+			if w.uf.parent[i] == int32(i) && w.uf.flag[i] != 0 {
+				guf.mark(gid[i], w.uf.flag[i])
+			}
+		}
+	}
+
+	res := Result{
+		Configs:         configs,
+		Vertices:        len(gkeys),
+		Components:      guf.roots,
+		MixedComponents: guf.mixed,
+		Solvable:        guf.mixed == 0,
+		Exhaustive:      !abort.Load(),
+	}
+	var g *Graph
+	if opt.BuildGraph {
+		g = &Graph{in: shared, uf: guf, keys: gkeys}
+	}
+	return res, g
+}

@@ -1,0 +1,143 @@
+package fullinfo
+
+import "encoding/binary"
+
+// View ids. Non-negative ids are interned views; the engine reserves
+// small negative values as sentinels:
+//
+//	-1         null reception (a dropped message)
+//	-2 - bit   initial view of a process whose input bit is bit (InitView)
+//
+// Interners hand out ids from a contiguous range. A worker-local
+// interner forks from the shared one: it resolves hits against the
+// (frozen) shared maps first and allocates its misses from its own
+// range, recording a creation log so the ids can be canonicalized into
+// the shared space at merge time (absorb).
+
+// InitView returns the sentinel view id of a process that has seen
+// nothing but its own input bit (0 or 1).
+func InitView(bit int) int { return -2 - bit }
+
+type viewKey struct{ prev, recv int }
+
+// internEntry is one creation-log record: either a view (prev, recv) or
+// a received-views tuple (arena offset, length).
+type internEntry struct {
+	tuple bool
+	a, b  int
+}
+
+// Interner hash-conses full-information views and received-view tuples
+// into dense integer ids. Views and tuples share one id space.
+type Interner struct {
+	parent *Interner // read-only while any child is in use
+	base   int       // first id this interner may assign
+	next   int
+	views  map[viewKey]int
+	tuples map[string]int
+	log    []internEntry
+	arena  []int // tuple value storage, referenced by log entries
+	keyBuf []byte
+}
+
+// NewInterner returns an interner allocating ids from parent.next (or 0
+// when parent is nil). The parent must not be mutated while the child is
+// in use.
+func NewInterner(parent *Interner) *Interner {
+	base := 0
+	if parent != nil {
+		base = parent.next
+	}
+	return &Interner{
+		parent: parent,
+		base:   base,
+		next:   base,
+		views:  map[viewKey]int{},
+		tuples: map[string]int{},
+	}
+}
+
+// View interns the full-information view "previous view prev, then
+// received recv" (recv is a view id, a tuple id, or -1 for null).
+func (in *Interner) View(prev, recv int) int {
+	k := viewKey{prev, recv}
+	if in.parent != nil {
+		if id, ok := in.parent.views[k]; ok {
+			return id
+		}
+	}
+	if id, ok := in.views[k]; ok {
+		return id
+	}
+	id := in.next
+	in.next++
+	in.views[k] = id
+	in.log = append(in.log, internEntry{a: prev, b: recv})
+	return id
+}
+
+// Tuple interns a vector of received view ids (-1 entries for dropped
+// messages). The caller may reuse vals after the call returns.
+func (in *Interner) Tuple(vals []int) int {
+	b := in.keyBuf[:0]
+	for _, v := range vals {
+		b = binary.AppendVarint(b, int64(v))
+	}
+	in.keyBuf = b
+	if in.parent != nil {
+		if id, ok := in.parent.tuples[string(b)]; ok {
+			return id
+		}
+	}
+	if id, ok := in.tuples[string(b)]; ok {
+		return id
+	}
+	id := in.next
+	in.next++
+	in.tuples[string(b)] = id
+	off := len(in.arena)
+	in.arena = append(in.arena, vals...)
+	in.log = append(in.log, internEntry{tuple: true, a: off, b: len(vals)})
+	return id
+}
+
+// NumIDs returns the number of ids assigned by this interner chain.
+func (in *Interner) NumIDs() int { return in.next }
+
+// absorb replays a child interner's creation log against in,
+// canonicalizing every locally assigned id. It returns trans with
+// trans[id-child.base] = canonical id. Log order guarantees that any id
+// referenced by an entry's key was created (hence translated) earlier.
+func (in *Interner) absorb(child *Interner) []int {
+	trans := make([]int, len(child.log))
+	tr := func(id int) int {
+		if id >= child.base {
+			return trans[id-child.base]
+		}
+		return id
+	}
+	var buf []int
+	for i, e := range child.log {
+		if e.tuple {
+			buf = buf[:0]
+			for _, v := range child.arena[e.a : e.a+e.b] {
+				buf = append(buf, tr(v))
+			}
+			trans[i] = in.Tuple(buf)
+		} else {
+			trans[i] = in.View(tr(e.a), tr(e.b))
+		}
+	}
+	return trans
+}
+
+// EachView calls f for every interned view (prev, recv) → id, in
+// creation order. Tuples are skipped. Only meaningful on a root
+// interner (base 0), where ids equal log positions.
+func (in *Interner) EachView(f func(prev, recv, id int)) {
+	for i, e := range in.log {
+		if !e.tuple {
+			f(e.a, e.b, in.base+i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package fullinfo
+
+// Per-component unanimity flags.
+const (
+	flagHas0  uint8 = 1 // component contains an all-0-input configuration
+	flagHas1  uint8 = 2 // component contains an all-1-input configuration
+	flagMixed       = flagHas0 | flagHas1
+)
+
+// compUF is a growable disjoint-set structure over (process, view)
+// vertices, carrying per-component unanimity flags. It maintains the
+// root and mixed-component counts incrementally so the engine can
+// early-exit the moment the first mixed component appears, without a
+// final scan.
+type compUF struct {
+	parent []int32
+	rank   []int8
+	flag   []uint8
+	roots  int
+	mixed  int
+}
+
+// add appends a fresh singleton component and returns its index.
+func (u *compUF) add() int32 {
+	id := int32(len(u.parent))
+	u.parent = append(u.parent, id)
+	u.rank = append(u.rank, 0)
+	u.flag = append(u.flag, 0)
+	u.roots++
+	return id
+}
+
+// find returns the canonical root, with path halving.
+func (u *compUF) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the components of a and b and returns the surviving root,
+// folding unanimity flags and updating the root/mixed counts.
+func (u *compUF) union(a, b int32) int32 {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	fa, fb := u.flag[ra], u.flag[rb]
+	merged := fa | fb
+	u.flag[ra] = merged
+	if fa == flagMixed {
+		u.mixed--
+	}
+	if fb == flagMixed {
+		u.mixed--
+	}
+	if merged == flagMixed {
+		u.mixed++
+	}
+	u.roots--
+	return ra
+}
+
+// mark ors f into x's component flags.
+func (u *compUF) mark(x int32, f uint8) {
+	r := u.find(x)
+	old := u.flag[r]
+	merged := old | f
+	if merged == old {
+		return
+	}
+	u.flag[r] = merged
+	if merged == flagMixed {
+		u.mixed++
+	}
+}

@@ -1,0 +1,87 @@
+package nchain
+
+import (
+	"testing"
+
+	"repro/internal/fullinfo"
+	"repro/internal/graph"
+)
+
+// nfCase bounds the horizon per (n, f) so the full suite stays fast
+// enough to run under -race: the configuration space is
+// (#patterns)^r · 2^n.
+var nfCases = []struct{ n, f, maxR int }{
+	{2, 0, 3}, {2, 1, 3},
+	{3, 0, 2}, {3, 1, 2}, {3, 2, 2},
+	{4, 0, 2}, {4, 1, 2}, {4, 2, 1}, {4, 3, 1},
+}
+
+// TestEngineMatchesSequential pins the engine against the sequential
+// reference for K_n over n ∈ {2,3,4}, f ∈ {0..n-1}: identical Analysis
+// values, with both a single worker and a real pool (the latter drives
+// the fan-out/merge paths under -race).
+func TestEngineMatchesSequential(t *testing.T) {
+	for _, tc := range nfCases {
+		for r := 0; r <= tc.maxR; r++ {
+			want := AnalyzeSequential(tc.n, tc.f, r)
+			for _, workers := range []int{1, 4} {
+				got := AnalyzeOpt(tc.n, tc.f, r, fullinfo.Options{Parallel: true, Workers: workers})
+				if got != want {
+					t.Errorf("n=%d f=%d r=%d workers=%d: engine %+v != sequential %+v",
+						tc.n, tc.f, r, workers, got, want)
+				}
+			}
+			if got := SolvableInRounds(tc.n, tc.f, r); got != want.Solvable {
+				t.Errorf("n=%d f=%d r=%d: SolvableInRounds=%v want %v",
+					tc.n, tc.f, r, got, want.Solvable)
+			}
+		}
+	}
+}
+
+// TestGraphEngineMatchesSequential does the same for arbitrary
+// topologies: path, cycle, and star graphs at small horizons.
+func TestGraphEngineMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		f, r int
+	}{
+		{"path-3", graph.Path(3), 0, 2},
+		{"path-3", graph.Path(3), 1, 2},
+		{"cycle-4", graph.Cycle(4), 1, 1},
+		{"star-4", graph.Star(4), 0, 2},
+		{"star-4", graph.Star(4), 1, 1},
+	}
+	for _, tc := range cases {
+		want := GraphAnalyzeSequential(tc.g, tc.f, tc.r)
+		for _, workers := range []int{1, 4} {
+			got := GraphAnalyzeOpt(tc.g, tc.f, tc.r, fullinfo.Options{Parallel: true, Workers: workers})
+			if got != want {
+				t.Errorf("%s f=%d r=%d workers=%d: engine %+v != sequential %+v",
+					tc.name, tc.f, tc.r, workers, got, want)
+			}
+		}
+		if got := GraphSolvableInRounds(tc.g, tc.f, tc.r); got != want.Solvable {
+			t.Errorf("%s f=%d r=%d: GraphSolvableInRounds=%v want %v",
+				tc.name, tc.f, tc.r, got, want.Solvable)
+		}
+	}
+}
+
+// TestMinRoundsMatchesThreshold re-pins Theorem V.1 on the early-exit
+// search path: on K_n, (n, f) is eventually solvable iff f < n−1, and
+// flooding's n−1 rounds are known to suffice.
+func TestMinRoundsMatchesThreshold(t *testing.T) {
+	for n := 2; n <= 3; n++ {
+		for f := 0; f < n; f++ {
+			r, ok := MinRounds(n, f, n)
+			if ok != Threshold(n, f) {
+				t.Errorf("n=%d f=%d: MinRounds ok=%v, Threshold=%v", n, f, ok, Threshold(n, f))
+			}
+			if ok && r > n-1 {
+				t.Errorf("n=%d f=%d: MinRounds=%d exceeds flooding bound %d", n, f, r, n-1)
+			}
+		}
+	}
+}

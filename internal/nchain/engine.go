@@ -1,0 +1,134 @@
+package nchain
+
+import (
+	"repro/internal/fullinfo"
+	"repro/internal/graph"
+)
+
+// recvEdge is one in-edge of a process: the sender and the loss-pattern
+// bit that drops the message.
+type recvEdge struct {
+	from int
+	bit  int
+}
+
+// lossStepper adapts the n-process loss-pattern analysis (K_n or an
+// arbitrary graph) to the fullinfo engine: actions are loss patterns,
+// every pattern sequence is admissible (trivial one-state automaton),
+// and a step interns each process's received-views tuple and next view.
+type lossStepper struct {
+	n        int
+	patterns []LossPattern
+	recv     [][]recvEdge // per receiving process, its in-edges in order
+}
+
+// knStepper builds the stepper for the complete graph K_n with at most f
+// losses per round, matching AnalyzeSequential's enumeration order.
+func knStepper(n, f int) lossStepper {
+	st := lossStepper{n: n, patterns: PatternsUpTo(n, f), recv: make([][]recvEdge, n)}
+	for to := 0; to < n; to++ {
+		for from := 0; from < n; from++ {
+			if from == to {
+				continue
+			}
+			st.recv[to] = append(st.recv[to], recvEdge{from: from, bit: edgeIndex(n, from, to)})
+		}
+	}
+	return st
+}
+
+// graphStepper builds the stepper for an arbitrary topology, matching
+// GraphAnalyzeSequential's directed-edge order.
+func graphStepper(g *graph.Graph, f int) lossStepper {
+	n := g.N()
+	dir := directedEdges(g)
+	st := lossStepper{n: n, patterns: graphPatterns(g, f), recv: make([][]recvEdge, n)}
+	for to := 0; to < n; to++ {
+		for _, from := range g.Neighbors(to) {
+			st.recv[to] = append(st.recv[to], recvEdge{from: from, bit: dirIndex(dir, from, to)})
+		}
+	}
+	return st
+}
+
+func (st lossStepper) NumProcs() int     { return st.n }
+func (st lossStepper) NumActions() int   { return len(st.patterns) }
+func (st lossStepper) Root() (int, bool) { return 0, true }
+
+func (st lossStepper) Step(ctx *fullinfo.Ctx, state, a int, views, next []int) (int, bool) {
+	p := st.patterns[a]
+	for to := 0; to < st.n; to++ {
+		edges := st.recv[to]
+		vals := ctx.Buf(len(edges))
+		for i, e := range edges {
+			if p&(1<<e.bit) != 0 {
+				vals[i] = -1
+			} else {
+				vals[i] = views[e.from]
+			}
+		}
+		next[to] = ctx.In.View(views[to], ctx.In.Tuple(vals))
+	}
+	return 0, true
+}
+
+func analysisOf(n, f, r int, res fullinfo.Result) Analysis {
+	return Analysis{
+		N: n, F: f, Rounds: r,
+		Configs:         int(res.Configs),
+		Components:      res.Components,
+		MixedComponents: res.MixedComponents,
+		Solvable:        res.Solvable,
+	}
+}
+
+// AnalyzeOpt decides r-round consensus on K_n with explicit engine
+// options; results are identical to AnalyzeSequential.
+func AnalyzeOpt(n, f, r int, opt fullinfo.Options) Analysis {
+	res, _ := fullinfo.Run(knStepper(n, f), r, opt)
+	return analysisOf(n, f, r, res)
+}
+
+// Analyze decides r-round binary consensus for n processes on K_n under
+// at most f losses per round, using the parallel streaming engine.
+// Input vectors range over {0,1}^n.
+func Analyze(n, f, r int) Analysis {
+	return AnalyzeOpt(n, f, r, fullinfo.Defaults())
+}
+
+// SolvableInRounds reports whether (n, f) consensus on K_n is r-round
+// solvable, aborting the exploration on the first mixed component.
+func SolvableInRounds(n, f, r int) bool {
+	opt := fullinfo.Defaults()
+	opt.EarlyExit = true
+	res, _ := fullinfo.Run(knStepper(n, f), r, opt)
+	return res.Solvable
+}
+
+// GraphAnalyzeOpt is GraphAnalyze with explicit engine options.
+func GraphAnalyzeOpt(g *graph.Graph, f, r int, opt fullinfo.Options) Analysis {
+	res, _ := fullinfo.Run(graphStepper(g, f), r, opt)
+	return analysisOf(g.N(), f, r, res)
+}
+
+// GraphAnalyze generalizes the full-information analysis from K_n to an
+// arbitrary connected topology on the parallel streaming engine: it
+// decides whether r-round binary consensus exists for n processes on g
+// with at most f message losses per round (the scheme O_f^ω of Section
+// V-A). Combined over horizons this gives an exhaustive validation of
+// Theorem V.1 on small graphs: for f < c(G) some horizon works
+// (flooding shows r = n−1 suffices), while for f ≥ c(G) *no* horizon
+// does — an all-algorithms impossibility, much stronger than exhibiting
+// one failing algorithm.
+func GraphAnalyze(g *graph.Graph, f, r int) Analysis {
+	return GraphAnalyzeOpt(g, f, r, fullinfo.Defaults())
+}
+
+// GraphSolvableInRounds reports whether (g, f) consensus is r-round
+// solvable, aborting the exploration on the first mixed component.
+func GraphSolvableInRounds(g *graph.Graph, f, r int) bool {
+	opt := fullinfo.Defaults()
+	opt.EarlyExit = true
+	res, _ := fullinfo.Run(graphStepper(g, f), r, opt)
+	return res.Solvable
+}

@@ -6,15 +6,11 @@ import (
 	"repro/internal/graph"
 )
 
-// GraphAnalyze generalizes the full-information analysis from K_n to an
-// arbitrary connected topology: it decides whether r-round binary
-// consensus exists for n processes on g with at most f message losses per
-// round (the scheme O_f^ω of Section V-A). Combined over horizons this
-// gives an exhaustive validation of Theorem V.1 on small graphs: for
-// f < c(G) some horizon works (flooding shows r = n−1 suffices), while
-// for f ≥ c(G) *no* horizon does — an all-algorithms impossibility, much
-// stronger than exhibiting one failing algorithm.
-func GraphAnalyze(g *graph.Graph, f, r int) Analysis {
+// GraphAnalyzeSequential is the original single-threaded
+// materialize-then-union analysis for arbitrary topologies — the
+// reference implementation the parallel streaming engine (GraphAnalyze
+// in engine.go) is differentially tested against.
+func GraphAnalyzeSequential(g *graph.Graph, f, r int) Analysis {
 	n := g.N()
 	patterns := graphPatterns(g, f)
 	in := newInterner()
@@ -117,10 +113,11 @@ func GraphAnalyze(g *graph.Graph, f, r int) Analysis {
 }
 
 // GraphMinRounds finds the smallest horizon ≤ maxR at which (g, f)
-// consensus is solvable.
+// consensus is solvable. Unsolvable horizons are rejected by the
+// engine's early-exit path.
 func GraphMinRounds(g *graph.Graph, f, maxR int) (int, bool) {
 	for r := 0; r <= maxR; r++ {
-		if GraphAnalyze(g, f, r).Solvable {
+		if GraphSolvableInRounds(g, f, r) {
 			return r, true
 		}
 	}

@@ -97,8 +97,9 @@ func (in *interner) view(prev, recv int) int {
 		return id
 	}
 	in.next++
-	in.views[k] = in.next
-	return in.next
+	id := in.next
+	in.views[k] = id
+	return id
 }
 
 // tuple interns a received-views vector (−1 for "nothing received").
@@ -108,13 +109,17 @@ func (in *interner) tuple(vals []int) int {
 		return id
 	}
 	in.next++
-	in.tuples[key] = in.next
-	return in.next
+	id := in.next
+	in.tuples[key] = id
+	return id
 }
 
-// Analyze decides r-round binary consensus for n processes on K_n under
-// at most f losses per round. Input vectors range over {0,1}^n.
-func Analyze(n, f, r int) Analysis {
+// AnalyzeSequential decides r-round binary consensus for n processes on
+// K_n under at most f losses per round with the original single-threaded
+// materialize-then-union algorithm. It is the reference implementation
+// the parallel streaming engine (Analyze in engine.go) is differentially
+// tested against. Input vectors range over {0,1}^n.
+func AnalyzeSequential(n, f, r int) Analysis {
 	patterns := PatternsUpTo(n, f)
 	in := newInterner()
 
@@ -228,10 +233,12 @@ func Analyze(n, f, r int) Analysis {
 }
 
 // MinRounds finds the smallest horizon ≤ maxR at which (n, f) consensus is
-// solvable on K_n.
+// solvable on K_n. Unsolvable horizons are rejected by the engine's
+// early-exit path, so the search cost concentrates on the final,
+// solvable horizon.
 func MinRounds(n, f, maxR int) (int, bool) {
 	for r := 0; r <= maxR; r++ {
-		if Analyze(n, f, r).Solvable {
+		if SolvableInRounds(n, f, r) {
 			return r, true
 		}
 	}

@@ -144,15 +144,21 @@ func Pow3Int64(r int) int64 {
 	return v
 }
 
-// UnIndex inverts the index bijection (Lemma III.2): it returns the unique
-// word w ∈ Γ^r with ind(w) = k. It panics unless 0 ≤ k < 3^r.
+// UnIndexChecked inverts the index bijection (Lemma III.2): it returns
+// the unique word w ∈ Γ^r with ind(w) = k, or an error unless r ≥ 0 and
+// 0 ≤ k < 3^r. It is the form to use on untrusted input (e.g. CLI
+// arguments); UnIndex is the panicking form for internal invariant
+// sites.
 //
 // Derivation: write k = 3q + rem with rem ∈ {0,1,2}; then q = ind(u) for
 // the length r−1 prefix u and (−1)^q·δ(a) = rem − 1 determines the last
 // letter a.
-func UnIndex(r int, k *big.Int) Word {
-	if k.Sign() < 0 || k.Cmp(Pow3(r)) >= 0 {
-		panic(fmt.Sprintf("omission: UnIndex(%d, %v) out of range", r, k))
+func UnIndexChecked(r int, k *big.Int) (Word, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("omission: UnIndex: negative length %d", r)
+	}
+	if k == nil || k.Sign() < 0 || k.Cmp(Pow3(r)) >= 0 {
+		return nil, fmt.Errorf("omission: UnIndex(%d, %v): index out of range [0, 3^%d)", r, k, r)
 	}
 	w := make(Word, r)
 	q := new(big.Int).Set(k)
@@ -162,19 +168,46 @@ func UnIndex(r int, k *big.Int) Word {
 		q.QuoRem(q, three, rem)
 		w[i] = letterForRem(int(rem.Int64()), q.Bit(0) == 1)
 	}
+	return w, nil
+}
+
+// UnIndex is UnIndexChecked panicking on out-of-range input, for
+// internal call sites whose arguments are invariants.
+func UnIndex(r int, k *big.Int) Word {
+	w, err := UnIndexChecked(r, k)
+	if err != nil {
+		panic(err)
+	}
 	return w
 }
 
-// UnIndexInt64 is UnIndex for indices fitting in an int64.
-func UnIndexInt64(r int, k int64) Word {
-	if r > MaxInt64Rounds || k < 0 || k >= Pow3Int64(r) {
-		panic(fmt.Sprintf("omission: UnIndexInt64(%d, %d) out of range", r, k))
+// UnIndexInt64Checked is UnIndexChecked for indices fitting in an int64;
+// it additionally rejects r > MaxInt64Rounds, where 3^r − 1 no longer
+// fits (use the big-integer form there).
+func UnIndexInt64Checked(r int, k int64) (Word, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("omission: UnIndexInt64: negative length %d", r)
+	}
+	if r > MaxInt64Rounds {
+		return nil, fmt.Errorf("omission: UnIndexInt64: length %d exceeds int64-safe bound %d", r, MaxInt64Rounds)
+	}
+	if k < 0 || k >= Pow3Int64(r) {
+		return nil, fmt.Errorf("omission: UnIndexInt64(%d, %d): index out of range [0, 3^%d)", r, k, r)
 	}
 	w := make(Word, r)
 	for i := r - 1; i >= 0; i-- {
 		q, rem := k/3, int(k%3)
 		w[i] = letterForRem(rem, q&1 == 1)
 		k = q
+	}
+	return w, nil
+}
+
+// UnIndexInt64 is UnIndexInt64Checked panicking on out-of-range input.
+func UnIndexInt64(r int, k int64) Word {
+	w, err := UnIndexInt64Checked(r, k)
+	if err != nil {
+		panic(err)
 	}
 	return w
 }

@@ -271,3 +271,85 @@ func assertPanics(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+// TestUnIndexChecked pins the satellite bugfix: the checked variants
+// return errors instead of panicking on out-of-range input, and agree
+// with the panicking forms in range.
+func TestUnIndexChecked(t *testing.T) {
+	// In-range agreement.
+	for r := 0; r <= 5; r++ {
+		for k := int64(0); k < Pow3Int64(r); k++ {
+			w, err := UnIndexInt64Checked(r, k)
+			if err != nil {
+				t.Fatalf("UnIndexInt64Checked(%d, %d): %v", r, k, err)
+			}
+			if !w.Equal(UnIndexInt64(r, k)) {
+				t.Fatalf("checked/panicking mismatch at r=%d k=%d", r, k)
+			}
+			wb, err := UnIndexChecked(r, big.NewInt(k))
+			if err != nil {
+				t.Fatalf("UnIndexChecked(%d, %d): %v", r, k, err)
+			}
+			if !wb.Equal(w) {
+				t.Fatalf("big/int64 mismatch at r=%d k=%d", r, k)
+			}
+		}
+	}
+	// Errors, not panics.
+	if _, err := UnIndexInt64Checked(2, -1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := UnIndexInt64Checked(2, 9); err == nil {
+		t.Error("index 3^r should error")
+	}
+	if _, err := UnIndexInt64Checked(-1, 0); err == nil {
+		t.Error("negative length should error")
+	}
+	if _, err := UnIndexChecked(-1, big.NewInt(0)); err == nil {
+		t.Error("negative length should error (big)")
+	}
+	if _, err := UnIndexChecked(2, nil); err == nil {
+		t.Error("nil index should error")
+	}
+	if _, err := UnIndexChecked(1, big.NewInt(-5)); err == nil {
+		t.Error("negative big index should error")
+	}
+}
+
+// TestUnIndexCheckedInt64Boundary covers r = MaxInt64Rounds (= 39), the
+// largest length whose full index range fits in an int64, and the first
+// length beyond it.
+func TestUnIndexCheckedInt64Boundary(t *testing.T) {
+	r := MaxInt64Rounds
+	maxK := Pow3Int64(r) - 1 // 3^39 − 1 still fits
+	w, err := UnIndexInt64Checked(r, maxK)
+	if err != nil {
+		t.Fatalf("UnIndexInt64Checked(%d, max): %v", r, err)
+	}
+	if len(w) != r {
+		t.Fatalf("length %d, want %d", len(w), r)
+	}
+	// Round-trip through the streaming tracker.
+	var tr Int64Tracker
+	for _, a := range w {
+		tr.Step(a)
+	}
+	if tr.Value() != maxK {
+		t.Fatalf("round-trip: ind = %d, want %d", tr.Value(), maxK)
+	}
+	if _, err := UnIndexInt64Checked(r, maxK+1); err == nil {
+		t.Error("index 3^39 should be out of range")
+	}
+	// r = 40: the int64 path must refuse, the big path must work.
+	if _, err := UnIndexInt64Checked(r+1, 0); err == nil {
+		t.Error("length 40 should exceed the int64-safe bound")
+	}
+	big40 := new(big.Int).Sub(Pow3(r+1), big.NewInt(1))
+	wb, err := UnIndexChecked(r+1, big40)
+	if err != nil {
+		t.Fatalf("UnIndexChecked(40, 3^40-1): %v", err)
+	}
+	if got := Index(wb); got.Cmp(big40) != 0 {
+		t.Fatalf("round-trip at r=40: ind = %v, want %v", got, big40)
+	}
+}

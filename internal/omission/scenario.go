@@ -47,6 +47,9 @@ func MustScenario(s string) Scenario {
 func ParseScenario(s string) (Scenario, error) {
 	open := strings.IndexByte(s, '(')
 	if open < 0 {
+		if strings.IndexByte(s, ')') >= 0 {
+			return Scenario{}, fmt.Errorf("omission: scenario %q: ')' without matching '('", s)
+		}
 		w, err := ParseWord(s)
 		if err != nil {
 			return Scenario{}, err
@@ -59,11 +62,21 @@ func ParseScenario(s string) (Scenario, error) {
 	if !strings.HasSuffix(s, ")") {
 		return Scenario{}, fmt.Errorf("omission: scenario %q: unterminated period", s)
 	}
+	body := s[open+1 : len(s)-1]
+	if strings.ContainsAny(body, "()") {
+		return Scenario{}, fmt.Errorf("omission: scenario %q: nested or stray parentheses", s)
+	}
+	if len(body) == 0 {
+		return Scenario{}, fmt.Errorf("omission: scenario %q: period must be non-empty (a scenario is the infinite word u·v^ω)", s)
+	}
+	if strings.IndexByte(s[:open], ')') >= 0 {
+		return Scenario{}, fmt.Errorf("omission: scenario %q: ')' before '('", s)
+	}
 	u, err := ParseWord(s[:open])
 	if err != nil {
 		return Scenario{}, err
 	}
-	v, err := ParseWord(s[open+1 : len(s)-1])
+	v, err := ParseWord(body)
 	if err != nil {
 		return Scenario{}, err
 	}

@@ -2,6 +2,7 @@ package omission
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -173,4 +174,44 @@ func TestNewScenarioRejectsEmptyPeriod(t *testing.T) {
 	}
 	assertPanics(t, func() { UPWord(nil, nil) })
 	assertPanics(t, func() { MustScenario("(") })
+}
+
+// TestParseScenarioEmptyPeriod pins the satellite bugfix: an empty
+// period (e.g. ".()") must produce a clear parse error naming the input,
+// not a generic constructor error, and nested or stray parentheses must
+// be rejected outright.
+func TestParseScenarioEmptyPeriod(t *testing.T) {
+	for _, bad := range []string{"()", ".()", "w()", "ww()"} {
+		_, err := ParseScenario(bad)
+		if err == nil {
+			t.Errorf("ParseScenario(%q) should fail", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), bad) || !strings.Contains(err.Error(), "period must be non-empty") {
+			t.Errorf("ParseScenario(%q) error %q should name the input and the empty period", bad, err)
+		}
+	}
+}
+
+func TestParseScenarioMalformedParens(t *testing.T) {
+	cases := []string{
+		".(w",     // unterminated period
+		"((.))",   // nested parens
+		".(w(b))", // nested parens
+		"(.)(.)",  // second group
+		").(w)",   // stray close before open
+		")w",      // stray close, no open
+		"w)",      // stray close, no open
+	}
+	for _, bad := range cases {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) should fail", bad)
+		}
+	}
+	// The fix must not reject any well-formed scenario.
+	for _, good := range []string{"(.)", ".w(b)", "x(wb)", "(wbx.)"} {
+		if _, err := ParseScenario(good); err != nil {
+			t.Errorf("ParseScenario(%q): %v", good, err)
+		}
+	}
 }

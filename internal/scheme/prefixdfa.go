@@ -1,0 +1,148 @@
+package scheme
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/buchi"
+	"repro/internal/omission"
+)
+
+// PrefixDFA is the scheme's prefix oracle compiled into a flat DFA
+// transition table. Each state is one live class of the subset
+// construction over the scheme's Büchi automaton; Step moves by plain
+// integer indexing, with no allocation and no oracle cloning. State -1 is
+// the dead state: the extended word has left Pref(L). Every non-negative
+// state is live by construction, so "the walk is still inside Pref(L)"
+// is simply "the state is ≥ 0".
+//
+// This is the hot-path form of PrefixOracle used by the full-information
+// analysis engine: the tree walks of internal/chain and internal/nchain
+// step millions of edges, and a slice lookup per edge is what lets the
+// enumeration fan out across workers without sharing mutable oracles.
+type PrefixDFA struct {
+	alphabet int
+	start    int
+	next     []int32 // next[state*alphabet+sym]; -1 = dead
+}
+
+// Alphabet returns the symbol-alphabet size (3 for Γ-schemes, 4 for Σ).
+func (d *PrefixDFA) Alphabet() int { return d.alphabet }
+
+// Start returns the initial state, or -1 when the scheme is empty (ε is
+// not a prefix of any member).
+func (d *PrefixDFA) Start() int { return d.start }
+
+// NumStates returns the number of live states.
+func (d *PrefixDFA) NumStates() int {
+	if d.alphabet == 0 {
+		return 0
+	}
+	return len(d.next) / d.alphabet
+}
+
+// Step returns the successor of state under the symbol, or -1 when the
+// extension leaves Pref(L). Symbols outside the alphabet are dead.
+func (d *PrefixDFA) Step(state, sym int) int {
+	if sym < 0 || sym >= d.alphabet {
+		return -1
+	}
+	return int(d.next[state*d.alphabet+sym])
+}
+
+// StepLetter is Step on an omission letter.
+func (d *PrefixDFA) StepLetter(state int, l omission.Letter) int {
+	return d.Step(state, int(l))
+}
+
+// maxPrefixDFAStates bounds the subset construction. Scheme automata are
+// deterministic, so in practice the DFA has at most as many states as the
+// scheme's automaton has live states; the cap only guards pathological
+// future NBA-backed schemes.
+const maxPrefixDFAStates = 1 << 16
+
+// PrefixDFA compiles (once, cached) the scheme's Pref(L) membership
+// automaton into flat-table form.
+func (s *Scheme) PrefixDFA() *PrefixDFA {
+	s.pdfaOnce.Do(func() { s.pdfa = compilePrefixDFA(s.auto.NBA()) })
+	return s.pdfa
+}
+
+// compilePrefixDFA runs the subset construction restricted to live NBA
+// states. Dead NBA states can never contribute a live state again (their
+// successor cones are dead), so dropping them from every subset preserves
+// the oracle's CanStep/Live semantics exactly.
+func compilePrefixDFA(n *buchi.NBA) *PrefixDFA {
+	live := n.LiveStates()
+	d := &PrefixDFA{alphabet: n.Alphabet, start: -1}
+	start := filterLive(n.Start, live)
+	if len(start) == 0 {
+		return d
+	}
+	d.start = 0
+	index := map[string]int{subsetKey(start): 0}
+	subsets := [][]buchi.State{start}
+	mark := make([]bool, n.NumStates())
+	for qi := 0; qi < len(subsets); qi++ {
+		for a := 0; a < n.Alphabet; a++ {
+			var next []buchi.State
+			for _, q := range subsets[qi] {
+				for _, t := range n.Delta[q][a] {
+					if live[t] && !mark[t] {
+						mark[t] = true
+						next = append(next, t)
+					}
+				}
+			}
+			for _, t := range next {
+				mark[t] = false
+			}
+			if len(next) == 0 {
+				d.next = append(d.next, -1)
+				continue
+			}
+			sort.Ints(next)
+			k := subsetKey(next)
+			id, ok := index[k]
+			if !ok {
+				id = len(subsets)
+				if id >= maxPrefixDFAStates {
+					panic(fmt.Sprintf("scheme: prefix DFA exceeds %d states", maxPrefixDFAStates))
+				}
+				index[k] = id
+				subsets = append(subsets, next)
+			}
+			d.next = append(d.next, int32(id))
+		}
+	}
+	return d
+}
+
+// filterLive returns the sorted, deduplicated live members of states.
+func filterLive(states []buchi.State, live []bool) []buchi.State {
+	var out []buchi.State
+	for _, q := range states {
+		if live[q] {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	n := 0
+	for i, q := range out {
+		if i == 0 || q != out[n-1] {
+			out[n] = q
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// subsetKey encodes a sorted state set as a map key.
+func subsetKey(states []buchi.State) string {
+	b := make([]byte, 0, 4*len(states))
+	for _, q := range states {
+		b = binary.AppendUvarint(b, uint64(q))
+	}
+	return string(b)
+}

@@ -1,0 +1,69 @@
+package scheme
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/omission"
+)
+
+// TestPrefixDFAMatchesOracle walks random words letter by letter and
+// checks that the flat DFA agrees with the incremental PrefixOracle on
+// every named scheme and on random DBA schemes: the DFA state is ≥ 0
+// exactly when the oracle reports the prefix is still in Pref(L).
+func TestPrefixDFAMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var schemes []*Scheme
+	for _, n := range Names() {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes = append(schemes, s)
+	}
+	for i := 0; i < 20; i++ {
+		schemes = append(schemes, Random(rng, 1+rng.Intn(5)))
+	}
+	for _, s := range schemes {
+		d := s.PrefixDFA()
+		oracle := s.NewPrefixOracle()
+		if (d.Start() >= 0) != oracle.Live() {
+			t.Fatalf("%s: DFA start %d vs oracle live %v", s.Name(), d.Start(), oracle.Live())
+		}
+		for trial := 0; trial < 30; trial++ {
+			o := s.NewPrefixOracle()
+			state := d.Start()
+			for step := 0; step < 12 && state >= 0; step++ {
+				l := omission.Sigma[rng.Intn(len(omission.Sigma))]
+				can := o.CanStep(l)
+				ns := d.StepLetter(state, l)
+				if can != (ns >= 0) {
+					t.Fatalf("%s after %d steps: CanStep(%v)=%v but DFA step=%d",
+						s.Name(), step, l, can, ns)
+				}
+				if !can {
+					break // stay on the live path, like the chain walk does
+				}
+				o.Step(l)
+				state = ns
+			}
+		}
+	}
+}
+
+// TestPrefixDFAEmptyScheme: an empty scheme compiles to a DFA with no
+// start state.
+func TestPrefixDFAEmptyScheme(t *testing.T) {
+	empty := Minus("empty", S0(), omission.MustScenario("(.)"))
+	if d := empty.PrefixDFA(); d.Start() != -1 {
+		t.Fatalf("empty scheme DFA start = %d, want -1", d.Start())
+	}
+}
+
+// TestPrefixDFACached: the compilation runs once and is shared.
+func TestPrefixDFACached(t *testing.T) {
+	s := S1()
+	if s.PrefixDFA() != s.PrefixDFA() {
+		t.Fatal("PrefixDFA not cached")
+	}
+}

@@ -13,6 +13,7 @@ package scheme
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/buchi"
 	"repro/internal/omission"
@@ -26,6 +27,11 @@ type Scheme struct {
 	name string
 	desc string
 	auto *buchi.DBA
+
+	// pdfa caches the compiled prefix DFA (see PrefixDFA); automata are
+	// immutable once wrapped, so the compilation is done at most once.
+	pdfaOnce sync.Once
+	pdfa     *PrefixDFA
 }
 
 // New wraps a deterministic Büchi automaton as a scheme. The automaton
