@@ -1,6 +1,7 @@
 package coordattack_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -349,4 +350,70 @@ func TestUnIndexCheckedFacade(t *testing.T) {
 	if _, err := coordattack.UnIndexInt64Checked(40, 0); err == nil {
 		t.Error("length past the int64-safe bound should error")
 	}
+}
+
+func TestChaosFacade(t *testing.T) {
+	s := coordattack.S1()
+	algo, err := coordattack.AWForScheme(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coordattack.RunChaosCampaign(coordattack.ChaosConfig{
+		Scheme: s, Algo: algo, Executions: 100, Seed: 9, CheckInvariant: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("A_w campaign on S1 found violations:\n%s", rep)
+	}
+	if _, err := coordattack.AWForScheme(coordattack.R1()); err == nil {
+		t.Error("AWForScheme(R1) should refuse: R1 is an obstruction")
+	}
+
+	g := coordattack.Complete(4)
+	nrep, err := coordattack.RunNetworkChaosCampaign(coordattack.NetChaosConfig{
+		Graph:      g,
+		NewNodes:   func() []coordattack.Node { return coordattack.NewFloodNodes(g) },
+		Executions: 50, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nrep.OK() {
+		t.Fatalf("network campaign found violations:\n%s", nrep)
+	}
+
+	// Hardened runners are reachable and interruptible from the facade.
+	white, black, err := coordattack.NewAlgorithm(mustClassify(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := coordattack.RunHardened(context.Background(), white, black,
+		[2]coordattack.Value{0, 1}, coordattack.MustScenario("w.(.)"), 100)
+	if !coordattack.Check(ht.Trace).OK() || len(ht.Crashes) != 0 || ht.Interrupted {
+		t.Errorf("hardened run: %+v", ht)
+	}
+	nht := coordattack.RunNetworkConcurrentHardened(context.Background(), g,
+		coordattack.NewFloodNodes(g), []coordattack.Value{1, 0, 1, 1},
+		coordattack.RandomLossAdversarySeed(1, 6), g.N()+2)
+	if !coordattack.CheckNetwork(nht.Trace).OK() {
+		t.Errorf("hardened network run failed consensus: %+v", nht.Trace)
+	}
+
+	if coordattack.DeriveSeed(1, 2) == coordattack.DeriveSeed(1, 3) {
+		t.Error("DeriveSeed should separate executions")
+	}
+	if coordattack.NewSeededRand(5).Int63() != coordattack.NewSeededRand(5).Int63() {
+		t.Error("NewSeededRand not deterministic")
+	}
+}
+
+func mustClassify(t *testing.T, s *coordattack.Scheme) *coordattack.Verdict {
+	t.Helper()
+	v, err := coordattack.Classify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }

@@ -1,0 +1,23 @@
+// Command capchaos runs seeded chaos campaigns against the simulators:
+// randomized fault injection with consensus and knowledge-invariant
+// watchdogs, panic isolation, wall-clock deadlines, and counterexample
+// shrinking. Exit status 0 means the campaign was clean; 1 means it
+// found (and minimized) violations, printed as seed-stamped reports.
+//
+// Usage:
+//
+//	capchaos -scheme S1 -executions 10000 -seed 7
+//	capchaos -scheme C1 -executions 2000 -deadline 5s
+//	capchaos -net -graph petersen -executions 500 -concurrent
+//	capchaos -net -graph cycle -n 6 -f 1 -seed 42
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Capchaos(os.Args[1:], os.Stdout, os.Stderr))
+}

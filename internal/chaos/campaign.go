@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/consensus"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+)
+
+// consensusAW builds a fresh A_w pair for the excluded scenario.
+func consensusAW(w omission.Scenario) (sim.Process, sim.Process) {
+	return consensus.NewAW(w), consensus.NewAW(w)
+}
+
+// Algorithm is a two-process algorithm under chaos test: a factory for
+// fresh process pairs, plus the A_w witness when the algorithm is A_w
+// (enabling the Proposition III.12 invariant watchdog).
+type Algorithm struct {
+	Name string
+	New  func() (white, black sim.Process)
+	// Witness, when non-nil, is the excluded scenario of an A_w pair; the
+	// campaign then additionally runs the knowledge-invariant watchdog on
+	// every execution.
+	Witness omission.Source
+}
+
+// AWForScheme classifies the scheme and returns the A_w algorithm from
+// its witness — the standard known-good subject for chaos campaigns.
+func AWForScheme(s *scheme.Scheme) (Algorithm, error) {
+	v, err := classify.Classify(s)
+	if err != nil {
+		return Algorithm{}, err
+	}
+	if !v.Solvable {
+		return Algorithm{}, fmt.Errorf("chaos: scheme %s is an obstruction — no algorithm to test", s.Name())
+	}
+	if !v.HasWitness {
+		return Algorithm{}, fmt.Errorf("chaos: verdict for %s carries no witness", s.Name())
+	}
+	w := v.Witness
+	return Algorithm{
+		Name:    fmt.Sprintf("A_w[w=%s]", w),
+		New:     func() (sim.Process, sim.Process) { return consensusAW(w) },
+		Witness: w,
+	}, nil
+}
+
+// Config parameterizes a two-process chaos campaign.
+type Config struct {
+	// Scheme is the environment; executions run under scenarios sampled
+	// from it.
+	Scheme *scheme.Scheme
+	// Algo is the algorithm under test.
+	Algo Algorithm
+	// Executions is the number of seeded executions (default 1000).
+	Executions int
+	// Seed is the campaign master seed; per-execution seeds derive from
+	// it (DeriveSeed) and are stamped into violations.
+	Seed int64
+	// MaxPrefix bounds the sampled scenario prefix length (default 8).
+	MaxPrefix int
+	// MaxRounds caps each execution (default 200); hitting the cap is a
+	// termination violation.
+	MaxRounds int
+	// Deadline is the per-execution wall-clock budget (0 = none).
+	Deadline time.Duration
+	// CheckInvariant additionally runs the Proposition III.12 watchdog
+	// (requires Algo.Witness and a Γ-scheme; default on when possible).
+	CheckInvariant bool
+	// NoShrink skips counterexample minimization.
+	NoShrink bool
+	// MaxViolations stops the campaign after this many violations
+	// (default 8; the first is always minimized).
+	MaxViolations int
+}
+
+func (c *Config) defaults() {
+	if c.Executions <= 0 {
+		c.Executions = 1000
+	}
+	if c.MaxPrefix <= 0 {
+		c.MaxPrefix = 8
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 200
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 8
+	}
+}
+
+// Report aggregates a campaign's outcome.
+type Report struct {
+	Scheme     string
+	Algorithm  string
+	Seed       int64
+	Executions int
+	// Rounds is the total number of rounds executed across the campaign.
+	Rounds int64
+	// Violations holds the structured failures (bounded by
+	// Config.MaxViolations); Violation.Seed replays each.
+	Violations []Violation
+}
+
+// OK reports a clean campaign.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the summary, one stanza per violation.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos campaign: scheme=%s algorithm=%s seed=%d executions=%d rounds=%d violations=%d",
+		r.Scheme, r.Algorithm, r.Seed, r.Executions, r.Rounds, len(r.Violations))
+	for i := range r.Violations {
+		fmt.Fprintf(&b, "\n%s", r.Violations[i])
+	}
+	return b.String()
+}
+
+// RunCampaign executes Config.Executions seeded random executions of the
+// algorithm under scenarios sampled from the scheme, each with panic
+// isolation and an optional wall-clock deadline, checking every trace
+// with the watchdog. The first violation is minimized by the shrinker.
+func RunCampaign(cfg Config) (*Report, error) {
+	cfg.defaults()
+	if cfg.Scheme == nil || cfg.Algo.New == nil {
+		return nil, fmt.Errorf("chaos: campaign needs a scheme and an algorithm")
+	}
+	rep := &Report{
+		Scheme:     cfg.Scheme.Name(),
+		Algorithm:  cfg.Algo.Name,
+		Seed:       cfg.Seed,
+		Executions: cfg.Executions,
+	}
+	invariant := cfg.CheckInvariant && cfg.Algo.Witness != nil
+
+	for i := 0; i < cfg.Executions && len(rep.Violations) < cfg.MaxViolations; i++ {
+		execSeed := DeriveSeed(cfg.Seed, i)
+		rng := NewRand(execSeed)
+		sc, ok := cfg.Scheme.SampleScenario(rng, 1+rng.Intn(cfg.MaxPrefix))
+		if !ok {
+			return nil, fmt.Errorf("chaos: scheme %s has no member scenarios", cfg.Scheme.Name())
+		}
+		inputs := [2]sim.Value{sim.Value(rng.Intn(2)), sim.Value(rng.Intn(2))}
+
+		ht := runOnce(cfg, sc, inputs)
+		rep.Rounds += int64(ht.Rounds)
+		prop, detail, bad := classifyTwoProcess(ht)
+		if !bad && invariant && sc.InGamma() {
+			if d, ok := CheckAWInvariant(cfg.Algo.Witness, inputs, sc, cfg.MaxRounds); !ok {
+				prop, detail, bad = PropInvariant, d, true
+			}
+		}
+		if !bad {
+			continue
+		}
+		v := Violation{
+			Property:  prop,
+			Detail:    detail,
+			Scheme:    cfg.Scheme.Name(),
+			Algorithm: cfg.Algo.Name,
+			Scenario:  sc,
+			Played:    ht.Played,
+			Inputs:    inputs[:],
+			Seed:      execSeed,
+			Execution: i,
+			Trace:     ht.Trace.String(),
+		}
+		if !cfg.NoShrink {
+			repro := func(cand omission.Scenario) (Property, bool) {
+				h := runOnce(cfg, cand, inputs)
+				p, _, b := classifyTwoProcess(h)
+				if !b && invariant && cand.InGamma() {
+					if _, ok := CheckAWInvariant(cfg.Algo.Witness, inputs, cand, cfg.MaxRounds); !ok {
+						return PropInvariant, true
+					}
+				}
+				return p, b
+			}
+			if min, ok := Shrink(cfg.Scheme, ht.Played, prop, repro); ok {
+				v.Minimized = true
+				v.MinScenario = min
+			}
+		}
+		rep.Violations = append(rep.Violations, v)
+	}
+	return rep, nil
+}
+
+// runOnce executes one hardened run of the algorithm under the scenario.
+func runOnce(cfg Config, sc omission.Scenario, inputs [2]sim.Value) sim.HardenedTrace {
+	ctx := context.Background()
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	white, black := cfg.Algo.New()
+	return sim.RunHardenedScenario(ctx, white, black, inputs, sc, cfg.MaxRounds)
+}

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+// Network fault injectors. Each one implements netsim.Adversary by
+// choosing a set of directed messages to drop per round; combinators
+// compose them. Injectors model the mobile-omission view of failures
+// (Godard–Peters): a "crashed" node is a node whose every message the
+// adversary silences from some round on — the simulators themselves never
+// need a failure notion beyond message loss.
+//
+// Stateful injectors (BudgetCap, Seq) assume the runner's calling
+// convention: Drops is invoked exactly once per round, in round order.
+
+// Crash silences a node from round Round on: every message it sends is
+// dropped (crash-stop in the omission model). Messages *to* the node
+// still flow — a crashed process may be unable to speak yet still
+// listen; dropping its inputs too is Union(Crash, Isolate).
+type Crash struct {
+	Node  int
+	Round int
+}
+
+// Drops implements netsim.Adversary.
+func (c Crash) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	if r < c.Round {
+		return nil
+	}
+	out := map[graph.DirEdge]bool{}
+	for _, nb := range g.Neighbors(c.Node) {
+		out[graph.DirEdge{From: c.Node, To: nb}] = true
+	}
+	return out
+}
+
+// Isolate cuts a node off from round Round on: every message sent to it
+// is dropped.
+type Isolate struct {
+	Node  int
+	Round int
+}
+
+// Drops implements netsim.Adversary.
+func (c Isolate) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	if r < c.Round {
+		return nil
+	}
+	out := map[graph.DirEdge]bool{}
+	for _, nb := range g.Neighbors(c.Node) {
+		out[graph.DirEdge{From: nb, To: c.Node}] = true
+	}
+	return out
+}
+
+// Blackout drops every message in rounds From..To (inclusive; To = 0
+// means From only) — the network analogue of the all-or-nothing channel's
+// 'x' letter, as a burst.
+type Blackout struct {
+	From, To int
+}
+
+// Drops implements netsim.Adversary.
+func (b Blackout) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	to := b.To
+	if to == 0 {
+		to = b.From
+	}
+	if r < b.From || r > to {
+		return nil
+	}
+	out := map[graph.DirEdge]bool{}
+	for _, e := range g.Edges() {
+		out[graph.DirEdge{From: e.U, To: e.V}] = true
+		out[graph.DirEdge{From: e.V, To: e.U}] = true
+	}
+	return out
+}
+
+// RandomDrops drops up to F uniformly random directed messages per round,
+// from an injected seeded source (the chaos-layer form of
+// netsim.RandomF).
+type RandomDrops struct {
+	F   int
+	Rng *rand.Rand
+}
+
+// Drops implements netsim.Adversary.
+func (a RandomDrops) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	return netsim.RandomF{F: a.F, Rng: a.Rng}.Drops(r, g)
+}
+
+// Burst applies Inner only on rounds r with r ≡ Phase (mod Every); other
+// rounds are loss-free. Every ≤ 1 degenerates to Inner itself.
+type Burst struct {
+	Every int
+	Phase int
+	Inner netsim.Adversary
+}
+
+// Drops implements netsim.Adversary.
+func (b Burst) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	if b.Every > 1 && r%b.Every != b.Phase%b.Every {
+		return nil
+	}
+	return b.Inner.Drops(r, g)
+}
+
+// Stage is one leg of a Seq: an adversary played for Rounds rounds
+// (Rounds ≤ 0 on the last stage means forever).
+type Stage struct {
+	Rounds int
+	Adv    netsim.Adversary
+}
+
+// Seq plays its stages in order; after the last stage it keeps playing
+// it (or drops nothing if the last stage's Rounds expired and more stages
+// do not exist — i.e. a finite schedule followed by silence).
+type Seq struct {
+	Stages []Stage
+
+	round int
+	idx   int
+}
+
+// NewSeq builds a sequential adversary schedule.
+func NewSeq(stages ...Stage) *Seq { return &Seq{Stages: stages} }
+
+// Drops implements netsim.Adversary. It is stateful: call once per round
+// in order.
+func (s *Seq) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	s.round++
+	for s.idx < len(s.Stages) && s.Stages[s.idx].Rounds > 0 && s.round > s.cumulative(s.idx) {
+		s.idx++
+	}
+	if s.idx >= len(s.Stages) {
+		return nil
+	}
+	return s.Stages[s.idx].Adv.Drops(r, g)
+}
+
+func (s *Seq) cumulative(idx int) int {
+	total := 0
+	for i := 0; i <= idx && i < len(s.Stages); i++ {
+		if s.Stages[i].Rounds <= 0 {
+			return 1 << 30
+		}
+		total += s.Stages[i].Rounds
+	}
+	return total
+}
+
+// Union drops a message iff any member does.
+type Union []netsim.Adversary
+
+// Drops implements netsim.Adversary.
+func (u Union) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	out := map[graph.DirEdge]bool{}
+	for _, a := range u {
+		for e := range a.Drops(r, g) {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// BudgetCap passes Inner's drops through until Budget total messages have
+// been dropped across the whole execution, then truncates (deliveries
+// resume). With PerRound > 0 it additionally caps each round — the O_f^ω
+// budget of Section V, enforced on top of any inner adversary.
+type BudgetCap struct {
+	Inner    netsim.Adversary
+	Budget   int
+	PerRound int
+
+	spent int
+}
+
+// Drops implements netsim.Adversary. It is stateful: call once per round
+// in order.
+func (b *BudgetCap) Drops(r int, g *graph.Graph) map[graph.DirEdge]bool {
+	drops := b.Inner.Drops(r, g)
+	if len(drops) == 0 {
+		return drops
+	}
+	limit := b.Budget - b.spent
+	if b.PerRound > 0 && b.PerRound < limit {
+		limit = b.PerRound
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	if len(drops) > limit {
+		// Deterministic truncation: keep the smallest edges in (From, To)
+		// order so a capped adversary replays identically.
+		kept := make([]graph.DirEdge, 0, len(drops))
+		for e := range drops {
+			kept = append(kept, e)
+		}
+		sortDirEdges(kept)
+		drops = map[graph.DirEdge]bool{}
+		for _, e := range kept[:limit] {
+			drops[e] = true
+		}
+	}
+	b.spent += len(drops)
+	return drops
+}
+
+func sortDirEdges(es []graph.DirEdge) {
+	// Insertion sort: drop sets are small (≤ E) and this avoids pulling in
+	// sort for a tuple type.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func less(a, b graph.DirEdge) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}

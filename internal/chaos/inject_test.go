@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+func drops(t *testing.T, a netsim.Adversary, r int, g *graph.Graph) map[graph.DirEdge]bool {
+	t.Helper()
+	return a.Drops(r, g)
+}
+
+func TestCrashSilencesNodeFromRound(t *testing.T) {
+	g := graph.Complete(4)
+	c := Crash{Node: 2, Round: 3}
+	if got := drops(t, c, 2, g); len(got) != 0 {
+		t.Fatalf("round 2 before crash: dropped %v", got)
+	}
+	for _, r := range []int{3, 4, 10} {
+		got := drops(t, c, r, g)
+		if len(got) != 3 {
+			t.Fatalf("round %d: want all 3 outgoing edges dropped, got %v", r, got)
+		}
+		for e := range got {
+			if e.From != 2 {
+				t.Fatalf("round %d: dropped non-outgoing edge %v", r, e)
+			}
+		}
+	}
+}
+
+func TestIsolateCutsIncomingEdges(t *testing.T) {
+	g := graph.Complete(4)
+	got := drops(t, Isolate{Node: 1, Round: 1}, 5, g)
+	if len(got) != 3 {
+		t.Fatalf("want 3 incoming edges dropped, got %v", got)
+	}
+	for e := range got {
+		if e.To != 1 {
+			t.Fatalf("dropped edge %v does not target node 1", e)
+		}
+	}
+}
+
+func TestBlackoutWindow(t *testing.T) {
+	g := graph.Cycle(4)
+	b := Blackout{From: 2, To: 3}
+	all := 2 * g.NumEdges()
+	for r, want := range map[int]int{1: 0, 2: all, 3: all, 4: 0} {
+		if got := len(drops(t, b, r, g)); got != want {
+			t.Errorf("round %d: dropped %d edges, want %d", r, got, want)
+		}
+	}
+	// To = 0 means a single-round blackout.
+	single := Blackout{From: 5}
+	if got := len(drops(t, single, 5, g)); got != all {
+		t.Errorf("single-round blackout: dropped %d, want %d", got, all)
+	}
+	if got := len(drops(t, single, 6, g)); got != 0 {
+		t.Errorf("round after single blackout: dropped %d, want 0", got)
+	}
+}
+
+func TestRandomDropsRespectsBudgetAndSeed(t *testing.T) {
+	g := graph.Complete(5)
+	a := RandomDrops{F: 3, Rng: NewRand(7)}
+	b := RandomDrops{F: 3, Rng: NewRand(7)}
+	for r := 1; r <= 20; r++ {
+		da, db := drops(t, a, r, g), drops(t, b, r, g)
+		if len(da) > 3 {
+			t.Fatalf("round %d: dropped %d > budget 3", r, len(da))
+		}
+		if len(da) != len(db) {
+			t.Fatalf("round %d: same seed diverged: %v vs %v", r, da, db)
+		}
+		for e := range da {
+			if !db[e] {
+				t.Fatalf("round %d: same seed diverged on edge %v", r, e)
+			}
+		}
+	}
+}
+
+func TestBurstAppliesInnerOnPhase(t *testing.T) {
+	g := graph.Complete(3)
+	b := Burst{Every: 3, Phase: 1, Inner: Blackout{From: 1, To: 1 << 20}}
+	for r := 1; r <= 9; r++ {
+		got := len(drops(t, b, r, g))
+		if r%3 == 1 && got == 0 {
+			t.Errorf("round %d: burst phase should drop, dropped nothing", r)
+		}
+		if r%3 != 1 && got != 0 {
+			t.Errorf("round %d: off-phase round dropped %d edges", r, got)
+		}
+	}
+}
+
+func TestSeqPlaysStagesInOrder(t *testing.T) {
+	g := graph.Complete(3)
+	s := NewSeq(
+		Stage{Rounds: 2, Adv: Blackout{From: 1, To: 1 << 20}},
+		Stage{Rounds: 2, Adv: netsim.NoDrops{}},
+		Stage{Rounds: 0, Adv: Crash{Node: 0, Round: 1}},
+	)
+	wantDrop := []bool{true, true, false, false, true, true, true}
+	for i, want := range wantDrop {
+		r := i + 1
+		got := len(drops(t, s, r, g)) > 0
+		if got != want {
+			t.Errorf("round %d: dropping=%v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestSeqFiniteScheduleEndsInSilence(t *testing.T) {
+	g := graph.Complete(3)
+	s := NewSeq(Stage{Rounds: 1, Adv: Blackout{From: 1, To: 1 << 20}})
+	if got := len(drops(t, s, 1, g)); got == 0 {
+		t.Fatal("round 1: stage should drop")
+	}
+	for r := 2; r <= 5; r++ {
+		if got := len(drops(t, s, r, g)); got != 0 {
+			t.Errorf("round %d: exhausted schedule dropped %d edges", r, got)
+		}
+	}
+}
+
+func TestUnionDropsAnyMembersDrop(t *testing.T) {
+	g := graph.Complete(4)
+	u := Union{Crash{Node: 0, Round: 1}, Isolate{Node: 0, Round: 1}}
+	got := drops(t, u, 1, g)
+	if len(got) != 6 {
+		t.Fatalf("union of crash+isolate on K4: want 6 directed edges, got %v", got)
+	}
+	for e := range got {
+		if e.From != 0 && e.To != 0 {
+			t.Fatalf("union dropped unrelated edge %v", e)
+		}
+	}
+}
+
+func TestBudgetCapTotalAndPerRound(t *testing.T) {
+	g := graph.Complete(4)
+	cap := &BudgetCap{Inner: Blackout{From: 1, To: 1 << 20}, Budget: 5, PerRound: 2}
+	total := 0
+	for r := 1; r <= 10; r++ {
+		got := drops(t, cap, r, g)
+		if len(got) > 2 {
+			t.Fatalf("round %d: per-round cap exceeded: %d", r, len(got))
+		}
+		total += len(got)
+	}
+	if total != 5 {
+		t.Fatalf("total drops %d, want budget 5", total)
+	}
+}
+
+func TestBudgetCapTruncationIsDeterministic(t *testing.T) {
+	g := graph.Complete(5)
+	run := func() []graph.DirEdge {
+		cap := &BudgetCap{Inner: Blackout{From: 1, To: 1 << 20}, Budget: 1 << 30, PerRound: 3}
+		var seq []graph.DirEdge
+		for r := 1; r <= 4; r++ {
+			kept := make([]graph.DirEdge, 0, 3)
+			for e := range drops(t, cap, r, g) {
+				kept = append(kept, e)
+			}
+			sortDirEdges(kept)
+			seq = append(seq, kept...)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeriveSeedIsStableAndSpreads(t *testing.T) {
+	if DeriveSeed(42, 0) != DeriveSeed(42, 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s < 0 {
+			t.Fatalf("DeriveSeed(42,%d) = %d < 0", i, s)
+		}
+		if seen[s] {
+			t.Fatalf("DeriveSeed collision at execution %d", i)
+		}
+		seen[s] = true
+	}
+}

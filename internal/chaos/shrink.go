@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"repro/internal/omission"
+	"repro/internal/scheme"
+)
+
+// Reproducer re-runs an execution under a candidate scenario and reports
+// the property that broke (ok=true when a violation occurred at all).
+// Campaign runners supply one that replays the violating algorithm and
+// inputs.
+type Reproducer func(sc omission.Scenario) (Property, bool)
+
+// Shrink greedily minimizes a counterexample before it is reported. It
+// works on the letter prefix actually played by the failing execution:
+//
+//  1. Prefix minimization — find the shortest prefix of the played word
+//     whose deterministic completion into a member scenario of the scheme
+//     (scheme.ExtendToScenario: the shortest lasso) still reproduces the
+//     same broken property.
+//
+//  2. Letter simplification — left to right, try to replace each non-'.'
+//     letter of that prefix with '.' (the weakest adversary move),
+//     keeping replacements that stay inside Pref(L) and still reproduce.
+//
+// Every candidate is validated by actually re-running the execution, so
+// the result is sound by construction. The returned scenario reproduces
+// prop; ok is false when not even the original played word reproduces
+// under deterministic completion (e.g. the violation depended on the
+// original scenario's tail), in which case callers should report the
+// original scenario unminimized.
+func Shrink(s *scheme.Scheme, played omission.Word, prop Property, repro Reproducer) (omission.Scenario, bool) {
+	reproduces := func(w omission.Word) (omission.Scenario, bool) {
+		sc, ok := s.ExtendToScenario(w)
+		if !ok {
+			return omission.Scenario{}, false
+		}
+		got, bad := repro(sc)
+		return sc, bad && got == prop
+	}
+
+	// Phase 1: shortest reproducing prefix.
+	var best omission.Word
+	var bestSc omission.Scenario
+	found := false
+	for l := 0; l <= len(played); l++ {
+		if sc, ok := reproduces(played.Prefix(l)); ok {
+			best, bestSc, found = played.Prefix(l), sc, true
+			break
+		}
+	}
+	if !found {
+		return omission.Scenario{}, false
+	}
+
+	// Phase 2: simplify letters toward '.'.
+	for i := 0; i < len(best); i++ {
+		if best[i] == omission.None {
+			continue
+		}
+		cand := best.Clone()
+		cand[i] = omission.None
+		if sc, ok := reproduces(cand); ok {
+			best, bestSc = cand, sc
+		}
+	}
+	return bestSc, true
+}

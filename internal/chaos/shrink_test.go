@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/omission"
+	"repro/internal/scheme"
+)
+
+// TestShrinkFindsShortestPrefix drives the shrinker with a synthetic
+// reproducer that trips whenever the scenario contains a 'w' within the
+// first five rounds — the minimal reproduction is then the single word
+// "w" (or a shorter clean prefix whose completion supplies it, which R1's
+// clean completion never does).
+func TestShrinkFindsShortestPrefix(t *testing.T) {
+	s := scheme.R1()
+	repro := func(sc omission.Scenario) (Property, bool) {
+		for r := 0; r < 5; r++ {
+			if sc.At(r) == omission.LossWhite {
+				return PropTermination, true
+			}
+		}
+		return "", false
+	}
+	played := omission.MustWord("..b.w.b..w")
+	min, ok := Shrink(s, played, PropTermination, repro)
+	if !ok {
+		t.Fatal("shrinker failed to reproduce at all")
+	}
+	if got, want := min.Prefix().String(), "....w"; got != want {
+		t.Fatalf("minimized prefix = %q, want %q (shortest prefix keeping the round-5 'w', 'b's simplified away)", got, want)
+	}
+	// Soundness: the returned scenario itself reproduces.
+	if _, bad := repro(min); !bad {
+		t.Fatal("minimized scenario does not reproduce the violation")
+	}
+}
+
+// TestShrinkSimplifiesLetters checks phase 2: letters irrelevant to the
+// failure are rewritten to '.'.
+func TestShrinkSimplifiesLetters(t *testing.T) {
+	s := scheme.R1()
+	// Trips iff round 1 and round 3 both lose white's message.
+	repro := func(sc omission.Scenario) (Property, bool) {
+		if sc.At(0) == omission.LossWhite && sc.At(2) == omission.LossWhite {
+			return PropAgreement, true
+		}
+		return "", false
+	}
+	played := omission.MustWord("wbwbw")
+	min, ok := Shrink(s, played, PropAgreement, repro)
+	if !ok {
+		t.Fatal("shrinker failed to reproduce")
+	}
+	if got, want := min.Prefix().String(), "w.w"; got != want {
+		t.Fatalf("minimized prefix = %q, want %q", got, want)
+	}
+}
+
+// TestShrinkReportsFailureWhenNotReproducible: a reproducer that never
+// trips makes Shrink return ok=false rather than an arbitrary scenario.
+func TestShrinkReportsFailureWhenNotReproducible(t *testing.T) {
+	s := scheme.R1()
+	repro := func(omission.Scenario) (Property, bool) { return "", false }
+	if _, ok := Shrink(s, omission.MustWord("wbw"), PropAgreement, repro); ok {
+		t.Fatal("shrinker claimed to reproduce an unreproducible violation")
+	}
+}
+
+// TestShrinkRequiresMatchingProperty: a candidate that breaks a
+// *different* property is not accepted as a reproduction.
+func TestShrinkRequiresMatchingProperty(t *testing.T) {
+	s := scheme.R1()
+	repro := func(sc omission.Scenario) (Property, bool) {
+		// Everything trips, but short prefixes trip a different property.
+		if sc.Prefix().Len() >= 3 {
+			return PropAgreement, true
+		}
+		return PropTermination, true
+	}
+	min, ok := Shrink(s, omission.MustWord("wbwb"), PropAgreement, repro)
+	if !ok {
+		t.Fatal("shrinker failed")
+	}
+	if p, _ := repro(min); p != PropAgreement {
+		t.Fatalf("minimized scenario reproduces %s, want %s", p, PropAgreement)
+	}
+}

@@ -231,3 +231,56 @@ func TestCapsolveUnIndex(t *testing.T) {
 		}
 	}
 }
+
+func capchaos(args []string, out, errb *bytes.Buffer) int { return Capchaos(args, out, errb) }
+
+func TestCapchaosCleanCampaign(t *testing.T) {
+	code, out, _ := runCmd(t, capchaos, "-scheme", "S1", "-executions", "200", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{"chaos campaign", "scheme=S1", "violations=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCapchaosObstruction(t *testing.T) {
+	code, _, errb := runCmd(t, capchaos, "-scheme", "R1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "obstruction") {
+		t.Errorf("stderr should cite the obstruction: %s", errb)
+	}
+}
+
+func TestCapchaosNetwork(t *testing.T) {
+	code, out, _ := runCmd(t, capchaos, "-net", "-graph", "cycle", "-n", "5", "-executions", "50", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "violations=0") {
+		t.Errorf("campaign not clean:\n%s", out)
+	}
+	// Concurrent runner variant.
+	code, out, _ = runCmd(t, capchaos, "-net", "-graph", "complete", "-n", "4", "-executions", "50", "-concurrent")
+	if code != 0 || !strings.Contains(out, "violations=0") {
+		t.Fatalf("concurrent: exit %d\n%s", code, out)
+	}
+}
+
+func TestCapchaosErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, capchaos, "-scheme", "nope"); code != 1 {
+		t.Fatalf("unknown scheme: exit %d, want 1", code)
+	}
+	if code, _, _ := runCmd(t, capchaos, "-net", "-graph", "nope"); code != 2 {
+		t.Fatalf("unknown graph: exit %d, want 2", code)
+	}
+	// A budget at the connectivity is refused, citing Theorem V.1.
+	code, _, errb := runCmd(t, capchaos, "-net", "-graph", "cycle", "-n", "4", "-f", "2")
+	if code != 1 || !strings.Contains(errb, "unsolvable") {
+		t.Fatalf("over-budget: exit %d stderr %s", code, errb)
+	}
+}

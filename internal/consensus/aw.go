@@ -92,20 +92,36 @@ func (a *AW) Send(r int) (sim.Message, bool) {
 	return AWMessage{Init: a.init, Ind: new(big.Int).Set(a.ind)}, true
 }
 
-// Receive implements sim.Process.
+// Receive implements sim.Process. It panics on a foreign message or a
+// double-omission letter in the excluded scenario; ReceiveChecked is the
+// error-returning variant for hardened runners.
 func (a *AW) Receive(r int, msg sim.Message) {
+	if err := a.ReceiveChecked(r, msg); err != nil {
+		panic(err.Error())
+	}
+}
+
+// ReceiveChecked is the error-returning receive/update step of A_w: it
+// reports (instead of panicking on) a foreign message type or an excluded
+// scenario that leaves Γ. On error the process is left halted without a
+// decision, so a hardened runner observes a cleanly crashed process.
+func (a *AW) ReceiveChecked(r int, msg sim.Message) error {
 	if a.halted {
-		return
+		return nil
 	}
 	// Advance the excluded scenario's index to ind(w_r).
-	a.w.Step(a.excluded.At(r - 1))
+	if _, err := a.w.StepChecked(a.excluded.At(r - 1)); err != nil {
+		a.halted = true
+		return fmt.Errorf("consensus: A_w excluded scenario invalid: %w", err)
+	}
 
 	if msg == nil {
 		a.ind.Mul(a.ind, big.NewInt(3))
 	} else {
 		m, ok := msg.(AWMessage)
 		if !ok {
-			panic(fmt.Sprintf("consensus: A_w received foreign message %T", msg))
+			a.halted = true
+			return fmt.Errorf("consensus: A_w received foreign message %T", msg)
 		}
 		a.initOther = m.Init
 		// ind ← 2·m.Ind + ind
@@ -124,6 +140,7 @@ func (a *AW) Receive(r int, msg sim.Message) {
 			a.decision = a.initOther
 		}
 	}
+	return nil
 }
 
 // Decision implements sim.Process.

@@ -42,7 +42,10 @@
 package fullinfo
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -274,8 +277,23 @@ func (w *worker) walk(nd node, earlyExit bool, abort *atomic.Bool) {
 }
 
 // Run executes the full-information analysis at horizon r. The returned
-// Graph is nil unless opt.BuildGraph is set.
+// Graph is nil unless opt.BuildGraph is set. A panicking Stepper
+// re-panics on the calling goroutine (wrapped with the worker's
+// diagnostics); use RunChecked for an error instead.
 func Run(st Stepper, r int, opt Options) (Result, *Graph) {
+	res, g, err := RunChecked(context.Background(), st, r, opt)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res, g
+}
+
+// RunChecked is Run with fail-closed behavior: a Stepper that panics on
+// any worker is recovered (the first panic's value and stack become the
+// returned error, and the pool aborts), and the context cancels the walk
+// at the next subtree boundary (the error is then ctx.Err() and the
+// partial Result has Exhaustive=false).
+func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *Graph, error) {
 	if r < 0 {
 		r = 0
 	}
@@ -305,29 +323,38 @@ func Run(st Stepper, r int, opt Options) (Result, *Graph) {
 	}
 
 	// Phase 1: expand breadth-first to the split depth on the shared
-	// interner.
+	// interner. Stepper panics here surface as an error, like on the pool.
 	depth := 0
-	for depth < r && len(frontier) > 0 {
-		if opt.SplitDepth > 0 {
-			if depth >= opt.SplitDepth {
+	if err := func() (err error) {
+		defer recoverStepper(&err)
+		for depth < r && len(frontier) > 0 {
+			if opt.SplitDepth > 0 {
+				if depth >= opt.SplitDepth {
+					break
+				}
+			} else if workers == 1 || len(frontier) >= workers*subtreesPerWorker {
 				break
 			}
-		} else if workers == 1 || len(frontier) >= workers*subtreesPerWorker {
-			break
-		}
-		next := make([]node, 0, len(frontier)*na)
-		for _, nd := range frontier {
-			for a := 0; a < na; a++ {
-				nv := make([]int, n)
-				ns, ok := st.Step(sctx, nd.state, a, nd.views, nv)
-				if !ok {
-					continue
-				}
-				next = append(next, node{state: ns, inputs: nd.inputs, views: nv})
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
 			}
+			next := make([]node, 0, len(frontier)*na)
+			for _, nd := range frontier {
+				for a := 0; a < na; a++ {
+					nv := make([]int, n)
+					ns, ok := st.Step(sctx, nd.state, a, nd.views, nv)
+					if !ok {
+						continue
+					}
+					next = append(next, node{state: ns, inputs: nd.inputs, views: nv})
+				}
+			}
+			frontier = next
+			depth++
 		}
-		frontier = next
-		depth++
+		return nil
+	}(); err != nil {
+		return Result{}, nil, err
 	}
 
 	if len(frontier) == 0 {
@@ -336,7 +363,7 @@ func Run(st Stepper, r int, opt Options) (Result, *Graph) {
 		if opt.BuildGraph {
 			g = &Graph{in: shared, uf: &compUF{}}
 		}
-		return res, g
+		return res, g, nil
 	}
 
 	// Phase 2: the pool walks frontier subtrees, streaming leaves into
@@ -351,11 +378,30 @@ func Run(st Stepper, r int, opt Options) (Result, *Graph) {
 	var abort atomic.Bool
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abort.Store(true)
+	}
 	for _, w := range pool {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					fail(fmt.Errorf("fullinfo: Stepper panicked on worker: %v\n%s", p, debug.Stack()))
+				}
+			}()
 			for !abort.Load() {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := cursor.Add(1) - 1
 				if i >= int64(len(frontier)) {
 					return
@@ -365,6 +411,9 @@ func Run(st Stepper, r int, opt Options) (Result, *Graph) {
 		}(w)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return Result{Exhaustive: false}, nil, firstErr
+	}
 
 	// Phase 3: merge. Worker ids are canonicalized into the shared
 	// interner; worker components are replayed into a global union-find.
@@ -413,5 +462,13 @@ func Run(st Stepper, r int, opt Options) (Result, *Graph) {
 	if opt.BuildGraph {
 		g = &Graph{in: shared, uf: guf, keys: gkeys}
 	}
-	return res, g
+	return res, g, nil
+}
+
+// recoverStepper converts a Stepper panic into an error carrying the
+// panic value and stack.
+func recoverStepper(errp *error) {
+	if p := recover(); p != nil {
+		*errp = fmt.Errorf("fullinfo: Stepper panicked: %v\n%s", p, debug.Stack())
+	}
 }

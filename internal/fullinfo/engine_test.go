@@ -1,6 +1,8 @@
 package fullinfo
 
 import (
+	"context"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -14,9 +16,9 @@ import (
 // small r.
 type binStepper struct{ link bool }
 
-func (binStepper) NumProcs() int       { return 2 }
-func (binStepper) NumActions() int     { return 2 }
-func (binStepper) Root() (int, bool)   { return 0, true }
+func (binStepper) NumProcs() int     { return 2 }
+func (binStepper) NumActions() int   { return 2 }
+func (binStepper) Root() (int, bool) { return 0, true }
 func (s binStepper) Step(ctx *Ctx, state, a int, views, next []int) (int, bool) {
 	r0, r1 := -1, -1
 	if a == 0 {
@@ -200,3 +202,48 @@ func TestCompUFMergeTwoMixed(t *testing.T) {
 // Sanity: the abort flag type used by walk is the atomic one (compile
 // guard against accidental plain-bool regressions).
 var _ atomic.Bool
+
+// panicStepper panics once a worker reaches depth ≥ 2.
+type panicStepper struct{ binStepper }
+
+func (s panicStepper) Step(ctx *Ctx, state, a int, views, next []int) (int, bool) {
+	if state >= 1 {
+		panic("stepper exploded")
+	}
+	s.binStepper.Step(ctx, state, a, views, next)
+	return state + 1, true
+}
+
+func TestRunCheckedStepperPanicIsolated(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		_, _, err := RunChecked(context.Background(), panicStepper{}, 4,
+			Options{Parallel: parallel, Workers: 4, SplitDepth: 1})
+		if err == nil {
+			t.Fatalf("parallel=%v: panicking Stepper returned no error", parallel)
+		}
+		if !strings.Contains(err.Error(), "stepper exploded") {
+			t.Fatalf("parallel=%v: error lost the panic value: %v", parallel, err)
+		}
+	}
+	// Run (the panicking facade) must still propagate.
+	defer func() {
+		if recover() == nil {
+			t.Error("Run should panic when the Stepper does")
+		}
+	}()
+	Run(panicStepper{}, 4, Options{})
+}
+
+func TestRunCheckedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallel := range []bool{false, true} {
+		res, _, err := RunChecked(ctx, binStepper{}, 8, Options{Parallel: parallel, Workers: 2, SplitDepth: 1})
+		if err == nil {
+			t.Fatalf("parallel=%v: cancelled run returned no error", parallel)
+		}
+		if res.Exhaustive {
+			t.Fatalf("parallel=%v: cancelled run claims exhaustive analysis", parallel)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"context"
+
+	"repro/internal/graph"
+)
+
+// RunHardened is the sequential runner with the fail-closed guarantees of
+// RunGoroutinesHardened: a panicking node is crash-stopped with a
+// diagnostic instead of killing the process, and the context bounds the
+// run's wall-clock time (checked at every round boundary).
+func RunHardened(ctx context.Context, g *graph.Graph, nodes []Node, inputs []Value, adv Adversary, maxRounds int) HardenedTrace {
+	n := g.N()
+	if len(nodes) != n || len(inputs) != n {
+		panic("netsim: nodes/inputs length mismatch")
+	}
+	ht := HardenedTrace{Trace: Trace{
+		Inputs:        append([]Value(nil), inputs...),
+		Decisions:     make([]Value, n),
+		DecisionRound: make([]int, n),
+	}}
+	for i := range ht.Decisions {
+		ht.Decisions[i] = -1
+		ht.DecisionRound[i] = -1
+	}
+	crashed := make([]bool, n)
+	crash := func(i, round int, err error) {
+		if crashed[i] {
+			return
+		}
+		crashed[i] = true
+		ht.Crashes = append(ht.Crashes, NodeCrash{Node: i, Round: round, Op: opOf(err), Diag: err.Error()})
+	}
+
+	for i, node := range nodes {
+		var err error
+		func() {
+			defer recoverDiag("Init", 0, &err)
+			node.Init(i, g, inputs[i])
+		}()
+		if err != nil {
+			crash(i, 0, err)
+		}
+	}
+
+	record := func(round int) bool {
+		all := true
+		for i, node := range nodes {
+			if crashed[i] {
+				continue
+			}
+			if ht.DecisionRound[i] < 0 {
+				v, ok, err := safeDecision(node, round)
+				if err != nil {
+					crash(i, round, err)
+					continue
+				}
+				if ok {
+					ht.Decisions[i] = v
+					ht.DecisionRound[i] = round
+				} else {
+					all = false
+				}
+			}
+		}
+		return all
+	}
+	if record(0) {
+		return ht
+	}
+	for r := 1; r <= maxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			ht.Interrupted = true
+			ht.Err = err
+			ht.TimedOut = true
+			return ht
+		}
+		ht.Rounds = r
+		drops := adv.Drops(r, g)
+		if len(drops) > ht.MaxDropsPerRound {
+			ht.MaxDropsPerRound = len(drops)
+		}
+		ht.TotalDrops += len(drops)
+
+		outgoing := make([]map[int]Message, n)
+		for i, node := range nodes {
+			if crashed[i] {
+				continue
+			}
+			msgs, err := safeSend(node, r)
+			if err != nil {
+				crash(i, r, err)
+				continue
+			}
+			outgoing[i] = msgs
+		}
+		incoming := make([]map[int]Message, n)
+		for i := range incoming {
+			incoming[i] = map[int]Message{}
+		}
+		for from, msgs := range outgoing {
+			for to, m := range msgs {
+				if m == nil || !g.HasEdge(from, to) {
+					continue
+				}
+				if drops[graph.DirEdge{From: from, To: to}] {
+					continue
+				}
+				incoming[to][from] = m
+			}
+		}
+		for i, node := range nodes {
+			if crashed[i] {
+				continue
+			}
+			if err := safeReceive(node, r, incoming[i]); err != nil {
+				crash(i, r, err)
+			}
+		}
+		if record(r) {
+			return ht
+		}
+	}
+	ht.TimedOut = true
+	return ht
+}

@@ -18,6 +18,9 @@ func FuzzIndexRoundTrip(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 1})
 	f.Add([]byte{})
 	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2})
+	// Boundary lengths around the int64-safe bound.
+	f.Add(make([]byte, MaxInt64Rounds))
+	f.Add(make([]byte, MaxInt64Rounds+1))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 60 {
 			data = data[:60]
@@ -30,11 +33,25 @@ func FuzzIndexRoundTrip(f *testing.F) {
 		if !UnIndex(len(w), k).Equal(w) {
 			t.Fatalf("UnIndex(Index(%v)) mismatch", w)
 		}
+		// UnIndexChecked is the exact inverse on the valid range and must
+		// reject the first value past it.
+		wc, err := UnIndexChecked(len(w), k)
+		if err != nil || !wc.Equal(w) {
+			t.Fatalf("UnIndexChecked(%d, %v) = %v, %v; want %v", len(w), k, wc, err, w)
+		}
+		if _, err := UnIndexChecked(len(w), Pow3(len(w))); err == nil {
+			t.Fatalf("UnIndexChecked(%d, 3^%d) accepted an out-of-range index", len(w), len(w))
+		}
+		if _, err := UnIndexChecked(len(w), new(big.Int).Neg(big.NewInt(1))); err == nil {
+			t.Fatalf("UnIndexChecked(%d, -1) accepted a negative index", len(w))
+		}
 		if len(w) <= MaxInt64Rounds {
 			k64, err := IndexInt64(w)
 			if err != nil || big.NewInt(k64).Cmp(k) != 0 {
 				t.Fatalf("int64 index mismatch on %v", w)
 			}
+		} else if _, err := IndexInt64(w); err == nil {
+			t.Fatalf("IndexInt64 accepted length %d past the int64-safe bound", len(w))
 		}
 	})
 }
@@ -44,6 +61,15 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add("(wb)")
 	f.Add("x(.x)")
 	f.Add("((")
+	// Malformed inputs that once slipped past the parser: empty period,
+	// stray parentheses, empty string, missing period.
+	f.Add("()")
+	f.Add("w()")
+	f.Add(")")
+	f.Add("(.))")
+	f.Add("")
+	f.Add(".w")
+	f.Add("(.")
 	f.Fuzz(func(t *testing.T, s string) {
 		sc, err := ParseScenario(s)
 		if err != nil {

@@ -58,10 +58,21 @@ func NewIndexTracker() *IndexTracker {
 // Step extends the tracked word by one letter and returns the new index.
 // The returned value is owned by the tracker; callers must not modify it
 // and should copy it if they need to retain it across Steps. Step panics
-// on the double omission.
+// on the double omission; StepChecked is the error-returning variant.
 func (t *IndexTracker) Step(a Letter) *big.Int {
+	ind, err := t.StepChecked(a)
+	if err != nil {
+		panic(err.Error())
+	}
+	return ind
+}
+
+// StepChecked is Step returning an error instead of panicking on the
+// double omission (the index function of Definition III.1 is only defined
+// over Γ). On error the tracker is unchanged.
+func (t *IndexTracker) StepChecked(a Letter) (*big.Int, error) {
 	if !a.InGamma() {
-		panic("omission: IndexTracker.Step on double omission")
+		return nil, fmt.Errorf("omission: IndexTracker.Step on double omission at round %d", t.round+1)
 	}
 	d := int64(a.Delta())
 	if t.ind.Bit(0) == 1 {
@@ -73,7 +84,7 @@ func (t *IndexTracker) Step(a Letter) *big.Int {
 	t.tmp.SetInt64(d + 1)
 	t.ind.Add(t.ind, t.tmp)
 	t.round++
-	return t.ind
+	return t.ind, nil
 }
 
 // Value returns a copy of the current index.

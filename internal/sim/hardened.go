@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/omission"
+)
+
+// The hardened runner exists for chaos testing (internal/chaos): it
+// executes the same round structure as Run but fails closed. A process
+// that panics mid-round is converted into a crash-stop — its panic value
+// and stack are captured as a Crash diagnostic, it stops sending and
+// receiving, and only its own trace entries suffer — and the run obeys a
+// context, so a non-terminating execution can never hang the caller.
+
+// Crash records a process panic absorbed by the hardened runner and
+// converted into a crash-stop.
+type Crash struct {
+	// Proc is the process that panicked.
+	Proc ID
+	// Round is the round (1-based) in which the panic occurred.
+	Round int
+	// Op is the process method that panicked ("Send", "Receive" or
+	// "Decision").
+	Op string
+	// Diag is the panic value followed by the goroutine stack.
+	Diag string
+}
+
+// String implements fmt.Stringer.
+func (c Crash) String() string {
+	return fmt.Sprintf("%s panicked in %s at round %d: %s", c.Proc, c.Op, c.Round, firstLine(c.Diag))
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// HardenedTrace couples a trace with the failures the hardened runner
+// absorbed on its behalf.
+type HardenedTrace struct {
+	Trace
+	// Crashes lists the process panics converted to crash-stops (at most
+	// one per process).
+	Crashes []Crash
+	// Interrupted is set when the context expired before the run finished;
+	// Err then carries the context error.
+	Interrupted bool
+	Err         error
+}
+
+// hardenedProc wraps one process with panic isolation: after the first
+// panic the process is crashed — it sends nothing, receives nothing, and
+// its decision is frozen.
+type hardenedProc struct {
+	p       Process
+	id      ID
+	crashed bool
+}
+
+func (h *hardenedProc) guard(round int, op string, crashes *[]Crash) {
+	if p := recover(); p != nil {
+		h.crashed = true
+		*crashes = append(*crashes, Crash{
+			Proc:  h.id,
+			Round: round,
+			Op:    op,
+			Diag:  fmt.Sprintf("%v\n%s", p, debug.Stack()),
+		})
+	}
+}
+
+func (h *hardenedProc) send(r int, crashes *[]Crash) (msg Message, ok bool) {
+	if h.crashed {
+		return nil, false
+	}
+	defer h.guard(r, "Send", crashes)
+	return h.p.Send(r)
+}
+
+func (h *hardenedProc) receive(r int, msg Message, crashes *[]Crash) {
+	if h.crashed {
+		return
+	}
+	defer h.guard(r, "Receive", crashes)
+	h.p.Receive(r, msg)
+}
+
+func (h *hardenedProc) decision(r int, crashes *[]Crash) (Value, bool) {
+	if h.crashed {
+		return None, false
+	}
+	defer h.guard(r, "Decision", crashes)
+	return h.p.Decision()
+}
+
+// RunHardened executes the two processes under the adversary with panic
+// isolation and context-based cancellation. Semantics match Run exactly
+// on well-behaved executions (asserted by tests); a panicking process is
+// converted into a crash-stop, and an expired context stops the run at
+// the next round boundary with Interrupted set.
+func RunHardened(ctx context.Context, white, black Process, inputs [2]Value, adv Adversary, maxRounds int) HardenedTrace {
+	ht := HardenedTrace{Trace: Trace{Inputs: inputs, DecisionRound: [2]int{-1, -1}, Decisions: [2]Value{None, None}}}
+	procs := [2]*hardenedProc{{p: white, id: White}, {p: black, id: Black}}
+	for i, h := range procs {
+		func() {
+			defer h.guard(0, "Init", &ht.Crashes)
+			h.p.Init(h.id, inputs[i])
+		}()
+	}
+
+	record := func(round int) bool {
+		both := true
+		for i, h := range procs {
+			if ht.DecisionRound[i] < 0 {
+				if v, ok := h.decision(round, &ht.Crashes); ok {
+					ht.Decisions[i] = v
+					ht.DecisionRound[i] = round
+				} else {
+					both = false
+				}
+			}
+		}
+		return both
+	}
+	if record(0) {
+		return ht
+	}
+	for r := 1; r <= maxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			ht.Interrupted = true
+			ht.Err = err
+			ht.TimedOut = true
+			return ht
+		}
+		letter := adv.Next(r, ht.Played)
+		ht.Played = append(ht.Played, letter)
+		ht.Rounds = r
+
+		wMsg, wOK := procs[White].send(r, &ht.Crashes)
+		bMsg, bOK := procs[Black].send(r, &ht.Crashes)
+		if wOK {
+			ht.MessagesSent++
+		}
+		if bOK {
+			ht.MessagesSent++
+		}
+
+		var toWhite, toBlack Message
+		if bOK && !letter.LostBlack() {
+			toWhite = bMsg
+			if wOK {
+				ht.MessagesDelivered++
+			}
+		}
+		if wOK && !letter.LostWhite() {
+			toBlack = wMsg
+			if bOK {
+				ht.MessagesDelivered++
+			}
+		}
+		if wOK {
+			procs[White].receive(r, toWhite, &ht.Crashes)
+		}
+		if bOK {
+			procs[Black].receive(r, toBlack, &ht.Crashes)
+		}
+		if record(r) {
+			return ht
+		}
+		// Both processes crashed: nothing can ever decide; stop early.
+		if procs[White].crashed && procs[Black].crashed {
+			ht.TimedOut = true
+			return ht
+		}
+	}
+	ht.TimedOut = true
+	return ht
+}
+
+// RunHardenedScenario is RunHardened with a fixed scenario source.
+func RunHardenedScenario(ctx context.Context, white, black Process, inputs [2]Value, src omission.Source, maxRounds int) HardenedTrace {
+	return RunHardened(ctx, white, black, inputs, SourceAdversary{src}, maxRounds)
+}

@@ -113,8 +113,22 @@ func CheckNetwork(t NetTrace) NetReport { return netsim.Check(t) }
 func NoDrops() NetAdversary { return netsim.NoDrops{} }
 
 // RandomLossAdversary drops up to f random directed messages per round.
+//
+// Deprecated: prefer RandomLossAdversarySeed, which owns its random
+// source, so a shared *rand.Rand cannot couple the adversary to other
+// consumers and break replayability. This wrapper remains for callers
+// that deliberately share a source.
 func RandomLossAdversary(f int, rng *rand.Rand) NetAdversary {
 	return netsim.RandomF{F: f, Rng: rng}
+}
+
+// RandomLossAdversarySeed drops up to f random directed messages per
+// round from a private source derived from seed. Two adversaries built
+// from the same seed play identical drop schedules, which is what chaos
+// replay and the -seed CLI flags rely on; nothing in the library ever
+// draws from the global math/rand state.
+func RandomLossAdversarySeed(f int, seed int64) NetAdversary {
+	return netsim.RandomF{F: f, Rng: rand.New(rand.NewSource(seed))}
 }
 
 // CutAdversary plays the Γ_C scheme of the impossibility proof, driven by

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# verify.sh — the full pre-merge gate.
+#
+# Tier 1 (must stay green): build + tests.
+# Extended: vet + race (the differential tests drive the fullinfo worker
+# pool, so races in the engine fail here) + a short native-fuzz pass per
+# fuzz target (go test runs one -fuzz target per invocation).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+FUZZTIME="${FUZZTIME:-10s}"
+echo "== go fuzz (${FUZZTIME} per target) =="
+for target in FuzzIndexRoundTrip FuzzParseScenario FuzzScenarioEquality; do
+	echo "-- ${target}"
+	go test -run "^${target}$" -fuzz "^${target}$" -fuzztime "${FUZZTIME}" ./internal/omission/
+done
+
+echo "verify.sh: all gates passed"
