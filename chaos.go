@@ -48,10 +48,23 @@ const (
 // the first violation is minimized by the shrinker.
 func RunChaosCampaign(cfg ChaosConfig) (*ChaosReport, error) { return chaos.RunCampaign(cfg) }
 
+// RunChaosCampaignCtx is RunChaosCampaign under a campaign-wide context,
+// re-checked between executions so a cancelled sweep aborts promptly
+// with its partial report and ctx.Err().
+func RunChaosCampaignCtx(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
+	return chaos.RunCampaignCtx(ctx, cfg)
+}
+
 // RunNetworkChaosCampaign executes seeded random network executions under
 // randomly composed budget-respecting fault injectors.
 func RunNetworkChaosCampaign(cfg NetChaosConfig) (*ChaosReport, error) {
 	return chaos.RunNetworkCampaign(cfg)
+}
+
+// RunNetworkChaosCampaignCtx is RunNetworkChaosCampaign under a
+// campaign-wide context, re-checked between executions.
+func RunNetworkChaosCampaignCtx(ctx context.Context, cfg NetChaosConfig) (*ChaosReport, error) {
+	return chaos.RunNetworkCampaignCtx(ctx, cfg)
 }
 
 // AWForScheme classifies the scheme and wraps A_w from its witness as the

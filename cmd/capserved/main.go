@@ -1,0 +1,25 @@
+// Command capserved serves the analysis surface (scheme classification,
+// scenario index/unindex, bounded-round solvability, chaos campaigns)
+// as a resilient HTTP/JSON service: per-request deadlines propagated
+// into the engines, bounded admission queues with 429 load shedding,
+// singleflight + LRU result caching, a circuit breaker around the
+// expensive paths, panic isolation with diagnostic IDs, and graceful
+// drain on SIGTERM.
+//
+// Usage:
+//
+//	capserved -addr 127.0.0.1:8321
+//	capserved -addr :0 -timeout 10s -drain 5s
+//	curl -s localhost:8321/healthz
+//	curl -s -X POST localhost:8321/v1/solvable -d '{"scheme":"S1","horizon":3}'
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Capserved(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -54,6 +54,7 @@
 package coordattack
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -310,6 +311,24 @@ func AnalyzeRounds(s *Scheme, r int) RoundsAnalysis { return chain.Analyze(s, r)
 // MinRoundsSearch finds the smallest horizon ≤ maxR at which the scheme
 // is bounded-round solvable.
 func MinRoundsSearch(s *Scheme, maxR int) (int, bool) { return chain.MinRoundsSearch(s, maxR) }
+
+// SolvableInRoundsChecked is SolvableInRounds under a context: the
+// deadline or cancellation propagates into the engine's worker pool and
+// an interrupted walk returns ctx.Err() instead of a partial verdict.
+func SolvableInRoundsChecked(ctx context.Context, s *Scheme, r int) (bool, error) {
+	return chain.SolvableInRoundsChecked(ctx, s, r)
+}
+
+// AnalyzeRoundsChecked is AnalyzeRounds under a context.
+func AnalyzeRoundsChecked(ctx context.Context, s *Scheme, r int) (RoundsAnalysis, error) {
+	return chain.AnalyzeChecked(ctx, s, r)
+}
+
+// MinRoundsSearchChecked is MinRoundsSearch under a context; the search
+// aborts as soon as any horizon's walk is interrupted.
+func MinRoundsSearchChecked(ctx context.Context, s *Scheme, maxR int) (int, bool, error) {
+	return chain.MinRoundsSearchChecked(ctx, s, maxR)
+}
 
 // Synthesize compiles a round-optimal consensus algorithm for the scheme
 // directly from the full-information analysis (works for double-omission

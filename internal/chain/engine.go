@@ -1,6 +1,8 @@
 package chain
 
 import (
+	"context"
+
 	"repro/internal/fullinfo"
 	"repro/internal/omission"
 	"repro/internal/scheme"
@@ -76,4 +78,48 @@ func SolvableInRounds(s *scheme.Scheme, r int) bool {
 	opt.EarlyExit = true
 	res, _ := fullinfo.Run(newChainStepper(s), r, opt)
 	return res.Solvable
+}
+
+// AnalyzeChecked is Analyze under a context: an expired or cancelled ctx
+// aborts the engine walk at the next subtree boundary and surfaces
+// ctx.Err(). Long-running callers (capserved, -timeout CLIs) use this
+// instead of Analyze so a deadline propagates into the worker pool.
+func AnalyzeChecked(ctx context.Context, s *scheme.Scheme, r int) (Analysis, error) {
+	res, _, err := fullinfo.RunChecked(ctx, newChainStepper(s), r, fullinfo.Defaults())
+	if err != nil {
+		return Analysis{}, err
+	}
+	return Analysis{
+		Rounds:          r,
+		Configs:         int(res.Configs),
+		Components:      res.Components,
+		Solvable:        res.Solvable,
+		MixedComponents: res.MixedComponents,
+	}, nil
+}
+
+// SolvableInRoundsChecked is SolvableInRounds under a context.
+func SolvableInRoundsChecked(ctx context.Context, s *scheme.Scheme, r int) (bool, error) {
+	opt := fullinfo.Defaults()
+	opt.EarlyExit = true
+	res, _, err := fullinfo.RunChecked(ctx, newChainStepper(s), r, opt)
+	if err != nil {
+		return false, err
+	}
+	return res.Solvable, nil
+}
+
+// MinRoundsSearchChecked is MinRoundsSearch under a context; the first
+// horizon whose walk the context interrupts aborts the whole search.
+func MinRoundsSearchChecked(ctx context.Context, s *scheme.Scheme, maxR int) (int, bool, error) {
+	for r := 0; r <= maxR; r++ {
+		ok, err := SolvableInRoundsChecked(ctx, s, r)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			return r, true, nil
+		}
+	}
+	return 0, false, nil
 }

@@ -127,6 +127,16 @@ func (r *Report) String() string {
 // isolation and an optional wall-clock deadline, checking every trace
 // with the watchdog. The first violation is minimized by the shrinker.
 func RunCampaign(cfg Config) (*Report, error) {
+	return RunCampaignCtx(context.Background(), cfg)
+}
+
+// RunCampaignCtx is RunCampaign under a campaign-wide context: the
+// context is re-checked between executions (and is the parent of every
+// per-execution deadline), so cancellation aborts a sweep promptly
+// rather than only at the end. On cancellation the partial report of the
+// executions that did complete is returned together with ctx.Err();
+// Report.Executions then reflects the truncated count.
+func RunCampaignCtx(ctx context.Context, cfg Config) (*Report, error) {
 	cfg.defaults()
 	if cfg.Scheme == nil || cfg.Algo.New == nil {
 		return nil, fmt.Errorf("chaos: campaign needs a scheme and an algorithm")
@@ -140,6 +150,10 @@ func RunCampaign(cfg Config) (*Report, error) {
 	invariant := cfg.CheckInvariant && cfg.Algo.Witness != nil
 
 	for i := 0; i < cfg.Executions && len(rep.Violations) < cfg.MaxViolations; i++ {
+		if err := ctx.Err(); err != nil {
+			rep.Executions = i
+			return rep, err
+		}
 		execSeed := DeriveSeed(cfg.Seed, i)
 		rng := NewRand(execSeed)
 		sc, ok := cfg.Scheme.SampleScenario(rng, 1+rng.Intn(cfg.MaxPrefix))
@@ -148,7 +162,7 @@ func RunCampaign(cfg Config) (*Report, error) {
 		}
 		inputs := [2]sim.Value{sim.Value(rng.Intn(2)), sim.Value(rng.Intn(2))}
 
-		ht := runOnce(cfg, sc, inputs)
+		ht := runOnce(ctx, cfg, sc, inputs)
 		rep.Rounds += int64(ht.Rounds)
 		prop, detail, bad := classifyTwoProcess(ht)
 		if !bad && invariant && sc.InGamma() {
@@ -173,7 +187,7 @@ func RunCampaign(cfg Config) (*Report, error) {
 		}
 		if !cfg.NoShrink {
 			repro := func(cand omission.Scenario) (Property, bool) {
-				h := runOnce(cfg, cand, inputs)
+				h := runOnce(ctx, cfg, cand, inputs)
 				p, _, b := classifyTwoProcess(h)
 				if !b && invariant && cand.InGamma() {
 					if _, ok := CheckAWInvariant(cfg.Algo.Witness, inputs, cand, cfg.MaxRounds); !ok {
@@ -193,8 +207,10 @@ func RunCampaign(cfg Config) (*Report, error) {
 }
 
 // runOnce executes one hardened run of the algorithm under the scenario.
-func runOnce(cfg Config, sc omission.Scenario, inputs [2]sim.Value) sim.HardenedTrace {
-	ctx := context.Background()
+// The campaign context is the parent of the per-execution deadline, so a
+// campaign-wide cancellation also interrupts a running execution at its
+// next round boundary.
+func runOnce(ctx context.Context, cfg Config, sc omission.Scenario, inputs [2]sim.Value) sim.HardenedTrace {
 	if cfg.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)

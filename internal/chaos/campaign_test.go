@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
@@ -140,7 +142,7 @@ func TestFirstCleanExchangeViolationMinimized(t *testing.T) {
 	if inputs[0] != v.Inputs[0] || inputs[1] != v.Inputs[1] {
 		t.Fatalf("replay inputs %v differ from reported %v", inputs, v.Inputs)
 	}
-	ht := runOnce(cfg, sc, inputs)
+	ht := runOnce(context.Background(), cfg, sc, inputs)
 	if p, _, bad := classifyTwoProcess(ht); !bad || p != v.Property {
 		t.Fatalf("replay did not reproduce %s (bad=%v prop=%s)", v.Property, bad, p)
 	}
@@ -275,6 +277,54 @@ func TestDeadlineEnforcement(t *testing.T) {
 	}
 	if got := rep.Violations[0].Property; got != PropDeadline {
 		t.Fatalf("property = %s, want %s", got, PropDeadline)
+	}
+}
+
+// TestCampaignCancelBetweenExecutions cancels the campaign context from
+// inside the algorithm factory after N instantiations and asserts the
+// sweep aborts promptly: the partial report stops at exactly N
+// executions and the campaign surfaces ctx.Err() — the context is
+// re-checked between executions, not just when the sweep ends.
+func TestCampaignCancelBetweenExecutions(t *testing.T) {
+	const cancelAfter = 7
+	s := scheme.S1()
+	base, err := AWForScheme(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	built := 0
+	counting := Algorithm{
+		Name: base.Name,
+		New: func() (sim.Process, sim.Process) {
+			built++
+			if built == cancelAfter {
+				cancel()
+			}
+			return base.New()
+		},
+		Witness: base.Witness,
+	}
+	rep, err := RunCampaignCtx(ctx, Config{
+		Scheme:     s,
+		Algo:       counting,
+		Executions: 10_000,
+		Seed:       42,
+		NoShrink:   true,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled campaign returned no partial report")
+	}
+	if rep.Executions != cancelAfter {
+		t.Fatalf("partial report counts %d executions, want %d (cancel must stop the very next execution)",
+			rep.Executions, cancelAfter)
+	}
+	if built != cancelAfter {
+		t.Fatalf("factory ran %d times after cancellation, want %d", built, cancelAfter)
 	}
 }
 

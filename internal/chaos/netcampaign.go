@@ -63,6 +63,15 @@ func (c *NetConfig) defaults() {
 // fault injectors, checking uniform consensus on every trace. Panics
 // crash-stop single nodes; deadlines bound every execution.
 func RunNetworkCampaign(cfg NetConfig) (*Report, error) {
+	return RunNetworkCampaignCtx(context.Background(), cfg)
+}
+
+// RunNetworkCampaignCtx is RunNetworkCampaign under a campaign-wide
+// context, re-checked between executions and parented under every
+// per-execution deadline. On cancellation the partial report is returned
+// together with ctx.Err(), Report.Executions truncated to the count that
+// actually ran.
+func RunNetworkCampaignCtx(ctx context.Context, cfg NetConfig) (*Report, error) {
 	if cfg.Graph == nil || cfg.NewNodes == nil {
 		return nil, fmt.Errorf("chaos: network campaign needs a graph and a node factory")
 	}
@@ -79,6 +88,10 @@ func RunNetworkCampaign(cfg NetConfig) (*Report, error) {
 	}
 	n := cfg.Graph.N()
 	for i := 0; i < cfg.Executions && len(rep.Violations) < cfg.MaxViolations; i++ {
+		if err := ctx.Err(); err != nil {
+			rep.Executions = i
+			return rep, err
+		}
 		execSeed := DeriveSeed(cfg.Seed, i)
 		rng := NewRand(execSeed)
 		inputs := make([]netsim.Value, n)
@@ -87,16 +100,16 @@ func RunNetworkCampaign(cfg NetConfig) (*Report, error) {
 		}
 		adv := randomInjector(rng, cfg.Graph, cfg.MaxLossesPerRound)
 
-		ctx := context.Background()
+		execCtx := ctx
 		var cancel context.CancelFunc
 		if cfg.Deadline > 0 {
-			ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+			execCtx, cancel = context.WithTimeout(ctx, cfg.Deadline)
 		}
 		var ht netsim.HardenedTrace
 		if cfg.Goroutines {
-			ht = netsim.RunGoroutinesHardened(ctx, cfg.Graph, cfg.NewNodes(), inputs, adv, cfg.MaxRounds)
+			ht = netsim.RunGoroutinesHardened(execCtx, cfg.Graph, cfg.NewNodes(), inputs, adv, cfg.MaxRounds)
 		} else {
-			ht = netsim.RunHardened(ctx, cfg.Graph, cfg.NewNodes(), inputs, adv, cfg.MaxRounds)
+			ht = netsim.RunHardened(execCtx, cfg.Graph, cfg.NewNodes(), inputs, adv, cfg.MaxRounds)
 		}
 		if cancel != nil {
 			cancel()

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
@@ -200,4 +201,35 @@ type slowNode struct{ netconsensus.FloodMin }
 func (s *slowNode) Send(r int) map[int]netsim.Message {
 	time.Sleep(40 * time.Millisecond)
 	return s.FloodMin.Send(r)
+}
+
+// TestNetworkCampaignCancelBetweenExecutions mirrors the two-process
+// cancellation test on the network runner: cancelling the campaign
+// context from the node factory after N executions stops the sweep at
+// exactly N, surfacing ctx.Err() with the partial report.
+func TestNetworkCampaignCancelBetweenExecutions(t *testing.T) {
+	const cancelAfter = 5
+	g := graph.Complete(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	built := 0
+	inner := floodNodes(g.N())
+	rep, err := RunNetworkCampaignCtx(ctx, NetConfig{
+		Graph: g,
+		NewNodes: func() []netsim.Node {
+			built++
+			if built == cancelAfter {
+				cancel()
+			}
+			return inner()
+		},
+		Executions: 10_000,
+		Seed:       11,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error = %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Executions != cancelAfter {
+		t.Fatalf("partial report = %+v, want exactly %d executions", rep, cancelAfter)
+	}
 }

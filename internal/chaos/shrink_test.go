@@ -57,6 +57,72 @@ func TestShrinkSimplifiesLetters(t *testing.T) {
 	}
 }
 
+// TestShrinkAlreadyMinimal drives the greedy loop's lower boundary: the
+// played word is a single letter that is itself the minimal reproduction.
+// Phase 1 must keep it (the empty prefix's clean completion does not
+// reproduce), and phase 2 must fail to simplify its only letter — the
+// shrinker returns the input unchanged instead of looping or degrading.
+func TestShrinkAlreadyMinimal(t *testing.T) {
+	s := scheme.R1()
+	repro := func(sc omission.Scenario) (Property, bool) {
+		if sc.At(0) == omission.LossWhite {
+			return PropAgreement, true
+		}
+		return "", false
+	}
+	played := omission.MustWord("w")
+	min, ok := Shrink(s, played, PropAgreement, repro)
+	if !ok {
+		t.Fatal("shrinker failed on an already-minimal counterexample")
+	}
+	if got := min.Prefix().String(); got != "w" {
+		t.Fatalf("minimized prefix = %q, want it untouched (%q)", got, "w")
+	}
+	if _, bad := repro(min); !bad {
+		t.Fatal("returned scenario does not reproduce")
+	}
+}
+
+// TestShrinkEmptyPrefixReproduces drives the other boundary: the failure
+// does not depend on the played word at all (e.g. an algorithm bug that
+// trips on every execution). The shortest reproducing prefix is then the
+// empty word, and the shrinker must return its deterministic clean
+// completion rather than skipping l=0 in the greedy loop.
+func TestShrinkEmptyPrefixReproduces(t *testing.T) {
+	s := scheme.R1()
+	repro := func(omission.Scenario) (Property, bool) { return PropTermination, true }
+	min, ok := Shrink(s, omission.MustWord("wbwb"), PropTermination, repro)
+	if !ok {
+		t.Fatal("shrinker failed on an unconditional reproducer")
+	}
+	if got := min.Prefix().Len(); got != 0 {
+		t.Fatalf("minimized prefix has length %d, want 0 (empty prefix already reproduces)", got)
+	}
+	if lossy, lost := min.Prefix().CountLosses(); lossy != 0 || lost != 0 {
+		t.Fatalf("empty-prefix completion should be loss-free, got %d lossy rounds / %d lost messages", lossy, lost)
+	}
+}
+
+// TestShrinkSingleRoundFailure pins the single-round case end to end: a
+// violation that requires exactly one specific first-round letter ('b')
+// shrinks to the one-letter prefix "b" from a longer, noisier play.
+func TestShrinkSingleRoundFailure(t *testing.T) {
+	s := scheme.R1()
+	repro := func(sc omission.Scenario) (Property, bool) {
+		if sc.At(0) == omission.LossBlack {
+			return PropValidity, true
+		}
+		return "", false
+	}
+	min, ok := Shrink(s, omission.MustWord("b.wb.w"), PropValidity, repro)
+	if !ok {
+		t.Fatal("shrinker failed")
+	}
+	if got := min.Prefix().String(); got != "b" {
+		t.Fatalf("minimized prefix = %q, want %q", got, "b")
+	}
+}
+
 // TestShrinkReportsFailureWhenNotReproducible: a reproducer that never
 // trips makes Shrink return ok=false rather than an arbitrary scenario.
 func TestShrinkReportsFailureWhenNotReproducible(t *testing.T) {

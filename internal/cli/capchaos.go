@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ func Capchaos(args []string, stdout, stderr io.Writer) int {
 	maxRounds := fs.Int("max-rounds", 200, "round cap per execution")
 	maxPrefix := fs.Int("max-prefix", 8, "sampled scenario prefix bound")
 	deadline := fs.Duration("deadline", 10*time.Second, "wall-clock budget per execution (0 = none)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole campaign (0 = none)")
 	noInvariant := fs.Bool("no-invariant", false, "skip the Proposition III.12 invariant watchdog")
 	noShrink := fs.Bool("no-shrink", false, "skip counterexample minimization")
 	maxViolations := fs.Int("max-violations", 8, "stop after this many violations")
@@ -38,8 +40,15 @@ func Capchaos(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The root context bounds the entire campaign; the per-execution
+	// -deadline nests inside it. Cancellation is honored between seeded
+	// executions, so an interrupted campaign still reports the executions
+	// it finished.
+	ctx, cancel := rootContext(*timeout)
+	defer cancel()
+
 	if *net {
-		return capchaosNet(*graphKind, *n, *f, *executions, *seed, *maxRounds, *deadline, *concurrent, *maxViolations, stdout, stderr)
+		return capchaosNet(ctx, *graphKind, *n, *f, *executions, *seed, *maxRounds, *deadline, *concurrent, *maxViolations, stdout, stderr)
 	}
 
 	s, err := coordattack.SchemeByName(*name)
@@ -52,7 +61,7 @@ func Capchaos(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	rep, err := chaos.RunCampaign(chaos.Config{
+	rep, err := chaos.RunCampaignCtx(ctx, chaos.Config{
 		Scheme:         s,
 		Algo:           algo,
 		Executions:     *executions,
@@ -65,7 +74,10 @@ func Capchaos(args []string, stdout, stderr io.Writer) int {
 		MaxViolations:  *maxViolations,
 	})
 	if err != nil {
-		fmt.Fprintln(stderr, err)
+		if rep != nil {
+			fmt.Fprintln(stdout, rep)
+		}
+		fmt.Fprintf(stderr, "capchaos: campaign aborted: %v\n", err)
 		return 1
 	}
 	fmt.Fprintln(stdout, rep)
@@ -75,7 +87,7 @@ func Capchaos(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func capchaosNet(kind string, n, f, executions int, seed int64, maxRounds int, deadline time.Duration, concurrent bool, maxViolations int, stdout, stderr io.Writer) int {
+func capchaosNet(ctx context.Context, kind string, n, f, executions int, seed int64, maxRounds int, deadline time.Duration, concurrent bool, maxViolations int, stdout, stderr io.Writer) int {
 	var g *coordattack.Graph
 	switch kind {
 	case "complete":
@@ -90,7 +102,7 @@ func capchaosNet(kind string, n, f, executions int, seed int64, maxRounds int, d
 		fmt.Fprintf(stderr, "unknown graph %q (complete|cycle|petersen|barbell)\n", kind)
 		return 2
 	}
-	rep, err := chaos.RunNetworkCampaign(chaos.NetConfig{
+	rep, err := chaos.RunNetworkCampaignCtx(ctx, chaos.NetConfig{
 		Graph: g,
 		NewNodes: func() []netsim.Node {
 			nodes := make([]netsim.Node, g.N())
@@ -108,7 +120,10 @@ func capchaosNet(kind string, n, f, executions int, seed int64, maxRounds int, d
 		MaxViolations:     maxViolations,
 	})
 	if err != nil {
-		fmt.Fprintln(stderr, err)
+		if rep != nil {
+			fmt.Fprintln(stdout, rep)
+		}
+		fmt.Fprintf(stderr, "capchaos: campaign aborted: %v\n", err)
 		return 1
 	}
 	fmt.Fprintln(stdout, rep)

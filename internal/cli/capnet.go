@@ -24,6 +24,7 @@ func Capnet(args []string, stdout, stderr io.Writer) int {
 	f := fs.Int("f", 1, "losses per round budget")
 	adversary := fs.String("adversary", "random", "random|targeted|cut|none")
 	seed := fs.Int64("seed", 1, "random seed")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -108,9 +109,18 @@ func Capnet(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	tr := coordattack.RunNetwork(g, coordattack.NewFloodNodes(g), inputs, adv, g.N()+2)
-	rep := coordattack.CheckNetwork(tr)
-	fmt.Fprintf(stdout, "\nflooding: %s\nconsensus: %v", tr, rep.OK())
+	// The hardened runner bounds the simulation by the -timeout root
+	// context (checked at round boundaries) and crash-isolates node
+	// panics instead of taking the whole process down.
+	ctx, cancel := rootContext(*timeout)
+	defer cancel()
+	ht := coordattack.RunNetworkHardened(ctx, g, coordattack.NewFloodNodes(g), inputs, adv, g.N()+2)
+	if ht.Err != nil {
+		fmt.Fprintf(stderr, "capnet: simulation aborted: %v\n", ht.Err)
+		return 1
+	}
+	rep := coordattack.CheckNetwork(ht.Trace)
+	fmt.Fprintf(stdout, "\nflooding: %s\nconsensus: %v", ht.Trace, rep.OK())
 	if !rep.OK() {
 		fmt.Fprintf(stdout, " %v", rep.Violations)
 	}

@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Capserved runs the resilient analysis service until SIGTERM/SIGINT,
+// then drains gracefully: readiness flips, the listener stops
+// accepting, in-flight requests finish under the drain deadline, and
+// final metrics are flushed to stderr.
+func Capserved(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address (use :0 for an ephemeral port)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	concurrency := fs.Int("concurrency", 0, "max concurrent expensive analyses (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth before shedding (0 = 2x concurrency)")
+	cache := fs.Int("cache", 1024, "LRU result-cache entries")
+	breakerTrip := fs.Int("breaker-trip", 5, "consecutive engine failures that trip the circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Second, "breaker fast-fail window before a half-open probe")
+	maxHorizon := fs.Int("max-horizon", 12, "largest accepted analysis horizon")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	s := serve.New(serve.Config{
+		Addr:                *addr,
+		AnalysisConcurrency: *concurrency,
+		QueueDepth:          *queue,
+		RequestTimeout:      *timeout,
+		DrainTimeout:        *drain,
+		CacheEntries:        *cache,
+		BreakerThreshold:    *breakerTrip,
+		BreakerCooldown:     *breakerCooldown,
+		MaxHorizon:          *maxHorizon,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
+	if err := s.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "capserved: clean shutdown")
+	return 0
+}

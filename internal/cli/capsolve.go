@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -12,9 +13,20 @@ import (
 	"math/big"
 	"strconv"
 	"strings"
+	"time"
 
 	coordattack "repro"
 )
+
+// rootContext builds the process-level context for a CLI invocation: the
+// background context, bounded by -timeout when one was given. The cancel
+// func is always non-nil.
+func rootContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
 
 type sliceFlag []string
 
@@ -37,6 +49,7 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 	explain := fs.Bool("explain", false, "append a prose explanation of the verdict")
 	dot := fs.Bool("dot", false, "print the scheme's Büchi automaton in Graphviz DOT format and exit")
 	horizon := fs.Int("horizon", 0, "also run the bounded-round (chain) analysis up to this horizon — works for double-omission schemes too")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the bounded-round analysis (0 = none)")
 	unindex := fs.String("unindex", "", `invert the index bijection: "r:k" prints the unique word of Γ^r with ind = k`)
 	var minus sliceFlag
 	fs.Var(&minus, "minus", "remove an ultimately periodic scenario 'u(v)' (repeatable)")
@@ -94,16 +107,36 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 	}
 
 	v, err := coordattack.Classify(s)
+
+	// The bounded-round chain analysis is the only open-ended computation
+	// here; it runs under the -timeout root context so a huge horizon on a
+	// hostile scheme cannot hang the tool.
+	var chainHorizon *int
+	var chainErr error
+	if *horizon > 0 {
+		ctx, cancel := rootContext(*timeout)
+		p, ok, cerr := coordattack.MinRoundsSearchChecked(ctx, s, *horizon)
+		cancel()
+		chainErr = cerr
+		if cerr == nil && ok {
+			chainHorizon = &p
+		}
+	}
+
 	if *jsonOut {
-		return emitJSON(stdout, stderr, s, v, err, *horizon)
+		return emitJSON(stdout, stderr, s, v, err, *horizon, chainHorizon, chainErr)
 	}
 	fmt.Fprintf(stdout, "scheme:      %s (%s)\n", s.Name(), s.Description())
 	if err != nil {
 		fmt.Fprintf(stdout, "note:        %v\n", err)
 	}
 	if *horizon > 0 {
-		if p, ok := coordattack.MinRoundsSearch(s, *horizon); ok {
-			fmt.Fprintf(stdout, "chain:       bounded-round solvable from horizon %d\n", p)
+		if chainErr != nil {
+			fmt.Fprintf(stderr, "capsolve: chain analysis aborted: %v\n", chainErr)
+			return 1
+		}
+		if chainHorizon != nil {
+			fmt.Fprintf(stdout, "chain:       bounded-round solvable from horizon %d\n", *chainHorizon)
 		} else {
 			fmt.Fprintf(stdout, "chain:       not bounded-round solvable up to horizon %d\n", *horizon)
 		}
@@ -166,10 +199,11 @@ type jsonVerdict struct {
 	MinRounds     *int                   `json:"minRounds,omitempty"`
 	ChainHorizon  *int                   `json:"chainFirstSolvableHorizon,omitempty"`
 	ChainSearched int                    `json:"chainHorizonSearched,omitempty"`
+	ChainError    string                 `json:"chainError,omitempty"`
 	Note          string                 `json:"note,omitempty"`
 }
 
-func emitJSON(stdout, stderr io.Writer, s *coordattack.Scheme, v *coordattack.Verdict, classifyErr error, horizon int) int {
+func emitJSON(stdout, stderr io.Writer, s *coordattack.Scheme, v *coordattack.Verdict, classifyErr error, horizon int, chainHorizon *int, chainErr error) int {
 	out := jsonVerdict{Scheme: s.Name(), Description: s.Description()}
 	if classifyErr != nil {
 		out.Note = classifyErr.Error()
@@ -200,14 +234,18 @@ func emitJSON(stdout, stderr io.Writer, s *coordattack.Scheme, v *coordattack.Ve
 	}
 	if horizon > 0 {
 		out.ChainSearched = horizon
-		if p, ok := coordattack.MinRoundsSearch(s, horizon); ok {
-			out.ChainHorizon = &p
+		out.ChainHorizon = chainHorizon
+		if chainErr != nil {
+			out.ChainError = chainErr.Error()
 		}
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if chainErr != nil {
 		return 1
 	}
 	return 0

@@ -284,3 +284,62 @@ func TestCapchaosErrors(t *testing.T) {
 		t.Fatalf("over-budget: exit %d stderr %s", code, errb)
 	}
 }
+
+// --- -timeout root contexts ------------------------------------------
+
+// TestCapsolveTimeout: an already-expired budget aborts the bounded-round
+// chain analysis instead of hanging, in both text and JSON mode.
+func TestCapsolveTimeout(t *testing.T) {
+	code, _, errb := runCmd(t, capsolve, "-scheme", "R1", "-horizon", "6", "-timeout", "1ns")
+	if code != 1 || !strings.Contains(errb, "aborted") {
+		t.Fatalf("exit %d stderr %q, want 1 + aborted", code, errb)
+	}
+	code, out, _ := runCmd(t, capsolve, "-scheme", "R1", "-horizon", "6", "-timeout", "1ns", "-json")
+	if code != 1 || !strings.Contains(out, "chainError") {
+		t.Fatalf("json: exit %d out %q, want 1 + chainError", code, out)
+	}
+	// Without -horizon the flag is inert: classification is pure automata
+	// work and must still succeed.
+	if code, _, _ := runCmd(t, capsolve, "-scheme", "S1", "-timeout", "1ns"); code != 0 {
+		t.Fatalf("classification under expired budget: exit %d, want 0", code)
+	}
+}
+
+func TestCapnetTimeout(t *testing.T) {
+	code, _, errb := runCmd(t, capnet, "-graph", "cycle", "-n", "4", "-timeout", "1ns")
+	if code != 1 || !strings.Contains(errb, "aborted") {
+		t.Fatalf("exit %d stderr %q, want 1 + aborted", code, errb)
+	}
+	// A generous budget changes nothing about the verdict.
+	code, out, _ := runCmd(t, capnet, "-graph", "cycle", "-n", "4", "-timeout", "1m")
+	if code != 0 || !strings.Contains(out, "consensus: true") {
+		t.Fatalf("budgeted run: exit %d\n%s", code, out)
+	}
+}
+
+func TestCapchaosTimeout(t *testing.T) {
+	code, out, errb := runCmd(t, capchaos, "-scheme", "S1", "-executions", "100000", "-timeout", "1ns")
+	if code != 1 || !strings.Contains(errb, "aborted") {
+		t.Fatalf("exit %d stderr %q, want 1 + aborted", code, errb)
+	}
+	// The partial report still surfaces what completed before the cut.
+	if !strings.Contains(out, "executions=0") {
+		t.Fatalf("partial report missing:\n%s", out)
+	}
+	code, _, errb = runCmd(t, capchaos, "-net", "-graph", "cycle", "-n", "4", "-executions", "100000", "-timeout", "1ns")
+	if code != 1 || !strings.Contains(errb, "aborted") {
+		t.Fatalf("net: exit %d stderr %q, want 1 + aborted", code, errb)
+	}
+}
+
+func capserved(args []string, out, errb *bytes.Buffer) int { return Capserved(args, out, errb) }
+
+func TestCapservedFlagErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, capserved, "-bogus"); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	// A hopeless listen address fails fast with exit 1, not a hang.
+	if code, _, errb := runCmd(t, capserved, "-addr", "256.256.256.256:1"); code != 1 || errb == "" {
+		t.Fatalf("bad addr: exit %d, want 1 with error", code)
+	}
+}

@@ -54,10 +54,10 @@ func TestExperimentsReproducePaper(t *testing.T) {
 		// 724 transitions for K_4 at horizon 5: the streaming engine's
 		// transition table holds only real view transitions (the legacy
 		// interner also counted the two initial pseudo-views, giving 726).
-		"msgsize":    {"23              23              23.8", "724               968"},
-		"dist":       {"S1          2    2    2    2    2.00"},
-		"ho":         {"Γ^ω (equivalence verified: true)", "obstruction"},
-		"floodlat":   {"cycle-8      8  2     1  7                         7"},
+		"msgsize":  {"23              23              23.8", "724               968"},
+		"dist":     {"S1          2    2    2    2    2.00"},
+		"ho":       {"Γ^ω (equivalence verified: true)", "obstruction"},
+		"floodlat": {"cycle-8      8  2     1  7                         7"},
 	}
 	for _, e := range All() {
 		e := e

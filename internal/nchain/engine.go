@@ -1,6 +1,8 @@
 package nchain
 
 import (
+	"context"
+
 	"repro/internal/fullinfo"
 	"repro/internal/graph"
 )
@@ -131,4 +133,28 @@ func GraphSolvableInRounds(g *graph.Graph, f, r int) bool {
 	opt.EarlyExit = true
 	res, _ := fullinfo.Run(graphStepper(g, f), r, opt)
 	return res.Solvable
+}
+
+// SolvableInRoundsChecked is SolvableInRounds under a context: the
+// deadline propagates into the engine's worker pool and an interrupted
+// walk surfaces ctx.Err() instead of a partial verdict.
+func SolvableInRoundsChecked(ctx context.Context, n, f, r int) (bool, error) {
+	opt := fullinfo.Defaults()
+	opt.EarlyExit = true
+	res, _, err := fullinfo.RunChecked(ctx, knStepper(n, f), r, opt)
+	if err != nil {
+		return false, err
+	}
+	return res.Solvable, nil
+}
+
+// GraphSolvableInRoundsChecked is GraphSolvableInRounds under a context.
+func GraphSolvableInRoundsChecked(ctx context.Context, g *graph.Graph, f, r int) (bool, error) {
+	opt := fullinfo.Defaults()
+	opt.EarlyExit = true
+	res, _, err := fullinfo.RunChecked(ctx, graphStepper(g, f), r, opt)
+	if err != nil {
+		return false, err
+	}
+	return res.Solvable, nil
 }

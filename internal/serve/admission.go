@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// errShed is returned when the admission queue for an endpoint class is
+// full; the pipeline converts it into 429 + Retry-After.
+type errShed struct{ RetryAfter time.Duration }
+
+func (e errShed) Error() string {
+	return fmt.Sprintf("admission queue full; retry in %s", e.RetryAfter)
+}
+
+// gate is the bounded admission queue for one endpoint class: at most
+// limit requests execute concurrently and at most queueDepth more may
+// wait for a slot; anything beyond that is shed immediately instead of
+// piling up unboundedly. Waiting is context-bounded, so a caller whose
+// deadline expires in the queue leaves it without ever holding a slot.
+type gate struct {
+	slots      chan struct{}
+	queued     atomic.Int64
+	queueDepth int64
+	retryAfter time.Duration
+}
+
+func newGate(limit, queueDepth int, retryAfter time.Duration) *gate {
+	if limit <= 0 {
+		limit = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &gate{
+		slots:      make(chan struct{}, limit),
+		queueDepth: int64(queueDepth),
+		retryAfter: retryAfter,
+	}
+}
+
+// acquire obtains an execution slot. It returns a release callback on
+// success, errShed when the waiting queue is full, or ctx.Err() when the
+// caller's context expires while queued.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: free slot, no queueing.
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	// Slow path: join the bounded queue or shed. The counter may
+	// transiently overshoot under contention; every overshooting caller
+	// undoes its increment and sheds, so the queue length stays bounded.
+	if g.queued.Add(1) > g.queueDepth {
+		g.queued.Add(-1)
+		return nil, errShed{RetryAfter: g.retryAfter}
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// depth reports (in-flight, queued) for varz.
+func (g *gate) depth() (inFlight int, queued int64) {
+	return len(g.slots), g.queued.Load()
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Breaker states. The mapping onto the chaos failure-model matrix is
+// documented in DESIGN.md: closed ≈ fault-free operation, open ≈
+// crash-stop of the expensive path (fail fast, shed to callers), and
+// half-open ≈ the recovery probe that re-admits traffic only after
+// evidence the path is healthy again.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// errBreakerOpen is returned by acquire while the breaker is serving
+// fast-fails; RetryAfter is the remaining cooldown.
+type errBreakerOpen struct{ RetryAfter time.Duration }
+
+func (e errBreakerOpen) Error() string {
+	return fmt.Sprintf("circuit breaker open; retry in %s", e.RetryAfter)
+}
+
+// breaker is a consecutive-failure circuit breaker around the expensive
+// analysis paths. It trips open after threshold consecutive failures
+// (timeouts or engine errors), fast-fails every caller for a cooldown,
+// then admits exactly one half-open probe; the probe's outcome decides
+// between re-closing and re-opening. The clock is injected so tests
+// drive the state machine deterministically.
+type breaker struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	threshold int
+	cooldown  time.Duration
+
+	state    int
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{now: now, threshold: threshold, cooldown: cooldown}
+}
+
+// acquire asks to run one protected call. On success it returns a done
+// callback that MUST be invoked with whether the call failed; on refusal
+// it returns errBreakerOpen carrying the remaining cooldown.
+func (b *breaker) acquire() (done func(failed bool), err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return nil, errBreakerOpen{RetryAfter: remaining}
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		fallthrough
+	case breakerHalfOpen:
+		if b.probing {
+			return nil, errBreakerOpen{RetryAfter: b.cooldown}
+		}
+		b.probing = true
+		return b.probeDone, nil
+	default: // closed
+		return b.closedDone, nil
+	}
+}
+
+// probeDone settles a half-open probe.
+func (b *breaker) probeDone(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if failed {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		return
+	}
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// closedDone settles a call admitted while closed.
+func (b *breaker) closedDone(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		// A concurrent probe already resolved the state; stale outcomes
+		// from the closed era must not flap it.
+		return
+	}
+	if !failed {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// snapshot reports the state name and consecutive-failure count for varz.
+func (b *breaker) snapshot() (state string, fails int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open", b.fails
+	case breakerHalfOpen:
+		return "half-open", b.fails
+	default:
+		return "closed", b.fails
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for deterministic breaker
+// tests.
+type fakeClock struct{ t time.Time }
+
+func (fc *fakeClock) now() time.Time          { return fc.t }
+func (fc *fakeClock) advance(d time.Duration) { fc.t = fc.t.Add(d) }
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, 10*time.Second, fc.now)
+
+	// Two failures then a success: the consecutive counter must reset.
+	for i := 0; i < 2; i++ {
+		done, err := b.acquire()
+		if err != nil {
+			t.Fatalf("acquire %d while closed: %v", i, err)
+		}
+		done(true)
+	}
+	done, err := b.acquire()
+	if err != nil {
+		t.Fatalf("acquire after 2 failures: %v", err)
+	}
+	done(false)
+	if state, fails := b.snapshot(); state != "closed" || fails != 0 {
+		t.Fatalf("after success got (%s, %d), want (closed, 0)", state, fails)
+	}
+
+	// Three consecutive failures trip it open.
+	for i := 0; i < 3; i++ {
+		done, err := b.acquire()
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		done(true)
+	}
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("after 3 failures state = %s, want open", state)
+	}
+
+	// While open and inside the cooldown: fast-fail with the remaining
+	// cooldown as Retry-After.
+	fc.advance(4 * time.Second)
+	_, err = b.acquire()
+	var open errBreakerOpen
+	if !errors.As(err, &open) {
+		t.Fatalf("acquire while open = %v, want errBreakerOpen", err)
+	}
+	if open.RetryAfter != 6*time.Second {
+		t.Fatalf("RetryAfter = %s, want 6s", open.RetryAfter)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, 10*time.Second, fc.now)
+
+	done, err := b.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done(true) // threshold 1: first failure trips it
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("state = %s, want open", state)
+	}
+
+	// Past the cooldown a single probe is admitted…
+	fc.advance(11 * time.Second)
+	probe, err := b.acquire()
+	if err != nil {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	// …and while it is in flight, everyone else is refused.
+	if _, err := b.acquire(); err == nil {
+		t.Fatal("second caller admitted during half-open probe")
+	}
+	// A failed probe re-opens with a fresh cooldown window.
+	probe(true)
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("state after failed probe = %s, want open", state)
+	}
+	fc.advance(9 * time.Second) // 9 < 10: still inside the NEW cooldown
+	if _, err := b.acquire(); err == nil {
+		t.Fatal("admitted inside re-opened cooldown; openedAt was not reset")
+	}
+}
+
+func TestBreakerRecoversViaHalfOpenProbe(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(2, 5*time.Second, fc.now)
+
+	for i := 0; i < 2; i++ {
+		done, err := b.acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done(true)
+	}
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("state = %s, want open", state)
+	}
+
+	fc.advance(6 * time.Second)
+	probe, err := b.acquire()
+	if err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	probe(false)
+	if state, fails := b.snapshot(); state != "closed" || fails != 0 {
+		t.Fatalf("after successful probe got (%s, %d), want (closed, 0)", state, fails)
+	}
+	// Fully recovered: ordinary traffic flows again.
+	done, err := b.acquire()
+	if err != nil {
+		t.Fatalf("closed breaker refused traffic: %v", err)
+	}
+	done(false)
+}
+
+func TestBreakerStaleClosedOutcomeIgnored(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second, fc.now)
+
+	// A slow call acquired while closed…
+	slow, err := b.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …meanwhile a fast call trips the breaker, the cooldown passes, and a
+	// probe re-closes it.
+	fast, err := b.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast(true)
+	fc.advance(2 * time.Second)
+	probe, err := b.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe(true) // re-open
+	// The slow call's late failure must not disturb the open state's
+	// bookkeeping (it is from a previous closed era).
+	slow(true)
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("state = %s, want open", state)
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a plain mutex-guarded LRU over string keys. Values are the
+// marshalled response payloads of deterministic queries, so hits can be
+// served without touching the analysis engine at all.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightCall is one in-flight singleflight computation.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// resultCache combines the LRU with singleflight deduplication: at most
+// one computation per key runs at a time, concurrent callers for the
+// same key share its outcome, and successes are persisted in the LRU.
+//
+// The leader runs fn under a context supplied by the server (its
+// lifetime context plus the compute budget), NOT the follower requests'
+// contexts — a caller that disconnects mid-flight must not kill work
+// other callers are waiting on. Followers stop waiting when their own
+// context expires; the computation itself keeps running for the rest.
+type resultCache struct {
+	lru    *lruCache
+	mu     sync.Mutex
+	calls  map[string]*flightCall
+	hits   atomic.Int64
+	misses atomic.Int64
+	shared atomic.Int64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{lru: newLRUCache(max), calls: make(map[string]*flightCall)}
+}
+
+// do returns the cached or computed value for key. cached reports an LRU
+// hit; shared reports that the value came from another caller's
+// in-flight computation. Errors are never cached.
+func (rc *resultCache) do(ctx context.Context, key string, fn func() (any, error)) (val any, cached, shared bool, err error) {
+	if v, ok := rc.lru.get(key); ok {
+		rc.hits.Add(1)
+		return v, true, false, nil
+	}
+	rc.mu.Lock()
+	if call, ok := rc.calls[key]; ok {
+		rc.mu.Unlock()
+		rc.shared.Add(1)
+		select {
+		case <-call.done:
+			return call.val, false, true, call.err
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	rc.calls[key] = call
+	rc.mu.Unlock()
+
+	rc.misses.Add(1)
+	call.val, call.err = fn()
+	if call.err == nil {
+		rc.lru.put(key, call.val)
+	}
+	rc.mu.Lock()
+	delete(rc.calls, key)
+	rc.mu.Unlock()
+	close(call.done)
+	return call.val, false, false, call.err
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	// "a" is now most recent, so inserting "c" must evict "b".
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU order not respected")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted although it was most recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing after insert")
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	// Updating an existing key must not grow the cache.
+	c.put("a", 99)
+	if got := c.len(); got != 2 {
+		t.Fatalf("len after update = %d, want 2", got)
+	}
+	if v, _ := c.get("a"); v != 99 {
+		t.Fatalf("a = %v, want 99", v)
+	}
+}
+
+func TestResultCacheHit(t *testing.T) {
+	rc := newResultCache(8)
+	calls := 0
+	fn := func() (any, error) { calls++; return "v", nil }
+
+	v, cached, shared, err := rc.do(context.Background(), "k", fn)
+	if err != nil || v != "v" || cached || shared {
+		t.Fatalf("first do = (%v, %v, %v, %v)", v, cached, shared, err)
+	}
+	v, cached, _, err = rc.do(context.Background(), "k", fn)
+	if err != nil || v != "v" || !cached {
+		t.Fatalf("second do = (%v, cached=%v, %v), want cache hit", v, cached, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if rc.hits.Load() != 1 || rc.misses.Load() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", rc.hits.Load(), rc.misses.Load())
+	}
+}
+
+func TestResultCacheErrorsNotCached(t *testing.T) {
+	rc := newResultCache(8)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, _, err := rc.do(context.Background(), "k", func() (any, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, cached, _, err := rc.do(context.Background(), "k", func() (any, error) { calls++; return "ok", nil })
+	if err != nil || v != "ok" || cached {
+		t.Fatalf("retry after error = (%v, cached=%v, %v); error was cached", v, cached, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+}
+
+func TestResultCacheSingleflight(t *testing.T) {
+	rc := newResultCache(8)
+	const followers = 8
+	var running atomic.Int32
+	block := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	fn := func() (any, error) {
+		running.Add(1)
+		close(leaderIn)
+		<-block
+		return "shared-value", nil
+	}
+
+	var wg sync.WaitGroup
+	results := make(chan struct {
+		v      any
+		shared bool
+		err    error
+	}, followers+1)
+	launch := func() {
+		defer wg.Done()
+		v, _, shared, err := rc.do(context.Background(), "k", fn)
+		results <- struct {
+			v      any
+			shared bool
+			err    error
+		}{v, shared, err}
+	}
+
+	wg.Add(1)
+	go launch()
+	<-leaderIn // leader is inside fn; everyone else must join it
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go launch()
+	}
+	// Followers register before we unblock: wait until all are accounted
+	// for as shared joiners.
+	deadline := time.After(5 * time.Second)
+	for rc.shared.Load() < followers {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d followers joined the flight", rc.shared.Load(), followers)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(block)
+	wg.Wait()
+	close(results)
+
+	sharedCount := 0
+	for r := range results {
+		if r.err != nil || r.v != "shared-value" {
+			t.Fatalf("result = (%v, %v)", r.v, r.err)
+		}
+		if r.shared {
+			sharedCount++
+		}
+	}
+	if got := running.Load(); got != 1 {
+		t.Fatalf("fn ran %d times under singleflight, want 1", got)
+	}
+	if sharedCount != followers {
+		t.Fatalf("%d callers reported shared, want %d", sharedCount, followers)
+	}
+}
+
+func TestResultCacheFollowerContextCancel(t *testing.T) {
+	rc := newResultCache(8)
+	block := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go rc.do(context.Background(), "k", func() (any, error) {
+		close(leaderIn)
+		<-block
+		return "v", nil
+	})
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := rc.do(ctx, "k", func() (any, error) {
+			return nil, fmt.Errorf("follower must not compute")
+		})
+		done <- err
+	}()
+	// Give the follower a moment to join, then cancel it; the leader stays
+	// blocked, proving the follower's exit is independent.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower did not return")
+	}
+	close(block)
+}

@@ -1,0 +1,231 @@
+// Package client is a small retrying HTTP client for capserved. It
+// speaks the service's JSON protocol and absorbs its load-shedding
+// semantics: 429/503 responses (and transport errors) are retried with
+// capped exponential backoff plus decorrelated jitter, honoring the
+// server's Retry-After header when present, all bounded by the caller's
+// context.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Options tunes the retry policy. The zero value gives sane defaults.
+type Options struct {
+	// MaxAttempts bounds total tries per call (default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Rand seeds the jitter (default: a time-seeded source). Injectable
+	// for deterministic tests.
+	Rand *rand.Rand
+	// Sleep is the wait primitive (default: context-aware sleep).
+	// Injectable so tests can record delays instead of waiting.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (o *Options) defaults() {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if o.Sleep == nil {
+		o.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// Client talks to one capserved base URL.
+type Client struct {
+	base string
+	opt  Options
+}
+
+// New builds a client for a base URL such as "http://127.0.0.1:8321".
+func New(base string, opt Options) *Client {
+	opt.defaults()
+	return &Client{base: base, opt: opt}
+}
+
+// APIError is a non-retryable (or retries-exhausted) HTTP error reply.
+type APIError struct {
+	Status int
+	Body   string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("capserved: HTTP %d: %s", e.Status, e.Body)
+}
+
+// retryable reports whether a status is worth retrying: the server's
+// load-shedding and fast-fail replies, plus bad gateways in front of it.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
+		return true
+	}
+	return false
+}
+
+// backoff computes the wait before attempt i (0-based retry count):
+// exponential growth from BaseBackoff, capped at MaxBackoff, with full
+// jitter — a uniformly random fraction of the window, so herds of
+// clients desynchronize. A server Retry-After overrides the computed
+// wait when it is longer.
+func (c *Client) backoff(retry int, retryAfter time.Duration) time.Duration {
+	window := c.opt.BaseBackoff << uint(retry)
+	if window > c.opt.MaxBackoff {
+		window = c.opt.MaxBackoff
+	}
+	d := time.Duration(c.opt.Rand.Int63n(int64(window) + 1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After response header (seconds form).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// Do POSTs reqBody as JSON to path (or GETs when reqBody is nil) and
+// decodes the JSON reply into respBody (skipped when nil). It retries
+// retryable failures with capped backoff under ctx.
+func (c *Client) Do(ctx context.Context, method, path string, reqBody, respBody any) error {
+	var payload []byte
+	if reqBody != nil {
+		var err error
+		if payload, err = json.Marshal(reqBody); err != nil {
+			return fmt.Errorf("capserved: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var retryAfter time.Duration
+			if re, ok := lastErr.(*retryableError); ok {
+				retryAfter = re.retryAfter
+			}
+			if err := c.opt.Sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = c.once(ctx, method, path, payload, respBody)
+		if lastErr == nil {
+			return nil
+		}
+		if _, ok := lastErr.(*retryableError); !ok {
+			return lastErr
+		}
+	}
+	if re, ok := lastErr.(*retryableError); ok && re.api != nil {
+		return re.api
+	}
+	return lastErr
+}
+
+// retryableError wraps a failure the retry loop may try again.
+type retryableError struct {
+	err        error
+	api        *APIError
+	retryAfter time.Duration
+}
+
+func (r *retryableError) Error() string {
+	if r.api != nil {
+		return r.api.Error()
+	}
+	return r.err.Error()
+}
+
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, respBody any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.opt.HTTPClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return &retryableError{err: err}
+	}
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(raw))}
+		if retryable(resp.StatusCode) {
+			return &retryableError{api: apiErr, retryAfter: parseRetryAfter(resp)}
+		}
+		return apiErr
+	}
+	if respBody != nil {
+		if err := json.Unmarshal(raw, respBody); err != nil {
+			return fmt.Errorf("capserved: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Healthz polls GET /healthz once.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.Do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Readyz polls GET /readyz once (retrying per policy).
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.Do(ctx, http.MethodGet, "/readyz", nil, nil)
+}

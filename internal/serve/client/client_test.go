@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingSleep captures requested waits instead of sleeping, making
+// retry timing fully deterministic.
+func recordingSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetriesThroughLoadShedding(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, Options{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		Rand:        rand.New(rand.NewSource(1)),
+		Sleep:       recordingSleep(&delays),
+	})
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.Do(context.Background(), http.MethodPost, "/x", map[string]int{"a": 1}, &out); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !out.OK {
+		t.Fatal("response not decoded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(delays))
+	}
+	// Retry-After: 3 dominates the 10ms-scale jittered backoff.
+	for i, d := range delays {
+		if d != 3*time.Second {
+			t.Fatalf("delay %d = %s, want the server-directed 3s", i, d)
+		}
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad horizon", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, Options{Sleep: recordingSleep(&delays), Rand: rand.New(rand.NewSource(1))})
+	err := c.Do(context.Background(), http.MethodPost, "/x", map[string]int{}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if calls.Load() != 1 || len(delays) != 0 {
+		t.Fatalf("400 was retried: %d calls, %d sleeps", calls.Load(), len(delays))
+	}
+}
+
+func TestRetriesExhaustedSurfacesLastError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, Options{
+		MaxAttempts: 3,
+		Sleep:       recordingSleep(&delays),
+		Rand:        rand.New(rand.NewSource(1)),
+	})
+	err := c.Do(context.Background(), http.MethodGet, "/x", nil, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503 after exhaustion", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times for 3 attempts, want 2", len(delays))
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	c := New("http://unused", Options{
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  400 * time.Millisecond,
+		Rand:        rand.New(rand.NewSource(42)),
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	})
+	// The jitter window doubles per retry but never exceeds MaxBackoff.
+	for retry, wantMax := range []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+		400 * time.Millisecond, // still capped
+	} {
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(retry, 0); d < 0 || d > wantMax {
+				t.Fatalf("backoff(%d) = %s outside [0, %s]", retry, d, wantMax)
+			}
+		}
+	}
+	// A server Retry-After longer than the window always wins.
+	if d := c.backoff(0, 2*time.Second); d != 2*time.Second {
+		t.Fatalf("backoff with Retry-After = %s, want 2s", d)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, Options{
+		MaxAttempts: 10,
+		Rand:        rand.New(rand.NewSource(1)),
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the caller gives up while the client is waiting
+			return ctx.Err()
+		},
+	})
+	err := c.Do(ctx, http.MethodGet, "/x", nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestHealthzAgainstRealServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || r.Method != http.MethodGet {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+}

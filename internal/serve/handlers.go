@@ -1,0 +1,588 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net/http"
+
+	coordattack "repro"
+	"repro/internal/chaos"
+	"repro/internal/nchain"
+)
+
+// routes mounts every endpoint on the mux behind the pipeline.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.HandleFunc("GET /varz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.varz())
+	})
+	s.mux.Handle("POST /v1/classify", s.protect(classLight, s.handleClassify))
+	s.mux.Handle("POST /v1/index", s.protect(classLight, s.handleIndex))
+	s.mux.Handle("POST /v1/unindex", s.protect(classLight, s.handleUnindex))
+	s.mux.Handle("POST /v1/solvable", s.protect(classHeavy, s.handleSolvable))
+	s.mux.Handle("POST /v1/net/solvable", s.protect(classHeavy, s.handleNetSolvable))
+	s.mux.Handle("POST /v1/chaos", s.protect(classHeavy, s.handleChaos))
+}
+
+// decode reads a bounded JSON body into v.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// schemeRequest selects an omission scheme: a registry name or a DSL
+// expression, optionally minus ultimately periodic scenarios.
+type schemeRequest struct {
+	Scheme string   `json:"scheme,omitempty"`
+	Expr   string   `json:"expr,omitempty"`
+	Minus  []string `json:"minus,omitempty"`
+}
+
+func (q *schemeRequest) resolve() (*coordattack.Scheme, error) {
+	var sch *coordattack.Scheme
+	var err error
+	switch {
+	case q.Expr != "":
+		sch, err = coordattack.ParseScheme(q.Expr)
+	case q.Scheme != "":
+		sch, err = coordattack.SchemeByName(q.Scheme)
+	default:
+		return nil, fmt.Errorf("request needs \"scheme\" or \"expr\"")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Minus) > 0 {
+		scs := make([]coordattack.Scenario, len(q.Minus))
+		for i, m := range q.Minus {
+			if scs[i], err = coordattack.ParseScenario(m); err != nil {
+				return nil, err
+			}
+		}
+		sch = coordattack.MinusScenarios(sch.Name()+"-custom", sch, scs...)
+	}
+	return sch, nil
+}
+
+// schemeKey is the canonical cache key of a scheme: a digest of its
+// compiled Büchi automaton (alphabet, start, transition table, accepting
+// set). Two requests naming the same automaton — "S1" versus the
+// expression "[.w]^w | [.b]^w" compiled to an identical DBA, or any
+// spelling of the same Minus — share cache entries and singleflight.
+func schemeKey(sch *coordattack.Scheme) string {
+	a := sch.Automaton()
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(x)))
+		h.Write(buf[:])
+	}
+	put(a.Alphabet)
+	put(int(a.Start))
+	put(len(a.Delta))
+	for _, row := range a.Delta {
+		for _, q := range row {
+			put(int(q))
+		}
+	}
+	for _, acc := range a.Accepting {
+		if acc {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// graphRequest selects a network topology by kind or explicit edge list.
+type graphRequest struct {
+	Graph   string `json:"graph,omitempty"` // complete|cycle|path|grid|hypercube|barbell|theta|wheel|star|petersen|tree|custom
+	N       int    `json:"n,omitempty"`
+	W       int    `json:"w,omitempty"`
+	H       int    `json:"h,omitempty"`
+	D       int    `json:"d,omitempty"`
+	K       int    `json:"k,omitempty"`
+	Bridges int    `json:"bridges,omitempty"`
+	Edges   string `json:"edges,omitempty"`
+}
+
+func (q *graphRequest) resolve() (*coordattack.Graph, error) {
+	switch q.Graph {
+	case "complete":
+		return coordattack.Complete(q.N), nil
+	case "cycle":
+		return coordattack.Cycle(q.N), nil
+	case "path":
+		return coordattack.PathGraph(q.N), nil
+	case "grid":
+		return coordattack.Grid(q.W, q.H), nil
+	case "hypercube":
+		return coordattack.Hypercube(q.D), nil
+	case "barbell":
+		return coordattack.Barbell(q.K, max(q.Bridges, 1)), nil
+	case "theta":
+		return coordattack.Theta(max(q.Bridges, 2), 3), nil
+	case "wheel":
+		return coordattack.Wheel(q.N), nil
+	case "star":
+		return coordattack.Star(q.N), nil
+	case "petersen":
+		return coordattack.Petersen(), nil
+	case "tree":
+		return coordattack.BinaryTree(q.N), nil
+	case "custom":
+		return coordattack.ParseEdgeList("custom", q.Edges)
+	default:
+		return nil, fmt.Errorf("unknown graph %q", q.Graph)
+	}
+}
+
+// graphKey canonically encodes a topology (vertex count + adjacency) for
+// the cache, independent of how the request spelled it.
+func graphKey(g *coordattack.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(x)))
+		h.Write(buf[:])
+	}
+	put(g.N())
+	for v := 0; v < g.N(); v++ {
+		put(-1)
+		for _, u := range g.Neighbors(v) {
+			put(u)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// isEngineFailure classifies an error for the circuit breaker: deadline
+// blowouts and engine faults count, client-shaped errors do not reach
+// this path at all (they are rejected before the breaker).
+func isEngineFailure(err error) bool { return err != nil }
+
+// heavyCompute runs fn behind the circuit breaker, singleflight, and the
+// LRU, under a compute context detached from the request (server
+// lifetime + compute budget) so caller disconnects cannot kill shared
+// work. Only the singleflight leader talks to the breaker; followers and
+// cache hits neither trip nor reset it.
+func (s *Server) heavyCompute(rctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, cached, shared bool, err error) {
+	return s.cache.do(rctx, key, func() (any, error) {
+		done, berr := s.brk.acquire()
+		if berr != nil {
+			s.m.breakerFF.Add(1)
+			return nil, berr
+		}
+		cctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.ComputeBudget)
+		defer cancel()
+		v, e := fn(cctx)
+		done(isEngineFailure(e))
+		return v, e
+	})
+}
+
+// writeComputeError maps a compute-path error onto an HTTP status.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	var open errBreakerOpen
+	switch {
+	case errors.As(err, &open):
+		w.Header().Set("Retry-After", retryAfterSeconds(open.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: open.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.m.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "analysis deadline exceeded"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+// --- /v1/classify -----------------------------------------------------
+
+type classifyResponse struct {
+	Scheme      string          `json:"scheme"`
+	Description string          `json:"description"`
+	Complete    bool            `json:"complete"`
+	Solvable    *bool           `json:"solvable,omitempty"`
+	Conditions  map[string]bool `json:"conditions,omitempty"`
+	Witness     string          `json:"witness,omitempty"`
+	Pair        []string        `json:"pair,omitempty"`
+	MinRounds   *int            `json:"minRounds,omitempty"`
+	Note        string          `json:"note,omitempty"`
+	Cached      bool            `json:"cached"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req schemeRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sch, err := req.resolve()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := "classify|" + schemeKey(sch)
+	val, cached, _, err := s.cache.do(r.Context(), key, func() (any, error) {
+		v, cerr := coordattack.Classify(sch)
+		resp := classifyResponse{Scheme: sch.Name(), Description: sch.Description()}
+		if cerr != nil {
+			resp.Note = cerr.Error()
+		}
+		if v != nil {
+			resp.Complete = v.Complete
+			if cerr == nil {
+				sv := v.Solvable
+				resp.Solvable = &sv
+				resp.Conditions = map[string]bool{
+					"fairMissing":   v.FairMissing,
+					"pairMissing":   v.PairMissing,
+					"wOmegaMissing": v.WOmegaMissing,
+					"bOmegaMissing": v.BOmegaMissing,
+				}
+				if v.HasWitness {
+					resp.Witness = v.Witness.String()
+				}
+				if v.PairMissing {
+					resp.Pair = []string{v.Pair[0].String(), v.Pair[1].String()}
+				}
+				if v.MinRounds != coordattack.Unbounded {
+					mr := v.MinRounds
+					resp.MinRounds = &mr
+				}
+			}
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	resp := val.(classifyResponse)
+	resp.Cached = cached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/index, /v1/unindex ------------------------------------------
+
+type indexRequest struct {
+	Word string `json:"word"`
+}
+
+type indexResponse struct {
+	Word  string `json:"word"`
+	Index string `json:"index"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	var req indexRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	word, err := coordattack.ParseWord(req.Word)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !word.InGamma() {
+		s.writeError(w, http.StatusBadRequest, "index is defined over Γ words; %q contains a double omission", req.Word)
+		return
+	}
+	writeJSON(w, http.StatusOK, indexResponse{Word: word.String(), Index: coordattack.Index(word).String()})
+}
+
+type unindexRequest struct {
+	Rounds int    `json:"rounds"`
+	Index  string `json:"index"`
+}
+
+func (s *Server) handleUnindex(w http.ResponseWriter, r *http.Request) {
+	var req unindexRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	k, ok := new(big.Int).SetString(req.Index, 10)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "index %q is not an integer", req.Index)
+		return
+	}
+	word, err := coordattack.UnIndexChecked(req.Rounds, k)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, indexResponse{Word: word.String(), Index: req.Index})
+}
+
+// --- /v1/solvable -----------------------------------------------------
+
+type solvableRequest struct {
+	schemeRequest
+	// Horizon runs the full analysis at one fixed horizon.
+	Horizon int `json:"horizon,omitempty"`
+	// MinRounds searches for the smallest solvable horizon ≤ MaxHorizon.
+	MinRounds  bool `json:"minRounds,omitempty"`
+	MaxHorizon int  `json:"maxHorizon,omitempty"`
+}
+
+type solvableResponse struct {
+	Scheme          string `json:"scheme"`
+	Horizon         int    `json:"horizon"`
+	Solvable        bool   `json:"solvable"`
+	Found           *bool  `json:"found,omitempty"` // minRounds search outcome
+	Configs         int    `json:"configs,omitempty"`
+	Components      int    `json:"components,omitempty"`
+	MixedComponents int    `json:"mixedComponents,omitempty"`
+	Cached          bool   `json:"cached"`
+	Shared          bool   `json:"shared"`
+	ElapsedMs       int64  `json:"elapsedMs"`
+}
+
+func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
+	var req solvableRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sch, err := req.resolve()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	horizon := req.Horizon
+	if req.MinRounds {
+		horizon = req.MaxHorizon
+	}
+	if horizon < 0 || horizon > s.cfg.MaxHorizon {
+		s.writeError(w, http.StatusBadRequest, "horizon %d out of range [0, %d]", horizon, s.cfg.MaxHorizon)
+		return
+	}
+	key := fmt.Sprintf("solvable|%s|h=%d|min=%v", schemeKey(sch), horizon, req.MinRounds)
+	start := s.cfg.Clock()
+	val, cached, shared, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
+		resp := solvableResponse{Scheme: sch.Name(), Horizon: horizon}
+		if req.MinRounds {
+			h, found, err := coordattack.MinRoundsSearchChecked(ctx, sch, horizon)
+			if err != nil {
+				return nil, err
+			}
+			resp.Found = &found
+			resp.Solvable = found
+			if found {
+				resp.Horizon = h
+			}
+			return resp, nil
+		}
+		an, err := coordattack.AnalyzeRoundsChecked(ctx, sch, horizon)
+		if err != nil {
+			return nil, err
+		}
+		resp.Solvable = an.Solvable
+		resp.Configs = an.Configs
+		resp.Components = an.Components
+		resp.MixedComponents = an.MixedComponents
+		return resp, nil
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	resp := val.(solvableResponse)
+	resp.Cached, resp.Shared = cached, shared
+	resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/net/solvable -------------------------------------------------
+
+type netSolvableRequest struct {
+	graphRequest
+	F      int `json:"f"`
+	Rounds int `json:"rounds"`
+}
+
+type netSolvableResponse struct {
+	Graph            string `json:"graph"`
+	N                int    `json:"n"`
+	F                int    `json:"f"`
+	Rounds           int    `json:"rounds"`
+	Solvable         bool   `json:"solvable"`
+	EdgeConnectivity int    `json:"edgeConnectivity"`
+	TheoremV1        bool   `json:"theoremV1Solvable"` // f < c(G)
+	Cached           bool   `json:"cached"`
+	ElapsedMs        int64  `json:"elapsedMs"`
+}
+
+func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
+	var req netSolvableRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	g, err := req.resolve()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if g.N() < 2 || g.N() > s.cfg.MaxProcs {
+		s.writeError(w, http.StatusBadRequest, "graph size %d out of range [2, %d]", g.N(), s.cfg.MaxProcs)
+		return
+	}
+	if req.Rounds < 0 || req.Rounds > s.cfg.MaxHorizon {
+		s.writeError(w, http.StatusBadRequest, "rounds %d out of range [0, %d]", req.Rounds, s.cfg.MaxHorizon)
+		return
+	}
+	if req.F < 0 {
+		s.writeError(w, http.StatusBadRequest, "f must be ≥ 0")
+		return
+	}
+	key := fmt.Sprintf("netsolve|%s|f=%d|r=%d", graphKey(g), req.F, req.Rounds)
+	start := s.cfg.Clock()
+	val, cached, _, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
+		solvable, err := nchain.GraphSolvableInRoundsChecked(ctx, g, req.F, req.Rounds)
+		if err != nil {
+			return nil, err
+		}
+		c := g.EdgeConnectivity()
+		return netSolvableResponse{
+			Graph:            g.Name(),
+			N:                g.N(),
+			F:                req.F,
+			Rounds:           req.Rounds,
+			Solvable:         solvable,
+			EdgeConnectivity: c,
+			TheoremV1:        req.F < c,
+		}, nil
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	resp := val.(netSolvableResponse)
+	resp.Cached = cached
+	resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/chaos --------------------------------------------------------
+
+type chaosRequest struct {
+	schemeRequest
+	Executions    int   `json:"executions,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	MaxPrefix     int   `json:"maxPrefix,omitempty"`
+	MaxRounds     int   `json:"maxRounds,omitempty"`
+	NoInvariant   bool  `json:"noInvariant,omitempty"`
+	NoShrink      bool  `json:"noShrink,omitempty"`
+	MaxViolations int   `json:"maxViolations,omitempty"`
+}
+
+type chaosViolation struct {
+	Property  string `json:"property"`
+	Detail    string `json:"detail"`
+	Scenario  string `json:"scenario"`
+	Minimized string `json:"minimized,omitempty"`
+	Seed      int64  `json:"seed"`
+	Execution int    `json:"execution"`
+}
+
+type chaosResponse struct {
+	Scheme     string           `json:"scheme"`
+	Algorithm  string           `json:"algorithm"`
+	Seed       int64            `json:"seed"`
+	Executions int              `json:"executions"`
+	Rounds     int64            `json:"rounds"`
+	OK         bool             `json:"ok"`
+	Violations []chaosViolation `json:"violations,omitempty"`
+	ElapsedMs  int64            `json:"elapsedMs"`
+}
+
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req chaosRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sch, err := req.resolve()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Executions > s.cfg.MaxExecutions {
+		s.writeError(w, http.StatusBadRequest, "executions %d exceeds cap %d", req.Executions, s.cfg.MaxExecutions)
+		return
+	}
+	algo, err := chaos.AWForScheme(sch)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := s.cfg.Clock()
+	rep, err := chaos.RunCampaignCtx(r.Context(), chaos.Config{
+		Scheme:         sch,
+		Algo:           algo,
+		Executions:     req.Executions,
+		Seed:           req.Seed,
+		MaxPrefix:      req.MaxPrefix,
+		MaxRounds:      req.MaxRounds,
+		CheckInvariant: !req.NoInvariant,
+		NoShrink:       req.NoShrink,
+		MaxViolations:  req.MaxViolations,
+	})
+	if err != nil {
+		if rep != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			s.m.timeouts.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, apiError{
+				Error: fmt.Sprintf("campaign interrupted after %d executions: %v", rep.Executions, err),
+			})
+			return
+		}
+		s.writeComputeError(w, err)
+		return
+	}
+	resp := chaosResponse{
+		Scheme:     rep.Scheme,
+		Algorithm:  rep.Algorithm,
+		Seed:       rep.Seed,
+		Executions: rep.Executions,
+		Rounds:     rep.Rounds,
+		OK:         rep.OK(),
+		ElapsedMs:  s.cfg.Clock().Sub(start).Milliseconds(),
+	}
+	for _, v := range rep.Violations {
+		cv := chaosViolation{
+			Property:  string(v.Property),
+			Detail:    v.Detail,
+			Scenario:  v.Scenario.String(),
+			Seed:      v.Seed,
+			Execution: v.Execution,
+		}
+		if v.Minimized {
+			cv.Minimized = v.MinScenario.String()
+		}
+		resp.Violations = append(resp.Violations, cv)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

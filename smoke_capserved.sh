@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# smoke_capserved.sh — end-to-end lifecycle check of the analysis
+# service: build, serve on an ephemeral port, poll readiness, run one
+# cached solvability query twice, SIGTERM, and assert a clean drained
+# exit. Deliberately free of fixed ports and sleeps-as-synchronization:
+# the bound address is scraped from the server's own log line and
+# readiness is polled, so the script is not timing-sensitive.
+set -eu
+
+cd "$(dirname "$0")"
+
+WORK="$(mktemp -d)"
+SERVED_PID=""
+cleanup() {
+	[ -n "${SERVED_PID}" ] && kill -9 "${SERVED_PID}" 2>/dev/null || true
+	rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "${WORK}/capserved" ./cmd/capserved
+
+"${WORK}/capserved" -addr 127.0.0.1:0 -drain 5s >"${WORK}/stdout.log" 2>"${WORK}/stderr.log" &
+SERVED_PID=$!
+
+# The server logs "capserved: listening on http://ADDR" once bound.
+BASE=""
+i=0
+while [ $i -lt 100 ]; do
+	BASE="$(sed -n 's/^capserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "${WORK}/stderr.log" | head -n 1)"
+	[ -n "${BASE}" ] && break
+	if ! kill -0 "${SERVED_PID}" 2>/dev/null; then
+		echo "smoke: capserved died before binding:" >&2
+		cat "${WORK}/stderr.log" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "${BASE}" ]; then
+	echo "smoke: capserved never logged its address" >&2
+	cat "${WORK}/stderr.log" >&2
+	exit 1
+fi
+
+# Readiness, then liveness.
+i=0
+until curl -fsS -o /dev/null "${BASE}/readyz"; do
+	i=$((i + 1))
+	[ $i -ge 50 ] && { echo "smoke: /readyz never turned ready" >&2; exit 1; }
+	sleep 0.1
+done
+HEALTH="$(curl -fsS "${BASE}/healthz")"
+[ "${HEALTH}" = "ok" ] || { echo "smoke: /healthz said '${HEALTH}'" >&2; exit 1; }
+
+# One solvability query, twice: the repeat must be served from cache.
+BODY='{"scheme":"S1","horizon":2}'
+FIRST="$(curl -fsS -X POST -d "${BODY}" "${BASE}/v1/solvable")"
+echo "${FIRST}" | grep -q '"solvable": true' || {
+	echo "smoke: unexpected solvable reply: ${FIRST}" >&2
+	exit 1
+}
+SECOND="$(curl -fsS -X POST -d "${BODY}" "${BASE}/v1/solvable")"
+echo "${SECOND}" | grep -q '"cached": true' || {
+	echo "smoke: repeat query was not cached: ${SECOND}" >&2
+	exit 1
+}
+
+# SIGTERM must drain and exit 0 within the drain budget.
+kill -TERM "${SERVED_PID}"
+STATUS=0
+wait "${SERVED_PID}" || STATUS=$?
+SERVED_PID=""
+[ "${STATUS}" -eq 0 ] || {
+	echo "smoke: capserved exited ${STATUS} on SIGTERM, want 0" >&2
+	cat "${WORK}/stderr.log" >&2
+	exit 1
+}
+grep -q "capserved: clean shutdown" "${WORK}/stdout.log" || {
+	echo "smoke: no clean-shutdown line:" >&2
+	cat "${WORK}/stdout.log" >&2
+	exit 1
+}
+grep -q "capserved: drained" "${WORK}/stderr.log" || {
+	echo "smoke: no drain log line:" >&2
+	cat "${WORK}/stderr.log" >&2
+	exit 1
+}
+
+echo "smoke_capserved.sh: OK (${BASE})"

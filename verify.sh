@@ -2,12 +2,22 @@
 # verify.sh — the full pre-merge gate.
 #
 # Tier 1 (must stay green): build + tests.
-# Extended: vet + race (the differential tests drive the fullinfo worker
-# pool, so races in the engine fail here) + a short native-fuzz pass per
-# fuzz target (go test runs one -fuzz target per invocation).
+# Extended: gofmt staleness + vet + race (the differential tests drive
+# the fullinfo worker pool, so races in the engine fail here) + a short
+# native-fuzz pass per fuzz target (go test runs one -fuzz target per
+# invocation) + a capserved lifecycle smoke (serve, query, SIGTERM,
+# assert a clean drained exit).
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== gofmt =="
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "${UNFORMATTED}" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "${UNFORMATTED}" >&2
+	exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -24,5 +34,8 @@ for target in FuzzIndexRoundTrip FuzzParseScenario FuzzScenarioEquality; do
 	echo "-- ${target}"
 	go test -run "^${target}$" -fuzz "^${target}$" -fuzztime "${FUZZTIME}" ./internal/omission/
 done
+
+echo "== capserved smoke =="
+./smoke_capserved.sh
 
 echo "verify.sh: all gates passed"
