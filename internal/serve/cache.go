@@ -3,6 +3,8 @@ package serve
 import (
 	"container/list"
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -73,18 +75,35 @@ type flightCall struct {
 // one computation per key runs at a time, concurrent callers for the
 // same key share its outcome, and successes are persisted in the LRU.
 //
-// The leader runs fn under a context supplied by the server (its
-// lifetime context plus the compute budget), NOT the follower requests'
+// The computation runs fn under a context supplied by the server (its
+// lifetime context plus the compute budget), NOT the callers' request
 // contexts — a caller that disconnects mid-flight must not kill work
-// other callers are waiting on. Followers stop waiting when their own
-// context expires; the computation itself keeps running for the rest.
+// other callers are waiting on. Every caller, leader included, stops
+// waiting when its own context expires; the computation itself keeps
+// running and its result lands in the LRU for later requests.
 type resultCache struct {
-	lru    *lruCache
-	mu     sync.Mutex
-	calls  map[string]*flightCall
-	hits   atomic.Int64
-	misses atomic.Int64
-	shared atomic.Int64
+	lru   *lruCache
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// onPanic, when set, records a compute-fn panic (metrics + log) and
+	// returns a diagnostic ID for the client-facing error.
+	onPanic func(key string, p any, stack []byte) string
+	hits    atomic.Int64
+	misses  atomic.Int64
+	shared  atomic.Int64
+}
+
+// errComputePanic is how a panic inside a compute fn reaches waiters:
+// the computation runs on its own goroutine (no HTTP recover middleware
+// above it), so the runner converts the panic into this error instead
+// of letting it kill the process or leave the key poisoned.
+type errComputePanic struct {
+	p      any
+	DiagID string
+}
+
+func (e errComputePanic) Error() string {
+	return fmt.Sprintf("internal error in computation (diag %s): %v", e.DiagID, e.p)
 }
 
 func newResultCache(max int) *resultCache {
@@ -115,13 +134,38 @@ func (rc *resultCache) do(ctx context.Context, key string, fn func() (any, error
 	rc.mu.Unlock()
 
 	rc.misses.Add(1)
-	call.val, call.err = fn()
-	if call.err == nil {
-		rc.lru.put(key, call.val)
+	// The computation runs on its own goroutine so the leader, like every
+	// follower, stops waiting when its own context expires — the work
+	// keeps running under the compute context fn captured, and later
+	// callers pick up its result. The leader does NOT pass ctx to fn.
+	go rc.run(key, call, fn)
+	select {
+	case <-call.done:
+		return call.val, false, false, call.err
+	case <-ctx.Done():
+		return nil, false, false, ctx.Err()
 	}
-	rc.mu.Lock()
-	delete(rc.calls, key)
-	rc.mu.Unlock()
-	close(call.done)
-	return call.val, false, false, call.err
+}
+
+// run executes one singleflight computation. Cleanup is unconditional:
+// even when fn panics, the call is deregistered and done is closed, so
+// waiters fail fast instead of blocking on a permanently poisoned key.
+func (rc *resultCache) run(key string, call *flightCall, fn func() (any, error)) {
+	defer func() {
+		if p := recover(); p != nil {
+			e := errComputePanic{p: p}
+			if rc.onPanic != nil {
+				e.DiagID = rc.onPanic(key, p, debug.Stack())
+			}
+			call.val, call.err = nil, e
+		}
+		if call.err == nil {
+			rc.lru.put(key, call.val)
+		}
+		rc.mu.Lock()
+		delete(rc.calls, key)
+		rc.mu.Unlock()
+		close(call.done)
+	}()
+	call.val, call.err = fn()
 }

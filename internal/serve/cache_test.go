@@ -148,6 +148,122 @@ func TestResultCacheSingleflight(t *testing.T) {
 	}
 }
 
+// TestResultCachePanicDoesNotPoisonKey is the regression test for the
+// poisoned-flight bug: a panicking compute fn must deregister the call
+// and release every waiter with an error, and the key must compute
+// normally afterwards — not block all comers until restart.
+func TestResultCachePanicDoesNotPoisonKey(t *testing.T) {
+	rc := newResultCache(8)
+	var diags atomic.Int32
+	rc.onPanic = func(key string, p any, stack []byte) string {
+		diags.Add(1)
+		if key != "k" || p != "kaboom" || len(stack) == 0 {
+			t.Errorf("onPanic(%q, %v, %d bytes)", key, p, len(stack))
+		}
+		return "diag-test-1"
+	}
+
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := rc.do(context.Background(), "k", func() (any, error) {
+			close(inFn)
+			<-release
+			panic("kaboom")
+		})
+		leaderDone <- err
+	}()
+	<-inFn
+
+	// A follower joins the doomed flight before the panic fires.
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := rc.do(context.Background(), "k", func() (any, error) {
+			return nil, fmt.Errorf("follower must not compute")
+		})
+		followerDone <- err
+	}()
+	for rc.shared.Load() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	var cp errComputePanic
+	for _, ch := range []chan error{leaderDone, followerDone} {
+		select {
+		case err := <-ch:
+			if !errors.As(err, &cp) || cp.DiagID != "diag-test-1" {
+				t.Fatalf("waiter err = %v, want errComputePanic with diag-test-1", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter blocked on a poisoned key")
+		}
+	}
+	if diags.Load() != 1 {
+		t.Fatalf("panic recorded %d times, want once (not once per waiter)", diags.Load())
+	}
+
+	// The key must be live again: a fresh fn computes and caches.
+	v, cached, shared, err := rc.do(context.Background(), "k", func() (any, error) { return "recovered", nil })
+	if err != nil || v != "recovered" || cached || shared {
+		t.Fatalf("post-panic do = (%v, %v, %v, %v), want a fresh computation", v, cached, shared, err)
+	}
+}
+
+// TestResultCacheLeaderHonorsOwnContext pins the deadline contract: the
+// first caller for a key (the singleflight leader) must stop waiting
+// when its own context expires, while the computation keeps running and
+// its result still lands in the LRU for later requests.
+func TestResultCacheLeaderHonorsOwnContext(t *testing.T) {
+	rc := newResultCache(8)
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := rc.do(ctx, "k", func() (any, error) {
+			close(inFn)
+			<-release
+			return "late-value", nil
+		})
+		leaderDone <- err
+	}()
+	<-inFn
+	cancel()
+	select {
+	case err := <-leaderDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("leader err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader ignored its own context and blocked on the computation")
+	}
+
+	// The abandoned computation finishes and feeds the cache.
+	close(release)
+	deadline := time.After(5 * time.Second)
+	for {
+		v, cached, _, err := rc.do(context.Background(), "k", func() (any, error) { return "fresh", nil })
+		if err != nil {
+			t.Fatalf("follow-up do: %v", err)
+		}
+		if cached {
+			if v != "late-value" {
+				t.Fatalf("cached value = %v, want the abandoned computation's late-value", v)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("abandoned computation never populated the LRU")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
 func TestResultCacheFollowerContextCancel(t *testing.T) {
 	rc := newResultCache(8)
 	block := make(chan struct{})

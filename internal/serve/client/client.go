@@ -104,8 +104,13 @@ func retryable(status int) bool {
 // clients desynchronize. A server Retry-After overrides the computed
 // wait when it is longer.
 func (c *Client) backoff(retry int, retryAfter time.Duration) time.Duration {
-	window := c.opt.BaseBackoff << uint(retry)
-	if window > c.opt.MaxBackoff {
+	// Double up to the cap instead of shifting by retry outright: a large
+	// retry count would overflow the shift negative and panic Int63n.
+	window := c.opt.BaseBackoff
+	for i := 0; i < retry && window < c.opt.MaxBackoff; i++ {
+		window <<= 1
+	}
+	if window <= 0 || window > c.opt.MaxBackoff {
 		window = c.opt.MaxBackoff
 	}
 	d := time.Duration(c.opt.Rand.Int63n(int64(window) + 1))

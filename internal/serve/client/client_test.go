@@ -129,6 +129,13 @@ func TestBackoffCappedAndJittered(t *testing.T) {
 	if d := c.backoff(0, 2*time.Second); d != 2*time.Second {
 		t.Fatalf("backoff with Retry-After = %s, want 2s", d)
 	}
+	// Pathological retry counts must clamp to MaxBackoff, not overflow
+	// the exponential window negative (which would panic Int63n).
+	for _, retry := range []int{32, 33, 63, 64, 1 << 20} {
+		if d := c.backoff(retry, 0); d < 0 || d > 400*time.Millisecond {
+			t.Fatalf("backoff(%d) = %s outside [0, 400ms]", retry, d)
+		}
+	}
 }
 
 func TestContextCancelStopsRetries(t *testing.T) {

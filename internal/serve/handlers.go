@@ -193,21 +193,58 @@ func (s *Server) heavyCompute(rctx context.Context, key string, fn func(ctx cont
 			s.m.breakerFF.Add(1)
 			return nil, berr
 		}
+		settled := false
+		defer func() {
+			if !settled {
+				done(true) // fn panicked: settle the breaker before unwinding
+			}
+		}()
 		cctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.ComputeBudget)
 		defer cancel()
 		v, e := fn(cctx)
+		settled = true
 		done(isEngineFailure(e))
 		return v, e
 	})
 }
 
+// guard runs fn behind the circuit breaker without the cache — the
+// chaos path, whose seeded campaigns run under the request context
+// rather than the detached compute budget. Client disconnects
+// (context.Canceled) do not count against the breaker; deadline
+// blowouts and engine faults do. A panic unwinding through fn settles
+// the breaker as a failure so a half-open probe cannot leak.
+func (s *Server) guard(fn func() error) error {
+	done, berr := s.brk.acquire()
+	if berr != nil {
+		s.m.breakerFF.Add(1)
+		return berr
+	}
+	settled := false
+	defer func() {
+		if !settled {
+			done(true)
+		}
+	}()
+	err := fn()
+	settled = true
+	done(err != nil && !errors.Is(err, context.Canceled))
+	return err
+}
+
 // writeComputeError maps a compute-path error onto an HTTP status.
 func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 	var open errBreakerOpen
+	var cp errComputePanic
 	switch {
 	case errors.As(err, &open):
 		w.Header().Set("Retry-After", retryAfterSeconds(open.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: open.Error()})
+	case errors.As(err, &cp):
+		writeJSON(w, http.StatusInternalServerError, apiError{
+			Error:  "internal error; see server log",
+			DiagID: cp.DiagID,
+		})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.m.timeouts.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "analysis deadline exceeded"})
@@ -540,16 +577,21 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := s.cfg.Clock()
-	rep, err := chaos.RunCampaignCtx(r.Context(), chaos.Config{
-		Scheme:         sch,
-		Algo:           algo,
-		Executions:     req.Executions,
-		Seed:           req.Seed,
-		MaxPrefix:      req.MaxPrefix,
-		MaxRounds:      req.MaxRounds,
-		CheckInvariant: !req.NoInvariant,
-		NoShrink:       req.NoShrink,
-		MaxViolations:  req.MaxViolations,
+	var rep *chaos.Report
+	err = s.guard(func() error {
+		var cerr error
+		rep, cerr = chaos.RunCampaignCtx(r.Context(), chaos.Config{
+			Scheme:         sch,
+			Algo:           algo,
+			Executions:     req.Executions,
+			Seed:           req.Seed,
+			MaxPrefix:      req.MaxPrefix,
+			MaxRounds:      req.MaxRounds,
+			CheckInvariant: !req.NoInvariant,
+			NoShrink:       req.NoShrink,
+			MaxViolations:  req.MaxViolations,
+		})
+		return cerr
 	})
 	if err != nil {
 		if rep != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -178,9 +179,21 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.started = cfg.Clock()
+	s.cache.onPanic = s.panicDiag
 	s.ready.Store(true)
 	s.routes()
 	return s
+}
+
+// panicDiag records a recovered panic — counter, log line with stack —
+// and returns the fresh diagnostic ID that ties the client-facing 500
+// to the server log. Shared by the recover middleware and the
+// singleflight compute runner.
+func (s *Server) panicDiag(where string, p any, stack []byte) string {
+	s.m.panics.Add(1)
+	id := fmt.Sprintf("diag-%d-%d", s.started.Unix(), s.diagSeq.Add(1))
+	s.cfg.Logf("capserved: panic %s in %s: %v\n%s", id, where, p, stack)
+	return id
 }
 
 // Handler returns the fully wired HTTP handler.
@@ -286,9 +299,7 @@ func (s *Server) protect(cl class, h http.HandlerFunc) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
-				s.m.panics.Add(1)
-				id := fmt.Sprintf("diag-%d-%d", s.started.Unix(), s.diagSeq.Add(1))
-				s.cfg.Logf("capserved: panic %s in %s: %v\n%s", id, r.URL.Path, p, debug.Stack())
+				id := s.panicDiag(r.URL.Path, p, debug.Stack())
 				if !sw.wrote {
 					s.m.server5xx.Add(1)
 					writeJSON(w, http.StatusInternalServerError, apiError{
@@ -335,8 +346,8 @@ func (s *Server) protect(cl class, h http.HandlerFunc) http.Handler {
 func (s *Server) requestTimeout(r *http.Request) time.Duration {
 	d := s.cfg.RequestTimeout
 	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
-		var n int64
-		if _, err := fmt.Sscanf(ms, "%d", &n); err == nil && n > 0 {
+		// Strict parse: "100abc" is rejected, not truncated to 100.
+		if n, err := strconv.ParseInt(ms, 10, 64); err == nil && n > 0 {
 			if req := time.Duration(n) * time.Millisecond; req < d {
 				d = req
 			}

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -242,6 +243,87 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 	}
 }
 
+// TestHeavyComputePanicIsolated pins the panic story on the compute
+// path: the singleflight runner converts a panicking computation into a
+// 500 + diagnostic ID for every waiter, the breaker is settled rather
+// than leaked, and the key computes normally on the next request
+// instead of staying poisoned.
+func TestHeavyComputePanicIsolated(t *testing.T) {
+	var logged bytes.Buffer
+	var logMu sync.Mutex
+	s, ts := testServer(t, Config{Logf: func(f string, a ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		fmt.Fprintf(&logged, f+"\n", a...)
+	}})
+	var first atomic.Bool
+	first.Store(true)
+	s.mux.Handle("POST /test/compute-panic", s.protect(classHeavy, func(w http.ResponseWriter, r *http.Request) {
+		val, _, _, err := s.heavyCompute(r.Context(), "test-panic-key", func(ctx context.Context) (any, error) {
+			if first.CompareAndSwap(true, false) {
+				panic("engine kaboom")
+			}
+			return "ok", nil
+		})
+		if err != nil {
+			s.writeComputeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"val": val})
+	}))
+
+	resp, raw := postJSON(t, ts.URL+"/test/compute-panic", `{}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking compute = %d (%s), want 500", resp.StatusCode, raw)
+	}
+	var ae apiError
+	if err := json.Unmarshal(raw, &ae); err != nil {
+		t.Fatal(err)
+	}
+	if ae.DiagID == "" {
+		t.Fatal("compute-panic 500 carries no diagnostic ID")
+	}
+	logMu.Lock()
+	if !strings.Contains(logged.String(), ae.DiagID) || !strings.Contains(logged.String(), "engine kaboom") {
+		logMu.Unlock()
+		t.Fatalf("server log does not tie diag ID %q to the panic", ae.DiagID)
+	}
+	logMu.Unlock()
+
+	resp2, raw2 := postJSON(t, ts.URL+"/test/compute-panic", `{}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic request = %d (%s), want 200 — key poisoned or breaker leaked", resp2.StatusCode, raw2)
+	}
+	state, fails := s.brk.snapshot()
+	if state != "closed" || fails != 0 {
+		t.Fatalf("breaker after panic+success = %s/%d, want closed/0", state, fails)
+	}
+}
+
+// TestRequestTimeoutStrictParse pins the timeout_ms contract: strict
+// integer parsing (trailing garbage rejected, not truncated), and the
+// configured ceiling can be lowered but never raised.
+func TestRequestTimeoutStrictParse(t *testing.T) {
+	s := New(Config{RequestTimeout: 5 * time.Second})
+	for _, tc := range []struct {
+		q    string
+		want time.Duration
+	}{
+		{"", 5 * time.Second},
+		{"timeout_ms=100", 100 * time.Millisecond},
+		{"timeout_ms=100abc", 5 * time.Second},
+		{"timeout_ms=1e3", 5 * time.Second},
+		{"timeout_ms=-5", 5 * time.Second},
+		{"timeout_ms=0", 5 * time.Second},
+		{"timeout_ms=999999999", 5 * time.Second},
+	} {
+		r := httptest.NewRequest(http.MethodPost, "/v1/solvable?"+tc.q, nil)
+		if got := s.requestTimeout(r); got != tc.want {
+			t.Errorf("requestTimeout(%q) = %s, want %s", tc.q, got, tc.want)
+		}
+	}
+}
+
 // TestBurstShedding saturates the heavy admission queue and checks the
 // overflow is shed with 429 + Retry-After while admitted requests still
 // complete — no deadlock, no unbounded queueing.
@@ -333,6 +415,31 @@ func TestBreakerTripsOverHTTP(t *testing.T) {
 		}
 	}
 	resp, raw := postJSON(t, ts.URL+"/v1/solvable", `{"scheme":"S1","horizon":5}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tripped breaker = %d (%s), want 503", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker 503 without Retry-After")
+	}
+}
+
+// TestBreakerCoversChaos pins that /v1/chaos sits behind the circuit
+// breaker like the other heavy paths: repeated campaign timeouts trip
+// it, after which chaos requests fast-fail with 503 + Retry-After.
+func TestBreakerCoversChaos(t *testing.T) {
+	_, ts := testServer(t, Config{
+		RequestTimeout:   time.Nanosecond, // every campaign times out instantly
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
+	body := `{"scheme":"S1","executions":50000,"seed":7}`
+	for i := 0; i < 2; i++ {
+		resp, raw := postJSON(t, ts.URL+"/v1/chaos", body)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("timed-out campaign %d = %d (%s), want 504", i, resp.StatusCode, raw)
+		}
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/chaos", body)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("tripped breaker = %d (%s), want 503", resp.StatusCode, raw)
 	}
