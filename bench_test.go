@@ -6,6 +6,7 @@ package coordattack_test
 // goroutine round kernel, Edmonds–Karp vs Stoer–Wagner connectivity).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -158,11 +159,13 @@ func BenchmarkSpecialPairGraph(b *testing.B) {
 // Impossibility shape — full-information chain analysis, by horizon
 // (default engine configuration).
 func BenchmarkChains(b *testing.B) {
+	ctx := context.Background()
 	for _, r := range []int{4, 6, 8} {
 		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
 			s := scheme.R1()
 			for i := 0; i < b.N; i++ {
-				if chain.Analyze(s, r).Solvable {
+				rep, err := chain.Analyze(ctx, chain.Request{Scheme: s, Horizon: r})
+				if err != nil || rep.Solvable {
 					b.Fatal("Γ^ω solvable?!")
 				}
 			}
@@ -175,11 +178,13 @@ func BenchmarkChains(b *testing.B) {
 //
 //	go test -bench 'BenchmarkChains(Sequential|Parallel)' -run '^$' .
 func BenchmarkChainsSequential(b *testing.B) {
+	ctx := context.Background()
 	for _, r := range []int{4, 6, 8} {
 		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
 			s := scheme.R1()
 			for i := 0; i < b.N; i++ {
-				if chain.AnalyzeSequential(s, r).Solvable {
+				rep, err := chain.Analyze(ctx, chain.Request{Scheme: s, Horizon: r, Sequential: true})
+				if err != nil || rep.Solvable {
 					b.Fatal("Γ^ω solvable?!")
 				}
 			}
@@ -188,17 +193,56 @@ func BenchmarkChainsSequential(b *testing.B) {
 }
 
 func BenchmarkChainsParallel(b *testing.B) {
+	ctx := context.Background()
 	for _, r := range []int{4, 6, 8} {
 		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
 			s := scheme.R1()
 			opt := fullinfo.Options{Parallel: true, Workers: runtime.GOMAXPROCS(0)}
 			for i := 0; i < b.N; i++ {
-				if chain.AnalyzeOpt(s, r, opt).Solvable {
+				rep, err := chain.Analyze(ctx, chain.Request{Scheme: s, Horizon: r, Engine: &opt})
+				if err != nil || rep.Solvable {
 					b.Fatal("Γ^ω solvable?!")
 				}
 			}
 		})
 	}
+}
+
+// Tentpole ablation — MinRounds search as per-horizon engine restarts
+// (the pre-incremental MinRoundsSearch strategy: a fresh interner, walk,
+// and worker pool at every horizon) versus one incremental engine whose
+// horizon-r frontier seeds horizon r+1. R1 is never solvable, so both
+// sides sweep the full 0..maxR range. BENCH_4.json records the speedup.
+func BenchmarkMinRoundsIncrementalVsRestart(b *testing.B) {
+	ctx := context.Background()
+	const maxR = 8
+	s := scheme.R1()
+	b.Run("restart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r <= maxR; r++ {
+				rep, err := chain.Analyze(ctx, chain.Request{Scheme: s, Horizon: r, VerdictOnly: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Solvable {
+					b.Fatal("Γ^ω solvable?!")
+				}
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := chain.Analyze(ctx, chain.Request{
+				Scheme: s, Horizon: maxR, MinRounds: true, VerdictOnly: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Found {
+				b.Fatal("Γ^ω solvable?!")
+			}
+		}
+	})
 }
 
 // THM-V1 — flooding consensus, swept over network size.
@@ -331,27 +375,37 @@ func BenchmarkParseScheme(b *testing.B) {
 // EXT-NPROC — the n-process analysis.
 func BenchmarkNProcAnalyze(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if nchainAnalyze(3, 1, 2) != true {
+		if !nchainAnalyze(3, 1, 2) {
 			b.Fatal("K3 f=1 solvable at 2")
 		}
 	}
 }
 
-func nchainAnalyze(n, f, r int) bool { return nchain.Analyze(n, f, r).Solvable }
+func nchainAnalyze(n, f, r int) bool {
+	rep, err := nchain.Analyze(context.Background(), nchain.Request{N: n, F: f, Horizon: r})
+	if err != nil {
+		panic(err)
+	}
+	return rep.Solvable
+}
 
 // Engine ablation — n-process analysis, sequential vs full worker pool.
 func BenchmarkNProcAnalyzeSequential(b *testing.B) {
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if !nchain.AnalyzeSequential(3, 1, 2).Solvable {
+		rep, err := nchain.Analyze(ctx, nchain.Request{N: 3, F: 1, Horizon: 2, Sequential: true})
+		if err != nil || !rep.Solvable {
 			b.Fatal("K3 f=1 solvable at 2")
 		}
 	}
 }
 
 func BenchmarkNProcAnalyzeParallel(b *testing.B) {
+	ctx := context.Background()
 	opt := fullinfo.Options{Parallel: true, Workers: runtime.GOMAXPROCS(0)}
 	for i := 0; i < b.N; i++ {
-		if !nchain.AnalyzeOpt(3, 1, 2, opt).Solvable {
+		rep, err := nchain.Analyze(ctx, nchain.Request{N: 3, F: 1, Horizon: 2, Engine: &opt})
+		if err != nil || !rep.Solvable {
 			b.Fatal("K3 f=1 solvable at 2")
 		}
 	}

@@ -62,6 +62,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/classify"
 	"repro/internal/consensus"
+	"repro/internal/fullinfo"
 	"repro/internal/nchain"
 	"repro/internal/obstruction"
 	"repro/internal/omission"
@@ -291,11 +292,36 @@ func RunConcurrent(white, black Process, inputs [2]Value, src Source, maxRounds 
 // Check verifies the three consensus properties on a trace.
 func Check(t Trace) Report { return sim.Check(t) }
 
+// RoundsRequest selects a bounded-round solvability computation for the
+// unified engine entry point: a fixed horizon, a MinRounds search (run
+// incrementally — horizon r+1 extends horizon r's frontier), a
+// verdict-only fast path, or the sequential reference walk. See
+// chain.Request for all fields.
+type RoundsRequest = chain.Request
+
+// RoundsReport is the outcome of Analyze: the Analysis at the decided
+// horizon, the Found flag for MinRounds searches, and aggregated
+// EngineStats for the whole request.
+type RoundsReport = chain.Report
+
+// EngineStats is the engine instrumentation snapshot: configurations
+// streamed, views interned, components merged, pool utilization, and
+// wall time. Attach an observer via RoundsRequest.Observer (or
+// NetAnalysisRequest.Observer) to receive one per engine round.
+type EngineStats = fullinfo.Stats
+
+// Analyze is the context-first engine entry point for two-process
+// bounded-round analysis. Deadlines and cancellation propagate into the
+// engine; every legacy analysis helper below delegates here.
+func Analyze(ctx context.Context, req RoundsRequest) (RoundsReport, error) {
+	return chain.Analyze(ctx, req)
+}
+
 // SolvableInRounds reports whether an r-round consensus algorithm exists
 // for the scheme, by exhaustive full-information analysis. Unlike
-// Classify, it also applies to schemes with double omissions. The
-// exploration runs on the parallel streaming engine and aborts on the
-// first mixed component.
+// Classify, it also applies to schemes with double omissions.
+//
+// Deprecated: use Analyze with RoundsRequest.VerdictOnly.
 func SolvableInRounds(s *Scheme, r int) bool { return chain.SolvableInRounds(s, r) }
 
 // RoundsAnalysis is the full bounded-round solvability computation:
@@ -303,29 +329,37 @@ func SolvableInRounds(s *Scheme, r int) bool { return chain.SolvableInRounds(s, 
 // mixed-component count whose vanishing is equivalent to solvability.
 type RoundsAnalysis = chain.Analysis
 
-// AnalyzeRounds runs the exhaustive r-round analysis for the scheme on
-// the parallel streaming engine and returns the full component counts
-// (SolvableInRounds returns just the verdict, faster via early exit).
-func AnalyzeRounds(s *Scheme, r int) RoundsAnalysis { return chain.Analyze(s, r) }
+// AnalyzeRounds runs the exhaustive r-round analysis for the scheme and
+// returns the full component counts.
+//
+// Deprecated: use Analyze.
+func AnalyzeRounds(s *Scheme, r int) RoundsAnalysis {
+	return chain.AnalyzeOpt(s, r, fullinfo.Defaults())
+}
 
 // MinRoundsSearch finds the smallest horizon ≤ maxR at which the scheme
 // is bounded-round solvable.
+//
+// Deprecated: use Analyze with RoundsRequest.MinRounds.
 func MinRoundsSearch(s *Scheme, maxR int) (int, bool) { return chain.MinRoundsSearch(s, maxR) }
 
-// SolvableInRoundsChecked is SolvableInRounds under a context: the
-// deadline or cancellation propagates into the engine's worker pool and
-// an interrupted walk returns ctx.Err() instead of a partial verdict.
+// SolvableInRoundsChecked is SolvableInRounds under a context.
+//
+// Deprecated: use Analyze with RoundsRequest.VerdictOnly.
 func SolvableInRoundsChecked(ctx context.Context, s *Scheme, r int) (bool, error) {
 	return chain.SolvableInRoundsChecked(ctx, s, r)
 }
 
 // AnalyzeRoundsChecked is AnalyzeRounds under a context.
+//
+// Deprecated: use Analyze.
 func AnalyzeRoundsChecked(ctx context.Context, s *Scheme, r int) (RoundsAnalysis, error) {
 	return chain.AnalyzeChecked(ctx, s, r)
 }
 
-// MinRoundsSearchChecked is MinRoundsSearch under a context; the search
-// aborts as soon as any horizon's walk is interrupted.
+// MinRoundsSearchChecked is MinRoundsSearch under a context.
+//
+// Deprecated: use Analyze with RoundsRequest.MinRounds.
 func MinRoundsSearchChecked(ctx context.Context, s *Scheme, maxR int) (int, bool, error) {
 	return chain.MinRoundsSearchChecked(ctx, s, maxR)
 }
@@ -373,18 +407,28 @@ func NewValencyAnalyzer(factory func() (white, black Process), s *Scheme, inputs
 // AnalyzeComplete runs the n-process bounded-round analysis on the
 // complete graph K_n with at most f losses per round (the paper's
 // future-work direction): it reports whether r-round consensus exists.
+//
+// Deprecated: use AnalyzeNet with NetAnalysisRequest.VerdictOnly.
 func AnalyzeComplete(n, f, r int) bool { return nchain.SolvableInRounds(n, f, r) }
 
 // MinRoundsComplete finds the smallest solvable horizon ≤ maxR for
 // (n, f) on K_n.
+//
+// Deprecated: use AnalyzeNet with NetAnalysisRequest.MinRounds.
 func MinRoundsComplete(n, f, maxR int) (int, bool) { return nchain.MinRounds(n, f, maxR) }
 
 // AnalyzeGraphConsensus decides whether r-round consensus exists on an
 // arbitrary small graph with at most f message losses per round,
 // quantifying over all algorithms — the exhaustive form of Theorem V.1.
+//
+// Deprecated: use AnalyzeNet with NetAnalysisRequest.Graph and
+// VerdictOnly.
 func AnalyzeGraphConsensus(g *Graph, f, r int) bool { return nchain.GraphSolvableInRounds(g, f, r) }
 
 // MinRoundsGraph finds the smallest solvable horizon ≤ maxR for (g, f).
+//
+// Deprecated: use AnalyzeNet with NetAnalysisRequest.Graph and
+// MinRounds.
 func MinRoundsGraph(g *Graph, f, maxR int) (int, bool) { return nchain.GraphMinRounds(g, f, maxR) }
 
 // RoleOf classifies a Γ-scenario in the special-pair matching.

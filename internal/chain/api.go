@@ -1,0 +1,161 @@
+package chain
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/fullinfo"
+	"repro/internal/scheme"
+)
+
+// Request selects one bounded-round solvability computation. The zero
+// value (plus a Scheme) asks for an exhaustive analysis at horizon 0.
+type Request struct {
+	// Scheme is the omission scheme under analysis. Required.
+	Scheme *scheme.Scheme
+	// Horizon is the round horizon r — or, when MinRounds is set, the
+	// largest horizon the search will try.
+	Horizon int
+	// MinRounds searches for the smallest r ≤ Horizon at which the
+	// scheme is solvable instead of analyzing one fixed horizon. The
+	// search runs on the incremental engine: horizon r+1 extends the
+	// horizon-r frontier rather than rebuilding the tree.
+	MinRounds bool
+	// VerdictOnly declares that only Report.Solvable (and Found) are
+	// needed, letting the engine abandon a horizon on the first mixed
+	// component. Counts in the Report may then be partial.
+	VerdictOnly bool
+	// Sequential routes the computation through the materializing
+	// single-threaded reference walk instead of the streaming engine.
+	// It exists for differential testing.
+	Sequential bool
+	// Engine optionally tunes the streaming engine; nil means
+	// fullinfo.Defaults(). EarlyExit and Observer are managed by
+	// Analyze (derived from VerdictOnly and Observer).
+	Engine *fullinfo.Options
+	// Observer, when non-nil, receives one fullinfo.Stats snapshot per
+	// engine run (fixed horizon) or per round (MinRounds search).
+	Observer func(fullinfo.Stats)
+}
+
+// Report is the outcome of Analyze. For MinRounds requests, Analysis
+// describes the found horizon when Found, or the failed top horizon
+// otherwise. Stats aggregates the engine work across every round the
+// request touched.
+type Report struct {
+	Analysis
+	// Found reports whether a MinRounds search succeeded within the
+	// horizon cap. Fixed-horizon requests set it to Solvable.
+	Found bool
+	// Stats is the aggregated instrumentation for the whole request.
+	Stats fullinfo.Stats
+}
+
+// errNilScheme is returned for requests missing a scheme.
+var errNilScheme = errors.New("chain: Analyze requires a Scheme")
+
+// Analyze is the single analysis entry point of the package: every
+// other exported analysis function is a deprecated wrapper around it.
+// The context bounds the whole computation — deadlines propagate into
+// the engine's worker pool or the incremental per-round walk.
+func Analyze(ctx context.Context, req Request) (Report, error) {
+	if req.Scheme == nil {
+		return Report{}, errNilScheme
+	}
+	if req.Horizon < 0 {
+		req.Horizon = 0
+	}
+	var agg fullinfo.Stats
+	observe := func(s fullinfo.Stats) {
+		agg.Merge(s)
+		if req.Observer != nil {
+			req.Observer(s)
+		}
+	}
+	if req.Sequential {
+		return analyzeSequentialReq(ctx, req, &agg, observe)
+	}
+	opt := fullinfo.Defaults()
+	if req.Engine != nil {
+		opt = *req.Engine
+	}
+	opt.EarlyExit = req.VerdictOnly
+	opt.Observer = observe
+
+	if !req.MinRounds {
+		res, _, err := fullinfo.RunChecked(ctx, newChainStepper(req.Scheme), req.Horizon, opt)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{Analysis: analysisOf(req.Horizon, res), Found: res.Solvable, Stats: agg}, nil
+	}
+
+	eng := fullinfo.NewEngine(newChainStepper(req.Scheme), opt)
+	var last fullinfo.Result
+	for r := 0; r <= req.Horizon; r++ {
+		res, err := eng.ExtendTo(ctx, r)
+		if err != nil {
+			return Report{}, err
+		}
+		if res.Solvable {
+			return Report{Analysis: analysisOf(r, res), Found: true, Stats: agg}, nil
+		}
+		last = res
+	}
+	return Report{Analysis: analysisOf(req.Horizon, last), Stats: agg}, nil
+}
+
+// analysisOf converts an engine result at horizon r.
+func analysisOf(r int, res fullinfo.Result) Analysis {
+	return Analysis{
+		Rounds:          r,
+		Configs:         int(res.Configs),
+		Components:      res.Components,
+		Solvable:        res.Solvable,
+		MixedComponents: res.MixedComponents,
+	}
+}
+
+// analyzeSequentialReq serves Request.Sequential: the same Request
+// surface, answered by the materializing reference walk. MinRounds
+// restarts the walk per horizon — the reference path stays the simple,
+// obviously-correct one.
+func analyzeSequentialReq(ctx context.Context, req Request, agg *fullinfo.Stats, observe func(fullinfo.Stats)) (Report, error) {
+	runOne := func(r int) (Analysis, error) {
+		if err := ctx.Err(); err != nil {
+			return Analysis{}, err
+		}
+		start := time.Now()
+		an := analyzeSequential(req.Scheme, r)
+		observe(fullinfo.Stats{
+			Horizon:         r,
+			Rounds:          r,
+			Configs:         int64(an.Configs),
+			Components:      an.Components,
+			MixedComponents: an.MixedComponents,
+			Workers:         1,
+			WallNanos:       time.Since(start).Nanoseconds(),
+		})
+		return an, nil
+	}
+	if !req.MinRounds {
+		an, err := runOne(req.Horizon)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{Analysis: an, Found: an.Solvable, Stats: *agg}, nil
+	}
+	var last Analysis
+	for r := 0; r <= req.Horizon; r++ {
+		an, err := runOne(r)
+		if err != nil {
+			return Report{}, err
+		}
+		if an.Solvable {
+			return Report{Analysis: an, Found: true, Stats: *agg}, nil
+		}
+		last = an
+	}
+	return Report{Analysis: last, Stats: *agg}, nil
+}

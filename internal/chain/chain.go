@@ -169,12 +169,12 @@ func (u *unionFind) union(a, b int) {
 	}
 }
 
-// AnalyzeSequential computes the r-round solvability analysis with the
+// analyzeSequential computes the r-round solvability analysis with the
 // original single-threaded materialize-then-union algorithm. It is the
-// reference implementation the parallel streaming engine (Analyze,
-// AnalyzeOpt in engine.go) is differentially tested against, and remains
-// available for callers that want a deterministic sequential walk.
-func AnalyzeSequential(s *scheme.Scheme, r int) Analysis {
+// reference implementation the streaming engine is differentially
+// tested against, reachable through Analyze with Request.Sequential —
+// the only place the sequential walk exists.
+func analyzeSequential(s *scheme.Scheme, r int) Analysis {
 	configs := enumerate(s, r)
 	uf := newUnionFind(len(configs))
 	// Same white view (including same white input, which the view id
@@ -217,17 +217,6 @@ func AnalyzeSequential(s *scheme.Scheme, r int) Analysis {
 	}
 	an.Solvable = an.MixedComponents == 0
 	return an
-}
-
-// MinRoundsSearch returns the smallest r ≤ maxR for which the scheme is
-// r-round solvable, or ok=false if none is.
-func MinRoundsSearch(s *scheme.Scheme, maxR int) (int, bool) {
-	for r := 0; r <= maxR; r++ {
-		if SolvableInRounds(s, r) {
-			return r, true
-		}
-	}
-	return 0, false
 }
 
 // Complex describes the one-dimensional protocol complex at horizon r —

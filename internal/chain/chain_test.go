@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,16 @@ import (
 	"repro/internal/omission"
 	"repro/internal/scheme"
 )
+
+// analyzeAt runs the unified entry point at one fixed horizon.
+func analyzeAt(t *testing.T, s *scheme.Scheme, r int) Analysis {
+	t.Helper()
+	rep, err := Analyze(context.Background(), Request{Scheme: s, Horizon: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Analysis
+}
 
 // TestChainStructure verifies Lemma III.4 / Corollary III.5 semantically:
 // for every r the 3^r words of Γ^r form a single indistinguishability path
@@ -41,7 +52,7 @@ func TestChainStructure(t *testing.T) {
 func TestGammaOmegaUnsolvableAllHorizons(t *testing.T) {
 	r1 := scheme.R1()
 	for r := 0; r <= 6; r++ {
-		an := Analyze(r1, r)
+		an := analyzeAt(t, r1, r)
 		if an.Solvable {
 			t.Fatalf("Γ^ω solvable at horizon %d?!", r)
 		}
@@ -138,7 +149,7 @@ func TestAnalyzeEmptyScheme(t *testing.T) {
 	s := scheme.Minus("tiny", scheme.S0(), omission.MustScenario("(.)"))
 	// S0 minus its only member is empty: vacuously solvable at every
 	// horizon (no configurations at all).
-	an := Analyze(s, 2)
+	an := analyzeAt(t, s, 2)
 	if !an.Solvable || an.Configs != 0 {
 		t.Errorf("empty scheme analysis: %+v", an)
 	}
@@ -148,13 +159,13 @@ func TestAnalysisComponentCounts(t *testing.T) {
 	// S0 at horizon 1: configurations are ('.', inputs) for 4 inputs.
 	// White's view contains black's input and vice versa: all views are
 	// distinct, so 4 singleton components, none mixed.
-	an := Analyze(scheme.S0(), 1)
+	an := analyzeAt(t, scheme.S0(), 1)
 	if an.Configs != 4 || an.Components != 4 || !an.Solvable {
 		t.Errorf("S0 horizon 1: %+v", an)
 	}
 	// Horizon 0: nobody knows anything: the 4 configurations collapse into
 	// one component via shared initial views.
-	an = Analyze(scheme.S0(), 0)
+	an = analyzeAt(t, scheme.S0(), 0)
 	if an.Solvable || an.Components != 1 {
 		t.Errorf("S0 horizon 0: %+v", an)
 	}

@@ -1,0 +1,91 @@
+// Deprecated wrappers over the unified Analyze entry point. They keep
+// the pre-refactor call shapes alive for the root facade and any
+// out-of-tree users; new code (and everything under internal/ and cmd/,
+// enforced by verify.sh) calls Analyze(ctx, Request) directly.
+package chain
+
+import (
+	"context"
+
+	"repro/internal/fullinfo"
+	"repro/internal/scheme"
+)
+
+// mustReport runs Analyze under a background context and panics on
+// error, matching the fail-loud behavior of the old non-ctx API.
+func mustReport(req Request) Report {
+	rep, err := Analyze(context.Background(), req)
+	if err != nil {
+		panic(err.Error())
+	}
+	return rep
+}
+
+// AnalyzeOpt computes the r-round solvability analysis with explicit
+// engine options.
+//
+// Deprecated: use Analyze with Request.Engine.
+func AnalyzeOpt(s *scheme.Scheme, r int, opt fullinfo.Options) Analysis {
+	return mustReport(Request{Scheme: s, Horizon: r, Engine: &opt}).Analysis
+}
+
+// AnalyzeSequential computes the r-round analysis with the
+// single-threaded materialize-then-union reference algorithm.
+//
+// Deprecated: use Analyze with Request.Sequential.
+func AnalyzeSequential(s *scheme.Scheme, r int) Analysis {
+	return mustReport(Request{Scheme: s, Horizon: r, Sequential: true}).Analysis
+}
+
+// SolvableInRounds reports whether an r-round consensus algorithm
+// exists for the scheme.
+//
+// Deprecated: use Analyze with Request.VerdictOnly.
+func SolvableInRounds(s *scheme.Scheme, r int) bool {
+	return mustReport(Request{Scheme: s, Horizon: r, VerdictOnly: true}).Solvable
+}
+
+// AnalyzeChecked is the fixed-horizon analysis under a context.
+//
+// Deprecated: use Analyze.
+func AnalyzeChecked(ctx context.Context, s *scheme.Scheme, r int) (Analysis, error) {
+	rep, err := Analyze(ctx, Request{Scheme: s, Horizon: r})
+	return rep.Analysis, err
+}
+
+// SolvableInRoundsChecked is SolvableInRounds under a context.
+//
+// Deprecated: use Analyze with Request.VerdictOnly.
+func SolvableInRoundsChecked(ctx context.Context, s *scheme.Scheme, r int) (bool, error) {
+	rep, err := Analyze(ctx, Request{Scheme: s, Horizon: r, VerdictOnly: true})
+	return rep.Solvable, err
+}
+
+// MinRoundsSearch returns the smallest r ≤ maxR for which the scheme is
+// r-round solvable, or ok=false if none is.
+//
+// Deprecated: use Analyze with Request.MinRounds.
+func MinRoundsSearch(s *scheme.Scheme, maxR int) (int, bool) {
+	rep := mustReport(Request{Scheme: s, Horizon: maxR, MinRounds: true, VerdictOnly: true})
+	return foundRounds(rep)
+}
+
+// MinRoundsSearchChecked is MinRoundsSearch under a context.
+//
+// Deprecated: use Analyze with Request.MinRounds.
+func MinRoundsSearchChecked(ctx context.Context, s *scheme.Scheme, maxR int) (int, bool, error) {
+	rep, err := Analyze(ctx, Request{Scheme: s, Horizon: maxR, MinRounds: true, VerdictOnly: true})
+	if err != nil {
+		return 0, false, err
+	}
+	r, ok := foundRounds(rep)
+	return r, ok, nil
+}
+
+// foundRounds reproduces the historical (0, false) not-found shape.
+func foundRounds(rep Report) (int, bool) {
+	if !rep.Found {
+		return 0, false
+	}
+	return rep.Rounds, true
+}

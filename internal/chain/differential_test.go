@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fullinfo"
@@ -30,6 +31,100 @@ func TestEngineMatchesSequential(t *testing.T) {
 			if got := SolvableInRounds(s, r); got != want.Solvable {
 				t.Errorf("%s r=%d: SolvableInRounds=%v, sequential Solvable=%v",
 					name, r, got, want.Solvable)
+			}
+		}
+	}
+}
+
+// TestIncrementalExtendMatchesRestart pins the incremental engine: one
+// Engine extended round by round must report exactly the same Result —
+// verdict and component structure — as a from-scratch run at every
+// horizon, for every named scheme.
+func TestIncrementalExtendMatchesRestart(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range scheme.Names() {
+		s, err := scheme.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := fullinfo.NewEngine(newChainStepper(s), fullinfo.Options{})
+		for r := 0; r <= 5; r++ {
+			got, err := eng.ExtendTo(ctx, r)
+			if err != nil {
+				t.Fatalf("%s r=%d: %v", name, r, err)
+			}
+			want, _, err := fullinfo.RunChecked(ctx, newChainStepper(s), r,
+				fullinfo.Options{Parallel: true, Workers: 4})
+			if err != nil {
+				t.Fatalf("%s r=%d: %v", name, r, err)
+			}
+			if got != want {
+				t.Errorf("%s r=%d: incremental %+v != restart %+v", name, r, got, want)
+			}
+		}
+	}
+}
+
+// TestAnalyzeMinRoundsMatchesRestartSearch pins the MinRounds mode of
+// the unified entry point (incremental under the hood) against the
+// naive restart-per-horizon search over the sequential reference.
+func TestAnalyzeMinRoundsMatchesRestartSearch(t *testing.T) {
+	ctx := context.Background()
+	const maxR = 5
+	for _, name := range scheme.Names() {
+		s, err := scheme.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, wantOK := 0, false
+		for r := 0; r <= maxR; r++ {
+			if analyzeSequential(s, r).Solvable {
+				wantR, wantOK = r, true
+				break
+			}
+		}
+		rep, err := Analyze(ctx, Request{Scheme: s, Horizon: maxR, MinRounds: true, VerdictOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Found != wantOK || (wantOK && rep.Rounds != wantR) {
+			t.Errorf("%s: MinRounds found=%v rounds=%d, want found=%v rounds=%d",
+				name, rep.Found, rep.Rounds, wantOK, wantR)
+		}
+		if wantOK {
+			// The found horizon's scan never early-exits (no mixed
+			// component exists there), so its counts must be exact.
+			exact := analyzeSequential(s, rep.Rounds)
+			if rep.Analysis != exact {
+				t.Errorf("%s: found-horizon analysis %+v != sequential %+v", name, rep.Analysis, exact)
+			}
+		}
+		if rep.Stats.Configs == 0 || rep.Stats.WallNanos == 0 {
+			t.Errorf("%s: MinRounds stats not populated: %+v", name, rep.Stats)
+		}
+	}
+}
+
+// TestAnalyzeSequentialModeMatchesEngine drives both modes through the
+// one public entry point.
+func TestAnalyzeSequentialModeMatchesEngine(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range scheme.Names() {
+		s, err := scheme.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r <= 4; r++ {
+			seq, err := Analyze(ctx, Request{Scheme: s, Horizon: r, Sequential: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := Analyze(ctx, Request{Scheme: s, Horizon: r})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Analysis != eng.Analysis {
+				t.Errorf("%s r=%d: sequential %+v != engine %+v", name, r, seq.Analysis, eng.Analysis)
 			}
 		}
 	}

@@ -1,8 +1,6 @@
 package chain
 
 import (
-	"context"
-
 	"repro/internal/fullinfo"
 	"repro/internal/omission"
 	"repro/internal/scheme"
@@ -46,80 +44,4 @@ func (st chainStepper) Step(ctx *fullinfo.Ctx, state, a int, views, next []int) 
 	next[0] = ctx.In.View(views[0], rw)
 	next[1] = ctx.In.View(views[1], rb)
 	return ns, true
-}
-
-// AnalyzeOpt computes the r-round solvability analysis with explicit
-// engine options. It returns results identical to AnalyzeSequential
-// (the differential tests pin this) while streaming configurations
-// through per-worker union-finds instead of materializing them.
-func AnalyzeOpt(s *scheme.Scheme, r int, opt fullinfo.Options) Analysis {
-	res, _ := fullinfo.Run(newChainStepper(s), r, opt)
-	return Analysis{
-		Rounds:          r,
-		Configs:         int(res.Configs),
-		Components:      res.Components,
-		Solvable:        res.Solvable,
-		MixedComponents: res.MixedComponents,
-	}
-}
-
-// Analyze computes the r-round solvability analysis for the scheme using
-// the parallel streaming engine.
-func Analyze(s *scheme.Scheme, r int) Analysis {
-	return AnalyzeOpt(s, r, fullinfo.Defaults())
-}
-
-// SolvableInRounds reports whether an r-round consensus algorithm exists
-// for the scheme. It aborts the exploration on the first mixed
-// component, so unsolvable horizons usually return long before the
-// configuration space is exhausted.
-func SolvableInRounds(s *scheme.Scheme, r int) bool {
-	opt := fullinfo.Defaults()
-	opt.EarlyExit = true
-	res, _ := fullinfo.Run(newChainStepper(s), r, opt)
-	return res.Solvable
-}
-
-// AnalyzeChecked is Analyze under a context: an expired or cancelled ctx
-// aborts the engine walk at the next subtree boundary and surfaces
-// ctx.Err(). Long-running callers (capserved, -timeout CLIs) use this
-// instead of Analyze so a deadline propagates into the worker pool.
-func AnalyzeChecked(ctx context.Context, s *scheme.Scheme, r int) (Analysis, error) {
-	res, _, err := fullinfo.RunChecked(ctx, newChainStepper(s), r, fullinfo.Defaults())
-	if err != nil {
-		return Analysis{}, err
-	}
-	return Analysis{
-		Rounds:          r,
-		Configs:         int(res.Configs),
-		Components:      res.Components,
-		Solvable:        res.Solvable,
-		MixedComponents: res.MixedComponents,
-	}, nil
-}
-
-// SolvableInRoundsChecked is SolvableInRounds under a context.
-func SolvableInRoundsChecked(ctx context.Context, s *scheme.Scheme, r int) (bool, error) {
-	opt := fullinfo.Defaults()
-	opt.EarlyExit = true
-	res, _, err := fullinfo.RunChecked(ctx, newChainStepper(s), r, opt)
-	if err != nil {
-		return false, err
-	}
-	return res.Solvable, nil
-}
-
-// MinRoundsSearchChecked is MinRoundsSearch under a context; the first
-// horizon whose walk the context interrupts aborts the whole search.
-func MinRoundsSearchChecked(ctx context.Context, s *scheme.Scheme, maxR int) (int, bool, error) {
-	for r := 0; r <= maxR; r++ {
-		ok, err := SolvableInRoundsChecked(ctx, s, r)
-		if err != nil {
-			return 0, false, err
-		}
-		if ok {
-			return r, true, nil
-		}
-	}
-	return 0, false, nil
 }

@@ -25,6 +25,8 @@ func Capnet(args []string, stdout, stderr io.Writer) int {
 	adversary := fs.String("adversary", "random", "random|targeted|cut|none")
 	seed := fs.Int64("seed", 1, "random seed")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")
+	rounds := fs.Int("rounds", 0, "also decide bounded-round solvability exhaustively (over all algorithms) up to this horizon on the engine")
+	stats := fs.Bool("stats", false, "with -rounds: print engine instrumentation")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,6 +81,30 @@ func Capnet(args []string, stdout, stderr io.Writer) int {
 
 	cut, _ := coordattack.MinCut(g)
 	fmt.Fprintf(stdout, "minimum cut: %v | sides %v / %v\n", cut.CutEdges, cut.SideA, cut.SideB)
+
+	// -rounds runs the exhaustive full-information analysis: unlike the
+	// flooding simulation below (one algorithm, one adversary), it
+	// quantifies over every algorithm and every ≤f loss pattern, searching
+	// for the smallest solvable horizon on the incremental engine.
+	if *rounds > 0 {
+		ctx, cancel := rootContext(*timeout)
+		rep, err := coordattack.AnalyzeNet(ctx, coordattack.NetAnalysisRequest{
+			Graph: g, F: *f, Horizon: *rounds, MinRounds: true, VerdictOnly: true,
+		})
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "capnet: engine analysis aborted: %v\n", err)
+			return 1
+		}
+		if rep.Found {
+			fmt.Fprintf(stdout, "engine: solvable from horizon %d (exhaustive over all algorithms)\n", rep.Rounds)
+		} else {
+			fmt.Fprintf(stdout, "engine: not solvable up to horizon %d (exhaustive over all algorithms)\n", *rounds)
+		}
+		if *stats {
+			fmt.Fprintf(stdout, "engine stats: %s\n", formatEngineStats(rep.Stats))
+		}
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	inputs := make([]coordattack.Value, g.N())

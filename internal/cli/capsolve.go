@@ -50,6 +50,7 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 	dot := fs.Bool("dot", false, "print the scheme's Büchi automaton in Graphviz DOT format and exit")
 	horizon := fs.Int("horizon", 0, "also run the bounded-round (chain) analysis up to this horizon — works for double-omission schemes too")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the bounded-round analysis (0 = none)")
+	stats := fs.Bool("stats", false, "print engine instrumentation for the bounded-round analysis")
 	unindex := fs.String("unindex", "", `invert the index bijection: "r:k" prints the unique word of Γ^r with ind = k`)
 	var minus sliceFlag
 	fs.Var(&minus, "minus", "remove an ultimately periodic scenario 'u(v)' (repeatable)")
@@ -113,18 +114,27 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 	// hostile scheme cannot hang the tool.
 	var chainHorizon *int
 	var chainErr error
+	var chainStats coordattack.EngineStats
 	if *horizon > 0 {
 		ctx, cancel := rootContext(*timeout)
-		p, ok, cerr := coordattack.MinRoundsSearchChecked(ctx, s, *horizon)
+		rep, cerr := coordattack.Analyze(ctx, coordattack.RoundsRequest{
+			Scheme: s, Horizon: *horizon, MinRounds: true, VerdictOnly: true,
+		})
 		cancel()
 		chainErr = cerr
-		if cerr == nil && ok {
+		if cerr == nil && rep.Found {
+			p := rep.Rounds
 			chainHorizon = &p
 		}
+		chainStats = rep.Stats
 	}
 
 	if *jsonOut {
-		return emitJSON(stdout, stderr, s, v, err, *horizon, chainHorizon, chainErr)
+		var js *coordattack.EngineStats
+		if *stats && *horizon > 0 {
+			js = &chainStats
+		}
+		return emitJSON(stdout, stderr, s, v, err, *horizon, chainHorizon, chainErr, js)
 	}
 	fmt.Fprintf(stdout, "scheme:      %s (%s)\n", s.Name(), s.Description())
 	if err != nil {
@@ -139,6 +149,9 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "chain:       bounded-round solvable from horizon %d\n", *chainHorizon)
 		} else {
 			fmt.Fprintf(stdout, "chain:       not bounded-round solvable up to horizon %d\n", *horizon)
+		}
+		if *stats {
+			fmt.Fprintf(stdout, "engine:      %s\n", formatEngineStats(chainStats))
 		}
 	}
 	if v == nil {
@@ -189,21 +202,22 @@ func parseUnIndex(arg string) (coordattack.Word, error) {
 
 // jsonVerdict is the serializable verdict shape.
 type jsonVerdict struct {
-	Scheme        string                 `json:"scheme"`
-	Description   string                 `json:"description"`
-	Complete      bool                   `json:"complete"`
-	Solvable      *bool                  `json:"solvable,omitempty"`
-	Conditions    map[string]bool        `json:"conditions,omitempty"`
-	Witness       *coordattack.Scenario  `json:"witness,omitempty"`
-	Pair          []coordattack.Scenario `json:"pair,omitempty"`
-	MinRounds     *int                   `json:"minRounds,omitempty"`
-	ChainHorizon  *int                   `json:"chainFirstSolvableHorizon,omitempty"`
-	ChainSearched int                    `json:"chainHorizonSearched,omitempty"`
-	ChainError    string                 `json:"chainError,omitempty"`
-	Note          string                 `json:"note,omitempty"`
+	Scheme        string                   `json:"scheme"`
+	Description   string                   `json:"description"`
+	Complete      bool                     `json:"complete"`
+	Solvable      *bool                    `json:"solvable,omitempty"`
+	Conditions    map[string]bool          `json:"conditions,omitempty"`
+	Witness       *coordattack.Scenario    `json:"witness,omitempty"`
+	Pair          []coordattack.Scenario   `json:"pair,omitempty"`
+	MinRounds     *int                     `json:"minRounds,omitempty"`
+	ChainHorizon  *int                     `json:"chainFirstSolvableHorizon,omitempty"`
+	ChainSearched int                      `json:"chainHorizonSearched,omitempty"`
+	ChainError    string                   `json:"chainError,omitempty"`
+	EngineStats   *coordattack.EngineStats `json:"engineStats,omitempty"`
+	Note          string                   `json:"note,omitempty"`
 }
 
-func emitJSON(stdout, stderr io.Writer, s *coordattack.Scheme, v *coordattack.Verdict, classifyErr error, horizon int, chainHorizon *int, chainErr error) int {
+func emitJSON(stdout, stderr io.Writer, s *coordattack.Scheme, v *coordattack.Verdict, classifyErr error, horizon int, chainHorizon *int, chainErr error, engineStats *coordattack.EngineStats) int {
 	out := jsonVerdict{Scheme: s.Name(), Description: s.Description()}
 	if classifyErr != nil {
 		out.Note = classifyErr.Error()
@@ -235,6 +249,7 @@ func emitJSON(stdout, stderr io.Writer, s *coordattack.Scheme, v *coordattack.Ve
 	if horizon > 0 {
 		out.ChainSearched = horizon
 		out.ChainHorizon = chainHorizon
+		out.EngineStats = engineStats
 		if chainErr != nil {
 			out.ChainError = chainErr.Error()
 		}

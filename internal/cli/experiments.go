@@ -15,6 +15,7 @@ func Experiments(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment names")
 	run := fs.String("run", "", "run a single experiment by name")
 	all := fs.Bool("all", false, "run every experiment in paper order")
+	stats := fs.Bool("stats", false, "print aggregated engine instrumentation after the reports")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -38,6 +39,9 @@ func Experiments(args []string, stdout, stderr io.Writer) int {
 	default:
 		fs.Usage()
 		return 2
+	}
+	if *stats {
+		fmt.Fprintf(stdout, "engine: %s\n", formatEngineStats(experiments.EngineStats()))
 	}
 	return 0
 }

@@ -1,0 +1,17 @@
+package cli
+
+import (
+	"fmt"
+	"time"
+
+	coordattack "repro"
+)
+
+// formatEngineStats renders the engine instrumentation of an analysis as
+// one -stats output line, shared by every CLI that runs the fullinfo
+// engine.
+func formatEngineStats(st coordattack.EngineStats) string {
+	return fmt.Sprintf("rounds=%d configs=%d vertices=%d components=%d mixed=%d views=%d merges=%d workers=%d wall=%s",
+		st.Rounds, st.Configs, st.Vertices, st.Components, st.MixedComponents,
+		st.ViewsInterned, st.Merges, st.Workers, time.Duration(st.WallNanos).Round(time.Microsecond))
+}

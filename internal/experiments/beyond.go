@@ -82,7 +82,7 @@ func beyond() string {
 	for _, e := range entries {
 		horizon := "never (≤6)"
 		verified := "-"
-		if p, ok := chain.MinRoundsSearch(e.s, 6); ok {
+		if p, ok := chainMinRounds(e.s, 6); ok {
 			horizon = fmt.Sprint(p)
 			white, black, ok := chain.Synthesize(e.s, p)
 			if ok {

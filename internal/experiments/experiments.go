@@ -5,9 +5,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/fullinfo"
+	"repro/internal/nchain"
+	"repro/internal/scheme"
 )
 
 // Experiment is a named, self-contained reproduction unit.
@@ -76,6 +83,65 @@ func ByName(name string) (Experiment, error) {
 	sorted := append([]string(nil), Names()...)
 	sort.Strings(sorted)
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", name, strings.Join(sorted, ", "))
+}
+
+// statsMu guards statsAgg, the engine instrumentation accumulated across
+// every analysis the experiments in this process have run; the
+// experiments CLI's -stats flag prints it after the reports.
+var (
+	statsMu  sync.Mutex
+	statsAgg fullinfo.Stats
+)
+
+func observeStats(st fullinfo.Stats) {
+	statsMu.Lock()
+	statsAgg.Merge(st)
+	statsMu.Unlock()
+}
+
+// EngineStats snapshots the aggregated engine instrumentation.
+func EngineStats() fullinfo.Stats {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	return statsAgg
+}
+
+// Engine helpers: experiments run unbounded (reports must complete), so
+// every analysis goes through the unified entry points with a background
+// context. Engine errors here can only be programming errors — panic.
+
+// chainSolvableAt reports r-round solvability for a two-process scheme.
+func chainSolvableAt(s *scheme.Scheme, r int) bool {
+	rep, err := chain.Analyze(context.Background(),
+		chain.Request{Scheme: s, Horizon: r, VerdictOnly: true, Observer: observeStats})
+	if err != nil {
+		panic(err)
+	}
+	return rep.Solvable
+}
+
+// chainMinRounds searches the smallest solvable horizon ≤ maxR.
+func chainMinRounds(s *scheme.Scheme, maxR int) (int, bool) {
+	rep, err := chain.Analyze(context.Background(),
+		chain.Request{Scheme: s, Horizon: maxR, MinRounds: true, VerdictOnly: true, Observer: observeStats})
+	if err != nil {
+		panic(err)
+	}
+	return rep.Rounds, rep.Found
+}
+
+// netMinRounds searches the smallest solvable horizon ≤ maxR for an
+// n-process request (K_n when req.Graph is nil).
+func netMinRounds(req nchain.Request, maxR int) (int, bool) {
+	req.Horizon = maxR
+	req.MinRounds = true
+	req.VerdictOnly = true
+	req.Observer = observeStats
+	rep, err := nchain.Analyze(context.Background(), req)
+	if err != nil {
+		panic(err)
+	}
+	return rep.Rounds, rep.Found
 }
 
 // header formats a report title.

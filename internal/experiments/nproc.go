@@ -32,7 +32,7 @@ func nproc() string {
 	}
 	for _, c := range cases {
 		horizon := fmt.Sprintf("none ≤ %d", c.maxR)
-		if p, ok := nchain.MinRounds(c.n, c.f, c.maxR); ok {
+		if p, ok := netMinRounds(nchain.Request{N: c.n, F: c.f}, c.maxR); ok {
 			horizon = fmt.Sprint(p)
 		}
 		rows = append(rows, []string{
@@ -55,7 +55,7 @@ func nproc() string {
 			if g.N() >= 4 && f >= 1 {
 				maxR = 3 // keep the 4-node enumerations modest
 			}
-			if p, ok := nchain.GraphMinRounds(g, f, maxR); ok {
+			if p, ok := netMinRounds(nchain.Request{Graph: g, F: f}, maxR); ok {
 				horizon = fmt.Sprint(p)
 			}
 			rows = append(rows, []string{g.Name(), fmt.Sprint(conn), fmt.Sprint(f), horizon, fmt.Sprint(g.N() - 1)})

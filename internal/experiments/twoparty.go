@@ -143,7 +143,7 @@ func thm38() string {
 		good := true
 		for r := 0; r <= maxR; r++ {
 			want := res.Solvable && res.MinRounds != classify.Unbounded && res.MinRounds <= r
-			if chain.SolvableInRounds(s, r) != want {
+			if chainSolvableAt(s, r) != want {
 				good = false
 			}
 		}
@@ -366,7 +366,7 @@ func chains() string {
 	rows := [][]string{{"r", "words", "single path", "Γ^ω solvable at r", "complex V", "complex E", "components"}}
 	for r := 1; r <= 7; r++ {
 		rep := chain.VerifyChainStructure(r)
-		solvable := chain.SolvableInRounds(scheme.R1(), r)
+		solvable := chainSolvableAt(scheme.R1(), r)
 		cx := chain.ProtocolComplex(scheme.R1(), r)
 		rows = append(rows, []string{fmt.Sprint(r), fmt.Sprint(rep.Words), fmt.Sprint(rep.IsPath), fmt.Sprint(solvable),
 			fmt.Sprint(cx.Vertices), fmt.Sprint(cx.Edges), fmt.Sprint(cx.Components)})

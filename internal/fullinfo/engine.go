@@ -48,6 +48,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stepper defines one full-information analysis problem: a process
@@ -105,6 +106,11 @@ type Options struct {
 	// callers (algorithm synthesis, protocol-complex reports) can read
 	// the canonical view table and per-vertex decisions.
 	BuildGraph bool
+	// Observer, when non-nil, receives a Stats snapshot after every
+	// completed run (Run/RunChecked) or incremental round
+	// (Engine.Extend). It is called synchronously on the calling
+	// goroutine; keep it cheap.
+	Observer func(Stats)
 }
 
 // Defaults returns the standard engine configuration: parallel across
@@ -294,6 +300,7 @@ func Run(st Stepper, r int, opt Options) (Result, *Graph) {
 // at the next subtree boundary (the error is then ctx.Err() and the
 // partial Result has Exhaustive=false).
 func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *Graph, error) {
+	start := time.Now()
 	if r < 0 {
 		r = 0
 	}
@@ -363,6 +370,16 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 		if opt.BuildGraph {
 			g = &Graph{in: shared, uf: &compUF{}}
 		}
+		if opt.Observer != nil {
+			opt.Observer(Stats{
+				Horizon:       r,
+				Rounds:        r,
+				ViewsInterned: shared.NumIDs(),
+				NewViews:      shared.NumIDs(),
+				Workers:       workers,
+				WallNanos:     time.Since(start).Nanoseconds(),
+			})
+		}
 		return res, g, nil
 	}
 
@@ -421,9 +438,11 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	gverts := map[int64]int32{}
 	var gkeys []int64
 	var configs int64
+	var absorbed int
 	for _, w := range pool {
 		configs += w.configs
 		trans := shared.absorb(w.ctx.In)
+		absorbed += len(trans)
 		base := w.ctx.In.base
 		gid := make([]int32, len(w.keys))
 		for i, k := range w.keys {
@@ -461,6 +480,24 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	var g *Graph
 	if opt.BuildGraph {
 		g = &Graph{in: shared, uf: guf, keys: gkeys}
+	}
+	if opt.Observer != nil {
+		opt.Observer(Stats{
+			Horizon:         r,
+			Rounds:          r,
+			Configs:         configs,
+			Vertices:        res.Vertices,
+			Components:      res.Components,
+			MixedComponents: res.MixedComponents,
+			Merges:          res.Vertices - res.Components,
+			ViewsInterned:   shared.NumIDs(),
+			NewViews:        shared.NumIDs(),
+			Workers:         workers,
+			WorkerForks:     len(pool),
+			Absorbed:        absorbed,
+			Subtrees:        len(frontier),
+			WallNanos:       time.Since(start).Nanoseconds(),
+		})
 	}
 	return res, g, nil
 }

@@ -1,0 +1,221 @@
+package fullinfo
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Engine is the resumable form of Run. Where Run rebuilds the whole
+// admissible-history tree for every horizon, an Engine keeps the
+// interner and the leaf frontier alive between calls: the frontier at
+// horizon r is exactly the node set that horizon r+1 grows from, so
+// Extend performs one round of growth plus one leaf scan instead of a
+// from-scratch walk. MinRounds-style searches (solvable at 0? at 1? …)
+// become linear in the final tree instead of quadratic in its levels.
+//
+// The Engine is sequential and single-goroutine: Options.Parallel,
+// Workers, SplitDepth, and BuildGraph are ignored. Options.EarlyExit
+// truncates only the leaf scan (never frontier growth, which later
+// rounds depend on), so Solvable stays exact while unsolvable horizons
+// are abandoned at the first mixed component. Options.Observer receives
+// one Stats snapshot per Extend/ExtendTo call.
+//
+// An Engine is not safe for concurrent use. After a Stepper panic the
+// engine is poisoned and every later call returns the same error; after
+// a context cancellation the engine is left at its previous horizon and
+// the call may simply be retried.
+type Engine struct {
+	st   Stepper
+	opt  Options
+	sctx *Ctx
+
+	n, na, all1 int
+	horizon     int
+
+	// Frontier at the current horizon, parallel slices: automaton
+	// state, input-assignment bitmask, and n flat view ids per node.
+	states []int
+	inputs []int32
+	views  []int
+
+	err error
+}
+
+// ctx poll strides: how many nodes are processed between context
+// checks while growing the frontier and while scanning leaves.
+const (
+	growPollStride = 1024
+	scanPollStride = 4096
+)
+
+// NewEngine returns an engine positioned at horizon 0 (the frontier is
+// the 2^n input-assignment roots, or empty when the Stepper admits no
+// history at all).
+func NewEngine(st Stepper, opt Options) *Engine {
+	n := st.NumProcs()
+	e := &Engine{
+		st:   st,
+		opt:  opt,
+		sctx: &Ctx{In: NewInterner(nil)},
+		n:    n,
+		na:   st.NumActions(),
+		all1: 1<<n - 1,
+	}
+	if start, ok := st.Root(); ok {
+		for inputs := 0; inputs < 1<<n; inputs++ {
+			e.states = append(e.states, start)
+			e.inputs = append(e.inputs, int32(inputs))
+			for i := 0; i < n; i++ {
+				e.views = append(e.views, InitView((inputs>>i)&1))
+			}
+		}
+	}
+	return e
+}
+
+// Horizon returns the round horizon of the live frontier.
+func (e *Engine) Horizon() int { return e.horizon }
+
+// FrontierLen returns the number of live frontier nodes.
+func (e *Engine) FrontierLen() int { return len(e.states) }
+
+// Extend grows the frontier by one round and analyzes the new horizon.
+func (e *Engine) Extend(ctx context.Context) (Result, error) {
+	return e.ExtendTo(ctx, e.horizon+1)
+}
+
+// ExtendTo grows the frontier to horizon r (which must not be below the
+// current horizon; r equal to the current horizon just re-scans, which
+// is how horizon 0 is analyzed) and returns the analysis there.
+func (e *Engine) ExtendTo(ctx context.Context, r int) (Result, error) {
+	if e.err != nil {
+		return Result{}, e.err
+	}
+	if r < e.horizon {
+		return Result{}, fmt.Errorf("fullinfo: ExtendTo(%d) below current horizon %d", r, e.horizon)
+	}
+	start := time.Now()
+	startIDs := e.sctx.In.NumIDs()
+	rounds := r - e.horizon
+	for e.horizon < r {
+		if err := e.grow(ctx); err != nil {
+			return Result{}, err
+		}
+	}
+	res, err := e.scan(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	if e.opt.Observer != nil {
+		e.opt.Observer(Stats{
+			Horizon:         e.horizon,
+			Rounds:          rounds,
+			Configs:         res.Configs,
+			Vertices:        res.Vertices,
+			Components:      res.Components,
+			MixedComponents: res.MixedComponents,
+			Merges:          res.Vertices - res.Components,
+			ViewsInterned:   e.sctx.In.NumIDs(),
+			NewViews:        e.sctx.In.NumIDs() - startIDs,
+			Workers:         1,
+			Subtrees:        len(e.states),
+			WallNanos:       time.Since(start).Nanoseconds(),
+		})
+	}
+	return res, nil
+}
+
+// grow advances the frontier one round. The new frontier is committed
+// only on success: a context cancellation leaves the engine retryable
+// at its previous horizon, while a Stepper panic poisons it.
+func (e *Engine) grow(ctx context.Context) error {
+	n, na := e.n, e.na
+	nodes := len(e.states)
+	nextStates := make([]int, 0, nodes*na)
+	nextInputs := make([]int32, 0, nodes*na)
+	nextViews := make([]int, 0, nodes*na*n)
+	nv := make([]int, n)
+	err := func() (err error) {
+		defer recoverStepper(&err)
+		for i := 0; i < nodes; i++ {
+			if i%growPollStride == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			vs := e.views[i*n : (i+1)*n]
+			for a := 0; a < na; a++ {
+				ns, ok := e.st.Step(e.sctx, e.states[i], a, vs, nv)
+				if !ok {
+					continue
+				}
+				nextStates = append(nextStates, ns)
+				nextInputs = append(nextInputs, e.inputs[i])
+				nextViews = append(nextViews, nv...)
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		if ctx.Err() == nil {
+			e.err = err // Stepper panic: state is suspect, poison.
+		}
+		return err
+	}
+	e.states, e.inputs, e.views = nextStates, nextInputs, nextViews
+	e.horizon++
+	return nil
+}
+
+// scan streams the live frontier's leaf configurations into a fresh
+// union-find and reports the component structure at the current
+// horizon. Vertices are resolved through a dense (view, process) table
+// rather than a hash map: frontier view ids are interner-dense, so the
+// table costs one slice of size (NumIDs+3)·n (+3 covers the sentinel
+// initial views, which reach down to InitView(1) = -3).
+func (e *Engine) scan(ctx context.Context) (Result, error) {
+	n := e.n
+	uf := &compUF{}
+	vert := make([]int32, (e.sctx.In.NumIDs()+3)*n)
+	vertex := func(proc, view int) int32 {
+		slot := &vert[(view+3)*n+proc]
+		if *slot == 0 {
+			*slot = uf.add() + 1
+		}
+		return *slot - 1
+	}
+	var configs int64
+	exhaustive := true
+	for i := 0; i < len(e.states); i++ {
+		if i%scanPollStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		vs := e.views[i*n : (i+1)*n]
+		configs++
+		root := uf.find(vertex(0, vs[0]))
+		for p := 1; p < n; p++ {
+			root = uf.union(root, vertex(p, vs[p]))
+		}
+		switch e.inputs[i] {
+		case 0:
+			uf.mark(root, flagHas0)
+		case int32(e.all1):
+			uf.mark(root, flagHas1)
+		}
+		if e.opt.EarlyExit && uf.mixed > 0 {
+			exhaustive = false
+			break
+		}
+	}
+	return Result{
+		Configs:         configs,
+		Vertices:        len(uf.parent),
+		Components:      uf.roots,
+		MixedComponents: uf.mixed,
+		Solvable:        uf.mixed == 0,
+		Exhaustive:      exhaustive,
+	}, nil
+}

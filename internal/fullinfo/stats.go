@@ -1,0 +1,64 @@
+package fullinfo
+
+// Stats is an instrumentation snapshot of one engine run (Run /
+// RunChecked) or one incremental round (Engine.Extend). Every field is a
+// scalar so snapshots can be compared, aggregated, and serialized
+// cheaply. Stats travel through Options.Observer — never through Result,
+// which stays a pure analysis outcome.
+type Stats struct {
+	// Horizon is the round horizon the snapshot describes.
+	Horizon int
+	// Rounds is how many rounds of tree growth this invocation walked
+	// (r for a from-scratch run, usually 1 for an Extend).
+	Rounds int
+	// Configs is the number of leaf configurations streamed.
+	Configs int64
+	// Vertices is the number of distinct (process, view) pairs seen.
+	Vertices int
+	// Components and MixedComponents mirror the Result fields.
+	Components      int
+	MixedComponents int
+	// Merges counts union operations that actually fused two
+	// components (Vertices - Components when the scan is exhaustive).
+	Merges int
+	// ViewsInterned is the total id count of the canonical interner
+	// after the run; NewViews is how many of those this invocation
+	// created.
+	ViewsInterned int
+	NewViews      int
+	// Workers is the pool size used; WorkerForks counts worker-local
+	// interner forks (0 on sequential paths); Absorbed counts
+	// creation-log entries canonicalized back into the shared interner
+	// during the merge phase.
+	Workers     int
+	WorkerForks int
+	Absorbed    int
+	// Subtrees is the number of frontier subtrees dispatched to the
+	// pool (pool utilization is Subtrees spread over Workers). For the
+	// incremental engine it is the live frontier length instead.
+	Subtrees int
+	// WallNanos is the wall-clock duration of the invocation.
+	WallNanos int64
+}
+
+// merge folds another snapshot into s, accumulating work counters and
+// keeping the most recent structural fields. It is what callers use to
+// aggregate per-round stats over a MinRounds search.
+func (s *Stats) Merge(o Stats) {
+	s.Horizon = o.Horizon
+	s.Rounds += o.Rounds
+	s.Configs += o.Configs
+	s.Vertices = o.Vertices
+	s.Components = o.Components
+	s.MixedComponents = o.MixedComponents
+	s.Merges = o.Merges
+	s.ViewsInterned = o.ViewsInterned
+	s.NewViews += o.NewViews
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.WorkerForks += o.WorkerForks
+	s.Absorbed += o.Absorbed
+	s.Subtrees = o.Subtrees
+	s.WallNanos += o.WallNanos
+}

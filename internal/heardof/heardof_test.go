@@ -1,6 +1,7 @@
 package heardof
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/chain"
@@ -93,7 +94,12 @@ func TestEventuallyGoodSolvable(t *testing.T) {
 		t.Error("EventuallyGood is a Σ-scheme with solvable Γ-restriction; classify must refuse")
 	}
 	for r := 0; r <= 3; r++ {
-		if chain.SolvableInRounds(eg, r) {
+		rep, err := chain.Analyze(context.Background(),
+			chain.Request{Scheme: eg, Horizon: r, VerdictOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Solvable {
 			t.Fatalf("EventuallyGood bounded-solvable at %d", r)
 		}
 	}

@@ -1,0 +1,177 @@
+package nchain
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/fullinfo"
+	"repro/internal/graph"
+)
+
+// Request selects one n-process bounded-round solvability computation:
+// K_N under at most F losses per round when Graph is nil, or an
+// arbitrary connected topology otherwise.
+type Request struct {
+	// N is the process count for the complete-graph analysis. Ignored
+	// (taken from Graph) when Graph is non-nil.
+	N int
+	// F is the per-round message-loss budget.
+	F int
+	// Graph, when non-nil, analyzes the scheme O_F^ω on this topology
+	// instead of K_N.
+	Graph *graph.Graph
+	// Horizon is the round horizon r — or the search cap when
+	// MinRounds is set.
+	Horizon int
+	// MinRounds searches the smallest solvable r ≤ Horizon on the
+	// incremental engine (horizon r+1 extends the horizon-r frontier).
+	MinRounds bool
+	// VerdictOnly lets the engine abandon a horizon on the first mixed
+	// component; counts in the Report may then be partial.
+	VerdictOnly bool
+	// Sequential routes through the materializing single-threaded
+	// reference walk, kept for differential testing.
+	Sequential bool
+	// Engine optionally tunes the streaming engine; nil means
+	// fullinfo.Defaults(). EarlyExit and Observer are managed by
+	// Analyze.
+	Engine *fullinfo.Options
+	// Observer receives one fullinfo.Stats snapshot per engine run or
+	// per incremental round.
+	Observer func(fullinfo.Stats)
+}
+
+// Report is the outcome of Analyze; see chain.Report for the field
+// conventions (Found, partial counts, aggregated Stats).
+type Report struct {
+	Analysis
+	Found bool
+	Stats fullinfo.Stats
+}
+
+var (
+	errBadProcs = errors.New("nchain: Analyze requires N ≥ 2 or a Graph")
+	errTooLarge = errors.New("nchain: instance too large to enumerate loss patterns (limit 20 directed edges)")
+)
+
+// Analyze is the single analysis entry point of the package: every
+// other exported analysis function is a deprecated wrapper around it.
+// The context bounds the whole computation.
+func Analyze(ctx context.Context, req Request) (Report, error) {
+	n := req.N
+	if req.Graph != nil {
+		n = req.Graph.N()
+	}
+	if n < 2 {
+		return Report{}, errBadProcs
+	}
+	// The loss-pattern enumerations panic past 20 directed edges; surface
+	// that as a request error instead of unwinding through a CLI or
+	// handler.
+	if dirEdges := 2 * graphEdgeCount(req); dirEdges > 20 {
+		return Report{}, errTooLarge
+	}
+	if req.Horizon < 0 {
+		req.Horizon = 0
+	}
+	var agg fullinfo.Stats
+	observe := func(s fullinfo.Stats) {
+		agg.Merge(s)
+		if req.Observer != nil {
+			req.Observer(s)
+		}
+	}
+	if req.Sequential {
+		return analyzeSequentialReq(ctx, req, n, &agg, observe)
+	}
+	var st lossStepper
+	if req.Graph != nil {
+		st = graphStepper(req.Graph, req.F)
+	} else {
+		st = knStepper(n, req.F)
+	}
+	opt := fullinfo.Defaults()
+	if req.Engine != nil {
+		opt = *req.Engine
+	}
+	opt.EarlyExit = req.VerdictOnly
+	opt.Observer = observe
+
+	if !req.MinRounds {
+		res, _, err := fullinfo.RunChecked(ctx, st, req.Horizon, opt)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{Analysis: analysisOf(n, req.F, req.Horizon, res), Found: res.Solvable, Stats: agg}, nil
+	}
+
+	eng := fullinfo.NewEngine(st, opt)
+	var last fullinfo.Result
+	for r := 0; r <= req.Horizon; r++ {
+		res, err := eng.ExtendTo(ctx, r)
+		if err != nil {
+			return Report{}, err
+		}
+		if res.Solvable {
+			return Report{Analysis: analysisOf(n, req.F, r, res), Found: true, Stats: agg}, nil
+		}
+		last = res
+	}
+	return Report{Analysis: analysisOf(n, req.F, req.Horizon, last), Stats: agg}, nil
+}
+
+// graphEdgeCount returns the undirected edge count of the requested
+// topology (K_N when Graph is nil).
+func graphEdgeCount(req Request) int {
+	if req.Graph != nil {
+		return req.Graph.NumEdges()
+	}
+	return req.N * (req.N - 1) / 2
+}
+
+// analyzeSequentialReq serves Request.Sequential through the reference
+// walks, restarting per horizon in MinRounds mode.
+func analyzeSequentialReq(ctx context.Context, req Request, n int, agg *fullinfo.Stats, observe func(fullinfo.Stats)) (Report, error) {
+	runOne := func(r int) (Analysis, error) {
+		if err := ctx.Err(); err != nil {
+			return Analysis{}, err
+		}
+		start := time.Now()
+		var an Analysis
+		if req.Graph != nil {
+			an = graphAnalyzeSequential(req.Graph, req.F, r)
+		} else {
+			an = analyzeSequential(n, req.F, r)
+		}
+		observe(fullinfo.Stats{
+			Horizon:         r,
+			Rounds:          r,
+			Configs:         int64(an.Configs),
+			Components:      an.Components,
+			MixedComponents: an.MixedComponents,
+			Workers:         1,
+			WallNanos:       time.Since(start).Nanoseconds(),
+		})
+		return an, nil
+	}
+	if !req.MinRounds {
+		an, err := runOne(req.Horizon)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{Analysis: an, Found: an.Solvable, Stats: *agg}, nil
+	}
+	var last Analysis
+	for r := 0; r <= req.Horizon; r++ {
+		an, err := runOne(r)
+		if err != nil {
+			return Report{}, err
+		}
+		if an.Solvable {
+			return Report{Analysis: an, Found: true, Stats: *agg}, nil
+		}
+		last = an
+	}
+	return Report{Analysis: last, Stats: *agg}, nil
+}

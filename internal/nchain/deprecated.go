@@ -1,0 +1,117 @@
+// Deprecated wrappers over the unified Analyze entry point, kept for
+// the root facade and out-of-tree callers; everything under internal/
+// and cmd/ calls Analyze(ctx, Request) directly (enforced by verify.sh).
+package nchain
+
+import (
+	"context"
+
+	"repro/internal/fullinfo"
+	"repro/internal/graph"
+)
+
+// mustReport runs Analyze under a background context and panics on
+// error, matching the fail-loud behavior of the old non-ctx API.
+func mustReport(req Request) Report {
+	rep, err := Analyze(context.Background(), req)
+	if err != nil {
+		panic(err.Error())
+	}
+	return rep
+}
+
+// foundRounds reproduces the historical (0, false) not-found shape.
+func foundRounds(rep Report) (int, bool) {
+	if !rep.Found {
+		return 0, false
+	}
+	return rep.Rounds, true
+}
+
+// AnalyzeOpt decides r-round consensus on K_n with explicit engine
+// options.
+//
+// Deprecated: use Analyze with Request.Engine.
+func AnalyzeOpt(n, f, r int, opt fullinfo.Options) Analysis {
+	return mustReport(Request{N: n, F: f, Horizon: r, Engine: &opt}).Analysis
+}
+
+// AnalyzeSequential is the single-threaded materialize-then-union
+// reference analysis on K_n.
+//
+// Deprecated: use Analyze with Request.Sequential.
+func AnalyzeSequential(n, f, r int) Analysis {
+	return mustReport(Request{N: n, F: f, Horizon: r, Sequential: true}).Analysis
+}
+
+// SolvableInRounds reports whether (n, f) consensus on K_n is r-round
+// solvable.
+//
+// Deprecated: use Analyze with Request.VerdictOnly.
+func SolvableInRounds(n, f, r int) bool {
+	return mustReport(Request{N: n, F: f, Horizon: r, VerdictOnly: true}).Solvable
+}
+
+// SolvableInRoundsChecked is SolvableInRounds under a context.
+//
+// Deprecated: use Analyze with Request.VerdictOnly.
+func SolvableInRoundsChecked(ctx context.Context, n, f, r int) (bool, error) {
+	rep, err := Analyze(ctx, Request{N: n, F: f, Horizon: r, VerdictOnly: true})
+	return rep.Solvable, err
+}
+
+// MinRounds finds the smallest horizon ≤ maxR at which (n, f) consensus
+// is solvable on K_n.
+//
+// Deprecated: use Analyze with Request.MinRounds.
+func MinRounds(n, f, maxR int) (int, bool) {
+	return foundRounds(mustReport(Request{N: n, F: f, Horizon: maxR, MinRounds: true, VerdictOnly: true}))
+}
+
+// GraphAnalyzeOpt is the arbitrary-topology analysis with explicit
+// engine options.
+//
+// Deprecated: use Analyze with Request.Graph and Request.Engine.
+func GraphAnalyzeOpt(g *graph.Graph, f, r int, opt fullinfo.Options) Analysis {
+	return mustReport(Request{Graph: g, F: f, Horizon: r, Engine: &opt}).Analysis
+}
+
+// GraphAnalyze decides r-round consensus for the scheme O_f^ω on an
+// arbitrary connected topology.
+//
+// Deprecated: use Analyze with Request.Graph.
+func GraphAnalyze(g *graph.Graph, f, r int) Analysis {
+	return mustReport(Request{Graph: g, F: f, Horizon: r}).Analysis
+}
+
+// GraphAnalyzeSequential is the single-threaded reference analysis for
+// arbitrary topologies.
+//
+// Deprecated: use Analyze with Request.Graph and Request.Sequential.
+func GraphAnalyzeSequential(g *graph.Graph, f, r int) Analysis {
+	return mustReport(Request{Graph: g, F: f, Horizon: r, Sequential: true}).Analysis
+}
+
+// GraphSolvableInRounds reports whether (g, f) consensus is r-round
+// solvable.
+//
+// Deprecated: use Analyze with Request.Graph and Request.VerdictOnly.
+func GraphSolvableInRounds(g *graph.Graph, f, r int) bool {
+	return mustReport(Request{Graph: g, F: f, Horizon: r, VerdictOnly: true}).Solvable
+}
+
+// GraphSolvableInRoundsChecked is GraphSolvableInRounds under a context.
+//
+// Deprecated: use Analyze with Request.Graph and Request.VerdictOnly.
+func GraphSolvableInRoundsChecked(ctx context.Context, g *graph.Graph, f, r int) (bool, error) {
+	rep, err := Analyze(ctx, Request{Graph: g, F: f, Horizon: r, VerdictOnly: true})
+	return rep.Solvable, err
+}
+
+// GraphMinRounds finds the smallest horizon ≤ maxR at which (g, f)
+// consensus is solvable.
+//
+// Deprecated: use Analyze with Request.Graph and Request.MinRounds.
+func GraphMinRounds(g *graph.Graph, f, maxR int) (int, bool) {
+	return foundRounds(mustReport(Request{Graph: g, F: f, Horizon: maxR, MinRounds: true, VerdictOnly: true}))
+}

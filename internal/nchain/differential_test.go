@@ -1,6 +1,7 @@
 package nchain
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fullinfo"
@@ -83,5 +84,109 @@ func TestMinRoundsMatchesThreshold(t *testing.T) {
 				t.Errorf("n=%d f=%d: MinRounds=%d exceeds flooding bound %d", n, f, r, n-1)
 			}
 		}
+	}
+}
+
+// TestIncrementalExtendMatchesRestart pins the incremental engine on
+// the (n, f, r) grid: one Engine extended round by round must report
+// exactly the same Result — verdict and component structure — as a
+// from-scratch engine run at every horizon.
+func TestIncrementalExtendMatchesRestart(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range nfCases {
+		eng := fullinfo.NewEngine(knStepper(tc.n, tc.f), fullinfo.Options{})
+		for r := 0; r <= tc.maxR; r++ {
+			got, err := eng.ExtendTo(ctx, r)
+			if err != nil {
+				t.Fatalf("n=%d f=%d r=%d: %v", tc.n, tc.f, r, err)
+			}
+			want, _, err := fullinfo.RunChecked(ctx, knStepper(tc.n, tc.f), r,
+				fullinfo.Options{Parallel: true, Workers: 4})
+			if err != nil {
+				t.Fatalf("n=%d f=%d r=%d: %v", tc.n, tc.f, r, err)
+			}
+			if got != want {
+				t.Errorf("n=%d f=%d r=%d: incremental %+v != restart %+v", tc.n, tc.f, r, got, want)
+			}
+		}
+	}
+}
+
+// TestGraphIncrementalExtendMatchesRestart does the same on arbitrary
+// topologies.
+func TestGraphIncrementalExtendMatchesRestart(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		f    int
+		maxR int
+	}{
+		{"path-3", graph.Path(3), 1, 2},
+		{"cycle-4", graph.Cycle(4), 1, 1},
+		{"star-4", graph.Star(4), 0, 2},
+	}
+	for _, tc := range cases {
+		eng := fullinfo.NewEngine(graphStepper(tc.g, tc.f), fullinfo.Options{})
+		for r := 0; r <= tc.maxR; r++ {
+			got, err := eng.ExtendTo(ctx, r)
+			if err != nil {
+				t.Fatalf("%s f=%d r=%d: %v", tc.name, tc.f, r, err)
+			}
+			want, _, err := fullinfo.RunChecked(ctx, graphStepper(tc.g, tc.f), r,
+				fullinfo.Options{Parallel: true, Workers: 4})
+			if err != nil {
+				t.Fatalf("%s f=%d r=%d: %v", tc.name, tc.f, r, err)
+			}
+			if got != want {
+				t.Errorf("%s f=%d r=%d: incremental %+v != restart %+v", tc.name, tc.f, r, got, want)
+			}
+		}
+	}
+}
+
+// TestAnalyzeMinRoundsMatchesRestartSearch drives the MinRounds mode of
+// the unified entry point against the naive restart search over the
+// sequential reference, for both K_n and graph requests.
+func TestAnalyzeMinRoundsMatchesRestartSearch(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range nfCases {
+		wantR, wantOK := 0, false
+		for r := 0; r <= tc.maxR; r++ {
+			if analyzeSequential(tc.n, tc.f, r).Solvable {
+				wantR, wantOK = r, true
+				break
+			}
+		}
+		rep, err := Analyze(ctx, Request{N: tc.n, F: tc.f, Horizon: tc.maxR, MinRounds: true, VerdictOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Found != wantOK || (wantOK && rep.Rounds != wantR) {
+			t.Errorf("n=%d f=%d: MinRounds found=%v rounds=%d, want found=%v rounds=%d",
+				tc.n, tc.f, rep.Found, rep.Rounds, wantOK, wantR)
+		}
+		if wantOK {
+			exact := analyzeSequential(tc.n, tc.f, rep.Rounds)
+			if rep.Analysis != exact {
+				t.Errorf("n=%d f=%d: found-horizon analysis %+v != sequential %+v",
+					tc.n, tc.f, rep.Analysis, exact)
+			}
+		}
+	}
+	star := graph.Star(4)
+	wantR, wantOK := 0, false
+	for r := 0; r <= 3; r++ {
+		if graphAnalyzeSequential(star, 0, r).Solvable {
+			wantR, wantOK = r, true
+			break
+		}
+	}
+	rep, err := Analyze(ctx, Request{Graph: star, F: 0, Horizon: 3, MinRounds: true, VerdictOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Found != wantOK || rep.Rounds != wantR {
+		t.Errorf("star-4 f=0: MinRounds %+v, want found=%v at %d", rep.Analysis, wantOK, wantR)
 	}
 }

@@ -1,8 +1,6 @@
 package nchain
 
 import (
-	"context"
-
 	"repro/internal/fullinfo"
 	"repro/internal/graph"
 )
@@ -82,79 +80,4 @@ func analysisOf(n, f, r int, res fullinfo.Result) Analysis {
 		MixedComponents: res.MixedComponents,
 		Solvable:        res.Solvable,
 	}
-}
-
-// AnalyzeOpt decides r-round consensus on K_n with explicit engine
-// options; results are identical to AnalyzeSequential.
-func AnalyzeOpt(n, f, r int, opt fullinfo.Options) Analysis {
-	res, _ := fullinfo.Run(knStepper(n, f), r, opt)
-	return analysisOf(n, f, r, res)
-}
-
-// Analyze decides r-round binary consensus for n processes on K_n under
-// at most f losses per round, using the parallel streaming engine.
-// Input vectors range over {0,1}^n.
-func Analyze(n, f, r int) Analysis {
-	return AnalyzeOpt(n, f, r, fullinfo.Defaults())
-}
-
-// SolvableInRounds reports whether (n, f) consensus on K_n is r-round
-// solvable, aborting the exploration on the first mixed component.
-func SolvableInRounds(n, f, r int) bool {
-	opt := fullinfo.Defaults()
-	opt.EarlyExit = true
-	res, _ := fullinfo.Run(knStepper(n, f), r, opt)
-	return res.Solvable
-}
-
-// GraphAnalyzeOpt is GraphAnalyze with explicit engine options.
-func GraphAnalyzeOpt(g *graph.Graph, f, r int, opt fullinfo.Options) Analysis {
-	res, _ := fullinfo.Run(graphStepper(g, f), r, opt)
-	return analysisOf(g.N(), f, r, res)
-}
-
-// GraphAnalyze generalizes the full-information analysis from K_n to an
-// arbitrary connected topology on the parallel streaming engine: it
-// decides whether r-round binary consensus exists for n processes on g
-// with at most f message losses per round (the scheme O_f^ω of Section
-// V-A). Combined over horizons this gives an exhaustive validation of
-// Theorem V.1 on small graphs: for f < c(G) some horizon works
-// (flooding shows r = n−1 suffices), while for f ≥ c(G) *no* horizon
-// does — an all-algorithms impossibility, much stronger than exhibiting
-// one failing algorithm.
-func GraphAnalyze(g *graph.Graph, f, r int) Analysis {
-	return GraphAnalyzeOpt(g, f, r, fullinfo.Defaults())
-}
-
-// GraphSolvableInRounds reports whether (g, f) consensus is r-round
-// solvable, aborting the exploration on the first mixed component.
-func GraphSolvableInRounds(g *graph.Graph, f, r int) bool {
-	opt := fullinfo.Defaults()
-	opt.EarlyExit = true
-	res, _ := fullinfo.Run(graphStepper(g, f), r, opt)
-	return res.Solvable
-}
-
-// SolvableInRoundsChecked is SolvableInRounds under a context: the
-// deadline propagates into the engine's worker pool and an interrupted
-// walk surfaces ctx.Err() instead of a partial verdict.
-func SolvableInRoundsChecked(ctx context.Context, n, f, r int) (bool, error) {
-	opt := fullinfo.Defaults()
-	opt.EarlyExit = true
-	res, _, err := fullinfo.RunChecked(ctx, knStepper(n, f), r, opt)
-	if err != nil {
-		return false, err
-	}
-	return res.Solvable, nil
-}
-
-// GraphSolvableInRoundsChecked is GraphSolvableInRounds under a context.
-func GraphSolvableInRoundsChecked(ctx context.Context, g *graph.Graph, f, r int) (bool, error) {
-	opt := fullinfo.Defaults()
-	opt.EarlyExit = true
-	res, _, err := fullinfo.RunChecked(ctx, graphStepper(g, f), r, opt)
-	if err != nil {
-		return false, err
-	}
-	return res.Solvable, nil
 }

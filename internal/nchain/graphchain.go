@@ -6,11 +6,12 @@ import (
 	"repro/internal/graph"
 )
 
-// GraphAnalyzeSequential is the original single-threaded
+// graphAnalyzeSequential is the original single-threaded
 // materialize-then-union analysis for arbitrary topologies — the
-// reference implementation the parallel streaming engine (GraphAnalyze
-// in engine.go) is differentially tested against.
-func GraphAnalyzeSequential(g *graph.Graph, f, r int) Analysis {
+// reference implementation the streaming engine is differentially
+// tested against, reachable through Analyze with Request.Graph and
+// Request.Sequential.
+func graphAnalyzeSequential(g *graph.Graph, f, r int) Analysis {
 	n := g.N()
 	patterns := graphPatterns(g, f)
 	in := newInterner()
@@ -110,18 +111,6 @@ func GraphAnalyzeSequential(g *graph.Graph, f, r int) Analysis {
 	}
 	an.Solvable = an.MixedComponents == 0
 	return an
-}
-
-// GraphMinRounds finds the smallest horizon ≤ maxR at which (g, f)
-// consensus is solvable. Unsolvable horizons are rejected by the
-// engine's early-exit path.
-func GraphMinRounds(g *graph.Graph, f, maxR int) (int, bool) {
-	for r := 0; r <= maxR; r++ {
-		if GraphSolvableInRounds(g, f, r) {
-			return r, true
-		}
-	}
-	return 0, false
 }
 
 // directedEdges enumerates the directed edges of g in a fixed order.

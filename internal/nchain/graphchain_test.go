@@ -12,7 +12,7 @@ func TestGraphAnalyzeMatchesComplete(t *testing.T) {
 	for n := 2; n <= 3; n++ {
 		for f := 0; f <= 2; f++ {
 			for r := 0; r <= 2; r++ {
-				a := Analyze(n, f, r)
+				a := analyzeKn(t, n, f, r)
 				b := GraphAnalyze(graph.Complete(n), f, r)
 				if a.Solvable != b.Solvable || a.Configs != b.Configs {
 					t.Fatalf("n=%d f=%d r=%d: K_n-specific %v vs graph-general %v", n, f, r, a, b)

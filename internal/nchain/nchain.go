@@ -114,12 +114,13 @@ func (in *interner) tuple(vals []int) int {
 	return id
 }
 
-// AnalyzeSequential decides r-round binary consensus for n processes on
+// analyzeSequential decides r-round binary consensus for n processes on
 // K_n under at most f losses per round with the original single-threaded
 // materialize-then-union algorithm. It is the reference implementation
-// the parallel streaming engine (Analyze in engine.go) is differentially
-// tested against. Input vectors range over {0,1}^n.
-func AnalyzeSequential(n, f, r int) Analysis {
+// the streaming engine is differentially tested against, reachable
+// through Analyze with Request.Sequential. Input vectors range over
+// {0,1}^n.
+func analyzeSequential(n, f, r int) Analysis {
 	patterns := PatternsUpTo(n, f)
 	in := newInterner()
 
@@ -230,19 +231,6 @@ func AnalyzeSequential(n, f, r int) Analysis {
 	}
 	an.Solvable = an.MixedComponents == 0
 	return an
-}
-
-// MinRounds finds the smallest horizon ≤ maxR at which (n, f) consensus is
-// solvable on K_n. Unsolvable horizons are rejected by the engine's
-// early-exit path, so the search cost concentrates on the final,
-// solvable horizon.
-func MinRounds(n, f, maxR int) (int, bool) {
-	for r := 0; r <= maxR; r++ {
-		if SolvableInRounds(n, f, r) {
-			return r, true
-		}
-	}
-	return 0, false
 }
 
 // Threshold returns the Theorem V.1 prediction for K_n: solvable iff

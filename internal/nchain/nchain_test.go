@@ -1,8 +1,19 @@
 package nchain
 
 import (
+	"context"
 	"testing"
 )
+
+// analyzeKn runs the unified entry point for K_n at one fixed horizon.
+func analyzeKn(t *testing.T, n, f, r int) Analysis {
+	t.Helper()
+	rep, err := Analyze(context.Background(), Request{N: n, F: f, Horizon: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Analysis
+}
 
 func TestLossPatterns(t *testing.T) {
 	// K_3 has 6 directed edges; with f=1 there are 1+6 patterns.
@@ -57,7 +68,7 @@ func TestTwoProcessesMatchesChain(t *testing.T) {
 		t.Fatalf("n=2 f=0: %d", p)
 	}
 	for r := 0; r <= 4; r++ {
-		if Analyze(2, 1, r).Solvable {
+		if analyzeKn(t, 2, 1, r).Solvable {
 			t.Fatalf("n=2 f=1 solvable at r=%d — contradicts the Coordinated Attack impossibility", r)
 		}
 	}
@@ -83,7 +94,7 @@ func TestThresholdK3(t *testing.T) {
 	}
 	// f=2 = c(K_3): unsolvable.
 	for r := 0; r <= 3; r++ {
-		if Analyze(3, 2, r).Solvable {
+		if analyzeKn(t, 3, 2, r).Solvable {
 			t.Fatalf("n=3 f=2 solvable at r=%d", r)
 		}
 	}
@@ -103,7 +114,7 @@ func TestK4LowBudget(t *testing.T) {
 }
 
 func TestAnalysisString(t *testing.T) {
-	if Analyze(2, 0, 1).String() == "" {
+	if analyzeKn(t, 2, 0, 1).String() == "" {
 		t.Error("empty analysis string")
 	}
 }

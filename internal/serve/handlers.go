@@ -13,7 +13,6 @@ import (
 
 	coordattack "repro"
 	"repro/internal/chaos"
-	"repro/internal/nchain"
 )
 
 // routes mounts every endpoint on the mux behind the pipeline.
@@ -34,6 +33,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /varz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.varz())
 	})
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.Handle("POST /v1/classify", s.protect(classLight, s.handleClassify))
 	s.mux.Handle("POST /v1/index", s.protect(classLight, s.handleIndex))
 	s.mux.Handle("POST /v1/unindex", s.protect(classLight, s.handleUnindex))
@@ -385,16 +385,17 @@ type solvableRequest struct {
 }
 
 type solvableResponse struct {
-	Scheme          string `json:"scheme"`
-	Horizon         int    `json:"horizon"`
-	Solvable        bool   `json:"solvable"`
-	Found           *bool  `json:"found,omitempty"` // minRounds search outcome
-	Configs         int    `json:"configs,omitempty"`
-	Components      int    `json:"components,omitempty"`
-	MixedComponents int    `json:"mixedComponents,omitempty"`
-	Cached          bool   `json:"cached"`
-	Shared          bool   `json:"shared"`
-	ElapsedMs       int64  `json:"elapsedMs"`
+	Scheme          string           `json:"scheme"`
+	Horizon         int              `json:"horizon"`
+	Solvable        bool             `json:"solvable"`
+	Found           *bool            `json:"found,omitempty"` // minRounds search outcome
+	Configs         int              `json:"configs,omitempty"`
+	Components      int              `json:"components,omitempty"`
+	MixedComponents int              `json:"mixedComponents,omitempty"`
+	Engine          *engineStatsJSON `json:"engine,omitempty"`
+	Cached          bool             `json:"cached"`
+	Shared          bool             `json:"shared"`
+	ElapsedMs       int64            `json:"elapsedMs"`
 }
 
 func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
@@ -420,26 +421,30 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 	start := s.cfg.Clock()
 	val, cached, shared, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
 		resp := solvableResponse{Scheme: sch.Name(), Horizon: horizon}
-		if req.MinRounds {
-			h, found, err := coordattack.MinRoundsSearchChecked(ctx, sch, horizon)
-			if err != nil {
-				return nil, err
-			}
-			resp.Found = &found
-			resp.Solvable = found
-			if found {
-				resp.Horizon = h
-			}
-			return resp, nil
-		}
-		an, err := coordattack.AnalyzeRoundsChecked(ctx, sch, horizon)
+		rep, err := coordattack.Analyze(ctx, coordattack.RoundsRequest{
+			Scheme:      sch,
+			Horizon:     horizon,
+			MinRounds:   req.MinRounds,
+			VerdictOnly: req.MinRounds,
+			Observer:    s.engine.observe,
+		})
 		if err != nil {
 			return nil, err
 		}
-		resp.Solvable = an.Solvable
-		resp.Configs = an.Configs
-		resp.Components = an.Components
-		resp.MixedComponents = an.MixedComponents
+		if req.MinRounds {
+			found := rep.Found
+			resp.Found = &found
+			resp.Solvable = found
+			if found {
+				resp.Horizon = rep.Rounds
+			}
+		} else {
+			resp.Solvable = rep.Solvable
+			resp.Configs = rep.Configs
+			resp.Components = rep.Components
+			resp.MixedComponents = rep.MixedComponents
+		}
+		resp.Engine = engineStatsOf(rep.Stats)
 		return resp, nil
 	})
 	if err != nil {
@@ -461,15 +466,16 @@ type netSolvableRequest struct {
 }
 
 type netSolvableResponse struct {
-	Graph            string `json:"graph"`
-	N                int    `json:"n"`
-	F                int    `json:"f"`
-	Rounds           int    `json:"rounds"`
-	Solvable         bool   `json:"solvable"`
-	EdgeConnectivity int    `json:"edgeConnectivity"`
-	TheoremV1        bool   `json:"theoremV1Solvable"` // f < c(G)
-	Cached           bool   `json:"cached"`
-	ElapsedMs        int64  `json:"elapsedMs"`
+	Graph            string           `json:"graph"`
+	N                int              `json:"n"`
+	F                int              `json:"f"`
+	Rounds           int              `json:"rounds"`
+	Solvable         bool             `json:"solvable"`
+	EdgeConnectivity int              `json:"edgeConnectivity"`
+	TheoremV1        bool             `json:"theoremV1Solvable"` // f < c(G)
+	Engine           *engineStatsJSON `json:"engine,omitempty"`
+	Cached           bool             `json:"cached"`
+	ElapsedMs        int64            `json:"elapsedMs"`
 }
 
 func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
@@ -498,7 +504,13 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("netsolve|%s|f=%d|r=%d", graphKey(g), req.F, req.Rounds)
 	start := s.cfg.Clock()
 	val, cached, _, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
-		solvable, err := nchain.GraphSolvableInRoundsChecked(ctx, g, req.F, req.Rounds)
+		rep, err := coordattack.AnalyzeNet(ctx, coordattack.NetAnalysisRequest{
+			Graph:       g,
+			F:           req.F,
+			Horizon:     req.Rounds,
+			VerdictOnly: true,
+			Observer:    s.engine.observe,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -508,9 +520,10 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 			N:                g.N(),
 			F:                req.F,
 			Rounds:           req.Rounds,
-			Solvable:         solvable,
+			Solvable:         rep.Solvable,
 			EdgeConnectivity: c,
 			TheoremV1:        req.F < c,
+			Engine:           engineStatsOf(rep.Stats),
 		}, nil
 	})
 	if err != nil {

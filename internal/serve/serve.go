@@ -145,13 +145,14 @@ type metrics struct {
 // Handler on any http.Server, or let ListenAndServe own the lifecycle
 // (including graceful drain).
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	m     metrics
-	cache *resultCache
-	heavy *gate
-	light *gate
-	brk   *breaker
+	cfg    Config
+	mux    *http.ServeMux
+	m      metrics
+	engine engineAgg
+	cache  *resultCache
+	heavy  *gate
+	light  *gate
+	brk    *breaker
 
 	// baseCtx is the computation lifetime: singleflight leaders run
 	// under it so request disconnects don't kill shared work. It is

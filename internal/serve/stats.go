@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	coordattack "repro"
+)
+
+// engineAgg accumulates fullinfo engine instrumentation across every
+// analysis the server has computed. The observer fires once per engine
+// invocation (or per incremental round of a MinRounds search), so the
+// counters keep growing even when the request later times out. Cache
+// hits and singleflight followers never re-run the engine and therefore
+// never count — /v1/stats measures work done, not requests served.
+type engineAgg struct {
+	runs      atomic.Int64
+	rounds    atomic.Int64
+	configs   atomic.Int64
+	newViews  atomic.Int64
+	wallNanos atomic.Int64
+}
+
+// observe is the fullinfo Observer hook wired into every engine request.
+func (a *engineAgg) observe(st coordattack.EngineStats) {
+	a.runs.Add(1)
+	a.rounds.Add(int64(st.Rounds))
+	a.configs.Add(st.Configs)
+	a.newViews.Add(int64(st.NewViews))
+	a.wallNanos.Add(st.WallNanos)
+}
+
+// engineStatsJSON is the per-response engine instrumentation block,
+// cached alongside the verdict so repeat queries can still show what the
+// original computation cost.
+type engineStatsJSON struct {
+	Rounds          int   `json:"rounds"`
+	Configs         int64 `json:"configs"`
+	Vertices        int   `json:"vertices"`
+	Components      int   `json:"components"`
+	MixedComponents int   `json:"mixedComponents"`
+	Merges          int   `json:"merges"`
+	ViewsInterned   int   `json:"viewsInterned"`
+	Workers         int   `json:"workers"`
+	WallNanos       int64 `json:"wallNanos"`
+}
+
+func engineStatsOf(st coordattack.EngineStats) *engineStatsJSON {
+	return &engineStatsJSON{
+		Rounds:          st.Rounds,
+		Configs:         st.Configs,
+		Vertices:        st.Vertices,
+		Components:      st.Components,
+		MixedComponents: st.MixedComponents,
+		Merges:          st.Merges,
+		ViewsInterned:   st.ViewsInterned,
+		Workers:         st.Workers,
+		WallNanos:       st.WallNanos,
+	}
+}
+
+// StatsVarz is the GET /v1/stats aggregate: lifetime engine work plus
+// the cache effectiveness needed to interpret it.
+type StatsVarz struct {
+	EngineRuns         int64 `json:"engineRuns"`
+	RoundsAnalyzed     int64 `json:"roundsAnalyzed"`
+	ConfigsExplored    int64 `json:"configsExplored"`
+	ViewsInterned      int64 `json:"viewsInterned"`
+	EngineWallNanos    int64 `json:"engineWallNanos"`
+	CacheHits          int64 `json:"cacheHits"`
+	CacheMisses        int64 `json:"cacheMisses"`
+	SingleflightShared int64 `json:"singleflightShared"`
+}
+
+func (s *Server) statsVarz() StatsVarz {
+	return StatsVarz{
+		EngineRuns:         s.engine.runs.Load(),
+		RoundsAnalyzed:     s.engine.rounds.Load(),
+		ConfigsExplored:    s.engine.configs.Load(),
+		ViewsInterned:      s.engine.newViews.Load(),
+		EngineWallNanos:    s.engine.wallNanos.Load(),
+		CacheHits:          s.cache.hits.Load(),
+		CacheMisses:        s.cache.misses.Load(),
+		SingleflightShared: s.cache.shared.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsVarz())
+}

@@ -1,9 +1,11 @@
 package coordattack
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/nchain"
 	"repro/internal/netconsensus"
 	"repro/internal/netsim"
 	"repro/internal/omission"
@@ -80,6 +82,25 @@ func NetworkSolvable(g *Graph, f int) bool {
 
 // EdgeConnectivity returns c(G).
 func EdgeConnectivity(g *Graph) int { return g.EdgeConnectivity() }
+
+// NetAnalysisRequest selects an n-process bounded-round solvability
+// computation for the unified engine entry point: K_N (Graph nil) or an
+// arbitrary topology, at a fixed horizon or as an incremental MinRounds
+// search. See nchain.Request for all fields.
+type NetAnalysisRequest = nchain.Request
+
+// NetAnalysisReport is the outcome of AnalyzeNet, with aggregated
+// EngineStats for the whole request.
+type NetAnalysisReport = nchain.Report
+
+// AnalyzeNet is the context-first engine entry point for n-process
+// bounded-round analysis (the exhaustive, all-algorithms form of
+// Theorem V.1 on small instances). The legacy helpers AnalyzeComplete,
+// MinRoundsComplete, AnalyzeGraphConsensus, and MinRoundsGraph delegate
+// here.
+func AnalyzeNet(ctx context.Context, req NetAnalysisRequest) (NetAnalysisReport, error) {
+	return nchain.Analyze(ctx, req)
+}
 
 // MinCut returns a minimum edge cut with connected sides (the (A, B, C)
 // partition of the Theorem V.1 proof).

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# bench_smoke.sh — measure the incremental MinRounds engine against the
+# per-horizon restart strategy and record the result as BENCH_4.json.
+#
+# The benchmark sweeps R1 (never solvable, so both sides walk every
+# horizon 0..maxR) and the acceptance bar is a ≥2× speedup: the restart
+# side rebuilds interners, union-find, and the walk at every horizon,
+# while the incremental side grows one frontier. Usage:
+#
+#   ./scripts/bench_smoke.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_4.json}"
+MAXR=8
+COUNT="${BENCH_COUNT:-3x}"
+
+RAW="$(go test -run '^$' -bench '^BenchmarkMinRoundsIncrementalVsRestart$' -benchtime "${COUNT}" .)"
+echo "${RAW}"
+
+RESTART_NS="$(echo "${RAW}" | awk '/\/restart/ {print $3}')"
+INCREMENTAL_NS="$(echo "${RAW}" | awk '/\/incremental/ {print $3}')"
+if [ -z "${RESTART_NS}" ] || [ -z "${INCREMENTAL_NS}" ]; then
+	echo "bench_smoke: benchmark output missing restart/incremental lines" >&2
+	exit 1
+fi
+
+SPEEDUP="$(awk "BEGIN {printf \"%.2f\", ${RESTART_NS} / ${INCREMENTAL_NS}}")"
+cat >"${OUT}" <<EOF
+{
+  "benchmark": "BenchmarkMinRoundsIncrementalVsRestart",
+  "scheme": "R1",
+  "max_horizon": ${MAXR},
+  "restart_ns_per_op": ${RESTART_NS},
+  "incremental_ns_per_op": ${INCREMENTAL_NS},
+  "speedup": ${SPEEDUP}
+}
+EOF
+echo "bench_smoke: wrote ${OUT} (speedup ${SPEEDUP}x)"
+
+if ! awk "BEGIN {exit !(${SPEEDUP} >= 2.0)}"; then
+	echo "bench_smoke: speedup ${SPEEDUP}x is below the 2x acceptance bar" >&2
+	exit 1
+fi

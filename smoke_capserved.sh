@@ -52,7 +52,9 @@ done
 HEALTH="$(curl -fsS "${BASE}/healthz")"
 [ "${HEALTH}" = "ok" ] || { echo "smoke: /healthz said '${HEALTH}'" >&2; exit 1; }
 
-# One solvability query, twice: the repeat must be served from cache.
+# One solvability query, twice: the repeat must be served from cache,
+# and both replies must carry the engine instrumentation of the original
+# computation (S1 at horizon 2 streams 28 leaf configurations).
 BODY='{"scheme":"S1","horizon":2}'
 FIRST="$(curl -fsS -X POST -d "${BODY}" "${BASE}/v1/solvable")"
 echo "${FIRST}" | grep -q '"solvable": true' || {
@@ -62,6 +64,26 @@ echo "${FIRST}" | grep -q '"solvable": true' || {
 SECOND="$(curl -fsS -X POST -d "${BODY}" "${BASE}/v1/solvable")"
 echo "${SECOND}" | grep -q '"cached": true' || {
 	echo "smoke: repeat query was not cached: ${SECOND}" >&2
+	exit 1
+}
+echo "${SECOND}" | grep -Eq '"configs": [1-9]' || {
+	echo "smoke: cached reply lost the engine stats: ${SECOND}" >&2
+	exit 1
+}
+
+# /v1/stats must aggregate the engine work: exactly one engine run so
+# far (the second query was a cache hit), with non-zero configs.
+STATS="$(curl -fsS "${BASE}/v1/stats")"
+echo "${STATS}" | grep -Eq '"engineRuns": [1-9]' || {
+	echo "smoke: /v1/stats reports no engine runs: ${STATS}" >&2
+	exit 1
+}
+echo "${STATS}" | grep -Eq '"configsExplored": [1-9]' || {
+	echo "smoke: /v1/stats reports no configs explored: ${STATS}" >&2
+	exit 1
+}
+echo "${STATS}" | grep -q '"cacheHits": 1' || {
+	echo "smoke: /v1/stats did not count the cache hit: ${STATS}" >&2
 	exit 1
 }
 

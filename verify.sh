@@ -19,6 +19,19 @@ if [ -n "${UNFORMATTED}" ]; then
 	exit 1
 fi
 
+echo "== deprecated engine API gate =="
+# internal/ and cmd/ code must use the unified Analyze(ctx, Request)
+# entry points. The deprecated wrappers exist only for out-of-tree
+# callers; the repo-root facade is exempt (its legacy helpers delegate
+# to them by design). Qualified calls are enough to catch violations:
+# in-package wrapper tests (chain/nchain) are intentional coverage of
+# the wrappers themselves and call them unqualified.
+DEPRECATED='AnalyzeOpt|AnalyzeChecked|AnalyzeSequential|AnalyzeRounds|AnalyzeRoundsChecked|AnalyzeComplete|AnalyzeGraphConsensus|SolvableInRounds|SolvableInRoundsChecked|MinRounds|MinRoundsSearch|MinRoundsSearchChecked|MinRoundsComplete|MinRoundsGraph|GraphAnalyze|GraphAnalyzeOpt|GraphAnalyzeSequential|GraphSolvableInRounds|GraphSolvableInRoundsChecked|GraphMinRounds'
+if grep -rnE "(chain|nchain|coordattack)\.(${DEPRECATED})\(" internal cmd --include='*.go'; then
+	echo "verify.sh: internal/ or cmd/ code calls a deprecated engine wrapper — use Analyze(ctx, Request) / AnalyzeNet(ctx, Request)" >&2
+	exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
