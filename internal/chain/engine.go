@@ -41,7 +41,7 @@ func (st chainStepper) Step(ctx *fullinfo.Ctx, state, a int, views, next []int) 
 	if l.LostWhite() {
 		rb = -1
 	}
-	next[0] = ctx.In.View(views[0], rw)
-	next[1] = ctx.In.View(views[1], rb)
+	next[0] = ctx.View(views[0], rw)
+	next[1] = ctx.View(views[1], rb)
 	return ns, true
 }

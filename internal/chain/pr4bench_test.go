@@ -1,0 +1,284 @@
+package chain
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/fullinfo"
+	"repro/internal/omission"
+	"repro/internal/scheme"
+)
+
+// This file freezes the PR-4 incremental engine as a benchmark
+// baseline: a Go-map interner with a creation log, fresh worst-case
+// frontier slices every round, and a separate leaf scan per horizon —
+// byte-for-byte the data-structure choices of the engine this PR
+// replaces (see git history, internal/fullinfo/incremental.go at the
+// PR-4 merge). BENCH_5's ≥5x speedup claim is measured against this
+// reimplementation so the comparison survives the old code's deletion.
+
+type pr4ViewKey struct{ prev, recv int }
+
+type pr4Interner struct {
+	views map[pr4ViewKey]int
+	next  int
+	log   []pr4ViewKey
+}
+
+func (in *pr4Interner) view(prev, recv int) int {
+	k := pr4ViewKey{prev, recv}
+	if id, ok := in.views[k]; ok {
+		return id
+	}
+	id := in.next
+	in.next++
+	in.views[k] = id
+	in.log = append(in.log, k)
+	return id
+}
+
+type pr4Engine struct {
+	dfa     *scheme.PrefixDFA
+	in      *pr4Interner
+	horizon int
+	states  []int
+	inputs  []int32
+	views   []int // 2 per node: white, black
+}
+
+func newPR4Engine(s *scheme.Scheme) *pr4Engine {
+	e := &pr4Engine{
+		dfa: s.PrefixDFA(),
+		in:  &pr4Interner{views: map[pr4ViewKey]int{}},
+	}
+	if start := e.dfa.Start(); start >= 0 {
+		for inputs := 0; inputs < 4; inputs++ {
+			e.states = append(e.states, start)
+			e.inputs = append(e.inputs, int32(inputs))
+			e.views = append(e.views,
+				fullinfo.InitView(inputs&1), fullinfo.InitView((inputs>>1)&1))
+		}
+	}
+	return e
+}
+
+func (e *pr4Engine) grow() {
+	na := e.dfa.Alphabet()
+	nodes := len(e.states)
+	nextStates := make([]int, 0, nodes*na)
+	nextInputs := make([]int32, 0, nodes*na)
+	nextViews := make([]int, 0, nodes*na*2)
+	for i := 0; i < nodes; i++ {
+		w, b := e.views[2*i], e.views[2*i+1]
+		for a := 0; a < na; a++ {
+			ns := e.dfa.Step(e.states[i], a)
+			if ns < 0 {
+				continue
+			}
+			l := omission.Letter(a)
+			rw, rb := b, w
+			if l.LostBlack() {
+				rw = -1
+			}
+			if l.LostWhite() {
+				rb = -1
+			}
+			nextStates = append(nextStates, ns)
+			nextInputs = append(nextInputs, e.inputs[i])
+			nextViews = append(nextViews, e.in.view(w, rw), e.in.view(b, rb))
+		}
+	}
+	e.states, e.inputs, e.views = nextStates, nextInputs, nextViews
+	e.horizon++
+}
+
+// scan mirrors PR-4's separate leaf pass: a fresh dense (view, proc)
+// vertex table over the whole interner history plus a flagged
+// union-find, early-exiting on the first mixed component.
+func (e *pr4Engine) scan() (solvable bool, configs int64) {
+	type uf struct {
+		parent []int32
+		rank   []int8
+		flag   []uint8
+		mixed  int
+	}
+	u := uf{}
+	add := func() int32 {
+		id := int32(len(u.parent))
+		u.parent = append(u.parent, id)
+		u.rank = append(u.rank, 0)
+		u.flag = append(u.flag, 0)
+		return id
+	}
+	find := func(x int32) int32 {
+		for u.parent[x] != x {
+			u.parent[x] = u.parent[u.parent[x]]
+			x = u.parent[x]
+		}
+		return x
+	}
+	const has0, has1, mixed = 1, 2, 3
+	mark := func(r int32, f uint8) {
+		if m := u.flag[r] | f; m != u.flag[r] {
+			u.flag[r] = m
+			if m == mixed {
+				u.mixed++
+			}
+		}
+	}
+	vert := make([]int32, (e.in.next+3)*2)
+	vertex := func(proc, view int) int32 {
+		slot := &vert[(view+3)*2+proc]
+		if *slot == 0 {
+			*slot = add() + 1
+		}
+		return *slot - 1
+	}
+	for i := 0; i < len(e.states); i++ {
+		configs++
+		ra := find(vertex(0, e.views[2*i]))
+		rb := find(vertex(1, e.views[2*i+1]))
+		root := ra
+		if ra != rb {
+			if u.rank[ra] < u.rank[rb] {
+				ra, rb = rb, ra
+			}
+			u.parent[rb] = ra
+			if u.rank[ra] == u.rank[rb] {
+				u.rank[ra]++
+			}
+			fa, fb := u.flag[ra], u.flag[rb]
+			if fa == mixed {
+				u.mixed--
+			}
+			if fb == mixed {
+				u.mixed--
+			}
+			u.flag[ra] = fa | fb
+			if fa|fb == mixed {
+				u.mixed++
+			}
+			root = ra
+		}
+		switch e.inputs[i] {
+		case 0:
+			mark(find(root), has0)
+		case 3:
+			mark(find(root), has1)
+		}
+		if u.mixed > 0 {
+			return false, configs // VerdictOnly early exit
+		}
+	}
+	return u.mixed == 0, configs
+}
+
+// minRounds runs the PR-4 MinRounds loop: extend one round, scan, stop
+// at the first solvable horizon.
+func (e *pr4Engine) minRounds(maxR int) (int, bool) {
+	for r := 0; r <= maxR; r++ {
+		for e.horizon < r {
+			e.grow()
+		}
+		if ok, _ := e.scan(); ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// TestPR4BaselineFaithful cross-checks the frozen baseline against the
+// current engine on every named scheme: same verdict per horizon and
+// same config counts on exhaustive horizons. A baseline that drifted
+// would make the benchmark ratio meaningless.
+func TestPR4BaselineFaithful(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range scheme.Names() {
+		s, err := scheme.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := newPR4Engine(s)
+		eng := fullinfo.NewEngine(newChainStepper(s), fullinfo.Options{})
+		for r := 0; r <= 5; r++ {
+			for base.horizon < r {
+				base.grow()
+			}
+			okBase, configs := base.scan()
+			want, err := eng.ExtendTo(ctx, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okBase != want.Solvable {
+				t.Fatalf("%s r=%d: baseline solvable=%v, engine %v", name, r, okBase, want.Solvable)
+			}
+			if okBase && configs != want.Configs {
+				t.Fatalf("%s r=%d: baseline configs=%d, engine %d", name, r, configs, want.Configs)
+			}
+		}
+	}
+}
+
+// bench5MaxR is the horizon BENCH_5 measures at; override with
+// BENCH5_MAXR. 13 keeps the PR-4 baseline's single iteration under five
+// seconds while its map-and-GC costs are far enough into their
+// superlinear regime that the measured speedup clears the 5x bar with
+// margin (the gap keeps widening with depth).
+func bench5MaxR() int {
+	if v := os.Getenv("BENCH5_MAXR"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 13
+}
+
+// BenchmarkMinRoundsDedupVsPR4 is the BENCH_5 pair: the same R1
+// MinRounds/VerdictOnly search on the frozen PR-4 baseline and on the
+// hash-consed incremental engine in its shipped configuration
+// (DedupAuto: the frontier is probed until dedupAutoPatience hit-free
+// rounds prove it injective, then probing stops). The dedup run also
+// reports the measured frontier dedup ratio over the probed rounds —
+// exactly 1.0 on R1, whose chain views are history-injective; see
+// DESIGN.md for why the speedup therefore comes from the sharded
+// interner, fused scan, and flat tables rather than from collapse.
+func BenchmarkMinRoundsDedupVsPR4(b *testing.B) {
+	s, err := scheme.ByName("R1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxR := bench5MaxR()
+	b.Run("pr4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := newPR4Engine(s).minRounds(maxR); ok {
+				b.Fatal("R1 must be unsolvable")
+			}
+		}
+	})
+	b.Run("dedup", func(b *testing.B) {
+		b.ReportAllocs()
+		var raw, distinct int64
+		for i := 0; i < b.N; i++ {
+			raw, distinct = 0, 0
+			rep, err := Analyze(context.Background(), Request{
+				Scheme: s, Horizon: maxR, MinRounds: true, VerdictOnly: true,
+				Observer: func(st fullinfo.Stats) {
+					raw += st.FrontierRaw
+					distinct += st.FrontierDistinct
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Found {
+				b.Fatal("R1 must be unsolvable")
+			}
+		}
+		if distinct > 0 {
+			b.ReportMetric(float64(raw)/float64(distinct), "dedup_ratio")
+		}
+	})
+}

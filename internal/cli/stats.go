@@ -11,7 +11,9 @@ import (
 // one -stats output line, shared by every CLI that runs the fullinfo
 // engine.
 func formatEngineStats(st coordattack.EngineStats) string {
-	return fmt.Sprintf("rounds=%d configs=%d vertices=%d components=%d mixed=%d views=%d merges=%d workers=%d wall=%s",
+	return fmt.Sprintf("rounds=%d configs=%d vertices=%d components=%d mixed=%d views=%d merges=%d workers=%d frontier=%d/%d dedup=%.3f wall=%s",
 		st.Rounds, st.Configs, st.Vertices, st.Components, st.MixedComponents,
-		st.ViewsInterned, st.Merges, st.Workers, time.Duration(st.WallNanos).Round(time.Microsecond))
+		st.ViewsInterned, st.Merges, st.Workers,
+		st.FrontierRaw, st.FrontierDistinct, st.DedupRatio(),
+		time.Duration(st.WallNanos).Round(time.Microsecond))
 }

@@ -1,0 +1,305 @@
+package fullinfo
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// collapseStepper is a toy problem whose frontier genuinely collapses
+// under hash-consing: actions 0 and 1 are indistinguishable all-drop
+// rounds (identical state and views), action 2 delivers both messages.
+// After r rounds every surviving configuration carries multiplicity
+// 2^(number of drop rounds), so raw and distinct frontier counts
+// diverge while Configs must stay the raw 4·3^r.
+type collapseStepper struct{}
+
+func (collapseStepper) NumProcs() int     { return 2 }
+func (collapseStepper) NumActions() int   { return 3 }
+func (collapseStepper) Root() (int, bool) { return 0, true }
+func (collapseStepper) Step(ctx *Ctx, state, a int, views, next []int) (int, bool) {
+	r0, r1 := -1, -1
+	if a == 2 {
+		r0, r1 = views[1], views[0]
+	}
+	next[0] = ctx.View(views[0], r0)
+	next[1] = ctx.View(views[1], r1)
+	return 0, true
+}
+
+func pow3(r int) int64 {
+	v := int64(1)
+	for i := 0; i < r; i++ {
+		v *= 3
+	}
+	return v
+}
+
+func TestEngineDedupCollapsesMultiplicity(t *testing.T) {
+	for _, mode := range []DedupMode{DedupAuto, DedupOn} {
+		var last Stats
+		eng := NewEngine(collapseStepper{}, Options{
+			Dedup:    mode,
+			Observer: func(s Stats) { last = s },
+		})
+		for r := 0; r <= 5; r++ {
+			got, err := eng.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatalf("mode=%d r=%d: %v", mode, r, err)
+			}
+			want, _ := Run(collapseStepper{}, r, Options{})
+			if got != want {
+				t.Fatalf("mode=%d r=%d: dedup %+v != reference %+v", mode, r, got, want)
+			}
+			if got.Configs != 4*pow3(r) {
+				t.Fatalf("mode=%d r=%d: Configs=%d want %d", mode, r, got.Configs, 4*pow3(r))
+			}
+			if r >= 1 {
+				// Each round triples raw nodes but only doubles distinct
+				// ones (two of three actions coincide).
+				if last.FrontierRaw <= last.FrontierDistinct {
+					t.Fatalf("mode=%d r=%d: raw=%d distinct=%d, expected collapse",
+						mode, r, last.FrontierRaw, last.FrontierDistinct)
+				}
+				if eng.FrontierLen() != int(4*pow2(r)) {
+					t.Fatalf("mode=%d r=%d: frontier holds %d nodes, want %d distinct",
+						mode, r, eng.FrontierLen(), 4*pow2(r))
+				}
+			}
+		}
+	}
+}
+
+func TestEngineDedupModesAgree(t *testing.T) {
+	for _, st := range []Stepper{collapseStepper{}, binStepper{}} {
+		ref := NewEngine(st, Options{Dedup: DedupOff})
+		on := NewEngine(st, Options{Dedup: DedupOn})
+		auto := NewEngine(st, Options{})
+		for r := 0; r <= 6; r++ {
+			want, err := ref.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOn, err := on.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAuto, err := auto.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOn != want || gotAuto != want {
+				t.Fatalf("%T r=%d: off %+v on %+v auto %+v", st, r, want, gotOn, gotAuto)
+			}
+		}
+	}
+}
+
+func TestEngineDedupOffReportsNoFrontier(t *testing.T) {
+	var last Stats
+	eng := NewEngine(collapseStepper{}, Options{Dedup: DedupOff, Observer: func(s Stats) { last = s }})
+	if _, err := eng.ExtendTo(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if last.FrontierRaw != 0 || last.FrontierDistinct != 0 {
+		t.Fatalf("DedupOff reported frontier counters: %+v", last)
+	}
+	if last.DedupRatio() != 1 {
+		t.Fatalf("DedupRatio without dedup = %v, want 1", last.DedupRatio())
+	}
+}
+
+func TestEngineDedupAutoStopsOnInjectiveFrontier(t *testing.T) {
+	// binStepper's views are history-injective, so auto mode must stop
+	// paying for dedup probes after dedupAutoPatience hit-free rounds:
+	// later rounds report no frontier counters at all.
+	var snaps []Stats
+	eng := NewEngine(binStepper{}, Options{Observer: func(s Stats) { snaps = append(snaps, s) }})
+	for r := 1; r <= dedupAutoPatience+3; r++ {
+		if _, err := eng.ExtendTo(context.Background(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range snaps {
+		dedup := s.FrontierRaw != 0
+		wantDedup := i < dedupAutoPatience
+		if dedup != wantDedup {
+			t.Fatalf("round %d: dedup ran=%v want %v (%+v)", i+1, dedup, wantDedup, s)
+		}
+		if s.FrontierRaw != s.FrontierDistinct {
+			t.Fatalf("round %d: injective stepper collapsed: %+v", i+1, s)
+		}
+	}
+}
+
+// TestEngineOptionsContract pins the Engine's documented Options
+// behavior (see the Engine doc comment).
+func TestEngineOptionsContract(t *testing.T) {
+	t.Run("workers-resolved", func(t *testing.T) {
+		cases := []struct {
+			opt  Options
+			want int
+		}{
+			{Options{}, 1},
+			{Options{Workers: 8}, 1}, // Workers without Parallel is inert
+			{Options{Parallel: true, Workers: 3}, 3},
+			{Options{Parallel: true}, runtime.GOMAXPROCS(0)},
+		}
+		for _, c := range cases {
+			var last Stats
+			c.opt.Observer = func(s Stats) { last = s }
+			eng := NewEngine(binStepper{}, c.opt)
+			if _, err := eng.ExtendTo(context.Background(), 1); err != nil {
+				t.Fatal(err)
+			}
+			if last.Workers != c.want {
+				t.Fatalf("opt %+v: Workers=%d want %d", c.opt, last.Workers, c.want)
+			}
+		}
+	})
+
+	t.Run("parallel-grow-matches-sequential", func(t *testing.T) {
+		// 4·2^10 = 4096 = parMinFrontier, so rounds 11+ take the
+		// chunked-worker path; the results must stay bit-identical.
+		var last Stats
+		seq := NewEngine(binStepper{}, Options{})
+		par := NewEngine(binStepper{}, Options{Parallel: true, Workers: 4, Observer: func(s Stats) { last = s }})
+		for r := 10; r <= 12; r++ {
+			want, err := seq.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("r=%d: parallel %+v != sequential %+v", r, got, want)
+			}
+		}
+		if last.WorkerForks == 0 || last.Absorbed == 0 {
+			t.Fatalf("parallel rounds never forked workers: %+v", last)
+		}
+	})
+
+	t.Run("build-graph-rejected", func(t *testing.T) {
+		eng := NewEngine(binStepper{}, Options{BuildGraph: true})
+		for i := 0; i < 2; i++ {
+			if _, err := eng.ExtendTo(context.Background(), 1); !errors.Is(err, ErrEngineBuildGraph) {
+				t.Fatalf("call %d: err=%v want ErrEngineBuildGraph", i, err)
+			}
+		}
+	})
+
+	t.Run("split-depth-ignored", func(t *testing.T) {
+		plain := NewEngine(binStepper{}, Options{})
+		tuned := NewEngine(binStepper{}, Options{SplitDepth: 5})
+		for r := 0; r <= 4; r++ {
+			want, err := plain.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tuned.ExtendTo(context.Background(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("r=%d: SplitDepth changed the result: %+v vs %+v", r, got, want)
+			}
+		}
+	})
+}
+
+// fuzzStepper derives a deterministic toy problem from a seed:
+// admissibility, delivery pattern, and next state all hash off
+// (seed, state, action). Distinct actions frequently map to identical
+// children, exercising real multiplicity in the dedup'd engine.
+type fuzzStepper struct{ seed uint64 }
+
+func (f fuzzStepper) NumProcs() int     { return 2 }
+func (f fuzzStepper) NumActions() int   { return 3 }
+func (f fuzzStepper) Root() (int, bool) { return 0, true }
+func (f fuzzStepper) Step(ctx *Ctx, state, a int, views, next []int) (int, bool) {
+	h := mix64(f.seed ^ uint64(state)<<8 ^ uint64(a))
+	if h%8 == 0 {
+		return 0, false
+	}
+	r0, r1 := -1, -1
+	if h&1 != 0 {
+		r0 = views[1]
+	}
+	if h&2 != 0 {
+		r1 = views[0]
+	}
+	next[0] = ctx.View(views[0], r0)
+	next[1] = ctx.View(views[1], r1)
+	return int((h >> 3) % 5), true
+}
+
+// FuzzDedupVsReference is the differential oracle for the hash-consed
+// frontier: for a seeded random stepper, the dedup'd engine (and the
+// dedup'd BFS of RunChecked) must reproduce the non-dedup reference
+// analysis exactly.
+func FuzzDedupVsReference(f *testing.F) {
+	f.Add(uint64(1), uint8(4))
+	f.Add(uint64(0xdeadbeef), uint8(5))
+	f.Add(uint64(42), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, horizon uint8) {
+		r := int(horizon % 6)
+		st := fuzzStepper{seed: seed}
+		want, _, err := RunChecked(context.Background(), st, r, Options{Dedup: DedupOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RunChecked(context.Background(), st, r, Options{Dedup: DedupOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("RunChecked dedup %+v != reference %+v", got, want)
+		}
+		eng := NewEngine(st, Options{Dedup: DedupOn})
+		inc, err := eng.ExtendTo(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inc != want {
+			t.Fatalf("engine dedup %+v != reference %+v", inc, want)
+		}
+	})
+}
+
+func TestInternerTupleHitZeroAllocs(t *testing.T) {
+	in := NewInterner(nil)
+	vals := []int{7, -1, 3, 12, -1}
+	in.Tuple(vals)
+	if a := testing.AllocsPerRun(200, func() { in.Tuple(vals) }); a != 0 {
+		t.Fatalf("Tuple hit allocates %v/op, want 0", a)
+	}
+	// Parent hits from a fork stay allocation-free too.
+	child := NewInterner(in)
+	if a := testing.AllocsPerRun(200, func() { child.Tuple(vals) }); a != 0 {
+		t.Fatalf("forked Tuple parent-hit allocates %v/op, want 0", a)
+	}
+}
+
+func BenchmarkInternerTupleHit(b *testing.B) {
+	in := NewInterner(nil)
+	vals := []int{7, -1, 3, 12, -1}
+	in.Tuple(vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Tuple(vals)
+	}
+}
+
+func BenchmarkInternerViewHit(b *testing.B) {
+	in := NewInterner(nil)
+	v := in.View(InitView(0), -1)
+	w := in.View(InitView(1), v)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.View(InitView(1), w-w+v) // defeat trivial hoisting
+	}
+}

@@ -76,7 +76,17 @@ type Stepper interface {
 type Ctx struct {
 	In  *Interner
 	buf []int
+	// View memo ring (see Ctx.View). Zero keys never match: packView
+	// is never zero.
+	memoK   [ctxMemoCap]uint64
+	memoV   [ctxMemoCap]int32
+	memoPos uint32
 }
+
+// ctxMemoCap is the View memo ring size (power of two). Eight entries
+// cover the repeated keys of an action loop: the two-process stepper
+// touches at most four distinct (prev, recv) pairs per node.
+const ctxMemoCap = 8
 
 // Buf returns a length-n scratch slice reused across calls.
 func (c *Ctx) Buf(n int) []int {
@@ -84,6 +94,27 @@ func (c *Ctx) Buf(n int) []int {
 		c.buf = make([]int, n)
 	}
 	return c.buf[:n]
+}
+
+// View is In.View behind a small per-Ctx memo ring. Steppers whose
+// action loop re-derives the same few (prev, recv) pairs — the
+// two-process chain asks for each of its four at most twice — resolve
+// repeats from registers instead of re-probing the interner table.
+// Entries never go stale: a Ctx's interner chain is append-only for
+// the Ctx's lifetime, so a memoized id stays the canonical answer.
+func (c *Ctx) View(prev, recv int) int {
+	k := packView(prev, recv)
+	for i := range c.memoK {
+		if c.memoK[i] == k {
+			return int(c.memoV[i])
+		}
+	}
+	id := c.In.View(prev, recv)
+	i := c.memoPos & (ctxMemoCap - 1)
+	c.memoK[i] = k
+	c.memoV[i] = int32(id)
+	c.memoPos++
+	return id
 }
 
 // Options configures an engine run.
@@ -106,12 +137,41 @@ type Options struct {
 	// callers (algorithm synthesis, protocol-complex reports) can read
 	// the canonical view table and per-vertex decisions.
 	BuildGraph bool
+	// Dedup controls hash-consed frontier deduplication: nodes with
+	// identical (state, inputs, views) collapse into one configuration
+	// carrying an int64 multiplicity, so Configs stays exact while the
+	// live frontier shrinks to the distinct-configuration count.
+	Dedup DedupMode
 	// Observer, when non-nil, receives a Stats snapshot after every
 	// completed run (Run/RunChecked) or incremental round
 	// (Engine.Extend). It is called synchronously on the calling
 	// goroutine; keep it cheap.
 	Observer func(Stats)
 }
+
+// DedupMode selects the frontier deduplication policy.
+type DedupMode int
+
+const (
+	// DedupAuto dedups every frontier round until the problem proves
+	// collapse-free — dedupAutoPatience consecutive rounds where raw ==
+	// distinct — then stops paying the probe cost. Multiplicities
+	// already accumulated keep propagating, so results stay exact.
+	// Full-information steppers that record null receptions (all of
+	// this repository's) are history-injective and settle into the
+	// no-dedup fast path; steppers whose views forget structure keep
+	// collapsing. The zero value, hence the default everywhere.
+	DedupAuto DedupMode = iota
+	// DedupOn dedups every round unconditionally.
+	DedupOn
+	// DedupOff never dedups; every admissible history is a frontier
+	// node, as in the pre-dedup engine.
+	DedupOff
+)
+
+// dedupAutoPatience is how many consecutive collapse-free rounds
+// DedupAuto tolerates before switching the probe off.
+const dedupAutoPatience = 2
 
 // Defaults returns the standard engine configuration: parallel across
 // all CPUs, exhaustive, no graph retention.
@@ -176,11 +236,27 @@ func vertexKey(proc, view int) int64 {
 }
 
 // node is one frontier entry: an automaton state, the n current views,
-// and the input assignment bitmask the subtree belongs to.
+// the input assignment bitmask the subtree belongs to, and the number
+// of raw (undeduplicated) histories this configuration stands for.
 type node struct {
 	state  int
 	inputs int
+	mult   int64
 	views  []int
+}
+
+// eq reports whether nd denotes the same configuration as (state,
+// inputs, views).
+func (nd *node) eq(state, inputs int, views []int) bool {
+	if nd.state != state || nd.inputs != inputs {
+		return false
+	}
+	for i, v := range nd.views {
+		if v != views[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // worker holds one pool member's private state: a forked interner, the
@@ -193,7 +269,7 @@ type worker struct {
 	height int
 
 	uf      compUF
-	verts   map[int64]int32
+	verts   flatU64
 	keys    []int64
 	configs int64
 
@@ -211,7 +287,6 @@ func newWorker(st Stepper, shared *Interner, height int) *worker {
 		na:     st.NumActions(),
 		all1:   1<<n - 1,
 		height: height,
-		verts:  map[int64]int32{},
 		views:  make([]int, (height+1)*n),
 		states: make([]int, height+1),
 		acts:   make([]int, height+1),
@@ -221,19 +296,22 @@ func newWorker(st Stepper, shared *Interner, height int) *worker {
 // vertex interns a (process, view) pair as a union-find index.
 func (w *worker) vertex(proc, view int) int32 {
 	k := vertexKey(proc, view)
-	if id, ok := w.verts[k]; ok {
+	id, slot, hit := w.verts.probe(packVertex(k))
+	if hit {
 		return id
 	}
-	id := w.uf.add()
-	w.verts[k] = id
+	id = w.uf.add()
+	w.verts.setAt(slot, packVertex(k), id)
 	w.keys = append(w.keys, k)
 	return id
 }
 
 // leaf streams one leaf configuration into the union-find: all its
 // vertices join one component, which inherits the unanimity flags.
-func (w *worker) leaf(views []int, has0, has1 bool) {
-	w.configs++
+// mult is the configuration's multiplicity: how many raw histories the
+// dedup'd subtree root stood for.
+func (w *worker) leaf(views []int, has0, has1 bool, mult int64) {
+	w.configs += mult
 	root := w.uf.find(w.vertex(0, views[0]))
 	for i := 1; i < len(views); i++ {
 		root = w.uf.union(root, w.vertex(i, views[i]))
@@ -257,7 +335,7 @@ func (w *worker) walk(nd node, earlyExit bool, abort *atomic.Bool) {
 	depth := 0
 	for depth >= 0 {
 		if depth == w.height {
-			w.leaf(w.views[depth*n:(depth+1)*n], has0, has1)
+			w.leaf(w.views[depth*n:(depth+1)*n], has0, has1, nd.mult)
 			if earlyExit && (w.uf.mixed > 0 || abort.Load()) {
 				abort.Store(true)
 				return
@@ -325,27 +403,43 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 			for i := 0; i < n; i++ {
 				views[i] = InitView((inputs >> i) & 1)
 			}
-			frontier = append(frontier, node{state: start, inputs: inputs, views: views})
+			frontier = append(frontier, node{state: start, inputs: inputs, mult: 1, views: views})
 		}
 	}
 
-	// Phase 1: expand breadth-first to the split depth on the shared
-	// interner. Stepper panics here surface as an error, like on the pool.
+	// Phase 1: expand breadth-first on the shared interner, hash-consing
+	// each level per opt.Dedup. The BFS keeps going as long as dedup is
+	// productive (always for DedupOn; for DedupAuto until the frontier
+	// proves collapse-free — hash-consing needs a global view of the
+	// level, so it must happen here, not in the per-subtree pool walk);
+	// once dedup is off, the split heuristics decide when the pool takes
+	// over. Stepper panics here surface as an error, like on the pool.
 	depth := 0
+	var dt dedupTable
+	var frontRaw, frontDistinct int64
+	cleanRounds := 0
 	if err := func() (err error) {
 		defer recoverStepper(&err)
 		for depth < r && len(frontier) > 0 {
-			if opt.SplitDepth > 0 {
-				if depth >= opt.SplitDepth {
+			dedup := opt.Dedup == DedupOn ||
+				(opt.Dedup == DedupAuto && cleanRounds < dedupAutoPatience)
+			if !dedup {
+				if opt.SplitDepth > 0 {
+					if depth >= opt.SplitDepth {
+						break
+					}
+				} else if workers == 1 || len(frontier) >= workers*subtreesPerWorker {
 					break
 				}
-			} else if workers == 1 || len(frontier) >= workers*subtreesPerWorker {
-				break
 			}
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
 			}
+			if dedup {
+				dt.reset(len(frontier) * na)
+			}
 			next := make([]node, 0, len(frontier)*na)
+			var raw int64
 			for _, nd := range frontier {
 				for a := 0; a < na; a++ {
 					nv := make([]int, n)
@@ -353,7 +447,28 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 					if !ok {
 						continue
 					}
-					next = append(next, node{state: ns, inputs: nd.inputs, views: nv})
+					if dedup {
+						raw += nd.mult
+						h := hashConfig(ns, nd.inputs, nv)
+						idx, slot := dt.find(h, func(j int32) bool {
+							return next[j].eq(ns, nd.inputs, nv)
+						})
+						if idx >= 0 {
+							next[idx].mult += nd.mult
+							continue
+						}
+						dt.claim(slot, int32(len(next)))
+					}
+					next = append(next, node{state: ns, inputs: nd.inputs, mult: nd.mult, views: nv})
+				}
+			}
+			if dedup {
+				frontRaw += raw
+				frontDistinct += int64(len(next))
+				if raw == int64(len(next)) {
+					cleanRounds++
+				} else {
+					cleanRounds = 0
 				}
 			}
 			frontier = next
@@ -372,12 +487,14 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 		}
 		if opt.Observer != nil {
 			opt.Observer(Stats{
-				Horizon:       r,
-				Rounds:        r,
-				ViewsInterned: shared.NumIDs(),
-				NewViews:      shared.NumIDs(),
-				Workers:       workers,
-				WallNanos:     time.Since(start).Nanoseconds(),
+				Horizon:          r,
+				Rounds:           r,
+				ViewsInterned:    shared.NumIDs(),
+				NewViews:         shared.NumIDs(),
+				Workers:          workers,
+				FrontierRaw:      frontRaw,
+				FrontierDistinct: frontDistinct,
+				WallNanos:        time.Since(start).Nanoseconds(),
 			})
 		}
 		return res, g, nil
@@ -435,7 +552,7 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	// Phase 3: merge. Worker ids are canonicalized into the shared
 	// interner; worker components are replayed into a global union-find.
 	guf := &compUF{}
-	gverts := map[int64]int32{}
+	var gverts flatU64
 	var gkeys []int64
 	var configs int64
 	var absorbed int
@@ -451,10 +568,10 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 				view = trans[view-base]
 			}
 			gk := vertexKey(int(k&vertProcMask), view)
-			id, ok := gverts[gk]
+			id, ok := gverts.get(packVertex(gk))
 			if !ok {
 				id = guf.add()
-				gverts[gk] = id
+				gverts.put(packVertex(gk), id)
 				gkeys = append(gkeys, gk)
 			}
 			gid[i] = id
@@ -483,20 +600,22 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	}
 	if opt.Observer != nil {
 		opt.Observer(Stats{
-			Horizon:         r,
-			Rounds:          r,
-			Configs:         configs,
-			Vertices:        res.Vertices,
-			Components:      res.Components,
-			MixedComponents: res.MixedComponents,
-			Merges:          res.Vertices - res.Components,
-			ViewsInterned:   shared.NumIDs(),
-			NewViews:        shared.NumIDs(),
-			Workers:         workers,
-			WorkerForks:     len(pool),
-			Absorbed:        absorbed,
-			Subtrees:        len(frontier),
-			WallNanos:       time.Since(start).Nanoseconds(),
+			Horizon:          r,
+			Rounds:           r,
+			Configs:          configs,
+			Vertices:         res.Vertices,
+			Components:       res.Components,
+			MixedComponents:  res.MixedComponents,
+			Merges:           res.Vertices - res.Components,
+			ViewsInterned:    shared.NumIDs(),
+			NewViews:         shared.NumIDs(),
+			Workers:          workers,
+			WorkerForks:      len(pool),
+			Absorbed:         absorbed,
+			Subtrees:         len(frontier),
+			FrontierRaw:      frontRaw,
+			FrontierDistinct: frontDistinct,
+			WallNanos:        time.Since(start).Nanoseconds(),
 		})
 	}
 	return res, g, nil

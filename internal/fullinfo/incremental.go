@@ -2,7 +2,11 @@ package fullinfo
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,33 +18,91 @@ import (
 // from-scratch walk. MinRounds-style searches (solvable at 0? at 1? …)
 // become linear in the final tree instead of quadratic in its levels.
 //
-// The Engine is sequential and single-goroutine: Options.Parallel,
-// Workers, SplitDepth, and BuildGraph are ignored. Options.EarlyExit
-// truncates only the leaf scan (never frontier growth, which later
-// rounds depend on), so Solvable stays exact while unsolvable horizons
-// are abandoned at the first mixed component. Options.Observer receives
-// one Stats snapshot per Extend/ExtendTo call.
+// The frontier is hash-consed per Options.Dedup: nodes with identical
+// (state, inputs, views) collapse into one configuration carrying an
+// int64 multiplicity, so Configs stays exact while the live set holds
+// only distinct configurations. Soundness: two such nodes generate
+// identical subtrees and leaf cliques, so collapsing them changes no
+// component structure and scales Configs by the recorded multiplicity.
+//
+// Options contract (enforced by TestEngineOptionsContract):
+//
+//   - Parallel and Workers are honored: frontier growth and the leaf
+//     scan run on chunked workers with worker-forked interners once the
+//     frontier is large enough to amortize the forks (below
+//     parMinFrontier nodes each round falls back to the sequential
+//     path, whose results are bit-identical).
+//   - EarlyExit truncates only the leaf scan (never frontier growth,
+//     which later rounds depend on), so Solvable stays exact while
+//     unsolvable horizons are abandoned at the first mixed component.
+//   - SplitDepth is ignored: the engine has no split phase — every
+//     round is already a frontier sweep. This is a tuning knob whose
+//     silent irrelevance is harmless.
+//   - BuildGraph is not supported: graph retention needs the
+//     from-scratch walk. NewEngine with BuildGraph set returns an
+//     engine whose every call fails with ErrEngineBuildGraph rather
+//     than silently dropping the request.
+//   - Observer receives one Stats snapshot per Extend/ExtendTo call.
 //
 // An Engine is not safe for concurrent use. After a Stepper panic the
 // engine is poisoned and every later call returns the same error; after
 // a context cancellation the engine is left at its previous horizon and
 // the call may simply be retried.
 type Engine struct {
-	st   Stepper
-	opt  Options
+	st  Stepper
+	opt Options
+	// sctx wraps the root interner. It runs with the creation log off
+	// (nothing absorbs *into* a child), shaving an append per new view;
+	// worker forks taken from it log as usual.
 	sctx *Ctx
 
 	n, na, all1 int
+	workers     int
 	horizon     int
 
 	// Frontier at the current horizon, parallel slices: automaton
 	// state, input-assignment bitmask, and n flat view ids per node.
+	// mults is nil exactly when every node has multiplicity 1 (the
+	// common, history-injective case) — it materializes on the first
+	// hash-cons collapse and stays live from then on.
 	states []int
 	inputs []int32
 	views  []int
+	mults  []int64
+
+	// Double buffers: grow builds the next frontier in the sp* slices
+	// and swaps, so steady-state rounds allocate only on high-water
+	// growth.
+	spStates []int
+	spInputs []int32
+	spViews  []int
+	spMults  []int64
+	growBuf  []int
+
+	dt dedupTable
+	// cleanRounds counts consecutive dedup'd rounds without a single
+	// collapse; DedupAuto stops probing at dedupAutoPatience.
+	cleanRounds int
+	// lastNodes/lastChildren record the previous round's fan-out so the
+	// next round's buffers can be presized (killing append-doubling
+	// copies on geometric frontiers).
+	lastNodes    int
+	lastChildren int
+
+	// Leaf-scan scratch, reused across rounds: a union-find plus a
+	// dense (view, process) → vertex table (frontier view ids are
+	// interner-dense; +3 covers the sentinels down to InitView(1) = -3).
+	uf   compUF
+	vert []int32
 
 	err error
 }
+
+// ErrEngineBuildGraph is returned by every call on an Engine built with
+// Options.BuildGraph: the incremental frontier never materializes the
+// merged graph, so the option cannot be honored. Use Run or RunChecked.
+var ErrEngineBuildGraph = errors.New(
+	"fullinfo: Engine does not support Options.BuildGraph; use Run or RunChecked")
 
 // ctx poll strides: how many nodes are processed between context
 // checks while growing the frontier and while scanning leaves.
@@ -49,18 +111,36 @@ const (
 	scanPollStride = 4096
 )
 
+// parMinFrontier is the frontier size below which a round runs
+// sequentially even when Options.Parallel is set: forking and absorbing
+// per-worker interners only pays for itself on bulk rounds.
+const parMinFrontier = 4096
+
 // NewEngine returns an engine positioned at horizon 0 (the frontier is
 // the 2^n input-assignment roots, or empty when the Stepper admits no
 // history at all).
 func NewEngine(st Stepper, opt Options) *Engine {
 	n := st.NumProcs()
+	workers := 1
+	if opt.Parallel {
+		workers = opt.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
 	e := &Engine{
-		st:   st,
-		opt:  opt,
-		sctx: &Ctx{In: NewInterner(nil)},
-		n:    n,
-		na:   st.NumActions(),
-		all1: 1<<n - 1,
+		st:      st,
+		opt:     opt,
+		sctx:    &Ctx{In: newInterner(nil, false)},
+		n:       n,
+		na:      st.NumActions(),
+		all1:    1<<n - 1,
+		workers: workers,
+		growBuf: make([]int, n),
+	}
+	if opt.BuildGraph {
+		e.err = ErrEngineBuildGraph
+		return e
 	}
 	if start, ok := st.Root(); ok {
 		for inputs := 0; inputs < 1<<n; inputs++ {
@@ -77,8 +157,56 @@ func NewEngine(st Stepper, opt Options) *Engine {
 // Horizon returns the round horizon of the live frontier.
 func (e *Engine) Horizon() int { return e.horizon }
 
-// FrontierLen returns the number of live frontier nodes.
+// FrontierLen returns the number of live (distinct) frontier nodes.
 func (e *Engine) FrontierLen() int { return len(e.states) }
+
+// mult returns frontier node i's multiplicity.
+func (e *Engine) mult(i int) int64 {
+	if e.mults == nil {
+		return 1
+	}
+	return e.mults[i]
+}
+
+// dedupOn reports whether the next round should hash-cons its frontier.
+func (e *Engine) dedupOn() bool {
+	switch e.opt.Dedup {
+	case DedupOn:
+		return true
+	case DedupOff:
+		return false
+	default:
+		return e.cleanRounds < dedupAutoPatience
+	}
+}
+
+// growStats accumulates per-ExtendTo instrumentation across rounds.
+type growStats struct {
+	raw, distinct int64
+	forks         int
+	absorbed      int
+}
+
+// reuse returns s emptied, reallocating only when capacity c is not
+// already available.
+func reuse[T any](s []T, c int) []T {
+	if cap(s) < c {
+		return make([]T, 0, c)
+	}
+	return s[:0]
+}
+
+// childEstimate predicts the next frontier's node count from the
+// previous round's fan-out (falling back to the na upper bound), so
+// grow can presize its buffers.
+func (e *Engine) childEstimate(nodes int) int {
+	worst := nodes * e.na
+	if e.lastNodes == 0 {
+		return worst
+	}
+	est := int(int64(nodes)*int64(e.lastChildren)/int64(e.lastNodes)) + 64
+	return min(est, worst)
+}
 
 // Extend grows the frontier by one round and analyzes the new horizon.
 func (e *Engine) Extend(ctx context.Context) (Result, error) {
@@ -98,44 +226,229 @@ func (e *Engine) ExtendTo(ctx context.Context, r int) (Result, error) {
 	start := time.Now()
 	startIDs := e.sctx.In.NumIDs()
 	rounds := r - e.horizon
+	var gs growStats
+	var sink leafSink
+	fused := false
 	for e.horizon < r {
-		if err := e.grow(ctx); err != nil {
+		last := e.horizon == r-1
+		if e.workers > 1 && len(e.states) >= parMinFrontier {
+			if err := e.growPar(ctx, &gs); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+		// Sequential rounds fuse the final round's leaf scan into the
+		// growth sweep: each distinct configuration streams into the
+		// union-find the moment it is appended, saving a full re-read
+		// of the new frontier.
+		var s *leafSink
+		if last {
+			sink.reset(e, e.sctx.In.NumIDs())
+			s = &sink
+			fused = true
+		}
+		if err := e.grow(ctx, s, &gs); err != nil {
 			return Result{}, err
 		}
 	}
-	res, err := e.scan(ctx)
-	if err != nil {
-		return Result{}, err
+	var res Result
+	if fused {
+		res = sink.result()
+	} else {
+		var err error
+		res, err = e.scan(ctx)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	if e.opt.Observer != nil {
 		e.opt.Observer(Stats{
-			Horizon:         e.horizon,
-			Rounds:          rounds,
-			Configs:         res.Configs,
-			Vertices:        res.Vertices,
-			Components:      res.Components,
-			MixedComponents: res.MixedComponents,
-			Merges:          res.Vertices - res.Components,
-			ViewsInterned:   e.sctx.In.NumIDs(),
-			NewViews:        e.sctx.In.NumIDs() - startIDs,
-			Workers:         1,
-			Subtrees:        len(e.states),
-			WallNanos:       time.Since(start).Nanoseconds(),
+			Horizon:          e.horizon,
+			Rounds:           rounds,
+			Configs:          res.Configs,
+			Vertices:         res.Vertices,
+			Components:       res.Components,
+			MixedComponents:  res.MixedComponents,
+			Merges:           res.Vertices - res.Components,
+			ViewsInterned:    e.sctx.In.NumIDs(),
+			NewViews:         e.sctx.In.NumIDs() - startIDs,
+			Workers:          e.workers,
+			WorkerForks:      gs.forks,
+			Absorbed:         gs.absorbed,
+			Subtrees:         len(e.states),
+			FrontierRaw:      gs.raw,
+			FrontierDistinct: gs.distinct,
+			WallNanos:        time.Since(start).Nanoseconds(),
 		})
 	}
 	return res, nil
 }
 
-// grow advances the frontier one round. The new frontier is committed
-// only on success: a context cancellation leaves the engine retryable
-// at its previous horizon, while a Stepper panic poisons it.
-func (e *Engine) grow(ctx context.Context) error {
+// leafSink streams leaf configurations into the engine's scan scratch
+// (union-find plus dense vertex table). It backs both the fused
+// grow-and-scan sweep and the standalone re-scan. The vertex table is
+// a window over view ids [base, NumIDs): the repository's steppers are
+// generational — every view in a frontier was interned while growing
+// that frontier — so basing the window at the round's first id (or the
+// frontier's minimum) keeps the table proportional to one round, not
+// to the whole interner history.
+type leafSink struct {
+	e       *Engine
+	base    int // lowest view id the dense window covers
+	configs int64
+	// stopped is set once EarlyExit observes a mixed component: the
+	// sink goes quiet (counts freeze, Exhaustive=false) while frontier
+	// growth, which later rounds depend on, continues.
+	stopped bool
+}
+
+func (s *leafSink) reset(e *Engine, base int) {
+	s.e = e
+	s.base = base
+	s.configs = 0
+	s.stopped = false
+	e.uf.reset()
+	need := (e.sctx.In.NumIDs() - base) * e.n
+	if need <= cap(e.vert) {
+		// Clear the full capacity so later in-place extensions (views
+		// interned mid-sweep) expose zeroed, not stale, slots.
+		e.vert = e.vert[:cap(e.vert)]
+		clear(e.vert)
+		e.vert = e.vert[:need]
+	} else {
+		e.vert = make([]int32, need)
+	}
+}
+
+// vertex resolves (proc, view) to a union-find index through the dense
+// window, extending it when the interner has grown past its high-water
+// and rebasing in the (never-for-our-steppers) case of a view below
+// the window.
+func (s *leafSink) vertex(proc, view int) int32 {
+	e := s.e
+	if view < s.base {
+		s.rebase()
+	}
+	idx := (view-s.base)*e.n + proc
+	if idx >= len(e.vert) {
+		need := (e.sctx.In.NumIDs() - s.base) * e.n
+		if need <= cap(e.vert) {
+			e.vert = e.vert[:need] // zeroed by reset
+		} else {
+			g := make([]int32, need+need/2)
+			copy(g, e.vert)
+			e.vert = g[:need]
+		}
+	}
+	slot := &e.vert[idx]
+	if *slot == 0 {
+		*slot = e.uf.add() + 1
+	}
+	return *slot - 1
+}
+
+// rebase widens the window down to the sentinel floor (-3, below every
+// valid view id): a stepper handed the sink a view older than the
+// window base, which the generational steppers never do but the
+// Stepper contract allows. Runs at most once per scan.
+func (s *leafSink) rebase() {
+	e := s.e
+	const floor = -3
+	shift := (s.base - floor) * e.n
+	g := make([]int32, (e.sctx.In.NumIDs()-floor)*e.n)
+	copy(g[shift:], e.vert)
+	e.vert = g
+	s.base = floor
+}
+
+// frontierBase returns the smallest view id in the live frontier (the
+// scan window base), or the sentinel floor for an empty frontier.
+func (e *Engine) frontierBase() int {
+	base := e.sctx.In.NumIDs()
+	for _, v := range e.views {
+		if v < base {
+			base = v
+		}
+	}
+	if len(e.views) == 0 {
+		base = -3
+	}
+	return base
+}
+
+// leaf streams one distinct leaf configuration: its vertices join one
+// component, which inherits the unanimity flags of the input mask.
+func (s *leafSink) leaf(vs []int, inputs int32) {
+	if s.stopped {
+		return
+	}
+	uf := &s.e.uf
+	root := uf.find(s.vertex(0, vs[0]))
+	for p := 1; p < len(vs); p++ {
+		root = uf.union(root, s.vertex(p, vs[p]))
+	}
+	switch inputs {
+	case 0:
+		uf.mark(root, flagHas0)
+	case int32(s.e.all1):
+		uf.mark(root, flagHas1)
+	}
+	if s.e.opt.EarlyExit && uf.mixed > 0 {
+		s.stopped = true
+	}
+}
+
+// count adds raw configurations to the tally. Kept separate from leaf
+// because under dedup a configuration's structure streams once while
+// its multiplicity keeps growing.
+func (s *leafSink) count(mult int64) {
+	if !s.stopped {
+		s.configs += mult
+	}
+}
+
+func (s *leafSink) result() Result {
+	uf := &s.e.uf
+	return Result{
+		Configs:         s.configs,
+		Vertices:        len(uf.parent),
+		Components:      uf.roots,
+		MixedComponents: uf.mixed,
+		Solvable:        uf.mixed == 0,
+		Exhaustive:      !s.stopped,
+	}
+}
+
+// grow advances the frontier one round on the calling goroutine,
+// hash-consing per the dedup policy and, when sink is non-nil, fusing
+// the leaf scan into the sweep. The new frontier is committed only on
+// success: a context cancellation leaves the engine retryable at its
+// previous horizon, while a Stepper panic poisons it.
+func (e *Engine) grow(ctx context.Context, sink *leafSink, gs *growStats) error {
 	n, na := e.n, e.na
 	nodes := len(e.states)
-	nextStates := make([]int, 0, nodes*na)
-	nextInputs := make([]int32, 0, nodes*na)
-	nextViews := make([]int, 0, nodes*na*n)
-	nv := make([]int, n)
+	dedup := e.dedupOn()
+	if dedup {
+		e.dt.reset(nodes * na)
+	}
+	est := e.childEstimate(nodes)
+	nextStates := reuse(e.spStates, est)
+	nextInputs := reuse(e.spInputs, est)
+	nextViews := reuse(e.spViews, est*n)
+	var nextMults []int64
+	if e.mults != nil {
+		nextMults = reuse(e.spMults, est)
+	}
+	materialize := func() {
+		if nextMults == nil {
+			nextMults = reuse(e.spMults, est)
+			for range nextStates {
+				nextMults = append(nextMults, 1)
+			}
+		}
+	}
+	nv := e.growBuf
+	var raw, hits int64
 	err := func() (err error) {
 		defer recoverStepper(&err)
 		for i := 0; i < nodes; i++ {
@@ -145,14 +458,43 @@ func (e *Engine) grow(ctx context.Context) error {
 				}
 			}
 			vs := e.views[i*n : (i+1)*n]
+			m := e.mult(i)
 			for a := 0; a < na; a++ {
 				ns, ok := e.st.Step(e.sctx, e.states[i], a, vs, nv)
 				if !ok {
 					continue
 				}
+				raw += m
+				if dedup {
+					h := hashConfig(ns, int(e.inputs[i]), nv)
+					idx, slot := e.dt.find(h, func(j int32) bool {
+						return nextStates[j] == ns && nextInputs[j] == e.inputs[i] &&
+							viewsEq(nextViews[int(j)*n:(int(j)+1)*n], nv)
+					})
+					if idx >= 0 {
+						hits++
+						materialize()
+						nextMults[idx] += m
+						if sink != nil {
+							sink.count(m)
+						}
+						continue
+					}
+					e.dt.claim(slot, int32(len(nextStates)))
+				}
+				if m != 1 {
+					materialize()
+				}
 				nextStates = append(nextStates, ns)
 				nextInputs = append(nextInputs, e.inputs[i])
 				nextViews = append(nextViews, nv...)
+				if nextMults != nil {
+					nextMults = append(nextMults, m)
+				}
+				if sink != nil {
+					sink.count(m)
+					sink.leaf(nextViews[len(nextViews)-n:], e.inputs[i])
+				}
 			}
 		}
 		return nil
@@ -163,59 +505,375 @@ func (e *Engine) grow(ctx context.Context) error {
 		}
 		return err
 	}
-	e.states, e.inputs, e.views = nextStates, nextInputs, nextViews
-	e.horizon++
+	e.commit(nextStates, nextInputs, nextViews, nextMults)
+	e.noteRound(dedup, raw, hits, gs)
 	return nil
 }
 
-// scan streams the live frontier's leaf configurations into a fresh
-// union-find and reports the component structure at the current
-// horizon. Vertices are resolved through a dense (view, process) table
-// rather than a hash map: frontier view ids are interner-dense, so the
-// table costs one slice of size (NumIDs+3)·n (+3 covers the sentinel
-// initial views, which reach down to InitView(1) = -3).
-func (e *Engine) scan(ctx context.Context) (Result, error) {
-	n := e.n
-	uf := &compUF{}
-	vert := make([]int32, (e.sctx.In.NumIDs()+3)*n)
-	vertex := func(proc, view int) int32 {
-		slot := &vert[(view+3)*n+proc]
-		if *slot == 0 {
-			*slot = uf.add() + 1
+// viewsEq compares two equal-length view rows.
+func viewsEq(a, b []int) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
 		}
-		return *slot - 1
 	}
-	var configs int64
-	exhaustive := true
+	return true
+}
+
+// commit swaps the freshly grown frontier in and retires the old
+// arrays as next round's spare buffers, recording the round's fan-out
+// for the next presize estimate.
+func (e *Engine) commit(states []int, inputs []int32, views []int, mults []int64) {
+	e.lastNodes, e.lastChildren = len(e.states), len(states)
+	e.spStates, e.states = e.states, states
+	e.spInputs, e.inputs = e.inputs, inputs
+	e.spViews, e.views = e.views, views
+	e.spMults, e.mults = e.mults, mults
+	e.horizon++
+	// Seal the interner round so next round's view lookups probe a
+	// fresh, round-sized shard instead of the cumulative table.
+	e.sctx.In.sealRound()
+}
+
+// noteRound folds one committed round into the auto-dedup policy and
+// the per-call stats.
+func (e *Engine) noteRound(dedup bool, raw, hits int64, gs *growStats) {
+	if !dedup {
+		return
+	}
+	gs.raw += raw
+	gs.distinct += int64(len(e.states))
+	if hits == 0 {
+		e.cleanRounds++
+	} else {
+		e.cleanRounds = 0
+	}
+}
+
+// growChunk is one worker's share of a parallel round: a contiguous
+// frontier slice grown on a forked interner with chunk-local dedup.
+type growChunk struct {
+	child  *Interner
+	states []int
+	inputs []int32
+	views  []int
+	mults  []int64 // nil ⟺ all 1
+	raw    int64
+	hits   int64
+	err    error
+}
+
+// growPar advances the frontier one round on e.workers chunked
+// goroutines. Each chunk grows on a worker-forked interner; the merge
+// absorbs the forks in chunk order and re-dedups across chunks, so the
+// committed frontier — node order, view ids, multiplicities — is
+// bit-identical to what the sequential grow would have produced.
+func (e *Engine) growPar(ctx context.Context, gs *growStats) error {
+	n, na := e.n, e.na
+	nodes := len(e.states)
+	dedup := e.dedupOn()
+	workers := e.workers
+	chunkLen := (nodes + workers - 1) / workers
+	numChunks := (nodes + chunkLen - 1) / chunkLen
+	chunks := make([]growChunk, numChunks)
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkLen
+		hi := min(lo+chunkLen, nodes)
+		wg.Add(1)
+		go func(ch *growChunk, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				// Runs after recoverStepper: a failed chunk (cancel or
+				// panic) flips abort so sibling chunks stop early.
+				if ch.err != nil {
+					abort.Store(true)
+				}
+			}()
+			defer recoverStepper(&ch.err)
+			ch.child = NewInterner(e.sctx.In)
+			cctx := &Ctx{In: ch.child}
+			var dt dedupTable
+			if dedup {
+				dt.reset((hi - lo) * na)
+			}
+			est := e.childEstimate(hi - lo)
+			ch.states = make([]int, 0, est)
+			ch.inputs = make([]int32, 0, est)
+			ch.views = make([]int, 0, est*n)
+			nv := make([]int, n)
+			materialize := func() {
+				if ch.mults == nil {
+					ch.mults = make([]int64, len(ch.states))
+					for i := range ch.mults {
+						ch.mults[i] = 1
+					}
+				}
+			}
+			for i := lo; i < hi; i++ {
+				if (i-lo)%growPollStride == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						ch.err = cerr
+						return
+					}
+					if abort.Load() {
+						return
+					}
+				}
+				vs := e.views[i*n : (i+1)*n]
+				m := e.mult(i)
+				for a := 0; a < na; a++ {
+					ns, ok := e.st.Step(cctx, e.states[i], a, vs, nv)
+					if !ok {
+						continue
+					}
+					ch.raw += m
+					if dedup {
+						h := hashConfig(ns, int(e.inputs[i]), nv)
+						idx, slot := dt.find(h, func(j int32) bool {
+							return ch.states[j] == ns && ch.inputs[j] == e.inputs[i] &&
+								viewsEq(ch.views[int(j)*n:(int(j)+1)*n], nv)
+						})
+						if idx >= 0 {
+							ch.hits++
+							materialize()
+							ch.mults[idx] += m
+							continue
+						}
+						dt.claim(slot, int32(len(ch.states)))
+					}
+					if m != 1 {
+						materialize()
+					}
+					ch.states = append(ch.states, ns)
+					ch.inputs = append(ch.inputs, e.inputs[i])
+					ch.views = append(ch.views, nv...)
+					if ch.mults != nil {
+						ch.mults = append(ch.mults, m)
+					}
+				}
+			}
+		}(&chunks[c], lo, hi)
+	}
+	wg.Wait()
+	for c := range chunks {
+		if err := chunks[c].err; err != nil {
+			if ctx.Err() == nil {
+				e.err = err
+			}
+			return err
+		}
+	}
+
+	// Merge, in chunk order: absorb each fork's creation log into the
+	// root interner, translate the chunk's view ids, then append with
+	// cross-chunk dedup.
+	total := 0
+	for c := range chunks {
+		total += len(chunks[c].states)
+	}
+	if dedup {
+		e.dt.reset(total)
+	}
+	nextStates := reuse(e.spStates, total)
+	nextInputs := reuse(e.spInputs, total)
+	nextViews := reuse(e.spViews, total*n)
+	var nextMults []int64
+	if e.mults != nil {
+		nextMults = reuse(e.spMults, total)
+	}
+	materialize := func() {
+		if nextMults == nil {
+			nextMults = reuse(e.spMults, total)
+			for range nextStates {
+				nextMults = append(nextMults, 1)
+			}
+		}
+	}
+	var raw, hits int64
+	for c := range chunks {
+		ch := &chunks[c]
+		raw += ch.raw
+		hits += ch.hits
+		trans := e.sctx.In.absorb(ch.child)
+		gs.forks++
+		gs.absorbed += len(trans)
+		base := ch.child.base
+		for i, v := range ch.views {
+			if v >= base {
+				ch.views[i] = trans[v-base]
+			}
+		}
+		for i := 0; i < len(ch.states); i++ {
+			vs := ch.views[i*n : (i+1)*n]
+			m := int64(1)
+			if ch.mults != nil {
+				m = ch.mults[i]
+			}
+			if dedup {
+				h := hashConfig(ch.states[i], int(ch.inputs[i]), vs)
+				idx, slot := e.dt.find(h, func(j int32) bool {
+					return nextStates[j] == ch.states[i] && nextInputs[j] == ch.inputs[i] &&
+						viewsEq(nextViews[int(j)*n:(int(j)+1)*n], vs)
+				})
+				if idx >= 0 {
+					hits++
+					materialize()
+					nextMults[idx] += m
+					continue
+				}
+				e.dt.claim(slot, int32(len(nextStates)))
+			}
+			if m != 1 {
+				materialize()
+			}
+			nextStates = append(nextStates, ch.states[i])
+			nextInputs = append(nextInputs, ch.inputs[i])
+			nextViews = append(nextViews, vs...)
+			if nextMults != nil {
+				nextMults = append(nextMults, m)
+			}
+		}
+	}
+	e.commit(nextStates, nextInputs, nextViews, nextMults)
+	e.noteRound(dedup, raw, hits, gs)
+	return nil
+}
+
+// scan analyzes the live frontier at the current horizon without
+// growing it (the rounds == 0 path, and the path after a parallel final
+// round). Large frontiers fan out over scanPar.
+func (e *Engine) scan(ctx context.Context) (Result, error) {
+	if e.workers > 1 && len(e.states) >= parMinFrontier {
+		return e.scanPar(ctx)
+	}
+	n := e.n
+	var sink leafSink
+	sink.reset(e, e.frontierBase())
 	for i := 0; i < len(e.states); i++ {
 		if i%scanPollStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
 		}
-		vs := e.views[i*n : (i+1)*n]
-		configs++
-		root := uf.find(vertex(0, vs[0]))
-		for p := 1; p < n; p++ {
-			root = uf.union(root, vertex(p, vs[p]))
-		}
-		switch e.inputs[i] {
-		case 0:
-			uf.mark(root, flagHas0)
-		case int32(e.all1):
-			uf.mark(root, flagHas1)
-		}
-		if e.opt.EarlyExit && uf.mixed > 0 {
-			exhaustive = false
+		sink.count(e.mult(i))
+		sink.leaf(e.views[i*n:(i+1)*n], e.inputs[i])
+		if sink.stopped {
 			break
+		}
+	}
+	return sink.result(), nil
+}
+
+// scanChunk is one worker's share of a parallel leaf scan: a local
+// union-find over the chunk's vertices, merged like RunChecked phase 3.
+type scanChunk struct {
+	uf      compUF
+	verts   flatU64
+	keys    []int64
+	configs int64
+	stopped bool
+	err     error
+}
+
+func (e *Engine) scanPar(ctx context.Context) (Result, error) {
+	n := e.n
+	nodes := len(e.states)
+	workers := e.workers
+	chunkLen := (nodes + workers - 1) / workers
+	numChunks := (nodes + chunkLen - 1) / chunkLen
+	chunks := make([]scanChunk, numChunks)
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkLen
+		hi := min(lo+chunkLen, nodes)
+		wg.Add(1)
+		go func(ch *scanChunk, lo, hi int) {
+			defer wg.Done()
+			vertex := func(proc, view int) int32 {
+				k := vertexKey(proc, view)
+				id, slot, hit := ch.verts.probe(packVertex(k))
+				if hit {
+					return id
+				}
+				id = ch.uf.add()
+				ch.verts.setAt(slot, packVertex(k), id)
+				ch.keys = append(ch.keys, k)
+				return id
+			}
+			for i := lo; i < hi; i++ {
+				if (i-lo)%scanPollStride == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						ch.err = cerr
+						return
+					}
+					if abort.Load() {
+						ch.stopped = true
+						return
+					}
+				}
+				vs := e.views[i*n : (i+1)*n]
+				ch.configs += e.mult(i)
+				root := ch.uf.find(vertex(0, vs[0]))
+				for p := 1; p < n; p++ {
+					root = ch.uf.union(root, vertex(p, vs[p]))
+				}
+				switch e.inputs[i] {
+				case 0:
+					ch.uf.mark(root, flagHas0)
+				case int32(e.all1):
+					ch.uf.mark(root, flagHas1)
+				}
+				// A chunk-local mixed component is mixed globally, so
+				// EarlyExit can stop every worker right here.
+				if e.opt.EarlyExit && ch.uf.mixed > 0 {
+					abort.Store(true)
+					ch.stopped = true
+					return
+				}
+			}
+		}(&chunks[c], lo, hi)
+	}
+	wg.Wait()
+	for c := range chunks {
+		if err := chunks[c].err; err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Merge the chunk union-finds through the dense global table.
+	var sink leafSink
+	sink.reset(e, e.frontierBase())
+	guf := &e.uf
+	exhaustive := true
+	var configs int64
+	for c := range chunks {
+		ch := &chunks[c]
+		configs += ch.configs
+		if ch.stopped {
+			exhaustive = false
+		}
+		gid := make([]int32, len(ch.keys))
+		for i, k := range ch.keys {
+			gid[i] = sink.vertex(int(k&vertProcMask), int(k>>vertProcBits))
+		}
+		for i := range ch.keys {
+			guf.union(gid[i], gid[ch.uf.find(int32(i))])
+		}
+		for i := range ch.keys {
+			if ch.uf.parent[i] == int32(i) && ch.uf.flag[i] != 0 {
+				guf.mark(gid[i], ch.uf.flag[i])
+			}
 		}
 	}
 	return Result{
 		Configs:         configs,
-		Vertices:        len(uf.parent),
-		Components:      uf.roots,
-		MixedComponents: uf.mixed,
-		Solvable:        uf.mixed == 0,
+		Vertices:        len(guf.parent),
+		Components:      guf.roots,
+		MixedComponents: guf.mixed,
+		Solvable:        guf.mixed == 0,
 		Exhaustive:      exhaustive,
 	}, nil
 }

@@ -1,6 +1,10 @@
 package fullinfo
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
 
 // View ids. Non-negative ids are interned views; the engine reserves
 // small negative values as sentinels:
@@ -10,15 +14,13 @@ import "encoding/binary"
 //
 // Interners hand out ids from a contiguous range. A worker-local
 // interner forks from the shared one: it resolves hits against the
-// (frozen) shared maps first and allocates its misses from its own
+// (frozen) shared tables first and allocates its misses from its own
 // range, recording a creation log so the ids can be canonicalized into
 // the shared space at merge time (absorb).
 
 // InitView returns the sentinel view id of a process that has seen
 // nothing but its own input bit (0 or 1).
 func InitView(bit int) int { return -2 - bit }
-
-type viewKey struct{ prev, recv int }
 
 // internEntry is one creation-log record: either a view (prev, recv) or
 // a received-views tuple (arena offset, length).
@@ -27,57 +29,189 @@ type internEntry struct {
 	a, b  int
 }
 
+// maxInternID caps the id space so ids always fit the int32 slots of
+// the flat tables; a run needing more ids would exhaust memory long
+// before reaching it.
+const maxInternID = math.MaxInt32
+
 // Interner hash-conses full-information views and received-view tuples
-// into dense integer ids. Views and tuples share one id space.
+// into dense integer ids. Views and tuples share one id space. The view
+// fast path is an open-addressed flat table (flatU64) rather than a Go
+// map: View is the single hottest call of the engine, and the flat
+// probe costs one multiply plus (usually) one cache line.
+//
+// Root interners additionally shard the view table by round. The
+// incremental engine seals a boundary after every frontier round
+// (sealRound), and an entry (prev, recv) is placed in — and looked up
+// from — the shard indexed by prev's round plus one. Any two calls
+// with the same key compute the same shard, so hash-consing stays
+// exact for arbitrary steppers; for the generational steppers in this
+// repository (every view's prev comes from the previous frontier) the
+// effect is that the hot probe touches a table sized like one round,
+// not like the whole history, and the cumulative table's ever-growing
+// rehashes disappear. Child forks keep a single local table: they live
+// within one round.
 type Interner struct {
 	parent *Interner // read-only while any child is in use
 	base   int       // first id this interner may assign
 	next   int
-	views  map[viewKey]int
+	shards []viewShard // root view tables, bucketed by shardIdx
+	bounds []int       // round boundaries: bounds[i] = first id after seal i
+	views  flatU64     // child-local view table
 	tuples map[string]int
-	log    []internEntry
-	arena  []int // tuple value storage, referenced by log entries
-	keyBuf []byte
+	// logging records a creation log for this interner's own ids. It is
+	// required on forked children (absorb replays the child log) and for
+	// EachView on a root; the incremental engine's root interner runs
+	// with it off, skipping one append per created id.
+	logging bool
+	log     []internEntry
+	arena   []int // tuple value storage, referenced by log entries
+	keyBuf  []byte
 }
 
-// NewInterner returns an interner allocating ids from parent.next (or 0
-// when parent is nil). The parent must not be mutated while the child is
-// in use.
+// NewInterner returns a logging interner allocating ids from
+// parent.next (or 0 when parent is nil). The parent must not be mutated
+// while the child is in use.
 func NewInterner(parent *Interner) *Interner {
+	return newInterner(parent, true)
+}
+
+func newInterner(parent *Interner, logging bool) *Interner {
 	base := 0
 	if parent != nil {
 		base = parent.next
 	}
 	return &Interner{
-		parent: parent,
-		base:   base,
-		next:   base,
-		views:  map[viewKey]int{},
-		tuples: map[string]int{},
+		parent:  parent,
+		base:    base,
+		next:    base,
+		tuples:  map[string]int{},
+		logging: logging,
+		keyBuf:  make([]byte, 0, 64),
 	}
+}
+
+// sealRound records a round boundary: ids created from now on belong
+// to a new round, and view entries keyed by a pre-seal prev land in a
+// fresh shard. Root interners only; the incremental engine calls this
+// after committing each frontier round.
+func (in *Interner) sealRound() {
+	in.bounds = append(in.bounds, in.next)
+}
+
+// shardIdx maps a view key's prev id to the shard holding every entry
+// with that prev: shard 0 for sentinel prevs, shard r+1 for a prev
+// created in round r (rounds are the id intervals cut by sealRound;
+// ids at or past the last seal count as the current round). bounds is
+// append-only and a prev is only ever interned before it can appear as
+// a key, so the index computed for a given prev never changes across
+// seals — placement and every later lookup agree.
+func (in *Interner) shardIdx(prev int) int {
+	if prev < 0 {
+		return 0
+	}
+	b := in.bounds
+	nb := len(b)
+	if nb == 0 || prev >= b[nb-1] {
+		return nb + 1 // current round's ids
+	}
+	if nb == 1 || prev >= b[nb-2] {
+		return nb // previous round — the generational hot path
+	}
+	return sort.SearchInts(b, prev+1) + 1
+}
+
+// shardFor returns the shard for keys with the given prev, extending
+// the shard list on demand. A new shard's prev range starts at the
+// round boundary for its index; when the range's end is already sealed
+// the direct-index arrays are presized to it, so inserts never
+// reallocate.
+func (in *Interner) shardFor(prev int) *viewShard {
+	i := in.shardIdx(prev)
+	for len(in.shards) <= i {
+		k := len(in.shards)
+		sh := viewShard{lo: in.shardLo(k)}
+		if k >= 1 && k-1 < len(in.bounds) {
+			if r := in.bounds[k-1] - sh.lo; r > 0 {
+				sh.null = make([]int32, r)
+				sh.buckets = make([]viewBucket, r)
+			}
+		}
+		in.shards = append(in.shards, sh)
+	}
+	return &in.shards[i]
+}
+
+// shardLo returns the smallest prev id shard k can serve: the sentinel
+// floor for shard 0, otherwise the start of round k-1.
+func (in *Interner) shardLo(k int) int {
+	switch {
+	case k == 0:
+		return -3
+	case k == 1:
+		return 0
+	default:
+		return in.bounds[k-2]
+	}
+}
+
+// shardGet is the read-only lookup used when probing a frozen parent.
+func (in *Interner) shardGet(prev, recv int) (int32, bool) {
+	i := in.shardIdx(prev)
+	if i >= len(in.shards) {
+		return 0, false
+	}
+	return in.shards[i].lookup(prev, recv)
 }
 
 // View interns the full-information view "previous view prev, then
 // received recv" (recv is a view id, a tuple id, or -1 for null).
 func (in *Interner) View(prev, recv int) int {
-	k := viewKey{prev, recv}
 	if in.parent != nil {
-		if id, ok := in.parent.views[k]; ok {
-			return id
+		// A parent entry's key components are ids the parent assigned
+		// (or sentinels); child-local ids cannot appear in its tables.
+		if prev < in.parent.next && recv < in.parent.next {
+			if id, ok := in.parent.shardGet(prev, recv); ok {
+				return int(id)
+			}
 		}
-	}
-	if id, ok := in.views[k]; ok {
+		k := packView(prev, recv)
+		id32, slot, hit := in.views.probe(k)
+		if hit {
+			return int(id32)
+		}
+		id := in.newID()
+		in.views.setAt(slot, k, int32(id))
+		if in.logging {
+			in.log = append(in.log, internEntry{a: prev, b: recv})
+		}
 		return id
 	}
+	sh := in.shardFor(prev)
+	if id, ok := sh.lookup(prev, recv); ok {
+		return int(id)
+	}
+	id := in.newID()
+	sh.insert(prev, recv, int32(id))
+	if in.logging {
+		in.log = append(in.log, internEntry{a: prev, b: recv})
+	}
+	return id
+}
+
+func (in *Interner) newID() int {
 	id := in.next
+	if id > maxInternID {
+		panic("fullinfo: interner id space exhausted")
+	}
 	in.next++
-	in.views[k] = id
-	in.log = append(in.log, internEntry{a: prev, b: recv})
 	return id
 }
 
 // Tuple interns a vector of received view ids (-1 entries for dropped
-// messages). The caller may reuse vals after the call returns.
+// messages). The caller may reuse vals after the call returns. The hit
+// path performs zero heap allocations: both map lookups use the
+// []byte→string compiler fast path and keyBuf is retained across calls.
 func (in *Interner) Tuple(vals []int) int {
 	b := in.keyBuf[:0]
 	for _, v := range vals {
@@ -93,11 +227,16 @@ func (in *Interner) Tuple(vals []int) int {
 		return id
 	}
 	id := in.next
+	if id > maxInternID {
+		panic("fullinfo: interner id space exhausted")
+	}
 	in.next++
 	in.tuples[string(b)] = id
-	off := len(in.arena)
-	in.arena = append(in.arena, vals...)
-	in.log = append(in.log, internEntry{tuple: true, a: off, b: len(vals)})
+	if in.logging {
+		off := len(in.arena)
+		in.arena = append(in.arena, vals...)
+		in.log = append(in.log, internEntry{tuple: true, a: off, b: len(vals)})
+	}
 	return id
 }
 
@@ -132,7 +271,7 @@ func (in *Interner) absorb(child *Interner) []int {
 }
 
 // EachView calls f for every interned view (prev, recv) → id, in
-// creation order. Tuples are skipped. Only meaningful on a root
+// creation order. Tuples are skipped. Only meaningful on a logging root
 // interner (base 0), where ids equal log positions.
 func (in *Interner) EachView(f func(prev, recv, id int)) {
 	for i, e := range in.log {

@@ -37,8 +37,25 @@ type Stats struct {
 	// pool (pool utilization is Subtrees spread over Workers). For the
 	// incremental engine it is the live frontier length instead.
 	Subtrees int
+	// FrontierRaw counts frontier nodes before hash-consed dedup and
+	// FrontierDistinct after: two nodes with identical (state, inputs,
+	// views) collapse into one distinct configuration carrying a
+	// multiplicity. Both are totals across the dedup'd rounds of the
+	// invocation; they stay 0 when dedup never ran (Run, or DedupOff).
+	FrontierRaw      int64
+	FrontierDistinct int64
 	// WallNanos is the wall-clock duration of the invocation.
 	WallNanos int64
+}
+
+// DedupRatio returns FrontierRaw / FrontierDistinct — how many raw
+// frontier nodes each distinct configuration stands for — or 1 when no
+// dedup'd round has run.
+func (s *Stats) DedupRatio() float64 {
+	if s.FrontierDistinct == 0 {
+		return 1
+	}
+	return float64(s.FrontierRaw) / float64(s.FrontierDistinct)
 }
 
 // merge folds another snapshot into s, accumulating work counters and
@@ -60,5 +77,7 @@ func (s *Stats) Merge(o Stats) {
 	s.WorkerForks += o.WorkerForks
 	s.Absorbed += o.Absorbed
 	s.Subtrees = o.Subtrees
+	s.FrontierRaw += o.FrontierRaw
+	s.FrontierDistinct += o.FrontierDistinct
 	s.WallNanos += o.WallNanos
 }

@@ -69,6 +69,15 @@ func (u *compUF) union(a, b int32) int32 {
 	return ra
 }
 
+// reset empties the structure, keeping slice capacity for reuse.
+func (u *compUF) reset() {
+	u.parent = u.parent[:0]
+	u.rank = u.rank[:0]
+	u.flag = u.flag[:0]
+	u.roots = 0
+	u.mixed = 0
+}
+
 // mark ors f into x's component flags.
 func (u *compUF) mark(x int32, f uint8) {
 	r := u.find(x)

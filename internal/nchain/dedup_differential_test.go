@@ -1,0 +1,52 @@
+package nchain
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/fullinfo"
+	"repro/internal/graph"
+)
+
+// TestDedupDifferential pins the hash-consed incremental engine against
+// the non-dedup reference on the (n, f, r) grid and on arbitrary
+// topologies: identical Results whether dedup is forced on or off and
+// whether growth is sequential or chunk-parallel.
+func TestDedupDifferential(t *testing.T) {
+	ctx := context.Background()
+	opts := []struct {
+		name string
+		opt  fullinfo.Options
+	}{
+		{"dedup-seq", fullinfo.Options{Dedup: fullinfo.DedupOn}},
+		{"dedup-par", fullinfo.Options{Dedup: fullinfo.DedupOn, Parallel: true, Workers: 4}},
+		{"nodedup-seq", fullinfo.Options{Dedup: fullinfo.DedupOff}},
+	}
+	check := func(name string, st fullinfo.Stepper, maxR int) {
+		engs := make([]*fullinfo.Engine, len(opts))
+		for i, o := range opts {
+			engs[i] = fullinfo.NewEngine(st, o.opt)
+		}
+		for r := 0; r <= maxR; r++ {
+			want, _, err := fullinfo.RunChecked(ctx, st, r, fullinfo.Options{Dedup: fullinfo.DedupOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, o := range opts {
+				got, err := engs[i].ExtendTo(ctx, r)
+				if err != nil {
+					t.Fatalf("%s r=%d %s: %v", name, r, o.name, err)
+				}
+				if got != want {
+					t.Errorf("%s r=%d %s: %+v != reference %+v", name, r, o.name, got, want)
+				}
+			}
+		}
+	}
+	for _, tc := range nfCases {
+		check("kn", knStepper(tc.n, tc.f), tc.maxR)
+	}
+	check("path-3", graphStepper(graph.Path(3), 1), 2)
+	check("star-4", graphStepper(graph.Star(4), 0), 2)
+	check("cycle-4", graphStepper(graph.Cycle(4), 1), 1)
+}

@@ -14,11 +14,13 @@ import (
 // hits and singleflight followers never re-run the engine and therefore
 // never count — /v1/stats measures work done, not requests served.
 type engineAgg struct {
-	runs      atomic.Int64
-	rounds    atomic.Int64
-	configs   atomic.Int64
-	newViews  atomic.Int64
-	wallNanos atomic.Int64
+	runs             atomic.Int64
+	rounds           atomic.Int64
+	configs          atomic.Int64
+	newViews         atomic.Int64
+	wallNanos        atomic.Int64
+	frontierRaw      atomic.Int64
+	frontierDistinct atomic.Int64
 }
 
 // observe is the fullinfo Observer hook wired into every engine request.
@@ -28,6 +30,8 @@ func (a *engineAgg) observe(st coordattack.EngineStats) {
 	a.configs.Add(st.Configs)
 	a.newViews.Add(int64(st.NewViews))
 	a.wallNanos.Add(st.WallNanos)
+	a.frontierRaw.Add(st.FrontierRaw)
+	a.frontierDistinct.Add(st.FrontierDistinct)
 }
 
 // engineStatsJSON is the per-response engine instrumentation block,
@@ -42,47 +46,68 @@ type engineStatsJSON struct {
 	Merges          int   `json:"merges"`
 	ViewsInterned   int   `json:"viewsInterned"`
 	Workers         int   `json:"workers"`
-	WallNanos       int64 `json:"wallNanos"`
+	// Frontier dedup gauges: raw nodes before hash-consing, distinct
+	// configurations after, and their ratio (1 when dedup never ran —
+	// see fullinfo.Stats).
+	FrontierRaw      int64   `json:"frontierRaw"`
+	FrontierDistinct int64   `json:"frontierDistinct"`
+	DedupRatio       float64 `json:"dedupRatio"`
+	WallNanos        int64   `json:"wallNanos"`
 }
 
 func engineStatsOf(st coordattack.EngineStats) *engineStatsJSON {
 	return &engineStatsJSON{
-		Rounds:          st.Rounds,
-		Configs:         st.Configs,
-		Vertices:        st.Vertices,
-		Components:      st.Components,
-		MixedComponents: st.MixedComponents,
-		Merges:          st.Merges,
-		ViewsInterned:   st.ViewsInterned,
-		Workers:         st.Workers,
-		WallNanos:       st.WallNanos,
+		Rounds:           st.Rounds,
+		Configs:          st.Configs,
+		Vertices:         st.Vertices,
+		Components:       st.Components,
+		MixedComponents:  st.MixedComponents,
+		Merges:           st.Merges,
+		ViewsInterned:    st.ViewsInterned,
+		Workers:          st.Workers,
+		FrontierRaw:      st.FrontierRaw,
+		FrontierDistinct: st.FrontierDistinct,
+		DedupRatio:       st.DedupRatio(),
+		WallNanos:        st.WallNanos,
 	}
 }
 
 // StatsVarz is the GET /v1/stats aggregate: lifetime engine work plus
 // the cache effectiveness needed to interpret it.
 type StatsVarz struct {
-	EngineRuns         int64 `json:"engineRuns"`
-	RoundsAnalyzed     int64 `json:"roundsAnalyzed"`
-	ConfigsExplored    int64 `json:"configsExplored"`
-	ViewsInterned      int64 `json:"viewsInterned"`
-	EngineWallNanos    int64 `json:"engineWallNanos"`
-	CacheHits          int64 `json:"cacheHits"`
-	CacheMisses        int64 `json:"cacheMisses"`
-	SingleflightShared int64 `json:"singleflightShared"`
+	EngineRuns      int64 `json:"engineRuns"`
+	RoundsAnalyzed  int64 `json:"roundsAnalyzed"`
+	ConfigsExplored int64 `json:"configsExplored"`
+	ViewsInterned   int64 `json:"viewsInterned"`
+	EngineWallNanos int64 `json:"engineWallNanos"`
+	// Lifetime frontier dedup gauges across every dedup'd engine round,
+	// plus the resulting raw/distinct ratio (1 when no round dedup'd).
+	FrontierRaw        int64   `json:"frontierRaw"`
+	FrontierDistinct   int64   `json:"frontierDistinct"`
+	DedupRatio         float64 `json:"dedupRatio"`
+	CacheHits          int64   `json:"cacheHits"`
+	CacheMisses        int64   `json:"cacheMisses"`
+	SingleflightShared int64   `json:"singleflightShared"`
 }
 
 func (s *Server) statsVarz() StatsVarz {
-	return StatsVarz{
+	v := StatsVarz{
 		EngineRuns:         s.engine.runs.Load(),
 		RoundsAnalyzed:     s.engine.rounds.Load(),
 		ConfigsExplored:    s.engine.configs.Load(),
 		ViewsInterned:      s.engine.newViews.Load(),
 		EngineWallNanos:    s.engine.wallNanos.Load(),
+		FrontierRaw:        s.engine.frontierRaw.Load(),
+		FrontierDistinct:   s.engine.frontierDistinct.Load(),
+		DedupRatio:         1,
 		CacheHits:          s.cache.hits.Load(),
 		CacheMisses:        s.cache.misses.Load(),
 		SingleflightShared: s.cache.shared.Load(),
 	}
+	if v.FrontierDistinct > 0 {
+		v.DedupRatio = float64(v.FrontierRaw) / float64(v.FrontierDistinct)
+	}
+	return v
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,19 +1,28 @@
 #!/usr/bin/env sh
-# bench_smoke.sh — measure the incremental MinRounds engine against the
-# per-horizon restart strategy and record the result as BENCH_4.json.
+# bench_smoke.sh — measure the repo's MinRounds engines and record the
+# results as BENCH_4.json and BENCH_5.json.
 #
-# The benchmark sweeps R1 (never solvable, so both sides walk every
-# horizon 0..maxR) and the acceptance bar is a ≥2× speedup: the restart
-# side rebuilds interners, union-find, and the walk at every horizon,
-# while the incremental side grows one frontier. Usage:
+# BENCH_4: the incremental engine against the per-horizon restart
+# strategy on R1 (never solvable, so both sides walk every horizon
+# 0..maxR). Acceptance bar ≥2×: the restart side rebuilds interners,
+# union-find, and the walk at every horizon, while the incremental side
+# grows one frontier.
 #
-#   ./scripts/bench_smoke.sh [output.json]
+# BENCH_5: the hash-consed dedup engine in its shipped configuration
+# against the frozen PR-4 baseline engine, same R1 MinRounds search at a
+# deeper horizon (BENCH5_MAXR, default 13). Acceptance bar ≥5×; the
+# measured frontier dedup ratio is recorded alongside (exactly 1.0 on
+# R1, whose views are history-injective — see DESIGN.md). Usage:
+#
+#   ./scripts/bench_smoke.sh [bench4.json] [bench5.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
+OUT4="${1:-BENCH_4.json}"
+OUT5="${2:-BENCH_5.json}"
 MAXR=8
+MAXR5="${BENCH5_MAXR:-13}"
 COUNT="${BENCH_COUNT:-3x}"
 
 RAW="$(go test -run '^$' -bench '^BenchmarkMinRoundsIncrementalVsRestart$' -benchtime "${COUNT}" .)"
@@ -27,7 +36,7 @@ if [ -z "${RESTART_NS}" ] || [ -z "${INCREMENTAL_NS}" ]; then
 fi
 
 SPEEDUP="$(awk "BEGIN {printf \"%.2f\", ${RESTART_NS} / ${INCREMENTAL_NS}}")"
-cat >"${OUT}" <<EOF
+cat >"${OUT4}" <<EOF
 {
   "benchmark": "BenchmarkMinRoundsIncrementalVsRestart",
   "scheme": "R1",
@@ -37,9 +46,40 @@ cat >"${OUT}" <<EOF
   "speedup": ${SPEEDUP}
 }
 EOF
-echo "bench_smoke: wrote ${OUT} (speedup ${SPEEDUP}x)"
+echo "bench_smoke: wrote ${OUT4} (speedup ${SPEEDUP}x)"
 
 if ! awk "BEGIN {exit !(${SPEEDUP} >= 2.0)}"; then
 	echo "bench_smoke: speedup ${SPEEDUP}x is below the 2x acceptance bar" >&2
+	exit 1
+fi
+
+RAW5="$(BENCH5_MAXR="${MAXR5}" go test -run '^$' -bench '^BenchmarkMinRoundsDedupVsPR4$' -benchtime "${COUNT}" ./internal/chain/)"
+echo "${RAW5}"
+
+PR4_NS="$(echo "${RAW5}" | awk '/\/pr4/ {print $3}')"
+DEDUP_NS="$(echo "${RAW5}" | awk '/\/dedup/ {print $3}')"
+DEDUP_RATIO="$(echo "${RAW5}" | awk '/\/dedup/ {for (i = 1; i < NF; i++) if ($(i + 1) == "dedup_ratio") print $i}')"
+if [ -z "${PR4_NS}" ] || [ -z "${DEDUP_NS}" ]; then
+	echo "bench_smoke: benchmark output missing pr4/dedup lines" >&2
+	exit 1
+fi
+DEDUP_RATIO="${DEDUP_RATIO:-0}"
+
+SPEEDUP5="$(awk "BEGIN {printf \"%.2f\", ${PR4_NS} / ${DEDUP_NS}}")"
+cat >"${OUT5}" <<EOF
+{
+  "benchmark": "BenchmarkMinRoundsDedupVsPR4",
+  "scheme": "R1",
+  "max_horizon": ${MAXR5},
+  "pr4_ns_per_op": ${PR4_NS},
+  "dedup_ns_per_op": ${DEDUP_NS},
+  "dedup_ratio": ${DEDUP_RATIO},
+  "speedup": ${SPEEDUP5}
+}
+EOF
+echo "bench_smoke: wrote ${OUT5} (speedup ${SPEEDUP5}x, dedup ratio ${DEDUP_RATIO})"
+
+if ! awk "BEGIN {exit !(${SPEEDUP5} >= 5.0)}"; then
+	echo "bench_smoke: speedup ${SPEEDUP5}x is below the 5x acceptance bar" >&2
 	exit 1
 fi

@@ -70,6 +70,17 @@ echo "${SECOND}" | grep -Eq '"configs": [1-9]' || {
 	echo "smoke: cached reply lost the engine stats: ${SECOND}" >&2
 	exit 1
 }
+# The per-response stats must carry the frontier dedup gauges: the
+# default engine probes the first rounds, and chain views are
+# history-injective, so raw == distinct > 0 and the ratio is exactly 1.
+echo "${SECOND}" | grep -Eq '"frontierRaw": [1-9]' || {
+	echo "smoke: reply missing frontier dedup gauges: ${SECOND}" >&2
+	exit 1
+}
+echo "${SECOND}" | grep -Eq '"dedupRatio": 1' || {
+	echo "smoke: reply missing dedup ratio: ${SECOND}" >&2
+	exit 1
+}
 
 # /v1/stats must aggregate the engine work: exactly one engine run so
 # far (the second query was a cache hit), with non-zero configs.
@@ -84,6 +95,14 @@ echo "${STATS}" | grep -Eq '"configsExplored": [1-9]' || {
 }
 echo "${STATS}" | grep -q '"cacheHits": 1' || {
 	echo "smoke: /v1/stats did not count the cache hit: ${STATS}" >&2
+	exit 1
+}
+echo "${STATS}" | grep -Eq '"frontierRaw": [1-9]' || {
+	echo "smoke: /v1/stats missing frontier dedup gauges: ${STATS}" >&2
+	exit 1
+}
+echo "${STATS}" | grep -Eq '"frontierDistinct": [1-9]' || {
+	echo "smoke: /v1/stats missing distinct frontier gauge: ${STATS}" >&2
 	exit 1
 }
 

@@ -47,6 +47,8 @@ for target in FuzzIndexRoundTrip FuzzParseScenario FuzzScenarioEquality; do
 	echo "-- ${target}"
 	go test -run "^${target}$" -fuzz "^${target}$" -fuzztime "${FUZZTIME}" ./internal/omission/
 done
+echo "-- FuzzDedupVsReference"
+go test -run '^FuzzDedupVsReference$' -fuzz '^FuzzDedupVsReference$' -fuzztime "${FUZZTIME}" ./internal/fullinfo/
 
 echo "== capserved smoke =="
 ./smoke_capserved.sh
