@@ -310,6 +310,36 @@ type RoundsReport = chain.Report
 // NetAnalysisRequest.Observer) to receive one per engine round.
 type EngineStats = fullinfo.Stats
 
+// EngineOptions tunes the analysis engine behind Analyze / AnalyzeNet;
+// attach via RoundsRequest.Engine or NetAnalysisRequest.Engine. The
+// zero value asks for a sequential enumerating run — most callers want
+// EngineDefaults() with fields overridden.
+type EngineOptions = fullinfo.Options
+
+// EngineDefaults returns the standard engine configuration
+// (fullinfo.Defaults: parallel, exhaustive, automatic backend).
+func EngineDefaults() EngineOptions { return fullinfo.Defaults() }
+
+// EngineBackend selects the analysis backend: the symbolic
+// index-interval engine (chain-structured schemes decided by interval
+// arithmetic on Definition III.1's index bijection), the per-history
+// enumerating engine, or automatic selection with fragmentation
+// fallback.
+type EngineBackend = fullinfo.BackendMode
+
+// The backend modes; see fullinfo.BackendMode.
+const (
+	BackendAuto      = fullinfo.BackendAuto
+	BackendEnumerate = fullinfo.BackendEnumerate
+	BackendSymbolic  = fullinfo.BackendSymbolic
+)
+
+// ParseEngineBackend parses a -backend flag value ("auto", "enumerate",
+// or "symbolic").
+func ParseEngineBackend(s string) (EngineBackend, error) {
+	return fullinfo.ParseBackendMode(s)
+}
+
 // Analyze is the context-first engine entry point for two-process
 // bounded-round analysis. Deadlines and cancellation propagate into the
 // engine; every legacy analysis helper below delegates here.

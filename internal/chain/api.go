@@ -3,6 +3,7 @@ package chain
 import (
 	"context"
 	"errors"
+	"math"
 	"time"
 
 	"repro/internal/fullinfo"
@@ -106,14 +107,21 @@ func Analyze(ctx context.Context, req Request) (Report, error) {
 	return Report{Analysis: analysisOf(req.Horizon, last), Stats: agg}, nil
 }
 
-// analysisOf converts an engine result at horizon r.
+// analysisOf converts an engine result at horizon r. Configs saturates
+// at math.MaxInt; when the engine reports an exact big count (symbolic
+// horizons past int64), it is carried through ConfigsExact.
 func analysisOf(r int, res fullinfo.Result) Analysis {
+	configs := int(math.MaxInt)
+	if res.Configs <= math.MaxInt {
+		configs = int(res.Configs)
+	}
 	return Analysis{
 		Rounds:          r,
-		Configs:         int(res.Configs),
+		Configs:         configs,
 		Components:      res.Components,
 		Solvable:        res.Solvable,
 		MixedComponents: res.MixedComponents,
+		ConfigsExact:    res.ConfigsExact,
 	}
 }
 

@@ -19,6 +19,8 @@
 package chain
 
 import (
+	"math/big"
+
 	"repro/internal/fullinfo"
 	"repro/internal/omission"
 	"repro/internal/scheme"
@@ -29,7 +31,10 @@ import (
 type Analysis struct {
 	// Rounds is the horizon r.
 	Rounds int
-	// Configs is the number of configurations |Pref(L) ∩ Γ^r| · 4.
+	// Configs is the number of configurations |Pref(L) ∩ Γ^r| · 4,
+	// saturated at math.MaxInt when the true count no longer fits (the
+	// symbolic backend reaches 4·3^r past int range around r ≥ 39;
+	// ConfigsExact then carries the exact value).
 	Configs int
 	// Components is the number of connected components of the
 	// indistinguishability graph.
@@ -40,6 +45,10 @@ type Analysis struct {
 	// MixedComponents counts components containing both unanimous-0 and
 	// unanimous-1 configurations (Solvable ⟺ MixedComponents == 0).
 	MixedComponents int
+	// ConfigsExact is the exact configuration count when it exceeds int
+	// range (Configs is then saturated); nil otherwise, so Analysis
+	// values at enumerable horizons stay comparable with ==.
+	ConfigsExact *big.Int
 }
 
 // viewKey interns (previous view, received view) pairs; received = -1

@@ -72,7 +72,10 @@ func TestAnalyzeHonorsEngineDedupOptions(t *testing.T) {
 		rep, err := Analyze(ctx, Request{
 			Scheme:  s,
 			Horizon: r,
-			Engine:  &fullinfo.Options{Dedup: fullinfo.DedupOn, Parallel: true, Workers: 4},
+			// BackendEnumerate: this test exercises the enumerating
+			// engine's dedup path specifically; the default Auto backend
+			// would answer symbolically and never touch the frontier.
+			Engine: &fullinfo.Options{Backend: fullinfo.BackendEnumerate, Dedup: fullinfo.DedupOn, Parallel: true, Workers: 4},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -45,3 +45,33 @@ func (st chainStepper) Step(ctx *fullinfo.Ctx, state, a int, views, next []int) 
 	next[1] = ctx.View(views[1], rb)
 	return ns, true
 }
+
+// SymbolicSpec exposes the prefix DFA to the symbolic index-interval
+// backend, re-keyed by child offset under an even parent index:
+// offset 0 is LossBlack (δ = −1), 1 is None (δ = 0), 2 is LossWhite
+// (δ = +1) — Definition III.1's index recurrence. Σ-alphabet schemes
+// qualify only when the double omission is dead from every state (the
+// index bijection is a Γ^r statement); otherwise ok=false routes the
+// analysis to the enumerating engine.
+func (st chainStepper) SymbolicSpec() (fullinfo.SymbolicSpec, bool) {
+	d := st.dfa
+	start := d.Start()
+	if start < 0 {
+		return fullinfo.SymbolicSpec{Base: 3, Start: -1}, true
+	}
+	n := d.NumStates()
+	if d.Alphabet() > len(omission.Gamma) {
+		for s := 0; s < n; s++ {
+			if d.StepLetter(s, omission.LossBoth) >= 0 {
+				return fullinfo.SymbolicSpec{}, false
+			}
+		}
+	}
+	next := make([]int32, n*3)
+	for s := 0; s < n; s++ {
+		next[s*3+0] = int32(d.StepLetter(s, omission.LossBlack))
+		next[s*3+1] = int32(d.StepLetter(s, omission.None))
+		next[s*3+2] = int32(d.StepLetter(s, omission.LossWhite))
+	}
+	return fullinfo.SymbolicSpec{Base: 3, Start: start, Next: next}, true
+}

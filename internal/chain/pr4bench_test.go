@@ -201,7 +201,9 @@ func TestPR4BaselineFaithful(t *testing.T) {
 			t.Fatal(err)
 		}
 		base := newPR4Engine(s)
-		eng := fullinfo.NewEngine(newChainStepper(s), fullinfo.Options{})
+		// BackendEnumerate: the parity claim is about the enumerating
+		// engine the baseline was frozen against.
+		eng := fullinfo.NewEngine(newChainStepper(s), fullinfo.Options{Backend: fullinfo.BackendEnumerate})
 		for r := 0; r <= 5; r++ {
 			for base.horizon < r {
 				base.grow()
@@ -265,6 +267,10 @@ func BenchmarkMinRoundsDedupVsPR4(b *testing.B) {
 			raw, distinct = 0, 0
 			rep, err := Analyze(context.Background(), Request{
 				Scheme: s, Horizon: maxR, MinRounds: true, VerdictOnly: true,
+				// Pin the enumerating engine: BENCH_5 measures the
+				// dedup'd flat-table walk, not the symbolic backend
+				// (BENCH_6 measures that).
+				Engine: &fullinfo.Options{Backend: fullinfo.BackendEnumerate, Parallel: true},
 				Observer: func(st fullinfo.Stats) {
 					raw += st.FrontierRaw
 					distinct += st.FrontierDistinct

@@ -27,6 +27,7 @@ func Capnet(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")
 	rounds := fs.Int("rounds", 0, "also decide bounded-round solvability exhaustively (over all algorithms) up to this horizon on the engine")
 	stats := fs.Bool("stats", false, "with -rounds: print engine instrumentation")
+	backend := fs.String("backend", "auto", "with -rounds: analysis backend, auto|symbolic|enumerate (symbolic also raises the directed-edge cap)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,9 +88,15 @@ func Capnet(args []string, stdout, stderr io.Writer) int {
 	// quantifies over every algorithm and every ≤f loss pattern, searching
 	// for the smallest solvable horizon on the incremental engine.
 	if *rounds > 0 {
+		eng, berr := engineOptions(*backend)
+		if berr != nil {
+			fmt.Fprintln(stderr, berr)
+			return 2
+		}
 		ctx, cancel := rootContext(*timeout)
 		rep, err := coordattack.AnalyzeNet(ctx, coordattack.NetAnalysisRequest{
 			Graph: g, F: *f, Horizon: *rounds, MinRounds: true, VerdictOnly: true,
+			Engine: eng,
 		})
 		cancel()
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	coordattack "repro"
 	"repro/internal/serve"
 )
 
@@ -28,7 +29,13 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 	breakerTrip := fs.Int("breaker-trip", 5, "consecutive engine failures that trip the circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Second, "breaker fast-fail window before a half-open probe")
 	maxHorizon := fs.Int("max-horizon", 12, "largest accepted analysis horizon")
+	backendStr := fs.String("backend", "auto", "analysis backend for served requests: auto|symbolic|enumerate")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	backend, err := coordattack.ParseEngineBackend(*backendStr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -45,6 +52,7 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 		BreakerThreshold:    *breakerTrip,
 		BreakerCooldown:     *breakerCooldown,
 		MaxHorizon:          *maxHorizon,
+		Backend:             backend,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},

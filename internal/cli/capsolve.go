@@ -51,6 +51,7 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 	horizon := fs.Int("horizon", 0, "also run the bounded-round (chain) analysis up to this horizon — works for double-omission schemes too")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the bounded-round analysis (0 = none)")
 	stats := fs.Bool("stats", false, "print engine instrumentation for the bounded-round analysis")
+	backend := fs.String("backend", "auto", "analysis backend for the bounded-round analysis: auto|symbolic|enumerate")
 	unindex := fs.String("unindex", "", `invert the index bijection: "r:k" prints the unique word of Γ^r with ind = k`)
 	var minus sliceFlag
 	fs.Var(&minus, "minus", "remove an ultimately periodic scenario 'u(v)' (repeatable)")
@@ -116,9 +117,15 @@ func Capsolve(args []string, stdout, stderr io.Writer) int {
 	var chainErr error
 	var chainStats coordattack.EngineStats
 	if *horizon > 0 {
+		eng, berr := engineOptions(*backend)
+		if berr != nil {
+			fmt.Fprintln(stderr, berr)
+			return 2
+		}
 		ctx, cancel := rootContext(*timeout)
 		rep, cerr := coordattack.Analyze(ctx, coordattack.RoundsRequest{
 			Scheme: s, Horizon: *horizon, MinRounds: true, VerdictOnly: true,
+			Engine: eng,
 		})
 		cancel()
 		chainErr = cerr

@@ -7,13 +7,31 @@ import (
 	coordattack "repro"
 )
 
+// engineOptions turns a -backend flag value into engine options for an
+// analysis request, shared by every CLI that runs the fullinfo engine.
+// The empty string and "auto" keep the engine's own selection.
+func engineOptions(backend string) (*coordattack.EngineOptions, error) {
+	bm, err := coordattack.ParseEngineBackend(backend)
+	if err != nil {
+		return nil, err
+	}
+	eng := coordattack.EngineDefaults()
+	eng.Backend = bm
+	return &eng, nil
+}
+
 // formatEngineStats renders the engine instrumentation of an analysis as
 // one -stats output line, shared by every CLI that runs the fullinfo
 // engine.
 func formatEngineStats(st coordattack.EngineStats) string {
-	return fmt.Sprintf("rounds=%d configs=%d vertices=%d components=%d mixed=%d views=%d merges=%d workers=%d frontier=%d/%d dedup=%.3f wall=%s",
+	s := fmt.Sprintf("rounds=%d configs=%d vertices=%d components=%d mixed=%d views=%d merges=%d workers=%d frontier=%d/%d dedup=%.3f",
 		st.Rounds, st.Configs, st.Vertices, st.Components, st.MixedComponents,
 		st.ViewsInterned, st.Merges, st.Workers,
-		st.FrontierRaw, st.FrontierDistinct, st.DedupRatio(),
-		time.Duration(st.WallNanos).Round(time.Microsecond))
+		st.FrontierRaw, st.FrontierDistinct, st.DedupRatio())
+	if st.SymbolicRounds > 0 || st.SymbolicFallbacks > 0 {
+		s += fmt.Sprintf(" sym=%d intervals=%d/%d peak=%d frag=%.3f fallbacks=%d",
+			st.SymbolicRounds, st.Intervals, st.IntervalRuns, st.IntervalsPeak,
+			st.FragmentationRatio(), st.SymbolicFallbacks)
+	}
+	return s + fmt.Sprintf(" wall=%s", time.Duration(st.WallNanos).Round(time.Microsecond))
 }

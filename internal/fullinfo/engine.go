@@ -43,7 +43,9 @@ package fullinfo
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/big"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -119,6 +121,16 @@ func (c *Ctx) View(prev, recv int) int {
 
 // Options configures an engine run.
 type Options struct {
+	// Backend selects the analysis backend: BackendAuto (the zero
+	// value) lets chain-structured problems run symbolically and
+	// everything else enumerate, BackendEnumerate forces per-history
+	// enumeration, BackendSymbolic insists on the symbolic backend and
+	// records every forced degradation in Stats.SymbolicFallbacks.
+	Backend BackendMode
+	// SymbolicMaxIntervals overrides the symbolic backend's
+	// fragmentation threshold (total (state, interval) pairs before it
+	// abandons the run to enumeration); ≤ 0 means the default.
+	SymbolicMaxIntervals int
 	// Parallel fans the walk out over a worker pool. When false the
 	// whole tree is walked by a single worker (still streaming, still
 	// early-exiting).
@@ -183,8 +195,15 @@ const subtreesPerWorker = 8
 
 // Result is the outcome of an engine run.
 type Result struct {
-	// Configs is the number of leaf configurations explored.
+	// Configs is the number of leaf configurations explored, saturated
+	// at math.MaxInt64 when the true count no longer fits (only the
+	// symbolic backend can reach such horizons — see ConfigsExact).
 	Configs int64
+	// ConfigsExact is the exact configuration count when it exceeds
+	// int64 range; nil otherwise (Configs is then already exact). Kept
+	// nil in-range so Result stays comparable with == and small-horizon
+	// differential tests compare backends structurally.
+	ConfigsExact *big.Int
 	// Vertices is the number of distinct (process, view) pairs.
 	Vertices int
 	// Components is the number of connected components.
@@ -382,6 +401,28 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	if r < 0 {
 		r = 0
 	}
+
+	// Symbolic dispatch: chain-structured problems short-circuit the
+	// whole walk unless the caller forces enumeration or needs the
+	// retained graph. A fragmented symbolic attempt falls through to
+	// the enumerating phases below with the fallback recorded.
+	symFB := 0
+	if sym := symEngineFor(st, opt); sym != nil {
+		res, err := sym.extendTo(ctx, r)
+		if err == nil {
+			if opt.Observer != nil {
+				opt.Observer(sym.stats(res, r, start, 0))
+			}
+			return res, nil, nil
+		}
+		if !errors.Is(err, errSymbolicFragmented) {
+			return Result{}, nil, err
+		}
+		symFB = 1
+	} else if opt.Backend == BackendSymbolic {
+		symFB = 1
+	}
+
 	n := st.NumProcs()
 	na := st.NumActions()
 	workers := opt.Workers
@@ -487,14 +528,15 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 		}
 		if opt.Observer != nil {
 			opt.Observer(Stats{
-				Horizon:          r,
-				Rounds:           r,
-				ViewsInterned:    shared.NumIDs(),
-				NewViews:         shared.NumIDs(),
-				Workers:          workers,
-				FrontierRaw:      frontRaw,
-				FrontierDistinct: frontDistinct,
-				WallNanos:        time.Since(start).Nanoseconds(),
+				Horizon:           r,
+				Rounds:            r,
+				ViewsInterned:     shared.NumIDs(),
+				NewViews:          shared.NumIDs(),
+				Workers:           workers,
+				FrontierRaw:       frontRaw,
+				FrontierDistinct:  frontDistinct,
+				SymbolicFallbacks: symFB,
+				WallNanos:         time.Since(start).Nanoseconds(),
 			})
 		}
 		return res, g, nil
@@ -600,22 +642,23 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	}
 	if opt.Observer != nil {
 		opt.Observer(Stats{
-			Horizon:          r,
-			Rounds:           r,
-			Configs:          configs,
-			Vertices:         res.Vertices,
-			Components:       res.Components,
-			MixedComponents:  res.MixedComponents,
-			Merges:           res.Vertices - res.Components,
-			ViewsInterned:    shared.NumIDs(),
-			NewViews:         shared.NumIDs(),
-			Workers:          workers,
-			WorkerForks:      len(pool),
-			Absorbed:         absorbed,
-			Subtrees:         len(frontier),
-			FrontierRaw:      frontRaw,
-			FrontierDistinct: frontDistinct,
-			WallNanos:        time.Since(start).Nanoseconds(),
+			Horizon:           r,
+			Rounds:            r,
+			Configs:           configs,
+			Vertices:          res.Vertices,
+			Components:        res.Components,
+			MixedComponents:   res.MixedComponents,
+			Merges:            res.Vertices - res.Components,
+			ViewsInterned:     shared.NumIDs(),
+			NewViews:          shared.NumIDs(),
+			Workers:           workers,
+			WorkerForks:       len(pool),
+			Absorbed:          absorbed,
+			Subtrees:          len(frontier),
+			FrontierRaw:       frontRaw,
+			FrontierDistinct:  frontDistinct,
+			SymbolicFallbacks: symFB,
+			WallNanos:         time.Since(start).Nanoseconds(),
 		})
 	}
 	return res, g, nil

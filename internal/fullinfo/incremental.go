@@ -95,6 +95,15 @@ type Engine struct {
 	uf   compUF
 	vert []int32
 
+	// sym is the live symbolic backend, when backend selection picked
+	// it. While non-nil, the enumerating frontier above stays parked at
+	// the horizon-0 roots; on fragmentation sym is dropped and the
+	// enumerating rounds replay from there. pendingSymFallback is 1
+	// when BackendSymbolic was requested but no symbolic engine could
+	// be built — reported on the next ExtendTo snapshot.
+	sym                *symEngine
+	pendingSymFallback int
+
 	err error
 }
 
@@ -142,6 +151,11 @@ func NewEngine(st Stepper, opt Options) *Engine {
 		e.err = ErrEngineBuildGraph
 		return e
 	}
+	if sym := symEngineFor(st, opt); sym != nil {
+		e.sym = sym
+	} else if opt.Backend == BackendSymbolic {
+		e.pendingSymFallback = 1
+	}
 	if start, ok := st.Root(); ok {
 		for inputs := 0; inputs < 1<<n; inputs++ {
 			e.states = append(e.states, start)
@@ -155,10 +169,21 @@ func NewEngine(st Stepper, opt Options) *Engine {
 }
 
 // Horizon returns the round horizon of the live frontier.
-func (e *Engine) Horizon() int { return e.horizon }
+func (e *Engine) Horizon() int {
+	if e.sym != nil {
+		return e.sym.depth
+	}
+	return e.horizon
+}
 
-// FrontierLen returns the number of live (distinct) frontier nodes.
-func (e *Engine) FrontierLen() int { return len(e.states) }
+// FrontierLen returns the number of live (distinct) frontier nodes —
+// (state, interval) pairs while the symbolic backend is live.
+func (e *Engine) FrontierLen() int {
+	if e.sym != nil {
+		return e.sym.intervals
+	}
+	return len(e.states)
+}
 
 // mult returns frontier node i's multiplicity.
 func (e *Engine) mult(i int) int64 {
@@ -220,10 +245,35 @@ func (e *Engine) ExtendTo(ctx context.Context, r int) (Result, error) {
 	if e.err != nil {
 		return Result{}, e.err
 	}
-	if r < e.horizon {
-		return Result{}, fmt.Errorf("fullinfo: ExtendTo(%d) below current horizon %d", r, e.horizon)
+	if h := e.Horizon(); r < h {
+		return Result{}, fmt.Errorf("fullinfo: ExtendTo(%d) below current horizon %d", r, h)
 	}
 	start := time.Now()
+	symFB := e.pendingSymFallback
+	e.pendingSymFallback = 0
+	if e.sym != nil {
+		symRounds := r - e.sym.depth
+		res, err := e.sym.extendTo(ctx, r)
+		if err == nil {
+			if e.opt.Observer != nil {
+				e.opt.Observer(e.sym.stats(res, symRounds, start, symFB))
+			}
+			return res, nil
+		}
+		if !errors.Is(err, errSymbolicFragmented) {
+			// Context cancellation: the symbolic frontier is intact at
+			// its previous depth, so the call may simply be retried.
+			e.pendingSymFallback = symFB
+			return Result{}, err
+		}
+		// The interval frontier fragmented. Drop the symbolic engine and
+		// replay enumerating rounds from the parked horizon-0 roots —
+		// the one-time cost of reaching r this way is what the dedup
+		// engine would have paid anyway, and every later ExtendTo grows
+		// incrementally as usual.
+		e.sym = nil
+		symFB++
+	}
 	startIDs := e.sctx.In.NumIDs()
 	rounds := r - e.horizon
 	var gs growStats
@@ -263,22 +313,23 @@ func (e *Engine) ExtendTo(ctx context.Context, r int) (Result, error) {
 	}
 	if e.opt.Observer != nil {
 		e.opt.Observer(Stats{
-			Horizon:          e.horizon,
-			Rounds:           rounds,
-			Configs:          res.Configs,
-			Vertices:         res.Vertices,
-			Components:       res.Components,
-			MixedComponents:  res.MixedComponents,
-			Merges:           res.Vertices - res.Components,
-			ViewsInterned:    e.sctx.In.NumIDs(),
-			NewViews:         e.sctx.In.NumIDs() - startIDs,
-			Workers:          e.workers,
-			WorkerForks:      gs.forks,
-			Absorbed:         gs.absorbed,
-			Subtrees:         len(e.states),
-			FrontierRaw:      gs.raw,
-			FrontierDistinct: gs.distinct,
-			WallNanos:        time.Since(start).Nanoseconds(),
+			Horizon:           e.horizon,
+			Rounds:            rounds,
+			Configs:           res.Configs,
+			Vertices:          res.Vertices,
+			Components:        res.Components,
+			MixedComponents:   res.MixedComponents,
+			Merges:            res.Vertices - res.Components,
+			ViewsInterned:     e.sctx.In.NumIDs(),
+			NewViews:          e.sctx.In.NumIDs() - startIDs,
+			Workers:           e.workers,
+			WorkerForks:       gs.forks,
+			Absorbed:          gs.absorbed,
+			Subtrees:          len(e.states),
+			FrontierRaw:       gs.raw,
+			FrontierDistinct:  gs.distinct,
+			SymbolicFallbacks: symFB,
+			WallNanos:         time.Since(start).Nanoseconds(),
 		})
 	}
 	return res, nil

@@ -44,6 +44,22 @@ type Stats struct {
 	// invocation; they stay 0 when dedup never ran (Run, or DedupOff).
 	FrontierRaw      int64
 	FrontierDistinct int64
+	// SymbolicRounds is how many of this invocation's rounds the
+	// symbolic index-interval backend advanced (0 when it never
+	// engaged). Intervals is the (state, interval) pair count of the
+	// symbolic frontier after the invocation, IntervalRuns the number
+	// of maximal index runs those intervals cover when merged across
+	// DFA states (runs ≤ intervals; see FragmentationRatio), and
+	// IntervalsPeak the largest interval count any round reached.
+	SymbolicRounds int
+	Intervals      int
+	IntervalRuns   int
+	IntervalsPeak  int
+	// SymbolicFallbacks counts degradations to the enumerating engine:
+	// mid-run interval fragmentation under any backend mode, plus — so
+	// the demand is auditable — a BackendSymbolic request the backend
+	// could not serve at all (no chain structure, or BuildGraph).
+	SymbolicFallbacks int
 	// WallNanos is the wall-clock duration of the invocation.
 	WallNanos int64
 }
@@ -58,13 +74,34 @@ func (s *Stats) DedupRatio() float64 {
 	return float64(s.FrontierRaw) / float64(s.FrontierDistinct)
 }
 
+// FragmentationRatio returns Intervals / IntervalRuns — how many
+// (state, interval) pairs the symbolic frontier spends per maximal
+// index run, the gauge the fallback threshold is guarding — or 1 when
+// the symbolic backend has not run.
+func (s *Stats) FragmentationRatio() float64 {
+	if s.IntervalRuns == 0 {
+		return 1
+	}
+	return float64(s.Intervals) / float64(s.IntervalRuns)
+}
+
+// satAdd64 adds two non-negative counters, saturating at MaxInt64. The
+// symbolic backend reports per-round config counts that are themselves
+// saturated, so a deep MinRounds aggregate would otherwise wrap.
+func satAdd64(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return 1<<63 - 1
+}
+
 // merge folds another snapshot into s, accumulating work counters and
 // keeping the most recent structural fields. It is what callers use to
 // aggregate per-round stats over a MinRounds search.
 func (s *Stats) Merge(o Stats) {
 	s.Horizon = o.Horizon
 	s.Rounds += o.Rounds
-	s.Configs += o.Configs
+	s.Configs = satAdd64(s.Configs, o.Configs)
 	s.Vertices = o.Vertices
 	s.Components = o.Components
 	s.MixedComponents = o.MixedComponents
@@ -79,5 +116,12 @@ func (s *Stats) Merge(o Stats) {
 	s.Subtrees = o.Subtrees
 	s.FrontierRaw += o.FrontierRaw
 	s.FrontierDistinct += o.FrontierDistinct
+	s.SymbolicRounds += o.SymbolicRounds
+	s.Intervals = o.Intervals
+	s.IntervalRuns = o.IntervalRuns
+	if o.IntervalsPeak > s.IntervalsPeak {
+		s.IntervalsPeak = o.IntervalsPeak
+	}
+	s.SymbolicFallbacks += o.SymbolicFallbacks
 	s.WallNanos += o.WallNanos
 }

@@ -52,7 +52,7 @@ type Report struct {
 
 var (
 	errBadProcs = errors.New("nchain: Analyze requires N ≥ 2 or a Graph")
-	errTooLarge = errors.New("nchain: instance too large to enumerate loss patterns (limit 20 directed edges)")
+	errTooLarge = errors.New("nchain: instance too large to enumerate loss patterns (limit 20 directed edges; 26 when the request selects the symbolic backend)")
 )
 
 // Analyze is the single analysis entry point of the package: every
@@ -66,10 +66,14 @@ func Analyze(ctx context.Context, req Request) (Report, error) {
 	if n < 2 {
 		return Report{}, errBadProcs
 	}
-	// The loss-pattern enumerations panic past 20 directed edges; surface
-	// that as a request error instead of unwinding through a CLI or
-	// handler.
-	if dirEdges := 2 * graphEdgeCount(req); dirEdges > 20 {
+	// Bound the loss-pattern space up front — a request error, never the
+	// enumerators' representation panic. Explicitly selecting the
+	// symbolic backend raises the cap (see maxDirEdgesSymbolic).
+	limit := maxDirEdges
+	if req.Engine != nil && req.Engine.Backend == fullinfo.BackendSymbolic {
+		limit = maxDirEdgesSymbolic
+	}
+	if dirEdges := 2 * graphEdgeCount(req); dirEdges > limit {
 		return Report{}, errTooLarge
 	}
 	if req.Horizon < 0 {

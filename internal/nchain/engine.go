@@ -1,6 +1,8 @@
 package nchain
 
 import (
+	"math"
+
 	"repro/internal/fullinfo"
 	"repro/internal/graph"
 )
@@ -73,11 +75,16 @@ func (st lossStepper) Step(ctx *fullinfo.Ctx, state, a int, views, next []int) (
 }
 
 func analysisOf(n, f, r int, res fullinfo.Result) Analysis {
+	configs := int(math.MaxInt)
+	if res.Configs <= math.MaxInt {
+		configs = int(res.Configs)
+	}
 	return Analysis{
 		N: n, F: f, Rounds: r,
-		Configs:         int(res.Configs),
+		Configs:         configs,
 		Components:      res.Components,
 		MixedComponents: res.MixedComponents,
 		Solvable:        res.Solvable,
+		ConfigsExact:    res.ConfigsExact,
 	}
 }

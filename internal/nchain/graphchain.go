@@ -134,17 +134,8 @@ func dirIndex(dir []graph.DirEdge, from, to int) int {
 }
 
 // graphPatterns enumerates the loss patterns of g with at most f drops,
-// as bitmasks over the directed-edge order.
+// as bitmasks over the directed-edge order (see patternsUpTo for the
+// combinatorial generation and its representation limit).
 func graphPatterns(g *graph.Graph, f int) []LossPattern {
-	edges := 2 * g.NumEdges()
-	if edges > 20 {
-		panic("nchain: graph too large to enumerate loss patterns")
-	}
-	var out []LossPattern
-	for p := LossPattern(0); p < 1<<edges; p++ {
-		if p.Count() <= f {
-			out = append(out, p)
-		}
-	}
-	return out
+	return patternsUpTo(2*g.NumEdges(), f)
 }

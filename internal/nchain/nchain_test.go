@@ -51,12 +51,19 @@ func TestLossPatterns(t *testing.T) {
 			seen[idx] = true
 		}
 	}
+	// The combinatorial enumeration handles wide-but-sparse instances
+	// the historical 2^E sweep could not: K_6 has 30 directed edges.
+	if got := len(PatternsUpTo(6, 1)); got != 31 {
+		t.Fatalf("|patterns(6,1)| = %d, want 31", got)
+	}
+	// Only the uint64 mask representation itself still panics (K_9 has
+	// 72 directed edges); Analyze guards with errTooLarge long before.
 	defer func() {
 		if recover() == nil {
-			t.Error("oversized K_n must panic")
+			t.Error("patterns past the 64-bit mask must panic")
 		}
 	}()
-	PatternsUpTo(6, 1)
+	PatternsUpTo(9, 1)
 }
 
 // TestTwoProcessesMatchesChain: n=2 must reproduce the two-process

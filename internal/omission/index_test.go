@@ -353,3 +353,33 @@ func TestUnIndexCheckedInt64Boundary(t *testing.T) {
 		t.Fatalf("round-trip at r=40: ind = %v, want %v", got, big40)
 	}
 }
+
+// TestIndexInt64AtSafeBound exercises the forward direction at exactly
+// the int64-safe round bound r = MaxInt64Rounds: the extremal words
+// still index (and round-trip) in scalar arithmetic, the scalar and
+// big powers agree, and one more round is rejected rather than
+// silently overflowed.
+func TestIndexInt64AtSafeBound(t *testing.T) {
+	r := MaxInt64Rounds
+	wantTop := new(big.Int).Sub(Pow3(r), big.NewInt(1))
+	if !wantTop.IsInt64() {
+		t.Fatalf("3^%d - 1 should fit int64", r)
+	}
+	if got := Pow3Int64(r); got != wantTop.Int64()+1 {
+		t.Fatalf("Pow3Int64(%d) = %d, want %v", r, got, Pow3(r))
+	}
+	top, err := IndexInt64(Uniform(LossWhite, r))
+	if err != nil || top != wantTop.Int64() {
+		t.Fatalf("ind(w^%d) = %d, %v, want %d", r, top, err, wantTop.Int64())
+	}
+	bot, err := IndexInt64(Uniform(LossBlack, r))
+	if err != nil || bot != 0 {
+		t.Fatalf("ind(b^%d) = %d, %v, want 0", r, bot, err)
+	}
+	if w := UnIndexInt64(r, top); !w.Equal(Uniform(LossWhite, r)) {
+		t.Fatalf("UnIndexInt64(%d, top) = %v", r, w)
+	}
+	if _, err := IndexInt64(Uniform(None, r+1)); err == nil {
+		t.Error("IndexInt64 must reject length MaxInt64Rounds+1")
+	}
+}

@@ -176,6 +176,14 @@ func graphKey(g *coordattack.Graph) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// engineOptions builds the per-request engine options: the defaults with
+// the server-wide backend selection applied.
+func (s *Server) engineOptions() *coordattack.EngineOptions {
+	eng := coordattack.EngineDefaults()
+	eng.Backend = s.cfg.Backend
+	return &eng
+}
+
 // isEngineFailure classifies an error for the circuit breaker: deadline
 // blowouts and engine faults count, client-shaped errors do not reach
 // this path at all (they are rejected before the breaker).
@@ -385,11 +393,14 @@ type solvableRequest struct {
 }
 
 type solvableResponse struct {
-	Scheme          string           `json:"scheme"`
-	Horizon         int              `json:"horizon"`
-	Solvable        bool             `json:"solvable"`
-	Found           *bool            `json:"found,omitempty"` // minRounds search outcome
-	Configs         int              `json:"configs,omitempty"`
+	Scheme   string `json:"scheme"`
+	Horizon  int    `json:"horizon"`
+	Solvable bool   `json:"solvable"`
+	Found    *bool  `json:"found,omitempty"` // minRounds search outcome
+	Configs  int    `json:"configs,omitempty"`
+	// ConfigsExact carries the exact decimal configuration count when it
+	// overflowed the Configs int (deep symbolic horizons); empty otherwise.
+	ConfigsExact    string           `json:"configsExact,omitempty"`
 	Components      int              `json:"components,omitempty"`
 	MixedComponents int              `json:"mixedComponents,omitempty"`
 	Engine          *engineStatsJSON `json:"engine,omitempty"`
@@ -427,6 +438,7 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 			MinRounds:   req.MinRounds,
 			VerdictOnly: req.MinRounds,
 			Observer:    s.engine.observe,
+			Engine:      s.engineOptions(),
 		})
 		if err != nil {
 			return nil, err
@@ -441,6 +453,9 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp.Solvable = rep.Solvable
 			resp.Configs = rep.Configs
+			if rep.ConfigsExact != nil {
+				resp.ConfigsExact = rep.ConfigsExact.String()
+			}
 			resp.Components = rep.Components
 			resp.MixedComponents = rep.MixedComponents
 		}
@@ -510,6 +525,7 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 			Horizon:     req.Rounds,
 			VerdictOnly: true,
 			Observer:    s.engine.observe,
+			Engine:      s.engineOptions(),
 		})
 		if err != nil {
 			return nil, err

@@ -31,6 +31,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	coordattack "repro"
 )
 
 // Config parameterizes the service. The zero value is usable: every
@@ -72,6 +74,11 @@ type Config struct {
 	MaxProcs int
 	// MaxExecutions caps chaos campaign sizes (default 100000).
 	MaxExecutions int
+	// Backend selects the analysis backend for every served engine
+	// request. The zero value (BackendAuto) lets the engine pick the
+	// symbolic interval walk when the scheme supports it and fall back
+	// to enumeration otherwise.
+	Backend coordattack.EngineBackend
 	// Logf sinks operational log lines (default: discard).
 	Logf func(format string, args ...any)
 	// Clock is the time source (default time.Now); injectable for

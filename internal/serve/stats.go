@@ -21,6 +21,9 @@ type engineAgg struct {
 	wallNanos        atomic.Int64
 	frontierRaw      atomic.Int64
 	frontierDistinct atomic.Int64
+	symRounds        atomic.Int64
+	symFallbacks     atomic.Int64
+	intervalsPeak    atomic.Int64
 }
 
 // observe is the fullinfo Observer hook wired into every engine request.
@@ -32,6 +35,14 @@ func (a *engineAgg) observe(st coordattack.EngineStats) {
 	a.wallNanos.Add(st.WallNanos)
 	a.frontierRaw.Add(st.FrontierRaw)
 	a.frontierDistinct.Add(st.FrontierDistinct)
+	a.symRounds.Add(int64(st.SymbolicRounds))
+	a.symFallbacks.Add(int64(st.SymbolicFallbacks))
+	for {
+		peak := a.intervalsPeak.Load()
+		if int64(st.IntervalsPeak) <= peak || a.intervalsPeak.CompareAndSwap(peak, int64(st.IntervalsPeak)) {
+			break
+		}
+	}
 }
 
 // engineStatsJSON is the per-response engine instrumentation block,
@@ -52,11 +63,21 @@ type engineStatsJSON struct {
 	FrontierRaw      int64   `json:"frontierRaw"`
 	FrontierDistinct int64   `json:"frontierDistinct"`
 	DedupRatio       float64 `json:"dedupRatio"`
-	WallNanos        int64   `json:"wallNanos"`
+	// Symbolic interval-walk gauges, present only when the symbolic
+	// backend ran (or was requested and fell back): rounds advanced
+	// symbolically, the final and peak interval counts, the
+	// intervals-per-run fragmentation ratio, and fallback events.
+	SymbolicRounds     int     `json:"symbolicRounds,omitempty"`
+	Intervals          int     `json:"intervals,omitempty"`
+	IntervalRuns       int     `json:"intervalRuns,omitempty"`
+	IntervalsPeak      int     `json:"intervalsPeak,omitempty"`
+	FragmentationRatio float64 `json:"fragmentationRatio,omitempty"`
+	SymbolicFallbacks  int     `json:"symbolicFallbacks,omitempty"`
+	WallNanos          int64   `json:"wallNanos"`
 }
 
 func engineStatsOf(st coordattack.EngineStats) *engineStatsJSON {
-	return &engineStatsJSON{
+	js := &engineStatsJSON{
 		Rounds:           st.Rounds,
 		Configs:          st.Configs,
 		Vertices:         st.Vertices,
@@ -70,6 +91,15 @@ func engineStatsOf(st coordattack.EngineStats) *engineStatsJSON {
 		DedupRatio:       st.DedupRatio(),
 		WallNanos:        st.WallNanos,
 	}
+	if st.SymbolicRounds > 0 || st.SymbolicFallbacks > 0 {
+		js.SymbolicRounds = st.SymbolicRounds
+		js.Intervals = st.Intervals
+		js.IntervalRuns = st.IntervalRuns
+		js.IntervalsPeak = st.IntervalsPeak
+		js.FragmentationRatio = st.FragmentationRatio()
+		js.SymbolicFallbacks = st.SymbolicFallbacks
+	}
+	return js
 }
 
 // StatsVarz is the GET /v1/stats aggregate: lifetime engine work plus
@@ -82,12 +112,18 @@ type StatsVarz struct {
 	EngineWallNanos int64 `json:"engineWallNanos"`
 	// Lifetime frontier dedup gauges across every dedup'd engine round,
 	// plus the resulting raw/distinct ratio (1 when no round dedup'd).
-	FrontierRaw        int64   `json:"frontierRaw"`
-	FrontierDistinct   int64   `json:"frontierDistinct"`
-	DedupRatio         float64 `json:"dedupRatio"`
-	CacheHits          int64   `json:"cacheHits"`
-	CacheMisses        int64   `json:"cacheMisses"`
-	SingleflightShared int64   `json:"singleflightShared"`
+	FrontierRaw      int64   `json:"frontierRaw"`
+	FrontierDistinct int64   `json:"frontierDistinct"`
+	DedupRatio       float64 `json:"dedupRatio"`
+	// Lifetime symbolic-backend gauges: rounds advanced by the interval
+	// walk, fallbacks to enumeration, and the largest interval set any
+	// single run reached.
+	SymbolicRounds     int64 `json:"symbolicRounds"`
+	SymbolicFallbacks  int64 `json:"symbolicFallbacks"`
+	IntervalsPeak      int64 `json:"intervalsPeak"`
+	CacheHits          int64 `json:"cacheHits"`
+	CacheMisses        int64 `json:"cacheMisses"`
+	SingleflightShared int64 `json:"singleflightShared"`
 }
 
 func (s *Server) statsVarz() StatsVarz {
@@ -100,6 +136,9 @@ func (s *Server) statsVarz() StatsVarz {
 		FrontierRaw:        s.engine.frontierRaw.Load(),
 		FrontierDistinct:   s.engine.frontierDistinct.Load(),
 		DedupRatio:         1,
+		SymbolicRounds:     s.engine.symRounds.Load(),
+		SymbolicFallbacks:  s.engine.symFallbacks.Load(),
+		IntervalsPeak:      s.engine.intervalsPeak.Load(),
 		CacheHits:          s.cache.hits.Load(),
 		CacheMisses:        s.cache.misses.Load(),
 		SingleflightShared: s.cache.shared.Load(),

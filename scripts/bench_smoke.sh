@@ -12,17 +12,27 @@
 # against the frozen PR-4 baseline engine, same R1 MinRounds search at a
 # deeper horizon (BENCH5_MAXR, default 13). Acceptance bar ≥5×; the
 # measured frontier dedup ratio is recorded alongside (exactly 1.0 on
-# R1, whose views are history-injective — see DESIGN.md). Usage:
+# R1, whose views are history-injective — see DESIGN.md).
 #
-#   ./scripts/bench_smoke.sh [bench4.json] [bench5.json]
+# BENCH_6: the symbolic index-interval backend sweeping the R1
+# MinRounds search to BENCH6_MAXR (default 40 — 4·3^40 configurations,
+# beyond int64 and beyond any enumeration budget) against the flat-table
+# enumerating engine at its own BENCH_5 horizon. Acceptance bars: the
+# symbolic horizon must reach ≥25 and the symbolic sweep must still beat
+# the 3×-shallower enumeration by ≥10×. The exact configuration count at
+# the top horizon is recorded alongside. Usage:
+#
+#   ./scripts/bench_smoke.sh [bench4.json] [bench5.json] [bench6.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 
 OUT4="${1:-BENCH_4.json}"
 OUT5="${2:-BENCH_5.json}"
+OUT6="${3:-BENCH_6.json}"
 MAXR=8
 MAXR5="${BENCH5_MAXR:-13}"
+MAXR6="${BENCH6_MAXR:-40}"
 COUNT="${BENCH_COUNT:-3x}"
 
 RAW="$(go test -run '^$' -bench '^BenchmarkMinRoundsIncrementalVsRestart$' -benchtime "${COUNT}" .)"
@@ -81,5 +91,40 @@ echo "bench_smoke: wrote ${OUT5} (speedup ${SPEEDUP5}x, dedup ratio ${DEDUP_RATI
 
 if ! awk "BEGIN {exit !(${SPEEDUP5} >= 5.0)}"; then
 	echo "bench_smoke: speedup ${SPEEDUP5}x is below the 5x acceptance bar" >&2
+	exit 1
+fi
+
+RAW6="$(BENCH5_MAXR="${MAXR5}" BENCH6_MAXR="${MAXR6}" go test -run '^$' -bench '^BenchmarkMinRoundsSymbolicVsFlat$' -benchtime "${COUNT}" ./internal/chain/)"
+echo "${RAW6}"
+
+SYM_NS="$(echo "${RAW6}" | awk '/\/symbolic/ {for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i}' | head -n 1)"
+FLAT_NS="$(echo "${RAW6}" | awk '/\/flat/ {for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i}' | head -n 1)"
+CONFIGS_EXACT="$(echo "${RAW6}" | awk '{for (i = 1; i < NF; i++) if ($i == "bench6_configs_exact") {print $(i + 1); exit}}')"
+if [ -z "${SYM_NS}" ] || [ -z "${FLAT_NS}" ] || [ -z "${CONFIGS_EXACT}" ]; then
+	echo "bench_smoke: benchmark output missing symbolic/flat/configs lines" >&2
+	exit 1
+fi
+
+SPEEDUP6="$(awk "BEGIN {printf \"%.2f\", ${FLAT_NS} / ${SYM_NS}}")"
+cat >"${OUT6}" <<EOF
+{
+  "benchmark": "BenchmarkMinRoundsSymbolicVsFlat",
+  "scheme": "R1",
+  "symbolic_max_horizon": ${MAXR6},
+  "symbolic_ns_per_op": ${SYM_NS},
+  "configs_exact_at_max": "${CONFIGS_EXACT}",
+  "enumerate_max_horizon": ${MAXR5},
+  "enumerate_ns_per_op": ${FLAT_NS},
+  "speedup": ${SPEEDUP6}
+}
+EOF
+echo "bench_smoke: wrote ${OUT6} (symbolic horizon ${MAXR6}, speedup ${SPEEDUP6}x over enumeration at ${MAXR5})"
+
+if ! awk "BEGIN {exit !(${MAXR6} >= 25)}"; then
+	echo "bench_smoke: symbolic horizon ${MAXR6} is below the 25-round acceptance bar" >&2
+	exit 1
+fi
+if ! awk "BEGIN {exit !(${SPEEDUP6} >= 10.0)}"; then
+	echo "bench_smoke: speedup ${SPEEDUP6}x is below the 10x acceptance bar" >&2
 	exit 1
 fi

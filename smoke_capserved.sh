@@ -19,7 +19,12 @@ trap cleanup EXIT INT TERM
 
 go build -o "${WORK}/capserved" ./cmd/capserved
 
-"${WORK}/capserved" -addr 127.0.0.1:0 -drain 5s >"${WORK}/stdout.log" 2>"${WORK}/stderr.log" &
+# SMOKE_BACKEND selects the served analysis backend (auto|symbolic|
+# enumerate); the assertions below adapt, because the symbolic interval
+# walk never touches the enumerating frontier gauges.
+BACKEND="${SMOKE_BACKEND:-auto}"
+
+"${WORK}/capserved" -addr 127.0.0.1:0 -drain 5s -backend "${BACKEND}" >"${WORK}/stdout.log" 2>"${WORK}/stderr.log" &
 SERVED_PID=$!
 
 # The server logs "capserved: listening on http://ADDR" once bound.
@@ -70,17 +75,32 @@ echo "${SECOND}" | grep -Eq '"configs": [1-9]' || {
 	echo "smoke: cached reply lost the engine stats: ${SECOND}" >&2
 	exit 1
 }
-# The per-response stats must carry the frontier dedup gauges: the
-# default engine probes the first rounds, and chain views are
-# history-injective, so raw == distinct > 0 and the ratio is exactly 1.
-echo "${SECOND}" | grep -Eq '"frontierRaw": [1-9]' || {
-	echo "smoke: reply missing frontier dedup gauges: ${SECOND}" >&2
-	exit 1
-}
-echo "${SECOND}" | grep -Eq '"dedupRatio": 1' || {
-	echo "smoke: reply missing dedup ratio: ${SECOND}" >&2
-	exit 1
-}
+if [ "${BACKEND}" = "enumerate" ]; then
+	# The per-response stats must carry the frontier dedup gauges: the
+	# enumerating engine probes the first rounds, and chain views are
+	# history-injective, so raw == distinct > 0 and the ratio is exactly 1.
+	echo "${SECOND}" | grep -Eq '"frontierRaw": [1-9]' || {
+		echo "smoke: reply missing frontier dedup gauges: ${SECOND}" >&2
+		exit 1
+	}
+	echo "${SECOND}" | grep -Eq '"dedupRatio": 1' || {
+		echo "smoke: reply missing dedup ratio: ${SECOND}" >&2
+		exit 1
+	}
+else
+	# Auto picks the symbolic interval walk for S1 (a Γ scheme): the
+	# reply must carry the interval gauges instead — S1 at horizon 2
+	# covers its 7 admissible indices {0,1,3,4,5,7,8} with 3 maximal
+	# runs after the cross-state merge.
+	echo "${SECOND}" | grep -Eq '"symbolicRounds": [1-9]' || {
+		echo "smoke: reply missing symbolic gauges: ${SECOND}" >&2
+		exit 1
+	}
+	echo "${SECOND}" | grep -q '"intervalRuns": 3' || {
+		echo "smoke: S1 at horizon 2 should merge to 3 index runs: ${SECOND}" >&2
+		exit 1
+	}
+fi
 
 # /v1/stats must aggregate the engine work: exactly one engine run so
 # far (the second query was a cache hit), with non-zero configs.
@@ -97,14 +117,25 @@ echo "${STATS}" | grep -q '"cacheHits": 1' || {
 	echo "smoke: /v1/stats did not count the cache hit: ${STATS}" >&2
 	exit 1
 }
-echo "${STATS}" | grep -Eq '"frontierRaw": [1-9]' || {
-	echo "smoke: /v1/stats missing frontier dedup gauges: ${STATS}" >&2
-	exit 1
-}
-echo "${STATS}" | grep -Eq '"frontierDistinct": [1-9]' || {
-	echo "smoke: /v1/stats missing distinct frontier gauge: ${STATS}" >&2
-	exit 1
-}
+if [ "${BACKEND}" = "enumerate" ]; then
+	echo "${STATS}" | grep -Eq '"frontierRaw": [1-9]' || {
+		echo "smoke: /v1/stats missing frontier dedup gauges: ${STATS}" >&2
+		exit 1
+	}
+	echo "${STATS}" | grep -Eq '"frontierDistinct": [1-9]' || {
+		echo "smoke: /v1/stats missing distinct frontier gauge: ${STATS}" >&2
+		exit 1
+	}
+else
+	echo "${STATS}" | grep -Eq '"symbolicRounds": [1-9]' || {
+		echo "smoke: /v1/stats missing symbolic round gauge: ${STATS}" >&2
+		exit 1
+	}
+	echo "${STATS}" | grep -Eq '"intervalsPeak": [1-9]' || {
+		echo "smoke: /v1/stats missing interval peak gauge: ${STATS}" >&2
+		exit 1
+	}
+fi
 
 # SIGTERM must drain and exit 0 within the drain budget.
 kill -TERM "${SERVED_PID}"

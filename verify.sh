@@ -49,8 +49,13 @@ for target in FuzzIndexRoundTrip FuzzParseScenario FuzzScenarioEquality; do
 done
 echo "-- FuzzDedupVsReference"
 go test -run '^FuzzDedupVsReference$' -fuzz '^FuzzDedupVsReference$' -fuzztime "${FUZZTIME}" ./internal/fullinfo/
+echo "-- FuzzSymbolicVsReference"
+go test -run '^FuzzSymbolicVsReference$' -fuzz '^FuzzSymbolicVsReference$' -fuzztime "${FUZZTIME}" ./internal/chain/
 
-echo "== capserved smoke =="
+echo "== capserved smoke (default backend) =="
 ./smoke_capserved.sh
+
+echo "== capserved smoke (enumerate backend) =="
+SMOKE_BACKEND=enumerate ./smoke_capserved.sh
 
 echo "verify.sh: all gates passed"
