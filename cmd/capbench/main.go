@@ -1,0 +1,22 @@
+// Command capbench load-tests a capserved node or coordinator cluster:
+// an open-loop arrival process at a target RPS over mixed query classes
+// (classification, solvability, network solvability, and cache-busting
+// "heavy" automata), reporting p50/p95/p99 latency, shed rate, and
+// hedge/failover rates.
+//
+// Usage:
+//
+//	capbench                              # self-contained 3-node cluster
+//	capbench -rps 300 -duration 5s -out BENCH_7.json -p99-bar 2
+//	capbench -base http://127.0.0.1:8322  # drive an external target
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Capbench(os.Args[1:], os.Stdout, os.Stderr))
+}

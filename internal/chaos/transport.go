@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// TransportFaults parameterizes a FaultyTransport. Probabilities are
+// independent per request and evaluated in order: drop, then 500, then
+// delay, then slow body — so a request can be both delayed and given a
+// crawling body, mirroring how a real degraded backend stacks symptoms.
+type TransportFaults struct {
+	// DropProb returns a transport error without the request ever
+	// reaching the backend — the HTTP analogue of a dropped message.
+	DropProb float64
+	// Err500Prob short-circuits with a synthesized 500 response.
+	Err500Prob float64
+	// DelayProb sleeps Delay (context-aware) before forwarding.
+	DelayProb float64
+	Delay     time.Duration
+	// SlowBodyProb forwards the request but throttles the response body:
+	// each Read stalls for SlowBodyDelay, modelling a shard that accepts
+	// work and then trickles its answer.
+	SlowBodyProb  float64
+	SlowBodyDelay time.Duration
+}
+
+// FaultyTransport is a seeded fault-injecting http.RoundTripper for
+// cluster-level chaos campaigns: it wraps a real transport and
+// drops/delays/fails requests with SplitMix64-derived per-request
+// randomness, so a campaign against a live coordinator replays exactly
+// from its seed the way the simulator campaigns do.
+//
+// It implements the same adversary stance as the message-level
+// injectors (inject.go), one layer up the stack: the coordinator's
+// backends become the processes, HTTP requests the messages.
+type FaultyTransport struct {
+	// Inner performs the real round trips (default
+	// http.DefaultTransport).
+	Inner http.RoundTripper
+	// Seed is the campaign master seed; request i uses
+	// DeriveSeed(Seed, i).
+	Seed   int64
+	Faults TransportFaults
+
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+// Injected reports how many requests had any fault injected — the
+// observability hook harness assertions use ("the adversary actually
+// acted").
+func (t *FaultyTransport) Injected() int64 { return t.injected.Load() }
+
+// Calls reports the total requests routed through the transport.
+func (t *FaultyTransport) Calls() int64 { return t.calls.Load() }
+
+// errDropped is the transport error for an adversary-dropped request.
+type errDropped struct{ seq int64 }
+
+func (e errDropped) Error() string {
+	return fmt.Sprintf("chaos: transport dropped request %d", e.seq)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	seq := t.calls.Add(1) - 1
+	rng := NewRand(DeriveSeed(t.Seed, int(seq)))
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	f := t.Faults
+
+	if f.DropProb > 0 && rng.Float64() < f.DropProb {
+		t.injected.Add(1)
+		// Drain the body like a real transport would on failure.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, errDropped{seq: seq}
+	}
+	if f.Err500Prob > 0 && rng.Float64() < f.Err500Prob {
+		t.injected.Add(1)
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":"chaos: injected 500 on request %d"}`, seq)
+		return &http.Response{
+			Status:     "500 Internal Server Error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	if f.DelayProb > 0 && f.Delay > 0 && rng.Float64() < f.DelayProb {
+		t.injected.Add(1)
+		timer := time.NewTimer(f.Delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if f.SlowBodyProb > 0 && f.SlowBodyDelay > 0 && rng.Float64() < f.SlowBodyProb {
+		t.injected.Add(1)
+		resp.Body = &slowBody{inner: resp.Body, delay: f.SlowBodyDelay, ctx: req.Context()}
+	}
+	return resp, nil
+}
+
+// slowBody throttles every Read by delay, honoring the request context
+// so a hedged-away or drained caller is not held hostage by the stall.
+type slowBody struct {
+	inner io.ReadCloser
+	delay time.Duration
+	ctx   interface {
+		Done() <-chan struct{}
+		Err() error
+	}
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	timer := time.NewTimer(s.delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.ctx.Done():
+		return 0, s.ctx.Err()
+	}
+	return s.inner.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.inner.Close() }

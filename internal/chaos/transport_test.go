@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultyTransportDeterministicFromSeed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	outcomes := func(seed int64) []string {
+		ft := &FaultyTransport{Seed: seed, Faults: TransportFaults{DropProb: 0.3, Err500Prob: 0.3}}
+		client := &http.Client{Transport: ft}
+		var out []string
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(ts.URL)
+			switch {
+			case err != nil:
+				out = append(out, "drop")
+			case resp.StatusCode == http.StatusInternalServerError:
+				resp.Body.Close()
+				out = append(out, "500")
+			default:
+				resp.Body.Close()
+				out = append(out, "ok")
+			}
+		}
+		return out
+	}
+
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: same seed diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different schedule (overwhelmingly
+	// likely over 40 requests at these probabilities).
+	c := outcomes(1)
+	if strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatal("seeds 42 and 1 produced identical fault schedules")
+	}
+	// And the faults must actually fire.
+	if !strings.Contains(strings.Join(a, ","), "drop") || !strings.Contains(strings.Join(a, ","), "500") {
+		t.Fatalf("fault mix missing drop or 500: %v", a)
+	}
+}
+
+func TestFaultyTransportDelayHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	ft := &FaultyTransport{Seed: 7, Faults: TransportFaults{DelayProb: 1, Delay: time.Minute}}
+	client := &http.Client{Transport: ft}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("delayed request succeeded despite expired context")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context cancellation took %s; the delay was not context-aware", elapsed)
+	}
+	if ft.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", ft.Injected())
+	}
+}
+
+func TestFaultyTransportSlowBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer ts.Close()
+
+	ft := &FaultyTransport{Seed: 3, Faults: TransportFaults{SlowBodyProb: 1, SlowBodyDelay: 10 * time.Millisecond}}
+	client := &http.Client{Transport: ft}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "payload" {
+		t.Fatalf("slow body corrupted payload: %q", b)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("slow body read finished in %s; throttle did not engage", elapsed)
+	}
+}

@@ -1,0 +1,565 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	coordattack "repro"
+	"repro/internal/serve"
+	"repro/internal/serve/cluster"
+)
+
+// Capbench is the cluster load generator: an open-loop arrival process
+// at a target RPS over a mixed query population (classification,
+// bounded-round solvability, network solvability, and a "heavy" class
+// of cache-busting unique automata), reporting p50/p95/p99 latency,
+// shed rate, and — against a coordinator — hedge/failover rates scraped
+// from /v1/stats.
+//
+// With -base it drives an external capserved or coordinator. Without
+// -base it spins up a self-contained cluster (N in-process backends +
+// one coordinator), measures a healthy phase, retunes the hedge trigger
+// to half the measured healthy p99 (the "tail at scale" policy), makes
+// one backend slow, and measures a degraded phase — the experiment
+// behind BENCH_7.json. -p99-bar R fails the run (exit 1) if degraded
+// p99 exceeds R x healthy p99.
+func Capbench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	base := fs.String("base", "", "external target base URL (empty = self-contained 3-node cluster)")
+	rps := fs.Float64("rps", 200, "target request rate per second (open loop)")
+	duration := fs.Duration("duration", 4*time.Second, "measured duration of each phase")
+	warmup := fs.Duration("warmup", 1*time.Second, "unmeasured warmup before the first phase")
+	mixSpec := fs.String("mix", "solvable=2,classify=2,netsolve=2,heavy=4", "query-class weights")
+	seed := fs.Int64("seed", 1, "workload seed (query choice and heavy-automaton generation)")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	nBackends := fs.Int("backends-n", 3, "self-contained mode: number of backend nodes")
+	replicas := fs.Int("replicas", 2, "self-contained mode: replica candidates per keyed request")
+	hedgeDelay := fs.Duration("hedge-delay", 25*time.Millisecond, "self-contained mode: initial hedge trigger")
+	slowDelay := fs.Duration("slow-delay", 150*time.Millisecond, "self-contained mode: injected per-request delay on the slow backend (0 = skip degraded phase)")
+	maxHorizon := fs.Int("max-horizon", 9, "largest horizon generated queries use")
+	cacheEntries := fs.Int("cache", 4096, "cache entries per node")
+	p99Bar := fs.Float64("p99-bar", 0, "fail if degraded p99 > bar x healthy p99 (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	b := &bench{
+		client:     &http.Client{Timeout: 15 * time.Second},
+		mix:        mix,
+		maxHorizon: *maxHorizon,
+		names:      coordattack.SchemeNames(),
+	}
+
+	report := benchReport{
+		Generator: "capbench",
+		Config: benchConfig{
+			TargetRPS:   *rps,
+			DurationSec: duration.Seconds(),
+			Mix:         *mixSpec,
+			Seed:        *seed,
+			MaxHorizon:  *maxHorizon,
+		},
+	}
+
+	if *base != "" {
+		b.base = strings.TrimSuffix(*base, "/")
+		report.Config.Target = b.base
+		_ = b.runPhase(ctx, "warmup", *rps, *warmup, rand.New(rand.NewSource(*seed^0x5eed)))
+		report.Phases = append(report.Phases,
+			b.runPhase(ctx, "healthy", *rps, *duration, rand.New(rand.NewSource(*seed))))
+	} else {
+		lc, err := startLocalCluster(localClusterConfig{
+			Backends:     *nBackends,
+			Replicas:     *replicas,
+			HedgeDelay:   *hedgeDelay,
+			CacheEntries: *cacheEntries,
+			MaxHorizon:   *maxHorizon,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer lc.stop()
+		b.base = lc.coURL
+		report.Config.Target = fmt.Sprintf("self-contained: %d backends, %d replicas", *nBackends, *replicas)
+		report.Config.Backends = *nBackends
+		report.Config.Replicas = *replicas
+
+		_ = b.runPhase(ctx, "warmup", *rps, *warmup, rand.New(rand.NewSource(*seed^0x5eed)))
+		healthy := b.runPhase(ctx, "healthy", *rps, *duration, rand.New(rand.NewSource(*seed)))
+		report.Phases = append(report.Phases, healthy)
+
+		if *slowDelay > 0 {
+			// Retune hedging to the measured tail: trigger at half the
+			// healthy p99 so a hedge costs little extra load but caps the
+			// slow shard's contribution to the degraded tail.
+			tuned := time.Duration(healthy.P99Ms / 2 * float64(time.Millisecond))
+			tuned = min(max(tuned, time.Millisecond), 250*time.Millisecond)
+			lc.co.SetHedgeDelay(tuned)
+			report.Config.TunedHedgeDelayMs = float64(tuned) / float64(time.Millisecond)
+			report.Config.SlowDelayMs = float64(*slowDelay) / float64(time.Millisecond)
+			lc.slow.delay.Store(int64(*slowDelay))
+			degraded := b.runPhase(ctx, "one-slow-backend", *rps, *duration,
+				rand.New(rand.NewSource(*seed+1)))
+			report.Phases = append(report.Phases, degraded)
+			if healthy.P99Ms > 0 {
+				report.DegradedP99Ratio = degraded.P99Ms / healthy.P99Ms
+			}
+			report.P99Bar = *p99Bar
+			if *p99Bar > 0 {
+				ok := report.DegradedP99Ratio <= *p99Bar
+				report.BarOK = &ok
+			}
+		}
+	}
+
+	if resp, err := b.client.Get(b.base + "/v1/stats"); err == nil {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if json.Valid(raw) {
+			report.ClusterStats = raw
+		}
+	}
+
+	enc, _ := json.MarshalIndent(report, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "capbench: report written to %s\n", *out)
+	} else {
+		stdout.Write(enc)
+	}
+	if report.BarOK != nil && !*report.BarOK {
+		fmt.Fprintf(stderr, "capbench: degraded p99 is %.2fx healthy p99 (bar %.2fx)\n",
+			report.DegradedP99Ratio, *p99Bar)
+		return 1
+	}
+	return 0
+}
+
+// --- report shapes ----------------------------------------------------
+
+type benchConfig struct {
+	Target            string  `json:"target"`
+	TargetRPS         float64 `json:"targetRps"`
+	DurationSec       float64 `json:"durationSec"`
+	Mix               string  `json:"mix"`
+	Seed              int64   `json:"seed"`
+	MaxHorizon        int     `json:"maxHorizon"`
+	Backends          int     `json:"backends,omitempty"`
+	Replicas          int     `json:"replicas,omitempty"`
+	TunedHedgeDelayMs float64 `json:"tunedHedgeDelayMs,omitempty"`
+	SlowDelayMs       float64 `json:"slowDelayMs,omitempty"`
+}
+
+type benchClassStats struct {
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+}
+
+type benchPhase struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	AchievedRPS float64 `json:"achievedRps"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Errors      int     `json:"errors"`
+	ShedRate    float64 `json:"shedRate"`
+	P50Ms       float64 `json:"p50Ms"`
+	P95Ms       float64 `json:"p95Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	MaxMs       float64 `json:"maxMs"`
+
+	// Coordinator-side deltas over the phase, from /v1/stats.
+	Hedges    int64   `json:"hedges"`
+	HedgeWins int64   `json:"hedgeWins"`
+	Failovers int64   `json:"failovers"`
+	HedgeRate float64 `json:"hedgeRate"` // hedges / keyed requests
+
+	Classes map[string]benchClassStats `json:"classes"`
+}
+
+type benchReport struct {
+	Generator        string       `json:"generator"`
+	Config           benchConfig  `json:"config"`
+	Phases           []benchPhase `json:"phases"`
+	DegradedP99Ratio float64      `json:"degradedP99Ratio,omitempty"`
+	P99Bar           float64      `json:"p99Bar,omitempty"`
+	BarOK            *bool        `json:"barOk,omitempty"`
+	// ClusterStats is the target's final /v1/stats snapshot, embedded
+	// verbatim so the report artifact carries the shard-level picture.
+	ClusterStats json.RawMessage `json:"clusterStats,omitempty"`
+}
+
+// --- load generation --------------------------------------------------
+
+type benchSample struct {
+	class  string
+	status int
+	failed bool
+	dur    time.Duration
+}
+
+type bench struct {
+	base       string
+	client     *http.Client
+	mix        []mixEntry
+	maxHorizon int
+	names      []string
+}
+
+type mixEntry struct {
+	name   string
+	weight int
+}
+
+func parseMix(spec string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("capbench: bad mix entry %q (want class=weight)", part)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("capbench: bad mix weight %q", part)
+		}
+		switch name {
+		case "solvable", "classify", "netsolve", "heavy":
+		default:
+			return nil, fmt.Errorf("capbench: unknown query class %q", name)
+		}
+		if n > 0 {
+			mix = append(mix, mixEntry{name: name, weight: n})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("capbench: mix selects no classes")
+	}
+	return mix, nil
+}
+
+func (b *bench) pickClass(rng *rand.Rand) string {
+	total := 0
+	for _, m := range b.mix {
+		total += m.weight
+	}
+	r := rng.Intn(total)
+	for _, m := range b.mix {
+		if r < m.weight {
+			return m.name
+		}
+		r -= m.weight
+	}
+	return b.mix[len(b.mix)-1].name
+}
+
+var benchGraphs = []string{
+	`{"graph":"cycle","n":4,"f":1,"rounds":%d}`,
+	`{"graph":"cycle","n":5,"f":1,"rounds":%d}`,
+	`{"graph":"complete","n":4,"f":1,"rounds":%d}`,
+	`{"graph":"path","n":4,"f":1,"rounds":%d}`,
+	`{"graph":"star","n":5,"f":1,"rounds":%d}`,
+}
+
+// buildQuery picks one concrete request for the class. The heavy class
+// subtracts a random ultimately periodic scenario from S2, producing an
+// automaton (and hence cache key) almost surely never seen before —
+// every heavy query is a real engine run on some backend.
+func (b *bench) buildQuery(class string, rng *rand.Rand) (path, body string) {
+	switch class {
+	case "classify":
+		return "/v1/classify", fmt.Sprintf(`{"scheme":%q}`, b.names[rng.Intn(len(b.names))])
+	case "solvable":
+		h := 1 + rng.Intn(b.maxHorizon)
+		return "/v1/solvable", fmt.Sprintf(`{"scheme":%q,"horizon":%d}`,
+			b.names[rng.Intn(len(b.names))], h)
+	case "netsolve":
+		return "/v1/net/solvable", fmt.Sprintf(benchGraphs[rng.Intn(len(benchGraphs))], 1+rng.Intn(3))
+	default: // heavy
+		const sym = ".wb"
+		word := make([]byte, 5)
+		for i := range word {
+			word[i] = sym[rng.Intn(len(sym))]
+		}
+		h := max(b.maxHorizon-2, 1) + rng.Intn(3)
+		h = min(h, b.maxHorizon)
+		return "/v1/solvable", fmt.Sprintf(`{"scheme":"S2","minus":["%s(.)"],"horizon":%d}`, word, h)
+	}
+}
+
+// runPhase drives the target open-loop: arrivals fire on a fixed clock
+// regardless of completions, so a slow server accumulates in-flight
+// work instead of silently throttling the offered load.
+func (b *bench) runPhase(ctx context.Context, name string, rps float64, dur time.Duration, rng *rand.Rand) benchPhase {
+	before := b.scrapeStats()
+	interval := time.Duration(float64(time.Second) / rps)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	deadline := time.Now().Add(dur)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+
+	var (
+		mu      sync.Mutex
+		samples []benchSample
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		<-tick.C
+		class := b.pickClass(rng)
+		path, body := b.buildQuery(class, rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := b.one(ctx, class, path, body)
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}()
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	after := b.scrapeStats()
+
+	ph := benchPhase{Name: name, Requests: len(samples), Classes: map[string]benchClassStats{}}
+	if elapsed > 0 {
+		ph.AchievedRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	var all []float64
+	perClass := map[string][]float64{}
+	for _, s := range samples {
+		ms := float64(s.dur) / float64(time.Millisecond)
+		all = append(all, ms)
+		perClass[s.class] = append(perClass[s.class], ms)
+		cs := ph.Classes[s.class]
+		cs.Requests++
+		switch {
+		case s.status == http.StatusTooManyRequests:
+			cs.Shed++
+			ph.Shed++
+		case s.failed || s.status >= 400:
+			cs.Errors++
+			ph.Errors++
+		default:
+			cs.OK++
+			ph.OK++
+		}
+		ph.Classes[s.class] = cs
+	}
+	ph.P50Ms, ph.P95Ms, ph.P99Ms, ph.MaxMs = percentiles(all)
+	for class, ms := range perClass {
+		cs := ph.Classes[class]
+		cs.P50Ms, _, cs.P99Ms, _ = percentiles(ms)
+		ph.Classes[class] = cs
+	}
+	if len(samples) > 0 {
+		ph.ShedRate = float64(ph.Shed) / float64(len(samples))
+	}
+	ph.Hedges = after.Hedges - before.Hedges
+	ph.HedgeWins = after.HedgeWins - before.HedgeWins
+	ph.Failovers = after.Failovers - before.Failovers
+	if keyed := after.KeyedRequests - before.KeyedRequests; keyed > 0 {
+		ph.HedgeRate = float64(ph.Hedges) / float64(keyed)
+	}
+	return ph
+}
+
+func (b *bench) one(ctx context.Context, class, path, body string) benchSample {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, strings.NewReader(body))
+	if err != nil {
+		return benchSample{class: class, failed: true, dur: time.Since(start)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return benchSample{class: class, failed: true, dur: time.Since(start)}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return benchSample{class: class, status: resp.StatusCode, dur: time.Since(start)}
+}
+
+type coordStats struct {
+	KeyedRequests int64 `json:"keyedRequests"`
+	Hedges        int64 `json:"hedges"`
+	HedgeWins     int64 `json:"hedgeWins"`
+	Failovers     int64 `json:"failovers"`
+}
+
+// scrapeStats reads the coordinator counters; against a bare backend
+// (no hedge counters in its /v1/stats) the unknown fields simply stay
+// zero, so deltas degrade to zero rather than erroring.
+func (b *bench) scrapeStats() coordStats {
+	var st coordStats
+	resp, err := b.client.Get(b.base + "/v1/stats")
+	if err != nil {
+		return st
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+	return st
+}
+
+func percentiles(ms []float64) (p50, p95, p99, maxv float64) {
+	if len(ms) == 0 {
+		return 0, 0, 0, 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return at(0.50), at(0.95), at(0.99), sorted[len(sorted)-1]
+}
+
+// --- self-contained cluster -------------------------------------------
+
+// slowGate injects a per-request delay in front of a backend's /v1/
+// surface — the "one slow shard" of the degraded phase. Zero delay is a
+// passthrough.
+type slowGate struct {
+	delay atomic.Int64 // nanoseconds
+}
+
+func (g *slowGate) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := time.Duration(g.delay.Load()); d > 0 && strings.HasPrefix(r.URL.Path, "/v1/") {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+type localClusterConfig struct {
+	Backends     int
+	Replicas     int
+	HedgeDelay   time.Duration
+	CacheEntries int
+	MaxHorizon   int
+}
+
+type localCluster struct {
+	servers []*http.Server
+	lns     []net.Listener
+	slow    *slowGate
+	co      *cluster.Coordinator
+	coSrv   *http.Server
+	coURL   string
+}
+
+// startLocalCluster boots cfg.Backends in-process capserved nodes (the
+// first behind a slowGate) plus a coordinator over them, all on
+// ephemeral loopback ports.
+func startLocalCluster(cfg localClusterConfig) (*localCluster, error) {
+	quiet := func(string, ...any) {}
+	lc := &localCluster{slow: &slowGate{}}
+	var urls []string
+	for i := 0; i < cfg.Backends; i++ {
+		s := serve.New(serve.Config{
+			RequestTimeout: 10 * time.Second,
+			CacheEntries:   cfg.CacheEntries,
+			MaxHorizon:     cfg.MaxHorizon,
+			Logf:           quiet,
+		})
+		h := s.Handler()
+		if i == 0 {
+			h = lc.slow.wrap(h)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lc.stop()
+			return nil, fmt.Errorf("capbench: backend %d: %w", i, err)
+		}
+		srv := &http.Server{Handler: h}
+		go srv.Serve(ln)
+		lc.servers = append(lc.servers, srv)
+		lc.lns = append(lc.lns, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	co, err := cluster.New(cluster.Config{
+		Backends:     urls,
+		Replicas:     cfg.Replicas,
+		HedgeDelay:   cfg.HedgeDelay,
+		CacheEntries: cfg.CacheEntries,
+		Logf:         quiet,
+	})
+	if err != nil {
+		lc.stop()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lc.stop()
+		return nil, err
+	}
+	lc.co = co
+	lc.coSrv = &http.Server{Handler: co.Handler()}
+	go lc.coSrv.Serve(ln)
+	lc.lns = append(lc.lns, ln)
+	lc.coURL = "http://" + ln.Addr().String()
+	return lc, nil
+}
+
+func (lc *localCluster) stop() {
+	if lc.coSrv != nil {
+		lc.coSrv.Close()
+	}
+	if lc.co != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		lc.co.Shutdown(ctx)
+		cancel()
+	}
+	for _, srv := range lc.servers {
+		srv.Close()
+	}
+}

@@ -6,17 +6,24 @@ import (
 	"fmt"
 	"io"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	coordattack "repro"
 	"repro/internal/serve"
+	"repro/internal/serve/cluster"
 )
 
 // Capserved runs the resilient analysis service until SIGTERM/SIGINT,
 // then drains gracefully: readiness flips, the listener stops
 // accepting, in-flight requests finish under the drain deadline, and
 // final metrics are flushed to stderr.
+//
+// With -coordinator it runs the cluster router instead: requests are
+// consistent-hashed across the -backends capserved instances, with
+// hedged requests, per-shard circuit breakers, a two-tier verdict
+// cache, and chaos-campaign fan-out.
 func Capserved(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("capserved", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -30,18 +37,58 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Second, "breaker fast-fail window before a half-open probe")
 	maxHorizon := fs.Int("max-horizon", 12, "largest accepted analysis horizon")
 	backendStr := fs.String("backend", "auto", "analysis backend for served requests: auto|symbolic|enumerate")
+	warmStore := fs.String("warm-store", "", "path of the persistent warm verdict store (JSON lines, loaded at boot)")
+	coordinator := fs.Bool("coordinator", false, "run as cluster coordinator over -backends instead of serving analyses directly")
+	backends := fs.String("backends", "", "comma-separated backend base URLs for -coordinator mode (e.g. http://127.0.0.1:8321,http://127.0.0.1:8322)")
+	replicas := fs.Int("replicas", 2, "replica candidates per keyed request in -coordinator mode")
+	hedgeDelay := fs.Duration("hedge-delay", 250*time.Millisecond, "silence before a keyed request is hedged to the next replica (-coordinator mode)")
 	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	backend, err := coordattack.ParseEngineBackend(*backendStr)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	}
 
+	if *coordinator {
+		var bases []string
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bases = append(bases, strings.TrimSuffix(b, "/"))
+			}
+		}
+		co, err := cluster.New(cluster.Config{
+			Addr:             *addr,
+			Backends:         bases,
+			Replicas:         *replicas,
+			HedgeDelay:       *hedgeDelay,
+			RequestTimeout:   *timeout,
+			DrainTimeout:     *drain,
+			CacheEntries:     *cache,
+			WarmStorePath:    *warmStore,
+			BreakerThreshold: *breakerTrip,
+			BreakerCooldown:  *breakerCooldown,
+			Logf:             logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := co.ListenAndServe(ctx); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "capserved: clean shutdown")
+		return 0
+	}
+
+	backend, err := coordattack.ParseEngineBackend(*backendStr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	s := serve.New(serve.Config{
 		Addr:                *addr,
 		AnalysisConcurrency: *concurrency,
@@ -49,13 +96,12 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 		RequestTimeout:      *timeout,
 		DrainTimeout:        *drain,
 		CacheEntries:        *cache,
+		WarmStorePath:       *warmStore,
 		BreakerThreshold:    *breakerTrip,
 		BreakerCooldown:     *breakerCooldown,
 		MaxHorizon:          *maxHorizon,
 		Backend:             backend,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stderr, format+"\n", args...)
-		},
+		Logf:                logf,
 	})
 	if err := s.ListenAndServe(ctx); err != nil {
 		fmt.Fprintln(stderr, err)

@@ -17,21 +17,24 @@ const (
 	breakerHalfOpen
 )
 
-// errBreakerOpen is returned by acquire while the breaker is serving
+// BreakerOpenError is returned by Acquire while the breaker is serving
 // fast-fails; RetryAfter is the remaining cooldown.
-type errBreakerOpen struct{ RetryAfter time.Duration }
+type BreakerOpenError struct{ RetryAfter time.Duration }
 
-func (e errBreakerOpen) Error() string {
+func (e BreakerOpenError) Error() string {
 	return fmt.Sprintf("circuit breaker open; retry in %s", e.RetryAfter)
 }
 
-// breaker is a consecutive-failure circuit breaker around the expensive
-// analysis paths. It trips open after threshold consecutive failures
+// Breaker is a consecutive-failure circuit breaker around an expensive
+// or remote path. It trips open after threshold consecutive failures
 // (timeouts or engine errors), fast-fails every caller for a cooldown,
 // then admits exactly one half-open probe; the probe's outcome decides
 // between re-closing and re-opening. The clock is injected so tests
 // drive the state machine deterministically.
-type breaker struct {
+//
+// It guards capserved's engine paths and, exported, each shard of the
+// cluster coordinator (internal/serve/cluster).
+type Breaker struct {
 	mu        sync.Mutex
 	now       func() time.Time
 	threshold int
@@ -43,7 +46,9 @@ type breaker struct {
 	probing  bool // a half-open probe is in flight
 }
 
-func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+// NewBreaker builds a breaker; zero/negative arguments take defaults
+// (threshold 5, cooldown 10s, wall clock).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
 	if threshold <= 0 {
 		threshold = 5
 	}
@@ -53,27 +58,27 @@ func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *br
 	if now == nil {
 		now = time.Now
 	}
-	return &breaker{now: now, threshold: threshold, cooldown: cooldown}
+	return &Breaker{now: now, threshold: threshold, cooldown: cooldown}
 }
 
-// acquire asks to run one protected call. On success it returns a done
+// Acquire asks to run one protected call. On success it returns a done
 // callback that MUST be invoked with whether the call failed; on refusal
-// it returns errBreakerOpen carrying the remaining cooldown.
-func (b *breaker) acquire() (done func(failed bool), err error) {
+// it returns BreakerOpenError carrying the remaining cooldown.
+func (b *Breaker) Acquire() (done func(failed bool), err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerOpen:
 		remaining := b.cooldown - b.now().Sub(b.openedAt)
 		if remaining > 0 {
-			return nil, errBreakerOpen{RetryAfter: remaining}
+			return nil, BreakerOpenError{RetryAfter: remaining}
 		}
 		b.state = breakerHalfOpen
 		b.probing = false
 		fallthrough
 	case breakerHalfOpen:
 		if b.probing {
-			return nil, errBreakerOpen{RetryAfter: b.cooldown}
+			return nil, BreakerOpenError{RetryAfter: b.cooldown}
 		}
 		b.probing = true
 		return b.probeDone, nil
@@ -83,7 +88,7 @@ func (b *breaker) acquire() (done func(failed bool), err error) {
 }
 
 // probeDone settles a half-open probe.
-func (b *breaker) probeDone(failed bool) {
+func (b *Breaker) probeDone(failed bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.probing = false
@@ -97,7 +102,7 @@ func (b *breaker) probeDone(failed bool) {
 }
 
 // closedDone settles a call admitted while closed.
-func (b *breaker) closedDone(failed bool) {
+func (b *Breaker) closedDone(failed bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state != breakerClosed {
@@ -116,8 +121,8 @@ func (b *breaker) closedDone(failed bool) {
 	}
 }
 
-// snapshot reports the state name and consecutive-failure count for varz.
-func (b *breaker) snapshot() (state string, fails int) {
+// Snapshot reports the state name and consecutive-failure count for varz.
+func (b *Breaker) Snapshot() (state string, fails int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {

@@ -9,10 +9,12 @@ import (
 	"sync/atomic"
 )
 
-// lruCache is a plain mutex-guarded LRU over string keys. Values are the
-// marshalled response payloads of deterministic queries, so hits can be
-// served without touching the analysis engine at all.
-type lruCache struct {
+// LRU is a plain mutex-guarded LRU over string keys. In capserved the
+// values are the marshalled response payloads of deterministic queries,
+// so hits can be served without touching the analysis engine at all;
+// the cluster coordinator (internal/serve/cluster) reuses it for raw
+// response bodies keyed by the same canonical automaton digests.
+type LRU struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recent
@@ -24,14 +26,16 @@ type lruEntry struct {
 	val any
 }
 
-func newLRUCache(max int) *lruCache {
+// NewLRU builds an LRU holding at most max entries (≤ 0 means 1024).
+func NewLRU(max int) *LRU {
 	if max <= 0 {
 		max = 1024
 	}
-	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+	return &LRU{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-func (c *lruCache) get(key string) (any, bool) {
+// Get returns the cached value and marks it most recently used.
+func (c *LRU) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -42,7 +46,8 @@ func (c *lruCache) get(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-func (c *lruCache) put(key string, val any) {
+// Put inserts or refreshes key, evicting from the cold end past max.
+func (c *LRU) Put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -58,7 +63,8 @@ func (c *lruCache) put(key string, val any) {
 	}
 }
 
-func (c *lruCache) len() int {
+// Len reports the current entry count.
+func (c *LRU) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
@@ -75,6 +81,11 @@ type flightCall struct {
 // one computation per key runs at a time, concurrent callers for the
 // same key share its outcome, and successes are persisted in the LRU.
 //
+// When a warm tier is attached (Config.WarmStorePath), an LRU miss
+// consults the verdicts loaded from the store at boot — so a restarted
+// node answers previously computed queries without re-running the
+// engine — and every fresh success is appended to the store.
+//
 // The computation runs fn under a context supplied by the server (its
 // lifetime context plus the compute budget), NOT the callers' request
 // contexts — a caller that disconnects mid-flight must not kill work
@@ -82,15 +93,20 @@ type flightCall struct {
 // waiting when its own context expires; the computation itself keeps
 // running and its result lands in the LRU for later requests.
 type resultCache struct {
-	lru   *lruCache
+	lru   *LRU
 	mu    sync.Mutex
 	calls map[string]*flightCall
 	// onPanic, when set, records a compute-fn panic (metrics + log) and
 	// returns a diagnostic ID for the client-facing error.
 	onPanic func(key string, p any, stack []byte) string
-	hits    atomic.Int64
-	misses  atomic.Int64
-	shared  atomic.Int64
+	// warmGet consults the persistent warm tier on an LRU miss; persist
+	// appends a fresh success to it. Both may be nil (no warm store).
+	warmGet  func(key string) (any, bool)
+	persist  func(key string, val any)
+	hits     atomic.Int64
+	misses   atomic.Int64
+	shared   atomic.Int64
+	warmHits atomic.Int64
 }
 
 // errComputePanic is how a panic inside a compute fn reaches waiters:
@@ -107,16 +123,26 @@ func (e errComputePanic) Error() string {
 }
 
 func newResultCache(max int) *resultCache {
-	return &resultCache{lru: newLRUCache(max), calls: make(map[string]*flightCall)}
+	return &resultCache{lru: NewLRU(max), calls: make(map[string]*flightCall)}
 }
 
 // do returns the cached or computed value for key. cached reports an LRU
-// hit; shared reports that the value came from another caller's
-// in-flight computation. Errors are never cached.
+// or warm-store hit; shared reports that the value came from another
+// caller's in-flight computation. Errors are never cached.
 func (rc *resultCache) do(ctx context.Context, key string, fn func() (any, error)) (val any, cached, shared bool, err error) {
-	if v, ok := rc.lru.get(key); ok {
+	if v, ok := rc.lru.Get(key); ok {
 		rc.hits.Add(1)
 		return v, true, false, nil
+	}
+	if rc.warmGet != nil {
+		if v, ok := rc.warmGet(key); ok {
+			// Promote into the LRU so the hot tier keeps serving it even
+			// if the warm map is large and cold.
+			rc.lru.Put(key, v)
+			rc.hits.Add(1)
+			rc.warmHits.Add(1)
+			return v, true, false, nil
+		}
 	}
 	rc.mu.Lock()
 	if call, ok := rc.calls[key]; ok {
@@ -160,7 +186,10 @@ func (rc *resultCache) run(key string, call *flightCall, fn func() (any, error))
 			call.val, call.err = nil, e
 		}
 		if call.err == nil {
-			rc.lru.put(key, call.val)
+			rc.lru.Put(key, call.val)
+			if rc.persist != nil {
+				rc.persist(key, call.val)
+			}
 		}
 		rc.mu.Lock()
 		delete(rc.calls, key)

@@ -11,32 +11,32 @@ import (
 )
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
-	c.put("a", 1)
-	c.put("b", 2)
-	if _, ok := c.get("a"); !ok {
+	c := NewLRU(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing before eviction")
 	}
 	// "a" is now most recent, so inserting "c" must evict "b".
-	c.put("c", 3)
-	if _, ok := c.get("b"); ok {
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction; LRU order not respected")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a evicted although it was most recently used")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, ok := c.Get("c"); !ok {
 		t.Fatal("c missing after insert")
 	}
-	if got := c.len(); got != 2 {
+	if got := c.Len(); got != 2 {
 		t.Fatalf("len = %d, want 2", got)
 	}
 	// Updating an existing key must not grow the cache.
-	c.put("a", 99)
-	if got := c.len(); got != 2 {
+	c.Put("a", 99)
+	if got := c.Len(); got != 2 {
 		t.Fatalf("len after update = %d, want 2", got)
 	}
-	if v, _ := c.get("a"); v != 99 {
+	if v, _ := c.Get("a"); v != 99 {
 		t.Fatalf("a = %v, want 99", v)
 	}
 }

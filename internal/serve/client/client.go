@@ -89,10 +89,14 @@ func (e *APIError) Error() string {
 }
 
 // retryable reports whether a status is worth retrying: the server's
-// load-shedding and fast-fail replies, plus bad gateways in front of it.
+// load-shedding and fast-fail replies, bad gateways in front of it, and
+// plain 500s — every analysis query is idempotent, and a 500 from one
+// attempt (an injected fault, a panic isolated to one request) says
+// nothing about the next.
 func retryable(status int) bool {
 	switch status {
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusInternalServerError:
 		return true
 	}
 	return false

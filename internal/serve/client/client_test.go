@@ -173,3 +173,115 @@ func TestHealthzAgainstRealServer(t *testing.T) {
 		t.Fatalf("Healthz: %v", err)
 	}
 }
+
+// TestRetriesThroughFlakySequences drives the client against servers
+// that fail once and then recover — the load-shed (429) and transient
+// internal-error (500) flavors a clustered deployment produces — and
+// checks the call succeeds on the second attempt with a jittered
+// backoff inside the configured window.
+func TestRetriesThroughFlakySequences(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		first int
+	}{
+		{"shed-then-ok", http.StatusTooManyRequests},
+		{"500-then-ok", http.StatusInternalServerError},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if calls.Add(1) == 1 {
+					w.WriteHeader(tc.first)
+					return
+				}
+				w.Write([]byte(`{"ok":true}`))
+			}))
+			defer ts.Close()
+
+			var delays []time.Duration
+			c := New(ts.URL, Options{
+				MaxAttempts: 3,
+				BaseBackoff: 20 * time.Millisecond,
+				MaxBackoff:  80 * time.Millisecond,
+				Rand:        rand.New(rand.NewSource(7)),
+				Sleep:       recordingSleep(&delays),
+			})
+			var out struct {
+				OK bool `json:"ok"`
+			}
+			if err := c.Do(context.Background(), http.MethodPost, "/x", map[string]int{}, &out); err != nil {
+				t.Fatalf("Do: %v", err)
+			}
+			if got := calls.Load(); got != 2 {
+				t.Fatalf("server saw %d calls, want 2", got)
+			}
+			if len(delays) != 1 {
+				t.Fatalf("recorded %d backoffs, want 1: %v", len(delays), delays)
+			}
+			// Full jitter over the first window: 0 <= d <= BaseBackoff.
+			if delays[0] < 0 || delays[0] > 20*time.Millisecond {
+				t.Fatalf("first backoff %s outside [0, 20ms]", delays[0])
+			}
+		})
+	}
+}
+
+// TestBackoffClampedUnderPersistentFailure checks that a long failure
+// streak never waits beyond MaxBackoff per retry, however many attempts
+// the policy allows.
+func TestBackoffClampedUnderPersistentFailure(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, Options{
+		MaxAttempts: 8,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+		Rand:        rand.New(rand.NewSource(3)),
+		Sleep:       recordingSleep(&delays),
+	})
+	err := c.Do(context.Background(), http.MethodPost, "/x", map[string]int{}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("Do = %v, want APIError 500 after exhaustion", err)
+	}
+	if len(delays) != 7 {
+		t.Fatalf("recorded %d backoffs, want 7", len(delays))
+	}
+	for i, d := range delays {
+		if d < 0 || d > 40*time.Millisecond {
+			t.Fatalf("backoff %d = %s escapes the 40ms clamp", i, d)
+		}
+	}
+}
+
+// TestDeadlineBoundsRealBackoff uses the real context-aware sleep: a
+// server that always 500s plus a multi-second backoff must not hold a
+// caller past its deadline.
+func TestDeadlineBoundsRealBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Second,
+		MaxBackoff:  10 * time.Second,
+		Rand:        rand.New(rand.NewSource(9)),
+		// Default Sleep: the real context-aware wait.
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Do(ctx, http.MethodPost, "/x", map[string]int{}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do returned after %s; backoff ignored the deadline", elapsed)
+	}
+}

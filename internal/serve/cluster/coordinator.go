@@ -1,0 +1,668 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config parameterizes the coordinator. Only Backends is required.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:8322"; use :0 for
+	// an ephemeral port, reported by BoundAddr).
+	Addr string
+	// Backends are the base URLs of the capserved shards, e.g.
+	// "http://127.0.0.1:8321". Membership is fixed for the coordinator's
+	// lifetime; liveness is handled by breakers and hedging, not by ring
+	// churn.
+	Backends []string
+	// Replicas is how many distinct shards a keyed request may try —
+	// primary plus hedge/failover candidates (default 2, clamped to
+	// len(Backends)).
+	Replicas int
+	// HedgeDelay is how long the primary may stay silent before the
+	// request is hedged to the next replica (default 250ms).
+	HedgeDelay time.Duration
+	// RequestTimeout bounds a whole coordinated request (default 30s).
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds one backend attempt (default RequestTimeout).
+	AttemptTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// CacheEntries sizes the coordinator's LRU over raw verdict bodies
+	// (default 4096).
+	CacheEntries int
+	// WarmStorePath, when set, persists verdict bodies to a JSON-lines
+	// file loaded at boot — a restarted coordinator answers known
+	// queries without touching any backend.
+	WarmStorePath string
+	// BreakerThreshold / BreakerCooldown parameterize each shard's
+	// circuit breaker (defaults 3 consecutive failures, 5s cooldown —
+	// tighter than a single node's engine breaker because a shard has
+	// replicas to absorb its traffic).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// VNodes is the virtual nodes per backend on the hash ring
+	// (default 64).
+	VNodes int
+	// HTTPClient is the transport to the backends; injectable so tests
+	// (and chaos campaigns) can wrap it with a fault-injecting
+	// RoundTripper. Default: a dedicated client with sane pooling.
+	HTTPClient *http.Client
+	// Logf sinks operational log lines (default: discard).
+	Logf func(format string, args ...any)
+	// Clock is the time source (default time.Now); injectable for
+	// deterministic breaker tests.
+	Clock func() time.Time
+}
+
+func (c *Config) defaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8322"
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Backends) {
+		c.Replicas = len(c.Backends)
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 250 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = c.RequestTimeout
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+		}}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// shard is one backend plus its health bookkeeping.
+type shard struct {
+	base      string
+	brk       *serve.Breaker
+	requests  atomic.Int64
+	failures  atomic.Int64
+	hedges    atomic.Int64 // hedged attempts sent to this shard
+	hedgeWins atomic.Int64 // hedged attempts that produced the reply
+}
+
+// Coordinator is the cluster router. Construct with New, mount
+// Handler on any http.Server, or let ListenAndServe own the lifecycle.
+type Coordinator struct {
+	cfg    Config
+	mux    *http.ServeMux
+	ring   *Ring
+	shards []*shard
+	cache  *serve.LRU
+
+	warm       *serve.VerdictStore
+	warmMu     sync.RWMutex
+	warmMap    map[string]json.RawMessage
+	warmLoaded int
+
+	// baseCtx is the coordinator lifetime: every backend attempt runs
+	// under it, so drain cancels in-flight hedges; wg tracks them so
+	// drain can prove they are gone.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup
+
+	ready    atomic.Bool
+	draining atomic.Bool
+	started  time.Time
+	boundAdr atomic.Value // string
+
+	// hedgeDelayNs is the live hedge trigger, adjustable at runtime so
+	// operators (and capbench) can retune hedging to a measured healthy
+	// p99 without rebuilding the coordinator.
+	hedgeDelayNs atomic.Int64
+
+	m struct {
+		requests       atomic.Int64
+		keyed          atomic.Int64
+		cacheHits      atomic.Int64
+		cacheMisses    atomic.Int64
+		warmHits       atomic.Int64
+		hedges         atomic.Int64
+		hedgeWins      atomic.Int64
+		failovers      atomic.Int64
+		breakerSkips   atomic.Int64
+		exhausted      atomic.Int64
+		fanouts        atomic.Int64
+		fanoutPartials atomic.Int64
+		fanoutFailures atomic.Int64
+	}
+}
+
+// New builds a Coordinator over the configured backends.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	cfg.defaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		ring:    NewRing(len(cfg.Backends), cfg.VNodes),
+		cache:   serve.NewLRU(cfg.CacheEntries),
+		warmMap: map[string]json.RawMessage{},
+	}
+	for _, base := range cfg.Backends {
+		c.shards = append(c.shards, &shard{
+			base: base,
+			brk:  serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		})
+	}
+	if cfg.WarmStorePath != "" {
+		store, entries, err := serve.OpenVerdictStore(cfg.WarmStorePath)
+		if err != nil {
+			cfg.Logf("coordinator: warm store disabled: %v", err)
+		} else {
+			c.warm, c.warmMap, c.warmLoaded = store, entries, len(entries)
+		}
+	}
+	c.hedgeDelayNs.Store(int64(cfg.HedgeDelay))
+	c.baseCtx, c.cancelBase = context.WithCancel(context.Background())
+	c.started = cfg.Clock()
+	c.ready.Store(true)
+	c.routes()
+	return c, nil
+}
+
+// Handler returns the fully wired HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// HedgeDelay reports the live hedge trigger.
+func (c *Coordinator) HedgeDelay() time.Duration {
+	return time.Duration(c.hedgeDelayNs.Load())
+}
+
+// SetHedgeDelay retunes the hedge trigger at runtime (values <= 0 are
+// ignored). Hedging at roughly the measured healthy p99 keeps the extra
+// load a hedge adds in the low percents while still cutting the tail.
+func (c *Coordinator) SetHedgeDelay(d time.Duration) {
+	if d > 0 {
+		c.hedgeDelayNs.Store(int64(d))
+	}
+}
+
+// BoundAddr reports the listener address once ListenAndServe has bound
+// it ("" before that).
+func (c *Coordinator) BoundAddr() string {
+	if v := c.boundAdr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// ListenAndServe runs the coordinator until ctx is cancelled, then
+// drains: readiness flips, the listener stops accepting, in-flight
+// requests and hedge goroutines get up to DrainTimeout to finish (the
+// computation context is cancelled so they finish promptly), and the
+// warm store is closed. Returns nil on a clean drained exit.
+func (c *Coordinator) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	c.boundAdr.Store(ln.Addr().String())
+	c.cfg.Logf("coordinator: listening on http://%s (%d backends)", ln.Addr(), len(c.shards))
+
+	hs := &http.Server{Handler: c.mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		c.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), c.cfg.DrainTimeout)
+	defer cancel()
+	c.draining.Store(true)
+	c.ready.Store(false)
+	err = hs.Shutdown(dctx)
+	if serr := c.Shutdown(dctx); err == nil {
+		err = serr
+	}
+	if e := <-serveErr; e != nil && !errors.Is(e, http.ErrServerClosed) && err == nil {
+		err = e
+	}
+	return err
+}
+
+// Shutdown cancels every in-flight backend attempt (hedges included),
+// waits for their goroutines under ctx, closes the warm store, and
+// releases idle backend connections. It is exposed separately so tests
+// driving Handler directly can assert a leak-free drain.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.draining.Store(true)
+	c.ready.Store(false)
+	c.cancelBase()
+	done := make(chan struct{})
+	go func() { c.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("coordinator: drain deadline: in-flight backend attempts did not finish")
+	}
+	if cerr := c.warm.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	c.cfg.HTTPClient.CloseIdleConnections()
+	c.cfg.Logf("coordinator: drained (err=%v)", err)
+	return err
+}
+
+// routes mounts the coordinator surface.
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	c.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		if !c.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux.HandleFunc("GET /varz", c.handleStats)
+	c.mux.HandleFunc("POST /v1/classify", c.keyed(c.classifyKey))
+	c.mux.HandleFunc("POST /v1/solvable", c.keyed(c.solvableKey))
+	c.mux.HandleFunc("POST /v1/net/solvable", c.keyed(c.netSolvableKey))
+	c.mux.HandleFunc("POST /v1/index", c.passthrough)
+	c.mux.HandleFunc("POST /v1/unindex", c.passthrough)
+	c.mux.HandleFunc("POST /v1/chaos", c.handleChaos)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+}
+
+// Key extractors: each decodes just enough of the request to (a) reject
+// garbage locally and (b) compute the canonical cache/sharding key —
+// the SAME key the backend uses, so verdict stores interoperate.
+
+func (c *Coordinator) classifyKey(body []byte) (string, error) {
+	var req serve.SchemeSelector
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", err
+	}
+	sch, err := req.Resolve()
+	if err != nil {
+		return "", err
+	}
+	return serve.ClassifyKey(sch), nil
+}
+
+func (c *Coordinator) solvableKey(body []byte) (string, error) {
+	var req struct {
+		serve.SchemeSelector
+		Horizon    int  `json:"horizon,omitempty"`
+		MinRounds  bool `json:"minRounds,omitempty"`
+		MaxHorizon int  `json:"maxHorizon,omitempty"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", err
+	}
+	sch, err := req.Resolve()
+	if err != nil {
+		return "", err
+	}
+	horizon := req.Horizon
+	if req.MinRounds {
+		horizon = req.MaxHorizon
+	}
+	return serve.SolvableKey(sch, horizon, req.MinRounds), nil
+}
+
+func (c *Coordinator) netSolvableKey(body []byte) (string, error) {
+	var req struct {
+		serve.GraphSelector
+		F      int `json:"f"`
+		Rounds int `json:"rounds"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", err
+	}
+	g, err := req.Resolve()
+	if err != nil {
+		return "", err
+	}
+	return serve.NetSolvableKey(g, req.F, req.Rounds), nil
+}
+
+// keyed builds the handler for a deterministic, cacheable endpoint:
+// two-tier cache in front, consistent-hash routing with hedging and
+// replica failover behind.
+func (c *Coordinator) keyed(keyOf func([]byte) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.m.requests.Add(1)
+		c.m.keyed.Add(1)
+		body, err := readBody(w, r)
+		if err != nil {
+			c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		key, err := keyOf(body)
+		if err != nil {
+			c.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if v, ok := c.cache.Get(key); ok {
+			c.m.cacheHits.Add(1)
+			c.serveRaw(w, "hit", v.([]byte))
+			return
+		}
+		c.warmMu.RLock()
+		raw, ok := c.warmMap[key]
+		c.warmMu.RUnlock()
+		if ok {
+			c.m.cacheHits.Add(1)
+			c.m.warmHits.Add(1)
+			c.cache.Put(key, []byte(raw))
+			c.serveRaw(w, "warm", []byte(raw))
+			return
+		}
+		c.m.cacheMisses.Add(1)
+
+		res, err := c.hedgedDo(r.Context(), r.URL.Path, body, c.ring.Replicas(key, c.cfg.Replicas))
+		if err != nil {
+			c.writeHedgeError(w, err)
+			return
+		}
+		if res.status >= 400 {
+			// Client-shaped rejection: every replica would agree, so the
+			// first verdict is forwarded and nothing is cached.
+			c.forward(w, res)
+			return
+		}
+		c.cache.Put(key, res.body)
+		c.persistWarm(key, res.body)
+		c.forward(w, res)
+	}
+}
+
+// passthrough routes a cheap, uncached endpoint (index/unindex) by body
+// hash — still hedged, so a wedged shard cannot stall even the light
+// path.
+func (c *Coordinator) passthrough(w http.ResponseWriter, r *http.Request) {
+	c.m.requests.Add(1)
+	body, err := readBody(w, r)
+	if err != nil {
+		c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	res, err := c.hedgedDo(r.Context(), r.URL.Path, body, c.ring.Replicas("light|"+string(body), c.cfg.Replicas))
+	if err != nil {
+		c.writeHedgeError(w, err)
+		return
+	}
+	c.forward(w, res)
+}
+
+func (c *Coordinator) serveRaw(w http.ResponseWriter, tier string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cluster-Cache", tier)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (c *Coordinator) forward(w http.ResponseWriter, res *attemptResult) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cluster-Cache", "miss")
+	w.Header().Set("X-Cluster-Shard", c.shards[res.shard].base)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func (c *Coordinator) persistWarm(key string, body []byte) {
+	c.warmMu.Lock()
+	if _, dup := c.warmMap[key]; !dup {
+		c.warmMap[key] = json.RawMessage(bytes.Clone(body))
+	}
+	c.warmMu.Unlock()
+	if c.warm != nil {
+		if err := c.warm.Append(key, json.RawMessage(body)); err != nil {
+			c.cfg.Logf("coordinator: %v", err)
+		}
+	}
+}
+
+// errAllShardsBroken reports that no candidate shard would admit the
+// request (every breaker open).
+type errAllShardsBroken struct{ retryAfter time.Duration }
+
+func (e errAllShardsBroken) Error() string {
+	return fmt.Sprintf("all replica breakers open; retry in %s", e.retryAfter)
+}
+
+func (c *Coordinator) writeHedgeError(w http.ResponseWriter, err error) {
+	var broken errAllShardsBroken
+	switch {
+	case errors.As(err, &broken):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((broken.retryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: broken.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "cluster request deadline exceeded"})
+	default:
+		writeJSON(w, http.StatusBadGateway, apiError{Error: err.Error()})
+	}
+}
+
+// boundedCtx derives the context a coordinated request's backend work
+// runs under: the caller's context bounded by RequestTimeout, and
+// additionally cancelled when the coordinator drains — SIGTERM must not
+// strand hedge goroutines behind a slow backend.
+func (c *Coordinator) boundedCtx(rctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(rctx, c.cfg.RequestTimeout)
+	stop := context.AfterFunc(c.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	shard  int
+	hedged bool // launched by the hedge timer or a failover, not first
+	status int
+	body   []byte
+	err    error
+}
+
+// hedgedDo performs a keyed request against the candidate shards with
+// hedging and failover:
+//
+//   - The first candidate whose breaker admits the call gets the
+//     request (breaker-open shards are skipped — failover, not waiting).
+//   - If no reply lands within HedgeDelay, the next admitted candidate
+//     receives a hedged duplicate; first usable reply wins, the loser
+//     is cancelled.
+//   - A failed attempt (transport error or 5xx) immediately launches
+//     the next candidate if none is in flight.
+//   - 429 (shed) fails over without counting against the shard breaker;
+//     other 4xx replies are verdicts and win like a success.
+//
+// Every attempt runs under the coordinator's lifetime context, so drain
+// cancels stragglers; the per-call context bounds total latency.
+func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte, cands []int) (*attemptResult, error) {
+	ctx, cancel := c.boundedCtx(rctx)
+	defer cancel()
+
+	results := make(chan attemptResult, len(cands))
+	next := 0
+	inFlight := 0
+	launched := 0
+	var lastOpen time.Duration
+
+	// launch starts the next admitted candidate, skipping shards whose
+	// breaker is open. Reports whether an attempt went out.
+	launch := func(hedged bool) bool {
+		for next < len(cands) {
+			idx := cands[next]
+			next++
+			sh := c.shards[idx]
+			done, err := sh.brk.Acquire()
+			if err != nil {
+				var open serve.BreakerOpenError
+				if errors.As(err, &open) {
+					lastOpen = open.RetryAfter
+				}
+				c.m.breakerSkips.Add(1)
+				continue
+			}
+			sh.requests.Add(1)
+			if hedged {
+				sh.hedges.Add(1)
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				res := c.attempt(ctx, sh, path, payload)
+				res.shard, res.hedged = idx, hedged
+				failed := res.err != nil || res.status >= 500
+				if res.err != nil && ctx.Err() != nil {
+					// The coordinator cancelled this attempt itself — a
+					// rival reply won, the caller left, or drain fired.
+					// That is not evidence the shard is unhealthy, and
+					// counting it would let sustained hedging trip the
+					// loser's breaker.
+					failed = false
+				}
+				if failed {
+					sh.failures.Add(1)
+				}
+				done(failed)
+				results <- res
+			}()
+			inFlight++
+			launched++
+			return true
+		}
+		return false
+	}
+
+	if !launch(false) {
+		return nil, errAllShardsBroken{retryAfter: max(lastOpen, time.Second)}
+	}
+	hedge := time.NewTimer(c.HedgeDelay())
+	defer hedge.Stop()
+
+	var lastFail *attemptResult
+	for {
+		select {
+		case res := <-results:
+			inFlight--
+			usable := res.err == nil && res.status < 500 && res.status != http.StatusTooManyRequests
+			if usable {
+				if res.hedged {
+					c.m.hedgeWins.Add(1)
+					c.shards[res.shard].hedgeWins.Add(1)
+				}
+				return &res, nil
+			}
+			lastFail = &res
+			if inFlight == 0 {
+				if launch(true) {
+					c.m.failovers.Add(1)
+					continue
+				}
+				// Out of candidates: surface the most informative failure.
+				c.m.exhausted.Add(1)
+				if res.err != nil {
+					return nil, fmt.Errorf("all %d replica attempts failed: %w", launched, res.err)
+				}
+				return &res, nil // forward the 5xx/429 verbatim
+			}
+		case <-hedge.C:
+			if launch(true) {
+				c.m.hedges.Add(1)
+			}
+		case <-ctx.Done():
+			if lastFail != nil && lastFail.err == nil {
+				return lastFail, nil
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt performs a single backend POST under the attempt timeout.
+func (c *Coordinator) attempt(ctx context.Context, sh *shard, path string, payload []byte) attemptResult {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, sh.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	return attemptResult{status: resp.StatusCode, body: body}
+}

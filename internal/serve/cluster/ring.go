@@ -1,0 +1,98 @@
+// Package cluster implements the capserved coordinator: a router that
+// consistent-hashes canonical automaton keys across N backend capserved
+// instances, hedges slow or broken shards to the next replica on the
+// ring, fans chaos campaigns out over the fleet, and fronts everything
+// with the same two-tier verdict cache (LRU + persistent warm store) a
+// single node uses.
+//
+// The failure model is deliberately the paper's: the coordinator treats
+// its backends the way a process treats its peers under a message
+// adversary — any request can be lost or delayed, so every keyed query
+// has a replica set, a per-shard circuit breaker decides when a shard
+// is (temporarily) crashed, and a hedged second request bounds the
+// latency an adaptive adversary can extract by slowing exactly the
+// shard a key hashes to. DESIGN.md §3d spells out the full model.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by
+// a backend index.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// Ring is a consistent-hash ring over backend indices with virtual
+// nodes. It is immutable after construction: membership is fixed at
+// coordinator boot, and liveness is the breakers' job, not the ring's —
+// a dead shard stays on the ring and its keys hedge to successors, so
+// keys do not migrate (and caches do not churn) on transient failures.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+// NewRing places n backends on the ring with vnodes virtual nodes each
+// (vnodes ≤ 0 defaults to 64).
+func NewRing(n, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{n: n, points: make([]ringPoint, 0, n*vnodes)}
+	for b := 0; b < n; b++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d#%d", b, v)), backend: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// hash64 is fnv-1a finished with a SplitMix64 mix. Raw fnv-1a has weak
+// avalanche on near-identical short strings — the vnode labels differ
+// only in trailing digits, and without the finalizer a 3-backend ring
+// measured a 56%/35%/9% key split. The mix restores uniformity.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Replicas returns up to k distinct backends for key, in ring order
+// starting at the key's successor point: Replicas(key, k)[0] is the
+// primary shard, the rest are its hedge/failover candidates. k is
+// clamped to the backend count.
+func (r *Ring) Replicas(key string, k int) []int {
+	if r.n == 0 {
+		return nil
+	}
+	if k > r.n {
+		k = r.n
+	}
+	if k <= 0 {
+		k = 1
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for i := 0; len(out) < k && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import "net/http"
+
+// ShardStats is one backend's health and traffic snapshot.
+type ShardStats struct {
+	Backend      string `json:"backend"`
+	Breaker      string `json:"breaker"`
+	BreakerFails int    `json:"breakerConsecutiveFails"`
+	Requests     int64  `json:"requests"`
+	Failures     int64  `json:"failures"`
+	Hedges       int64  `json:"hedges"`
+	HedgeWins    int64  `json:"hedgeWins"`
+}
+
+// Stats is the GET /v1/stats (and /varz) cluster snapshot: the hedge,
+// failover, and breaker counters the chaos harness asserts on, plus the
+// two-tier cache gauges.
+type Stats struct {
+	Ready         bool    `json:"ready"`
+	Draining      bool    `json:"draining"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Backends      int     `json:"backends"`
+	Replicas      int     `json:"replicas"`
+
+	Requests      int64 `json:"requests"`
+	KeyedRequests int64 `json:"keyedRequests"`
+
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	CacheLen    int   `json:"cacheEntries"`
+	WarmHits    int64 `json:"warmHits"`
+	WarmLoaded  int   `json:"warmLoaded"`
+	WarmStored  int   `json:"warmStored"`
+
+	Hedges       int64 `json:"hedges"`
+	HedgeWins    int64 `json:"hedgeWins"`
+	Failovers    int64 `json:"failovers"`
+	BreakerSkips int64 `json:"breakerSkips"`
+	Exhausted    int64 `json:"exhausted"`
+
+	FanoutCampaigns int64 `json:"fanoutCampaigns"`
+	FanoutPartials  int64 `json:"fanoutPartials"`
+	FanoutFailures  int64 `json:"fanoutShardFailures"`
+
+	Shards []ShardStats `json:"shards"`
+}
+
+// StatsSnapshot assembles the current cluster stats.
+func (c *Coordinator) StatsSnapshot() Stats {
+	st := Stats{
+		Ready:           c.ready.Load(),
+		Draining:        c.draining.Load(),
+		UptimeSeconds:   c.cfg.Clock().Sub(c.started).Seconds(),
+		Backends:        len(c.shards),
+		Replicas:        c.cfg.Replicas,
+		Requests:        c.m.requests.Load(),
+		KeyedRequests:   c.m.keyed.Load(),
+		CacheHits:       c.m.cacheHits.Load(),
+		CacheMisses:     c.m.cacheMisses.Load(),
+		CacheLen:        c.cache.Len(),
+		WarmHits:        c.m.warmHits.Load(),
+		WarmLoaded:      c.warmLoaded,
+		WarmStored:      c.warm.Len(),
+		Hedges:          c.m.hedges.Load(),
+		HedgeWins:       c.m.hedgeWins.Load(),
+		Failovers:       c.m.failovers.Load(),
+		BreakerSkips:    c.m.breakerSkips.Load(),
+		Exhausted:       c.m.exhausted.Load(),
+		FanoutCampaigns: c.m.fanouts.Load(),
+		FanoutPartials:  c.m.fanoutPartials.Load(),
+		FanoutFailures:  c.m.fanoutFailures.Load(),
+	}
+	for _, sh := range c.shards {
+		state, fails := sh.brk.Snapshot()
+		st.Shards = append(st.Shards, ShardStats{
+			Backend:      sh.base,
+			Breaker:      state,
+			BreakerFails: fails,
+			Requests:     sh.requests.Load(),
+			Failures:     sh.failures.Load(),
+			Hedges:       sh.hedges.Load(),
+			HedgeWins:    sh.hedgeWins.Load(),
+		})
+	}
+	return st
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.StatsSnapshot())
+}

@@ -49,15 +49,15 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
-// schemeRequest selects an omission scheme: a registry name or a DSL
+// SchemeSelector selects an omission scheme: a registry name or a DSL
 // expression, optionally minus ultimately periodic scenarios.
-type schemeRequest struct {
+type SchemeSelector struct {
 	Scheme string   `json:"scheme,omitempty"`
 	Expr   string   `json:"expr,omitempty"`
 	Minus  []string `json:"minus,omitempty"`
 }
 
-func (q *schemeRequest) resolve() (*coordattack.Scheme, error) {
+func (q *SchemeSelector) Resolve() (*coordattack.Scheme, error) {
 	var sch *coordattack.Scheme
 	var err error
 	switch {
@@ -83,12 +83,12 @@ func (q *schemeRequest) resolve() (*coordattack.Scheme, error) {
 	return sch, nil
 }
 
-// schemeKey is the canonical cache key of a scheme: a digest of its
+// CanonicalSchemeKey is the canonical cache key of a scheme: a digest of its
 // compiled Büchi automaton (alphabet, start, transition table, accepting
 // set). Two requests naming the same automaton — "S1" versus the
 // expression "[.w]^w | [.b]^w" compiled to an identical DBA, or any
 // spelling of the same Minus — share cache entries and singleflight.
-func schemeKey(sch *coordattack.Scheme) string {
+func CanonicalSchemeKey(sch *coordattack.Scheme) string {
 	a := sch.Automaton()
 	h := sha256.New()
 	var buf [8]byte
@@ -114,8 +114,27 @@ func schemeKey(sch *coordattack.Scheme) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// graphRequest selects a network topology by kind or explicit edge list.
-type graphRequest struct {
+// Cache-key builders for the verdict caches. The coordinator
+// (internal/serve/cluster) composes the very same keys, so its warm
+// store and a backend's warm store name identical entries identically.
+
+// ClassifyKey keys a classification verdict.
+func ClassifyKey(sch *coordattack.Scheme) string {
+	return "classify|" + CanonicalSchemeKey(sch)
+}
+
+// SolvableKey keys a bounded-round solvability verdict.
+func SolvableKey(sch *coordattack.Scheme, horizon int, minRounds bool) string {
+	return fmt.Sprintf("solvable|%s|h=%d|min=%v", CanonicalSchemeKey(sch), horizon, minRounds)
+}
+
+// NetSolvableKey keys a network solvability verdict.
+func NetSolvableKey(g *coordattack.Graph, f, rounds int) string {
+	return fmt.Sprintf("netsolve|%s|f=%d|r=%d", CanonicalGraphKey(g), f, rounds)
+}
+
+// GraphSelector selects a network topology by kind or explicit edge list.
+type GraphSelector struct {
 	Graph   string `json:"graph,omitempty"` // complete|cycle|path|grid|hypercube|barbell|theta|wheel|star|petersen|tree|custom
 	N       int    `json:"n,omitempty"`
 	W       int    `json:"w,omitempty"`
@@ -126,7 +145,7 @@ type graphRequest struct {
 	Edges   string `json:"edges,omitempty"`
 }
 
-func (q *graphRequest) resolve() (*coordattack.Graph, error) {
+func (q *GraphSelector) Resolve() (*coordattack.Graph, error) {
 	switch q.Graph {
 	case "complete":
 		return coordattack.Complete(q.N), nil
@@ -157,9 +176,9 @@ func (q *graphRequest) resolve() (*coordattack.Graph, error) {
 	}
 }
 
-// graphKey canonically encodes a topology (vertex count + adjacency) for
-// the cache, independent of how the request spelled it.
-func graphKey(g *coordattack.Graph) string {
+// CanonicalGraphKey canonically encodes a topology (vertex count +
+// adjacency) for the cache, independent of how the request spelled it.
+func CanonicalGraphKey(g *coordattack.Graph) string {
 	h := sha256.New()
 	var buf [8]byte
 	put := func(x int) {
@@ -196,7 +215,7 @@ func isEngineFailure(err error) bool { return err != nil }
 // cache hits neither trip nor reset it.
 func (s *Server) heavyCompute(rctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, cached, shared bool, err error) {
 	return s.cache.do(rctx, key, func() (any, error) {
-		done, berr := s.brk.acquire()
+		done, berr := s.brk.Acquire()
 		if berr != nil {
 			s.m.breakerFF.Add(1)
 			return nil, berr
@@ -223,7 +242,7 @@ func (s *Server) heavyCompute(rctx context.Context, key string, fn func(ctx cont
 // blowouts and engine faults do. A panic unwinding through fn settles
 // the breaker as a failure so a half-open probe cannot leak.
 func (s *Server) guard(fn func() error) error {
-	done, berr := s.brk.acquire()
+	done, berr := s.brk.Acquire()
 	if berr != nil {
 		s.m.breakerFF.Add(1)
 		return berr
@@ -242,7 +261,7 @@ func (s *Server) guard(fn func() error) error {
 
 // writeComputeError maps a compute-path error onto an HTTP status.
 func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
-	var open errBreakerOpen
+	var open BreakerOpenError
 	var cp errComputePanic
 	switch {
 	case errors.As(err, &open):
@@ -277,17 +296,17 @@ type classifyResponse struct {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	var req schemeRequest
+	var req SchemeSelector
 	if err := decode(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	sch, err := req.resolve()
+	sch, err := req.Resolve()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := "classify|" + schemeKey(sch)
+	key := ClassifyKey(sch)
 	val, cached, _, err := s.cache.do(r.Context(), key, func() (any, error) {
 		v, cerr := coordattack.Classify(sch)
 		resp := classifyResponse{Scheme: sch.Name(), Description: sch.Description()}
@@ -384,7 +403,7 @@ func (s *Server) handleUnindex(w http.ResponseWriter, r *http.Request) {
 // --- /v1/solvable -----------------------------------------------------
 
 type solvableRequest struct {
-	schemeRequest
+	SchemeSelector
 	// Horizon runs the full analysis at one fixed horizon.
 	Horizon int `json:"horizon,omitempty"`
 	// MinRounds searches for the smallest solvable horizon ≤ MaxHorizon.
@@ -415,7 +434,7 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	sch, err := req.resolve()
+	sch, err := req.Resolve()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -428,7 +447,7 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "horizon %d out of range [0, %d]", horizon, s.cfg.MaxHorizon)
 		return
 	}
-	key := fmt.Sprintf("solvable|%s|h=%d|min=%v", schemeKey(sch), horizon, req.MinRounds)
+	key := SolvableKey(sch, horizon, req.MinRounds)
 	start := s.cfg.Clock()
 	val, cached, shared, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
 		resp := solvableResponse{Scheme: sch.Name(), Horizon: horizon}
@@ -475,7 +494,7 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 // --- /v1/net/solvable -------------------------------------------------
 
 type netSolvableRequest struct {
-	graphRequest
+	GraphSelector
 	F      int `json:"f"`
 	Rounds int `json:"rounds"`
 }
@@ -499,7 +518,7 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	g, err := req.resolve()
+	g, err := req.Resolve()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -516,7 +535,7 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "f must be ≥ 0")
 		return
 	}
-	key := fmt.Sprintf("netsolve|%s|f=%d|r=%d", graphKey(g), req.F, req.Rounds)
+	key := NetSolvableKey(g, req.F, req.Rounds)
 	start := s.cfg.Clock()
 	val, cached, _, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
 		rep, err := coordattack.AnalyzeNet(ctx, coordattack.NetAnalysisRequest{
@@ -555,7 +574,7 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 // --- /v1/chaos --------------------------------------------------------
 
 type chaosRequest struct {
-	schemeRequest
+	SchemeSelector
 	Executions    int   `json:"executions,omitempty"`
 	Seed          int64 `json:"seed,omitempty"`
 	MaxPrefix     int   `json:"maxPrefix,omitempty"`
@@ -591,7 +610,7 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	sch, err := req.resolve()
+	sch, err := req.Resolve()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return

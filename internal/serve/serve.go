@@ -61,6 +61,11 @@ type Config struct {
 	DrainTimeout time.Duration
 	// CacheEntries sizes the LRU result cache (default 1024).
 	CacheEntries int
+	// WarmStorePath, when non-empty, enables the persistent warm tier of
+	// the verdict cache: a JSON-lines file of computed verdicts keyed by
+	// canonical automaton digest, loaded at boot so a restarted node
+	// serves previously computed answers without re-running the engine.
+	WarmStorePath string
 	// BreakerThreshold is the consecutive-failure trip count (default 5).
 	BreakerThreshold int
 	// BreakerCooldown is how long the breaker fast-fails before probing
@@ -159,7 +164,12 @@ type Server struct {
 	cache  *resultCache
 	heavy  *gate
 	light  *gate
-	brk    *breaker
+	brk    *Breaker
+	// warm is the persistent verdict tier (nil unless WarmStorePath is
+	// set and the store opened cleanly); warmLoaded counts the verdicts
+	// usable at boot.
+	warm       *VerdictStore
+	warmLoaded int
 
 	// baseCtx is the computation lifetime: singleflight leaders run
 	// under it so request disconnects don't kill shared work. It is
@@ -183,11 +193,14 @@ func New(cfg Config) *Server {
 		cache: newResultCache(cfg.CacheEntries),
 		heavy: newGate(cfg.AnalysisConcurrency, cfg.QueueDepth, time.Second),
 		light: newGate(cfg.LightConcurrency, 4*cfg.QueueDepth, time.Second),
-		brk:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		brk:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.started = cfg.Clock()
 	s.cache.onPanic = s.panicDiag
+	if cfg.WarmStorePath != "" {
+		s.attachWarmStore(cfg.WarmStorePath)
+	}
 	s.ready.Store(true)
 	s.routes()
 	return s
@@ -259,6 +272,9 @@ func (s *Server) Drain(hs *http.Server) error {
 	defer cancel()
 	err := hs.Shutdown(dctx)
 	s.cancelBase()
+	if cerr := s.warm.Close(); cerr != nil {
+		s.cfg.Logf("capserved: closing warm store: %v", cerr)
+	}
 	v := s.varz()
 	b, _ := json.Marshal(v)
 	s.cfg.Logf("capserved: drained (err=%v) final varz: %s", err, b)
@@ -414,6 +430,9 @@ type Varz struct {
 	CacheHits          int64   `json:"cacheHits"`
 	CacheMisses        int64   `json:"cacheMisses"`
 	CacheEntries       int     `json:"cacheEntries"`
+	WarmHits           int64   `json:"warmHits"`
+	WarmLoaded         int     `json:"warmLoaded"`
+	WarmStored         int     `json:"warmStored"`
 	SingleflightShared int64   `json:"singleflightShared"`
 	BreakerState       string  `json:"breakerState"`
 	BreakerFails       int     `json:"breakerConsecutiveFails"`
@@ -422,7 +441,7 @@ type Varz struct {
 }
 
 func (s *Server) varz() Varz {
-	state, fails := s.brk.snapshot()
+	state, fails := s.brk.Snapshot()
 	hi, hq := s.heavy.depth()
 	return Varz{
 		UptimeSeconds:      s.cfg.Clock().Sub(s.started).Seconds(),
@@ -439,7 +458,10 @@ func (s *Server) varz() Varz {
 		Panics:             s.m.panics.Load(),
 		CacheHits:          s.cache.hits.Load(),
 		CacheMisses:        s.cache.misses.Load(),
-		CacheEntries:       s.cache.lru.len(),
+		CacheEntries:       s.cache.lru.Len(),
+		WarmHits:           s.cache.warmHits.Load(),
+		WarmLoaded:         s.warmLoaded,
+		WarmStored:         s.warm.Len(),
 		SingleflightShared: s.cache.shared.Load(),
 		BreakerState:       state,
 		BreakerFails:       fails,

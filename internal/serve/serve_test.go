@@ -294,7 +294,7 @@ func TestHeavyComputePanicIsolated(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("post-panic request = %d (%s), want 200 — key poisoned or breaker leaked", resp2.StatusCode, raw2)
 	}
-	state, fails := s.brk.snapshot()
+	state, fails := s.brk.Snapshot()
 	if state != "closed" || fails != 0 {
 		t.Fatalf("breaker after panic+success = %s/%d, want closed/0", state, fails)
 	}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// VerdictStore is the persistent warm tier of the two-tier verdict
+// cache: an append-only JSON-lines file mapping canonical cache keys to
+// marshalled verdicts. A node loads it at boot, so a restart serves
+// previously computed answers instantly instead of re-running the
+// engine; the cluster coordinator (internal/serve/cluster) reuses the
+// same format for raw response bodies.
+//
+// The file is the durability story, not a database: writes are appended
+// under a mutex with no fsync, later lines win on duplicate keys, and a
+// torn final line (crash mid-append) is skipped on load. Verdicts are
+// deterministic facts about automata, so replaying a stale store can
+// only miss entries, never serve wrong ones — the consistency caveats
+// are spelled out in DESIGN.md.
+type VerdictStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// seen tracks keys already on disk so re-computations after an LRU
+	// eviction don't grow the file without bound.
+	seen map[string]struct{}
+}
+
+// verdictLine is one stored entry. V stays raw: the owner decides the
+// concrete type on load (typed decode in serve, pass-through bytes in
+// the coordinator).
+type verdictLine struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// OpenVerdictStore opens (creating if absent) the store at path and
+// returns it together with every well-formed entry currently on disk.
+func OpenVerdictStore(path string) (*VerdictStore, map[string]json.RawMessage, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("warm store: %w", err)
+	}
+	entries := make(map[string]json.RawMessage)
+	seen := make(map[string]struct{})
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e verdictLine
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.K == "" {
+			// Torn or foreign line (e.g. the process died mid-append):
+			// skip it rather than refuse the whole store.
+			continue
+		}
+		entries[e.K] = e.V
+		seen[e.K] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("warm store: reading %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("warm store: %w", err)
+	}
+	return &VerdictStore{f: f, path: path, seen: seen}, entries, nil
+}
+
+// Append persists one verdict. Keys already on disk are skipped — the
+// store holds deterministic facts, so the first write is as good as any
+// later one.
+func (s *VerdictStore) Append(key string, v json.RawMessage) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("warm store: closed")
+	}
+	if _, dup := s.seen[key]; dup {
+		return nil
+	}
+	b, err := json.Marshal(verdictLine{K: key, V: v})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := s.f.Write(b); err != nil {
+		return fmt.Errorf("warm store: appending to %s: %w", s.path, err)
+	}
+	s.seen[key] = struct{}{}
+	return nil
+}
+
+// Len reports how many distinct keys the store has persisted.
+func (s *VerdictStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}
+
+// Close flushes and closes the backing file. Append after Close errors.
+func (s *VerdictStore) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// decodeVerdict turns a stored raw verdict back into the concrete
+// response type its cache-key prefix names. The decode MUST be typed:
+// unmarshalling into `any` would push 64-bit counters through float64
+// and silently corrupt values like Configs at deep horizons, and the
+// handlers type-assert cached values (val.(solvableResponse)). Unknown
+// prefixes — entries written by a newer binary — are skipped.
+func decodeVerdict(key string, raw json.RawMessage) (any, bool) {
+	op, _, ok := strings.Cut(key, "|")
+	if !ok {
+		return nil, false
+	}
+	switch op {
+	case "classify":
+		var v classifyResponse
+		if json.Unmarshal(raw, &v) == nil {
+			return v, true
+		}
+	case "solvable":
+		var v solvableResponse
+		if json.Unmarshal(raw, &v) == nil {
+			return v, true
+		}
+	case "netsolve":
+		var v netSolvableResponse
+		if json.Unmarshal(raw, &v) == nil {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// attachWarmStore wires the warm tier into the result cache: entries
+// loaded from disk answer LRU misses, and fresh successes are appended.
+// Store errors degrade to a log line — a broken warm store must never
+// take down serving.
+func (s *Server) attachWarmStore(path string) {
+	store, rawEntries, err := OpenVerdictStore(path)
+	if err != nil {
+		s.cfg.Logf("capserved: warm store disabled: %v", err)
+		return
+	}
+	warm := make(map[string]any, len(rawEntries))
+	for k, raw := range rawEntries {
+		if v, ok := decodeVerdict(k, raw); ok {
+			warm[k] = v
+		}
+	}
+	s.warm = store
+	s.warmLoaded = len(warm)
+	var mu sync.RWMutex // guards warm: persist also inserts for this process's lifetime
+	s.cache.warmGet = func(key string) (any, bool) {
+		mu.RLock()
+		v, ok := warm[key]
+		mu.RUnlock()
+		return v, ok
+	}
+	s.cache.persist = func(key string, val any) {
+		b, err := json.Marshal(val)
+		if err != nil {
+			s.cfg.Logf("capserved: warm store encode %s: %v", key, err)
+			return
+		}
+		// Only persist what a future boot can decode; everything the
+		// heavy path caches today qualifies.
+		if _, ok := decodeVerdict(key, b); !ok {
+			return
+		}
+		mu.Lock()
+		warm[key] = val
+		mu.Unlock()
+		if err := store.Append(key, b); err != nil {
+			s.cfg.Logf("capserved: %v", err)
+		}
+	}
+	s.cfg.Logf("capserved: warm store %s loaded %d verdicts", path, len(warm))
+}

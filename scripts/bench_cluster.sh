@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# bench_cluster.sh — measure the clustered coordinator under load and
+# record the result as BENCH_7.json.
+#
+# capbench (self-contained mode) spins up 3 backend capserved instances
+# plus a coordinator in one process, drives an open-loop mixed workload
+# (solvable/classify/netsolve plus unique "heavy" automata that defeat
+# both cache tiers) at the target RPS, and reports p50/p99/shed-rate/
+# hedge-rate per phase. Two measured phases:
+#
+#   healthy           — all 3 backends fast
+#   one-slow-backend  — one backend delays every analysis request by
+#                       -slow-delay, with the hedge trigger retuned to
+#                       half the measured healthy p99
+#
+# Acceptance bar (-p99-bar 2): the hedged p99 under one slow backend
+# must stay within 2x the healthy-cluster p99 — hedging to the ring
+# successor, not the slow shard, must dominate the tail.
+#
+# The defaults are sized for a small CI box (the repo's reference
+# machine is a single core); raise BENCH7_RPS / BENCH7_MAX_HORIZON on
+# real hardware. Usage:
+#
+#   ./scripts/bench_cluster.sh [bench7.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT7="${1:-BENCH_7.json}"
+RPS="${BENCH7_RPS:-80}"
+DURATION="${BENCH7_DURATION:-4s}"
+MAXH="${BENCH7_MAX_HORIZON:-6}"
+
+go run ./cmd/capbench \
+	-backends-n 3 -replicas 2 \
+	-rps "${RPS}" -duration "${DURATION}" -warmup 1s \
+	-max-horizon "${MAXH}" -p99-bar 2 -out "${OUT7}"
+
+RATIO="$(sed -n 's/.*"degradedP99Ratio": \([0-9.]*\).*/\1/p' "${OUT7}" | head -n 1)"
+echo "bench_cluster: wrote ${OUT7} (degraded/healthy p99 ratio ${RATIO:-?}, bar 2)"

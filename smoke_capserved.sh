@@ -5,14 +5,22 @@
 # exit. Deliberately free of fixed ports and sleeps-as-synchronization:
 # the bound address is scraped from the server's own log line and
 # readiness is polled, so the script is not timing-sensitive.
+#
+# A second leg (skippable with SMOKE_CLUSTER=0) smokes the cluster
+# mode: three backends behind `capserved -coordinator`, with one
+# backend SIGKILLed mid-run — the fleet must keep answering.
 set -eu
 
 cd "$(dirname "$0")"
 
 WORK="$(mktemp -d)"
 SERVED_PID=""
+CLUSTER_PIDS=""
 cleanup() {
 	[ -n "${SERVED_PID}" ] && kill -9 "${SERVED_PID}" 2>/dev/null || true
+	for p in ${CLUSTER_PIDS}; do
+		kill -9 "${p}" 2>/dev/null || true
+	done
 	rm -rf "${WORK}"
 }
 trap cleanup EXIT INT TERM
@@ -157,5 +165,126 @@ grep -q "capserved: drained" "${WORK}/stderr.log" || {
 	cat "${WORK}/stderr.log" >&2
 	exit 1
 }
+
+# --- 3-node coordinator smoke (SMOKE_CLUSTER=0 skips it) --------------
+# Three backends fronted by `capserved -coordinator`: a keyed query is
+# forwarded once and then served from the coordinator's cache, one
+# backend is SIGKILLed mid-run and the fleet must keep answering
+# (failover/hedge to the next ring replica), and the coordinator must
+# still drain cleanly on SIGTERM.
+if [ "${SMOKE_CLUSTER:-1}" = "1" ]; then
+	BK_BASES=""
+	for n in 1 2 3; do
+		"${WORK}/capserved" -addr 127.0.0.1:0 -drain 5s -backend "${BACKEND}" \
+			>"${WORK}/bk${n}.out" 2>"${WORK}/bk${n}.err" &
+		eval "BK${n}_PID=$!"
+		CLUSTER_PIDS="${CLUSTER_PIDS} $!"
+	done
+	for n in 1 2 3; do
+		ADDR=""
+		i=0
+		while [ $i -lt 100 ]; do
+			ADDR="$(sed -n 's/^capserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "${WORK}/bk${n}.err" | head -n 1)"
+			[ -n "${ADDR}" ] && break
+			i=$((i + 1))
+			sleep 0.1
+		done
+		[ -n "${ADDR}" ] || {
+			echo "smoke: cluster backend ${n} never logged its address" >&2
+			cat "${WORK}/bk${n}.err" >&2
+			exit 1
+		}
+		BK_BASES="${BK_BASES},${ADDR}"
+	done
+	BK_BASES="${BK_BASES#,}"
+
+	"${WORK}/capserved" -coordinator -backends "${BK_BASES}" -addr 127.0.0.1:0 \
+		-replicas 2 -hedge-delay 50ms -breaker-trip 3 -breaker-cooldown 2s -drain 5s \
+		>"${WORK}/coord.out" 2>"${WORK}/coord.err" &
+	COORD_PID=$!
+	CLUSTER_PIDS="${CLUSTER_PIDS} ${COORD_PID}"
+	CBASE=""
+	i=0
+	while [ $i -lt 100 ]; do
+		CBASE="$(sed -n 's/^coordinator: listening on \(http:\/\/[^ ]*\) .*$/\1/p' "${WORK}/coord.err" | head -n 1)"
+		[ -n "${CBASE}" ] && break
+		if ! kill -0 "${COORD_PID}" 2>/dev/null; then
+			echo "smoke: coordinator died before binding:" >&2
+			cat "${WORK}/coord.err" >&2
+			exit 1
+		fi
+		i=$((i + 1))
+		sleep 0.1
+	done
+	[ -n "${CBASE}" ] || {
+		echo "smoke: coordinator never logged its address" >&2
+		cat "${WORK}/coord.err" >&2
+		exit 1
+	}
+	i=0
+	until curl -fsS -o /dev/null "${CBASE}/readyz"; do
+		i=$((i + 1))
+		[ $i -ge 50 ] && { echo "smoke: coordinator /readyz never turned ready" >&2; exit 1; }
+		sleep 0.1
+	done
+
+	# A keyed query is forwarded to a shard, then the repeat must come
+	# out of the coordinator's own cache (X-Cluster-Cache: hit).
+	CBODY='{"scheme":"S1","horizon":3}'
+	CR1="$(curl -fsS -X POST -d "${CBODY}" "${CBASE}/v1/solvable")"
+	echo "${CR1}" | grep -q '"solvable": true' || {
+		echo "smoke: coordinator solvable reply wrong: ${CR1}" >&2
+		exit 1
+	}
+	curl -fsS -D "${WORK}/chdr" -o /dev/null -X POST -d "${CBODY}" "${CBASE}/v1/solvable"
+	grep -qi '^x-cluster-cache: hit' "${WORK}/chdr" || {
+		echo "smoke: coordinator repeat was not a cache hit:" >&2
+		cat "${WORK}/chdr" >&2
+		exit 1
+	}
+
+	# Kill one backend outright (no drain) and keep querying: each of
+	# the 12 bodies compiles to a distinct automaton, so every one is a
+	# cache miss that must be routed — keys whose primary shard is the
+	# dead backend have to fail over to the ring successor.
+	eval "kill -9 \${BK2_PID}"
+	for word in w b ww wb bw bb www wwb wbw wbb bww bwb; do
+		CR="$(curl -fsS -X POST -d "{\"scheme\":\"S2\",\"minus\":[\"${word}(.)\"],\"horizon\":4}" "${CBASE}/v1/solvable")" || {
+			echo "smoke: cluster query minus=${word} failed after backend kill" >&2
+			curl -s "${CBASE}/v1/stats" >&2 || true
+			exit 1
+		}
+		echo "${CR}" | grep -q '"solvable":' || {
+			echo "smoke: cluster query minus=${word} returned no verdict: ${CR}" >&2
+			exit 1
+		}
+	done
+	CSTATS="$(curl -fsS "${CBASE}/v1/stats")"
+	echo "${CSTATS}" | grep -Eq '"(hedges|failovers)": [1-9]' || {
+		echo "smoke: no hedges or failovers after killing a backend: ${CSTATS}" >&2
+		exit 1
+	}
+
+	# The coordinator must drain cleanly even with a dead shard.
+	kill -TERM "${COORD_PID}"
+	CSTATUS=0
+	wait "${COORD_PID}" || CSTATUS=$?
+	[ "${CSTATUS}" -eq 0 ] || {
+		echo "smoke: coordinator exited ${CSTATUS} on SIGTERM, want 0" >&2
+		cat "${WORK}/coord.err" >&2
+		exit 1
+	}
+	grep -q "capserved: clean shutdown" "${WORK}/coord.out" || {
+		echo "smoke: coordinator missing clean-shutdown line:" >&2
+		cat "${WORK}/coord.out" >&2
+		exit 1
+	}
+	grep -q "coordinator: drained" "${WORK}/coord.err" || {
+		echo "smoke: coordinator missing drain log line:" >&2
+		cat "${WORK}/coord.err" >&2
+		exit 1
+	}
+	echo "smoke_capserved.sh: cluster OK (${CBASE} over ${BK_BASES})"
+fi
 
 echo "smoke_capserved.sh: OK (${BASE})"

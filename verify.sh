@@ -6,7 +6,8 @@
 # the fullinfo worker pool, so races in the engine fail here) + a short
 # native-fuzz pass per fuzz target (go test runs one -fuzz target per
 # invocation) + a capserved lifecycle smoke (serve, query, SIGTERM,
-# assert a clean drained exit).
+# assert a clean drained exit) — which now includes a 3-node coordinator
+# leg with a mid-run backend kill — + a short capbench cluster load run.
 set -eu
 
 cd "$(dirname "$0")"
@@ -52,10 +53,22 @@ go test -run '^FuzzDedupVsReference$' -fuzz '^FuzzDedupVsReference$' -fuzztime "
 echo "-- FuzzSymbolicVsReference"
 go test -run '^FuzzSymbolicVsReference$' -fuzz '^FuzzSymbolicVsReference$' -fuzztime "${FUZZTIME}" ./internal/chain/
 
-echo "== capserved smoke (default backend) =="
+echo "== capserved smoke (default backend + 3-node coordinator) =="
 ./smoke_capserved.sh
 
 echo "== capserved smoke (enumerate backend) =="
-SMOKE_BACKEND=enumerate ./smoke_capserved.sh
+SMOKE_BACKEND=enumerate SMOKE_CLUSTER=0 ./smoke_capserved.sh
+
+echo "== capbench (short cluster load run) =="
+# A brief self-contained 3-backend run: report only (no p99 bar — the
+# gating ratio run is scripts/bench_cluster.sh), but the generator,
+# coordinator, hedging, and stats scrape all have to work end to end.
+# CI uploads the report as an artifact.
+go run ./cmd/capbench -rps 40 -duration 2s -warmup 500ms -max-horizon 5 \
+	-out capbench_report.json
+grep -q '"one-slow-backend"' capbench_report.json || {
+	echo "verify.sh: capbench report is missing the degraded phase" >&2
+	exit 1
+}
 
 echo "verify.sh: all gates passed"
