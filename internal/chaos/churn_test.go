@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnScheduleDeterministicAndSafe: same seed → same schedule;
+// different seed → (almost surely) different; every schedule keeps the
+// at-most-one-disrupted invariant and stays inside the window.
+func TestChurnScheduleDeterministicAndSafe(t *testing.T) {
+	plan := ChurnPlan{Backends: 3, Duration: 12 * time.Second, Pairs: 3}
+	a := ChurnSchedule(99, plan)
+	b := ChurnSchedule(99, plan)
+	if len(a) != 2*plan.Pairs {
+		t.Fatalf("schedule has %d events, want %d", len(a), 2*plan.Pairs)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic: %v vs %v", a[i], b[i])
+		}
+	}
+	c := ChurnSchedule(100, plan)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 99 and 100 produced identical schedules")
+	}
+
+	for _, ev := range a {
+		if ev.At <= 0 || ev.At >= plan.Duration {
+			t.Fatalf("event %v outside the campaign window", ev)
+		}
+		if ev.Target < 0 || ev.Target >= plan.Backends {
+			t.Fatalf("event %v targets a nonexistent backend", ev)
+		}
+	}
+	// Pairs are sequential and non-overlapping: sorted by time, events
+	// strictly alternate disrupt, recover, disrupt, recover, … and each
+	// recover matches its disruptor's target and verb.
+	for i := 0; i+1 < len(a); i += 2 {
+		down, up := a[i], a[i+1]
+		if down.At >= up.At {
+			t.Fatalf("pair %d: recovery %v not after disruption %v", i/2, up, down)
+		}
+		if down.Target != up.Target {
+			t.Fatalf("pair %d: recovery %v targets a different backend than %v", i/2, up, down)
+		}
+		switch down.Kind {
+		case ChurnKill:
+			if up.Kind != ChurnRestart {
+				t.Fatalf("pair %d: kill recovered by %v", i/2, up.Kind)
+			}
+		case ChurnLeave:
+			if up.Kind != ChurnJoin {
+				t.Fatalf("pair %d: leave recovered by %v", i/2, up.Kind)
+			}
+		default:
+			t.Fatalf("pair %d: unexpected disruption %v", i/2, down.Kind)
+		}
+		if i+2 < len(a) && up.At >= a[i+2].At {
+			t.Fatalf("pair %d overlaps the next: %v not before %v", i/2, up, a[i+2])
+		}
+	}
+}
+
+// TestChurnScheduleDegenerate: 1-node clusters get no schedule (there
+// is nothing to disrupt without taking the whole service down).
+func TestChurnScheduleDegenerate(t *testing.T) {
+	if evs := ChurnSchedule(1, ChurnPlan{Backends: 1, Duration: time.Second}); evs != nil {
+		t.Fatalf("1-backend plan produced events: %v", evs)
+	}
+}

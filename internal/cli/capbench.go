@@ -36,6 +36,14 @@ import (
 // one backend slow, and measures a degraded phase — the experiment
 // behind BENCH_7.json. -p99-bar R fails the run (exit 1) if degraded
 // p99 exceeds R x healthy p99.
+//
+// -churn adds a membership-churn phase (BENCH_8.json): the health
+// prober is enabled, one backend is killed a quarter of the way into
+// the phase and restarted at the halfway mark, and the report records
+// the phase's availability (fraction of non-shed, non-error replies)
+// plus the ejection/readmission counts the prober produced. The churn
+// phase shares -p99-bar (churn p99 vs healthy p99) and adds
+// -availability-bar as its own gate.
 func Capbench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("capbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -52,13 +60,23 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 	slowDelay := fs.Duration("slow-delay", 150*time.Millisecond, "self-contained mode: injected per-request delay on the slow backend (0 = skip degraded phase)")
 	maxHorizon := fs.Int("max-horizon", 9, "largest horizon generated queries use")
 	cacheEntries := fs.Int("cache", 4096, "cache entries per node")
-	p99Bar := fs.Float64("p99-bar", 0, "fail if degraded p99 > bar x healthy p99 (0 = report only)")
+	p99Bar := fs.Float64("p99-bar", 0, "fail if degraded/churn p99 > bar x healthy p99 (0 = report only)")
+	churn := fs.Bool("churn", false, "self-contained mode: add a membership-churn phase — one backend is killed mid-phase, auto-ejected by the prober, restarted, and readmitted")
+	availBar := fs.Float64("availability-bar", 0, "fail if churn-phase availability < bar (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *churn && *base != "" {
+		fmt.Fprintln(stderr, "capbench: -churn needs the self-contained cluster (drop -base)")
+		return 2
+	}
+	if *churn && *nBackends < 2 {
+		fmt.Fprintln(stderr, "capbench: -churn needs at least 2 backends")
 		return 2
 	}
 
@@ -90,13 +108,23 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 		report.Phases = append(report.Phases,
 			b.runPhase(ctx, "healthy", *rps, *duration, rand.New(rand.NewSource(*seed))))
 	} else {
-		lc, err := startLocalCluster(localClusterConfig{
+		lcCfg := localClusterConfig{
 			Backends:     *nBackends,
 			Replicas:     *replicas,
 			HedgeDelay:   *hedgeDelay,
 			CacheEntries: *cacheEntries,
 			MaxHorizon:   *maxHorizon,
-		})
+		}
+		if *churn {
+			// Fast probes so ejection and readmission both land well
+			// inside the kill window (a quarter of the phase), but with a
+			// generous timeout: under full load a saturated box can delay
+			// even a trivial /healthz reply, and a slow answer must not
+			// read as a dead backend.
+			lcCfg.ProbeInterval = 100 * time.Millisecond
+			lcCfg.ProbeTimeout = 2 * time.Second
+		}
+		lc, err := startLocalCluster(lcCfg)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -133,6 +161,54 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 				report.BarOK = &ok
 			}
 		}
+
+		if *churn {
+			report.Config.Churn = true
+			lc.slow.delay.Store(0) // churn measures membership, not slowness
+			preChurn := b.scrapeStats()
+			killAt, restartAt := *duration/4, *duration/2
+			go func() {
+				time.Sleep(killAt)
+				lc.kill.down.Store(true)
+				time.Sleep(restartAt - killAt)
+				lc.kill.down.Store(false)
+			}()
+			churnPh := b.runPhase(ctx, "churn", *rps, *duration,
+				rand.New(rand.NewSource(*seed+2)))
+
+			// Give the prober a moment to finish readmitting, then count
+			// the whole disruption (eject may land inside the phase and
+			// readmit just after it).
+			convergeBy := time.Now().Add(5 * time.Second)
+			for {
+				st := b.scrapeStats()
+				churnPh.Ejections = st.Membership.Ejections - preChurn.Membership.Ejections
+				churnPh.Readmissions = st.Membership.Readmissions - preChurn.Membership.Readmissions
+				report.ChurnConverged = st.Membership.Routable == *nBackends &&
+					churnPh.Readmissions >= churnPh.Ejections && churnPh.Ejections > 0
+				if report.ChurnConverged || time.Now().After(convergeBy) {
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			report.Phases = append(report.Phases, churnPh)
+
+			if healthy.P99Ms > 0 {
+				report.ChurnP99Ratio = churnPh.P99Ms / healthy.P99Ms
+			}
+			report.P99Bar = *p99Bar
+			report.AvailabilityBar = *availBar
+			if *p99Bar > 0 || *availBar > 0 {
+				ok := report.ChurnConverged
+				if *p99Bar > 0 && report.ChurnP99Ratio > *p99Bar {
+					ok = false
+				}
+				if *availBar > 0 && churnPh.Availability < *availBar {
+					ok = false
+				}
+				report.ChurnOK = &ok
+			}
+		}
 	}
 
 	if resp, err := b.client.Get(b.base + "/v1/stats"); err == nil {
@@ -159,6 +235,23 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 			report.DegradedP99Ratio, *p99Bar)
 		return 1
 	}
+	if report.ChurnOK != nil && !*report.ChurnOK {
+		fmt.Fprintf(stderr,
+			"capbench: churn gate failed: p99 ratio %.2fx (bar %.2fx), availability %.4f (bar %.4f), converged=%v\n",
+			report.ChurnP99Ratio, *p99Bar, churnAvailability(report), *availBar, report.ChurnConverged)
+		return 1
+	}
+	return 0
+}
+
+// churnAvailability digs the churn phase's availability back out of the
+// report for the failure message.
+func churnAvailability(r benchReport) float64 {
+	for _, ph := range r.Phases {
+		if ph.Name == "churn" {
+			return ph.Availability
+		}
+	}
 	return 0
 }
 
@@ -175,6 +268,7 @@ type benchConfig struct {
 	Replicas          int     `json:"replicas,omitempty"`
 	TunedHedgeDelayMs float64 `json:"tunedHedgeDelayMs,omitempty"`
 	SlowDelayMs       float64 `json:"slowDelayMs,omitempty"`
+	Churn             bool    `json:"churn,omitempty"`
 }
 
 type benchClassStats struct {
@@ -194,16 +288,23 @@ type benchPhase struct {
 	Shed        int     `json:"shed"`
 	Errors      int     `json:"errors"`
 	ShedRate    float64 `json:"shedRate"`
-	P50Ms       float64 `json:"p50Ms"`
-	P95Ms       float64 `json:"p95Ms"`
-	P99Ms       float64 `json:"p99Ms"`
-	MaxMs       float64 `json:"maxMs"`
+	// Availability is the fraction of requests answered successfully —
+	// neither shed (429) nor failed (transport error or >= 400).
+	Availability float64 `json:"availability"`
+	P50Ms        float64 `json:"p50Ms"`
+	P95Ms        float64 `json:"p95Ms"`
+	P99Ms        float64 `json:"p99Ms"`
+	MaxMs        float64 `json:"maxMs"`
 
 	// Coordinator-side deltas over the phase, from /v1/stats.
 	Hedges    int64   `json:"hedges"`
 	HedgeWins int64   `json:"hedgeWins"`
 	Failovers int64   `json:"failovers"`
 	HedgeRate float64 `json:"hedgeRate"` // hedges / keyed requests
+
+	// Membership deltas over the phase (nonzero only under -churn).
+	Ejections    int64 `json:"ejections,omitempty"`
+	Readmissions int64 `json:"readmissions,omitempty"`
 
 	Classes map[string]benchClassStats `json:"classes"`
 }
@@ -215,6 +316,13 @@ type benchReport struct {
 	DegradedP99Ratio float64      `json:"degradedP99Ratio,omitempty"`
 	P99Bar           float64      `json:"p99Bar,omitempty"`
 	BarOK            *bool        `json:"barOk,omitempty"`
+	// Churn gates: p99 during churn relative to healthy, the phase's
+	// availability bar, and whether the killed backend was ejected,
+	// readmitted, and the ring converged back to full membership.
+	ChurnP99Ratio   float64 `json:"churnP99Ratio,omitempty"`
+	AvailabilityBar float64 `json:"availabilityBar,omitempty"`
+	ChurnConverged  bool    `json:"churnConverged,omitempty"`
+	ChurnOK         *bool   `json:"churnOk,omitempty"`
 	// ClusterStats is the target's final /v1/stats snapshot, embedded
 	// verbatim so the report artifact carries the shard-level picture.
 	ClusterStats json.RawMessage `json:"clusterStats,omitempty"`
@@ -390,10 +498,13 @@ func (b *bench) runPhase(ctx context.Context, name string, rps float64, dur time
 	}
 	if len(samples) > 0 {
 		ph.ShedRate = float64(ph.Shed) / float64(len(samples))
+		ph.Availability = float64(ph.OK) / float64(len(samples))
 	}
 	ph.Hedges = after.Hedges - before.Hedges
 	ph.HedgeWins = after.HedgeWins - before.HedgeWins
 	ph.Failovers = after.Failovers - before.Failovers
+	ph.Ejections = after.Membership.Ejections - before.Membership.Ejections
+	ph.Readmissions = after.Membership.Readmissions - before.Membership.Readmissions
 	if keyed := after.KeyedRequests - before.KeyedRequests; keyed > 0 {
 		ph.HedgeRate = float64(ph.Hedges) / float64(keyed)
 	}
@@ -421,6 +532,12 @@ type coordStats struct {
 	Hedges        int64 `json:"hedges"`
 	HedgeWins     int64 `json:"hedgeWins"`
 	Failovers     int64 `json:"failovers"`
+	Membership    struct {
+		Epoch        int64 `json:"epoch"`
+		Routable     int   `json:"routable"`
+		Ejections    int64 `json:"ejections"`
+		Readmissions int64 `json:"readmissions"`
+	} `json:"membership"`
 }
 
 // scrapeStats reads the coordinator counters; against a bare backend
@@ -480,29 +597,58 @@ func (g *slowGate) wrap(h http.Handler) http.Handler {
 	})
 }
 
+// killGate simulates a crashed backend: while down, every connection
+// that reaches the wrapped handler is severed without a reply, so the
+// coordinator sees transport errors and failed health probes — exactly
+// what a kill -9 of the process would produce, minus the ephemeral
+// port churn a real restart adds.
+type killGate struct {
+	down atomic.Bool
+}
+
+func (g *killGate) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if g.down.Load() {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 type localClusterConfig struct {
 	Backends     int
 	Replicas     int
 	HedgeDelay   time.Duration
 	CacheEntries int
 	MaxHorizon   int
+	// ProbeInterval > 0 enables the coordinator's health prober (the
+	// churn phase needs automatic ejection and readmission).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
 }
 
 type localCluster struct {
 	servers []*http.Server
 	lns     []net.Listener
 	slow    *slowGate
+	kill    *killGate
 	co      *cluster.Coordinator
 	coSrv   *http.Server
 	coURL   string
 }
 
 // startLocalCluster boots cfg.Backends in-process capserved nodes (the
-// first behind a slowGate) plus a coordinator over them, all on
-// ephemeral loopback ports.
+// first behind a slowGate, the last behind a killGate) plus a
+// coordinator over them, all on ephemeral loopback ports.
 func startLocalCluster(cfg localClusterConfig) (*localCluster, error) {
 	quiet := func(string, ...any) {}
-	lc := &localCluster{slow: &slowGate{}}
+	lc := &localCluster{slow: &slowGate{}, kill: &killGate{}}
 	var urls []string
 	for i := 0; i < cfg.Backends; i++ {
 		s := serve.New(serve.Config{
@@ -514,6 +660,9 @@ func startLocalCluster(cfg localClusterConfig) (*localCluster, error) {
 		h := s.Handler()
 		if i == 0 {
 			h = lc.slow.wrap(h)
+		}
+		if i == cfg.Backends-1 && i > 0 {
+			h = lc.kill.wrap(h)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -527,11 +676,13 @@ func startLocalCluster(cfg localClusterConfig) (*localCluster, error) {
 		urls = append(urls, "http://"+ln.Addr().String())
 	}
 	co, err := cluster.New(cluster.Config{
-		Backends:     urls,
-		Replicas:     cfg.Replicas,
-		HedgeDelay:   cfg.HedgeDelay,
-		CacheEntries: cfg.CacheEntries,
-		Logf:         quiet,
+		Backends:      urls,
+		Replicas:      cfg.Replicas,
+		HedgeDelay:    cfg.HedgeDelay,
+		CacheEntries:  cfg.CacheEntries,
+		ProbeInterval: cfg.ProbeInterval,
+		ProbeTimeout:  cfg.ProbeTimeout,
+		Logf:          quiet,
 	})
 	if err != nil {
 		lc.stop()

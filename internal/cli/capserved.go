@@ -23,7 +23,10 @@ import (
 // With -coordinator it runs the cluster router instead: requests are
 // consistent-hashed across the -backends capserved instances, with
 // hedged requests, per-shard circuit breakers, a two-tier verdict
-// cache, and chaos-campaign fan-out.
+// cache, and chaos-campaign fan-out. Membership is live: the admin API
+// (GET/POST/DELETE /v1/cluster/members) joins and removes backends at
+// runtime, and the health prober ejects dead backends from routing and
+// readmits recovered ones with a warm-verdict handoff.
 func Capserved(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("capserved", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -42,6 +45,11 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 	backends := fs.String("backends", "", "comma-separated backend base URLs for -coordinator mode (e.g. http://127.0.0.1:8321,http://127.0.0.1:8322)")
 	replicas := fs.Int("replicas", 2, "replica candidates per keyed request in -coordinator mode")
 	hedgeDelay := fs.Duration("hedge-delay", 250*time.Millisecond, "silence before a keyed request is hedged to the next replica (-coordinator mode)")
+	probeInterval := fs.Duration("probe-interval", time.Second, "health-probe period for live membership in -coordinator mode (0 disables the prober)")
+	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe deadline (0 = min(probe-interval, 1s))")
+	probeFail := fs.Int("probe-fail", 3, "consecutive probe failures that eject a backend from routing")
+	probeRecover := fs.Int("probe-recover", 2, "consecutive probe successes that readmit an ejected backend")
+	handoffMax := fs.Int("handoff-max", 1024, "max warm verdicts replayed to a joining/readmitted backend (negative disables handoffs)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,17 +68,22 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		co, err := cluster.New(cluster.Config{
-			Addr:             *addr,
-			Backends:         bases,
-			Replicas:         *replicas,
-			HedgeDelay:       *hedgeDelay,
-			RequestTimeout:   *timeout,
-			DrainTimeout:     *drain,
-			CacheEntries:     *cache,
-			WarmStorePath:    *warmStore,
-			BreakerThreshold: *breakerTrip,
-			BreakerCooldown:  *breakerCooldown,
-			Logf:             logf,
+			Addr:                  *addr,
+			Backends:              bases,
+			Replicas:              *replicas,
+			HedgeDelay:            *hedgeDelay,
+			RequestTimeout:        *timeout,
+			DrainTimeout:          *drain,
+			CacheEntries:          *cache,
+			WarmStorePath:         *warmStore,
+			BreakerThreshold:      *breakerTrip,
+			BreakerCooldown:       *breakerCooldown,
+			ProbeInterval:         *probeInterval,
+			ProbeTimeout:          *probeTimeout,
+			ProbeFailThreshold:    *probeFail,
+			ProbeRecoverThreshold: *probeRecover,
+			HandoffMaxEntries:     *handoffMax,
+			Logf:                  logf,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, err)

@@ -121,6 +121,19 @@ func (b *Breaker) closedDone(failed bool) {
 	}
 }
 
+// Reset force-closes the breaker and zeroes its failure count. The
+// cluster prober calls it on readmission: health probes just proved the
+// path works, so the ejected-era failures are stale evidence and the
+// readmitted shard should take traffic immediately rather than serve a
+// cooldown it already paid in probe time.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
 // Snapshot reports the state name and consecutive-failure count for varz.
 func (b *Breaker) Snapshot() (state string, fails int) {
 	b.mu.Lock()

@@ -70,6 +70,25 @@ func (c *LRU) Len() int {
 	return c.ll.Len()
 }
 
+// Range calls fn for each entry from most to least recently used,
+// stopping early when fn returns false. Keys and values are snapshotted
+// under the lock and fn runs outside it, so fn may use the cache (and
+// recency order is the order at snapshot time) — the cluster handoff
+// uses this to enumerate the hot set without stalling the serving path.
+func (c *LRU) Range(fn func(key string, val any) bool) {
+	c.mu.Lock()
+	snap := make([]lruEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		snap = append(snap, *el.Value.(*lruEntry))
+	}
+	c.mu.Unlock()
+	for _, e := range snap {
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
 // flightCall is one in-flight singleflight computation.
 type flightCall struct {
 	done chan struct{}

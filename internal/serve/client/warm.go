@@ -1,0 +1,95 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// Warm-tier and cluster-membership helpers. The wire shapes mirror
+// internal/serve (WarmEntry) and internal/serve/cluster (the members
+// table) but are declared locally: the client package stays a thin
+// protocol speaker with no dependency on the server implementations.
+
+// WarmEntry is one warm verdict on the wire: canonical cache key plus
+// the marshalled verdict body.
+type WarmEntry struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// WarmExport fetches up to max warm verdicts from the node (max <= 0
+// takes the server default). truncated reports that the node had more.
+func (c *Client) WarmExport(ctx context.Context, max int) (entries []WarmEntry, truncated bool, err error) {
+	path := "/v1/warm/export"
+	if max > 0 {
+		path = fmt.Sprintf("%s?max=%d", path, max)
+	}
+	var resp struct {
+		Entries   []WarmEntry `json:"entries"`
+		Truncated bool        `json:"truncated"`
+	}
+	if err := c.Do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Entries, resp.Truncated, nil
+}
+
+// WarmImport pushes warm verdicts into the node's caches (and its warm
+// store when one is attached). Undecodable entries are skipped by the
+// server, not rejected.
+func (c *Client) WarmImport(ctx context.Context, entries []WarmEntry) (imported, skipped int, err error) {
+	req := struct {
+		Entries []WarmEntry `json:"entries"`
+	}{Entries: entries}
+	var resp struct {
+		Imported int `json:"imported"`
+		Skipped  int `json:"skipped"`
+	}
+	if err := c.Do(ctx, http.MethodPost, "/v1/warm/import", req, &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Imported, resp.Skipped, nil
+}
+
+// Member is one coordinator cluster member as reported by the admin
+// surface.
+type Member struct {
+	Backend  string `json:"backend"`
+	State    string `json:"state"`
+	Routable bool   `json:"routable"`
+	Breaker  string `json:"breaker"`
+}
+
+// MembersReply is the coordinator's members table.
+type MembersReply struct {
+	Epoch    int64    `json:"epoch"`
+	Members  []Member `json:"members"`
+	Routable int      `json:"routable"`
+}
+
+// Members fetches the coordinator's live membership table.
+func (c *Client) Members(ctx context.Context) (MembersReply, error) {
+	var resp MembersReply
+	err := c.Do(ctx, http.MethodGet, "/v1/cluster/members", nil, &resp)
+	return resp, err
+}
+
+// AddMember joins a backend to the coordinator's ring (a new epoch).
+func (c *Client) AddMember(ctx context.Context, backend string) (MembersReply, error) {
+	req := struct {
+		Backend string `json:"backend"`
+	}{Backend: backend}
+	var resp MembersReply
+	err := c.Do(ctx, http.MethodPost, "/v1/cluster/members", req, &resp)
+	return resp, err
+}
+
+// RemoveMember removes a backend from the coordinator's ring.
+func (c *Client) RemoveMember(ctx context.Context, backend string) (MembersReply, error) {
+	var resp MembersReply
+	err := c.Do(ctx, http.MethodDelete, "/v1/cluster/members?backend="+url.QueryEscape(backend), nil, &resp)
+	return resp, err
+}

@@ -1,0 +1,106 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestWarmExportImportRoundTrip drives the warm-sync protocol against a
+// stub speaking the server's wire shapes: export decodes entries and
+// the truncation flag, import posts them back and reads the counts.
+func TestWarmExportImportRoundTrip(t *testing.T) {
+	var gotImport struct {
+		Entries []WarmEntry `json:"entries"`
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/warm/export":
+			if r.URL.Query().Get("max") != "7" {
+				t.Errorf("export max = %q, want 7", r.URL.Query().Get("max"))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"entries":[{"k":"classify|x","v":{"class":"A"}}],"truncated":true}`))
+		case "/v1/warm/import":
+			if err := json.NewDecoder(r.Body).Decode(&gotImport); err != nil {
+				t.Errorf("decoding import body: %v", err)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"imported":1,"skipped":0}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	entries, truncated, err := c.WarmExport(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].K != "classify|x" || !truncated {
+		t.Fatalf("export = %+v truncated=%v, want 1 entry and truncated", entries, truncated)
+	}
+
+	imported, skipped, err := c.WarmImport(context.Background(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != 1 || skipped != 0 {
+		t.Fatalf("import = (%d, %d), want (1, 0)", imported, skipped)
+	}
+	if len(gotImport.Entries) != 1 || gotImport.Entries[0].K != "classify|x" {
+		t.Fatalf("server saw import body %+v", gotImport)
+	}
+}
+
+// TestMembershipAdminMethods checks the three admin verbs hit the right
+// routes with the right payloads.
+func TestMembershipAdminMethods(t *testing.T) {
+	table := `{"epoch":3,"routable":2,"members":[
+		{"backend":"http://a","state":"active","routable":true,"breaker":"closed"},
+		{"backend":"http://b","state":"ejected","routable":false,"breaker":"open"}]}`
+	var sawPost, sawDelete string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/members" {
+			http.NotFound(w, r)
+			return
+		}
+		switch r.Method {
+		case http.MethodPost:
+			var req struct {
+				Backend string `json:"backend"`
+			}
+			json.NewDecoder(r.Body).Decode(&req)
+			sawPost = req.Backend
+		case http.MethodDelete:
+			sawDelete = r.URL.Query().Get("backend")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(table))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	mr, err := c.Members(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Epoch != 3 || len(mr.Members) != 2 || mr.Members[1].State != "ejected" {
+		t.Fatalf("Members = %+v", mr)
+	}
+	if _, err := c.AddMember(context.Background(), "http://c"); err != nil {
+		t.Fatal(err)
+	}
+	if sawPost != "http://c" {
+		t.Fatalf("AddMember posted %q", sawPost)
+	}
+	if _, err := c.RemoveMember(context.Background(), "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	if sawDelete != "http://b" {
+		t.Fatalf("RemoveMember deleted %q", sawDelete)
+	}
+}

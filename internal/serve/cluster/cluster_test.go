@@ -19,8 +19,17 @@ import (
 
 // --- ring -------------------------------------------------------------
 
+// ringMembers fabricates n distinct member URLs of the realistic shape.
+func ringMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("http://127.0.0.1:%d", 8321+i)
+	}
+	return m
+}
+
 func TestRingReplicasDistinctStableClamped(t *testing.T) {
-	r := NewRing(3, 64)
+	r := NewRing(ringMembers(3), 64)
 	reps := r.Replicas("solvable|somekey|h=9", 2)
 	if len(reps) != 2 || reps[0] == reps[1] {
 		t.Fatalf("Replicas = %v, want 2 distinct backends", reps)
@@ -41,7 +50,7 @@ func TestRingReplicasDistinctStableClamped(t *testing.T) {
 }
 
 func TestRingBalance(t *testing.T) {
-	r := NewRing(3, 64)
+	r := NewRing(ringMembers(3), 64)
 	counts := make([]int, 3)
 	const keys = 30000
 	for i := 0; i < keys; i++ {
@@ -60,7 +69,8 @@ func TestRingBalance(t *testing.T) {
 // node is one killable backend: a stable URL whose handler can be
 // swapped between a live capserved instance and a connection-killing
 // stub, so "crash" and "restart" happen without the address changing —
-// exactly the immutable-membership model the ring assumes.
+// which is what lets the prober's eject/readmit lifecycle (same member
+// identity, interrupted availability) be exercised deterministically.
 type node struct {
 	ts   *httptest.Server
 	mu   sync.Mutex
@@ -221,9 +231,19 @@ func TestClusterSurvivesKilledBackend(t *testing.T) {
 
 	nodes[1].kill()
 
-	for i := 0; i < 12; i++ {
-		// Unique automata so every request misses the coordinator cache
-		// and must reach a backend.
+	// Unique automata so every request misses the coordinator cache and
+	// must reach a backend. Member-identity hashing makes which keys the
+	// dead shard owns depend on the ephemeral port URLs, so keep issuing
+	// fresh keys until its breaker has provably tripped (threshold 3).
+	deadBreaker := func() string {
+		for _, sh := range clusterStats(t, ts.URL).Shards {
+			if sh.Backend == nodes[1].ts.URL {
+				return sh.Breaker
+			}
+		}
+		return ""
+	}
+	for i := 0; i < 60 && deadBreaker() != "open"; i++ {
 		body := fmt.Sprintf(`{"scheme":"S2","minus":["%s(.)"],"horizon":4}`,
 			strings.Repeat("w", i%3+1)+strings.Repeat("b", i/3+1))
 		cresp, craw := postJSON(t, ts.URL+"/v1/solvable", body)
@@ -246,14 +266,8 @@ func TestClusterSurvivesKilledBackend(t *testing.T) {
 	if st.Hedges+st.Failovers == 0 {
 		t.Fatalf("no hedges or failovers recorded against a dead backend: %+v", st)
 	}
-	var deadBreaker string
-	for _, sh := range st.Shards {
-		if sh.Backend == nodes[1].ts.URL {
-			deadBreaker = sh.Breaker
-		}
-	}
-	if deadBreaker != "open" {
-		t.Fatalf("dead shard breaker = %q, want open (stats %+v)", deadBreaker, st.Shards)
+	if b := deadBreaker(); b != "open" {
+		t.Fatalf("dead shard breaker = %q, want open (stats %+v)", b, st.Shards)
 	}
 
 	// Restart the backend; after the cooldown a half-open probe must

@@ -21,14 +21,17 @@ type Config struct {
 	// Addr is the listen address (default "127.0.0.1:8322"; use :0 for
 	// an ephemeral port, reported by BoundAddr).
 	Addr string
-	// Backends are the base URLs of the capserved shards, e.g.
-	// "http://127.0.0.1:8321". Membership is fixed for the coordinator's
-	// lifetime; liveness is handled by breakers and hedging, not by ring
-	// churn.
+	// Backends are the base URLs of the capserved shards at boot, e.g.
+	// "http://127.0.0.1:8321". Membership is LIVE after boot: the admin
+	// surface (GET/POST/DELETE /v1/cluster/members) joins and removes
+	// backends without a restart, and the health prober (ProbeInterval)
+	// ejects dead shards from routing and readmits recovered ones. Each
+	// membership change swaps in a new epoch-versioned ring; in-flight
+	// requests finish on the epoch they started with.
 	Backends []string
 	// Replicas is how many distinct shards a keyed request may try —
-	// primary plus hedge/failover candidates (default 2, clamped to
-	// len(Backends)).
+	// primary plus hedge/failover candidates (default 2, clamped per
+	// epoch to the routable member count).
 	Replicas int
 	// HedgeDelay is how long the primary may stay silent before the
 	// request is hedged to the next replica (default 250ms).
@@ -55,6 +58,27 @@ type Config struct {
 	// VNodes is the virtual nodes per backend on the hash ring
 	// (default 64).
 	VNodes int
+	// ProbeInterval is the health-probe period. Zero disables the
+	// prober: breakers and hedging still mask failures, but nothing is
+	// ejected from or readmitted to the ring automatically.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default min(ProbeInterval,
+	// 1s)).
+	ProbeTimeout time.Duration
+	// ProbeFailThreshold is how many consecutive probe failures eject a
+	// member from routing (default 3). The member is not forgotten: it
+	// keeps being probed and readmits automatically.
+	ProbeFailThreshold int
+	// ProbeRecoverThreshold is how many consecutive probe successes
+	// readmit an ejected member (default 2). Readmission re-closes the
+	// shard's breaker and triggers a warm handoff.
+	ProbeRecoverThreshold int
+	// HandoffMaxEntries bounds how many warm verdicts a join/readmit
+	// handoff replays to the newcomer (default 1024; negative disables
+	// handoffs).
+	HandoffMaxEntries int
+	// HandoffTimeout bounds one whole handoff (default 10s).
+	HandoffTimeout time.Duration
 	// HTTPClient is the transport to the backends; injectable so tests
 	// (and chaos campaigns) can wrap it with a fault-injecting
 	// RoundTripper. Default: a dedicated client with sane pooling.
@@ -72,9 +96,6 @@ func (c *Config) defaults() {
 	}
 	if c.Replicas <= 0 {
 		c.Replicas = 2
-	}
-	if c.Replicas > len(c.Backends) {
-		c.Replicas = len(c.Backends)
 	}
 	if c.HedgeDelay <= 0 {
 		c.HedgeDelay = 250 * time.Millisecond
@@ -100,6 +121,24 @@ func (c *Config) defaults() {
 	if c.VNodes <= 0 {
 		c.VNodes = 64
 	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+		if c.ProbeInterval > 0 && c.ProbeInterval < c.ProbeTimeout {
+			c.ProbeTimeout = c.ProbeInterval
+		}
+	}
+	if c.ProbeFailThreshold <= 0 {
+		c.ProbeFailThreshold = 3
+	}
+	if c.ProbeRecoverThreshold <= 0 {
+		c.ProbeRecoverThreshold = 2
+	}
+	if c.HandoffMaxEntries == 0 {
+		c.HandoffMaxEntries = 1024
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 10 * time.Second
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 16,
@@ -113,33 +152,44 @@ func (c *Config) defaults() {
 	}
 }
 
-// shard is one backend plus its health bookkeeping.
+// shard is one backend plus its health bookkeeping. Shard structs are
+// shared by every epoch that routes to the backend, so breaker state
+// and counters survive membership changes.
 type shard struct {
-	base      string
-	brk       *serve.Breaker
-	requests  atomic.Int64
-	failures  atomic.Int64
-	hedges    atomic.Int64 // hedged attempts sent to this shard
-	hedgeWins atomic.Int64 // hedged attempts that produced the reply
+	base         string
+	brk          *serve.Breaker
+	requests     atomic.Int64
+	failures     atomic.Int64
+	hedges       atomic.Int64 // hedged attempts sent to this shard
+	hedgeWins    atomic.Int64 // hedged attempts that produced the reply
+	handoffKeys  atomic.Int64 // warm verdicts pushed to this shard on join/readmit
+	exportedKeys atomic.Int64 // warm verdicts this shard exported as a handoff neighbor
 }
 
 // Coordinator is the cluster router. Construct with New, mount
 // Handler on any http.Server, or let ListenAndServe own the lifecycle.
 type Coordinator struct {
-	cfg    Config
-	mux    *http.ServeMux
-	ring   *Ring
-	shards []*shard
-	cache  *serve.LRU
+	cfg   Config
+	mux   *http.ServeMux
+	cache *serve.LRU
+
+	// Live membership: the member table (any state, guarded by memMu)
+	// and the copy-on-write routing view (atomic swap on every epoch
+	// change — readers never block on membership mutations).
+	memMu     sync.Mutex
+	members   map[string]*member
+	memOrder  []string
+	epochHist []epochRecord
+	view      atomic.Pointer[epochView]
 
 	warm       *serve.VerdictStore
 	warmMu     sync.RWMutex
 	warmMap    map[string]json.RawMessage
 	warmLoaded int
 
-	// baseCtx is the coordinator lifetime: every backend attempt runs
-	// under it, so drain cancels in-flight hedges; wg tracks them so
-	// drain can prove they are gone.
+	// baseCtx is the coordinator lifetime: every backend attempt, probe,
+	// and handoff runs under it, so drain cancels in-flight work; wg
+	// tracks the goroutines so drain can prove they are gone.
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 	wg         sync.WaitGroup
@@ -168,6 +218,26 @@ type Coordinator struct {
 		fanouts        atomic.Int64
 		fanoutPartials atomic.Int64
 		fanoutFailures atomic.Int64
+
+		epochSwaps     atomic.Int64
+		joins          atomic.Int64
+		leaves         atomic.Int64
+		probes         atomic.Int64
+		probeFailures  atomic.Int64
+		ejections      atomic.Int64
+		readmissions   atomic.Int64
+		handoffs       atomic.Int64
+		handoffKeys    atomic.Int64
+		handoffErrors  atomic.Int64
+		handoffSkipped atomic.Int64
+	}
+}
+
+// newShard builds the per-backend bookkeeping for base.
+func (c *Coordinator) newShard(base string) *shard {
+	return &shard{
+		base: base,
+		brk:  serve.NewBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, c.cfg.Clock),
 	}
 }
 
@@ -180,16 +250,25 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		ring:    NewRing(len(cfg.Backends), cfg.VNodes),
 		cache:   serve.NewLRU(cfg.CacheEntries),
+		members: map[string]*member{},
 		warmMap: map[string]json.RawMessage{},
 	}
+	now := cfg.Clock()
 	for _, base := range cfg.Backends {
-		c.shards = append(c.shards, &shard{
-			base: base,
-			brk:  serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
-		})
+		base, err := normalizeBase(base)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := c.members[base]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend %s", base)
+		}
+		c.members[base] = &member{sh: c.newShard(base), state: memberActive, joinedAt: now}
+		c.memOrder = append(c.memOrder, base)
 	}
+	c.memMu.Lock()
+	c.rebuild("boot")
+	c.memMu.Unlock()
 	if cfg.WarmStorePath != "" {
 		store, entries, err := serve.OpenVerdictStore(cfg.WarmStorePath)
 		if err != nil {
@@ -200,9 +279,13 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.hedgeDelayNs.Store(int64(cfg.HedgeDelay))
 	c.baseCtx, c.cancelBase = context.WithCancel(context.Background())
-	c.started = cfg.Clock()
+	c.started = now
 	c.ready.Store(true)
 	c.routes()
+	if cfg.ProbeInterval > 0 {
+		c.wg.Add(1)
+		go c.probeLoop()
+	}
 	return c, nil
 }
 
@@ -243,7 +326,7 @@ func (c *Coordinator) ListenAndServe(ctx context.Context) error {
 		return err
 	}
 	c.boundAdr.Store(ln.Addr().String())
-	c.cfg.Logf("coordinator: listening on http://%s (%d backends)", ln.Addr(), len(c.shards))
+	c.cfg.Logf("coordinator: listening on http://%s (%d backends)", ln.Addr(), len(c.currentView().shards))
 
 	hs := &http.Server{Handler: c.mux}
 	serveErr := make(chan error, 1)
@@ -269,10 +352,11 @@ func (c *Coordinator) ListenAndServe(ctx context.Context) error {
 	return err
 }
 
-// Shutdown cancels every in-flight backend attempt (hedges included),
-// waits for their goroutines under ctx, closes the warm store, and
-// releases idle backend connections. It is exposed separately so tests
-// driving Handler directly can assert a leak-free drain.
+// Shutdown cancels every in-flight backend attempt (hedges, probes and
+// handoffs included), waits for their goroutines under ctx, closes the
+// warm store, and releases idle backend connections. It is exposed
+// separately so tests driving Handler directly can assert a leak-free
+// drain.
 func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.draining.Store(true)
 	c.ready.Store(false)
@@ -310,6 +394,9 @@ func (c *Coordinator) routes() {
 	})
 	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
 	c.mux.HandleFunc("GET /varz", c.handleStats)
+	c.mux.HandleFunc("GET /v1/cluster/members", c.handleMembersGet)
+	c.mux.HandleFunc("POST /v1/cluster/members", c.handleMembersPost)
+	c.mux.HandleFunc("DELETE /v1/cluster/members", c.handleMembersDelete)
 	c.mux.HandleFunc("POST /v1/classify", c.keyed(c.classifyKey))
 	c.mux.HandleFunc("POST /v1/solvable", c.keyed(c.solvableKey))
 	c.mux.HandleFunc("POST /v1/net/solvable", c.keyed(c.netSolvableKey))
@@ -394,7 +481,9 @@ func (c *Coordinator) netSolvableKey(body []byte) (string, error) {
 
 // keyed builds the handler for a deterministic, cacheable endpoint:
 // two-tier cache in front, consistent-hash routing with hedging and
-// replica failover behind.
+// replica failover behind. The routing view is captured once per
+// request — a concurrent membership change swaps the epoch for later
+// requests, never mid-request.
 func (c *Coordinator) keyed(keyOf func([]byte) (string, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.m.requests.Add(1)
@@ -426,7 +515,8 @@ func (c *Coordinator) keyed(keyOf func([]byte) (string, error)) http.HandlerFunc
 		}
 		c.m.cacheMisses.Add(1)
 
-		res, err := c.hedgedDo(r.Context(), r.URL.Path, body, c.ring.Replicas(key, c.cfg.Replicas))
+		view := c.currentView()
+		res, err := c.hedgedDo(r.Context(), r.URL.Path, body, view, view.ring.Replicas(key, c.cfg.Replicas))
 		if err != nil {
 			c.writeHedgeError(w, err)
 			return
@@ -453,7 +543,8 @@ func (c *Coordinator) passthrough(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	res, err := c.hedgedDo(r.Context(), r.URL.Path, body, c.ring.Replicas("light|"+string(body), c.cfg.Replicas))
+	view := c.currentView()
+	res, err := c.hedgedDo(r.Context(), r.URL.Path, body, view, view.ring.Replicas("light|"+string(body), c.cfg.Replicas))
 	if err != nil {
 		c.writeHedgeError(w, err)
 		return
@@ -471,7 +562,7 @@ func (c *Coordinator) serveRaw(w http.ResponseWriter, tier string, body []byte) 
 func (c *Coordinator) forward(w http.ResponseWriter, res *attemptResult) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cluster-Cache", "miss")
-	w.Header().Set("X-Cluster-Shard", c.shards[res.shard].base)
+	w.Header().Set("X-Cluster-Shard", res.base)
 	w.WriteHeader(res.status)
 	w.Write(res.body)
 }
@@ -490,7 +581,7 @@ func (c *Coordinator) persistWarm(key string, body []byte) {
 }
 
 // errAllShardsBroken reports that no candidate shard would admit the
-// request (every breaker open).
+// request (every breaker open, or the routable member set is empty).
 type errAllShardsBroken struct{ retryAfter time.Duration }
 
 func (e errAllShardsBroken) Error() string {
@@ -522,15 +613,15 @@ func (c *Coordinator) boundedCtx(rctx context.Context) (context.Context, context
 
 // attemptResult is one backend attempt's outcome.
 type attemptResult struct {
-	shard  int
+	base   string
 	hedged bool // launched by the hedge timer or a failover, not first
 	status int
 	body   []byte
 	err    error
 }
 
-// hedgedDo performs a keyed request against the candidate shards with
-// hedging and failover:
+// hedgedDo performs a keyed request against the candidate shards of one
+// epoch view with hedging and failover:
 //
 //   - The first candidate whose breaker admits the call gets the
 //     request (breaker-open shards are skipped — failover, not waiting).
@@ -544,7 +635,7 @@ type attemptResult struct {
 //
 // Every attempt runs under the coordinator's lifetime context, so drain
 // cancels stragglers; the per-call context bounds total latency.
-func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte, cands []int) (*attemptResult, error) {
+func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte, view *epochView, cands []int) (*attemptResult, error) {
 	ctx, cancel := c.boundedCtx(rctx)
 	defer cancel()
 
@@ -558,9 +649,8 @@ func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte
 	// breaker is open. Reports whether an attempt went out.
 	launch := func(hedged bool) bool {
 		for next < len(cands) {
-			idx := cands[next]
+			sh := view.shards[cands[next]]
 			next++
-			sh := c.shards[idx]
 			done, err := sh.brk.Acquire()
 			if err != nil {
 				var open serve.BreakerOpenError
@@ -578,7 +668,7 @@ func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte
 			go func() {
 				defer c.wg.Done()
 				res := c.attempt(ctx, sh, path, payload)
-				res.shard, res.hedged = idx, hedged
+				res.base, res.hedged = sh.base, hedged
 				failed := res.err != nil || res.status >= 500
 				if res.err != nil && ctx.Err() != nil {
 					// The coordinator cancelled this attempt itself — a
@@ -592,6 +682,9 @@ func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte
 					sh.failures.Add(1)
 				}
 				done(failed)
+				if res.hedged && res.err == nil && res.status < 500 && res.status != http.StatusTooManyRequests {
+					sh.hedgeWins.Add(1)
+				}
 				results <- res
 			}()
 			inFlight++
@@ -616,7 +709,6 @@ func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte
 			if usable {
 				if res.hedged {
 					c.m.hedgeWins.Add(1)
-					c.shards[res.shard].hedgeWins.Add(1)
 				}
 				return &res, nil
 			}

@@ -94,6 +94,10 @@ func (c *Coordinator) handleChaos(w http.ResponseWriter, r *http.Request) {
 	start := c.cfg.Clock()
 	c.m.fanouts.Add(1)
 
+	// One routing view for the whole campaign: a membership change
+	// mid-fan-out affects later requests, never this one's shard set.
+	view := c.currentView()
+
 	// Admit shards through their breakers; refused shards are recorded,
 	// not waited for.
 	type admitted struct {
@@ -101,8 +105,8 @@ func (c *Coordinator) handleChaos(w http.ResponseWriter, r *http.Request) {
 		done func(failed bool)
 	}
 	var admit []admitted
-	outcomes := make([]ShardOutcome, len(c.shards))
-	for i, sh := range c.shards {
+	outcomes := make([]ShardOutcome, len(view.shards))
+	for i, sh := range view.shards {
 		outcomes[i] = ShardOutcome{Backend: sh.base}
 		done, err := sh.brk.Acquire()
 		if err != nil {
@@ -126,7 +130,7 @@ func (c *Coordinator) handleChaos(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := c.boundedCtx(r.Context())
 	defer cancel()
 
-	replies := make([]*chaosShardReply, len(c.shards))
+	replies := make([]*chaosShardReply, len(view.shards))
 	var wgLocal sync.WaitGroup
 	for j, ad := range admit {
 		n := base
@@ -153,7 +157,7 @@ func (c *Coordinator) handleChaos(w http.ResponseWriter, r *http.Request) {
 		go func(ad admitted, payload []byte) {
 			defer wgLocal.Done()
 			defer c.wg.Done()
-			sh := c.shards[ad.idx]
+			sh := view.shards[ad.idx]
 			sh.requests.Add(1)
 			t0 := c.cfg.Clock()
 			res := c.attempt(ctx, sh, "/v1/chaos", payload)
@@ -188,7 +192,7 @@ func (c *Coordinator) handleChaos(w http.ResponseWriter, r *http.Request) {
 		ElapsedMs:         c.cfg.Clock().Sub(start).Milliseconds(),
 	}
 	completed := 0
-	for i := range c.shards {
+	for i := range view.shards {
 		rep := replies[i]
 		if rep == nil {
 			if outcomes[i].Planned > 0 || outcomes[i].Skipped {

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// Warm handoff: when a backend joins the ring (admin POST) or is
+// readmitted after an ejection, it starts cold for the key range the
+// new epoch assigns to it — every request it now owns would be an
+// engine miss until its caches refill. The handoff turns that latency
+// cliff into a bounded rebalance: the coordinator replays warm verdicts
+// for the newcomer's key range, sourced from its own warm map (a
+// superset of its LRU hot set) plus exports pulled from the newcomer's
+// ring neighbors — the shards that, as hedge/failover targets, most
+// likely answered those keys while the newcomer was away.
+//
+// The handoff is best-effort and bounded (HandoffMaxEntries keys,
+// HandoffTimeout wall clock): verdicts are deterministic facts, so a
+// truncated or failed handoff costs recomputation, never correctness.
+
+// handoffNeighbors is how many ring successors a handoff pulls exports
+// from. Matching Config.Replicas would be natural, but 2 keeps the
+// fan-in bounded even on wide replica configs.
+const handoffNeighbors = 2
+
+// startHandoff launches the asynchronous warm handoff for base, which
+// must be a routable member of view. Called outside memMu.
+func (c *Coordinator) startHandoff(base string, view *epochView) {
+	if c.cfg.HandoffMaxEntries < 0 || view == nil {
+		c.m.handoffSkipped.Add(1)
+		return
+	}
+	idx := -1
+	for i, b := range view.bases {
+		if b == base {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(view.bases) < 2 {
+		// Not routable in this view (raced with an eject), or there is no
+		// peer to be warmed from.
+		c.m.handoffSkipped.Add(1)
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.HandoffTimeout)
+		defer cancel()
+		n, err := c.handoff(ctx, view, idx)
+		if err != nil {
+			c.m.handoffErrors.Add(1)
+			c.cfg.Logf("coordinator: handoff to %s failed: %v", base, err)
+			return
+		}
+		c.m.handoffs.Add(1)
+		c.m.handoffKeys.Add(int64(n))
+		c.cfg.Logf("coordinator: handoff to %s: %d warm verdicts", base, n)
+	}()
+}
+
+// handoff collects warm verdicts owned by member idx in view and pushes
+// them to that backend. Returns how many entries were sent.
+func (c *Coordinator) handoff(ctx context.Context, view *epochView, idx int) (int, error) {
+	target := view.shards[idx]
+	limit := c.cfg.HandoffMaxEntries
+
+	// Collect candidates: coordinator warm map first (cheap, local, and
+	// a superset of the coordinator's hot set), then neighbor exports.
+	collected := make(map[string]json.RawMessage)
+	owns := func(key string) bool { return view.ring.Owner(key) == idx }
+
+	c.warmMu.RLock()
+	for k, v := range c.warmMap {
+		if len(collected) >= limit {
+			break
+		}
+		if owns(k) {
+			collected[k] = v
+		}
+	}
+	c.warmMu.RUnlock()
+
+	for _, nb := range view.ring.Successors(idx, handoffNeighbors) {
+		if len(collected) >= limit {
+			break
+		}
+		entries, err := c.pullExport(ctx, view.shards[nb].base)
+		if err != nil {
+			// A dead neighbor must not sink the handoff; the local warm
+			// map and other neighbors still contribute.
+			c.cfg.Logf("coordinator: handoff export from %s: %v", view.shards[nb].base, err)
+			continue
+		}
+		exported := 0
+		for _, e := range entries {
+			if len(collected) >= limit {
+				break
+			}
+			if _, dup := collected[e.K]; dup || !owns(e.K) {
+				continue
+			}
+			collected[e.K] = e.V
+			exported++
+		}
+		view.shards[nb].exportedKeys.Add(int64(exported))
+	}
+	if len(collected) == 0 {
+		return 0, nil
+	}
+
+	batch := struct {
+		Entries []serve.WarmEntry `json:"entries"`
+	}{Entries: make([]serve.WarmEntry, 0, len(collected))}
+	for k, v := range collected {
+		batch.Entries = append(batch.Entries, serve.WarmEntry{K: k, V: v})
+	}
+	payload, err := json.Marshal(batch)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target.base+"/v1/warm/import", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("import returned HTTP %d: %s", resp.StatusCode, truncate(body, 200))
+	}
+	var rep serve.WarmImportResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return 0, fmt.Errorf("bad import reply: %w", err)
+	}
+	target.handoffKeys.Add(int64(rep.Imported))
+	return len(batch.Entries), nil
+}
+
+// pullExport fetches a neighbor's warm export, bounded by the handoff
+// entry budget.
+func (c *Coordinator) pullExport(ctx context.Context, base string) ([]serve.WarmEntry, error) {
+	url := fmt.Sprintf("%s/v1/warm/export?max=%d", base, c.cfg.HandoffMaxEntries)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("export returned HTTP %d: %s", resp.StatusCode, truncate(body, 200))
+	}
+	var rep serve.WarmExportResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("bad export reply: %w", err)
+	}
+	return rep.Entries, nil
+}

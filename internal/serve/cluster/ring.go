@@ -11,7 +11,12 @@
 // has a replica set, a per-shard circuit breaker decides when a shard
 // is (temporarily) crashed, and a hedged second request bounds the
 // latency an adaptive adversary can extract by slowing exactly the
-// shard a key hashes to. DESIGN.md §3d spells out the full model.
+// shard a key hashes to. Since the live-membership work, the adversary
+// may also add and remove parties mid-run: membership is an
+// epoch-versioned copy-on-write table (see membership.go), an active
+// prober ejects dead backends from routing and readmits recovered
+// ones, and rejoining shards are warmed by a bounded verdict handoff.
+// DESIGN.md §3d spells out the full model.
 package cluster
 
 import (
@@ -21,32 +26,36 @@ import (
 )
 
 // ringPoint is one virtual node: a position on the 64-bit ring owned by
-// a backend index.
+// a member index.
 type ringPoint struct {
-	hash    uint64
-	backend int
+	hash   uint64
+	member int
 }
 
-// Ring is a consistent-hash ring over backend indices with virtual
-// nodes. It is immutable after construction: membership is fixed at
-// coordinator boot, and liveness is the breakers' job, not the ring's —
-// a dead shard stays on the ring and its keys hedge to successors, so
-// keys do not migrate (and caches do not churn) on transient failures.
+// Ring is a consistent-hash ring over a fixed member list with virtual
+// nodes. A Ring value is immutable — live membership is expressed by
+// building a NEW ring for each epoch (copy-on-write, see membership.go)
+// rather than mutating one in place, so in-flight requests keep a
+// coherent view. Vnode positions hash the member's stable identity (its
+// base URL), not its slice index: adding or removing one member leaves
+// every other member's points untouched, which is what makes rebalance
+// minimal (≈1/N of keys change owner, tested in cluster_test.go).
 type Ring struct {
 	points []ringPoint
 	n      int
 }
 
-// NewRing places n backends on the ring with vnodes virtual nodes each
-// (vnodes ≤ 0 defaults to 64).
-func NewRing(n, vnodes int) *Ring {
+// NewRing places the members on the ring with vnodes virtual nodes each
+// (vnodes ≤ 0 defaults to 64). Replicas/Owner return indices into the
+// given slice.
+func NewRing(members []string, vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = 64
 	}
-	r := &Ring{n: n, points: make([]ringPoint, 0, n*vnodes)}
-	for b := 0; b < n; b++ {
+	r := &Ring{n: len(members), points: make([]ringPoint, 0, len(members)*vnodes)}
+	for m, id := range members {
 		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d#%d", b, v)), backend: b})
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", id, v)), member: m})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
@@ -54,8 +63,8 @@ func NewRing(n, vnodes int) *Ring {
 }
 
 // hash64 is fnv-1a finished with a SplitMix64 mix. Raw fnv-1a has weak
-// avalanche on near-identical short strings — the vnode labels differ
-// only in trailing digits, and without the finalizer a 3-backend ring
+// avalanche on near-identical short strings — vnode labels differ only
+// in trailing digits, and without the finalizer a 3-backend ring
 // measured a 56%/35%/9% key split. The mix restores uniformity.
 func hash64(s string) uint64 {
 	h := fnv.New64a()
@@ -69,10 +78,10 @@ func hash64(s string) uint64 {
 	return x
 }
 
-// Replicas returns up to k distinct backends for key, in ring order
+// Replicas returns up to k distinct members for key, in ring order
 // starting at the key's successor point: Replicas(key, k)[0] is the
 // primary shard, the rest are its hedge/failover candidates. k is
-// clamped to the backend count.
+// clamped to the member count.
 func (r *Ring) Replicas(key string, k int) []int {
 	if r.n == 0 {
 		return nil
@@ -89,9 +98,54 @@ func (r *Ring) Replicas(key string, k int) []int {
 	seen := make(map[int]bool, k)
 	for i := 0; len(out) < k && i < len(r.points); i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if !seen[p.backend] {
-			seen[p.backend] = true
-			out = append(out, p.backend)
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// Owner returns the member index owning key (its primary shard), or -1
+// on an empty ring.
+func (r *Ring) Owner(key string) int {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return -1
+	}
+	return reps[0]
+}
+
+// Successors returns up to k distinct members that follow member m on
+// the ring — m's "neighbors" in the handoff sense: the shards most
+// likely to have answered, as hedge/failover targets, the keys the
+// current epoch assigns to m. m itself is excluded.
+func (r *Ring) Successors(m, k int) []int {
+	if r.n <= 1 || k <= 0 {
+		return nil
+	}
+	if k > r.n-1 {
+		k = r.n - 1
+	}
+	// Start from m's first point; walk forward collecting distinct other
+	// members in ring order.
+	start := -1
+	for i, p := range r.points {
+		if p.member == m {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	seen := map[int]bool{m: true}
+	for i := 1; len(out) < k && i <= len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
 		}
 	}
 	return out

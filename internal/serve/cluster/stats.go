@@ -5,22 +5,45 @@ import "net/http"
 // ShardStats is one backend's health and traffic snapshot.
 type ShardStats struct {
 	Backend      string `json:"backend"`
+	State        string `json:"state"` // active | suspect | ejected
 	Breaker      string `json:"breaker"`
 	BreakerFails int    `json:"breakerConsecutiveFails"`
 	Requests     int64  `json:"requests"`
 	Failures     int64  `json:"failures"`
 	Hedges       int64  `json:"hedges"`
 	HedgeWins    int64  `json:"hedgeWins"`
+	Ejections    int64  `json:"ejections,omitempty"`
+	HandoffKeys  int64  `json:"handoffKeys,omitempty"`
+	ExportedKeys int64  `json:"exportedKeys,omitempty"`
+}
+
+// MembershipStats is the live-membership block of /v1/stats: epoch
+// bookkeeping, prober verdicts, and handoff accounting.
+type MembershipStats struct {
+	Epoch        int64         `json:"epoch"`
+	EpochSwaps   int64         `json:"epochSwaps"`
+	Members      int           `json:"members"`  // known, any state
+	Routable     int           `json:"routable"` // on the current ring
+	Joins        int64         `json:"joins"`
+	Leaves       int64         `json:"leaves"`
+	Probes       int64         `json:"probes"`
+	ProbeFails   int64         `json:"probeFailures"`
+	Ejections    int64         `json:"ejections"`
+	Readmissions int64         `json:"readmissions"`
+	Handoffs     int64         `json:"handoffs"`
+	HandoffKeys  int64         `json:"handoffKeys"`
+	HandoffErrs  int64         `json:"handoffErrors"`
+	EpochHistory []epochRecord `json:"epochHistory,omitempty"`
 }
 
 // Stats is the GET /v1/stats (and /varz) cluster snapshot: the hedge,
-// failover, and breaker counters the chaos harness asserts on, plus the
-// two-tier cache gauges.
+// failover, and breaker counters the chaos harness asserts on, the
+// two-tier cache gauges, and the membership/epoch block.
 type Stats struct {
 	Ready         bool    `json:"ready"`
 	Draining      bool    `json:"draining"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
-	Backends      int     `json:"backends"`
+	Backends      int     `json:"backends"` // routable members this epoch
 	Replicas      int     `json:"replicas"`
 
 	Requests      int64 `json:"requests"`
@@ -43,16 +66,21 @@ type Stats struct {
 	FanoutPartials  int64 `json:"fanoutPartials"`
 	FanoutFailures  int64 `json:"fanoutShardFailures"`
 
+	Membership MembershipStats `json:"membership"`
+
 	Shards []ShardStats `json:"shards"`
 }
 
-// StatsSnapshot assembles the current cluster stats.
+// StatsSnapshot assembles the current cluster stats. Shards lists every
+// known member (ejected ones included — their counters explain the
+// traffic they took before ejection).
 func (c *Coordinator) StatsSnapshot() Stats {
+	view := c.currentView()
 	st := Stats{
 		Ready:           c.ready.Load(),
 		Draining:        c.draining.Load(),
 		UptimeSeconds:   c.cfg.Clock().Sub(c.started).Seconds(),
-		Backends:        len(c.shards),
+		Backends:        len(view.shards),
 		Replicas:        c.cfg.Replicas,
 		Requests:        c.m.requests.Load(),
 		KeyedRequests:   c.m.keyed.Load(),
@@ -71,18 +99,42 @@ func (c *Coordinator) StatsSnapshot() Stats {
 		FanoutPartials:  c.m.fanoutPartials.Load(),
 		FanoutFailures:  c.m.fanoutFailures.Load(),
 	}
-	for _, sh := range c.shards {
-		state, fails := sh.brk.Snapshot()
+	st.Membership = MembershipStats{
+		Epoch:        view.seq,
+		EpochSwaps:   c.m.epochSwaps.Load(),
+		Routable:     len(view.shards),
+		Joins:        c.m.joins.Load(),
+		Leaves:       c.m.leaves.Load(),
+		Probes:       c.m.probes.Load(),
+		ProbeFails:   c.m.probeFailures.Load(),
+		Ejections:    c.m.ejections.Load(),
+		Readmissions: c.m.readmissions.Load(),
+		Handoffs:     c.m.handoffs.Load(),
+		HandoffKeys:  c.m.handoffKeys.Load(),
+		HandoffErrs:  c.m.handoffErrors.Load(),
+	}
+
+	c.memMu.Lock()
+	st.Membership.Members = len(c.members)
+	st.Membership.EpochHistory = append([]epochRecord(nil), c.epochHist...)
+	for _, base := range c.memOrder {
+		m := c.members[base]
+		state, fails := m.sh.brk.Snapshot()
 		st.Shards = append(st.Shards, ShardStats{
-			Backend:      sh.base,
+			Backend:      base,
+			State:        m.state.String(),
 			Breaker:      state,
 			BreakerFails: fails,
-			Requests:     sh.requests.Load(),
-			Failures:     sh.failures.Load(),
-			Hedges:       sh.hedges.Load(),
-			HedgeWins:    sh.hedgeWins.Load(),
+			Requests:     m.sh.requests.Load(),
+			Failures:     m.sh.failures.Load(),
+			Hedges:       m.sh.hedges.Load(),
+			HedgeWins:    m.sh.hedgeWins.Load(),
+			Ejections:    m.ejections,
+			HandoffKeys:  m.sh.handoffKeys.Load(),
+			ExportedKeys: m.sh.exportedKeys.Load(),
 		})
 	}
+	c.memMu.Unlock()
 	return st
 }
 

@@ -34,6 +34,8 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, s.varz())
 	})
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /v1/warm/export", s.protect(classLight, s.handleWarmExport))
+	s.mux.Handle("POST /v1/warm/import", s.protect(classLight, s.handleWarmImport))
 	s.mux.Handle("POST /v1/classify", s.protect(classLight, s.handleClassify))
 	s.mux.Handle("POST /v1/index", s.protect(classLight, s.handleIndex))
 	s.mux.Handle("POST /v1/unindex", s.protect(classLight, s.handleUnindex))

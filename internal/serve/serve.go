@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -167,9 +168,14 @@ type Server struct {
 	brk    *Breaker
 	// warm is the persistent verdict tier (nil unless WarmStorePath is
 	// set and the store opened cleanly); warmLoaded counts the verdicts
-	// usable at boot.
-	warm       *VerdictStore
-	warmLoaded int
+	// usable at boot. warmVals is the in-memory mirror the result cache
+	// consults on LRU misses and /v1/warm/export enumerates for cluster
+	// handoffs; warmImported counts entries accepted via /v1/warm/import.
+	warm         *VerdictStore
+	warmLoaded   int
+	warmMu       sync.RWMutex
+	warmVals     map[string]any
+	warmImported atomic.Int64
 
 	// baseCtx is the computation lifetime: singleflight leaders run
 	// under it so request disconnects don't kill shared work. It is
@@ -188,16 +194,19 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		cache: newResultCache(cfg.CacheEntries),
-		heavy: newGate(cfg.AnalysisConcurrency, cfg.QueueDepth, time.Second),
-		light: newGate(cfg.LightConcurrency, 4*cfg.QueueDepth, time.Second),
-		brk:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		cache:    newResultCache(cfg.CacheEntries),
+		heavy:    newGate(cfg.AnalysisConcurrency, cfg.QueueDepth, time.Second),
+		light:    newGate(cfg.LightConcurrency, 4*cfg.QueueDepth, time.Second),
+		brk:      NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		warmVals: make(map[string]any),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.started = cfg.Clock()
 	s.cache.onPanic = s.panicDiag
+	s.cache.warmGet = s.warmLookup
+	s.cache.persist = s.persistVerdict
 	if cfg.WarmStorePath != "" {
 		s.attachWarmStore(cfg.WarmStorePath)
 	}
@@ -433,6 +442,7 @@ type Varz struct {
 	WarmHits           int64   `json:"warmHits"`
 	WarmLoaded         int     `json:"warmLoaded"`
 	WarmStored         int     `json:"warmStored"`
+	WarmImported       int64   `json:"warmImported"`
 	SingleflightShared int64   `json:"singleflightShared"`
 	BreakerState       string  `json:"breakerState"`
 	BreakerFails       int     `json:"breakerConsecutiveFails"`
@@ -462,6 +472,7 @@ func (s *Server) varz() Varz {
 		WarmHits:           s.cache.warmHits.Load(),
 		WarmLoaded:         s.warmLoaded,
 		WarmStored:         s.warm.Len(),
+		WarmImported:       s.warmImported.Load(),
 		SingleflightShared: s.cache.shared.Load(),
 		BreakerState:       state,
 		BreakerFails:       fails,

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -18,10 +20,14 @@ import (
 //
 // The file is the durability story, not a database: writes are appended
 // under a mutex with no fsync, later lines win on duplicate keys, and a
-// torn final line (crash mid-append) is skipped on load. Verdicts are
-// deterministic facts about automata, so replaying a stale store can
-// only miss entries, never serve wrong ones — the consistency caveats
-// are spelled out in DESIGN.md.
+// torn final line (crash mid-append) is skipped on load. When the dead
+// weight (duplicate, torn, or foreign lines) crosses a threshold, the
+// load path compacts: the live entries are rewritten to a temp file in
+// the same directory and atomically renamed over the original, so a
+// crash mid-compaction leaves either the old file or the new one, never
+// a hybrid. Verdicts are deterministic facts about automata, so
+// replaying a stale store can only miss entries, never serve wrong ones
+// — the consistency caveats are spelled out in DESIGN.md.
 type VerdictStore struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -29,6 +35,9 @@ type VerdictStore struct {
 	// seen tracks keys already on disk so re-computations after an LRU
 	// eviction don't grow the file without bound.
 	seen map[string]struct{}
+	// compacted reports how many dead lines the load-time compaction
+	// dropped (0 when it didn't run).
+	compacted int
 }
 
 // verdictLine is one stored entry. V stays raw: the owner decides the
@@ -39,8 +48,15 @@ type verdictLine struct {
 	V json.RawMessage `json:"v"`
 }
 
+// warmCompactMinWaste is how many dead lines (duplicates, torn tails,
+// foreign garbage) the load path tolerates before rewriting the file.
+// Small enough that a store thrashed by restarts self-heals quickly,
+// large enough that a handful of torn lines never triggers a rewrite.
+const warmCompactMinWaste = 64
+
 // OpenVerdictStore opens (creating if absent) the store at path and
-// returns it together with every well-formed entry currently on disk.
+// returns it together with every well-formed entry currently on disk,
+// compacting the file first when dead lines exceed the threshold.
 func OpenVerdictStore(path string) (*VerdictStore, map[string]json.RawMessage, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -48,6 +64,7 @@ func OpenVerdictStore(path string) (*VerdictStore, map[string]json.RawMessage, e
 	}
 	entries := make(map[string]json.RawMessage)
 	seen := make(map[string]struct{})
+	rawLines := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
@@ -55,6 +72,7 @@ func OpenVerdictStore(path string) (*VerdictStore, map[string]json.RawMessage, e
 		if line == "" {
 			continue
 		}
+		rawLines++
 		var e verdictLine
 		if err := json.Unmarshal([]byte(line), &e); err != nil || e.K == "" {
 			// Torn or foreign line (e.g. the process died mid-append):
@@ -68,11 +86,89 @@ func OpenVerdictStore(path string) (*VerdictStore, map[string]json.RawMessage, e
 		f.Close()
 		return nil, nil, fmt.Errorf("warm store: reading %s: %w", path, err)
 	}
+	s := &VerdictStore{f: f, path: path, seen: seen}
+	if waste := rawLines - len(entries); waste >= warmCompactMinWaste {
+		if err := s.compact(entries); err != nil {
+			// Compaction is an optimization; a failure (read-only temp dir,
+			// disk full) must not refuse the store. Keep appending to the
+			// bloated file.
+			if _, serr := f.Seek(0, 2); serr != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("warm store: %w", serr)
+			}
+			return s, entries, nil
+		}
+		s.compacted = waste
+		return s, entries, nil
+	}
 	if _, err := f.Seek(0, 2); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("warm store: %w", err)
 	}
-	return &VerdictStore{f: f, path: path, seen: seen}, entries, nil
+	return s, entries, nil
+}
+
+// compact rewrites the store to hold exactly entries, via a temp file in
+// the same directory and an atomic rename, then swaps the store's
+// handle to the fresh file. Keys are written in sorted order so the
+// result is deterministic. Caller owns s (no concurrent Append yet).
+func (s *VerdictStore) compact(entries map[string]json.RawMessage) error {
+	dir, base := filepath.Dir(s.path), filepath.Base(s.path)
+	tmp, err := os.CreateTemp(dir, base+".compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := bufio.NewWriter(tmp)
+	for _, k := range keys {
+		b, err := json.Marshal(verdictLine{K: k, V: entries[k]})
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Sync before rename: the rename must never land a file whose data
+	// is still only in the page cache when the machine dies.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	old := s.f
+	s.f = tmp
+	old.Close()
+	if _, err := s.f.Seek(0, 2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Compacted reports how many dead lines the load-time compaction
+// removed (0 when the store was clean enough to keep).
+func (s *VerdictStore) Compacted() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compacted
 }
 
 // Append persists one verdict. Keys already on disk are skipped — the
@@ -159,47 +255,62 @@ func decodeVerdict(key string, raw json.RawMessage) (any, bool) {
 }
 
 // attachWarmStore wires the warm tier into the result cache: entries
-// loaded from disk answer LRU misses, and fresh successes are appended.
-// Store errors degrade to a log line — a broken warm store must never
-// take down serving.
+// loaded from disk answer LRU misses (via Server.warmLookup), and fresh
+// successes are appended. Store errors degrade to a log line — a broken
+// warm store must never take down serving.
 func (s *Server) attachWarmStore(path string) {
 	store, rawEntries, err := OpenVerdictStore(path)
 	if err != nil {
 		s.cfg.Logf("capserved: warm store disabled: %v", err)
 		return
 	}
-	warm := make(map[string]any, len(rawEntries))
+	s.warmMu.Lock()
 	for k, raw := range rawEntries {
 		if v, ok := decodeVerdict(k, raw); ok {
-			warm[k] = v
+			s.warmVals[k] = v
 		}
 	}
+	loaded := len(s.warmVals)
+	s.warmMu.Unlock()
 	s.warm = store
-	s.warmLoaded = len(warm)
-	var mu sync.RWMutex // guards warm: persist also inserts for this process's lifetime
-	s.cache.warmGet = func(key string) (any, bool) {
-		mu.RLock()
-		v, ok := warm[key]
-		mu.RUnlock()
-		return v, ok
+	s.warmLoaded = loaded
+	if n := store.Compacted(); n > 0 {
+		s.cfg.Logf("capserved: warm store %s compacted (%d dead lines dropped)", path, n)
 	}
-	s.cache.persist = func(key string, val any) {
-		b, err := json.Marshal(val)
-		if err != nil {
-			s.cfg.Logf("capserved: warm store encode %s: %v", key, err)
-			return
-		}
-		// Only persist what a future boot can decode; everything the
-		// heavy path caches today qualifies.
-		if _, ok := decodeVerdict(key, b); !ok {
-			return
-		}
-		mu.Lock()
-		warm[key] = val
-		mu.Unlock()
-		if err := store.Append(key, b); err != nil {
-			s.cfg.Logf("capserved: %v", err)
-		}
+	s.cfg.Logf("capserved: warm store %s loaded %d verdicts", path, loaded)
+}
+
+// warmLookup answers an LRU miss from the in-memory warm map — disk
+// entries loaded at boot plus everything persisted or imported since.
+func (s *Server) warmLookup(key string) (any, bool) {
+	s.warmMu.RLock()
+	v, ok := s.warmVals[key]
+	s.warmMu.RUnlock()
+	return v, ok
+}
+
+// persistVerdict records a fresh singleflight success in the warm tier.
+// Without an attached store this is a no-op: the in-memory map only
+// tracks what disk (or a handoff peer) already knows, so a storeless
+// node keeps its old memory profile.
+func (s *Server) persistVerdict(key string, val any) {
+	if s.warm == nil {
+		return
 	}
-	s.cfg.Logf("capserved: warm store %s loaded %d verdicts", path, len(warm))
+	b, err := json.Marshal(val)
+	if err != nil {
+		s.cfg.Logf("capserved: warm store encode %s: %v", key, err)
+		return
+	}
+	// Only persist what a future boot can decode; everything the heavy
+	// path caches today qualifies.
+	if _, ok := decodeVerdict(key, b); !ok {
+		return
+	}
+	s.warmMu.Lock()
+	s.warmVals[key] = val
+	s.warmMu.Unlock()
+	if err := s.warm.Append(key, b); err != nil {
+		s.cfg.Logf("capserved: %v", err)
+	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/big"
 	"net/http"
 	"os"
@@ -164,5 +165,97 @@ func TestWarmStoreRestartAnswersFromCache(t *testing.T) {
 	}
 	if hits := s2.cache.warmHits.Load(); hits < 1 {
 		t.Fatalf("warmHits = %d, want >= 1", hits)
+	}
+}
+
+// TestVerdictStoreCompactsOnLoad: a store bloated past the waste
+// threshold (duplicates + torn lines) is rewritten at open time via a
+// temp-file rename — the reopened file holds exactly the live entries,
+// appends keep working, and nothing of the dead weight survives.
+func TestVerdictStoreCompactsOnLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "warm.jsonl")
+	var b strings.Builder
+	// warmCompactMinWaste dead lines: the same key rewritten over and
+	// over (restart loops do exactly this across crashes), plus torn
+	// garbage. One extra live line so the final state is two keys.
+	for i := 0; i <= warmCompactMinWaste-1; i++ {
+		fmt.Fprintf(&b, "{\"k\":\"hot\",\"v\":{\"n\":%d}}\n", i)
+	}
+	b.WriteString("torn {garbage\n")
+	b.WriteString(`{"k":"cold","v":{"n":-1}}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, entries, err := OpenVerdictStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(entries))
+	}
+	if string(entries["hot"]) != fmt.Sprintf(`{"n":%d}`, warmCompactMinWaste-1) {
+		t.Fatalf(`entries["hot"] = %s, want the last duplicate to win`, entries["hot"])
+	}
+	if store.Compacted() != warmCompactMinWaste {
+		t.Fatalf("Compacted = %d, want %d", store.Compacted(), warmCompactMinWaste)
+	}
+
+	// On disk: exactly the live entries, one line each.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("compacted file has %d lines, want 2:\n%s", len(lines), data)
+	}
+
+	// Appends land in the fresh file and a reopen sees everything.
+	if err := store.Append("new", json.RawMessage(`{"n":7}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, entries2, err := OpenVerdictStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if len(entries2) != 3 {
+		t.Fatalf("reopen loaded %d entries, want 3: %v", len(entries2), entries2)
+	}
+	if store2.Compacted() != 0 {
+		t.Fatalf("clean store recompacted (%d) on reopen", store2.Compacted())
+	}
+}
+
+// TestVerdictStoreNoCompactionUnderThreshold: a handful of dead lines
+// is tolerated — the file is left byte-identical (no rewrite churn on
+// every boot).
+func TestVerdictStoreNoCompactionUnderThreshold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "warm.jsonl")
+	seed := `{"k":"a","v":{"n":1}}
+{"k":"a","v":{"n":2}}
+half a line {
+`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, entries, err := OpenVerdictStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if len(entries) != 1 || store.Compacted() != 0 {
+		t.Fatalf("entries=%d compacted=%d, want 1 entry and no compaction", len(entries), store.Compacted())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != seed {
+		t.Fatalf("under-threshold store was rewritten:\n%s", data)
 	}
 }

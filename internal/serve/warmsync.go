@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Warm-tier synchronization surface, consumed by the cluster
+// coordinator's membership handoff (internal/serve/cluster): when a
+// backend joins or is readmitted to the ring, the coordinator exports
+// warm verdicts from the newcomer's ring neighbors and imports the
+// slice of them the new epoch assigns to it. Entries travel in the
+// verdict-store wire shape ({k, v} with v raw), so export/import
+// round-trips losslessly and interoperates with coordinator-side warm
+// maps that hold raw response bodies.
+
+// WarmEntry is one exported verdict: canonical cache key plus the
+// marshalled verdict body.
+type WarmEntry struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// WarmExportResponse is the GET /v1/warm/export body.
+type WarmExportResponse struct {
+	Entries   []WarmEntry `json:"entries"`
+	Truncated bool        `json:"truncated,omitempty"`
+}
+
+// WarmImportResponse is the POST /v1/warm/import body.
+type WarmImportResponse struct {
+	Imported int `json:"imported"`
+	Skipped  int `json:"skipped"`
+}
+
+// handleWarmExport streams up to ?max= warm verdicts (default 4096):
+// the LRU hot set first (most recent first — the entries a newcomer
+// most wants), then the rest of the warm map. Each entry appears once.
+func (s *Server) handleWarmExport(w http.ResponseWriter, r *http.Request) {
+	max := 4096
+	if q := r.URL.Query().Get("max"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			max = n
+		}
+	}
+	resp := WarmExportResponse{}
+	seen := make(map[string]bool)
+	add := func(key string, val any) bool {
+		if seen[key] {
+			return true
+		}
+		b, err := json.Marshal(val)
+		if err != nil {
+			return true
+		}
+		// Only export what decodes back: foreign LRU entries (non-verdict
+		// caches) would be dead weight on the receiving node.
+		if _, ok := decodeVerdict(key, b); !ok {
+			return true
+		}
+		seen[key] = true
+		resp.Entries = append(resp.Entries, WarmEntry{K: key, V: b})
+		return len(resp.Entries) < max
+	}
+	full := true
+	s.cache.lru.Range(func(key string, val any) bool {
+		full = add(key, val)
+		return full
+	})
+	if full {
+		s.warmMu.RLock()
+		for k, v := range s.warmVals {
+			if !add(k, v) {
+				full = false
+				break
+			}
+		}
+		s.warmMu.RUnlock()
+	}
+	resp.Truncated = !full
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWarmImport accepts a batch of warm verdicts and installs the
+// decodable ones into the warm map, the LRU (so they serve hot
+// immediately), and the persistent store when one is attached.
+// Undecodable or malformed entries are counted, not fatal — a handoff
+// from a newer coordinator must warm what it can.
+func (s *Server) handleWarmImport(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Entries []WarmEntry `json:"entries"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	resp := WarmImportResponse{}
+	for _, e := range req.Entries {
+		v, ok := decodeVerdict(e.K, e.V)
+		if !ok {
+			resp.Skipped++
+			continue
+		}
+		s.warmMu.Lock()
+		_, dup := s.warmVals[e.K]
+		if !dup {
+			s.warmVals[e.K] = v
+		}
+		s.warmMu.Unlock()
+		if dup {
+			resp.Skipped++
+			continue
+		}
+		s.cache.lru.Put(e.K, v)
+		if err := s.warm.Append(e.K, e.V); err != nil {
+			s.cfg.Logf("capserved: warm import: %v", err)
+		}
+		resp.Imported++
+	}
+	s.warmImported.Add(int64(resp.Imported))
+	if resp.Imported > 0 {
+		s.cfg.Logf("capserved: warm import: %d verdicts accepted, %d skipped", resp.Imported, resp.Skipped)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -8,7 +8,9 @@
 #
 # A second leg (skippable with SMOKE_CLUSTER=0) smokes the cluster
 # mode: three backends behind `capserved -coordinator`, with one
-# backend SIGKILLed mid-run — the fleet must keep answering.
+# backend SIGKILLed mid-run — the fleet must keep answering, the health
+# prober must eject the corpse, and the membership admin API must
+# support removing and re-adding a live backend under queries.
 set -eu
 
 cd "$(dirname "$0")"
@@ -262,6 +264,66 @@ if [ "${SMOKE_CLUSTER:-1}" = "1" ]; then
 	CSTATS="$(curl -fsS "${CBASE}/v1/stats")"
 	echo "${CSTATS}" | grep -Eq '"(hedges|failovers)": [1-9]' || {
 		echo "smoke: no hedges or failovers after killing a backend: ${CSTATS}" >&2
+		exit 1
+	}
+
+	# --- membership churn under the admin API -------------------------
+	# The prober (on by default, 1s interval) must notice the SIGKILLed
+	# backend and eject it from the ring.
+	i=0
+	until curl -fsS "${CBASE}/v1/cluster/members" | grep -q '"state": "ejected"'; do
+		i=$((i + 1))
+		[ $i -ge 100 ] && {
+			echo "smoke: prober never ejected the killed backend:" >&2
+			curl -s "${CBASE}/v1/cluster/members" >&2 || true
+			exit 1
+		}
+		sleep 0.1
+	done
+
+	# Remove a *live* backend via the admin API, keep querying (every
+	# body below is a fresh automaton — a cache miss that must route),
+	# then re-add it. No reply may be a 5xx at any point (curl -f fails
+	# the script on any HTTP error).
+	BK3_BASE="${BK_BASES##*,}"
+	curl -fsS -G -X DELETE --data-urlencode "backend=${BK3_BASE}" \
+		-o "${WORK}/members.json" "${CBASE}/v1/cluster/members"
+	grep -q "${BK3_BASE}" "${WORK}/members.json" && {
+		echo "smoke: removed backend still listed:" >&2
+		cat "${WORK}/members.json" >&2
+		exit 1
+	}
+	for word in bbw bbb wwww wwwb; do
+		CR="$(curl -fsS -X POST -d "{\"scheme\":\"S2\",\"minus\":[\"${word}(.)\"],\"horizon\":4}" "${CBASE}/v1/solvable")" || {
+			echo "smoke: cluster query minus=${word} failed after member removal" >&2
+			exit 1
+		}
+		echo "${CR}" | grep -q '"solvable":' || {
+			echo "smoke: cluster query minus=${word} returned no verdict: ${CR}" >&2
+			exit 1
+		}
+	done
+	curl -fsS -X POST -d "{\"backend\":\"${BK3_BASE}\"}" \
+		-o "${WORK}/members.json" "${CBASE}/v1/cluster/members"
+	grep -q "${BK3_BASE}" "${WORK}/members.json" || {
+		echo "smoke: re-added backend missing from members:" >&2
+		cat "${WORK}/members.json" >&2
+		exit 1
+	}
+	for word in wbbw wbbb bwww bwwb; do
+		CR="$(curl -fsS -X POST -d "{\"scheme\":\"S2\",\"minus\":[\"${word}(.)\"],\"horizon\":4}" "${CBASE}/v1/solvable")" || {
+			echo "smoke: cluster query minus=${word} failed after member re-add" >&2
+			exit 1
+		}
+		echo "${CR}" | grep -q '"solvable":' || {
+			echo "smoke: cluster query minus=${word} returned no verdict: ${CR}" >&2
+			exit 1
+		}
+	done
+	# The epoch must have advanced: boot (1) + eject + leave + join >= 4.
+	curl -fsS "${CBASE}/v1/cluster/members" | grep -Eq '"epoch": [4-9]' || {
+		echo "smoke: membership epoch did not advance through churn:" >&2
+		curl -s "${CBASE}/v1/cluster/members" >&2 || true
 		exit 1
 	}
 

@@ -7,7 +7,8 @@
 # native-fuzz pass per fuzz target (go test runs one -fuzz target per
 # invocation) + a capserved lifecycle smoke (serve, query, SIGTERM,
 # assert a clean drained exit) — which now includes a 3-node coordinator
-# leg with a mid-run backend kill — + a short capbench cluster load run.
+# leg with a mid-run backend kill and an admin-API membership-churn leg
+# — + a short capbench cluster load run with a churn phase.
 set -eu
 
 cd "$(dirname "$0")"
@@ -59,15 +60,24 @@ echo "== capserved smoke (default backend + 3-node coordinator) =="
 echo "== capserved smoke (enumerate backend) =="
 SMOKE_BACKEND=enumerate SMOKE_CLUSTER=0 ./smoke_capserved.sh
 
-echo "== capbench (short cluster load run) =="
-# A brief self-contained 3-backend run: report only (no p99 bar — the
-# gating ratio run is scripts/bench_cluster.sh), but the generator,
-# coordinator, hedging, and stats scrape all have to work end to end.
-# CI uploads the report as an artifact.
+echo "== capbench (short cluster load + churn run) =="
+# A brief self-contained 3-backend run: report only (no bars — the
+# gating runs are scripts/bench_cluster.sh and scripts/bench_churn.sh),
+# but the generator, coordinator, hedging, the health prober's
+# eject/readmit cycle, and the stats scrape all have to work end to
+# end. CI uploads the report as an artifact.
 go run ./cmd/capbench -rps 40 -duration 2s -warmup 500ms -max-horizon 5 \
-	-out capbench_report.json
+	-churn -out capbench_report.json
 grep -q '"one-slow-backend"' capbench_report.json || {
 	echo "verify.sh: capbench report is missing the degraded phase" >&2
+	exit 1
+}
+grep -q '"churn"' capbench_report.json || {
+	echo "verify.sh: capbench report is missing the churn phase" >&2
+	exit 1
+}
+grep -q '"churnConverged": true' capbench_report.json || {
+	echo "verify.sh: churn phase did not converge (killed backend not readmitted)" >&2
 	exit 1
 }
 
