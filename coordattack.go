@@ -320,6 +320,16 @@ type EngineOptions = fullinfo.Options
 // (fullinfo.Defaults: parallel, exhaustive, automatic backend).
 func EngineDefaults() EngineOptions { return fullinfo.Defaults() }
 
+// EngineScratch is a reusable arena of engine state (interner tables,
+// worker forks, frontier buffers); attach one via EngineOptions.Scratch
+// so cache-miss requests reuse allocations instead of repaying them
+// per run. One arena serves one run at a time — pool them (sync.Pool)
+// for concurrent callers. See fullinfo.Scratch for the contract.
+type EngineScratch = fullinfo.Scratch
+
+// NewEngineScratch returns an empty reusable engine arena.
+func NewEngineScratch() *EngineScratch { return fullinfo.NewScratch() }
+
 // EngineBackend selects the analysis backend: the symbolic
 // index-interval engine (chain-structured schemes decided by interval
 // arithmetic on Definition III.1's index bijection), the per-history

@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +65,12 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 	p99Bar := fs.Float64("p99-bar", 0, "fail if degraded/churn p99 > bar x healthy p99 (0 = report only)")
 	churn := fs.Bool("churn", false, "self-contained mode: add a membership-churn phase — one backend is killed mid-phase, auto-ejected by the prober, restarted, and readmitted")
 	availBar := fs.Float64("availability-bar", 0, "fail if churn-phase availability < bar (0 = report only)")
+	batch := fs.Bool("batch", false, "add a batch-vs-single comparison phase over /v1/solve/batch")
+	batchSize := fs.Int("batch-size", 16, "batch mode: items per /v1/solve/batch request")
+	batchItems := fs.Int("batch-items", 512, "batch mode: total items each leg serves")
+	batchWorkers := fs.Int("batch-workers", 8, "batch mode: closed-loop workers per leg")
+	batchBar := fs.Float64("batch-bar", 0, "fail unless batch items/sec >= bar x single-item qps at equal-or-better p99 (0 = report only)")
+	memProfile := fs.String("memprofile", "", "write a heap/alloc pprof profile here at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,8 +91,15 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
+	// The default transport keeps only 2 idle conns per host; under the
+	// bench's concurrency that measures TCP dial churn, not the server.
+	transport := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+	}
 	b := &bench{
-		client:     &http.Client{Timeout: 15 * time.Second},
+		client:     &http.Client{Timeout: 15 * time.Second, Transport: transport},
 		mix:        mix,
 		maxHorizon: *maxHorizon,
 		names:      coordattack.SchemeNames(),
@@ -211,6 +226,18 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *batch {
+		cmp := b.runBatchComparison(ctx, *batchItems, *batchSize, *batchWorkers,
+			rand.New(rand.NewSource(*seed+3)))
+		cmp.BatchBar = *batchBar
+		if *batchBar > 0 {
+			ok := cmp.SpeedupX >= *batchBar && cmp.BatchP99Ms <= cmp.SingleP99Ms &&
+				cmp.SingleErrors == 0 && cmp.BatchErrors == 0
+			cmp.BatchOK = &ok
+		}
+		report.Batch = &cmp
+	}
+
 	if resp, err := b.client.Get(b.base + "/v1/stats"); err == nil {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
@@ -241,7 +268,33 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 			report.ChurnP99Ratio, *p99Bar, churnAvailability(report), *availBar, report.ChurnConverged)
 		return 1
 	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(stderr, "capbench: %v\n", err)
+		} else {
+			fmt.Fprintf(stdout, "capbench: heap profile written to %s\n", *memProfile)
+		}
+	}
+	if report.Batch != nil && report.Batch.BatchOK != nil && !*report.Batch.BatchOK {
+		c := report.Batch
+		fmt.Fprintf(stderr,
+			"capbench: batch gate failed: %.2fx single qps (bar %.2fx), batch p99 %.2fms vs single p99 %.2fms, errors %d/%d\n",
+			c.SpeedupX, c.BatchBar, c.BatchP99Ms, c.SingleP99Ms, c.SingleErrors, c.BatchErrors)
+		return 1
+	}
 	return 0
+}
+
+// writeHeapProfile snapshots the heap (alloc_space/alloc_objects
+// included) for artifact upload.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // flush recently freed objects into the profile
+	return pprof.WriteHeapProfile(f)
 }
 
 // churnAvailability digs the churn phase's availability back out of the
@@ -323,6 +376,8 @@ type benchReport struct {
 	AvailabilityBar float64 `json:"availabilityBar,omitempty"`
 	ChurnConverged  bool    `json:"churnConverged,omitempty"`
 	ChurnOK         *bool   `json:"churnOk,omitempty"`
+	// Batch is the batch-vs-single comparison (-batch).
+	Batch *batchComparison `json:"batchComparison,omitempty"`
 	// ClusterStats is the target's final /v1/stats snapshot, embedded
 	// verbatim so the report artifact carries the shard-level picture.
 	ClusterStats json.RawMessage `json:"clusterStats,omitempty"`

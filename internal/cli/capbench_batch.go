@@ -1,0 +1,221 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The -batch phase compares the two ways of asking N solvability
+// questions: one HTTP request per question versus /v1/solve/batch
+// groups of -batch-size. Both legs run the SAME warmed query
+// population with the same number of items in flight (batch keeps
+// workers x batch-size items outstanding, so the single leg runs
+// workers x batch-size closed-loop workers), so the delta isolates the
+// per-request overhead batching amortizes (connection round trips,
+// admission, decode, encode) rather than engine time or offered
+// concurrency. Alloc counts are whole-process mallocs per item (client
+// included), which is what makes them comparable between the legs.
+
+type batchComparison struct {
+	Items     int `json:"items"`
+	BatchSize int `json:"batchSize"`
+	Workers   int `json:"workers"`
+
+	SingleQPS        float64 `json:"singleQps"`
+	SingleP50Ms      float64 `json:"singleP50Ms"`
+	SingleP99Ms      float64 `json:"singleP99Ms"`
+	SingleErrors     int     `json:"singleErrors"`
+	SingleAllocsItem float64 `json:"singleAllocsPerRequest"`
+
+	BatchItemsPerSec float64 `json:"batchItemsPerSec"`
+	BatchP50Ms       float64 `json:"batchP50Ms"`
+	BatchP99Ms       float64 `json:"batchP99Ms"`
+	BatchErrors      int     `json:"batchErrors"`
+	BatchAllocsItem  float64 `json:"batchAllocsPerRequest"`
+
+	// SpeedupX is batch items/sec over single-item qps; the -batch-bar
+	// gate requires SpeedupX >= bar AND BatchP99Ms <= SingleP99Ms.
+	SpeedupX float64 `json:"speedupX"`
+	BatchBar float64 `json:"batchBar,omitempty"`
+	BatchOK  *bool   `json:"batchOk,omitempty"`
+}
+
+// buildBatchQueries generates the shared query population: cacheable
+// solvable requests over the scheme registry.
+func (b *bench) buildBatchQueries(n int, rng *rand.Rand) []string {
+	qs := make([]string, n)
+	for i := range qs {
+		h := 1 + rng.Intn(b.maxHorizon)
+		qs[i] = fmt.Sprintf(`{"scheme":%q,"horizon":%d}`, b.names[rng.Intn(len(b.names))], h)
+	}
+	return qs
+}
+
+func (b *bench) runBatchComparison(ctx context.Context, items, batchSize, workers int, rng *rand.Rand) batchComparison {
+	cmp := batchComparison{Items: items, BatchSize: batchSize, Workers: workers}
+	queries := b.buildBatchQueries(items, rng)
+
+	// Warm every distinct query once so both measured legs exercise the
+	// cached-hit hot path, not engine runs whose cost would drown the
+	// serving overhead being compared.
+	seen := map[string]bool{}
+	for _, q := range queries {
+		if !seen[q] {
+			seen[q] = true
+			b.one(ctx, "warm", "/v1/solvable", q)
+		}
+	}
+
+	singleMs, singleWall, singleErrs, singleAllocs := b.singleLeg(ctx, queries, workers*batchSize)
+	cmp.SingleP50Ms, _, cmp.SingleP99Ms, _ = percentiles(singleMs)
+	cmp.SingleErrors = singleErrs
+	if singleWall > 0 {
+		cmp.SingleQPS = float64(len(singleMs)) / singleWall.Seconds()
+	}
+	cmp.SingleAllocsItem = singleAllocs
+
+	batchMs, batchWall, batchErrs, batchAllocs := b.batchLeg(ctx, queries, batchSize, workers)
+	cmp.BatchP50Ms, _, cmp.BatchP99Ms, _ = percentiles(batchMs)
+	cmp.BatchErrors = batchErrs
+	if batchWall > 0 {
+		cmp.BatchItemsPerSec = float64(len(batchMs)) / batchWall.Seconds()
+	}
+	cmp.BatchAllocsItem = batchAllocs
+	if cmp.SingleQPS > 0 {
+		cmp.SpeedupX = cmp.BatchItemsPerSec / cmp.SingleQPS
+	}
+	return cmp
+}
+
+// mallocsNow reads the process malloc counter (GC-independent: Mallocs
+// is cumulative).
+func mallocsNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// singleLeg issues every query as its own /v1/solvable request from
+// `workers` closed-loop workers.
+func (b *bench) singleLeg(ctx context.Context, queries []string, workers int) (ms []float64, wall time.Duration, errs int, allocsPerItem float64) {
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		errsN   atomic.Int64
+		samples []float64
+	)
+	m0 := mallocsNow()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || ctx.Err() != nil {
+					return
+				}
+				s := b.one(ctx, "single", "/v1/solvable", queries[i])
+				if s.failed || s.status != http.StatusOK {
+					errsN.Add(1)
+				}
+				mu.Lock()
+				samples = append(samples, float64(s.dur)/float64(time.Millisecond))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall = time.Since(start)
+	allocs := float64(mallocsNow() - m0)
+	if len(queries) > 0 {
+		allocsPerItem = allocs / float64(len(queries))
+	}
+	return samples, wall, int(errsN.Load()), allocsPerItem
+}
+
+// batchLeg issues the same queries grouped into /v1/solve/batch bodies
+// of batchSize, from the same number of closed-loop workers. Per-item
+// latency is measured from batch send to that item's line arriving.
+func (b *bench) batchLeg(ctx context.Context, queries []string, batchSize, workers int) (ms []float64, wall time.Duration, errs int, allocsPerItem float64) {
+	var groups []string
+	for at := 0; at < len(queries); at += batchSize {
+		end := min(at+batchSize, len(queries))
+		groups = append(groups, `{"items":[`+strings.Join(queries[at:end], ",")+`]}`)
+	}
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		errsN   atomic.Int64
+		samples []float64
+	)
+	m0 := mallocsNow()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(groups) || ctx.Err() != nil {
+					return
+				}
+				sent := time.Now()
+				lineMs, lineErrs := b.oneBatch(ctx, groups[g], sent)
+				errsN.Add(int64(lineErrs))
+				mu.Lock()
+				samples = append(samples, lineMs...)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall = time.Since(start)
+	allocs := float64(mallocsNow() - m0)
+	if len(queries) > 0 {
+		allocsPerItem = allocs / float64(len(queries))
+	}
+	return samples, wall, int(errsN.Load()), allocsPerItem
+}
+
+// oneBatch sends one batch request and times each streamed line.
+func (b *bench) oneBatch(ctx context.Context, body string, sent time.Time) (lineMs []float64, errs int) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/solve/batch", strings.NewReader(body))
+	if err != nil {
+		return nil, 1
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 1
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 8<<20)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		lineMs = append(lineMs, float64(time.Since(sent))/float64(time.Millisecond))
+		if !strings.Contains(sc.Text(), `"status":200`) {
+			errs++
+		}
+	}
+	if sc.Err() != nil {
+		errs++
+	}
+	return lineMs, errs
+}

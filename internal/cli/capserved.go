@@ -39,6 +39,7 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 	breakerTrip := fs.Int("breaker-trip", 5, "consecutive engine failures that trip the circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Second, "breaker fast-fail window before a half-open probe")
 	maxHorizon := fs.Int("max-horizon", 12, "largest accepted analysis horizon")
+	maxBatch := fs.Int("max-batch", 64, "largest accepted /v1/solve/batch item count")
 	backendStr := fs.String("backend", "auto", "analysis backend for served requests: auto|symbolic|enumerate")
 	warmStore := fs.String("warm-store", "", "path of the persistent warm verdict store (JSON lines, loaded at boot)")
 	coordinator := fs.Bool("coordinator", false, "run as cluster coordinator over -backends instead of serving analyses directly")
@@ -113,6 +114,7 @@ func Capserved(args []string, stdout, stderr io.Writer) int {
 		BreakerThreshold:    *breakerTrip,
 		BreakerCooldown:     *breakerCooldown,
 		MaxHorizon:          *maxHorizon,
+		MaxBatchItems:       *maxBatch,
 		Backend:             backend,
 		Logf:                logf,
 	})

@@ -90,6 +90,14 @@ type Ctx struct {
 // touches at most four distinct (prev, recv) pairs per node.
 const ctxMemoCap = 8
 
+// resetMemo empties the View memo ring. Required when the Ctx's
+// interner is reset for a new run: memoized ids from the previous run
+// would otherwise alias the new id space.
+func (c *Ctx) resetMemo() {
+	c.memoK = [ctxMemoCap]uint64{}
+	c.memoPos = 0
+}
+
 // Buf returns a length-n scratch slice reused across calls.
 func (c *Ctx) Buf(n int) []int {
 	if cap(c.buf) < n {
@@ -159,6 +167,12 @@ type Options struct {
 	// (Engine.Extend). It is called synchronously on the calling
 	// goroutine; keep it cheap.
 	Observer func(Stats)
+	// Scratch, when non-nil, recycles engine state (interner tables,
+	// worker forks, frontier slices, union-finds) across runs. See the
+	// Scratch type for the single-run and BuildGraph caveats; results
+	// are bit-identical with or without it. RunChecked releases the
+	// arena before returning; an Engine holds it until Release.
+	Scratch *Scratch
 }
 
 // DedupMode selects the frontier deduplication policy.
@@ -433,8 +447,24 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 		workers = 1
 	}
 
-	shared := NewInterner(nil)
-	sctx := &Ctx{In: shared}
+	// Arena reuse: the BuildGraph result would alias recycled storage,
+	// so the scratch only engages without it (and when not already
+	// serving another run).
+	scr := opt.Scratch
+	if opt.BuildGraph || !scr.acquire() {
+		scr = nil
+	} else {
+		defer scr.release()
+	}
+	var shared *Interner
+	var sctx *Ctx
+	if scr != nil {
+		sctx = scr.rootCtxFor(false)
+		shared = sctx.In
+	} else {
+		shared = NewInterner(nil)
+		sctx = &Ctx{In: shared}
+	}
 
 	// Roots: one subtree per input assignment.
 	var frontier []node
@@ -549,7 +579,11 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	}
 	pool := make([]*worker, workers)
 	for i := range pool {
-		pool[i] = newWorker(st, shared, r-depth)
+		if scr != nil {
+			pool[i] = scr.workerFor(i, st, shared, r-depth)
+		} else {
+			pool[i] = newWorker(st, shared, r-depth)
+		}
 	}
 	var abort atomic.Bool
 	var cursor atomic.Int64
@@ -596,6 +630,16 @@ func RunChecked(ctx context.Context, st Stepper, r int, opt Options) (Result, *G
 	guf := &compUF{}
 	var gverts flatU64
 	var gkeys []int64
+	if scr != nil {
+		var gv *flatU64
+		guf, gv, gkeys = scr.mergeScratch()
+		gverts = *gv
+		defer func() {
+			// Hand grown merge storage back to the arena.
+			scr.gverts = gverts
+			scr.gkeys = gkeys
+		}()
+	}
 	var configs int64
 	var absorbed int
 	for _, w := range pool {

@@ -223,6 +223,19 @@ func (s *viewShard) insert(prev, recv int, id int32) {
 	bk.n = viewBucketCap + 1
 }
 
+// clearKeep empties the shard for arena reuse, zeroing live entries and
+// truncating so the storage can be re-adopted by a later shardFor. The
+// growZeroed invariant (slots past len are zero) holds afterwards for
+// the whole capacity: clear zeroes [0, len) and [len, cap) was already
+// zero.
+func (s *viewShard) clearKeep() {
+	clear(s.null)
+	s.null = s.null[:0]
+	clear(s.buckets)
+	s.buckets = s.buckets[:0]
+	s.overflow.reset()
+}
+
 // growZeroed extends s to length n, preserving contents and keeping
 // every slot past the old length zero (make zeroes full capacity and
 // the extended region is never written before this returns).

@@ -104,6 +104,10 @@ type Engine struct {
 	sym                *symEngine
 	pendingSymFallback int
 
+	// scr is the arena this engine borrowed its storage from, when
+	// Options.Scratch engaged; Release hands the storage back.
+	scr *Scratch
+
 	err error
 }
 
@@ -140,12 +144,33 @@ func NewEngine(st Stepper, opt Options) *Engine {
 	e := &Engine{
 		st:      st,
 		opt:     opt,
-		sctx:    &Ctx{In: newInterner(nil, false)},
 		n:       n,
 		na:      st.NumActions(),
 		all1:    1<<n - 1,
 		workers: workers,
-		growBuf: make([]int, n),
+	}
+	if scr := opt.Scratch; !opt.BuildGraph && scr.acquire() {
+		// Borrow the arena's storage; Release hands it back grown.
+		e.scr = scr
+		e.sctx = scr.rootCtxFor(false)
+		e.states = scr.states[:0]
+		e.inputs = scr.inputs[:0]
+		e.views = scr.views[:0]
+		e.spStates = scr.spStates[:0]
+		e.spInputs = scr.spInputs[:0]
+		e.spViews = scr.spViews[:0]
+		e.spMults = scr.spMults[:0]
+		e.dt = scr.dt
+		e.uf = scr.uf
+		e.uf.reset()
+		e.vert = scr.vert
+		e.growBuf = sliceLen(scr.growBuf, n)
+	}
+	if e.sctx == nil {
+		e.sctx = &Ctx{In: newInterner(nil, false)}
+	}
+	if e.growBuf == nil {
+		e.growBuf = make([]int, n)
 	}
 	if opt.BuildGraph {
 		e.err = ErrEngineBuildGraph
@@ -167,6 +192,34 @@ func NewEngine(st Stepper, opt Options) *Engine {
 	}
 	return e
 }
+
+// Release hands the engine's borrowed arena storage (with any growth)
+// back to the Scratch it was built with, and is a no-op otherwise. The
+// engine must not be used after Release. Idempotent.
+func (e *Engine) Release() {
+	s := e.scr
+	if s == nil {
+		return
+	}
+	e.scr = nil
+	s.states, s.spStates = e.states, e.spStates
+	s.inputs, s.spInputs = e.inputs, e.spInputs
+	s.views, s.spViews = e.views, e.spViews
+	s.spMults = e.spMults
+	if e.mults != nil {
+		s.mults = e.mults
+	}
+	s.growBuf = e.growBuf
+	s.dt = e.dt
+	s.uf = e.uf
+	s.vert = e.vert
+	s.release()
+	e.err = errEngineReleased
+}
+
+// errEngineReleased poisons an engine whose arena went back to its
+// Scratch: any later call would read recycled storage.
+var errEngineReleased = errors.New("fullinfo: Engine used after Release")
 
 // Horizon returns the round horizon of the live frontier.
 func (e *Engine) Horizon() int {
@@ -629,6 +682,14 @@ func (e *Engine) growPar(ctx context.Context, gs *growStats) error {
 	chunks := make([]growChunk, numChunks)
 	var abort atomic.Bool
 	var wg sync.WaitGroup
+	if e.scr != nil {
+		// Child forks come from the arena freelist; hand them out on
+		// this goroutine so the freelist needs no lock.
+		e.scr.resetKids()
+		for c := 0; c < numChunks; c++ {
+			chunks[c].child = e.scr.childInterner(e.sctx.In)
+		}
+	}
 	for c := 0; c < numChunks; c++ {
 		lo := c * chunkLen
 		hi := min(lo+chunkLen, nodes)
@@ -643,7 +704,9 @@ func (e *Engine) growPar(ctx context.Context, gs *growStats) error {
 				}
 			}()
 			defer recoverStepper(&ch.err)
-			ch.child = NewInterner(e.sctx.In)
+			if ch.child == nil {
+				ch.child = NewInterner(e.sctx.In)
+			}
 			cctx := &Ctx{In: ch.child}
 			var dt dedupTable
 			if dedup {

@@ -91,6 +91,40 @@ func newInterner(parent *Interner, logging bool) *Interner {
 	}
 }
 
+// resetRoot restores a root interner to the state newInterner(nil,
+// logging) constructs, keeping every table's capacity: shard arrays are
+// zeroed in place and re-adopted by shardFor, the tuple map is cleared,
+// and the log/arena truncate. Scratch reuse only; the interner must
+// have no live children.
+func (in *Interner) resetRoot(logging bool) {
+	in.parent = nil
+	in.base, in.next = 0, 0
+	for i := range in.shards {
+		in.shards[i].clearKeep()
+	}
+	in.shards = in.shards[:0]
+	in.bounds = in.bounds[:0]
+	in.views.reset()
+	clear(in.tuples)
+	in.logging = logging
+	in.log = in.log[:0]
+	in.arena = in.arena[:0]
+}
+
+// resetChild restores a child interner to the state NewInterner(parent)
+// constructs, keeping table capacity. The previous fork must have been
+// fully absorbed (or abandoned) first.
+func (in *Interner) resetChild(parent *Interner) {
+	in.parent = parent
+	in.base = parent.next
+	in.next = in.base
+	in.views.reset()
+	clear(in.tuples)
+	in.logging = true
+	in.log = in.log[:0]
+	in.arena = in.arena[:0]
+}
+
 // sealRound records a round boundary: ids created from now on belong
 // to a new round, and view entries keyed by a pre-seal prev land in a
 // fresh shard. Root interners only; the incremental engine calls this
@@ -130,14 +164,21 @@ func (in *Interner) shardFor(prev int) *viewShard {
 	i := in.shardIdx(prev)
 	for len(in.shards) <= i {
 		k := len(in.shards)
-		sh := viewShard{lo: in.shardLo(k)}
+		if k < cap(in.shards) {
+			// Re-adopt a retired shard's storage (zeroed by clearKeep
+			// during resetRoot), so arena reuse keeps shard capacity.
+			in.shards = in.shards[:k+1]
+		} else {
+			in.shards = append(in.shards, viewShard{})
+		}
+		sh := &in.shards[k]
+		sh.lo = in.shardLo(k)
 		if k >= 1 && k-1 < len(in.bounds) {
 			if r := in.bounds[k-1] - sh.lo; r > 0 {
-				sh.null = make([]int32, r)
-				sh.buckets = make([]viewBucket, r)
+				sh.null = growZeroed(sh.null, r)
+				sh.buckets = growZeroed(sh.buckets, r)
 			}
 		}
-		in.shards = append(in.shards, sh)
 	}
 	return &in.shards[i]
 }

@@ -1,0 +1,152 @@
+package fullinfo
+
+// Scratch is an arena of engine state — the root interner's shard
+// tables, worker forks with their child interners, the incremental
+// frontier's parallel slices, and the leaf-scan union-find — reused
+// across runs instead of reallocated per call. A service handling a
+// stream of cache-miss requests hands the same Scratch (typically from
+// a sync.Pool) to each one via Options.Scratch and the flat tables
+// grow to the workload's high-water mark once.
+//
+// A Scratch serves one run at a time. Concurrent runs need one Scratch
+// each; handing an in-use Scratch to a second run is detected and the
+// second run silently falls back to fresh allocation (no sharing, no
+// corruption). Options.BuildGraph also disables the Scratch for that
+// run: the retained Graph would alias arena storage that the next run
+// recycles.
+//
+// Results are bit-identical with and without a Scratch — the reset
+// paths restore exactly the state a fresh allocation starts from, and
+// the differential tests in scratch_test.go pin this.
+type Scratch struct {
+	root    *Interner
+	rootCtx Ctx
+	kids    []*Interner // child-fork freelist (growPar chunks)
+	kidN    int
+	workers []*worker // RunChecked pool
+
+	// RunChecked phase-3 merge scratch.
+	guf    compUF
+	gverts flatU64
+	gkeys  []int64
+
+	// Incremental engine arenas (see Engine).
+	states, spStates []int
+	inputs, spInputs []int32
+	views, spViews   []int
+	mults, spMults   []int64
+	growBuf          []int
+	dt               dedupTable
+	uf               compUF
+	vert             []int32
+
+	inUse bool
+}
+
+// NewScratch returns an empty arena. The zero value is not usable;
+// always construct through here (future fields may need init).
+func NewScratch() *Scratch { return &Scratch{} }
+
+// acquire claims the arena for one run. It returns false when the
+// arena is already serving a run, in which case the caller must
+// allocate fresh state instead.
+func (s *Scratch) acquire() bool {
+	if s == nil || s.inUse {
+		return false
+	}
+	s.inUse = true
+	s.kidN = 0
+	return true
+}
+
+// release returns the arena to the idle state. Idempotent.
+func (s *Scratch) release() {
+	if s != nil {
+		s.inUse = false
+	}
+}
+
+// rootInterner returns the reusable root interner, reset for a fresh
+// run with the given logging mode.
+func (s *Scratch) rootInterner(logging bool) *Interner {
+	if s.root == nil {
+		s.root = newInterner(nil, logging)
+	} else {
+		s.root.resetRoot(logging)
+	}
+	return s.root
+}
+
+// rootCtxFor wraps the reusable root interner in the reusable root Ctx.
+func (s *Scratch) rootCtxFor(logging bool) *Ctx {
+	s.rootCtx.In = s.rootInterner(logging)
+	s.rootCtx.buf = s.rootCtx.buf[:0]
+	s.rootCtx.resetMemo()
+	return &s.rootCtx
+}
+
+// childInterner hands out the next child fork of parent from the
+// freelist, extending it on demand. Forks are recycled per round
+// (resetKids); a fork must be fully absorbed before the next reset.
+func (s *Scratch) childInterner(parent *Interner) *Interner {
+	if s.kidN < len(s.kids) {
+		k := s.kids[s.kidN]
+		s.kidN++
+		k.resetChild(parent)
+		return k
+	}
+	k := NewInterner(parent)
+	s.kids = append(s.kids, k)
+	s.kidN++
+	return k
+}
+
+// resetKids recycles every handed-out child fork for the next round.
+func (s *Scratch) resetKids() { s.kidN = 0 }
+
+// workerFor returns pool slot i prepared for a fresh run: the child
+// interner re-forked from shared, the union-find, vertex table, and
+// DFS scratch all reset with capacity retained.
+func (s *Scratch) workerFor(i int, st Stepper, shared *Interner, height int) *worker {
+	for len(s.workers) <= i {
+		s.workers = append(s.workers, nil)
+	}
+	w := s.workers[i]
+	if w == nil {
+		w = newWorker(st, shared, height)
+		s.workers[i] = w
+		return w
+	}
+	n := st.NumProcs()
+	w.st = st
+	w.n = n
+	w.na = st.NumActions()
+	w.all1 = 1<<n - 1
+	w.height = height
+	w.ctx.In.resetChild(shared)
+	w.ctx.resetMemo()
+	w.uf.reset()
+	w.verts.reset()
+	w.keys = w.keys[:0]
+	w.configs = 0
+	w.views = sliceLen(w.views, (height+1)*n)
+	w.states = sliceLen(w.states, height+1)
+	w.acts = sliceLen(w.acts, height+1)
+	return w
+}
+
+// mergeScratch returns the phase-3 merge structures, reset.
+func (s *Scratch) mergeScratch() (*compUF, *flatU64, []int64) {
+	s.guf.reset()
+	s.gverts.reset()
+	return &s.guf, &s.gverts, s.gkeys[:0]
+}
+
+// sliceLen returns a length-n slice reusing s's storage when possible.
+// Contents are unspecified; callers must write before reading.
+func sliceLen[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -111,6 +111,7 @@ func Analyze(ctx context.Context, req Request) (Report, error) {
 	}
 
 	eng := fullinfo.NewEngine(st, opt)
+	defer eng.Release()
 	var last fullinfo.Result
 	for r := 0; r <= req.Horizon; r++ {
 		res, err := eng.ExtendTo(ctx, r)

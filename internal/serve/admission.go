@@ -25,6 +25,9 @@ type gate struct {
 	queued     atomic.Int64
 	queueDepth int64
 	retryAfter time.Duration
+	// releaseFn is allocated once here: returning the bound method from
+	// acquire would allocate a fresh closure on every admission.
+	releaseFn func()
 }
 
 func newGate(limit, queueDepth int, retryAfter time.Duration) *gate {
@@ -37,11 +40,13 @@ func newGate(limit, queueDepth int, retryAfter time.Duration) *gate {
 	if retryAfter <= 0 {
 		retryAfter = time.Second
 	}
-	return &gate{
+	g := &gate{
 		slots:      make(chan struct{}, limit),
 		queueDepth: int64(queueDepth),
 		retryAfter: retryAfter,
 	}
+	g.releaseFn = g.release
+	return g
 }
 
 // acquire obtains an execution slot. It returns a release callback on
@@ -51,7 +56,7 @@ func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 	// Fast path: free slot, no queueing.
 	select {
 	case g.slots <- struct{}{}:
-		return g.release, nil
+		return g.releaseFn, nil
 	default:
 	}
 	// Slow path: join the bounded queue or shed. The counter may
@@ -64,7 +69,7 @@ func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 	defer g.queued.Add(-1)
 	select {
 	case g.slots <- struct{}{}:
-		return g.release, nil
+		return g.releaseFn, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

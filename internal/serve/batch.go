@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	coordattack "repro"
+)
+
+// POST /v1/solve/batch: N solvability scenarios admitted under ONE
+// heavy admission slot and ONE breaker check, deduplicated against the
+// LRU/warm tiers (and against each other — a repeated key inside the
+// batch computes once), with per-item verdicts streamed as JSON lines
+// the moment each completes. Partial failure is encoded per line: a
+// bad item or a failed computation yields {"index":i,"status":4xx/5xx,
+// "error":...} while its siblings keep streaming.
+
+// batchBodyLimit bounds a batch request body; N scenarios share one
+// body, so the cap is wider than the single-item 1 MiB.
+const batchBodyLimit = 8 << 20
+
+type batchRequest struct {
+	Items []solvableRequest `json:"items"`
+}
+
+// BatchLine is one JSON-lines record of a /v1/solve/batch response
+// stream. Status mirrors what the single-item endpoint would have
+// answered for the scenario: 200 with the verdict inline, or an error
+// status with the error text (and diag ID when the server logged one).
+// Exported because the client and the cluster coordinator decode and
+// re-emit the same shape.
+type BatchLine struct {
+	Index   int               `json:"index"`
+	Status  int               `json:"status"`
+	Verdict *solvableResponse `json:"verdict,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	DiagID  string            `json:"diagId,omitempty"`
+}
+
+// batchItem is one pre-resolved scenario: everything checked before any
+// engine work runs.
+type batchItem struct {
+	sch       *coordattack.Scheme
+	horizon   int
+	minRounds bool
+	key       string
+	badReq    string // non-empty: rejected at parse/validate time
+}
+
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeN(w, r, &req, batchBodyLimit); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch needs at least one item")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.writeError(w, http.StatusBadRequest, "batch of %d items exceeds cap %d", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+	s.m.batches.Add(1)
+	s.m.batchItems.Add(int64(len(req.Items)))
+
+	// Resolve every item up front: invalid items become per-line 400s
+	// without costing the batch any engine work.
+	items := make([]batchItem, len(req.Items))
+	for i := range req.Items {
+		it := &items[i]
+		q := &req.Items[i]
+		sch, err := q.Resolve()
+		if err != nil {
+			it.badReq = err.Error()
+			continue
+		}
+		horizon := q.Horizon
+		if q.MinRounds {
+			horizon = q.MaxHorizon
+		}
+		if horizon < 0 || horizon > s.cfg.MaxHorizon {
+			it.badReq = "horizon out of range"
+			continue
+		}
+		it.sch, it.horizon, it.minRounds = sch, horizon, q.MinRounds
+		it.key = SolvableKey(sch, horizon, q.MinRounds)
+	}
+
+	// One breaker check admits the whole batch's engine work. With the
+	// breaker open, cache and warm hits still stream; only the items
+	// that would need the engine fast-fail with 503.
+	done, berr := s.brk.Acquire()
+	if berr != nil {
+		s.m.breakerFF.Add(1)
+	}
+	settled := false
+	defer func() {
+		if done != nil && !settled {
+			done(true) // unwound mid-batch (panic): settle as failure
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	rctx := r.Context()
+	engineFailed := false
+	for i := range items {
+		line := s.batchLine(rctx, i, &items[i], berr)
+		if line.Status >= 500 && line.Verdict == nil && berr == nil && items[i].badReq == "" {
+			engineFailed = true
+		}
+		jb := getJSONBufCompact()
+		encErr := jb.enc.Encode(line)
+		if encErr == nil {
+			_, encErr = w.Write(jb.buf.Bytes())
+		}
+		putJSONBuf(jb)
+		if encErr != nil {
+			// Client gone or line unencodable: stop streaming. Items
+			// already computed are in the cache for the retry.
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if done != nil {
+		settled = true
+		done(engineFailed)
+	}
+}
+
+// batchLine produces the response line for one batch item: a parse
+// error, a cache/warm hit, a breaker fast-fail, or a fresh computation
+// through the singleflight cache (which also dedups repeats within the
+// batch — the first occurrence computes, later ones hit the LRU).
+func (s *Server) batchLine(rctx context.Context, i int, it *batchItem, berr error) BatchLine {
+	if it.badReq != "" {
+		return BatchLine{Index: i, Status: http.StatusBadRequest, Error: it.badReq}
+	}
+	start := s.cfg.Clock()
+	finish := func(v any, cached, shared bool) BatchLine {
+		resp := v.(solvableResponse)
+		resp.Cached, resp.Shared = cached, shared
+		resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
+		return BatchLine{Index: i, Status: http.StatusOK, Verdict: &resp}
+	}
+	if berr != nil {
+		if v, ok := s.cache.peek(it.key); ok {
+			return finish(v, true, false)
+		}
+		return BatchLine{Index: i, Status: http.StatusServiceUnavailable, Error: berr.Error()}
+	}
+	if rctx.Err() != nil {
+		// The batch deadline expired: stream the remaining items as
+		// timeouts instead of silently truncating the response.
+		s.m.timeouts.Add(1)
+		return BatchLine{Index: i, Status: http.StatusGatewayTimeout, Error: "batch deadline exceeded"}
+	}
+	val, cached, shared, err := s.cache.do(rctx, it.key, func() (any, error) {
+		cctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.ComputeBudget)
+		defer cancel()
+		return s.solveVerdict(cctx, it.sch, it.horizon, it.minRounds)
+	})
+	if err != nil {
+		return batchErrorLine(s, i, err)
+	}
+	return finish(val, cached, shared)
+}
+
+// batchErrorLine maps a compute error onto the per-item status the
+// single-item endpoint would have used (writeComputeError's mapping).
+func batchErrorLine(s *Server, i int, err error) BatchLine {
+	var cp errComputePanic
+	switch {
+	case errors.As(err, &cp):
+		return BatchLine{Index: i, Status: http.StatusInternalServerError,
+			Error: "internal error; see server log", DiagID: cp.DiagID}
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.m.timeouts.Add(1)
+		return BatchLine{Index: i, Status: http.StatusGatewayTimeout, Error: "analysis deadline exceeded"}
+	default:
+		return BatchLine{Index: i, Status: http.StatusInternalServerError, Error: err.Error()}
+	}
+}

@@ -149,19 +149,8 @@ func newResultCache(max int) *resultCache {
 // or warm-store hit; shared reports that the value came from another
 // caller's in-flight computation. Errors are never cached.
 func (rc *resultCache) do(ctx context.Context, key string, fn func() (any, error)) (val any, cached, shared bool, err error) {
-	if v, ok := rc.lru.Get(key); ok {
-		rc.hits.Add(1)
+	if v, ok := rc.peek(key); ok {
 		return v, true, false, nil
-	}
-	if rc.warmGet != nil {
-		if v, ok := rc.warmGet(key); ok {
-			// Promote into the LRU so the hot tier keeps serving it even
-			// if the warm map is large and cold.
-			rc.lru.Put(key, v)
-			rc.hits.Add(1)
-			rc.warmHits.Add(1)
-			return v, true, false, nil
-		}
 	}
 	rc.mu.Lock()
 	if call, ok := rc.calls[key]; ok {
@@ -190,6 +179,27 @@ func (rc *resultCache) do(ctx context.Context, key string, fn func() (any, error
 	case <-ctx.Done():
 		return nil, false, false, ctx.Err()
 	}
+}
+
+// peek consults only the cache tiers — LRU, then the warm store — and
+// never computes. The batch path uses it to keep serving hits while
+// the breaker holds off fresh engine work.
+func (rc *resultCache) peek(key string) (any, bool) {
+	if v, ok := rc.lru.Get(key); ok {
+		rc.hits.Add(1)
+		return v, true
+	}
+	if rc.warmGet != nil {
+		if v, ok := rc.warmGet(key); ok {
+			// Promote into the LRU so the hot tier keeps serving it even
+			// if the warm map is large and cold.
+			rc.lru.Put(key, v)
+			rc.hits.Add(1)
+			rc.warmHits.Add(1)
+			return v, true
+		}
+	}
+	return nil, false
 }
 
 // run executes one singleflight computation. Cleanup is unconditional:

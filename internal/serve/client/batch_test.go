@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMaxBodyBytesTruncation(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		fmt.Fprintf(w, `{"pad":%q}`, strings.Repeat("x", 4096))
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, Options{
+		MaxBodyBytes: 256,
+		Sleep:        recordingSleep(&delays),
+		Rand:         rand.New(rand.NewSource(1)),
+	})
+	err := c.Do(context.Background(), http.MethodGet, "/x", nil, &struct{}{})
+	var trunc *TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("err = %v, want *TruncatedError", err)
+	}
+	if trunc.Limit != 256 {
+		t.Fatalf("TruncatedError.Limit = %d, want 256", trunc.Limit)
+	}
+	// Truncation is deterministic: the client must not have retried.
+	if calls.Load() != 1 || len(delays) != 0 {
+		t.Fatalf("truncated reply was retried (calls=%d, sleeps=%d)", calls.Load(), len(delays))
+	}
+
+	// An exactly-at-limit body must still pass.
+	body := `{"ok":true}`
+	c2 := New(ts.URL, Options{MaxBodyBytes: int64(len(body))})
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(body))
+	}))
+	defer ts2.Close()
+	c2.base = ts2.URL
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c2.Do(context.Background(), http.MethodGet, "/x", nil, &out); err != nil || !out.OK {
+		t.Fatalf("exactly-at-limit body: err=%v ok=%v, want clean decode", err, out.OK)
+	}
+}
+
+func TestSolveBatchStreamsInOrder(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/solve/batch" {
+			http.NotFound(w, r)
+			return
+		}
+		var req struct {
+			Items []BatchItem `json:"items"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := range req.Items {
+			if req.Items[i].Scheme == "bogus" {
+				fmt.Fprintf(w, `{"index":%d,"status":400,"error":"unknown scheme"}`+"\n", i)
+				continue
+			}
+			fmt.Fprintf(w, `{"index":%d,"status":200,"verdict":{"solvable":true,"horizon":%d}}`+"\n",
+				i, req.Items[i].Horizon)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	var got []BatchVerdict
+	err := c.SolveBatch(context.Background(), []BatchItem{
+		{Scheme: "S1", Horizon: 2},
+		{Scheme: "bogus", Horizon: 2},
+		{Scheme: "S1", Horizon: 3},
+	}, func(v BatchVerdict) error {
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("streamed %d verdicts, want 3", len(got))
+	}
+	for i, v := range got {
+		if v.Index != i {
+			t.Fatalf("verdict %d has index %d; out of order", i, v.Index)
+		}
+	}
+	if got[1].Status != http.StatusBadRequest || got[1].Error == "" {
+		t.Fatalf("verdict 1 = %+v, want per-item 400", got[1])
+	}
+	var verdict struct {
+		Solvable bool `json:"solvable"`
+		Horizon  int  `json:"horizon"`
+	}
+	if err := json.Unmarshal(got[2].Verdict, &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Solvable || verdict.Horizon != 3 {
+		t.Fatalf("verdict 2 decoded to %+v", verdict)
+	}
+}
+
+func TestSolveBatchRetriesWholeBatchShed(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"index":0,"status":200,"verdict":{"solvable":false}}`)
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, Options{
+		Sleep: recordingSleep(&delays),
+		Rand:  rand.New(rand.NewSource(1)),
+	})
+	var lines int
+	err := c.SolveBatch(context.Background(), []BatchItem{{Scheme: "S1"}}, func(v BatchVerdict) error {
+		lines++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SolveBatch after shed: %v", err)
+	}
+	if calls.Load() != 2 || lines != 1 {
+		t.Fatalf("calls=%d lines=%d, want the shed attempt retried once", calls.Load(), lines)
+	}
+	if len(delays) != 1 || delays[0] != time.Second {
+		t.Fatalf("delays = %v, want the server-directed 1s", delays)
+	}
+}
+
+func TestSolveBatchCallbackErrorAborts(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"index":0,"status":200,"verdict":{}}`)
+		fmt.Fprintln(w, `{"index":1,"status":200,"verdict":{}}`)
+	}))
+	defer ts.Close()
+
+	boom := errors.New("stop here")
+	c := New(ts.URL, Options{})
+	var seen int
+	err := c.SolveBatch(context.Background(), []BatchItem{{Scheme: "S1"}, {Scheme: "S1"}},
+		func(v BatchVerdict) error {
+			seen++
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback's error back verbatim", err)
+	}
+	if seen != 1 {
+		t.Fatalf("callback ran %d times after erroring, want 1", seen)
+	}
+	// Mid-stream failures must not be retried.
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1", calls.Load())
+	}
+}

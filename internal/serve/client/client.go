@@ -10,11 +10,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -34,6 +36,11 @@ type Options struct {
 	// Sleep is the wait primitive (default: context-aware sleep).
 	// Injectable so tests can record delays instead of waiting.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// MaxBodyBytes caps how many bytes of one response body (or one
+	// streamed batch line) the client will buffer (default 1 MiB). A
+	// longer reply fails with *TruncatedError instead of being silently
+	// clipped into a JSON parse error.
+	MaxBodyBytes int64
 }
 
 func (o *Options) defaults() {
@@ -64,6 +71,9 @@ func (o *Options) defaults() {
 			}
 		}
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
 }
 
 // Client talks to one capserved base URL.
@@ -86,6 +96,56 @@ type APIError struct {
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("capserved: HTTP %d: %s", e.Status, e.Body)
+}
+
+// TruncatedError reports a response (or one batch stream line) larger
+// than Options.MaxBodyBytes. It is not retried: the same query would
+// produce the same oversized reply, so the caller must raise the cap.
+type TruncatedError struct {
+	Limit int64
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("capserved: response truncated at %d bytes; raise Options.MaxBodyBytes", e.Limit)
+}
+
+// bodyPool recycles response read buffers: the retry loop and the warm
+// sync paths pull whole bodies often enough that per-call ReadAll
+// growth was a measurable allocation source.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// bodyPoolMax is the largest buffer returned to the pool; one giant
+// warm-export reply must not pin its footprint forever.
+const bodyPoolMax = 4 << 20
+
+func getBody() *bytes.Buffer {
+	b := bodyPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBody(b *bytes.Buffer) {
+	if b.Cap() <= bodyPoolMax {
+		bodyPool.Put(b)
+	}
+}
+
+// readBody drains r into a pooled buffer, failing with *TruncatedError
+// past limit. The caller owns the returned buffer and must putBody it
+// after its Bytes() are no longer referenced.
+func readBody(r io.Reader, limit int64) (*bytes.Buffer, error) {
+	buf := getBody()
+	// Read one byte past the limit: exactly-limit bodies are legal, and
+	// the extra byte distinguishes "fits" from "clipped".
+	if _, err := buf.ReadFrom(io.LimitReader(r, limit+1)); err != nil {
+		putBody(buf)
+		return nil, err
+	}
+	if int64(buf.Len()) > limit {
+		putBody(buf)
+		return nil, &TruncatedError{Limit: limit}
+	}
+	return buf, nil
 }
 
 // retryable reports whether a status is worth retrying: the server's
@@ -210,10 +270,16 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		return &retryableError{err: err}
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	buf, err := readBody(resp.Body, c.opt.MaxBodyBytes)
 	if err != nil {
+		var trunc *TruncatedError
+		if errors.As(err, &trunc) {
+			return err // deterministic: retrying re-fetches the same oversized body
+		}
 		return &retryableError{err: err}
 	}
+	defer putBody(buf)
+	raw := buf.Bytes()
 	if resp.StatusCode >= 400 {
 		apiErr := &APIError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(raw))}
 		if retryable(resp.StatusCode) {

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+)
+
+// POST /v1/solve/batch on the coordinator: items are keyed and routed
+// INDIVIDUALLY — each miss fans out to its own shard's replica set
+// through the normal hedged path, so per-shard breakers, hedging, and
+// failover all operate per item, not per batch. Cache and warm hits
+// stream immediately; misses stream as each shard answers. Lines carry
+// the originating item index, so arrival order is completion order.
+
+// batchFanout bounds how many misses of one batch are in flight against
+// the shards at once.
+const batchFanout = 8
+
+// clusterBatchMax caps the item count of one coordinator batch. It is
+// intentionally the same default as a single node's MaxBatchItems: the
+// coordinator splits the batch per item anyway, so a bigger cap would
+// only defer the backends' own limits.
+const clusterBatchMax = 64
+
+// batchLine mirrors the single node's per-item stream record. Cached
+// marks items served from the coordinator's LRU/warm tiers — the
+// embedded verdict is the shard's original reply, so its own cached
+// flag reflects the backend's cache, not the coordinator's.
+type batchLine struct {
+	Index   int             `json:"index"`
+	Status  int             `json:"status"`
+	Cached  bool            `json:"cached,omitempty"`
+	Verdict json.RawMessage `json:"verdict,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+func (c *Coordinator) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	c.m.requests.Add(1)
+	body, err := readBody(w, r)
+	if err != nil {
+		c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	// Items stay raw: each one IS a single /v1/solvable body, forwarded
+	// verbatim to whichever shard its key routes to.
+	var req struct {
+		Items []json.RawMessage `json:"items"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		c.writeError(w, http.StatusBadRequest, "batch needs at least one item")
+		return
+	}
+	if len(req.Items) > clusterBatchMax {
+		c.writeError(w, http.StatusBadRequest, "batch of %d items exceeds cap %d", len(req.Items), clusterBatchMax)
+		return
+	}
+	c.m.batches.Add(1)
+	c.m.batchItems.Add(int64(len(req.Items)))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex // serializes line writes from the fan-out workers
+	emit := func(line batchLine) {
+		raw, err := json.Marshal(line)
+		if err != nil {
+			return
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		w.Write(raw)
+		w.Write([]byte("\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// First pass: key every item; serve cache/warm tiers inline, queue
+	// the rest for the shard fan-out.
+	type missItem struct {
+		index int
+		key   string
+		body  json.RawMessage
+	}
+	var misses []missItem
+	for i, item := range req.Items {
+		key, err := c.solvableKey(item)
+		if err != nil {
+			emit(batchLine{Index: i, Status: http.StatusBadRequest, Error: err.Error()})
+			continue
+		}
+		if v, ok := c.cache.Get(key); ok {
+			c.m.cacheHits.Add(1)
+			emit(batchLine{Index: i, Status: http.StatusOK, Cached: true, Verdict: json.RawMessage(v.([]byte))})
+			continue
+		}
+		c.warmMu.RLock()
+		raw, ok := c.warmMap[key]
+		c.warmMu.RUnlock()
+		if ok {
+			c.m.cacheHits.Add(1)
+			c.m.warmHits.Add(1)
+			c.cache.Put(key, []byte(raw))
+			emit(batchLine{Index: i, Status: http.StatusOK, Cached: true, Verdict: raw})
+			continue
+		}
+		c.m.cacheMisses.Add(1)
+		misses = append(misses, missItem{index: i, key: key, body: item})
+	}
+	if len(misses) == 0 {
+		return
+	}
+
+	// Second pass: each miss routes by its own key and goes through
+	// hedgedDo independently — one slow or broken shard only delays the
+	// items that hash to it. The epoch view is captured once, so a
+	// membership swap mid-batch cannot split one batch across rings.
+	view := c.currentView()
+	sem := make(chan struct{}, batchFanout)
+	var wg sync.WaitGroup
+	for _, ms := range misses {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ms missItem) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := c.hedgedDo(r.Context(), "/v1/solvable", ms.body, view, view.ring.Replicas(ms.key, c.cfg.Replicas))
+			if err != nil {
+				emit(batchErrLine(ms.index, err))
+				return
+			}
+			if res.status >= 400 {
+				emit(batchLine{Index: ms.index, Status: res.status, Error: string(res.body)})
+				return
+			}
+			c.cache.Put(ms.key, res.body)
+			c.persistWarm(ms.key, res.body)
+			emit(batchLine{Index: ms.index, Status: http.StatusOK, Verdict: json.RawMessage(res.body)})
+		}(ms)
+	}
+	wg.Wait()
+}
+
+// batchErrLine maps a hedged-request failure onto the per-item status
+// writeHedgeError would have used for a whole request.
+func batchErrLine(index int, err error) batchLine {
+	var broken errAllShardsBroken
+	switch {
+	case errors.As(err, &broken):
+		return batchLine{Index: index, Status: http.StatusServiceUnavailable, Error: broken.Error()}
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return batchLine{Index: index, Status: http.StatusGatewayTimeout, Error: "cluster request deadline exceeded"}
+	default:
+		return batchLine{Index: index, Status: http.StatusBadGateway, Error: err.Error()}
+	}
+}

@@ -218,6 +218,8 @@ type Coordinator struct {
 		fanouts        atomic.Int64
 		fanoutPartials atomic.Int64
 		fanoutFailures atomic.Int64
+		batches        atomic.Int64 // /v1/solve/batch requests admitted
+		batchItems     atomic.Int64 // items across all admitted batches
 
 		epochSwaps     atomic.Int64
 		joins          atomic.Int64
@@ -399,6 +401,7 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("DELETE /v1/cluster/members", c.handleMembersDelete)
 	c.mux.HandleFunc("POST /v1/classify", c.keyed(c.classifyKey))
 	c.mux.HandleFunc("POST /v1/solvable", c.keyed(c.solvableKey))
+	c.mux.HandleFunc("POST /v1/solve/batch", c.handleSolveBatch)
 	c.mux.HandleFunc("POST /v1/net/solvable", c.keyed(c.netSolvableKey))
 	c.mux.HandleFunc("POST /v1/index", c.passthrough)
 	c.mux.HandleFunc("POST /v1/unindex", c.passthrough)

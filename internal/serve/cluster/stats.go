@@ -66,6 +66,9 @@ type Stats struct {
 	FanoutPartials  int64 `json:"fanoutPartials"`
 	FanoutFailures  int64 `json:"fanoutShardFailures"`
 
+	BatchRequests int64 `json:"batchRequests"`
+	BatchItems    int64 `json:"batchItems"`
+
 	Membership MembershipStats `json:"membership"`
 
 	Shards []ShardStats `json:"shards"`
@@ -98,6 +101,8 @@ func (c *Coordinator) StatsSnapshot() Stats {
 		FanoutCampaigns: c.m.fanouts.Load(),
 		FanoutPartials:  c.m.fanoutPartials.Load(),
 		FanoutFailures:  c.m.fanoutFailures.Load(),
+		BatchRequests:   c.m.batches.Load(),
+		BatchItems:      c.m.batchItems.Load(),
 	}
 	st.Membership = MembershipStats{
 		Epoch:        view.seq,

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"math/big"
 	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	coordattack "repro"
 	"repro/internal/chaos"
@@ -40,13 +43,20 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/index", s.protect(classLight, s.handleIndex))
 	s.mux.Handle("POST /v1/unindex", s.protect(classLight, s.handleUnindex))
 	s.mux.Handle("POST /v1/solvable", s.protect(classHeavy, s.handleSolvable))
+	s.mux.Handle("POST /v1/solve/batch", s.protect(classHeavy, s.handleSolveBatch))
 	s.mux.Handle("POST /v1/net/solvable", s.protect(classHeavy, s.handleNetSolvable))
 	s.mux.Handle("POST /v1/chaos", s.protect(classHeavy, s.handleChaos))
 }
 
 // decode reads a bounded JSON body into v.
 func decode(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeN(w, r, v, 1<<20)
+}
+
+// decodeN is decode with an explicit body cap (batch requests carry N
+// scenarios in one body).
+func decodeN(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
@@ -59,7 +69,39 @@ type SchemeSelector struct {
 	Minus  []string `json:"minus,omitempty"`
 }
 
+// resolvedSchemes memoizes selector spelling → compiled scheme.
+// Schemes are immutable once wrapped (see internal/scheme), so a cached
+// *Scheme is safe to share across concurrent requests — and sharing it
+// also reuses its lazily compiled prefix DFA. Bounded so adversarial
+// unique spellings cannot grow it without limit; an evicted spelling
+// just recompiles.
+var resolvedSchemes = NewLRU(512)
+
+// selectorKey is the memoization key: the selector's exact spelling.
+// Distinct spellings of the same automaton get distinct entries — the
+// verdict caches already canonicalize by automaton digest, this tier
+// only saves re-compilation.
+func (q *SchemeSelector) selectorKey() string {
+	if q.Expr == "" && len(q.Minus) == 0 {
+		return "n\x00" + q.Scheme
+	}
+	var sb strings.Builder
+	sb.WriteString("n\x00")
+	sb.WriteString(q.Scheme)
+	sb.WriteString("\x00e\x00")
+	sb.WriteString(q.Expr)
+	for _, m := range q.Minus {
+		sb.WriteString("\x00m\x00")
+		sb.WriteString(m)
+	}
+	return sb.String()
+}
+
 func (q *SchemeSelector) Resolve() (*coordattack.Scheme, error) {
+	key := q.selectorKey()
+	if v, ok := resolvedSchemes.Get(key); ok {
+		return v.(*coordattack.Scheme), nil
+	}
 	var sch *coordattack.Scheme
 	var err error
 	switch {
@@ -82,6 +124,7 @@ func (q *SchemeSelector) Resolve() (*coordattack.Scheme, error) {
 		}
 		sch = coordattack.MinusScenarios(sch.Name()+"-custom", sch, scs...)
 	}
+	resolvedSchemes.Put(key, sch)
 	return sch, nil
 }
 
@@ -90,7 +133,38 @@ func (q *SchemeSelector) Resolve() (*coordattack.Scheme, error) {
 // set). Two requests naming the same automaton — "S1" versus the
 // expression "[.w]^w | [.b]^w" compiled to an identical DBA, or any
 // spelling of the same Minus — share cache entries and singleflight.
+// schemeDigests caches each scheme's automaton digest by pointer.
+// Resolve hands out memoized pointers, so steady-state traffic hits
+// this cache and skips the sha256 walk. Entries are tiny (a pointer and
+// a 32-byte string); the crude size cap below only matters if something
+// churns through unbounded fresh Scheme values.
+var (
+	schemeDigests    sync.Map
+	schemeDigestsLen atomic.Int64
+)
+
+const schemeDigestsMax = 4096
+
 func CanonicalSchemeKey(sch *coordattack.Scheme) string {
+	if v, ok := schemeDigests.Load(sch); ok {
+		return v.(string)
+	}
+	key := computeSchemeKey(sch)
+	if schemeDigestsLen.Add(1) > schemeDigestsMax {
+		// Reset rather than evict: reaching the cap at all means the
+		// caller is not using memoized schemes, so precision is moot.
+		// (Range+Delete, not Clear — the module predates go1.23.)
+		schemeDigests.Range(func(k, _ any) bool {
+			schemeDigests.Delete(k)
+			return true
+		})
+		schemeDigestsLen.Store(1)
+	}
+	schemeDigests.Store(sch, key)
+	return key
+}
+
+func computeSchemeKey(sch *coordattack.Scheme) string {
 	a := sch.Automaton()
 	h := sha256.New()
 	var buf [8]byte
@@ -203,6 +277,17 @@ func (s *Server) engineOptions() *coordattack.EngineOptions {
 	eng := coordattack.EngineDefaults()
 	eng.Backend = s.cfg.Backend
 	return &eng
+}
+
+// engineRunOptions is engineOptions plus a pooled scratch arena, so
+// consecutive cache-miss runs reuse the engine's flat tables instead of
+// reallocating them. The returned release returns the arena to the
+// pool; call it only after the engine run has fully finished.
+func (s *Server) engineRunOptions() (*coordattack.EngineOptions, func()) {
+	eng := s.engineOptions()
+	scr := scratchPool.Get().(*coordattack.EngineScratch)
+	eng.Scratch = scr
+	return eng, func() { scratchPool.Put(scr) }
 }
 
 // isEngineFailure classifies an error for the circuit breaker: deadline
@@ -346,7 +431,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := val.(classifyResponse)
 	resp.Cached = cached
-	writeJSON(w, http.StatusOK, resp)
+	s.writeOK(w, resp)
 }
 
 // --- /v1/index, /v1/unindex ------------------------------------------
@@ -375,7 +460,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "index is defined over Γ words; %q contains a double omission", req.Word)
 		return
 	}
-	writeJSON(w, http.StatusOK, indexResponse{Word: word.String(), Index: coordattack.Index(word).String()})
+	s.writeOK(w, indexResponse{Word: word.String(), Index: coordattack.Index(word).String()})
 }
 
 type unindexRequest struct {
@@ -399,7 +484,7 @@ func (s *Server) handleUnindex(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, indexResponse{Word: word.String(), Index: req.Index})
+	s.writeOK(w, indexResponse{Word: word.String(), Index: req.Index})
 }
 
 // --- /v1/solvable -----------------------------------------------------
@@ -452,36 +537,7 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 	key := SolvableKey(sch, horizon, req.MinRounds)
 	start := s.cfg.Clock()
 	val, cached, shared, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
-		resp := solvableResponse{Scheme: sch.Name(), Horizon: horizon}
-		rep, err := coordattack.Analyze(ctx, coordattack.RoundsRequest{
-			Scheme:      sch,
-			Horizon:     horizon,
-			MinRounds:   req.MinRounds,
-			VerdictOnly: req.MinRounds,
-			Observer:    s.engine.observe,
-			Engine:      s.engineOptions(),
-		})
-		if err != nil {
-			return nil, err
-		}
-		if req.MinRounds {
-			found := rep.Found
-			resp.Found = &found
-			resp.Solvable = found
-			if found {
-				resp.Horizon = rep.Rounds
-			}
-		} else {
-			resp.Solvable = rep.Solvable
-			resp.Configs = rep.Configs
-			if rep.ConfigsExact != nil {
-				resp.ConfigsExact = rep.ConfigsExact.String()
-			}
-			resp.Components = rep.Components
-			resp.MixedComponents = rep.MixedComponents
-		}
-		resp.Engine = engineStatsOf(rep.Stats)
-		return resp, nil
+		return s.solveVerdict(ctx, sch, horizon, req.MinRounds)
 	})
 	if err != nil {
 		s.writeComputeError(w, err)
@@ -490,7 +546,45 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 	resp := val.(solvableResponse)
 	resp.Cached, resp.Shared = cached, shared
 	resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeOK(w, resp)
+}
+
+// solveVerdict runs one bounded-round solvability analysis and shapes
+// the verdict. Callers patch Cached/Shared/ElapsedMs afterwards. The
+// engine run borrows a pooled scratch arena.
+func (s *Server) solveVerdict(ctx context.Context, sch *coordattack.Scheme, horizon int, minRounds bool) (any, error) {
+	eng, release := s.engineRunOptions()
+	defer release()
+	resp := solvableResponse{Scheme: sch.Name(), Horizon: horizon}
+	rep, err := coordattack.Analyze(ctx, coordattack.RoundsRequest{
+		Scheme:      sch,
+		Horizon:     horizon,
+		MinRounds:   minRounds,
+		VerdictOnly: minRounds,
+		Observer:    s.engine.observe,
+		Engine:      eng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if minRounds {
+		found := rep.Found
+		resp.Found = &found
+		resp.Solvable = found
+		if found {
+			resp.Horizon = rep.Rounds
+		}
+	} else {
+		resp.Solvable = rep.Solvable
+		resp.Configs = rep.Configs
+		if rep.ConfigsExact != nil {
+			resp.ConfigsExact = rep.ConfigsExact.String()
+		}
+		resp.Components = rep.Components
+		resp.MixedComponents = rep.MixedComponents
+	}
+	resp.Engine = engineStatsOf(rep.Stats)
+	return resp, nil
 }
 
 // --- /v1/net/solvable -------------------------------------------------
@@ -540,13 +634,15 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 	key := NetSolvableKey(g, req.F, req.Rounds)
 	start := s.cfg.Clock()
 	val, cached, _, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
+		eng, release := s.engineRunOptions()
+		defer release()
 		rep, err := coordattack.AnalyzeNet(ctx, coordattack.NetAnalysisRequest{
 			Graph:       g,
 			F:           req.F,
 			Horizon:     req.Rounds,
 			VerdictOnly: true,
 			Observer:    s.engine.observe,
-			Engine:      s.engineOptions(),
+			Engine:      eng,
 		})
 		if err != nil {
 			return nil, err
@@ -570,7 +666,7 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 	resp := val.(netSolvableResponse)
 	resp.Cached = cached
 	resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeOK(w, resp)
 }
 
 // --- /v1/chaos --------------------------------------------------------
@@ -676,5 +772,5 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Violations = append(resp.Violations, cv)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeOK(w, resp)
 }

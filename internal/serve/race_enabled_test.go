@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation adds allocations, so the alloc-budget gate skips.
+const raceEnabled = true

@@ -80,6 +80,11 @@ type Config struct {
 	MaxProcs int
 	// MaxExecutions caps chaos campaign sizes (default 100000).
 	MaxExecutions int
+	// MaxBatchItems caps the item count of one /v1/solve/batch request
+	// (default 64). The whole batch holds a single heavy admission slot
+	// and one breaker check, so this bounds how much engine work one
+	// slot can demand.
+	MaxBatchItems int
 	// Backend selects the analysis backend for every served engine
 	// request. The zero value (BackendAuto) lets the engine pick the
 	// symbolic interval walk when the scheme supports it and fall back
@@ -132,6 +137,9 @@ func (c *Config) defaults() {
 	if c.MaxExecutions <= 0 {
 		c.MaxExecutions = 100_000
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -143,15 +151,17 @@ func (c *Config) defaults() {
 // metrics is the server-wide counter set surfaced by /varz. All fields
 // are updated with atomics; there is no lock on the request path.
 type metrics struct {
-	requests  atomic.Int64
-	inFlight  atomic.Int64
-	ok2xx     atomic.Int64
-	client4xx atomic.Int64
-	server5xx atomic.Int64
-	shed      atomic.Int64
-	breakerFF atomic.Int64 // breaker fast-fails
-	timeouts  atomic.Int64
-	panics    atomic.Int64
+	requests   atomic.Int64
+	inFlight   atomic.Int64
+	ok2xx      atomic.Int64
+	client4xx  atomic.Int64
+	server5xx  atomic.Int64
+	shed       atomic.Int64
+	breakerFF  atomic.Int64 // breaker fast-fails
+	timeouts   atomic.Int64
+	panics     atomic.Int64
+	batches    atomic.Int64 // /v1/solve/batch requests admitted
+	batchItems atomic.Int64 // items across all admitted batches
 }
 
 // Server is the capserved HTTP service. Construct with New, mount
@@ -285,7 +295,11 @@ func (s *Server) Drain(hs *http.Server) error {
 		s.cfg.Logf("capserved: closing warm store: %v", cerr)
 	}
 	v := s.varz()
-	b, _ := json.Marshal(v)
+	b, merr := json.Marshal(v)
+	if merr != nil {
+		s.cfg.Logf("capserved: drained (err=%v); final varz unmarshalable: %v", err, merr)
+		return err
+	}
 	s.cfg.Logf("capserved: drained (err=%v) final varz: %s", err, b)
 	return err
 }
@@ -304,12 +318,43 @@ type apiError struct {
 	DiagID string `json:"diagId,omitempty"`
 }
 
+// writeJSON encodes v into a pooled buffer and writes it as a single
+// response. Encoding happens before the status line is committed; an
+// encode error (only reachable with marshaler-bearing or non-finite
+// payloads, which the API types avoid) degrades to a plain-text 500
+// instead of an empty 200 body. Handlers with a diagnostic context use
+// Server.writeOK, which logs the error under a diag ID.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	jb := getJSONBuf()
+	defer putJSONBuf(jb)
+	if err := jb.enc.Encode(v); err != nil {
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(jb.buf.Bytes())
+}
+
+// writeOK writes v as a 200 response through the pooled encoder. On
+// encode failure nothing has been written yet, so the client gets a
+// well-formed diag-ID 500 tied to a server log line instead of a
+// truncated or empty body.
+func (s *Server) writeOK(w http.ResponseWriter, v any) {
+	jb := getJSONBuf()
+	defer putJSONBuf(jb)
+	if err := jb.enc.Encode(v); err != nil {
+		id := fmt.Sprintf("diag-%d-%d", s.started.Unix(), s.diagSeq.Add(1))
+		s.cfg.Logf("capserved: response encode %s: %v", id, err)
+		writeJSON(w, http.StatusInternalServerError, apiError{
+			Error:  "response encoding failed; see server log",
+			DiagID: id,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(jb.buf.Bytes())
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -378,6 +423,11 @@ func (s *Server) protect(cl class, h http.HandlerFunc) http.Handler {
 // ceiling, lowered (never raised) by an explicit ?timeout_ms=N.
 func (s *Server) requestTimeout(r *http.Request) time.Duration {
 	d := s.cfg.RequestTimeout
+	if r.URL.RawQuery == "" {
+		// Skip Query(): it allocates a values map per call, on every
+		// request of the hot path.
+		return d
+	}
 	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
 		// Strict parse: "100abc" is rejected, not truncated to 100.
 		if n, err := strconv.ParseInt(ms, 10, 64); err == nil && n > 0 {
@@ -436,6 +486,8 @@ type Varz struct {
 	BreakerFastFails   int64   `json:"breakerFastFails"`
 	Timeouts           int64   `json:"timeouts"`
 	Panics             int64   `json:"panics"`
+	BatchRequests      int64   `json:"batchRequests"`
+	BatchItems         int64   `json:"batchItems"`
 	CacheHits          int64   `json:"cacheHits"`
 	CacheMisses        int64   `json:"cacheMisses"`
 	CacheEntries       int     `json:"cacheEntries"`
@@ -466,6 +518,8 @@ func (s *Server) varz() Varz {
 		BreakerFastFails:   s.m.breakerFF.Load(),
 		Timeouts:           s.m.timeouts.Load(),
 		Panics:             s.m.panics.Load(),
+		BatchRequests:      s.m.batches.Load(),
+		BatchItems:         s.m.batchItems.Load(),
 		CacheHits:          s.cache.hits.Load(),
 		CacheMisses:        s.cache.misses.Load(),
 		CacheEntries:       s.cache.lru.Len(),

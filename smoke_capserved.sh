@@ -245,6 +245,43 @@ if [ "${SMOKE_CLUSTER:-1}" = "1" ]; then
 		exit 1
 	}
 
+	# --- batch leg: mixed cached/uncached through the coordinator -----
+	# Item 0 repeats CBODY (already in the coordinator cache); items 1-2
+	# compile to fresh automata, so they are misses the coordinator must
+	# fan out to their ring shards. Every JSON-lines reply must be a
+	# status-200 verdict, and each verdict must agree with the same query
+	# asked as a single /v1/solvable call (differential check).
+	BB0="${CBODY}"
+	BB1='{"scheme":"S2","minus":["wwbb(.)"],"horizon":4}'
+	BB2='{"scheme":"S2","minus":["bbww(.)"],"horizon":4}'
+	BATCH="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d "{\"items\":[${BB0},${BB1},${BB2}]}" "${CBASE}/v1/solve/batch")"
+	[ "$(echo "${BATCH}" | grep -c '"status":200')" -eq 3 ] || {
+		echo "smoke: batch did not return 3 ok lines:" >&2
+		echo "${BATCH}" >&2
+		exit 1
+	}
+	for i in 0 1 2; do
+		eval "Q=\${BB${i}}"
+		SINGLE="$(curl -fsS -X POST -d "${Q}" "${CBASE}/v1/solvable" | tr -d ' \n')"
+		WANT="$(echo "${SINGLE}" | sed -n 's/.*"solvable":\(true\|false\).*/\1/p')"
+		[ -n "${WANT}" ] || {
+			echo "smoke: single-item reply for batch item ${i} had no verdict: ${SINGLE}" >&2
+			exit 1
+		}
+		echo "${BATCH}" | grep "\"index\":${i}," | tr -d ' ' | grep -q "\"solvable\":${WANT}" || {
+			echo "smoke: batch item ${i} disagrees with the single-item verdict (want solvable=${WANT}):" >&2
+			echo "${BATCH}" | grep "\"index\":${i}," >&2
+			exit 1
+		}
+	done
+	# The cached item must be marked as a cluster-cache hit in its line.
+	echo "${BATCH}" | grep '"index":0,' | grep -q '"cached":true' || {
+		echo "smoke: batch item 0 should have come from cache:" >&2
+		echo "${BATCH}" | grep '"index":0,' >&2
+		exit 1
+	}
+
 	# Kill one backend outright (no drain) and keep querying: each of
 	# the 12 bodies compiles to a distinct automaton, so every one is a
 	# cache miss that must be routed — keys whose primary shard is the

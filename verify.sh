@@ -43,6 +43,11 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== serve alloc gate (unraced) =="
+# TestServeSolveAllocsGate skips itself under -race (the detector's
+# instrumentation allocates), so the budget is enforced here explicitly.
+go test -run '^TestServeSolveAllocsGate$' -count=1 ./internal/serve/
+
 FUZZTIME="${FUZZTIME:-10s}"
 echo "== go fuzz (${FUZZTIME} per target) =="
 for target in FuzzIndexRoundTrip FuzzParseScenario FuzzScenarioEquality; do
@@ -67,7 +72,7 @@ echo "== capbench (short cluster load + churn run) =="
 # eject/readmit cycle, and the stats scrape all have to work end to
 # end. CI uploads the report as an artifact.
 go run ./cmd/capbench -rps 40 -duration 2s -warmup 500ms -max-horizon 5 \
-	-churn -out capbench_report.json
+	-churn -batch -batch-items 128 -out capbench_report.json
 grep -q '"one-slow-backend"' capbench_report.json || {
 	echo "verify.sh: capbench report is missing the degraded phase" >&2
 	exit 1
@@ -78,6 +83,10 @@ grep -q '"churn"' capbench_report.json || {
 }
 grep -q '"churnConverged": true' capbench_report.json || {
 	echo "verify.sh: churn phase did not converge (killed backend not readmitted)" >&2
+	exit 1
+}
+grep -q '"batchComparison"' capbench_report.json || {
+	echo "verify.sh: capbench report is missing the batch comparison" >&2
 	exit 1
 }
 
