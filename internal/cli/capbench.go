@@ -70,6 +70,9 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 	batchItems := fs.Int("batch-items", 512, "batch mode: total items each leg serves")
 	batchWorkers := fs.Int("batch-workers", 8, "batch mode: closed-loop workers per leg")
 	batchBar := fs.Float64("batch-bar", 0, "fail unless batch items/sec >= bar x single-item qps at equal-or-better p99 (0 = report only)")
+	wireLeg := fs.Bool("wire", false, "add a binary-vs-JSON batch encoding comparison over /v1/solve/batch")
+	wireBar := fs.Float64("wire-bar", 0, "fail unless binary batch items/sec >= bar x JSON batch items/sec at equal-or-better p99 (0 = report only)")
+	wireBytesBar := fs.Float64("wire-bytes-bar", 0, "fail unless binary bytes/item <= bar x JSON bytes/item (0 = report only)")
 	memProfile := fs.String("memprofile", "", "write a heap/alloc pprof profile here at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -238,6 +241,25 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 		report.Batch = &cmp
 	}
 
+	if *wireLeg {
+		wc := b.runWireComparison(ctx, *batchItems, *batchSize, *batchWorkers,
+			rand.New(rand.NewSource(*seed+4)))
+		wc.WireBar = *wireBar
+		wc.WireBytesBar = *wireBytesBar
+		if *wireBar > 0 || *wireBytesBar > 0 {
+			ok := wc.JSONErrors == 0 && wc.BinaryErrors == 0 &&
+				wc.BinaryP99Ms <= wc.JSONP99Ms
+			if *wireBar > 0 && wc.SpeedupX < *wireBar {
+				ok = false
+			}
+			if *wireBytesBar > 0 && wc.BytesRatio > *wireBytesBar {
+				ok = false
+			}
+			wc.WireOK = &ok
+		}
+		report.Wire = &wc
+	}
+
 	if resp, err := b.client.Get(b.base + "/v1/stats"); err == nil {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
@@ -280,6 +302,13 @@ func Capbench(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr,
 			"capbench: batch gate failed: %.2fx single qps (bar %.2fx), batch p99 %.2fms vs single p99 %.2fms, errors %d/%d\n",
 			c.SpeedupX, c.BatchBar, c.BatchP99Ms, c.SingleP99Ms, c.SingleErrors, c.BatchErrors)
+		return 1
+	}
+	if report.Wire != nil && report.Wire.WireOK != nil && !*report.Wire.WireOK {
+		c := report.Wire
+		fmt.Fprintf(stderr,
+			"capbench: wire gate failed: %.2fx JSON items/sec (bar %.2fx), bytes ratio %.3f (bar %.3f), binary p99 %.2fms vs JSON p99 %.2fms, errors %d/%d\n",
+			c.SpeedupX, c.WireBar, c.BytesRatio, c.WireBytesBar, c.BinaryP99Ms, c.JSONP99Ms, c.JSONErrors, c.BinaryErrors)
 		return 1
 	}
 	return 0
@@ -378,6 +407,8 @@ type benchReport struct {
 	ChurnOK         *bool   `json:"churnOk,omitempty"`
 	// Batch is the batch-vs-single comparison (-batch).
 	Batch *batchComparison `json:"batchComparison,omitempty"`
+	// Wire is the binary-vs-JSON batch encoding comparison (-wire).
+	Wire *wireComparison `json:"wireComparison,omitempty"`
 	// ClusterStats is the target's final /v1/stats snapshot, embedded
 	// verbatim so the report artifact carries the shard-level picture.
 	ClusterStats json.RawMessage `json:"clusterStats,omitempty"`

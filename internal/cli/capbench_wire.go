@@ -1,0 +1,210 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve/wire"
+)
+
+// The -wire phase compares the two encodings of the SAME batch
+// workload: /v1/solve/batch streamed as compact JSON lines versus
+// binary verdict frames (Accept: application/x-capverdict-stream).
+// Both legs run the identical warmed query population with the same
+// concurrency, so the delta isolates encode/decode and bytes on the
+// wire. The gates are the PR-10 bars: frames must carry at least 40%
+// fewer bytes per item at equal-or-better p99, and binary items/sec
+// must beat the JSON-batch baseline by the -wire-bar factor.
+
+type wireComparison struct {
+	Items     int `json:"items"`
+	BatchSize int `json:"batchSize"`
+	Workers   int `json:"workers"`
+
+	JSONItemsPerSec  float64 `json:"jsonItemsPerSec"`
+	JSONP50Ms        float64 `json:"jsonP50Ms"`
+	JSONP99Ms        float64 `json:"jsonP99Ms"`
+	JSONErrors       int     `json:"jsonErrors"`
+	JSONBytesPerItem float64 `json:"jsonBytesPerItem"`
+
+	BinaryItemsPerSec  float64 `json:"binaryItemsPerSec"`
+	BinaryP50Ms        float64 `json:"binaryP50Ms"`
+	BinaryP99Ms        float64 `json:"binaryP99Ms"`
+	BinaryErrors       int     `json:"binaryErrors"`
+	BinaryBytesPerItem float64 `json:"binaryBytesPerItem"`
+
+	// BytesRatio is binary bytes/item over JSON bytes/item (the bar is
+	// <= 1 - wire-bytes-bar savings, i.e. 0.6 for 40% fewer bytes);
+	// SpeedupX is binary items/sec over JSON items/sec.
+	BytesRatio float64 `json:"bytesRatio"`
+	SpeedupX   float64 `json:"speedupX"`
+
+	WireBar      float64 `json:"wireBar,omitempty"`
+	WireBytesBar float64 `json:"wireBytesBar,omitempty"`
+	WireOK       *bool   `json:"wireOk,omitempty"`
+}
+
+func (b *bench) runWireComparison(ctx context.Context, items, batchSize, workers int, rng *rand.Rand) wireComparison {
+	cmp := wireComparison{Items: items, BatchSize: batchSize, Workers: workers}
+	queries := b.buildBatchQueries(items, rng)
+
+	// Warm every distinct query: both legs must measure the cached-hit
+	// serving path, where encoding is a visible fraction of the work.
+	seen := map[string]bool{}
+	for _, q := range queries {
+		if !seen[q] {
+			seen[q] = true
+			b.one(ctx, "warm", "/v1/solvable", q)
+		}
+	}
+	var groups []string
+	for at := 0; at < len(queries); at += batchSize {
+		end := min(at+batchSize, len(queries))
+		groups = append(groups, `{"items":[`+strings.Join(queries[at:end], ",")+`]}`)
+	}
+
+	jsonMs, jsonWall, jsonErrs, jsonBytes := b.wireLeg(ctx, groups, workers, false)
+	cmp.JSONP50Ms, _, cmp.JSONP99Ms, _ = percentiles(jsonMs)
+	cmp.JSONErrors = jsonErrs
+	if jsonWall > 0 {
+		cmp.JSONItemsPerSec = float64(len(jsonMs)) / jsonWall.Seconds()
+	}
+	if len(jsonMs) > 0 {
+		cmp.JSONBytesPerItem = float64(jsonBytes) / float64(len(jsonMs))
+	}
+
+	binMs, binWall, binErrs, binBytes := b.wireLeg(ctx, groups, workers, true)
+	cmp.BinaryP50Ms, _, cmp.BinaryP99Ms, _ = percentiles(binMs)
+	cmp.BinaryErrors = binErrs
+	if binWall > 0 {
+		cmp.BinaryItemsPerSec = float64(len(binMs)) / binWall.Seconds()
+	}
+	if len(binMs) > 0 {
+		cmp.BinaryBytesPerItem = float64(binBytes) / float64(len(binMs))
+	}
+
+	if cmp.JSONBytesPerItem > 0 {
+		cmp.BytesRatio = cmp.BinaryBytesPerItem / cmp.JSONBytesPerItem
+	}
+	if cmp.JSONItemsPerSec > 0 {
+		cmp.SpeedupX = cmp.BinaryItemsPerSec / cmp.JSONItemsPerSec
+	}
+	return cmp
+}
+
+// wireLeg drives every batch group from `workers` closed-loop workers
+// in one encoding, returning per-item latencies, wall time, error
+// lines, and total response-body bytes.
+func (b *bench) wireLeg(ctx context.Context, groups []string, workers int, binary bool) (ms []float64, wall time.Duration, errs int, bytes int64) {
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		errsN   atomic.Int64
+		bytesN  atomic.Int64
+		samples []float64
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(groups) || ctx.Err() != nil {
+					return
+				}
+				sent := time.Now()
+				lineMs, lineErrs, n := b.oneWireBatch(ctx, groups[g], sent, binary)
+				errsN.Add(int64(lineErrs))
+				bytesN.Add(n)
+				mu.Lock()
+				samples = append(samples, lineMs...)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return samples, time.Since(start), int(errsN.Load()), bytesN.Load()
+}
+
+// countingReader tallies how many response bytes actually crossed the
+// wire for one batch reply.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// oneWireBatch sends one batch request in the chosen encoding and times
+// each streamed line against the batch send time.
+func (b *bench) oneWireBatch(ctx context.Context, body string, sent time.Time, binary bool) (lineMs []float64, errs int, bytes int64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/solve/batch", strings.NewReader(body))
+	if err != nil {
+		return nil, 1, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if binary {
+		req.Header.Set("Accept", wire.AcceptVerdictStream)
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, 1, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, 1, 0
+	}
+	cr := &countingReader{r: resp.Body}
+	if binary {
+		if !strings.Contains(resp.Header.Get("Content-Type"), wire.MediaTypeVerdictStream) {
+			io.Copy(io.Discard, resp.Body)
+			return nil, 1, 0 // server did not negotiate frames: the leg is invalid
+		}
+		sc := wire.NewFrameScanner(cr, 8<<20)
+		for {
+			kind, payload, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil || kind != wire.KindBatchLine {
+				errs++
+				break
+			}
+			lineMs = append(lineMs, float64(time.Since(sent))/float64(time.Millisecond))
+			line, err := wire.DecodeBatchLine(payload)
+			if err != nil || line.Status != http.StatusOK {
+				errs++
+			}
+		}
+		return lineMs, errs, cr.n
+	}
+	sc := bufio.NewScanner(cr)
+	sc.Buffer(make([]byte, 0, 1<<16), 8<<20)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		lineMs = append(lineMs, float64(time.Since(sent))/float64(time.Millisecond))
+		if !strings.Contains(sc.Text(), `"status":200`) {
+			errs++
+		}
+	}
+	if sc.Err() != nil {
+		errs++
+	}
+	return lineMs, errs, cr.n
+}

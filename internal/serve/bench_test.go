@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/url"
 	"testing"
+
+	"repro/internal/serve/wire"
 )
 
 // The serve hot path is allocation-budgeted: a cached-hit /v1/solvable
@@ -39,7 +41,9 @@ func (replayBody) Close() error { return nil }
 // /v1/solvable request through the full middleware stack, plus the
 // handler for it. The first call (the cache miss that computes the
 // verdict) is made before returning, so every driven call is a hit.
-func solveHitDriver(tb testing.TB) func() {
+// accept, when non-empty, rides along as the Accept header so the
+// binary hot path can be driven through the same harness.
+func solveHitDriver(tb testing.TB, accept string) func() {
 	tb.Helper()
 	s := New(Config{Logf: func(string, ...any) {}})
 	h := s.Handler()
@@ -49,10 +53,14 @@ func solveHitDriver(tb testing.TB) func() {
 		tb.Fatal(err)
 	}
 	br := &replayBody{bytes.NewReader(body)}
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	if accept != "" {
+		hdr.Set("Accept", accept)
+	}
 	req := &http.Request{
 		Method:        http.MethodPost,
 		URL:           u,
-		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Header:        hdr,
 		Body:          br,
 		ContentLength: int64(len(body)),
 	}
@@ -76,7 +84,18 @@ func solveHitDriver(tb testing.TB) func() {
 // from request to encoded verdict. Run with -benchmem; allocs/op is the
 // number TestServeSolveAllocsGate pins.
 func BenchmarkServeSolveAllocs(b *testing.B) {
-	run := solveHitDriver(b)
+	run := solveHitDriver(b, "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkServeSolveBinaryAllocs is the same hot path negotiating the
+// binary verdict frame instead of pooled JSON.
+func BenchmarkServeSolveBinaryAllocs(b *testing.B) {
+	run := solveHitDriver(b, wire.AcceptVerdict)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -90,12 +109,32 @@ func TestServeSolveAllocsGate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation inflates alloc counts; the gate runs unraced")
 	}
-	run := solveHitDriver(t)
+	run := solveHitDriver(t, "")
 	// Warm the pools before measuring: steady state is what's budgeted.
 	for i := 0; i < 32; i++ {
 		run()
 	}
 	if a := testing.AllocsPerRun(200, run); a > serveAllocBudget {
 		t.Fatalf("cached-hit /v1/solvable allocates %v/request, budget is %d", a, serveAllocBudget)
+	}
+}
+
+// serveBinaryAllocBudget pins the binary hot path's own budget: frame
+// encoding writes positional fields into a pooled buffer with no
+// reflection, so it must stay at least as lean as the JSON path.
+const serveBinaryAllocBudget = 24
+
+// TestServeSolveBinaryAllocsGate is TestServeSolveAllocsGate for a
+// caller that negotiated the binary encoding.
+func TestServeSolveBinaryAllocsGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates alloc counts; the gate runs unraced")
+	}
+	run := solveHitDriver(t, wire.AcceptVerdict)
+	for i := 0; i < 32; i++ {
+		run()
+	}
+	if a := testing.AllocsPerRun(200, run); a > serveBinaryAllocBudget {
+		t.Fatalf("cached-hit binary /v1/solvable allocates %v/request, budget is %d", a, serveBinaryAllocBudget)
 	}
 }

@@ -54,6 +54,28 @@ func putJSONBuf(jb *jsonBuf) {
 	}
 }
 
+// frameBuf is a reusable byte slice for binary verdict frames — the
+// wire-encoding analogue of jsonBuf. Wrapped in a struct so the pool
+// round-trips a stable pointer instead of re-boxing a slice header per
+// request.
+type frameBuf struct {
+	b []byte
+}
+
+var frameBufPool = sync.Pool{New: func() any {
+	return &frameBuf{b: make([]byte, 0, 4096)}
+}}
+
+func getFrameBuf() *frameBuf {
+	return frameBufPool.Get().(*frameBuf)
+}
+
+func putFrameBuf(fb *frameBuf) {
+	if cap(fb.b) <= jsonBufMax {
+		frameBufPool.Put(fb)
+	}
+}
+
 // scratchPool hands each engine run a reusable arena
 // (fullinfo.Scratch): flat tables, interner shards, and frontier
 // buffers persist across cache-miss requests instead of being

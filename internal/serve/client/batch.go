@@ -7,8 +7,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"time"
+
+	"repro/internal/serve/wire"
 )
 
 // BatchItem is one scenario of a /v1/solve/batch request — the same
@@ -25,13 +29,27 @@ type BatchItem struct {
 // BatchVerdict is one decoded line of the batch response stream.
 // Status carries what the single-item endpoint would have answered for
 // this index; Verdict is left raw so callers unmarshal it into their
-// own response struct only for the items they care about.
+// own response struct only for the items they care about. When the
+// stream arrived as binary frames, Decoded holds the typed verdict
+// (*wire.Solvable, *wire.NetSolvable, or *wire.Chaos) instead and
+// Verdict is nil; Raw() bridges the two.
 type BatchVerdict struct {
 	Index   int             `json:"index"`
 	Status  int             `json:"status"`
 	Verdict json.RawMessage `json:"verdict,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	DiagID  string          `json:"diagId,omitempty"`
+	Decoded any             `json:"-"`
+}
+
+// Raw returns the verdict body as JSON regardless of which encoding the
+// stream used: Verdict verbatim for JSON streams, a re-marshal of
+// Decoded for binary ones (nil when the item carried no verdict).
+func (v *BatchVerdict) Raw() (json.RawMessage, error) {
+	if v.Verdict != nil || v.Decoded == nil {
+		return v.Verdict, nil
+	}
+	return json.Marshal(v.Decoded)
 }
 
 // SolveBatch POSTs items to /v1/solve/batch and invokes fn once per
@@ -87,6 +105,10 @@ func (c *Client) batchOnce(ctx context.Context, payload []byte, fn func(BatchVer
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sentBinary := c.binaryOK.Load()
+	if sentBinary {
+		req.Header.Set("Accept", wire.AcceptVerdictStream)
+	}
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -95,6 +117,11 @@ func (c *Client) batchOnce(ctx context.Context, payload []byte, fn func(BatchVer
 		return false, &retryableError{err: err}
 	}
 	defer resp.Body.Close()
+	if sentBinary && resp.StatusCode == http.StatusNotAcceptable {
+		c.binaryOK.Store(false)
+		io.Copy(io.Discard, resp.Body)
+		return false, &retryableError{err: fmt.Errorf("capserved: binary rejected; retrying as JSON")}
+	}
 	if resp.StatusCode != http.StatusOK {
 		buf, rerr := readBody(resp.Body, c.opt.MaxBodyBytes)
 		if rerr != nil {
@@ -110,6 +137,9 @@ func (c *Client) batchOnce(ctx context.Context, payload []byte, fn func(BatchVer
 			return false, &retryableError{api: apiErr, retryAfter: parseRetryAfter(resp)}
 		}
 		return false, apiErr
+	}
+	if strings.Contains(resp.Header.Get("Content-Type"), wire.MediaTypeVerdictStream) {
+		return c.batchScanFrames(resp.Body, fn)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	// MaxBodyBytes bounds one line here, not the whole stream: each
@@ -139,4 +169,44 @@ func (c *Client) batchOnce(ctx context.Context, payload []byte, fn func(BatchVer
 		return streamed, err
 	}
 	return streamed, nil
+}
+
+// batchScanFrames consumes a binary batch stream: one BatchLine frame
+// per item, decoded typed and delivered through the same callback as
+// JSON lines.
+func (c *Client) batchScanFrames(body io.Reader, fn func(BatchVerdict) error) (streamed bool, err error) {
+	fs := wire.NewFrameScanner(body, int(c.opt.MaxBodyBytes))
+	for {
+		kind, payload, err := fs.Next()
+		if err == io.EOF {
+			return streamed, nil
+		}
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				return streamed, &TruncatedError{Limit: c.opt.MaxBodyBytes}
+			}
+			if !streamed {
+				return false, &retryableError{err: err}
+			}
+			return streamed, err
+		}
+		if kind != wire.KindBatchLine {
+			return streamed, fmt.Errorf("capserved: unexpected %s frame in batch stream", kind)
+		}
+		line, err := wire.DecodeBatchLine(payload)
+		if err != nil {
+			return streamed, fmt.Errorf("capserved: decoding batch frame: %w", err)
+		}
+		streamed = true
+		v := BatchVerdict{
+			Index:   line.Index,
+			Status:  line.Status,
+			Error:   line.Error,
+			DiagID:  line.DiagID,
+			Decoded: line.Verdict,
+		}
+		if err := fn(v); err != nil {
+			return streamed, err
+		}
+	}
 }

@@ -1,9 +1,17 @@
 // Package client is a small retrying HTTP client for capserved. It
-// speaks the service's JSON protocol and absorbs its load-shedding
+// speaks the service's protocol — binary verdict frames when the server
+// offers them, JSON otherwise — and absorbs its load-shedding
 // semantics: 429/503 responses (and transport errors) are retried with
 // capped exponential backoff plus decorrelated jitter, honoring the
 // server's Retry-After header when present, all bounded by the caller's
 // context.
+//
+// Binary negotiation is transparent: verdict requests carry an Accept
+// header preferring application/x-capverdict, the reply's Content-Type
+// (and a frame-magic sniff) decides the decode path, and a server that
+// rejects the Accept outright (406) flips the client back to JSON for
+// the rest of its lifetime. Callers see identical decoded structs
+// either way.
 package client
 
 import (
@@ -17,7 +25,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/serve/wire"
 )
 
 // Options tunes the retry policy. The zero value gives sane defaults.
@@ -37,10 +48,13 @@ type Options struct {
 	// Injectable so tests can record delays instead of waiting.
 	Sleep func(ctx context.Context, d time.Duration) error
 	// MaxBodyBytes caps how many bytes of one response body (or one
-	// streamed batch line) the client will buffer (default 1 MiB). A
-	// longer reply fails with *TruncatedError instead of being silently
-	// clipped into a JSON parse error.
+	// streamed batch line / frame) the client will buffer (default
+	// 1 MiB). A longer reply fails with *TruncatedError instead of being
+	// silently clipped into a JSON parse error.
 	MaxBodyBytes int64
+	// DisableBinary forces JSON even for verdict requests the server
+	// could answer with binary frames.
+	DisableBinary bool
 }
 
 func (o *Options) defaults() {
@@ -80,12 +94,17 @@ func (o *Options) defaults() {
 type Client struct {
 	base string
 	opt  Options
+	// binaryOK records whether the server tolerates binary Accept
+	// headers; a 406 clears it and the client stays on JSON.
+	binaryOK atomic.Bool
 }
 
 // New builds a client for a base URL such as "http://127.0.0.1:8321".
 func New(base string, opt Options) *Client {
 	opt.defaults()
-	return &Client{base: base, opt: opt}
+	c := &Client{base: base, opt: opt}
+	c.binaryOK.Store(!opt.DisableBinary)
+	return c
 }
 
 // APIError is a non-retryable (or retries-exhausted) HTTP error reply.
@@ -146,6 +165,21 @@ func readBody(r io.Reader, limit int64) (*bytes.Buffer, error) {
 		return nil, &TruncatedError{Limit: limit}
 	}
 	return buf, nil
+}
+
+// ReadBounded drains r into a pooled buffer, failing with
+// *TruncatedError past limit. It is the package's pooled replacement
+// for io.ReadAll at response-consumption sites (the cluster coordinator
+// uses it for shard replies and handoff bodies). The caller must
+// ReleaseBuffer the result once its Bytes() are no longer referenced —
+// and must copy bytes that outlive the release.
+func ReadBounded(r io.Reader, limit int64) (*bytes.Buffer, error) {
+	return readBody(r, limit)
+}
+
+// ReleaseBuffer returns a ReadBounded buffer to the pool.
+func ReleaseBuffer(b *bytes.Buffer) {
+	putBody(b)
 }
 
 // retryable reports whether a status is worth retrying: the server's
@@ -250,6 +284,17 @@ func (r *retryableError) Error() string {
 	return r.err.Error()
 }
 
+// binaryDecodable reports whether respBody is a verdict pointer the
+// binary protocol can fill — the only shapes worth negotiating frames
+// for. Everything else (stats maps, health bodies) stays JSON.
+func binaryDecodable(respBody any) bool {
+	switch respBody.(type) {
+	case *wire.Solvable, *wire.NetSolvable, *wire.Chaos:
+		return true
+	}
+	return false
+}
+
 func (c *Client) once(ctx context.Context, method, path string, payload []byte, respBody any) error {
 	var body io.Reader
 	if payload != nil {
@@ -262,6 +307,10 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	sentBinary := c.binaryOK.Load() && binaryDecodable(respBody)
+	if sentBinary {
+		req.Header.Set("Accept", wire.AcceptVerdict)
+	}
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -270,6 +319,13 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		return &retryableError{err: err}
 	}
 	defer resp.Body.Close()
+	if sentBinary && resp.StatusCode == http.StatusNotAcceptable {
+		// A strict server refused the binary Accept: remember, and let
+		// the retry loop re-issue the request as plain JSON.
+		c.binaryOK.Store(false)
+		io.Copy(io.Discard, resp.Body)
+		return &retryableError{err: fmt.Errorf("capserved: binary rejected; retrying as JSON")}
+	}
 	buf, err := readBody(resp.Body, c.opt.MaxBodyBytes)
 	if err != nil {
 		var trunc *TruncatedError
@@ -288,6 +344,14 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		return apiErr
 	}
 	if respBody != nil {
+		if wire.IsFrame(raw) {
+			if err := wire.UnmarshalInto(raw, respBody); err != nil {
+				return fmt.Errorf("capserved: decoding frame: %w", err)
+			}
+			return nil
+		}
+		// JSON body — either we never asked for binary, or the server
+		// (an older release) ignored the Accept header. Both are fine.
 		if err := json.Unmarshal(raw, respBody); err != nil {
 			return fmt.Errorf("capserved: decoding response: %w", err)
 		}

@@ -1,0 +1,191 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serve/wire"
+)
+
+// The client-side half of the binary negotiation contract: frames are
+// requested for decodable verdict types, decoded when the server sends
+// them, and abandoned — transparently, per client — when the server
+// rejects the Accept outright.
+
+// TestClientDecodesBinaryVerdict pins the happy path: a server that
+// honors the binary Accept answers with one frame, and the client
+// decodes it into the caller's verdict struct.
+func TestClientDecodesBinaryVerdict(t *testing.T) {
+	want := wire.Solvable{Scheme: "S1", Horizon: 3, Solvable: true, Configs: 81, ConfigsExact: "48630661836227715204"}
+	var sawAccept atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawAccept.Store(r.Header.Get("Accept"))
+		b, err := wire.Marshal(&want)
+		if err != nil {
+			t.Errorf("Marshal: %v", err)
+		}
+		w.Header().Set("Content-Type", wire.MediaTypeVerdict)
+		w.Write(b)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	var got wire.Solvable
+	if err := c.Do(context.Background(), http.MethodPost, "/v1/solvable", map[string]any{"scheme": "S1", "horizon": 3}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("decoded %+v, want %+v", got, want)
+	}
+	if a, _ := sawAccept.Load().(string); !strings.Contains(a, wire.MediaTypeVerdict) {
+		t.Fatalf("client sent Accept %q, want the binary media type", a)
+	}
+}
+
+// TestClientFallsBackOnJSONReply covers old servers: they ignore the
+// binary Accept and answer JSON, and the client must decode that
+// without fuss (sniffing, not trusting its own request).
+func TestClientFallsBackOnJSONReply(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wire.Solvable{Scheme: "S1", Horizon: 3, Solvable: true})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	var got wire.Solvable
+	if err := c.Do(context.Background(), http.MethodPost, "/v1/solvable", map[string]any{"scheme": "S1"}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Solvable || got.Scheme != "S1" {
+		t.Fatalf("decoded %+v from a JSON reply", got)
+	}
+}
+
+// TestClient406DisablesBinary covers a hostile intermediary (or a
+// strict future server) that 406es the binary Accept: the client must
+// retry the request as JSON and remember the answer, so the second
+// request never sends the binary Accept at all.
+func TestClient406DisablesBinary(t *testing.T) {
+	var requests []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		accept := r.Header.Get("Accept")
+		requests = append(requests, accept)
+		if strings.Contains(accept, wire.MediaTypeVerdict) {
+			w.WriteHeader(http.StatusNotAcceptable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wire.Solvable{Scheme: "S1", Solvable: true})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{MaxAttempts: 3})
+	var got wire.Solvable
+	if err := c.Do(context.Background(), http.MethodPost, "/v1/solvable", map[string]any{"scheme": "S1"}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Solvable {
+		t.Fatalf("decoded %+v after the 406 fallback", got)
+	}
+	var gotAgain wire.Solvable
+	if err := c.Do(context.Background(), http.MethodPost, "/v1/solvable", map[string]any{"scheme": "S1"}, &gotAgain); err != nil {
+		t.Fatal(err)
+	}
+	if len(requests) != 3 {
+		t.Fatalf("server saw %d requests (%q), want 3: binary, JSON retry, JSON", len(requests), requests)
+	}
+	if !strings.Contains(requests[0], wire.MediaTypeVerdict) {
+		t.Fatalf("first request Accept = %q, want binary", requests[0])
+	}
+	for _, a := range requests[1:] {
+		if strings.Contains(a, wire.MediaTypeVerdict) {
+			t.Fatalf("client kept sending binary Accept after a 406: %q", requests)
+		}
+	}
+}
+
+// TestClientDisableBinaryOption pins the opt-out: with DisableBinary
+// the client never names the frame media type.
+func TestClientDisableBinaryOption(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), wire.MediaTypeVerdict) {
+			t.Errorf("DisableBinary client sent Accept %q", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wire.Solvable{Scheme: "S1"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{DisableBinary: true})
+	var got wire.Solvable
+	if err := c.Do(context.Background(), http.MethodPost, "/v1/solvable", map[string]any{"scheme": "S1"}, &got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchStreamsFrames pins the batch half: a server streaming
+// BatchLine frames under the stream media type reaches the caller's
+// callback with typed decoded verdicts.
+func TestBatchStreamsFrames(t *testing.T) {
+	lines := []*wire.BatchLine{
+		{Index: 0, Status: 200, Verdict: &wire.Solvable{Scheme: "S1", Horizon: 2, Solvable: true}},
+		{Index: 1, Status: 400, Error: "unknown scheme"},
+		{Index: 2, Status: 200, Verdict: &wire.Solvable{Scheme: "S2", Horizon: 3}},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept"), wire.MediaTypeVerdictStream) {
+			t.Errorf("batch Accept = %q, want the stream media type", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", wire.MediaTypeVerdictStream)
+		var out []byte
+		for _, l := range lines {
+			var err error
+			out, err = wire.AppendVerdict(out, l)
+			if err != nil {
+				t.Errorf("AppendVerdict: %v", err)
+			}
+		}
+		w.Write(out)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	var got []BatchVerdict
+	items := []BatchItem{{Scheme: "S1", Horizon: 2}, {Scheme: "nope", Horizon: 2}, {Scheme: "S2", Horizon: 3}}
+	err := c.SolveBatch(context.Background(), items, func(v BatchVerdict) error {
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("callback saw %d lines, want %d", len(got), len(lines))
+	}
+	for i, v := range got {
+		if v.Index != lines[i].Index || v.Status != lines[i].Status || v.Error != lines[i].Error {
+			t.Fatalf("line %d = %+v, want %+v", i, v, lines[i])
+		}
+	}
+	sv, ok := got[0].Decoded.(*wire.Solvable)
+	if !ok || sv.Scheme != "S1" || !sv.Solvable {
+		t.Fatalf("line 0 decoded verdict = %#v, want the typed solvable", got[0].Decoded)
+	}
+	raw, err := got[2].Raw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back wire.Solvable
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("Raw() of a frame-decoded verdict is not JSON: %v", err)
+	}
+	if back.Scheme != "S2" {
+		t.Fatalf("Raw() round trip = %+v", back)
+	}
+}

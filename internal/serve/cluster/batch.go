@@ -6,14 +6,23 @@ import (
 	"errors"
 	"net/http"
 	"sync"
+
+	"repro/internal/serve/wire"
 )
 
-// POST /v1/solve/batch on the coordinator: items are keyed and routed
-// INDIVIDUALLY — each miss fans out to its own shard's replica set
-// through the normal hedged path, so per-shard breakers, hedging, and
-// failover all operate per item, not per batch. Cache and warm hits
-// stream immediately; misses stream as each shard answers. Lines carry
-// the originating item index, so arrival order is completion order.
+// Batch endpoints on the coordinator — /v1/solve/batch,
+// /v1/net/solve/batch, /v1/chaos/batch — mirror the node's batch tier:
+// items are keyed and routed INDIVIDUALLY, each miss fanning out to its
+// own shard's replica set through the normal hedged path, so per-shard
+// breakers, hedging, and failover all operate per item, not per batch.
+// Cache and warm hits stream immediately (cacheable classes only; chaos
+// campaigns always fan out); misses stream as each shard answers. Lines
+// carry the originating item index, so arrival order is completion
+// order. The stream is JSON lines by default and BatchLine frames when
+// the caller negotiated application/x-capverdict-stream; shard-side the
+// coordinator negotiates frames for every class that has one, and each
+// item's verdict is transcoded (at most once) to whatever the caller
+// asked for.
 
 // batchFanout bounds how many misses of one batch are in flight against
 // the shards at once.
@@ -25,139 +34,232 @@ const batchFanout = 8
 // only defer the backends' own limits.
 const clusterBatchMax = 64
 
-// batchLine mirrors the single node's per-item stream record. Cached
-// marks items served from the coordinator's LRU/warm tiers — the
-// embedded verdict is the shard's original reply, so its own cached
-// flag reflects the backend's cache, not the coordinator's.
-type batchLine struct {
-	Index   int             `json:"index"`
-	Status  int             `json:"status"`
-	Cached  bool            `json:"cached,omitempty"`
-	Verdict json.RawMessage `json:"verdict,omitempty"`
-	Error   string          `json:"error,omitempty"`
+// chaosBatchKey validates one chaos item and returns the empty key:
+// campaigns are uncacheable (seeded randomized runs), so items always
+// fan out, routed by body hash.
+func (c *Coordinator) chaosBatchKey(body []byte) (string, error) {
+	var req chaosShardRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", err
+	}
+	if _, err := req.Resolve(); err != nil {
+		return "", err
+	}
+	return "", nil
 }
 
-func (c *Coordinator) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
-	c.m.requests.Add(1)
-	body, err := readBody(w, r)
-	if err != nil {
-		c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	// Items stay raw: each one IS a single /v1/solvable body, forwarded
-	// verbatim to whichever shard its key routes to.
-	var req struct {
-		Items []json.RawMessage `json:"items"`
-	}
-	if err := json.Unmarshal(body, &req); err != nil {
-		c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-	if len(req.Items) == 0 {
-		c.writeError(w, http.StatusBadRequest, "batch needs at least one item")
-		return
-	}
-	if len(req.Items) > clusterBatchMax {
-		c.writeError(w, http.StatusBadRequest, "batch of %d items exceeds cap %d", len(req.Items), clusterBatchMax)
-		return
-	}
-	c.m.batches.Add(1)
-	c.m.batchItems.Add(int64(len(req.Items)))
+// batchEmitter serializes stream lines from the fan-out workers and
+// owns the caller-side encoding choice. kind is the endpoint's verdict
+// frame kind, used to transcode JSON shard replies for binary callers.
+type batchEmitter struct {
+	mu      sync.Mutex
+	w       http.ResponseWriter
+	flusher http.Flusher
+	binary  bool
+	kind    wire.Kind
+}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	var wmu sync.Mutex // serializes line writes from the fan-out workers
-	emit := func(line batchLine) {
-		raw, err := json.Marshal(line)
+// verdictFor shapes a stored or shard-answered body for the stream: a
+// wire.Raw for binary callers (transcoding JSON bodies through the
+// endpoint's kind), raw JSON for JSON callers (transcoding frames). A
+// body that fits neither encoding is dropped to an error line by the
+// caller.
+func (e *batchEmitter) verdictFor(body []byte) (any, bool) {
+	if e.binary {
+		if wire.IsFrame(body) {
+			kind, payload, _, err := wire.DecodeFrame(body)
+			if err != nil {
+				return nil, false
+			}
+			return wire.Raw{Kind: kind, Payload: payload}, true
+		}
+		f, err := wire.JSONToFrame(e.kind, body)
 		if err != nil {
+			return nil, false
+		}
+		kind, payload, _, _ := wire.DecodeFrame(f)
+		return wire.Raw{Kind: kind, Payload: payload}, true
+	}
+	if wire.IsFrame(body) {
+		j, err := wire.FrameToJSON(body, "")
+		if err != nil {
+			return nil, false
+		}
+		return json.RawMessage(j), true
+	}
+	return json.RawMessage(body), true
+}
+
+func (e *batchEmitter) emit(line wire.BatchLine) {
+	var out []byte
+	var err error
+	if e.binary {
+		out, err = wire.AppendVerdict(nil, &line)
+	} else {
+		out, err = json.Marshal(line)
+		out = append(out, '\n')
+	}
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.w.Write(out)
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+// batchHandler builds the coordinator batch endpoint for one heavy
+// class: path is the single-item backend endpoint each item forwards
+// to, kind the class's verdict frame kind, and keyOf validates an item
+// and yields its cache key ("" marks the class uncacheable).
+func (c *Coordinator) batchHandler(path string, kind wire.Kind, keyOf func([]byte) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.m.requests.Add(1)
+		body, err := readBody(w, r)
+		if err != nil {
+			c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
-		wmu.Lock()
-		defer wmu.Unlock()
-		w.Write(raw)
-		w.Write([]byte("\n"))
-		if flusher != nil {
-			flusher.Flush()
+		// Items stay raw: each one IS a single-endpoint body, forwarded
+		// verbatim to whichever shard its key routes to.
+		var req struct {
+			Items []json.RawMessage `json:"items"`
 		}
-	}
+		if err := json.Unmarshal(body, &req); err != nil {
+			c.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if len(req.Items) == 0 {
+			c.writeError(w, http.StatusBadRequest, "batch needs at least one item")
+			return
+		}
+		if len(req.Items) > clusterBatchMax {
+			c.writeError(w, http.StatusBadRequest, "batch of %d items exceeds cap %d", len(req.Items), clusterBatchMax)
+			return
+		}
+		c.m.batches.Add(1)
+		c.m.batchItems.Add(int64(len(req.Items)))
 
-	// First pass: key every item; serve cache/warm tiers inline, queue
-	// the rest for the shard fan-out.
-	type missItem struct {
-		index int
-		key   string
-		body  json.RawMessage
+		e := &batchEmitter{w: w, binary: acceptsWireStream(r), kind: kind}
+		if e.binary {
+			w.Header().Set("Content-Type", wire.MediaTypeVerdictStream)
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		w.WriteHeader(http.StatusOK)
+		e.flusher, _ = w.(http.Flusher)
+
+		// First pass: key every item; serve cache/warm tiers inline,
+		// queue the rest for the shard fan-out.
+		type missItem struct {
+			index int
+			key   string
+			body  json.RawMessage
+		}
+		var misses []missItem
+		for i, item := range req.Items {
+			key, err := keyOf(item)
+			if err != nil {
+				e.emit(wire.BatchLine{Index: i, Status: http.StatusBadRequest, Error: err.Error()})
+				continue
+			}
+			if key == "" {
+				// Uncacheable class (chaos): straight to the fan-out,
+				// routed by body hash.
+				misses = append(misses, missItem{index: i, key: "", body: item})
+				continue
+			}
+			if v, ok := c.cache.Get(key); ok {
+				c.m.cacheHits.Add(1)
+				c.emitStored(e, i, v.([]byte))
+				continue
+			}
+			c.warmMu.RLock()
+			raw, ok := c.warmMap[key]
+			c.warmMu.RUnlock()
+			if ok {
+				c.m.cacheHits.Add(1)
+				c.m.warmHits.Add(1)
+				c.cache.Put(key, []byte(raw))
+				c.emitStored(e, i, raw)
+				continue
+			}
+			c.m.cacheMisses.Add(1)
+			misses = append(misses, missItem{index: i, key: key, body: item})
+		}
+		if len(misses) == 0 {
+			return
+		}
+
+		// Second pass: each miss routes by its own key and goes through
+		// hedgedDo independently — one slow or broken shard only delays
+		// the items that hash to it. The epoch view is captured once, so
+		// a membership swap mid-batch cannot split one batch across
+		// rings.
+		view := c.currentView()
+		sem := make(chan struct{}, batchFanout)
+		var wg sync.WaitGroup
+		for _, ms := range misses {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ms missItem) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				routeKey := ms.key
+				if routeKey == "" {
+					routeKey = "chaos|" + string(ms.body)
+				}
+				res, err := c.hedgedDo(r.Context(), path, wire.AcceptVerdict, ms.body, view, view.ring.Replicas(routeKey, c.cfg.Replicas))
+				if err != nil {
+					e.emit(batchErrLine(ms.index, err))
+					return
+				}
+				if res.status >= 400 {
+					e.emit(wire.BatchLine{Index: ms.index, Status: res.status, Error: string(res.body)})
+					return
+				}
+				if ms.key != "" {
+					c.cache.Put(ms.key, res.body)
+					c.persistWarm(ms.key, res.body)
+				}
+				v, ok := e.verdictFor(res.body)
+				if !ok {
+					e.emit(wire.BatchLine{Index: ms.index, Status: http.StatusBadGateway,
+						Error: "shard returned an undecodable verdict"})
+					return
+				}
+				e.emit(wire.BatchLine{Index: ms.index, Status: http.StatusOK, Verdict: v})
+			}(ms)
+		}
+		wg.Wait()
 	}
-	var misses []missItem
-	for i, item := range req.Items {
-		key, err := c.solvableKey(item)
-		if err != nil {
-			emit(batchLine{Index: i, Status: http.StatusBadRequest, Error: err.Error()})
-			continue
-		}
-		if v, ok := c.cache.Get(key); ok {
-			c.m.cacheHits.Add(1)
-			emit(batchLine{Index: i, Status: http.StatusOK, Cached: true, Verdict: json.RawMessage(v.([]byte))})
-			continue
-		}
-		c.warmMu.RLock()
-		raw, ok := c.warmMap[key]
-		c.warmMu.RUnlock()
-		if ok {
-			c.m.cacheHits.Add(1)
-			c.m.warmHits.Add(1)
-			c.cache.Put(key, []byte(raw))
-			emit(batchLine{Index: i, Status: http.StatusOK, Cached: true, Verdict: raw})
-			continue
-		}
-		c.m.cacheMisses.Add(1)
-		misses = append(misses, missItem{index: i, key: key, body: item})
-	}
-	if len(misses) == 0 {
+}
+
+// emitStored streams a coordinator cache/warm hit. Cached marks the
+// coordinator's tier — the embedded verdict is the shard's original
+// reply, so its own cached flag reflects the backend's cache.
+func (c *Coordinator) emitStored(e *batchEmitter, index int, body []byte) {
+	v, ok := e.verdictFor(body)
+	if !ok {
+		e.emit(wire.BatchLine{Index: index, Status: http.StatusBadGateway,
+			Error: "cached verdict is undecodable"})
 		return
 	}
-
-	// Second pass: each miss routes by its own key and goes through
-	// hedgedDo independently — one slow or broken shard only delays the
-	// items that hash to it. The epoch view is captured once, so a
-	// membership swap mid-batch cannot split one batch across rings.
-	view := c.currentView()
-	sem := make(chan struct{}, batchFanout)
-	var wg sync.WaitGroup
-	for _, ms := range misses {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ms missItem) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := c.hedgedDo(r.Context(), "/v1/solvable", ms.body, view, view.ring.Replicas(ms.key, c.cfg.Replicas))
-			if err != nil {
-				emit(batchErrLine(ms.index, err))
-				return
-			}
-			if res.status >= 400 {
-				emit(batchLine{Index: ms.index, Status: res.status, Error: string(res.body)})
-				return
-			}
-			c.cache.Put(ms.key, res.body)
-			c.persistWarm(ms.key, res.body)
-			emit(batchLine{Index: ms.index, Status: http.StatusOK, Verdict: json.RawMessage(res.body)})
-		}(ms)
-	}
-	wg.Wait()
+	e.emit(wire.BatchLine{Index: index, Status: http.StatusOK, Cached: true, Verdict: v})
 }
 
 // batchErrLine maps a hedged-request failure onto the per-item status
 // writeHedgeError would have used for a whole request.
-func batchErrLine(index int, err error) batchLine {
+func batchErrLine(index int, err error) wire.BatchLine {
 	var broken errAllShardsBroken
 	switch {
 	case errors.As(err, &broken):
-		return batchLine{Index: index, Status: http.StatusServiceUnavailable, Error: broken.Error()}
+		return wire.BatchLine{Index: index, Status: http.StatusServiceUnavailable, Error: broken.Error()}
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		return batchLine{Index: index, Status: http.StatusGatewayTimeout, Error: "cluster request deadline exceeded"}
+		return wire.BatchLine{Index: index, Status: http.StatusGatewayTimeout, Error: "cluster request deadline exceeded"}
 	default:
-		return batchLine{Index: index, Status: http.StatusBadGateway, Error: err.Error()}
+		return wire.BatchLine{Index: index, Status: http.StatusBadGateway, Error: err.Error()}
 	}
 }

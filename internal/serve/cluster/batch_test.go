@@ -12,6 +12,17 @@ import (
 	"repro/internal/serve"
 )
 
+// batchLine is the JSON decode shape of one coordinator stream line
+// (the emit side now writes wire.BatchLine; the JSON layout is
+// unchanged).
+type batchLine struct {
+	Index   int             `json:"index"`
+	Status  int             `json:"status"`
+	Cached  bool            `json:"cached,omitempty"`
+	Verdict json.RawMessage `json:"verdict,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
 // postClusterBatch fires a batch at the coordinator and returns the
 // decoded lines sorted by item index (the stream is completion-ordered).
 func postClusterBatch(t *testing.T, base, body string) (*http.Response, []batchLine) {

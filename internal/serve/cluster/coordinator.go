@@ -9,11 +9,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/serve/wire"
 )
 
 // Config parameterizes the coordinator. Only Backends is required.
@@ -184,7 +187,7 @@ type Coordinator struct {
 
 	warm       *serve.VerdictStore
 	warmMu     sync.RWMutex
-	warmMap    map[string]json.RawMessage
+	warmMap    map[string][]byte
 	warmLoaded int
 
 	// baseCtx is the coordinator lifetime: every backend attempt, probe,
@@ -254,7 +257,7 @@ func New(cfg Config) (*Coordinator, error) {
 		mux:     http.NewServeMux(),
 		cache:   serve.NewLRU(cfg.CacheEntries),
 		members: map[string]*member{},
-		warmMap: map[string]json.RawMessage{},
+		warmMap: map[string][]byte{},
 	}
 	now := cfg.Clock()
 	for _, base := range cfg.Backends {
@@ -401,11 +404,13 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("DELETE /v1/cluster/members", c.handleMembersDelete)
 	c.mux.HandleFunc("POST /v1/classify", c.keyed(c.classifyKey))
 	c.mux.HandleFunc("POST /v1/solvable", c.keyed(c.solvableKey))
-	c.mux.HandleFunc("POST /v1/solve/batch", c.handleSolveBatch)
+	c.mux.HandleFunc("POST /v1/solve/batch", c.batchHandler("/v1/solvable", wire.KindSolvable, c.solvableKey))
 	c.mux.HandleFunc("POST /v1/net/solvable", c.keyed(c.netSolvableKey))
+	c.mux.HandleFunc("POST /v1/net/solve/batch", c.batchHandler("/v1/net/solvable", wire.KindNetSolvable, c.netSolvableKey))
 	c.mux.HandleFunc("POST /v1/index", c.passthrough)
 	c.mux.HandleFunc("POST /v1/unindex", c.passthrough)
 	c.mux.HandleFunc("POST /v1/chaos", c.handleChaos)
+	c.mux.HandleFunc("POST /v1/chaos/batch", c.batchHandler("/v1/chaos", wire.KindChaos, c.chaosBatchKey))
 }
 
 type apiError struct {
@@ -427,6 +432,56 @@ func (c *Coordinator) writeError(w http.ResponseWriter, code int, format string,
 // readBody slurps a bounded request body.
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	return io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+}
+
+// acceptsWire / acceptsWireStream report whether the caller negotiated
+// binary verdict frames (mirroring the node's negotiation).
+func acceptsWire(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.MediaTypeVerdict)
+}
+
+func acceptsWireStream(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.MediaTypeVerdictStream)
+}
+
+// shardAccept is the Accept header the coordinator sends to backends
+// for a keyed request: binary frames for keys that have a frame kind
+// (solvable, netsolve), JSON otherwise. The cached/warm body then
+// carries whichever encoding the shard answered with, and negotiateBody
+// transcodes per caller.
+func shardAccept(key string) string {
+	if _, ok := wire.KindForKey(key); ok {
+		return wire.AcceptVerdict
+	}
+	return ""
+}
+
+// negotiateBody reconciles a cached or shard-answered verdict body with
+// what the caller asked for: frames pass through to binary callers,
+// frames transcode to pretty JSON for JSON callers, and JSON bodies
+// transcode to frames for binary callers when the key has a frame kind.
+// The returned content type is "" when a frame body cannot be decoded
+// at all (cache corruption) — the caller should answer 502.
+func negotiateBody(r *http.Request, key string, body []byte) ([]byte, string) {
+	wantBin := acceptsWire(r)
+	if wire.IsFrame(body) {
+		if wantBin {
+			return body, wire.MediaTypeVerdict
+		}
+		j, err := wire.FrameToJSON(body, "  ")
+		if err != nil {
+			return nil, ""
+		}
+		return append(j, '\n'), "application/json"
+	}
+	if wantBin {
+		if kind, ok := wire.KindForKey(key); ok {
+			if f, err := wire.JSONToFrame(kind, body); err == nil {
+				return f, wire.MediaTypeVerdict
+			}
+		}
+	}
+	return body, "application/json"
 }
 
 // Key extractors: each decodes just enough of the request to (a) reject
@@ -503,7 +558,7 @@ func (c *Coordinator) keyed(keyOf func([]byte) (string, error)) http.HandlerFunc
 		}
 		if v, ok := c.cache.Get(key); ok {
 			c.m.cacheHits.Add(1)
-			c.serveRaw(w, "hit", v.([]byte))
+			c.serveRaw(w, r, key, "hit", v.([]byte))
 			return
 		}
 		c.warmMu.RLock()
@@ -513,13 +568,13 @@ func (c *Coordinator) keyed(keyOf func([]byte) (string, error)) http.HandlerFunc
 			c.m.cacheHits.Add(1)
 			c.m.warmHits.Add(1)
 			c.cache.Put(key, []byte(raw))
-			c.serveRaw(w, "warm", []byte(raw))
+			c.serveRaw(w, r, key, "warm", []byte(raw))
 			return
 		}
 		c.m.cacheMisses.Add(1)
 
 		view := c.currentView()
-		res, err := c.hedgedDo(r.Context(), r.URL.Path, body, view, view.ring.Replicas(key, c.cfg.Replicas))
+		res, err := c.hedgedDo(r.Context(), r.URL.Path, shardAccept(key), body, view, view.ring.Replicas(key, c.cfg.Replicas))
 		if err != nil {
 			c.writeHedgeError(w, err)
 			return
@@ -527,12 +582,12 @@ func (c *Coordinator) keyed(keyOf func([]byte) (string, error)) http.HandlerFunc
 		if res.status >= 400 {
 			// Client-shaped rejection: every replica would agree, so the
 			// first verdict is forwarded and nothing is cached.
-			c.forward(w, res)
+			c.forward(w, r, key, res)
 			return
 		}
 		c.cache.Put(key, res.body)
 		c.persistWarm(key, res.body)
-		c.forward(w, res)
+		c.forward(w, r, key, res)
 	}
 }
 
@@ -547,27 +602,45 @@ func (c *Coordinator) passthrough(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	view := c.currentView()
-	res, err := c.hedgedDo(r.Context(), r.URL.Path, body, view, view.ring.Replicas("light|"+string(body), c.cfg.Replicas))
+	res, err := c.hedgedDo(r.Context(), r.URL.Path, "", body, view, view.ring.Replicas("light|"+string(body), c.cfg.Replicas))
 	if err != nil {
 		c.writeHedgeError(w, err)
 		return
 	}
-	c.forward(w, res)
-}
-
-func (c *Coordinator) serveRaw(w http.ResponseWriter, tier string, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cluster-Cache", tier)
-	w.WriteHeader(http.StatusOK)
-	w.Write(body)
-}
-
-func (c *Coordinator) forward(w http.ResponseWriter, res *attemptResult) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cluster-Cache", "miss")
 	w.Header().Set("X-Cluster-Shard", res.base)
 	w.WriteHeader(res.status)
 	w.Write(res.body)
+}
+
+func (c *Coordinator) serveRaw(w http.ResponseWriter, r *http.Request, key, tier string, body []byte) {
+	out, ct := negotiateBody(r, key, body)
+	if ct == "" {
+		c.writeError(w, http.StatusBadGateway, "cached verdict for %s is undecodable", key)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("X-Cluster-Cache", tier)
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
+func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, key string, res *attemptResult) {
+	body, ct := res.body, "application/json"
+	if res.status < 400 {
+		// Error bodies are JSON and must never be re-shaped; verdicts
+		// negotiate.
+		if body, ct = negotiateBody(r, key, res.body); ct == "" {
+			c.writeError(w, http.StatusBadGateway, "shard %s returned an undecodable verdict", res.base)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("X-Cluster-Cache", "miss")
+	w.Header().Set("X-Cluster-Shard", res.base)
+	w.WriteHeader(res.status)
+	w.Write(body)
 }
 
 func (c *Coordinator) persistWarm(key string, body []byte) {
@@ -638,7 +711,7 @@ type attemptResult struct {
 //
 // Every attempt runs under the coordinator's lifetime context, so drain
 // cancels stragglers; the per-call context bounds total latency.
-func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte, view *epochView, cands []int) (*attemptResult, error) {
+func (c *Coordinator) hedgedDo(rctx context.Context, path, accept string, payload []byte, view *epochView, cands []int) (*attemptResult, error) {
 	ctx, cancel := c.boundedCtx(rctx)
 	defer cancel()
 
@@ -670,7 +743,7 @@ func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				res := c.attempt(ctx, sh, path, payload)
+				res := c.attempt(ctx, sh, path, accept, payload)
 				res.base, res.hedged = sh.base, hedged
 				failed := res.err != nil || res.status >= 500
 				if res.err != nil && ctx.Err() != nil {
@@ -741,8 +814,12 @@ func (c *Coordinator) hedgedDo(rctx context.Context, path string, payload []byte
 	}
 }
 
+// attemptBodyLimit bounds one shard reply body.
+const attemptBodyLimit = 8 << 20
+
 // attempt performs a single backend POST under the attempt timeout.
-func (c *Coordinator) attempt(ctx context.Context, sh *shard, path string, payload []byte) attemptResult {
+// accept, when non-empty, negotiates the reply encoding with the shard.
+func (c *Coordinator) attempt(ctx context.Context, sh *shard, path, accept string, payload []byte) attemptResult {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, sh.base+path, bytes.NewReader(payload))
@@ -750,14 +827,24 @@ func (c *Coordinator) attempt(ctx context.Context, sh *shard, path string, paylo
 		return attemptResult{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return attemptResult{err: err}
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	buf, err := client.ReadBounded(resp.Body, attemptBodyLimit)
 	if err != nil {
+		var trunc *client.TruncatedError
+		if errors.As(err, &trunc) {
+			return attemptResult{err: fmt.Errorf("shard reply exceeds %d bytes: %w", trunc.Limit, err)}
+		}
 		return attemptResult{err: err}
 	}
+	// The result outlives the pooled buffer; clone before release.
+	body := bytes.Clone(buf.Bytes())
+	client.ReleaseBuffer(buf)
 	return attemptResult{status: resp.StatusCode, body: body}
 }

@@ -160,7 +160,7 @@ func (c *Coordinator) handleChaos(w http.ResponseWriter, r *http.Request) {
 			sh := view.shards[ad.idx]
 			sh.requests.Add(1)
 			t0 := c.cfg.Clock()
-			res := c.attempt(ctx, sh, "/v1/chaos", payload)
+			res := c.attempt(ctx, sh, "/v1/chaos", "", payload)
 			outcomes[ad.idx].ElapsedMs = c.cfg.Clock().Sub(t0).Milliseconds()
 			failed := res.err != nil || res.status >= 500
 			if failed {

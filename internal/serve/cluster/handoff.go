@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/serve"
+	"repro/internal/serve/client"
 )
 
 // Warm handoff: when a backend joins the ring (admin POST) or is
@@ -117,27 +120,29 @@ func (c *Coordinator) handoff(ctx context.Context, view *epochView, idx int) (in
 		return 0, nil
 	}
 
-	batch := struct {
-		Entries []serve.WarmEntry `json:"entries"`
-	}{Entries: make([]serve.WarmEntry, 0, len(collected))}
+	// Entries travel in the warm segment format: values go out exactly
+	// as stored — wire frames or JSON bodies — with no transcoding and
+	// no base64 overhead.
+	payload := serve.AppendWarmSegmentHeader(nil)
 	for k, v := range collected {
-		batch.Entries = append(batch.Entries, serve.WarmEntry{K: k, V: v})
-	}
-	payload, err := json.Marshal(batch)
-	if err != nil {
-		return 0, err
+		payload = serve.AppendWarmSegmentRecord(payload, k, v)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target.base+"/v1/warm/import", bytes.NewReader(payload))
 	if err != nil {
 		return 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", serve.WarmSegmentMediaType)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return 0, err
 	}
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	buf, err := client.ReadBounded(resp.Body, 1<<20)
+	if err != nil {
+		return 0, fmt.Errorf("reading import reply: %w", err)
+	}
+	defer client.ReleaseBuffer(buf)
+	body := buf.Bytes()
 	if resp.StatusCode != http.StatusOK {
 		return 0, fmt.Errorf("import returned HTTP %d: %s", resp.StatusCode, truncate(body, 200))
 	}
@@ -146,28 +151,54 @@ func (c *Coordinator) handoff(ctx context.Context, view *epochView, idx int) (in
 		return 0, fmt.Errorf("bad import reply: %w", err)
 	}
 	target.handoffKeys.Add(int64(rep.Imported))
-	return len(batch.Entries), nil
+	return len(collected), nil
 }
 
 // pullExport fetches a neighbor's warm export, bounded by the handoff
-// entry budget.
+// entry budget. It negotiates the segment encoding and falls back to
+// the JSON shape when the neighbor answers with it.
 func (c *Coordinator) pullExport(ctx context.Context, base string) ([]serve.WarmEntry, error) {
 	url := fmt.Sprintf("%s/v1/warm/export?max=%d", base, c.cfg.HandoffMaxEntries)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set("Accept", serve.WarmSegmentMediaType)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	buf, err := client.ReadBounded(resp.Body, 32<<20)
 	if err != nil {
+		var trunc *client.TruncatedError
+		if errors.As(err, &trunc) {
+			return nil, fmt.Errorf("export reply exceeds %d bytes: %w", trunc.Limit, err)
+		}
 		return nil, err
 	}
+	defer client.ReleaseBuffer(buf)
+	body := buf.Bytes()
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("export returned HTTP %d: %s", resp.StatusCode, truncate(body, 200))
+	}
+	if strings.Contains(resp.Header.Get("Content-Type"), serve.WarmSegmentMediaType) {
+		sr, err := serve.NewWarmSegmentReader(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("bad export segment: %w", err)
+		}
+		var entries []serve.WarmEntry
+		for {
+			k, v, err := sr.Next()
+			if err == io.EOF {
+				return entries, nil
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bad export segment: %w", err)
+			}
+			// Records outlive the pooled body buffer; clone them out.
+			entries = append(entries, serve.WarmEntry{K: k, V: bytes.Clone(v)})
+		}
 	}
 	var rep serve.WarmExportResponse
 	if err := json.Unmarshal(body, &rep); err != nil {

@@ -16,6 +16,7 @@ import (
 
 	coordattack "repro"
 	"repro/internal/chaos"
+	"repro/internal/serve/wire"
 )
 
 // routes mounts every endpoint on the mux behind the pipeline.
@@ -45,7 +46,44 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/solvable", s.protect(classHeavy, s.handleSolvable))
 	s.mux.Handle("POST /v1/solve/batch", s.protect(classHeavy, s.handleSolveBatch))
 	s.mux.Handle("POST /v1/net/solvable", s.protect(classHeavy, s.handleNetSolvable))
+	s.mux.Handle("POST /v1/net/solve/batch", s.protect(classHeavy, s.handleNetSolveBatch))
 	s.mux.Handle("POST /v1/chaos", s.protect(classHeavy, s.handleChaos))
+	s.mux.Handle("POST /v1/chaos/batch", s.protect(classHeavy, s.handleChaosBatch))
+}
+
+// acceptsWire reports whether the request negotiated the binary verdict
+// encoding for a single-verdict response (Accept names the frame media
+// type). JSON stays the default; clients opt in per request.
+func acceptsWire(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.MediaTypeVerdict)
+}
+
+// acceptsWireStream is acceptsWire for batch endpoints: the caller must
+// name the stream media type to receive frames instead of JSON lines.
+func acceptsWireStream(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.MediaTypeVerdictStream)
+}
+
+// writeVerdict writes a 200 verdict in the negotiated encoding: one
+// binary frame when the caller asked for it, the usual pretty JSON
+// otherwise. A verdict the codec cannot frame (never the case for the
+// served types) degrades to JSON rather than failing the request.
+func (s *Server) writeVerdict(w http.ResponseWriter, r *http.Request, v any) {
+	if !acceptsWire(r) {
+		s.writeOK(w, v)
+		return
+	}
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	b, err := wire.AppendVerdict(fb.b[:0], v)
+	if err != nil {
+		s.writeOK(w, v)
+		return
+	}
+	fb.b = b
+	w.Header().Set("Content-Type", wire.MediaTypeVerdict)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 // decode reads a bounded JSON body into v.
@@ -498,22 +536,11 @@ type solvableRequest struct {
 	MaxHorizon int  `json:"maxHorizon,omitempty"`
 }
 
-type solvableResponse struct {
-	Scheme   string `json:"scheme"`
-	Horizon  int    `json:"horizon"`
-	Solvable bool   `json:"solvable"`
-	Found    *bool  `json:"found,omitempty"` // minRounds search outcome
-	Configs  int    `json:"configs,omitempty"`
-	// ConfigsExact carries the exact decimal configuration count when it
-	// overflowed the Configs int (deep symbolic horizons); empty otherwise.
-	ConfigsExact    string           `json:"configsExact,omitempty"`
-	Components      int              `json:"components,omitempty"`
-	MixedComponents int              `json:"mixedComponents,omitempty"`
-	Engine          *engineStatsJSON `json:"engine,omitempty"`
-	Cached          bool             `json:"cached"`
-	Shared          bool             `json:"shared"`
-	ElapsedMs       int64            `json:"elapsedMs"`
-}
+// solvableResponse (and the net/chaos response types below) are
+// aliases for the wire verdict structs: the JSON tags and the binary
+// frame layout live together in internal/serve/wire, so the two
+// encodings cannot drift apart.
+type solvableResponse = wire.Solvable
 
 func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 	var req solvableRequest
@@ -546,7 +573,7 @@ func (s *Server) handleSolvable(w http.ResponseWriter, r *http.Request) {
 	resp := val.(solvableResponse)
 	resp.Cached, resp.Shared = cached, shared
 	resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
-	s.writeOK(w, resp)
+	s.writeVerdict(w, r, resp)
 }
 
 // solveVerdict runs one bounded-round solvability analysis and shapes
@@ -595,18 +622,7 @@ type netSolvableRequest struct {
 	Rounds int `json:"rounds"`
 }
 
-type netSolvableResponse struct {
-	Graph            string           `json:"graph"`
-	N                int              `json:"n"`
-	F                int              `json:"f"`
-	Rounds           int              `json:"rounds"`
-	Solvable         bool             `json:"solvable"`
-	EdgeConnectivity int              `json:"edgeConnectivity"`
-	TheoremV1        bool             `json:"theoremV1Solvable"` // f < c(G)
-	Engine           *engineStatsJSON `json:"engine,omitempty"`
-	Cached           bool             `json:"cached"`
-	ElapsedMs        int64            `json:"elapsedMs"`
-}
+type netSolvableResponse = wire.NetSolvable
 
 func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 	var req netSolvableRequest
@@ -614,50 +630,15 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	g, err := req.Resolve()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if g.N() < 2 || g.N() > s.cfg.MaxProcs {
-		s.writeError(w, http.StatusBadRequest, "graph size %d out of range [2, %d]", g.N(), s.cfg.MaxProcs)
-		return
-	}
-	if req.Rounds < 0 || req.Rounds > s.cfg.MaxHorizon {
-		s.writeError(w, http.StatusBadRequest, "rounds %d out of range [0, %d]", req.Rounds, s.cfg.MaxHorizon)
-		return
-	}
-	if req.F < 0 {
-		s.writeError(w, http.StatusBadRequest, "f must be ≥ 0")
+	g, badReq := s.validateNetRequest(&req)
+	if badReq != "" {
+		s.writeError(w, http.StatusBadRequest, "%s", badReq)
 		return
 	}
 	key := NetSolvableKey(g, req.F, req.Rounds)
 	start := s.cfg.Clock()
 	val, cached, _, err := s.heavyCompute(r.Context(), key, func(ctx context.Context) (any, error) {
-		eng, release := s.engineRunOptions()
-		defer release()
-		rep, err := coordattack.AnalyzeNet(ctx, coordattack.NetAnalysisRequest{
-			Graph:       g,
-			F:           req.F,
-			Horizon:     req.Rounds,
-			VerdictOnly: true,
-			Observer:    s.engine.observe,
-			Engine:      eng,
-		})
-		if err != nil {
-			return nil, err
-		}
-		c := g.EdgeConnectivity()
-		return netSolvableResponse{
-			Graph:            g.Name(),
-			N:                g.N(),
-			F:                req.F,
-			Rounds:           req.Rounds,
-			Solvable:         rep.Solvable,
-			EdgeConnectivity: c,
-			TheoremV1:        req.F < c,
-			Engine:           engineStatsOf(rep.Stats),
-		}, nil
+		return s.netVerdict(ctx, g, req.F, req.Rounds)
 	})
 	if err != nil {
 		s.writeComputeError(w, err)
@@ -666,7 +647,57 @@ func (s *Server) handleNetSolvable(w http.ResponseWriter, r *http.Request) {
 	resp := val.(netSolvableResponse)
 	resp.Cached = cached
 	resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
-	s.writeOK(w, resp)
+	s.writeVerdict(w, r, resp)
+}
+
+// netVerdict runs one network solvability analysis and shapes the
+// verdict; callers patch Cached/ElapsedMs afterwards. The engine run
+// borrows a pooled scratch arena.
+func (s *Server) netVerdict(ctx context.Context, g *coordattack.Graph, f, rounds int) (any, error) {
+	eng, release := s.engineRunOptions()
+	defer release()
+	rep, err := coordattack.AnalyzeNet(ctx, coordattack.NetAnalysisRequest{
+		Graph:       g,
+		F:           f,
+		Horizon:     rounds,
+		VerdictOnly: true,
+		Observer:    s.engine.observe,
+		Engine:      eng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := g.EdgeConnectivity()
+	return netSolvableResponse{
+		Graph:            g.Name(),
+		N:                g.N(),
+		F:                f,
+		Rounds:           rounds,
+		Solvable:         rep.Solvable,
+		EdgeConnectivity: c,
+		TheoremV1:        f < c,
+		Engine:           engineStatsOf(rep.Stats),
+	}, nil
+}
+
+// validateNetRequest resolves and bounds-checks one netSolvableRequest.
+// Shared by the single handler and the batch tier so both reject the
+// same inputs identically.
+func (s *Server) validateNetRequest(req *netSolvableRequest) (*coordattack.Graph, string) {
+	g, err := req.Resolve()
+	if err != nil {
+		return nil, err.Error()
+	}
+	if g.N() < 2 || g.N() > s.cfg.MaxProcs {
+		return nil, fmt.Sprintf("graph size %d out of range [2, %d]", g.N(), s.cfg.MaxProcs)
+	}
+	if req.Rounds < 0 || req.Rounds > s.cfg.MaxHorizon {
+		return nil, fmt.Sprintf("rounds %d out of range [0, %d]", req.Rounds, s.cfg.MaxHorizon)
+	}
+	if req.F < 0 {
+		return nil, "f must be ≥ 0"
+	}
+	return g, ""
 }
 
 // --- /v1/chaos --------------------------------------------------------
@@ -682,73 +713,46 @@ type chaosRequest struct {
 	MaxViolations int   `json:"maxViolations,omitempty"`
 }
 
-type chaosViolation struct {
-	Property  string `json:"property"`
-	Detail    string `json:"detail"`
-	Scenario  string `json:"scenario"`
-	Minimized string `json:"minimized,omitempty"`
-	Seed      int64  `json:"seed"`
-	Execution int    `json:"execution"`
-}
+type (
+	chaosViolation = wire.ChaosViolation
+	chaosResponse  = wire.Chaos
+)
 
-type chaosResponse struct {
-	Scheme     string           `json:"scheme"`
-	Algorithm  string           `json:"algorithm"`
-	Seed       int64            `json:"seed"`
-	Executions int              `json:"executions"`
-	Rounds     int64            `json:"rounds"`
-	OK         bool             `json:"ok"`
-	Violations []chaosViolation `json:"violations,omitempty"`
-	ElapsedMs  int64            `json:"elapsedMs"`
-}
-
-func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
-	var req chaosRequest
-	if err := decode(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
+// validateChaosRequest resolves and bounds-checks one chaosRequest.
+// Shared by the single handler and the batch tier so both reject the
+// same inputs identically.
+func (s *Server) validateChaosRequest(req *chaosRequest) (*coordattack.Scheme, chaos.Algorithm, string) {
 	sch, err := req.Resolve()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, chaos.Algorithm{}, err.Error()
 	}
 	if req.Executions > s.cfg.MaxExecutions {
-		s.writeError(w, http.StatusBadRequest, "executions %d exceeds cap %d", req.Executions, s.cfg.MaxExecutions)
-		return
+		return nil, chaos.Algorithm{}, fmt.Sprintf("executions %d exceeds cap %d", req.Executions, s.cfg.MaxExecutions)
 	}
 	algo, err := chaos.AWForScheme(sch)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, chaos.Algorithm{}, err.Error()
 	}
-	start := s.cfg.Clock()
-	var rep *chaos.Report
-	err = s.guard(func() error {
-		var cerr error
-		rep, cerr = chaos.RunCampaignCtx(r.Context(), chaos.Config{
-			Scheme:         sch,
-			Algo:           algo,
-			Executions:     req.Executions,
-			Seed:           req.Seed,
-			MaxPrefix:      req.MaxPrefix,
-			MaxRounds:      req.MaxRounds,
-			CheckInvariant: !req.NoInvariant,
-			NoShrink:       req.NoShrink,
-			MaxViolations:  req.MaxViolations,
-		})
-		return cerr
+	return sch, algo, ""
+}
+
+// chaosCampaign runs one seeded campaign under ctx and shapes the
+// report. The report pointer is returned even on error, so callers can
+// surface partial-progress information on an interrupt.
+func (s *Server) chaosCampaign(ctx context.Context, sch *coordattack.Scheme, algo chaos.Algorithm, req *chaosRequest) (*chaos.Report, chaosResponse, error) {
+	rep, err := chaos.RunCampaignCtx(ctx, chaos.Config{
+		Scheme:         sch,
+		Algo:           algo,
+		Executions:     req.Executions,
+		Seed:           req.Seed,
+		MaxPrefix:      req.MaxPrefix,
+		MaxRounds:      req.MaxRounds,
+		CheckInvariant: !req.NoInvariant,
+		NoShrink:       req.NoShrink,
+		MaxViolations:  req.MaxViolations,
 	})
 	if err != nil {
-		if rep != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
-			s.m.timeouts.Add(1)
-			writeJSON(w, http.StatusGatewayTimeout, apiError{
-				Error: fmt.Sprintf("campaign interrupted after %d executions: %v", rep.Executions, err),
-			})
-			return
-		}
-		s.writeComputeError(w, err)
-		return
+		return rep, chaosResponse{}, err
 	}
 	resp := chaosResponse{
 		Scheme:     rep.Scheme,
@@ -757,7 +761,6 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		Executions: rep.Executions,
 		Rounds:     rep.Rounds,
 		OK:         rep.OK(),
-		ElapsedMs:  s.cfg.Clock().Sub(start).Milliseconds(),
 	}
 	for _, v := range rep.Violations {
 		cv := chaosViolation{
@@ -772,5 +775,39 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Violations = append(resp.Violations, cv)
 	}
-	s.writeOK(w, resp)
+	return rep, resp, nil
+}
+
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req chaosRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sch, algo, badReq := s.validateChaosRequest(&req)
+	if badReq != "" {
+		s.writeError(w, http.StatusBadRequest, "%s", badReq)
+		return
+	}
+	start := s.cfg.Clock()
+	var rep *chaos.Report
+	var resp chaosResponse
+	err := s.guard(func() error {
+		var cerr error
+		rep, resp, cerr = s.chaosCampaign(r.Context(), sch, algo, &req)
+		return cerr
+	})
+	if err != nil {
+		if rep != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			s.m.timeouts.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, apiError{
+				Error: fmt.Sprintf("campaign interrupted after %d executions: %v", rep.Executions, err),
+			})
+			return
+		}
+		s.writeComputeError(w, err)
+		return
+	}
+	resp.ElapsedMs = s.cfg.Clock().Sub(start).Milliseconds()
+	s.writeVerdict(w, r, resp)
 }

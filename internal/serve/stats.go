@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	coordattack "repro"
+	"repro/internal/serve/wire"
 )
 
 // engineAgg accumulates fullinfo engine instrumentation across every
@@ -47,34 +48,9 @@ func (a *engineAgg) observe(st coordattack.EngineStats) {
 
 // engineStatsJSON is the per-response engine instrumentation block,
 // cached alongside the verdict so repeat queries can still show what the
-// original computation cost.
-type engineStatsJSON struct {
-	Rounds          int   `json:"rounds"`
-	Configs         int64 `json:"configs"`
-	Vertices        int   `json:"vertices"`
-	Components      int   `json:"components"`
-	MixedComponents int   `json:"mixedComponents"`
-	Merges          int   `json:"merges"`
-	ViewsInterned   int   `json:"viewsInterned"`
-	Workers         int   `json:"workers"`
-	// Frontier dedup gauges: raw nodes before hash-consing, distinct
-	// configurations after, and their ratio (1 when dedup never ran —
-	// see fullinfo.Stats).
-	FrontierRaw      int64   `json:"frontierRaw"`
-	FrontierDistinct int64   `json:"frontierDistinct"`
-	DedupRatio       float64 `json:"dedupRatio"`
-	// Symbolic interval-walk gauges, present only when the symbolic
-	// backend ran (or was requested and fell back): rounds advanced
-	// symbolically, the final and peak interval counts, the
-	// intervals-per-run fragmentation ratio, and fallback events.
-	SymbolicRounds     int     `json:"symbolicRounds,omitempty"`
-	Intervals          int     `json:"intervals,omitempty"`
-	IntervalRuns       int     `json:"intervalRuns,omitempty"`
-	IntervalsPeak      int     `json:"intervalsPeak,omitempty"`
-	FragmentationRatio float64 `json:"fragmentationRatio,omitempty"`
-	SymbolicFallbacks  int     `json:"symbolicFallbacks,omitempty"`
-	WallNanos          int64   `json:"wallNanos"`
-}
+// original computation cost. The struct itself lives in wire, where the
+// JSON tags and the binary frame layout stay one source of truth.
+type engineStatsJSON = wire.EngineStats
 
 func engineStatsOf(st coordattack.EngineStats) *engineStatsJSON {
 	js := &engineStatsJSON{

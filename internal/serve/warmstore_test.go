@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/big"
 	"net/http"
 	"os"
@@ -201,14 +203,28 @@ func TestVerdictStoreCompactsOnLoad(t *testing.T) {
 		t.Fatalf("Compacted = %d, want %d", store.Compacted(), warmCompactMinWaste)
 	}
 
-	// On disk: exactly the live entries, one line each.
+	// On disk: exactly the live entries, upgraded in place to the
+	// binary segment format (compaction always writes segments).
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("compacted file has %d lines, want 2:\n%s", len(lines), data)
+	sr, err := NewWarmSegmentReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("compacted file is not a warm segment: %v", err)
+	}
+	records := 0
+	for {
+		if _, _, err := sr.Next(); err != nil {
+			if err != io.EOF {
+				t.Fatalf("compacted segment: %v", err)
+			}
+			break
+		}
+		records++
+	}
+	if records != 2 {
+		t.Fatalf("compacted segment has %d records, want 2:\n%q", records, data)
 	}
 
 	// Appends land in the fresh file and a reopen sees everything.

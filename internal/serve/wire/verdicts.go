@@ -1,0 +1,538 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// The verdict structs live here — with their JSON tags — so the JSON
+// bodies the service has always produced and the binary frames are two
+// encodings of one source of truth. internal/serve aliases these types;
+// the coordinator transcodes between the encodings via these structs.
+
+// EngineStats is the per-response engine instrumentation block, cached
+// alongside the verdict so repeat queries can still show what the
+// original computation cost.
+type EngineStats struct {
+	Rounds          int   `json:"rounds"`
+	Configs         int64 `json:"configs"`
+	Vertices        int   `json:"vertices"`
+	Components      int   `json:"components"`
+	MixedComponents int   `json:"mixedComponents"`
+	Merges          int   `json:"merges"`
+	ViewsInterned   int   `json:"viewsInterned"`
+	Workers         int   `json:"workers"`
+	// Frontier dedup gauges: raw nodes before hash-consing, distinct
+	// configurations after, and their ratio (1 when dedup never ran —
+	// see fullinfo.Stats).
+	FrontierRaw      int64   `json:"frontierRaw"`
+	FrontierDistinct int64   `json:"frontierDistinct"`
+	DedupRatio       float64 `json:"dedupRatio"`
+	// Symbolic interval-walk gauges, present only when the symbolic
+	// backend ran (or was requested and fell back): rounds advanced
+	// symbolically, the final and peak interval counts, the
+	// intervals-per-run fragmentation ratio, and fallback events.
+	SymbolicRounds     int     `json:"symbolicRounds,omitempty"`
+	Intervals          int     `json:"intervals,omitempty"`
+	IntervalRuns       int     `json:"intervalRuns,omitempty"`
+	IntervalsPeak      int     `json:"intervalsPeak,omitempty"`
+	FragmentationRatio float64 `json:"fragmentationRatio,omitempty"`
+	SymbolicFallbacks  int     `json:"symbolicFallbacks,omitempty"`
+	WallNanos          int64   `json:"wallNanos"`
+}
+
+func (e *EngineStats) appendPayload(dst []byte) []byte {
+	dst = appendInt(dst, int64(e.Rounds))
+	dst = appendInt(dst, e.Configs)
+	dst = appendInt(dst, int64(e.Vertices))
+	dst = appendInt(dst, int64(e.Components))
+	dst = appendInt(dst, int64(e.MixedComponents))
+	dst = appendInt(dst, int64(e.Merges))
+	dst = appendInt(dst, int64(e.ViewsInterned))
+	dst = appendInt(dst, int64(e.Workers))
+	dst = appendInt(dst, e.FrontierRaw)
+	dst = appendInt(dst, e.FrontierDistinct)
+	dst = appendFloat(dst, e.DedupRatio)
+	dst = appendInt(dst, int64(e.SymbolicRounds))
+	dst = appendInt(dst, int64(e.Intervals))
+	dst = appendInt(dst, int64(e.IntervalRuns))
+	dst = appendInt(dst, int64(e.IntervalsPeak))
+	dst = appendFloat(dst, e.FragmentationRatio)
+	dst = appendInt(dst, int64(e.SymbolicFallbacks))
+	dst = appendInt(dst, e.WallNanos)
+	return dst
+}
+
+func (e *EngineStats) decode(r *reader) {
+	e.Rounds = int(r.int())
+	e.Configs = r.int()
+	e.Vertices = int(r.int())
+	e.Components = int(r.int())
+	e.MixedComponents = int(r.int())
+	e.Merges = int(r.int())
+	e.ViewsInterned = int(r.int())
+	e.Workers = int(r.int())
+	e.FrontierRaw = r.int()
+	e.FrontierDistinct = r.int()
+	e.DedupRatio = r.float()
+	e.SymbolicRounds = int(r.int())
+	e.Intervals = int(r.int())
+	e.IntervalRuns = int(r.int())
+	e.IntervalsPeak = int(r.int())
+	e.FragmentationRatio = r.float()
+	e.SymbolicFallbacks = int(r.int())
+	e.WallNanos = r.int()
+}
+
+// appendEngine encodes an optional engine block: presence byte + block.
+func appendEngine(dst []byte, e *EngineStats) []byte {
+	if e == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return e.appendPayload(dst)
+}
+
+func decodeEngine(r *reader) *EngineStats {
+	if !r.bool() || r.err != nil {
+		return nil
+	}
+	e := new(EngineStats)
+	e.decode(r)
+	return e
+}
+
+// Solvable is the /v1/solvable verdict (bounded-round solvability of a
+// two-general omission scheme).
+type Solvable struct {
+	Scheme   string `json:"scheme"`
+	Horizon  int    `json:"horizon"`
+	Solvable bool   `json:"solvable"`
+	Found    *bool  `json:"found,omitempty"` // minRounds search outcome
+	Configs  int    `json:"configs,omitempty"`
+	// ConfigsExact carries the exact decimal configuration count when it
+	// overflowed the Configs int (deep symbolic horizons); empty otherwise.
+	ConfigsExact    string       `json:"configsExact,omitempty"`
+	Components      int          `json:"components,omitempty"`
+	MixedComponents int          `json:"mixedComponents,omitempty"`
+	Engine          *EngineStats `json:"engine,omitempty"`
+	Cached          bool         `json:"cached"`
+	Shared          bool         `json:"shared"`
+	ElapsedMs       int64        `json:"elapsedMs"`
+}
+
+func (v *Solvable) appendPayload(dst []byte) []byte {
+	dst = appendString(dst, v.Scheme)
+	dst = appendInt(dst, int64(v.Horizon))
+	dst = appendBool(dst, v.Solvable)
+	if v.Found == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendBool(dst, *v.Found)
+	}
+	dst = appendInt(dst, int64(v.Configs))
+	dst = appendBigDecimal(dst, v.ConfigsExact)
+	dst = appendInt(dst, int64(v.Components))
+	dst = appendInt(dst, int64(v.MixedComponents))
+	dst = appendEngine(dst, v.Engine)
+	dst = appendBool(dst, v.Cached)
+	dst = appendBool(dst, v.Shared)
+	dst = appendInt(dst, v.ElapsedMs)
+	return dst
+}
+
+func (v *Solvable) decode(r *reader) {
+	v.Scheme = r.string()
+	v.Horizon = int(r.int())
+	v.Solvable = r.bool()
+	if r.bool() {
+		f := r.bool()
+		if r.err == nil {
+			v.Found = &f
+		}
+	}
+	v.Configs = int(r.int())
+	v.ConfigsExact = r.bigDecimal()
+	v.Components = int(r.int())
+	v.MixedComponents = int(r.int())
+	v.Engine = decodeEngine(r)
+	v.Cached = r.bool()
+	v.Shared = r.bool()
+	v.ElapsedMs = r.int()
+}
+
+// NetSolvable is the /v1/net/solvable verdict (n-process network
+// solvability under f-bounded omissions).
+type NetSolvable struct {
+	Graph            string       `json:"graph"`
+	N                int          `json:"n"`
+	F                int          `json:"f"`
+	Rounds           int          `json:"rounds"`
+	Solvable         bool         `json:"solvable"`
+	EdgeConnectivity int          `json:"edgeConnectivity"`
+	TheoremV1        bool         `json:"theoremV1Solvable"` // f < c(G)
+	Engine           *EngineStats `json:"engine,omitempty"`
+	Cached           bool         `json:"cached"`
+	ElapsedMs        int64        `json:"elapsedMs"`
+}
+
+func (v *NetSolvable) appendPayload(dst []byte) []byte {
+	dst = appendString(dst, v.Graph)
+	dst = appendInt(dst, int64(v.N))
+	dst = appendInt(dst, int64(v.F))
+	dst = appendInt(dst, int64(v.Rounds))
+	dst = appendBool(dst, v.Solvable)
+	dst = appendInt(dst, int64(v.EdgeConnectivity))
+	dst = appendBool(dst, v.TheoremV1)
+	dst = appendEngine(dst, v.Engine)
+	dst = appendBool(dst, v.Cached)
+	dst = appendInt(dst, v.ElapsedMs)
+	return dst
+}
+
+func (v *NetSolvable) decode(r *reader) {
+	v.Graph = r.string()
+	v.N = int(r.int())
+	v.F = int(r.int())
+	v.Rounds = int(r.int())
+	v.Solvable = r.bool()
+	v.EdgeConnectivity = int(r.int())
+	v.TheoremV1 = r.bool()
+	v.Engine = decodeEngine(r)
+	v.Cached = r.bool()
+	v.ElapsedMs = r.int()
+}
+
+// ChaosViolation is one property violation found by a chaos campaign.
+type ChaosViolation struct {
+	Property  string `json:"property"`
+	Detail    string `json:"detail"`
+	Scenario  string `json:"scenario"`
+	Minimized string `json:"minimized,omitempty"`
+	Seed      int64  `json:"seed"`
+	Execution int    `json:"execution"`
+}
+
+// Chaos is the /v1/chaos campaign report.
+type Chaos struct {
+	Scheme     string           `json:"scheme"`
+	Algorithm  string           `json:"algorithm"`
+	Seed       int64            `json:"seed"`
+	Executions int              `json:"executions"`
+	Rounds     int64            `json:"rounds"`
+	OK         bool             `json:"ok"`
+	Violations []ChaosViolation `json:"violations,omitempty"`
+	ElapsedMs  int64            `json:"elapsedMs"`
+}
+
+func (v *Chaos) appendPayload(dst []byte) []byte {
+	dst = appendString(dst, v.Scheme)
+	dst = appendString(dst, v.Algorithm)
+	dst = appendInt(dst, v.Seed)
+	dst = appendInt(dst, int64(v.Executions))
+	dst = appendInt(dst, v.Rounds)
+	dst = appendBool(dst, v.OK)
+	dst = appendUint(dst, uint64(len(v.Violations)))
+	for i := range v.Violations {
+		cv := &v.Violations[i]
+		dst = appendString(dst, cv.Property)
+		dst = appendString(dst, cv.Detail)
+		dst = appendString(dst, cv.Scenario)
+		dst = appendString(dst, cv.Minimized)
+		dst = appendInt(dst, cv.Seed)
+		dst = appendInt(dst, int64(cv.Execution))
+	}
+	dst = appendInt(dst, v.ElapsedMs)
+	return dst
+}
+
+func (v *Chaos) decode(r *reader) {
+	v.Scheme = r.string()
+	v.Algorithm = r.string()
+	v.Seed = r.int()
+	v.Executions = int(r.int())
+	v.Rounds = r.int()
+	v.OK = r.bool()
+	n := r.uint()
+	// Each violation costs at least 8 payload bytes (six fields); a
+	// count past the remaining bytes is corruption, not an allocation
+	// request.
+	if r.err == nil && n > uint64(len(r.b)) {
+		r.fail()
+	}
+	if r.err == nil && n > 0 {
+		v.Violations = make([]ChaosViolation, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			v.Violations = append(v.Violations, ChaosViolation{
+				Property:  r.string(),
+				Detail:    r.string(),
+				Scenario:  r.string(),
+				Minimized: r.string(),
+				Seed:      r.int(),
+				Execution: int(r.int()),
+			})
+		}
+	}
+	v.ElapsedMs = r.int()
+}
+
+// Raw is a verdict already in frame form: its payload is embedded into
+// a BatchLine without a decode/re-encode round trip. The coordinator
+// uses it to stream shard-side frames through to binary callers.
+type Raw struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// MarshalJSON transcodes the raw frame payload into the verdict's JSON
+// form, so a BatchLine holding a Raw still JSON-encodes correctly.
+func (rw Raw) MarshalJSON() ([]byte, error) {
+	v, err := unmarshalPayload(rw.Kind, rw.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// BatchLine is one per-item record of a batch response stream, shared
+// by the node's batch endpoints and the coordinator's mirrors. Status
+// is what the single-item endpoint would have answered for the item;
+// Cached marks coordinator cache/warm hits (the node never sets it).
+// Verdict holds *Solvable, *NetSolvable, *Chaos, or Raw.
+type BatchLine struct {
+	Index   int    `json:"index"`
+	Status  int    `json:"status"`
+	Cached  bool   `json:"cached,omitempty"`
+	Verdict any    `json:"verdict,omitempty"`
+	Error   string `json:"error,omitempty"`
+	DiagID  string `json:"diagId,omitempty"`
+}
+
+func (l *BatchLine) appendPayload(dst []byte) ([]byte, error) {
+	dst = appendUint(dst, uint64(l.Index))
+	dst = appendUint(dst, uint64(l.Status))
+	dst = appendBool(dst, l.Cached)
+	dst = appendString(dst, l.Error)
+	dst = appendString(dst, l.DiagID)
+	switch v := l.Verdict.(type) {
+	case nil:
+		dst = append(dst, byte(KindInvalid))
+	case *Solvable:
+		dst = append(dst, byte(KindSolvable))
+		dst = v.appendPayload(dst)
+	case *NetSolvable:
+		dst = append(dst, byte(KindNetSolvable))
+		dst = v.appendPayload(dst)
+	case *Chaos:
+		dst = append(dst, byte(KindChaos))
+		dst = v.appendPayload(dst)
+	case Raw:
+		dst = append(dst, byte(v.Kind))
+		dst = append(dst, v.Payload...)
+	default:
+		return dst, fmt.Errorf("wire: unencodable batch verdict %T", l.Verdict)
+	}
+	return dst, nil
+}
+
+// DecodeBatchLine decodes one KindBatchLine payload. The embedded
+// verdict comes back typed (*Solvable, *NetSolvable, *Chaos) or nil.
+func DecodeBatchLine(payload []byte) (*BatchLine, error) {
+	r := &reader{b: payload}
+	l := &BatchLine{
+		Index:  int(r.uint()),
+		Status: int(r.uint()),
+		Cached: r.bool(),
+		Error:  r.string(),
+		DiagID: r.string(),
+	}
+	k := Kind(r.byte())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if k != KindInvalid {
+		v, err := unmarshalPayload(k, r.b)
+		if err != nil {
+			return nil, err
+		}
+		l.Verdict = v
+	}
+	return l, nil
+}
+
+// AppendVerdict appends v as one frame. Accepted values: Solvable,
+// NetSolvable, Chaos (value or pointer), *BatchLine, and Raw.
+func AppendVerdict(dst []byte, v any) ([]byte, error) {
+	switch t := v.(type) {
+	case Solvable:
+		dst, start := beginFrame(dst, KindSolvable)
+		return endFrame(t.appendPayload(dst), start), nil
+	case *Solvable:
+		dst, start := beginFrame(dst, KindSolvable)
+		return endFrame(t.appendPayload(dst), start), nil
+	case NetSolvable:
+		dst, start := beginFrame(dst, KindNetSolvable)
+		return endFrame(t.appendPayload(dst), start), nil
+	case *NetSolvable:
+		dst, start := beginFrame(dst, KindNetSolvable)
+		return endFrame(t.appendPayload(dst), start), nil
+	case Chaos:
+		dst, start := beginFrame(dst, KindChaos)
+		return endFrame(t.appendPayload(dst), start), nil
+	case *Chaos:
+		dst, start := beginFrame(dst, KindChaos)
+		return endFrame(t.appendPayload(dst), start), nil
+	case *BatchLine:
+		dst, start := beginFrame(dst, KindBatchLine)
+		out, err := t.appendPayload(dst)
+		if err != nil {
+			return out[:start-headerLen], err
+		}
+		return endFrame(out, start), nil
+	case Raw:
+		dst, start := beginFrame(dst, t.Kind)
+		return endFrame(append(dst, t.Payload...), start), nil
+	default:
+		return dst, fmt.Errorf("wire: unencodable verdict %T", v)
+	}
+}
+
+// Marshal encodes v as one frame in a fresh buffer.
+func Marshal(v any) ([]byte, error) {
+	return AppendVerdict(nil, v)
+}
+
+// unmarshalPayload decodes one payload of the given kind into its typed
+// verdict pointer.
+func unmarshalPayload(kind Kind, payload []byte) (any, error) {
+	r := &reader{b: payload}
+	var v any
+	switch kind {
+	case KindSolvable:
+		s := new(Solvable)
+		s.decode(r)
+		v = s
+	case KindNetSolvable:
+		s := new(NetSolvable)
+		s.decode(r)
+		v = s
+	case KindChaos:
+		s := new(Chaos)
+		s.decode(r)
+		v = s
+	case KindBatchLine:
+		return DecodeBatchLine(payload)
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", byte(kind))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		// Trailing garbage means a layout mismatch; refuse rather than
+		// return a half-right verdict.
+		return nil, errMalformed
+	}
+	return v, nil
+}
+
+// Unmarshal decodes the first frame of b into its typed verdict
+// (*Solvable, *NetSolvable, *Chaos, or *BatchLine).
+func Unmarshal(b []byte) (any, error) {
+	kind, payload, _, err := DecodeFrame(b)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalPayload(kind, payload)
+}
+
+// UnmarshalInto decodes the first frame of b into dst, which must be a
+// pointer to the verdict type matching the frame's kind.
+func UnmarshalInto(b []byte, dst any) error {
+	kind, payload, _, err := DecodeFrame(b)
+	if err != nil {
+		return err
+	}
+	v, err := unmarshalPayload(kind, payload)
+	if err != nil {
+		return err
+	}
+	switch d := dst.(type) {
+	case *Solvable:
+		if s, ok := v.(*Solvable); ok {
+			*d = *s
+			return nil
+		}
+	case *NetSolvable:
+		if s, ok := v.(*NetSolvable); ok {
+			*d = *s
+			return nil
+		}
+	case *Chaos:
+		if s, ok := v.(*Chaos); ok {
+			*d = *s
+			return nil
+		}
+	case *BatchLine:
+		if s, ok := v.(*BatchLine); ok {
+			*d = *s
+			return nil
+		}
+	default:
+		return fmt.Errorf("wire: cannot decode into %T", dst)
+	}
+	return fmt.Errorf("wire: frame kind %s does not match %T", kind, dst)
+}
+
+// KindForKey maps a canonical cache-key prefix ("solvable|…",
+// "netsolve|…") to its frame kind. Keys without a binary encoding
+// (classify) report false — those verdicts travel as JSON only.
+func KindForKey(key string) (Kind, bool) {
+	op, _, ok := strings.Cut(key, "|")
+	if !ok {
+		return KindInvalid, false
+	}
+	switch op {
+	case "solvable":
+		return KindSolvable, true
+	case "netsolve":
+		return KindNetSolvable, true
+	}
+	return KindInvalid, false
+}
+
+// FrameToJSON transcodes one verdict frame into its JSON encoding —
+// pretty-printed with indent (the service's whole-body format) or
+// compact when indent is empty.
+func FrameToJSON(b []byte, indent string) ([]byte, error) {
+	v, err := Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	if indent == "" {
+		return json.Marshal(v)
+	}
+	return json.MarshalIndent(v, "", indent)
+}
+
+// JSONToFrame transcodes a JSON verdict body of the given kind into a
+// frame.
+func JSONToFrame(kind Kind, j []byte) ([]byte, error) {
+	var v any
+	switch kind {
+	case KindSolvable:
+		v = new(Solvable)
+	case KindNetSolvable:
+		v = new(NetSolvable)
+	case KindChaos:
+		v = new(Chaos)
+	default:
+		return nil, fmt.Errorf("wire: no frame encoding for kind %d", byte(kind))
+	}
+	if err := json.Unmarshal(j, v); err != nil {
+		return nil, err
+	}
+	return Marshal(v)
+}

@@ -43,10 +43,11 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== serve alloc gate (unraced) =="
-# TestServeSolveAllocsGate skips itself under -race (the detector's
-# instrumentation allocates), so the budget is enforced here explicitly.
-go test -run '^TestServeSolveAllocsGate$' -count=1 ./internal/serve/
+echo "== serve alloc gates (unraced, JSON + binary) =="
+# The alloc gates skip themselves under -race (the detector's
+# instrumentation allocates), so the budgets are enforced here
+# explicitly — once per response encoding.
+go test -run '^TestServeSolve(Binary)?AllocsGate$' -count=1 ./internal/serve/
 
 FUZZTIME="${FUZZTIME:-10s}"
 echo "== go fuzz (${FUZZTIME} per target) =="
@@ -58,6 +59,8 @@ echo "-- FuzzDedupVsReference"
 go test -run '^FuzzDedupVsReference$' -fuzz '^FuzzDedupVsReference$' -fuzztime "${FUZZTIME}" ./internal/fullinfo/
 echo "-- FuzzSymbolicVsReference"
 go test -run '^FuzzSymbolicVsReference$' -fuzz '^FuzzSymbolicVsReference$' -fuzztime "${FUZZTIME}" ./internal/chain/
+echo "-- FuzzWireFrameDecode"
+go test -run '^FuzzWireFrameDecode$' -fuzz '^FuzzWireFrameDecode$' -fuzztime "${FUZZTIME}" ./internal/serve/wire/
 
 echo "== capserved smoke (default backend + 3-node coordinator) =="
 ./smoke_capserved.sh
